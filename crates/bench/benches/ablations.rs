@@ -1,0 +1,141 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: each
+//! optimization toggled independently, the hybrid threshold swept, both
+//! pull-volume estimators, and the load balancers exercised on a
+//! deliberately hub-dominated graph where their effect is extreme.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sssp_bench::{build_family, pick_roots, Family};
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::{DirectionPolicy, IntraBalance, PullEstimator, SsspConfig};
+use sssp_core::engine::run_sssp;
+use sssp_dist::{split_heavy_vertices, DistGraph};
+use sssp_graph::{gen, CsrBuilder};
+
+fn bench_ios(c: &mut Criterion) {
+    let csr = build_family(Family::Rmat1, 11, 1);
+    let dg = DistGraph::build(&csr, 8, 4);
+    let root = pick_roots(&csr, 1, 3)[0];
+    let model = MachineModel::bgq_like();
+    let mut g = c.benchmark_group("ablation_ios");
+    g.sample_size(10);
+    for (name, ios) in [("off", false), ("on", true)] {
+        let cfg = SsspConfig::del(25).with_ios(ios);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_sssp(&dg, root, cfg, &model)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_direction_policy(c: &mut Criterion) {
+    let csr = build_family(Family::Rmat1, 11, 1);
+    let dg = DistGraph::build(&csr, 8, 4);
+    let root = pick_roots(&csr, 1, 3)[0];
+    let model = MachineModel::bgq_like();
+    let mut g = c.benchmark_group("ablation_direction");
+    g.sample_size(10);
+    for (name, dir) in [
+        ("always_push", DirectionPolicy::AlwaysPush),
+        ("always_pull", DirectionPolicy::AlwaysPull),
+        ("heuristic", DirectionPolicy::Heuristic),
+    ] {
+        let cfg = SsspConfig::prune(25).with_direction(dir);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_sssp(&dg, root, cfg, &model)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hybrid_tau(c: &mut Criterion) {
+    let csr = build_family(Family::Rmat2, 11, 1);
+    let dg = DistGraph::build(&csr, 8, 4);
+    let root = pick_roots(&csr, 1, 3)[0];
+    let model = MachineModel::bgq_like();
+    let mut g = c.benchmark_group("ablation_hybrid_tau");
+    g.sample_size(10);
+    for tau in [0.0, 0.2, 0.4, 0.6, 0.8] {
+        let cfg = SsspConfig::prune(25).with_hybrid(Some(tau));
+        g.bench_with_input(BenchmarkId::from_parameter(format!("tau{tau}")), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_sssp(&dg, root, cfg, &model)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pull_estimator(c: &mut Criterion) {
+    let csr = build_family(Family::Rmat1, 11, 1);
+    let dg = DistGraph::build(&csr, 8, 4);
+    let root = pick_roots(&csr, 1, 3)[0];
+    let model = MachineModel::bgq_like();
+    let mut g = c.benchmark_group("ablation_pull_estimator");
+    g.sample_size(10);
+    for (name, est) in
+        [("exact", PullEstimator::Exact), ("expectation", PullEstimator::Expectation)]
+    {
+        let cfg = SsspConfig::opt(25).with_pull_estimator(est);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_sssp(&dg, root, cfg, &model)))
+        });
+    }
+    g.finish();
+}
+
+/// A hub-dominated graph (a handful of stars over a sparse background)
+/// where thread balancing and vertex splitting show their full effect.
+fn hub_graph() -> sssp_graph::Csr {
+    let n = 8192;
+    let mut el = gen::uniform(n, 4 * n, 255, 5);
+    // Five hubs, each wired to 2000 distinct vertices.
+    for h in 0..5u32 {
+        for i in 0..2000u32 {
+            let v = (h + 5 + i * 4) % n as u32;
+            el.push(h, v, 1 + ((h + i) % 255));
+        }
+    }
+    CsrBuilder::new().build(&el)
+}
+
+fn bench_load_balancing(c: &mut Criterion) {
+    let csr = hub_graph();
+    let root = pick_roots(&csr, 1, 3)[0];
+    let model = MachineModel::bgq_like();
+    let p = 8;
+    let mut g = c.benchmark_group("ablation_load_balancing");
+    g.sample_size(10);
+
+    let dg = DistGraph::build(&csr, p, 64);
+    for (name, bal) in [
+        ("none", IntraBalance::Off),
+        ("intra_auto", IntraBalance::Auto),
+        ("intra_pi128", IntraBalance::Threshold(128)),
+    ] {
+        let cfg = SsspConfig::opt(25).with_intra_balance(bal);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_sssp(&dg, root, cfg, &model)))
+        });
+    }
+
+    let (split_csr, part, _) = split_heavy_vertices(&csr, p, 256);
+    let dg_split = DistGraph::build_with_partition(
+        &split_csr,
+        part,
+        64,
+        csr.num_undirected_edges() as u64,
+    );
+    g.bench_function("intra_plus_split", |b| {
+        b.iter(|| black_box(run_sssp(&dg_split, root, &SsspConfig::lb_opt(25), &model)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ios,
+    bench_direction_policy,
+    bench_hybrid_tau,
+    bench_pull_estimator,
+    bench_load_balancing
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Full-run benchmarks of every algorithm preset on both graph families —
+//! the wall-clock companions to the simulated-machine figures (Figs. 3 and
+//! 9–11 at micro scale).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sssp_bench::{build_family, pick_roots, Family};
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::SsspConfig;
+use sssp_core::engine::run_sssp;
+use sssp_dist::DistGraph;
+
+fn presets() -> Vec<(&'static str, SsspConfig)> {
+    vec![
+        ("dijkstra", SsspConfig::dijkstra()),
+        ("bellman_ford", SsspConfig::bellman_ford()),
+        ("del25", SsspConfig::del(25)),
+        ("prune25", SsspConfig::prune(25)),
+        ("opt25", SsspConfig::opt(25)),
+        ("lb_opt25", SsspConfig::lb_opt(25)),
+    ]
+}
+
+fn bench_family(c: &mut Criterion, family: Family) {
+    let scale = 11;
+    let csr = build_family(family, scale, 1);
+    let dg = DistGraph::build(&csr, 8, 4);
+    let root = pick_roots(&csr, 1, 3)[0];
+    let model = MachineModel::bgq_like();
+
+    let mut g = c.benchmark_group(format!("{}_scale{scale}", family.name()));
+    g.sample_size(10);
+    for (name, cfg) in presets() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_sssp(&dg, root, cfg, &model)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rmat1(c: &mut Criterion) {
+    bench_family(c, Family::Rmat1);
+}
+
+fn bench_rmat2(c: &mut Criterion) {
+    bench_family(c, Family::Rmat2);
+}
+
+fn bench_rank_counts(c: &mut Criterion) {
+    // Strong-scaling flavor: fixed graph, growing simulated rank count.
+    let csr = build_family(Family::Rmat1, 12, 1);
+    let root = pick_roots(&csr, 1, 3)[0];
+    let model = MachineModel::bgq_like();
+    let mut g = c.benchmark_group("opt25_rank_count");
+    g.sample_size(10);
+    for p in [1usize, 4, 16, 64] {
+        let dg = DistGraph::build(&csr, p, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &dg, |b, dg| {
+            b.iter(|| black_box(run_sssp(dg, root, &SsspConfig::opt(25), &model)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rmat1, bench_rmat2, bench_rank_counts);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation: vertex distribution strategy vs id–degree correlation.
+//!
+//! The Graph 500 generator scrambles vertex ids precisely so that block
+//! distribution stays balanced; without scrambling, R-MAT piles every hub
+//! onto rank 0. This harness quantifies that interaction on the simulated
+//! machine: block/cyclic × scrambled/raw ids, plus the π-threshold sweep of
+//! the intra-node balancer (the paper's "robust heuristics to determine the
+//! thresholds π and π′" whose details it omits).
+
+use sssp_bench::*;
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::{IntraBalance, SsspConfig};
+use sssp_dist::DistGraph;
+use sssp_graph::rmat::RmatGenerator;
+use sssp_graph::CsrBuilder;
+
+fn main() {
+    let scale = scale_per_rank() + 3;
+    let ranks = 16;
+    let model = MachineModel::bgq_like();
+
+    // Part 1: distribution strategy.
+    let mut rows = Vec::new();
+    for (ids, permute) in [("scrambled", true), ("raw", false)] {
+        let el = RmatGenerator::new(Family::Rmat1.params(), scale, EDGE_FACTOR)
+            .seed(1)
+            .permute(permute)
+            .generate_weighted(W_MAX);
+        let csr = CsrBuilder::new().build(&el);
+        let roots = pick_roots(&csr, 2, 7);
+        for (layout, dg) in [
+            ("block", DistGraph::build(&csr, ranks, 64)),
+            ("cyclic", DistGraph::build_cyclic(&csr, ranks, 64)),
+        ] {
+            let agg = run_aggregate(&dg, &roots, &SsspConfig::opt(25), &model);
+            // Edge-ownership imbalance: max rank edges / mean rank edges.
+            let per_rank: Vec<usize> =
+                dg.locals.iter().map(|l| l.num_directed_edges()).collect();
+            let max = *per_rank.iter().max().unwrap() as f64;
+            let mean = per_rank.iter().sum::<usize>() as f64 / ranks as f64;
+            rows.push(vec![
+                ids.into(),
+                layout.into(),
+                format!("{:.2}", max / mean),
+                format!("{:.3}", agg.gteps),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Partition ablation — RMAT-1 scale {scale}, {ranks} ranks, OPT-25"),
+        &["vertex ids", "layout", "edge imbalance", "GTEPS"],
+        &rows,
+    );
+    println!("Expectation: raw ids + block layout concentrate hub edges and lose GTEPS.");
+
+    // Part 2: π-threshold sweep for the intra-node balancer.
+    let csr = build_family(Family::Rmat1, scale, 1);
+    let dg = DistGraph::build(&csr, ranks, 64);
+    let roots = pick_roots(&csr, 2, 7);
+    let mut rows = Vec::new();
+    for pi in [0u32, 32, 64, 128, 512, 4096, u32::MAX] {
+        let cfg = SsspConfig::opt(25).with_intra_balance(if pi == u32::MAX {
+            IntraBalance::Off
+        } else {
+            IntraBalance::Threshold(pi)
+        });
+        let agg = run_aggregate(&dg, &roots, &cfg, &model);
+        rows.push(vec![
+            if pi == u32::MAX { "off".into() } else { pi.to_string() },
+            format!("{:.3}", agg.gteps),
+        ]);
+    }
+    print_table(
+        &format!("π-threshold sweep — RMAT-1 scale {scale}, {ranks} ranks, 64 threads"),
+        &["π (heavy-vertex threshold)", "GTEPS"],
+        &rows,
+    );
+    println!("Expectation: a broad plateau of good π values (the paper calls its choice robust).");
+}

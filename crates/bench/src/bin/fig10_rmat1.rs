@@ -1,0 +1,13 @@
+//! Fig. 10 — the full RMAT-1 analysis: (a) GTEPS of Del-25 / Prune-25 /
+//! OPT-25 under weak scaling, (b) time breakdown (BktTime vs OthrTime),
+//! (c) relaxations per thread, (d) bucket counts, (e) OPT without load
+//! balancing for several Δ, (f) LB-OPT restoring scaling.
+//!
+//! Paper shapes to reproduce: pruning ≈ 5× on relaxations and relaxation
+//! time; hybridization collapses the bucket count to ≤ 5 and erases BktTime;
+//! OPT without LB scales poorly on this skewed family while LB-OPT scales
+//! nearly perfectly (2–8× gain).
+
+fn main() {
+    sssp_bench::family_analysis(sssp_bench::Family::Rmat1, 25, 64);
+}

@@ -1,0 +1,10 @@
+//! Fig. 11 — the RMAT-2 analysis mirroring Fig. 10.
+//!
+//! Paper shapes to reproduce: pruning only halves the relaxations (the
+//! degree distribution is milder, so push/pull differ less); hybridization
+//! is the bigger win (≈ 20× fewer buckets, ≈ 3× overall); load balancing
+//! barely matters, and OPT-40 edges out OPT-25.
+
+fn main() {
+    sssp_bench::family_analysis(sssp_bench::Family::Rmat2, 40, 64);
+}

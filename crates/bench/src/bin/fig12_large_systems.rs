@@ -1,0 +1,57 @@
+//! Fig. 12 — performance of the final algorithms on the largest systems:
+//! GTEPS for both families across the full weak-scaling sweep, with the
+//! two-tier load balancing (including inter-node vertex splitting) active
+//! for RMAT-1.
+//!
+//! Paper shape to reproduce: near-linear weak scaling for both families,
+//! RMAT-1 (Δ=25, LB + splitting) roughly 2× RMAT-2 (Δ=40) thanks to the
+//! stronger pruning on the more skewed family.
+
+use sssp_bench::*;
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::SsspConfig;
+use sssp_dist::{split_heavy_vertices, DistGraph};
+
+fn main() {
+    let spr = scale_per_rank();
+    let threads = 4;
+    let model = MachineModel::bgq_like();
+
+    let mut rows = Vec::new();
+    for p in weak_scaling_ranks() {
+        let scale = spr + (p as f64).log2() as u32;
+
+        // RMAT-1: LB-OPT-25 over the split graph (two-tier balancing).
+        let g1 = build_family(Family::Rmat1, scale, 1);
+        let threshold = sssp_dist::split::auto_threshold(&g1, p);
+        let (split_csr, part, rep) = split_heavy_vertices(&g1, p, threshold);
+        let dg1 = DistGraph::build_with_partition(
+            &split_csr,
+            part,
+            threads,
+            g1.num_undirected_edges() as u64,
+        );
+        let roots1 = pick_roots(&g1, 2, 31);
+        let a1 = run_aggregate(&dg1, &roots1, &SsspConfig::lb_opt(25), &model);
+
+        // RMAT-2: OPT-40, no balancing needed (§IV-F).
+        let g2 = build_family(Family::Rmat2, scale, 1);
+        let dg2 = DistGraph::build(&g2, p, threads);
+        let roots2 = pick_roots(&g2, 2, 31);
+        let a2 = run_aggregate(&dg2, &roots2, &SsspConfig::opt(40), &model);
+
+        rows.push(vec![
+            p.to_string(),
+            scale.to_string(),
+            format!("{:.3}", a1.gteps),
+            format!("{:.3}", a2.gteps),
+            rep.proxies_created.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Fig 12 — final algorithms, weak scaling (2^{spr} vertices/rank)"),
+        &["ranks", "scale", "RMAT-1 (LB-OPT-25+split)", "RMAT-2 (OPT-40)", "proxies"],
+        &rows,
+    );
+    println!("\nPaper expectation: near-linear scaling; RMAT-1 ≈ 2× RMAT-2.");
+}

@@ -1,0 +1,47 @@
+//! Graph 500-style multi-root evaluation of both kernels, reporting the
+//! harmonic-mean GTEPS and the BFS : SSSP ratio the paper's Fig. 1 frames
+//! its contribution with ("SSSP is only two to five times slower than BFS
+//! on the same machine configuration").
+
+use sssp_bench::graph500::{evaluate_bfs, evaluate_sssp};
+use sssp_bench::*;
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::SsspConfig;
+use sssp_dist::DistGraph;
+
+fn main() {
+    let scale = scale_per_rank() + 4;
+    let ranks = 16;
+    let nroots: usize = std::env::var("SSSP_BENCH_NROOTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8); // official spec: 64
+    let model = MachineModel::bgq_like();
+
+    let mut rows = Vec::new();
+    for family in [Family::Rmat1, Family::Rmat2] {
+        let csr = build_family(family, scale, 1);
+        let dg = DistGraph::build(&csr, ranks, 64);
+        let roots = pick_roots(&csr, nroots, 77);
+        let delta = if family == Family::Rmat1 { 25 } else { 40 };
+
+        let bfs = evaluate_bfs(&csr, &dg, &roots, &model, false);
+        let sssp = evaluate_sssp(&csr, &dg, &roots, &SsspConfig::lb_opt(delta), &model, false);
+        let bfs_gteps = bfs.harmonic_mean_teps() / 1e9;
+        let sssp_gteps = sssp.harmonic_mean_teps() / 1e9;
+        rows.push(vec![
+            family.name().into(),
+            format!("2^{scale}"),
+            nroots.to_string(),
+            format!("{bfs_gteps:.3}"),
+            format!("{sssp_gteps:.3}"),
+            format!("{:.1}x", bfs_gteps / sssp_gteps.max(1e-12)),
+        ]);
+    }
+    print_table(
+        &format!("Graph 500-style kernel comparison ({ranks} ranks, harmonic-mean GTEPS)"),
+        &["family", "scale", "roots", "BFS", "SSSP (LB-OPT)", "BFS/SSSP"],
+        &rows,
+    );
+    println!("\nPaper expectation (Fig 1): SSSP within 2–5x of same-machine BFS.");
+}

@@ -1,0 +1,336 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every `fig*`/`sec*` binary in `src/bin/` regenerates one table or figure
+//! of the paper (see DESIGN.md's experiment index); this library holds the
+//! common plumbing: graph family construction, weak-scaling sweeps, run
+//! aggregation over multiple roots, and plain-text table output shaped like
+//! the paper's figures.
+//!
+//! Scale-down convention: the paper fixes 2^23 vertices per node and scales
+//! nodes 32 → 32768 (graph scales 28 → 39). This reproduction defaults to
+//! 2^12 vertices per rank and ranks 2 → 64 (graph scales 13 → 18); the
+//! `SSSP_BENCH_SCALE_PER_RANK` / `SSSP_BENCH_MAX_RANKS` environment
+//! variables raise the scale for bigger machines.
+
+pub mod graph500;
+
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::SsspConfig;
+use sssp_core::engine::{run_sssp, SsspOutput};
+use sssp_dist::DistGraph;
+use sssp_graph::prng::SplitMix;
+use sssp_graph::rmat::{RmatGenerator, RmatParams};
+use sssp_graph::{Csr, CsrBuilder, VertexId};
+
+/// The paper's two synthetic families (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    Rmat1,
+    Rmat2,
+}
+
+impl Family {
+    pub fn params(self) -> RmatParams {
+        match self {
+            Family::Rmat1 => RmatParams::RMAT1,
+            Family::Rmat2 => RmatParams::RMAT2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Rmat1 => "RMAT-1",
+            Family::Rmat2 => "RMAT-2",
+        }
+    }
+}
+
+/// Graph 500 edge factor used throughout the paper.
+pub const EDGE_FACTOR: usize = 16;
+
+/// Weight range of the Graph 500 SSSP proposal.
+pub const W_MAX: u32 = 255;
+
+/// Build one synthetic graph of the given family and scale.
+pub fn build_family(family: Family, scale: u32, seed: u64) -> Csr {
+    let el = RmatGenerator::new(family.params(), scale, EDGE_FACTOR)
+        .seed(seed)
+        .generate_weighted(W_MAX);
+    CsrBuilder::new().build(&el)
+}
+
+/// log2(vertices per rank) for weak-scaling sweeps (paper: 23).
+pub fn scale_per_rank() -> u32 {
+    std::env::var("SSSP_BENCH_SCALE_PER_RANK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11)
+}
+
+/// Largest rank count of weak-scaling sweeps (paper: 32768).
+pub fn max_ranks() -> usize {
+    std::env::var("SSSP_BENCH_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The weak-scaling rank counts: powers of two up to [`max_ranks`].
+pub fn weak_scaling_ranks() -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut p = 2usize;
+    while p <= max_ranks() {
+        v.push(p);
+        p *= 2;
+    }
+    v
+}
+
+/// Pick `count` deterministic non-isolated roots.
+pub fn pick_roots(g: &Csr, count: usize, seed: u64) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut rng = SplitMix::new(seed ^ 0xB00F);
+    let mut roots = Vec::with_capacity(count);
+    let mut guard = 0;
+    while roots.len() < count && guard < 100 * count + 1000 {
+        guard += 1;
+        let v = rng.next_below(n as u64) as VertexId;
+        if g.degree(v) > 0 && !roots.contains(&v) {
+            roots.push(v);
+        }
+    }
+    assert!(!roots.is_empty(), "no non-isolated vertex found");
+    roots
+}
+
+/// Aggregate of several runs (different roots) of one configuration.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    pub runs: usize,
+    pub gteps: f64,
+    pub relaxations: f64,
+    pub relax_per_thread: f64,
+    pub buckets: f64,
+    pub phases: f64,
+    pub bucket_time_s: f64,
+    pub relax_time_s: f64,
+    pub last: SsspOutput,
+}
+
+/// Run `cfg` from each root and average the headline metrics.
+pub fn run_aggregate(
+    dg: &DistGraph,
+    roots: &[VertexId],
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> Aggregate {
+    assert!(!roots.is_empty());
+    let mut gteps = 0.0;
+    let mut relax = 0.0;
+    let mut rpt = 0.0;
+    let mut buckets = 0.0;
+    let mut phases = 0.0;
+    let mut bt = 0.0;
+    let mut rt = 0.0;
+    let mut last = None;
+    for &root in roots {
+        let out = run_sssp(dg, root, cfg, model);
+        gteps += out.stats.gteps(dg.m_input_undirected);
+        relax += out.stats.relaxations_total() as f64;
+        rpt += out.stats.relaxations_per_thread();
+        buckets += out.stats.buckets() as f64;
+        phases += out.stats.phases as f64;
+        bt += out.stats.ledger.bucket_s;
+        rt += out.stats.ledger.relax_s;
+        last = Some(out);
+    }
+    let k = roots.len() as f64;
+    Aggregate {
+        runs: roots.len(),
+        gteps: gteps / k,
+        relaxations: relax / k,
+        relax_per_thread: rpt / k,
+        buckets: buckets / k,
+        phases: phases / k,
+        bucket_time_s: bt / k,
+        relax_time_s: rt / k,
+        last: last.unwrap(),
+    }
+}
+
+/// The full per-family analysis of Figs. 10 and 11: (a) GTEPS of
+/// Del/Prune/OPT under weak scaling, (b) time breakdown, (c) relaxations per
+/// thread, (d) bucket counts, (e) OPT for several Δ without load balancing,
+/// (f) LB-OPT for the same Δ values.
+pub fn family_analysis(family: Family, delta: u32, threads: usize) {
+    let spr = scale_per_rank();
+    let model = MachineModel::bgq_like();
+    let ranks = weak_scaling_ranks();
+
+    // (a) Del vs Prune vs OPT, weak scaling.
+    let algos: Vec<(String, SsspConfig)> = vec![
+        (format!("Del-{delta}"), SsspConfig::del(delta)),
+        (format!("Prune-{delta}"), SsspConfig::prune(delta)),
+        (format!("OPT-{delta}"), SsspConfig::opt(delta)),
+    ];
+    let mut rows_a = Vec::new();
+    let mut last_graph = None;
+    for &p in &ranks {
+        let scale = spr + (p as f64).log2() as u32;
+        let g = build_family(family, scale, 1);
+        let dg = DistGraph::build(&g, p, threads);
+        let roots = pick_roots(&g, 2, 23);
+        let mut row = vec![p.to_string(), scale.to_string()];
+        for (_, cfg) in &algos {
+            let agg = run_aggregate(&dg, &roots, cfg, &model);
+            row.push(format!("{:.3}", agg.gteps));
+        }
+        rows_a.push(row);
+        last_graph = Some((g, p, scale));
+    }
+    let mut headers: Vec<String> = vec!["ranks".into(), "scale".into()];
+    headers.extend(algos.iter().map(|(n, _)| n.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Fig a — {} weak scaling GTEPS", family.name()),
+        &headers_ref,
+        &rows_a,
+    );
+
+    // (b)–(d) at the largest configuration.
+    let (g, p, scale) = last_graph.expect("at least one weak-scaling point");
+    let dg = DistGraph::build(&g, p, threads);
+    let roots = pick_roots(&g, 2, 23);
+    let mut rows_bcd = Vec::new();
+    for (name, cfg) in &algos {
+        let agg = run_aggregate(&dg, &roots, cfg, &model);
+        rows_bcd.push(vec![
+            name.clone(),
+            format!("{:.2e}", agg.bucket_time_s),
+            format!("{:.2e}", agg.relax_time_s),
+            human(agg.relax_per_thread),
+            format!("{:.1}", agg.buckets),
+        ]);
+    }
+    print_table(
+        &format!("Fig b–d — {} scale {scale}, {p} ranks", family.name()),
+        &["algorithm", "BktTime (s)", "OthrTime (s)", "relax/thread", "buckets"],
+        &rows_bcd,
+    );
+
+    // (e)/(f): OPT vs LB-OPT for three Δ values, weak scaling.
+    for (label, lb) in [("e — OPT (no LB)", false), ("f — LB-OPT", true)] {
+        let deltas = [delta / 2, delta, delta * 2];
+        let mut rows = Vec::new();
+        for &p in &ranks {
+            let scale = spr + (p as f64).log2() as u32;
+            let g = build_family(family, scale, 1);
+            let dg = DistGraph::build(&g, p, threads);
+            let roots = pick_roots(&g, 2, 23);
+            let mut row = vec![p.to_string(), scale.to_string()];
+            for &d in &deltas {
+                let cfg = if lb { SsspConfig::lb_opt(d) } else { SsspConfig::opt(d) };
+                let agg = run_aggregate(&dg, &roots, &cfg, &model);
+                row.push(format!("{:.3}", agg.gteps));
+            }
+            rows.push(row);
+        }
+        let hdrs: Vec<String> = ["ranks".to_string(), "scale".to_string()]
+            .into_iter()
+            .chain(deltas.iter().map(|d| format!("Δ={d}")))
+            .collect();
+        let hdrs_ref: Vec<&str> = hdrs.iter().map(String::as_str).collect();
+        print_table(
+            &format!("Fig {label} — {} weak scaling GTEPS", family.name()),
+            &hdrs_ref,
+            &rows,
+        );
+    }
+}
+
+/// Human-readable large number (paper style: "2.4 M", "31126").
+pub fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} B", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e4 {
+        format!("{:.1} K", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// Print an aligned plain-text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names() {
+        assert_eq!(Family::Rmat1.name(), "RMAT-1");
+        assert_eq!(Family::Rmat2.name(), "RMAT-2");
+    }
+
+    #[test]
+    fn build_family_is_deterministic() {
+        let a = build_family(Family::Rmat2, 8, 1);
+        let b = build_family(Family::Rmat2, 8, 1);
+        assert_eq!(a.num_directed_edges(), b.num_directed_edges());
+        assert_eq!(a.weight_sum(), b.weight_sum());
+    }
+
+    #[test]
+    fn roots_are_valid() {
+        let g = build_family(Family::Rmat1, 8, 2);
+        let roots = pick_roots(&g, 4, 9);
+        assert_eq!(roots.len(), 4);
+        for r in roots {
+            assert!(g.degree(r) > 0);
+        }
+    }
+
+    #[test]
+    fn aggregate_runs_all_roots() {
+        let g = build_family(Family::Rmat2, 8, 3);
+        let dg = DistGraph::build(&g, 4, 4);
+        let roots = pick_roots(&g, 2, 5);
+        let agg = run_aggregate(&dg, &roots, &SsspConfig::opt(25), &MachineModel::bgq_like());
+        assert_eq!(agg.runs, 2);
+        assert!(agg.gteps > 0.0);
+        assert!(agg.relaxations > 0.0);
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human(950.0), "950");
+        assert_eq!(human(2_400_000.0), "2.40 M");
+        assert_eq!(human(3.1e9), "3.10 B");
+    }
+}

@@ -1,0 +1,114 @@
+//! Miniature versions of the figure harnesses, pinned as tests: each
+//! asserts the *shape* its figure is about, at a scale small enough for CI.
+
+use sssp_bench::graph500::{evaluate_bfs, evaluate_sssp, spec_validate};
+use sssp_bench::*;
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::{DirectionPolicy, LongPhaseMode, SsspConfig};
+use sssp_core::engine::run_sssp;
+use sssp_dist::DistGraph;
+use sssp_graph::gen::PullExample;
+use sssp_graph::CsrBuilder;
+
+fn model() -> MachineModel {
+    MachineModel::bgq_like()
+}
+
+/// Fig 6: the worked example's exact counts (40 all-push; 30 → 10 when the
+/// clique epoch pulls).
+#[test]
+fn fig06_counts_are_exact() {
+    let g = CsrBuilder::new().build(&PullExample::default().build());
+    let dg = DistGraph::build(&g, 4, 1);
+    use LongPhaseMode::*;
+    let run = |seq: Vec<LongPhaseMode>| {
+        let cfg = SsspConfig::del(5).with_ios(false).with_direction(DirectionPolicy::Forced(seq));
+        run_sssp(&dg, 0, &cfg, &model())
+    };
+    let push = run(vec![Push, Push, Push]);
+    let pull = run(vec![Push, Pull, Push]);
+    assert_eq!(push.stats.relaxations_total(), 40);
+    assert_eq!(pull.stats.relaxations_total(), 20);
+    assert_eq!(push.stats.phase_records[1].relaxations, 30);
+    assert_eq!(pull.stats.phase_records[1].relaxations, 10);
+    assert_eq!(push.distances, pull.distances);
+}
+
+/// Fig 7: at least one bucket prefers push and at least one prefers pull on
+/// a skewed graph, and the heuristic agrees with the cheaper side where the
+/// margin is clear.
+#[test]
+fn fig07_crossover_exists() {
+    let csr = build_family(Family::Rmat1, 11, 1);
+    let dg = DistGraph::build(&csr, 8, 4);
+    let root = pick_roots(&csr, 1, 3)[0];
+    let out = run_sssp(&dg, root, &SsspConfig::prune(25), &model());
+    let modes: Vec<LongPhaseMode> = out.stats.bucket_records.iter().map(|r| r.mode).collect();
+    assert!(modes.contains(&LongPhaseMode::Push), "no push bucket");
+    assert!(modes.contains(&LongPhaseMode::Pull), "no pull bucket");
+}
+
+/// §IV-G in miniature: the heuristic matches the best of all 2^k forced
+/// sequences.
+#[test]
+fn heuristic_is_optimal_at_small_scale() {
+    let csr = build_family(Family::Rmat2, 10, 1);
+    let dg = DistGraph::build(&csr, 4, 4);
+    let root = pick_roots(&csr, 1, 7)[0];
+    let base = SsspConfig::opt(25);
+    let heur = run_sssp(&dg, root, &base, &model());
+    let k = heur.stats.bucket_records.len();
+    assert!(k <= 10, "bucket count {k} too large for exhaustive test");
+    let mut best = f64::INFINITY;
+    for mask in 0..(1usize << k) {
+        let seq: Vec<LongPhaseMode> = (0..k)
+            .map(|i| if mask >> i & 1 == 1 { LongPhaseMode::Pull } else { LongPhaseMode::Push })
+            .collect();
+        let out =
+            run_sssp(&dg, root, &base.clone().with_direction(DirectionPolicy::Forced(seq)), &model());
+        assert_eq!(out.distances, heur.distances);
+        best = best.min(out.stats.ledger.total_s());
+    }
+    let gap = (heur.stats.ledger.total_s() - best) / best;
+    assert!(gap <= 0.01, "heuristic {:.3e} vs best {best:.3e}", heur.stats.ledger.total_s());
+}
+
+/// Graph 500 protocol: SSSP within a small factor of BFS, both spec-valid.
+#[test]
+fn graph500_protocol_shape() {
+    let csr = build_family(Family::Rmat1, 10, 1);
+    let dg = DistGraph::build(&csr, 4, 4);
+    let roots = pick_roots(&csr, 3, 9);
+    let bfs = evaluate_bfs(&csr, &dg, &roots, &model(), true);
+    let sssp = evaluate_sssp(&csr, &dg, &roots, &SsspConfig::opt(25), &model(), true);
+    let ratio = bfs.harmonic_mean_teps() / sssp.harmonic_mean_teps();
+    assert!((1.0..8.0).contains(&ratio), "BFS/SSSP ratio {ratio:.1} out of band");
+
+    let out = run_sssp(&dg, roots[0], &SsspConfig::opt(25), &model());
+    spec_validate(&csr, roots[0], &out.distances).expect("spec validation");
+}
+
+/// The weak-scaling direction of Figs 9–12: more ranks at fixed per-rank
+/// work must increase simulated GTEPS for the optimized algorithm.
+#[test]
+fn weak_scaling_direction() {
+    let gteps = |p: usize| {
+        let scale = 9 + (p as f64).log2() as u32;
+        let csr = build_family(Family::Rmat1, scale, 1);
+        let dg = DistGraph::build(&csr, p, 4);
+        let root = pick_roots(&csr, 1, 3)[0];
+        let out = run_sssp(&dg, root, &SsspConfig::opt(25), &model());
+        out.stats.gteps(dg.m_input_undirected)
+    };
+    let g2 = gteps(2);
+    let g16 = gteps(16);
+    assert!(g16 > 2.0 * g2, "no weak scaling: {g2:.3} → {g16:.3}");
+}
+
+/// Fig 8's driver at test scale: the RMAT-1/RMAT-2 max-degree gap.
+#[test]
+fn degree_gap_between_families() {
+    let d1 = build_family(Family::Rmat1, 11, 1).max_degree();
+    let d2 = build_family(Family::Rmat2, 11, 1).max_degree();
+    assert!(d1 > 4 * d2, "RMAT-1 max degree {d1} not ≫ RMAT-2 {d2}");
+}

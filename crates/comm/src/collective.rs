@@ -1,0 +1,94 @@
+//! Collective operations over per-rank contributions.
+//!
+//! In the simulated runtime a collective is just a reduction over the
+//! per-rank values computed in the preceding superstep, but each call is
+//! recorded so the cost model can charge the `α·⌈log₂P⌉` latency a tree
+//! allreduce would incur on the real machine. The Δ-stepping engine issues
+//! collectives exactly where the paper's distributed implementation does:
+//! activity checks at every phase, next-bucket selection at every epoch,
+//! settled-count aggregation for the hybrid switch, and volume estimates for
+//! the push/pull decision.
+
+use crate::stats::CommStats;
+
+/// Sum-allreduce over per-rank `u64` contributions.
+pub fn allreduce_sum(vals: &[u64], stats: &mut CommStats) -> u64 {
+    stats.collectives += 1;
+    vals.iter().sum()
+}
+
+/// Min-allreduce. Empty input yields `u64::MAX` (the identity).
+pub fn allreduce_min(vals: &[u64], stats: &mut CommStats) -> u64 {
+    stats.collectives += 1;
+    vals.iter().copied().min().unwrap_or(u64::MAX)
+}
+
+/// Max-allreduce. Empty input yields 0 (the identity).
+pub fn allreduce_max(vals: &[u64], stats: &mut CommStats) -> u64 {
+    stats.collectives += 1;
+    vals.iter().copied().max().unwrap_or(0)
+}
+
+/// Logical-or allreduce (the per-phase "any rank still active?" check).
+pub fn allreduce_any(vals: &[bool], stats: &mut CommStats) -> bool {
+    stats.collectives += 1;
+    vals.iter().any(|&b| b)
+}
+
+/// Sum-allreduce over per-rank `f64` contributions (fixed summation order,
+/// so results are bit-reproducible).
+pub fn allreduce_sum_f64(vals: &[f64], stats: &mut CommStats) -> f64 {
+    stats.collectives += 1;
+    vals.iter().sum()
+}
+
+/// Max-allreduce over per-rank `f64` contributions.
+pub fn allreduce_max_f64(vals: &[f64], stats: &mut CommStats) -> f64 {
+    stats.collectives += 1;
+    vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Allgather: every rank receives the full vector of contributions.
+/// Returns it once (ranks share the simulator's memory).
+pub fn allgather<T: Clone>(vals: &[T], stats: &mut CommStats) -> Vec<T> {
+    stats.collectives += 1;
+    vals.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions_match_reference() {
+        let mut st = CommStats::new();
+        let vals = [5u64, 1, 9, 3];
+        assert_eq!(allreduce_sum(&vals, &mut st), 18);
+        assert_eq!(allreduce_min(&vals, &mut st), 1);
+        assert_eq!(allreduce_max(&vals, &mut st), 9);
+        assert_eq!(st.collectives, 3);
+    }
+
+    #[test]
+    fn identities_on_empty_input() {
+        let mut st = CommStats::new();
+        assert_eq!(allreduce_min(&[], &mut st), u64::MAX);
+        assert_eq!(allreduce_max(&[], &mut st), 0);
+        assert!(!allreduce_any(&[], &mut st));
+    }
+
+    #[test]
+    fn any_detects_single_true() {
+        let mut st = CommStats::new();
+        assert!(allreduce_any(&[false, false, true, false], &mut st));
+        assert!(!allreduce_any(&[false, false], &mut st));
+    }
+
+    #[test]
+    fn allgather_replicates() {
+        let mut st = CommStats::new();
+        let v = allgather(&[1, 2, 3], &mut st);
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(st.collectives, 1);
+    }
+}

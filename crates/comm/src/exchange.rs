@@ -1,0 +1,146 @@
+//! Bulk-synchronous message exchange between ranks.
+//!
+//! A superstep produces, for every source rank, one outbox per destination
+//! rank (`outboxes[src][dst]`). [`exchange`] transposes these into one inbox
+//! per destination, concatenating in source-rank order so delivery is
+//! deterministic, and records the traffic in a [`StepStats`].
+
+use crate::stats::StepStats;
+use crate::Rank;
+
+/// Per-source outboxes: `out[dst]` holds the messages this rank sends to
+/// `dst`. Construct with [`Outbox::new`] and fill during the compute step.
+#[derive(Debug, Clone)]
+pub struct Outbox<M> {
+    pub out: Vec<Vec<M>>,
+}
+
+impl<M> Outbox<M> {
+    pub fn new(p: usize) -> Self {
+        Outbox { out: (0..p).map(|_| Vec::new()).collect() }
+    }
+
+    #[inline]
+    pub fn send(&mut self, dst: Rank, msg: M) {
+        self.out[dst].push(msg);
+    }
+
+    pub fn total_msgs(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+}
+
+/// Deliver all outboxes. Returns one inbox per rank (messages from source 0
+/// first, then source 1, …) plus the step's traffic statistics.
+///
+/// `msg_bytes` is the on-wire size charged per message; pass
+/// `std::mem::size_of::<M>()` unless modelling a packed format.
+pub fn exchange<M>(outboxes: Vec<Outbox<M>>, msg_bytes: usize) -> (Vec<Vec<M>>, StepStats) {
+    exchange_with(outboxes, msg_bytes, None)
+}
+
+/// Like [`exchange`], but with packet-level wire accounting: each
+/// per-(src, dst) stream is framed into packets per the given
+/// [`PacketConfig`], and the byte statistics include header overhead.
+pub fn exchange_with<M>(
+    outboxes: Vec<Outbox<M>>,
+    msg_bytes: usize,
+    packet: Option<&crate::packet::PacketConfig>,
+) -> (Vec<Vec<M>>, StepStats) {
+    let p = outboxes.len();
+    let mut stats = StepStats::default();
+    let wire = |count: u64| -> u64 {
+        match packet {
+            Some(cfg) => cfg.wire_bytes(count, msg_bytes),
+            None => count * msg_bytes as u64,
+        }
+    };
+
+    // Per-rank send accounting (before the moves).
+    let mut recv_bytes = vec![0u64; p];
+    for (src, ob) in outboxes.iter().enumerate() {
+        assert_eq!(ob.out.len(), p, "outbox of rank {src} has wrong fan-out");
+        let mut sent_bytes = 0u64;
+        for (dst, msgs) in ob.out.iter().enumerate() {
+            let k = msgs.len() as u64;
+            if dst == src {
+                stats.local_msgs += k;
+            } else {
+                stats.remote_msgs += k;
+                let b = wire(k);
+                sent_bytes += b;
+                recv_bytes[dst] += b;
+                stats.remote_bytes += b;
+            }
+        }
+        stats.max_rank_send_bytes = stats.max_rank_send_bytes.max(sent_bytes);
+    }
+    stats.max_rank_recv_bytes = recv_bytes.iter().copied().max().unwrap_or(0);
+
+    // Transpose: inbox[dst] = concat over src of outboxes[src].out[dst].
+    let mut inboxes: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
+    for ob in outboxes {
+        for (dst, mut msgs) in ob.out.into_iter().enumerate() {
+            inboxes[dst].append(&mut msgs);
+        }
+    }
+    (inboxes, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_is_transposed_and_ordered() {
+        let p = 3;
+        let mut obs: Vec<Outbox<(usize, usize)>> = (0..p).map(|_| Outbox::new(p)).collect();
+        for (src, ob) in obs.iter_mut().enumerate() {
+            for dst in 0..p {
+                ob.send(dst, (src, dst));
+            }
+        }
+        let (inboxes, _) = exchange(obs, 16);
+        for (dst, inbox) in inboxes.iter().enumerate() {
+            let expect: Vec<_> = (0..p).map(|src| (src, dst)).collect();
+            assert_eq!(inbox, &expect);
+        }
+    }
+
+    #[test]
+    fn stats_split_local_and_remote() {
+        let p = 2;
+        let mut obs: Vec<Outbox<u64>> = (0..p).map(|_| Outbox::new(p)).collect();
+        obs[0].send(0, 1); // local
+        obs[0].send(1, 2); // remote
+        obs[1].send(0, 3); // remote
+        let (_, stats) = exchange(obs, 8);
+        assert_eq!(stats.local_msgs, 1);
+        assert_eq!(stats.remote_msgs, 2);
+        assert_eq!(stats.remote_bytes, 16);
+        assert_eq!(stats.max_rank_send_bytes, 8);
+        assert_eq!(stats.max_rank_recv_bytes, 8);
+    }
+
+    #[test]
+    fn max_rank_send_detects_imbalance() {
+        let p = 3;
+        let mut obs: Vec<Outbox<u8>> = (0..p).map(|_| Outbox::new(p)).collect();
+        for _ in 0..10 {
+            obs[0].send(1, 0);
+        }
+        obs[2].send(1, 0);
+        let (_, stats) = exchange(obs, 4);
+        assert_eq!(stats.remote_msgs, 11);
+        assert_eq!(stats.max_rank_send_bytes, 40);
+        assert_eq!(stats.max_rank_recv_bytes, 44);
+    }
+
+    #[test]
+    fn empty_exchange() {
+        let obs: Vec<Outbox<u32>> = (0..4).map(|_| Outbox::new(4)).collect();
+        let (inboxes, stats) = exchange(obs, 4);
+        assert!(inboxes.iter().all(Vec::is_empty));
+        assert_eq!(stats, StepStats::default());
+    }
+}

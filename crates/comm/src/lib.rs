@@ -1,0 +1,66 @@
+//! Simulated distributed-memory runtime for the `sssp-mps` reproduction.
+//!
+//! The paper ran on Blue Gene/Q: thousands of nodes exchanging active
+//! messages through the SPI layer, synchronizing each Δ-stepping phase with
+//! collectives. This crate reproduces that execution model in-process:
+//!
+//! * **Ranks** — `P` logical processors, each owning private state. Rank
+//!   closures run in parallel (rayon) but only touch rank-local data, so
+//!   every run is deterministic.
+//! * **Exchange** ([`exchange`]) — bulk-synchronous message delivery between
+//!   supersteps, with full accounting of message counts, bytes, and
+//!   per-rank maxima (the load-imbalance signal the paper's heuristics use).
+//! * **Collectives** ([`collective`]) — allreduce/allgather equivalents with
+//!   the `α·log₂P` latency charge of a tree implementation.
+//! * **Cost model** ([`cost`]) — an α–β–γ machine model that converts the
+//!   recorded counts into simulated time and TEPS, standing in for the
+//!   Blue Gene/Q wall clock. Defaults are calibrated so that a scale-35 run
+//!   on 4096 simulated nodes lands near the paper's 650 GTEPS.
+//!
+//! Message coalescing into network packets (the SPI injection-FIFO framing)
+//! is modeled optionally by [`packet`]. What this substrate deliberately
+//! does **not** model: network topology (the 5D torus) and overlap of
+//! computation with communication. Those affect absolute constants, not the
+//! relative comparisons (push vs pull, hybrid vs not, balanced vs not) the
+//! paper's figures are built from.
+
+pub mod collective;
+pub mod cost;
+pub mod exchange;
+pub mod packet;
+pub mod stats;
+pub mod threaded;
+
+/// Index of a logical processor (the paper's "node"/"rank").
+pub type Rank = usize;
+
+/// Run one superstep: execute `f(rank)` for every rank in parallel and
+/// collect the per-rank results in rank order.
+///
+/// The closure must only touch rank-private state (enforced by the `Sync`
+/// bound: shared state must be immutable or internally synchronized).
+pub fn run_ranks<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Rank) -> R + Sync + Send,
+{
+    use rayon::prelude::*;
+    (0..p).into_par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ranks_preserves_order() {
+        let out = run_ranks(8, |r| r * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_ranks_zero_ranks() {
+        let out: Vec<usize> = run_ranks(0, |r| r);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Packet-level wire accounting.
+//!
+//! Blue Gene/Q's network moves data in torus packets (32-byte header, up to
+//! 512 bytes of payload); the SPI layer the paper uses coalesces small
+//! active messages into these packets at the injection FIFOs. This module
+//! models that framing: given a per-destination message stream, it reports
+//! the wire bytes including per-packet headers — which is what makes
+//! tiny-message protocols (like un-coalesced relaxations) more expensive
+//! than their payload suggests.
+
+/// Packet framing parameters.
+///
+/// # Examples
+///
+/// ```
+/// use sssp_comm::packet::PacketConfig;
+///
+/// let bgq = PacketConfig::bgq();
+/// // 32 16-byte relaxations coalesce into one 512-byte packet.
+/// assert_eq!(bgq.wire_bytes(32, 16), 512 + 32);
+/// // Un-coalesced, each message pays its own header.
+/// assert_eq!(PacketConfig::per_message(16).wire_bytes(32, 16), 32 * (16 + 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketConfig {
+    /// Maximum payload bytes per packet.
+    pub payload_bytes: usize,
+    /// Header (and trailer) overhead per packet.
+    pub header_bytes: usize,
+}
+
+impl PacketConfig {
+    /// Blue Gene/Q torus packets: 512-byte payload chunks, 32-byte header.
+    pub fn bgq() -> Self {
+        PacketConfig { payload_bytes: 512, header_bytes: 32 }
+    }
+
+    /// Degenerate configuration: one message per packet (no coalescing).
+    pub fn per_message(msg_bytes: usize) -> Self {
+        PacketConfig { payload_bytes: msg_bytes.max(1), header_bytes: 32 }
+    }
+
+    /// Wire bytes for `count` messages of `msg_bytes` each sent to one
+    /// destination, assuming perfect coalescing into maximal packets.
+    pub fn wire_bytes(&self, count: u64, msg_bytes: usize) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let payload = count * msg_bytes as u64;
+        let packets = payload.div_ceil(self.payload_bytes as u64);
+        payload + packets * self.header_bytes as u64
+    }
+
+    /// Fractional overhead of the framing for a given message size at
+    /// full coalescing (`header / payload` amortized).
+    pub fn overhead_factor(&self, msg_bytes: usize) -> f64 {
+        let full = self.wire_bytes(10_000, msg_bytes) as f64;
+        full / (10_000.0 * msg_bytes as f64) - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_messages_zero_bytes() {
+        assert_eq!(PacketConfig::bgq().wire_bytes(0, 16), 0);
+    }
+
+    #[test]
+    fn single_small_message_pays_full_header() {
+        let c = PacketConfig::bgq();
+        assert_eq!(c.wire_bytes(1, 16), 16 + 32);
+    }
+
+    #[test]
+    fn coalescing_amortizes_headers() {
+        let c = PacketConfig::bgq();
+        // 32 messages × 16B = 512B = exactly one packet.
+        assert_eq!(c.wire_bytes(32, 16), 512 + 32);
+        // 33 messages spill into a second packet.
+        assert_eq!(c.wire_bytes(33, 16), 528 + 64);
+    }
+
+    #[test]
+    fn per_message_framing_is_much_worse() {
+        let coalesced = PacketConfig::bgq();
+        let naive = PacketConfig::per_message(16);
+        let k = 1000;
+        assert!(naive.wire_bytes(k, 16) > 2 * coalesced.wire_bytes(k, 16));
+    }
+
+    #[test]
+    fn overhead_factor_shrinks_with_coalescing() {
+        let c = PacketConfig::bgq();
+        let amortized = c.overhead_factor(16);
+        assert!(amortized < 0.08, "amortized overhead {amortized}");
+        let naive = PacketConfig::per_message(16).overhead_factor(16);
+        assert!(naive > 1.9, "per-message overhead {naive}");
+    }
+
+    #[test]
+    fn large_messages_span_packets() {
+        let c = PacketConfig::bgq();
+        // One 2000-byte message needs 4 packets.
+        assert_eq!(c.wire_bytes(1, 2000), 2000 + 4 * 32);
+    }
+}

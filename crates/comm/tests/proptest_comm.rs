@@ -1,0 +1,98 @@
+//! Property-based tests of the communication substrate.
+
+use proptest::prelude::*;
+
+use sssp_comm::collective::{allreduce_any, allreduce_max, allreduce_min, allreduce_sum};
+use sssp_comm::exchange::{exchange, exchange_with, Outbox};
+use sssp_comm::packet::PacketConfig;
+use sssp_comm::stats::CommStats;
+
+/// Arbitrary traffic pattern: a list of (src, dst, payload) sends over p ranks.
+fn arb_traffic() -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
+    (1usize..10).prop_flat_map(|p| {
+        let sends = proptest::collection::vec((0..p, 0..p, any::<u32>()), 0..200);
+        (Just(p), sends)
+    })
+}
+
+proptest! {
+    #[test]
+    fn exchange_conserves_every_message((p, sends) in arb_traffic()) {
+        let mut obs: Vec<Outbox<(usize, usize, u32)>> = (0..p).map(|_| Outbox::new(p)).collect();
+        for &(s, d, x) in &sends {
+            obs[s].send(d, (s, d, x));
+        }
+        let (inboxes, stats) = exchange(obs, 12);
+
+        // Every message arrives exactly once, at its destination.
+        let mut received: Vec<(usize, usize, u32)> = Vec::new();
+        for (dst, inbox) in inboxes.iter().enumerate() {
+            for &(s, d, x) in inbox {
+                prop_assert_eq!(d, dst, "message delivered to wrong rank");
+                received.push((s, d, x));
+            }
+        }
+        let mut sent_sorted = sends.clone();
+        sent_sorted.sort_unstable();
+        received.sort_unstable();
+        prop_assert_eq!(received, sent_sorted);
+
+        // Stats split local/remote correctly.
+        let local = sends.iter().filter(|&&(s, d, _)| s == d).count() as u64;
+        prop_assert_eq!(stats.local_msgs, local);
+        prop_assert_eq!(stats.remote_msgs, sends.len() as u64 - local);
+        prop_assert_eq!(stats.remote_bytes, stats.remote_msgs * 12);
+    }
+
+    #[test]
+    fn inbox_order_is_source_major((p, sends) in arb_traffic()) {
+        let mut obs: Vec<Outbox<usize>> = (0..p).map(|_| Outbox::new(p)).collect();
+        for &(s, d, _) in &sends {
+            obs[s].send(d, s);
+        }
+        let (inboxes, _) = exchange(obs, 8);
+        for inbox in &inboxes {
+            // Sources appear in non-decreasing order within each inbox.
+            prop_assert!(inbox.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn packet_framing_only_adds_bytes((p, sends) in arb_traffic()) {
+        let build = || {
+            let mut obs: Vec<Outbox<u32>> = (0..p).map(|_| Outbox::new(p)).collect();
+            for &(s, d, x) in &sends {
+                obs[s].send(d, x);
+            }
+            obs
+        };
+        let (_, raw) = exchange(build(), 16);
+        let (inboxes, framed) = exchange_with(build(), 16, Some(&PacketConfig::bgq()));
+        prop_assert_eq!(framed.remote_msgs, raw.remote_msgs);
+        prop_assert!(framed.remote_bytes >= raw.remote_bytes);
+        prop_assert!(framed.max_rank_send_bytes >= raw.max_rank_send_bytes);
+        // Delivery identical regardless of framing.
+        let total: usize = inboxes.iter().map(Vec::len).sum();
+        prop_assert_eq!(total as u64, raw.remote_msgs + raw.local_msgs);
+    }
+
+    #[test]
+    fn wire_bytes_monotone_in_count(count in 0u64..10_000, msg in 1usize..64) {
+        let cfg = PacketConfig::bgq();
+        let a = cfg.wire_bytes(count, msg);
+        let b = cfg.wire_bytes(count + 1, msg);
+        prop_assert!(b >= a);
+        prop_assert!(a >= count * msg as u64);
+    }
+
+    #[test]
+    fn collectives_match_reference(vals in proptest::collection::vec(0u64..u32::MAX as u64, 0..50)) {
+        let mut st = CommStats::new();
+        prop_assert_eq!(allreduce_sum(&vals, &mut st), vals.iter().sum::<u64>());
+        prop_assert_eq!(allreduce_min(&vals, &mut st), vals.iter().copied().min().unwrap_or(u64::MAX));
+        prop_assert_eq!(allreduce_max(&vals, &mut st), vals.iter().copied().max().unwrap_or(0));
+        let flags: Vec<bool> = vals.iter().map(|&v| v % 2 == 0).collect();
+        prop_assert_eq!(allreduce_any(&flags, &mut st), flags.contains(&true));
+        prop_assert_eq!(st.collectives, 4);
+    }
+}

@@ -1,0 +1,257 @@
+//! Algorithm configuration and the paper's named presets.
+
+/// The Δ parameter. `Finite(1)` yields Dijkstra's algorithm (Dial's variant),
+/// `Infinite` yields Bellman-Ford, anything between is Δ-stepping (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaParam {
+    Finite(u32),
+    Infinite,
+}
+
+impl DeltaParam {
+    /// Bucket index of a finite tentative distance.
+    #[inline]
+    pub fn bucket_of(&self, d: u64) -> u64 {
+        match *self {
+            DeltaParam::Finite(delta) => d / delta as u64,
+            DeltaParam::Infinite => 0,
+        }
+    }
+
+    /// Largest distance belonging to bucket `k` (inclusive).
+    #[inline]
+    pub fn bucket_end(&self, k: u64) -> u64 {
+        match *self {
+            DeltaParam::Finite(delta) => (k + 1) * delta as u64 - 1,
+            DeltaParam::Infinite => u64::MAX - 1,
+        }
+    }
+
+    /// The short/long weight boundary: an edge is short iff `w < Δ`.
+    #[inline]
+    pub fn short_bound(&self) -> u64 {
+        match *self {
+            DeltaParam::Finite(delta) => delta as u64,
+            DeltaParam::Infinite => u64::MAX,
+        }
+    }
+}
+
+/// Which mechanism a long-edge phase uses (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LongPhaseMode {
+    Push,
+    Pull,
+}
+
+/// Per-bucket choice of the long-edge mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirectionPolicy {
+    /// Always push — the natural model; equivalent to pruning disabled.
+    AlwaysPush,
+    /// Always pull (used by the §IV-G exhaustive study).
+    AlwaysPull,
+    /// The paper's decision heuristic (§III-C): per bucket, estimate the
+    /// communication volume of both models and take the cheaper.
+    Heuristic,
+    /// Forced decisions per processed bucket, in processing order; buckets
+    /// beyond the vector fall back to the heuristic. Used by the §IV-G
+    /// validation harness to enumerate all 2^k decision sequences.
+    Forced(Vec<LongPhaseMode>),
+}
+
+/// How the pull-volume estimate is computed. §III-C discusses all three:
+/// binary search on weight-sorted adjacency, histogram range counts, and a
+/// closed-form expectation for uniformly distributed weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullEstimator {
+    /// Exact count by binary search on the weight-sorted rows.
+    Exact,
+    /// Approximate count from per-vertex power-of-two weight histograms.
+    Histogram,
+    /// The paper's closed-form expectation for uniform weights.
+    Expectation,
+}
+
+/// Intra-node thread-level load balancing (§III-E, first tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraBalance {
+    Off,
+    /// Split edge processing of vertices with degree > π across threads.
+    Threshold(u32),
+    /// Pick π automatically: 4× the average degree, at least 64.
+    Auto,
+}
+
+/// Full algorithm configuration. Compose via the presets or the builder
+/// methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsspConfig {
+    pub delta: DeltaParam,
+    /// Inner/outer short-edge refinement (IOS heuristic, §III-A).
+    pub ios: bool,
+    pub direction: DirectionPolicy,
+    pub pull_estimator: PullEstimator,
+    /// Imbalance-aware refinement of the decision heuristic (§III-C): also
+    /// compare bottleneck-rank volumes, not just totals.
+    pub imbalance_aware: bool,
+    /// Hybridization threshold τ (§III-D): switch to Bellman-Ford once this
+    /// fraction of vertices is settled. `None` disables hybridization.
+    pub hybrid_tau: Option<f64>,
+    pub intra_balance: IntraBalance,
+}
+
+impl SsspConfig {
+    /// Baseline Δ-stepping with short/long edge classification — the
+    /// paper's `Del-Δ`.
+    pub fn del(delta: u32) -> Self {
+        assert!(delta >= 1);
+        SsspConfig {
+            delta: DeltaParam::Finite(delta),
+            ios: false,
+            direction: DirectionPolicy::AlwaysPush,
+            pull_estimator: PullEstimator::Exact,
+            imbalance_aware: true,
+            hybrid_tau: None,
+            intra_balance: IntraBalance::Off,
+        }
+    }
+
+    /// Dijkstra's algorithm: Δ-stepping with Δ = 1 (Dial's variant).
+    pub fn dijkstra() -> Self {
+        Self::del(1)
+    }
+
+    /// Bellman-Ford: Δ-stepping with Δ = ∞.
+    pub fn bellman_ford() -> Self {
+        let mut cfg = Self::del(1);
+        cfg.delta = DeltaParam::Infinite;
+        cfg
+    }
+
+    /// `Del-Δ` + IOS + push/pull pruning with the decision heuristic — the
+    /// paper's `Prune-Δ`.
+    pub fn prune(delta: u32) -> Self {
+        let mut cfg = Self::del(delta);
+        cfg.ios = true;
+        cfg.direction = DirectionPolicy::Heuristic;
+        cfg
+    }
+
+    /// `Prune-Δ` + hybridization (τ = 0.4, the paper's recommended value) —
+    /// the paper's `OPT-Δ`.
+    pub fn opt(delta: u32) -> Self {
+        let mut cfg = Self::prune(delta);
+        cfg.hybrid_tau = Some(0.4);
+        cfg
+    }
+
+    /// `OPT-Δ` + intra-node thread load balancing — the paper's `LB-OPT`.
+    /// (Inter-node vertex splitting is a graph transformation; apply
+    /// [`sssp_dist::split_heavy_vertices`] before building the
+    /// distributed graph.)
+    pub fn lb_opt(delta: u32) -> Self {
+        let mut cfg = Self::opt(delta);
+        cfg.intra_balance = IntraBalance::Auto;
+        cfg
+    }
+
+    /// Meyer and Sanders' recommendation for random edge weights:
+    /// `Δ = Θ(w_max / d̄)` where `d̄` is the average degree — large enough
+    /// that a bucket's short-edge phases do real work, small enough that
+    /// Bellman-Ford-style re-relaxation stays bounded. With the Graph 500
+    /// parameters (w_max = 255, d̄ = 32) this lands at 16, inside the
+    /// paper's empirically best 10–50 band.
+    pub fn auto_delta(w_max: u32, avg_degree: f64) -> u32 {
+        ((2.0 * w_max as f64 / avg_degree.max(1.0)).round() as u32).max(2)
+    }
+
+    // Builder-style tweaks -------------------------------------------------
+
+    pub fn with_ios(mut self, ios: bool) -> Self {
+        self.ios = ios;
+        self
+    }
+
+    pub fn with_direction(mut self, d: DirectionPolicy) -> Self {
+        self.direction = d;
+        self
+    }
+
+    pub fn with_hybrid(mut self, tau: Option<f64>) -> Self {
+        if let Some(t) = tau {
+            assert!((0.0..=1.0).contains(&t), "τ must lie in [0, 1]");
+        }
+        self.hybrid_tau = tau;
+        self
+    }
+
+    pub fn with_intra_balance(mut self, b: IntraBalance) -> Self {
+        self.intra_balance = b;
+        self
+    }
+
+    pub fn with_pull_estimator(mut self, e: PullEstimator) -> Self {
+        self.pull_estimator = e;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_finite() {
+        let d = DeltaParam::Finite(5);
+        assert_eq!(d.bucket_of(0), 0);
+        assert_eq!(d.bucket_of(4), 0);
+        assert_eq!(d.bucket_of(5), 1);
+        assert_eq!(d.bucket_end(0), 4);
+        assert_eq!(d.bucket_end(2), 14);
+        assert_eq!(d.short_bound(), 5);
+    }
+
+    #[test]
+    fn bucket_math_infinite() {
+        let d = DeltaParam::Infinite;
+        assert_eq!(d.bucket_of(0), 0);
+        assert_eq!(d.bucket_of(u64::MAX - 2), 0);
+        assert!(d.bucket_end(0) > 1u64 << 60);
+    }
+
+    #[test]
+    fn presets_compose() {
+        let del = SsspConfig::del(25);
+        assert!(!del.ios && del.hybrid_tau.is_none());
+        let prune = SsspConfig::prune(25);
+        assert!(prune.ios && prune.direction == DirectionPolicy::Heuristic);
+        assert!(prune.hybrid_tau.is_none());
+        let opt = SsspConfig::opt(25);
+        assert_eq!(opt.hybrid_tau, Some(0.4));
+        assert_eq!(opt.intra_balance, IntraBalance::Off);
+        let lb = SsspConfig::lb_opt(25);
+        assert_eq!(lb.intra_balance, IntraBalance::Auto);
+    }
+
+    #[test]
+    fn dijkstra_and_bf_are_the_extremes() {
+        assert_eq!(SsspConfig::dijkstra().delta, DeltaParam::Finite(1));
+        assert_eq!(SsspConfig::bellman_ford().delta, DeltaParam::Infinite);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_tau_rejected() {
+        let _ = SsspConfig::opt(10).with_hybrid(Some(1.5));
+    }
+
+    #[test]
+    fn auto_delta_lands_in_the_papers_band() {
+        // Graph 500 parameters: w_max = 255, average degree 32.
+        let d = SsspConfig::auto_delta(255, 32.0);
+        assert!((10..=50).contains(&d), "auto Δ = {d}");
+        // Degenerate inputs stay sane.
+        assert!(SsspConfig::auto_delta(1, 0.0) >= 2);
+    }
+}

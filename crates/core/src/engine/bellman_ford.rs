@@ -1,0 +1,81 @@
+//! The hybrid tail (§III-D): once the settled fraction passes τ, all
+//! remaining buckets are merged and finished with Bellman-Ford phases that
+//! relax every edge of every active vertex.
+use rayon::prelude::*;
+
+use sssp_comm::exchange::{exchange_with, Outbox};
+
+use crate::instrument::{PhaseKind, PhaseRecord};
+
+use super::{Engine, RelaxMsg, RELAX_BYTES};
+
+impl Engine<'_> {
+    // -- hybrid Bellman-Ford tail (§III-D) ---------------------------------------
+
+    pub(super) fn bellman_ford_tail(&mut self, k_last: u64) {
+        let dg = self.dg;
+        let p = self.p;
+        let delta = self.cfg.delta;
+        let pi = self.pi;
+
+        self.states
+            .par_iter_mut()
+            .for_each(|st| st.collect_active_unsettled(k_last));
+
+        while self.any_active() {
+            self.begin_superstep();
+            let results: Vec<(Outbox<RelaxMsg>, u64)> = self
+                .states
+                .par_iter_mut()
+                .map(|st| {
+                    let lg = &dg.locals[st.rank];
+                    let part = &dg.part;
+                    let mut ob = Outbox::new(p);
+                    let mut sent = 0u64;
+                    for &u in &st.active {
+                        let ul = u as usize;
+                        let du = st.dist[ul];
+                        let (ts, ws) = lg.row(ul);
+                        for i in 0..ts.len() {
+                            let v = ts[i];
+                            ob.send(
+                                part.owner(v),
+                                RelaxMsg {
+                                    target: part.to_local(v) as u32,
+                                    nd: du + ws[i] as u64,
+                                },
+                            );
+                        }
+                        let heavy = (lg.degree(ul) as u64) > pi;
+                        st.loads.charge(ul, ts.len() as u64, heavy);
+                        sent += ts.len() as u64;
+                    }
+                    (ob, sent)
+                })
+                .collect();
+            let (obs, counts): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
+            let sent_total: u64 = counts.iter().sum();
+            let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+            self.states
+                .par_iter_mut()
+                .zip(inboxes.into_par_iter())
+                .for_each(|(st, inbox)| {
+                    st.loads.charge(0, inbox.len() as u64, true);
+                    for m in &inbox {
+                        st.relax(m.target, m.nd, &delta);
+                    }
+                    st.active = st.changed.clone();
+                });
+            self.charge_exchange(&step);
+            self.comm.record(step);
+            self.stats.bf_relaxations += sent_total;
+            self.stats.phases += 1;
+            self.stats.phase_records.push(PhaseRecord {
+                bucket: u64::MAX,
+                kind: PhaseKind::BellmanFord,
+                relaxations: sent_total,
+                remote_msgs: step.remote_msgs,
+            });
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The push/pull decision heuristic (§III-C): estimate both mechanisms'
+//! volumes (exact, histogram, or closed-form expectation), convert to
+//! per-phase time with the machine model, and pick the cheaper — with the
+//! bottleneck-rank (imbalance-aware) refinement the paper describes.
+use rayon::prelude::*;
+
+use sssp_comm::cost::TimeClass;
+
+use crate::config::{DirectionPolicy, LongPhaseMode, PullEstimator};
+use crate::state::INF;
+
+use super::{Engine, RELAX_BYTES};
+
+impl Engine<'_> {
+    // -- push/pull decision heuristic (§III-C) ----------------------------------
+
+    pub(super) fn decide(&mut self, k: u64) -> (LongPhaseMode, u64, u64) {
+        match &self.cfg.direction {
+            DirectionPolicy::AlwaysPush => (LongPhaseMode::Push, 0, 0),
+            DirectionPolicy::AlwaysPull => (LongPhaseMode::Pull, 0, 0),
+            DirectionPolicy::Heuristic => self.heuristic_decide(k),
+            DirectionPolicy::Forced(seq) => {
+                let idx = self.stats.bucket_records.len();
+                match seq.get(idx) {
+                    Some(&mode) => {
+                        // Still compute the estimates so the record shows
+                        // what the heuristic would have seen.
+                        let (_, ep, el) = self.heuristic_decide(k);
+                        (mode, ep, el)
+                    }
+                    None => self.heuristic_decide(k),
+                }
+            }
+        }
+    }
+
+    pub(super) fn heuristic_decide(&mut self, k: u64) -> (LongPhaseMode, u64, u64) {
+        let dg = self.dg;
+        let delta = self.cfg.delta;
+        let ios = self.cfg.ios;
+        let estimator = self.cfg.pull_estimator;
+        let short_bound = delta.short_bound();
+        let bucket_end = delta.bucket_end(k);
+        let w_max = self.max_weight as u64;
+        let k_delta = match delta {
+            crate::config::DeltaParam::Finite(d) => k * d as u64,
+            crate::config::DeltaParam::Infinite => 0,
+        };
+
+        // Per-rank volume estimates (one pass; read-only). The third value
+        // is the rank's unsettled-vertex count — the pull model's scan
+        // extent.
+        let volumes: Vec<(u64, u64, u64)> = self
+            .states
+            .par_iter()
+            .map(|st| {
+                let lg = &dg.locals[st.rank];
+                // Push: the long-phase send volume of this rank.
+                let mut push = 0u64;
+                for u in st.bucket_members(k) {
+                    let ul = u as usize;
+                    let (_, ws) = lg.row(ul);
+                    let start =
+                        Self::push_range_start(ios, ws, st.dist[ul], bucket_end, short_bound);
+                    push += (ws.len() - start) as u64;
+                }
+                // Pull: the request volume of this rank.
+                let mut pull = 0u64;
+                let mut scanned = 0u64;
+                for vl in 0..st.n_local() {
+                    if st.bucket_of[vl] <= k {
+                        continue;
+                    }
+                    scanned += 1;
+                    let dv = st.dist[vl];
+                    let threshold = if dv == INF { u64::MAX } else { dv - k_delta };
+                    match estimator {
+                        PullEstimator::Exact => {
+                            let (_, ws) = lg.row(vl);
+                            let lo = ws.partition_point(|&w| (w as u64) < short_bound);
+                            let hi = ws.partition_point(|&w| (w as u64) < threshold);
+                            pull += (hi.saturating_sub(lo)) as u64;
+                        }
+                        PullEstimator::Histogram => {
+                            let hi = lg.estimate_weight_below(vl, threshold);
+                            let lo = lg.estimate_weight_below(vl, short_bound);
+                            pull += hi.saturating_sub(lo);
+                        }
+                        PullEstimator::Expectation => {
+                            // Uniform weights on [1, w_max]: expected number
+                            // of edges with Δ ≤ w < T.
+                            let deg = lg.degree(vl) as u64;
+                            if w_max == 0 || short_bound > w_max {
+                                continue;
+                            }
+                            let t_hi = threshold.saturating_sub(1).min(w_max);
+                            let t_lo = short_bound.saturating_sub(1);
+                            if t_hi > t_lo {
+                                pull += deg * (t_hi - t_lo) / w_max;
+                            }
+                        }
+                    }
+                }
+                (push, pull, scanned)
+            })
+            .collect();
+
+        // The estimates travel through one allgather (§III-C preprocesses
+        // per-vertex long-edge counts; at runtime only the per-rank sums
+        // need to be shared).
+        self.comm.collectives += 1;
+        self.ledger.charge_collective(self.model, TimeClass::Relax, self.p);
+
+        let push_total: u64 = volumes.iter().map(|v| v.0).sum();
+        let pull_total: u64 = volumes.iter().map(|v| v.1).sum();
+        let push_max = volumes.iter().map(|v| v.0).max().unwrap_or(0);
+        let pull_max = volumes.iter().map(|v| v.1).max().unwrap_or(0);
+        let scan_max = volumes.iter().map(|v| v.2).max().unwrap_or(0);
+
+        // Pull moves a request and (up to) a response per covered edge.
+        let est_pull = 2 * pull_total;
+        let est_push = push_total;
+
+        // Convert volumes into estimated phase times, the quantity §III-C
+        // actually minimizes ("estimating the communication volume and the
+        // processing time"). The bottleneck rank's volume dominates when
+        // the imbalance-aware refinement is on; otherwise the average is
+        // used (the paper's first-cut heuristic).
+        let m = self.model;
+        let per_edge =
+            m.gamma_s_per_op / m.threads_per_rank.max(1) as f64 + m.beta_s_per_byte * RELAX_BYTES as f64;
+        let bottleneck = |total: u64, maxr: u64| -> f64 {
+            if self.cfg.imbalance_aware {
+                (total as f64 / self.p as f64).max(maxr as f64)
+            } else {
+                total as f64 / self.p as f64
+            }
+        };
+        let t_push = bottleneck(est_push, push_max) * per_edge;
+        // Pull pays for requests + responses, the unsettled-vertex scan and
+        // one to two extra superstep latencies (requests/responses, plus
+        // the outer-short push under IOS).
+        let extra_supersteps = if self.cfg.ios { 2.0 } else { 1.0 };
+        let t_pull = bottleneck(est_pull, 2 * pull_max) * per_edge
+            + scan_max as f64 * m.scan_s_per_op
+            + extra_supersteps * m.alpha_s;
+
+        let pull_wins = t_pull < t_push;
+        (
+            if pull_wins { LongPhaseMode::Pull } else { LongPhaseMode::Push },
+            est_push,
+            est_pull,
+        )
+    }
+}

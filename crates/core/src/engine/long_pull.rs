@@ -1,0 +1,200 @@
+//! Pull-mode long-edge phase (§III-B): unsettled vertices request along
+//! long edges satisfying `w < d(v) − kΔ` (eq. 1); only sources settled in
+//! the current bucket respond. Under IOS the settled bucket's outer short
+//! edges are pushed in a preliminary sub-step.
+use rayon::prelude::*;
+
+use sssp_comm::cost::TimeClass;
+use sssp_comm::exchange::{exchange_with, Outbox};
+
+use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
+use crate::state::INF;
+
+use super::{Engine, RelaxMsg, ReqMsg, RELAX_BYTES, REQ_BYTES};
+
+impl Engine<'_> {
+    // -- long phase: pull ------------------------------------------------------
+
+    pub(super) fn long_pull(&mut self, k: u64, record: &mut BucketRecord) {
+        let dg = self.dg;
+        let p = self.p;
+        let delta = self.cfg.delta;
+        let pi = self.pi;
+        let short_bound = delta.short_bound();
+        let bucket_end = delta.bucket_end(k);
+        let k_delta = match delta {
+            crate::config::DeltaParam::Finite(d) => k * d as u64,
+            crate::config::DeltaParam::Infinite => 0,
+        };
+
+        let mut phase_relax = 0u64;
+        let mut phase_remote = 0u64;
+
+        // Sub-step 0 (IOS only): the outer short edges of the settled bucket
+        // are not covered by the pull protocol (requests target long edges),
+        // so push them directly. Without IOS, short phases already relaxed
+        // every short edge.
+        if self.cfg.ios {
+            self.begin_superstep();
+            let results: Vec<(Outbox<RelaxMsg>, u64)> = self
+                .states
+                .par_iter_mut()
+                .map(|st| {
+                    let lg = &dg.locals[st.rank];
+                    let part = &dg.part;
+                    let mut ob = Outbox::new(p);
+                    let mut outer = 0u64;
+                    let members: Vec<u32> = st.bucket_members(k).collect();
+                    for u in members {
+                        let ul = u as usize;
+                        let du = st.dist[ul];
+                        let (ts, ws) = lg.row(ul);
+                        let start =
+                            Self::push_range_start(true, ws, du, bucket_end, short_bound);
+                        let long_start = ws.partition_point(|&w| (w as u64) < short_bound);
+                        for i in start..long_start {
+                            let v = ts[i];
+                            ob.send(
+                                part.owner(v),
+                                RelaxMsg {
+                                    target: part.to_local(v) as u32,
+                                    nd: du + ws[i] as u64,
+                                },
+                            );
+                            outer += 1;
+                        }
+                        let heavy = (lg.degree(ul) as u64) > pi;
+                        st.loads.charge(ul, (long_start - start) as u64, heavy);
+                    }
+                    (ob, outer)
+                })
+                .collect();
+            let (obs, counts): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
+            let outer_total: u64 = counts.iter().sum();
+            let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+            self.states
+                .par_iter_mut()
+                .zip(inboxes.into_par_iter())
+                .for_each(|(st, inbox)| {
+                    st.loads.charge(0, inbox.len() as u64, true);
+                    for m in &inbox {
+                        st.relax(m.target, m.nd, &delta);
+                    }
+                });
+            self.charge_exchange(&step);
+            phase_relax += outer_total;
+            phase_remote += step.remote_msgs;
+            self.comm.record(step);
+            self.stats.outer_short_relaxations += outer_total;
+        }
+
+        // Sub-step 1: requests. Every unsettled vertex v asks along each
+        // long edge that could still improve it: w(e) < d(v) − kΔ (eq. 1).
+        self.begin_superstep();
+        let results: Vec<(Outbox<ReqMsg>, u64, u64)> = self
+            .states
+            .par_iter_mut()
+            .map(|st| {
+                let lg = &dg.locals[st.rank];
+                let part = &dg.part;
+                let mut ob = Outbox::new(p);
+                let mut reqs = 0u64;
+                let mut scanned = 0u64;
+                for vl in 0..st.n_local() {
+                    if st.bucket_of[vl] <= k {
+                        continue;
+                    }
+                    scanned += 1;
+                    let dv = st.dist[vl];
+                    let threshold = if dv == INF { u64::MAX } else { dv - k_delta };
+                    let (ts, ws) = lg.row(vl);
+                    let lo = ws.partition_point(|&w| (w as u64) < short_bound);
+                    let hi = ws.partition_point(|&w| (w as u64) < threshold);
+                    if hi <= lo {
+                        continue;
+                    }
+                    let origin = part.to_global(st.rank, vl);
+                    for i in lo..hi {
+                        let u = ts[i];
+                        ob.send(
+                            part.owner(u),
+                            ReqMsg { u_local: part.to_local(u) as u32, origin, w: ws[i] },
+                        );
+                    }
+                    let heavy = (lg.degree(vl) as u64) > pi;
+                    st.loads.charge(vl, (hi - lo) as u64, heavy);
+                    reqs += (hi - lo) as u64;
+                }
+                (ob, reqs, scanned)
+            })
+            .collect();
+
+        let mut obs = Vec::with_capacity(p);
+        let mut req_total = 0u64;
+        let mut scan_max = 0u64;
+        for (ob, r, s) in results {
+            obs.push(ob);
+            req_total += r;
+            scan_max = scan_max.max(s);
+        }
+        self.ledger.charge_scan(self.model, TimeClass::Relax, scan_max);
+        let (req_inboxes, req_step) = exchange_with(obs, REQ_BYTES, self.model.packet.as_ref());
+        self.charge_exchange(&req_step);
+        phase_remote += req_step.remote_msgs;
+        self.comm.record(req_step);
+
+        // Sub-step 2: responses. Only sources settled in the current bucket
+        // answer; everything else is the redundancy being pruned away.
+        self.begin_superstep();
+        let results: Vec<(Outbox<RelaxMsg>, u64)> = self
+            .states
+            .par_iter_mut()
+            .zip(req_inboxes.into_par_iter())
+            .map(|(st, reqs)| {
+                let part = &dg.part;
+                let mut ob = Outbox::new(p);
+                let mut responses = 0u64;
+                st.loads.charge(0, reqs.len() as u64, true);
+                for r in &reqs {
+                    if st.bucket_of[r.u_local as usize] == k {
+                        let nd = st.dist[r.u_local as usize] + r.w as u64;
+                        ob.send(
+                            part.owner(r.origin),
+                            RelaxMsg { target: part.to_local(r.origin) as u32, nd },
+                        );
+                        responses += 1;
+                    }
+                }
+                (ob, responses)
+            })
+            .collect();
+        let (obs, counts): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
+        let resp_total: u64 = counts.iter().sum();
+        let (resp_inboxes, resp_step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+        self.states
+            .par_iter_mut()
+            .zip(resp_inboxes.into_par_iter())
+            .for_each(|(st, inbox)| {
+                st.loads.charge(0, inbox.len() as u64, true);
+                for m in &inbox {
+                    st.relax(m.target, m.nd, &delta);
+                }
+            });
+        self.charge_exchange(&resp_step);
+        phase_remote += resp_step.remote_msgs;
+        self.comm.record(resp_step);
+
+        record.requests = req_total;
+        record.responses = resp_total;
+        phase_relax += req_total + resp_total;
+        self.stats.pull_requests += req_total;
+        self.stats.pull_responses += resp_total;
+        self.stats.phases += 1;
+        self.stats.phase_records.push(PhaseRecord {
+            bucket: k,
+            kind: PhaseKind::LongPull,
+            relaxations: phase_relax,
+            remote_msgs: phase_remote,
+        });
+    }
+}

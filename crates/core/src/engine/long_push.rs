@@ -1,0 +1,127 @@
+//! Push-mode long-edge phase (§III-B): every vertex settled in the current
+//! bucket relaxes its long (and, under IOS, outer-short) edges outward,
+//! with receiver-side self/backward/forward classification for Fig 7.
+use rayon::prelude::*;
+
+use sssp_comm::exchange::{exchange_with, Outbox};
+
+use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
+
+use super::{Engine, RelaxMsg, RELAX_BYTES};
+
+impl Engine<'_> {
+    // -- long phase: push -----------------------------------------------------
+
+    /// Row index where the long-phase push range of `u` starts: with IOS the
+    /// suffix of edges that could not have been relaxed as inner shorts
+    /// (`w > bucket_end − d(u)`), otherwise the long edges (`w ≥ Δ`).
+    #[inline]
+    pub(super) fn push_range_start(
+        ios: bool,
+        ws: &[u32],
+        du: u64,
+        bucket_end: u64,
+        short_bound: u64,
+    ) -> usize {
+        if ios {
+            let bound = (bucket_end - du).min(short_bound.saturating_sub(1));
+            ws.partition_point(|&w| (w as u64) <= bound)
+        } else {
+            ws.partition_point(|&w| (w as u64) < short_bound)
+        }
+    }
+
+    pub(super) fn long_push(&mut self, k: u64, record: &mut BucketRecord) {
+        self.begin_superstep();
+        let dg = self.dg;
+        let p = self.p;
+        let delta = self.cfg.delta;
+        let ios = self.cfg.ios;
+        let pi = self.pi;
+        let short_bound = delta.short_bound();
+        let bucket_end = delta.bucket_end(k);
+
+        let results: Vec<(Outbox<RelaxMsg>, u64, u64)> = self
+            .states
+            .par_iter_mut()
+            .map(|st| {
+                let lg = &dg.locals[st.rank];
+                let part = &dg.part;
+                let mut ob = Outbox::new(p);
+                let (mut outer, mut long) = (0u64, 0u64);
+                let members: Vec<u32> = st.bucket_members(k).collect();
+                for u in members {
+                    let ul = u as usize;
+                    let du = st.dist[ul];
+                    let (ts, ws) = lg.row(ul);
+                    let start = Self::push_range_start(ios, ws, du, bucket_end, short_bound);
+                    for i in start..ts.len() {
+                        let v = ts[i];
+                        ob.send(
+                            part.owner(v),
+                            RelaxMsg { target: part.to_local(v) as u32, nd: du + ws[i] as u64 },
+                        );
+                        if (ws[i] as u64) < short_bound {
+                            outer += 1;
+                        } else {
+                            long += 1;
+                        }
+                    }
+                    let heavy = (lg.degree(ul) as u64) > pi;
+                    st.loads.charge(ul, (ts.len() - start) as u64, heavy);
+                }
+                (ob, outer, long)
+            })
+            .collect();
+
+        let mut obs = Vec::with_capacity(p);
+        let (mut outer_total, mut long_total) = (0u64, 0u64);
+        for (ob, o, l) in results {
+            obs.push(ob);
+            outer_total += o;
+            long_total += l;
+        }
+        let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+
+        // Receiver-side classification (§III-B / Fig 7): self, backward or
+        // forward, judged against the target's bucket before applying.
+        let tallies: Vec<(u64, u64, u64)> = self
+            .states
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .map(|(st, inbox)| {
+                st.loads.charge(0, inbox.len() as u64, true);
+                let (mut se, mut be, mut fe) = (0u64, 0u64, 0u64);
+                for m in &inbox {
+                    let b = st.bucket_of[m.target as usize];
+                    if b == k {
+                        se += 1;
+                    } else if b < k {
+                        be += 1;
+                    } else {
+                        fe += 1;
+                    }
+                    st.relax(m.target, m.nd, &delta);
+                }
+                (se, be, fe)
+            })
+            .collect();
+        for (se, be, fe) in tallies {
+            record.self_edges += se;
+            record.backward_edges += be;
+            record.forward_edges += fe;
+        }
+
+        self.charge_exchange(&step);
+        self.comm.record(step);
+        self.stats.outer_short_relaxations += outer_total;
+        self.stats.long_push_relaxations += long_total;
+        self.stats.phases += 1;
+        self.stats.phase_records.push(PhaseRecord {
+            bucket: k,
+            kind: PhaseKind::LongPush,
+            relaxations: outer_total + long_total,
+            remote_msgs: step.remote_msgs,
+        });
+    }
+}

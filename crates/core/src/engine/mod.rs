@@ -1,0 +1,366 @@
+//! The distributed SSSP engine (§II–III of the paper).
+//!
+//! One `run_sssp` call executes the configured algorithm over a
+//! [`DistGraph`] in bulk-synchronous supersteps:
+//!
+//! ```text
+//! per epoch (bucket k):
+//!   short-edge phases      — relax (inner) short edges of active vertices,
+//!                            repeat until no tentative distance changes;
+//!   long-edge phase        — push (owners of B_k relax long + outer-short
+//!                            edges) or pull (later-bucket owners request
+//!                            w < d(v) − kΔ; B_k owners respond), chosen per
+//!                            bucket by the §III-C decision heuristic;
+//! hybrid switch            — once the settled fraction exceeds τ, the
+//!                            remaining buckets merge and finish with
+//!                            Bellman-Ford phases (§III-D).
+//! ```
+//!
+//! Every relaxation travels as a message between simulated ranks; collective
+//! operations synchronize phase/epoch boundaries exactly as the paper's
+//! Blue Gene/Q implementation does, and the α–β–γ cost model converts the
+//! recorded traffic into simulated time.
+
+use rayon::prelude::*;
+
+use sssp_comm::collective::{allreduce_any, allreduce_min, allreduce_sum};
+use sssp_comm::cost::{MachineModel, TimeClass, TimeLedger};
+use sssp_comm::stats::{CommStats, StepStats};
+use sssp_dist::DistGraph;
+use sssp_graph::VertexId;
+
+use crate::config::{IntraBalance, LongPhaseMode, SsspConfig};
+use crate::instrument::{BucketRecord, RunStats};
+use crate::state::{RankState, INF};
+
+/// A relaxation proposal: `d(target) ← min(d(target), nd)`.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct RelaxMsg {
+    /// Local index on the destination rank.
+    pub(super) target: u32,
+    pub(super) nd: u64,
+}
+
+/// A pull request: "if `u` is in the current bucket, send me `d(u) + w`".
+#[derive(Debug, Clone, Copy)]
+pub(super) struct ReqMsg {
+    /// Local index of the requested source vertex on the destination rank.
+    pub(super) u_local: u32,
+    /// Global id of the requesting vertex.
+    pub(super) origin: VertexId,
+    /// Weight of the edge the request travels along.
+    pub(super) w: u32,
+}
+
+/// On-wire message sizes charged by the cost model (a packed
+/// target + 48-bit distance fits 16 bytes; requests likewise).
+pub(super) const RELAX_BYTES: usize = 16;
+pub(super) const REQ_BYTES: usize = 16;
+
+/// Result of a run: final distances (indexed by global vertex id, `u64::MAX`
+/// = unreachable) plus the full instrumentation record.
+#[derive(Debug, Clone)]
+pub struct SsspOutput {
+    pub distances: Vec<u64>,
+    pub stats: RunStats,
+}
+
+impl SsspOutput {
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> u64 {
+        self.distances[v as usize]
+    }
+
+    /// Number of vertices with a finite distance.
+    pub fn reachable(&self) -> u64 {
+        self.stats.reachable
+    }
+}
+
+/// Run the configured SSSP algorithm from `root` over the distributed graph.
+///
+/// # Examples
+///
+/// ```
+/// use sssp_core::{run_sssp, SsspConfig};
+/// use sssp_comm::cost::MachineModel;
+/// use sssp_dist::DistGraph;
+/// use sssp_graph::{gen, CsrBuilder};
+///
+/// let csr = CsrBuilder::new().build(&gen::path(5, 3));
+/// let dg = DistGraph::build(&csr, 2, 2);
+/// let out = run_sssp(&dg, 0, &SsspConfig::opt(25), &MachineModel::bgq_like());
+/// assert_eq!(out.distances, vec![0, 3, 6, 9, 12]);
+/// assert_eq!(out.reachable(), 5);
+/// ```
+pub fn run_sssp(
+    dg: &DistGraph,
+    root: VertexId,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> SsspOutput {
+    Engine::new(dg, cfg, model).run(&[(root, 0)])
+}
+
+/// Multi-source SSSP: every vertex's distance to its *nearest* source
+/// (all sources start at distance 0). Equivalent to adding a virtual root
+/// with zero-weight edges to each source, without the graph transform.
+/// Useful for closeness fields, graph Voronoi partitions and the sampled
+/// centrality drivers.
+pub fn run_sssp_multi(
+    dg: &DistGraph,
+    sources: &[VertexId],
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> SsspOutput {
+    let seeds: Vec<(VertexId, u64)> = sources.iter().map(|&s| (s, 0)).collect();
+    run_sssp_seeded(dg, &seeds, cfg, model)
+}
+
+/// Fully general entry point: start from arbitrary `(vertex, distance)`
+/// seeds. A vertex listed twice keeps its smallest seed distance.
+pub fn run_sssp_seeded(
+    dg: &DistGraph,
+    seeds: &[(VertexId, u64)],
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> SsspOutput {
+    Engine::new(dg, cfg, model).run(seeds)
+}
+
+struct Engine<'a> {
+    pub(super) dg: &'a DistGraph,
+    pub(super) cfg: &'a SsspConfig,
+    pub(super) model: &'a MachineModel,
+    pub(super) p: usize,
+    pub(super) states: Vec<RankState>,
+    pub(super) comm: CommStats,
+    pub(super) ledger: TimeLedger,
+    pub(super) stats: RunStats,
+    /// Resolved intra-node balancing threshold π (`u64::MAX` = off).
+    pub(super) pi: u64,
+    pub(super) min_weight: u32,
+    pub(super) max_weight: u32,
+}
+
+impl<'a> Engine<'a> {
+    fn new(dg: &'a DistGraph, cfg: &'a SsspConfig, model: &'a MachineModel) -> Self {
+        let p = dg.num_ranks();
+        let threads = dg.threads_per_rank;
+        let states: Vec<RankState> = (0..p)
+            .map(|r| RankState::new(r, dg.part.local_count(r), threads))
+            .collect();
+
+        // Global weight extremes (rows are weight-sorted, so first/last
+        // entries suffice).
+        let mut min_w = u32::MAX;
+        let mut max_w = 0u32;
+        for lg in &dg.locals {
+            for v in 0..lg.num_local() {
+                let (_, ws) = lg.row(v);
+                if let (Some(&first), Some(&last)) = (ws.first(), ws.last()) {
+                    min_w = min_w.min(first);
+                    max_w = max_w.max(last);
+                }
+            }
+        }
+
+        let avg_deg = if dg.num_vertices() == 0 {
+            0
+        } else {
+            dg.m_directed / dg.num_vertices() as u64
+        };
+        let pi = match cfg.intra_balance {
+            IntraBalance::Off => u64::MAX,
+            IntraBalance::Threshold(t) => t as u64,
+            IntraBalance::Auto => (4 * avg_deg).max(64),
+        };
+
+        let stats = RunStats {
+            num_ranks: p,
+            threads_per_rank: threads,
+            ..Default::default()
+        };
+
+        Engine {
+            dg,
+            cfg,
+            model,
+            p,
+            states,
+            comm: CommStats::new(),
+            ledger: TimeLedger::new(),
+            stats,
+            pi,
+            min_weight: min_w,
+            max_weight: max_w,
+        }
+    }
+
+    fn run(mut self, seeds: &[(VertexId, u64)]) -> SsspOutput {
+        let n_total = self.dg.num_vertices() as u64;
+        if n_total == 0 {
+            return self.finish();
+        }
+        assert!(!seeds.is_empty(), "at least one seed required");
+        let delta = self.cfg.delta;
+        for st in &mut self.states {
+            st.begin_phase();
+        }
+        for &(v, d) in seeds {
+            assert!(
+                (v as usize) < n_total as usize,
+                "seed vertex {v} out of range (n = {n_total})"
+            );
+            let owner = self.dg.part.owner(v);
+            let local = self.dg.part.to_local(v) as u32;
+            self.states[owner].relax(local, d, &delta);
+        }
+
+        let mut k_prev: Option<u64> = None;
+        let mut settled_total = 0u64;
+        loop {
+            let next = self.next_bucket(k_prev);
+            let Some(k) = next else { break };
+
+            if let (Some(tau), Some(kp)) = (self.cfg.hybrid_tau, k_prev) {
+                if settled_total as f64 > tau * n_total as f64 {
+                    self.bellman_ford_tail(kp);
+                    self.stats.hybrid_switch_at = Some(kp);
+                    break;
+                }
+            }
+
+            self.process_bucket(k);
+            self.stats.epochs += 1;
+
+            // Settled-count collective (drives the hybrid switch; the paper
+            // computes it at every epoch end).
+            let counts: Vec<u64> = self.states.iter().map(|s| s.bucket_count(k)).collect();
+            let settled_k = allreduce_sum(&counts, &mut self.comm);
+            self.ledger.charge_collective(self.model, TimeClass::Bucket, self.p);
+            settled_total += settled_k;
+            if let Some(rec) = self.stats.bucket_records.last_mut() {
+                rec.settled = settled_k;
+            }
+
+            k_prev = Some(k);
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> SsspOutput {
+        let part = &self.dg.part;
+        let mut distances = vec![INF; self.dg.num_vertices()];
+        for st in &self.states {
+            for l in 0..st.n_local() {
+                distances[part.to_global(st.rank, l) as usize] = st.dist[l];
+            }
+        }
+        self.stats.reachable = distances.iter().filter(|&&d| d != INF).count() as u64;
+        self.stats.comm = self.comm;
+        self.stats.ledger = self.ledger;
+        SsspOutput { distances, stats: self.stats }
+    }
+
+    // -- collectives -------------------------------------------------------
+
+    pub(super) fn next_bucket(&mut self, after: Option<u64>) -> Option<u64> {
+        let mins: Vec<u64> = self
+            .states
+            .iter()
+            .map(|s| s.next_nonempty_after(after).unwrap_or(u64::MAX))
+            .collect();
+        let k = allreduce_min(&mins, &mut self.comm);
+        self.ledger.charge_collective(self.model, TimeClass::Bucket, self.p);
+        (k != u64::MAX).then_some(k)
+    }
+
+    pub(super) fn any_active(&mut self) -> bool {
+        let flags: Vec<bool> = self.states.iter().map(|s| !s.active.is_empty()).collect();
+        let any = allreduce_any(&flags, &mut self.comm);
+        self.ledger.charge_collective(self.model, TimeClass::Bucket, self.p);
+        any
+    }
+
+    // -- shared phase plumbing ---------------------------------------------
+
+    pub(super) fn begin_superstep(&mut self) {
+        self.states.par_iter_mut().for_each(|st| {
+            st.begin_phase();
+            st.loads.reset();
+        });
+    }
+
+    pub(super) fn max_thread_ops(&self) -> u64 {
+        self.states.iter().map(|s| s.loads.max()).max().unwrap_or(0)
+    }
+
+    pub(super) fn charge_exchange(&mut self, step: &StepStats) {
+        let bytes = step.max_rank_send_bytes.max(step.max_rank_recv_bytes);
+        let ops = self.max_thread_ops();
+        self.ledger
+            .charge_superstep(self.model, TimeClass::Relax, ops, bytes);
+    }
+
+    /// Whether any short edge exists at all for the configured Δ (lets the
+    /// Dijkstra configuration skip its necessarily-empty short stages).
+    pub(super) fn has_short_edges(&self) -> bool {
+        (self.min_weight as u64) < self.cfg.delta.short_bound() && self.min_weight != u32::MAX
+    }
+
+    // -- epoch processing ---------------------------------------------------
+
+    fn process_bucket(&mut self, k: u64) {
+        // Collect the epoch's initial active set from the bucket.
+        let scan: Vec<u64> = self
+            .states
+            .par_iter_mut()
+            .map(|st| {
+                st.collect_active_from_bucket(k);
+                st.bucket_scan_len(k) as u64
+            })
+            .collect();
+        self.ledger.charge_scan(
+            self.model,
+            TimeClass::Bucket,
+            scan.into_iter().max().unwrap_or(0),
+        );
+
+        // Stage 1: short-edge phases.
+        if self.has_short_edges() {
+            while self.any_active() {
+                self.short_phase(k);
+            }
+        }
+
+        // Stage 2: long-edge phase, push or pull.
+        let (mode, est_push, est_pull) = self.decide(k);
+        let mut record = BucketRecord {
+            bucket: k,
+            settled: 0,
+            mode,
+            est_push,
+            est_pull,
+            self_edges: 0,
+            backward_edges: 0,
+            forward_edges: 0,
+            requests: 0,
+            responses: 0,
+        };
+        match mode {
+            LongPhaseMode::Push => self.long_push(k, &mut record),
+            LongPhaseMode::Pull => self.long_pull(k, &mut record),
+        }
+        self.stats.bucket_records.push(record);
+    }
+}
+
+mod bellman_ford;
+mod decide;
+mod long_pull;
+mod long_push;
+mod short;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,93 @@
+//! Short-edge phases (§II / §III-A): relax the (inner) short edges of the
+//! active vertices until no tentative distance changes.
+use rayon::prelude::*;
+
+use sssp_comm::exchange::{exchange_with, Outbox};
+
+use crate::instrument::{PhaseKind, PhaseRecord};
+
+use super::{Engine, RelaxMsg, RELAX_BYTES};
+
+impl Engine<'_> {
+    // -- short phases --------------------------------------------------------
+
+    pub(super) fn short_phase(&mut self, k: u64) {
+        self.begin_superstep();
+        let dg = self.dg;
+        let p = self.p;
+        let delta = self.cfg.delta;
+        let ios = self.cfg.ios;
+        let pi = self.pi;
+        let short_bound = delta.short_bound();
+        let bucket_end = delta.bucket_end(k);
+
+        let results: Vec<(Outbox<RelaxMsg>, u64)> = self
+            .states
+            .par_iter_mut()
+            .map(|st| {
+                let lg = &dg.locals[st.rank];
+                let part = &dg.part;
+                let mut ob = Outbox::new(p);
+                let mut sent = 0u64;
+                for &u in &st.active {
+                    let ul = u as usize;
+                    debug_assert_eq!(st.bucket_of[ul], k);
+                    let du = st.dist[ul];
+                    debug_assert!(du <= bucket_end);
+                    let (ts, ws) = lg.row(ul);
+                    let hi = if ios {
+                        // Inner short edges only: d(u) + w must stay inside
+                        // the bucket (and the edge must be short).
+                        let bound = (bucket_end - du).min(short_bound.saturating_sub(1));
+                        ws.partition_point(|&w| (w as u64) <= bound)
+                    } else {
+                        ws.partition_point(|&w| (w as u64) < short_bound)
+                    };
+                    for i in 0..hi {
+                        let v = ts[i];
+                        ob.send(
+                            part.owner(v),
+                            RelaxMsg { target: part.to_local(v) as u32, nd: du + ws[i] as u64 },
+                        );
+                    }
+                    let heavy = (lg.degree(ul) as u64) > pi;
+                    st.loads.charge(ul, hi as u64, heavy);
+                    sent += hi as u64;
+                }
+                (ob, sent)
+            })
+            .collect();
+
+        let (obs, sent): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
+        let relaxations: u64 = sent.iter().sum();
+        let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+
+        self.states
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .for_each(|(st, inbox)| {
+                st.loads.charge(0, inbox.len() as u64, true);
+                for m in &inbox {
+                    st.relax(m.target, m.nd, &delta);
+                }
+                // Next phase's active set: changed vertices now in B_k.
+                st.active = st
+                    .changed
+                    .iter()
+                    .copied()
+                    .filter(|&v| st.bucket_of[v as usize] == k)
+                    .collect();
+            });
+
+        self.charge_exchange(&step);
+        self.comm.record(step);
+        self.stats.short_relaxations += relaxations;
+        self.stats.phases += 1;
+        self.stats.phase_records.push(PhaseRecord {
+            bucket: k,
+            kind: PhaseKind::Short,
+            relaxations,
+            remote_msgs: step.remote_msgs,
+        });
+    }
+}

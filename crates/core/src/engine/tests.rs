@@ -1,0 +1,408 @@
+//! Engine correctness and behavior tests (exercised through the public
+//! `run_sssp*` API).
+
+use super::*;
+use crate::config::DirectionPolicy;
+use crate::validate::assert_matches_dijkstra;
+use sssp_graph::{gen, Csr, CsrBuilder};
+
+fn model() -> MachineModel {
+    MachineModel::bgq_like()
+}
+
+fn medium_graph() -> Csr {
+    CsrBuilder::new().build(&gen::uniform(300, 2400, 60, 7))
+}
+
+fn run_cfg(g: &Csr, p: usize, cfg: &SsspConfig) -> SsspOutput {
+    let dg = DistGraph::build(g, p, 4);
+    run_sssp(&dg, 0, cfg, &model())
+}
+
+#[test]
+fn del_matches_dijkstra_on_path() {
+    let g = CsrBuilder::new().build(&gen::path(20, 7));
+    let out = run_cfg(&g, 3, &SsspConfig::del(25));
+    assert_matches_dijkstra(&g, 0, &out);
+}
+
+#[test]
+fn all_presets_match_dijkstra() {
+    let g = medium_graph();
+    for (name, cfg) in [
+        ("dijkstra", SsspConfig::dijkstra()),
+        ("bellman-ford", SsspConfig::bellman_ford()),
+        ("del-25", SsspConfig::del(25)),
+        ("prune-25", SsspConfig::prune(25)),
+        ("opt-25", SsspConfig::opt(25)),
+        ("lb-opt-25", SsspConfig::lb_opt(25)),
+    ] {
+        for p in [1, 4, 7] {
+            let out = run_cfg(&g, p, &cfg);
+            let mism = crate::validate::check_against_dijkstra(&g, 0, &out);
+            assert!(mism.is_empty(), "{name} with p={p}: {} mismatches", mism.len());
+        }
+    }
+}
+
+#[test]
+fn forced_push_and_pull_match() {
+    let g = medium_graph();
+    for dir in [DirectionPolicy::AlwaysPush, DirectionPolicy::AlwaysPull] {
+        let cfg = SsspConfig::prune(25).with_direction(dir.clone());
+        let out = run_cfg(&g, 4, &cfg);
+        let mism = crate::validate::check_against_dijkstra(&g, 0, &out);
+        assert!(mism.is_empty(), "{dir:?}: {} mismatches", mism.len());
+    }
+}
+
+#[test]
+fn ios_changes_counts_not_results() {
+    let g = medium_graph();
+    let base = run_cfg(&g, 4, &SsspConfig::del(25));
+    let ios = run_cfg(&g, 4, &SsspConfig::del(25).with_ios(true));
+    assert_eq!(base.distances, ios.distances);
+    // IOS only prunes short relaxations; some of them reappear as outer
+    // shorts in the long phase.
+    assert!(ios.stats.short_relaxations < base.stats.short_relaxations);
+}
+
+#[test]
+fn bucket_evolution_is_mode_independent() {
+    // Push and pull produce identical post-epoch states, so forcing
+    // either sequence yields the same distances and the same settled
+    // counts per bucket.
+    let g = medium_graph();
+    let push =
+        run_cfg(&g, 4, &SsspConfig::prune(25).with_direction(DirectionPolicy::AlwaysPush));
+    let pull =
+        run_cfg(&g, 4, &SsspConfig::prune(25).with_direction(DirectionPolicy::AlwaysPull));
+    assert_eq!(push.distances, pull.distances);
+    let settled = |o: &SsspOutput| -> Vec<(u64, u64)> {
+        o.stats.bucket_records.iter().map(|r| (r.bucket, r.settled)).collect()
+    };
+    assert_eq!(settled(&push), settled(&pull));
+}
+
+#[test]
+fn dijkstra_relaxes_each_edge_at_most_twice() {
+    let g = medium_graph();
+    let out = run_cfg(&g, 4, &SsspConfig::dijkstra());
+    assert!(out.stats.relaxations_total() <= 2 * g.num_undirected_edges() as u64);
+    // Short phases are skipped entirely (no weights below Δ = 1).
+    assert_eq!(out.stats.short_relaxations, 0);
+}
+
+#[test]
+fn bellman_ford_uses_single_bucket() {
+    let g = medium_graph();
+    let out = run_cfg(&g, 4, &SsspConfig::bellman_ford());
+    assert_eq!(out.stats.epochs, 1);
+    assert!(out.stats.long_push_relaxations == 0 && out.stats.pull_requests == 0);
+}
+
+#[test]
+fn hybrid_reduces_buckets() {
+    let g = medium_graph();
+    let del = run_cfg(&g, 4, &SsspConfig::del(10));
+    let opt = run_cfg(&g, 4, &SsspConfig::opt(10));
+    assert!(opt.stats.buckets() < del.stats.buckets());
+    assert!(opt.stats.hybrid_switch_at.is_some());
+}
+
+#[test]
+fn unreachable_vertices_stay_inf() {
+    let mut el = gen::path(5, 3);
+    el.n = 9; // 4 isolated vertices
+    let g = CsrBuilder::new().build(&el);
+    let out = run_cfg(&g, 3, &SsspConfig::opt(25));
+    for v in 5..9 {
+        assert_eq!(out.dist(v), INF);
+    }
+    assert_eq!(out.reachable(), 5);
+}
+
+#[test]
+fn root_from_every_rank_works() {
+    let g = medium_graph();
+    for root in [0u32, 77, 150, 299] {
+        let dg = DistGraph::build(&g, 5, 2);
+        let out = run_sssp(&dg, root, &SsspConfig::opt(25), &model());
+        assert_matches_dijkstra(&g, root, &out);
+    }
+}
+
+#[test]
+fn split_graph_preserves_distances() {
+    let el = gen::uniform(150, 3000, 40, 13);
+    let g = CsrBuilder::new().build(&el);
+    let (split_csr, part, rep) = sssp_dist::split_heavy_vertices(&g, 4, 24);
+    assert!(rep.proxies_created > 0, "test graph should trigger splitting");
+    let dg = DistGraph::build_with_partition(&split_csr, part, 4, g.num_undirected_edges() as u64);
+    let out = run_sssp(&dg, 0, &SsspConfig::lb_opt(25), &model());
+    assert_matches_dijkstra(&g, 0, &out);
+}
+
+#[test]
+fn zero_weight_edges_handled() {
+    // A path with an explicit zero-weight edge in the middle.
+    let mut el = sssp_graph::EdgeList::new(4);
+    el.push(0, 1, 5);
+    el.push(1, 2, 0);
+    el.push(2, 3, 5);
+    let g = CsrBuilder::new().build(&el);
+    for cfg in [SsspConfig::dijkstra(), SsspConfig::del(3), SsspConfig::opt(3)] {
+        let out = run_cfg(&g, 2, &cfg);
+        assert_eq!(out.distances, vec![0, 5, 5, 10]);
+    }
+}
+
+#[test]
+fn single_vertex_graph() {
+    let el = sssp_graph::EdgeList::new(1);
+    let g = CsrBuilder::new().build(&el);
+    let out = run_cfg(&g, 2, &SsspConfig::opt(25));
+    assert_eq!(out.distances, vec![0]);
+}
+
+#[test]
+fn pruning_reduces_relaxations_on_skewed_graph() {
+    use sssp_graph::rmat::{RmatGenerator, RmatParams};
+    let el = RmatGenerator::new(RmatParams::RMAT1, 10, 16).seed(5).generate_weighted(255);
+    let g = CsrBuilder::new().build(&el);
+    let del = run_cfg(&g, 4, &SsspConfig::del(25));
+    let prune = run_cfg(&g, 4, &SsspConfig::prune(25));
+    assert_eq!(del.distances, prune.distances);
+    assert!(
+        prune.stats.relaxations_total() < del.stats.relaxations_total(),
+        "pruning did not reduce relaxations: {} vs {}",
+        prune.stats.relaxations_total(),
+        del.stats.relaxations_total()
+    );
+}
+
+#[test]
+fn stats_phases_and_records_consistent() {
+    let g = medium_graph();
+    let out = run_cfg(&g, 4, &SsspConfig::opt(25));
+    assert_eq!(out.stats.phases as usize, out.stats.phase_records.len());
+    assert_eq!(out.stats.epochs as usize, out.stats.bucket_records.len());
+    let from_records: u64 = out.stats.phase_records.iter().map(|r| r.relaxations).sum();
+    assert_eq!(from_records, out.stats.relaxations_total());
+}
+
+#[test]
+fn settled_counts_sum_to_reachable_without_hybrid() {
+    let g = medium_graph();
+    let out = run_cfg(&g, 4, &SsspConfig::prune(25));
+    let settled: u64 = out.stats.bucket_records.iter().map(|r| r.settled).sum();
+    assert_eq!(settled, out.reachable());
+}
+
+#[test]
+fn multi_source_is_min_over_single_sources() {
+    let g = medium_graph();
+    let dg = DistGraph::build(&g, 4, 2);
+    let sources = [0u32, 50, 200];
+    let multi = run_sssp_multi(&dg, &sources, &SsspConfig::opt(25), &model());
+    let singles: Vec<_> = sources
+        .iter()
+        .map(|&s| run_sssp(&dg, s, &SsspConfig::opt(25), &model()).distances)
+        .collect();
+    for (v, &got) in multi.distances.iter().enumerate() {
+        let expect = singles.iter().map(|d| d[v]).min().unwrap();
+        assert_eq!(got, expect, "vertex {v}");
+    }
+}
+
+#[test]
+fn seeded_run_matches_virtual_source_construction() {
+    // Seeds (s, d) are equivalent to a virtual root connected to each s
+    // by an edge of weight d.
+    let g = medium_graph();
+    let dg = DistGraph::build(&g, 3, 2);
+    let seeds = [(5u32, 7u64), (100, 0), (250, 30)];
+    let out = run_sssp_seeded(&dg, &seeds, &SsspConfig::opt(25), &model());
+    let mut el2 = sssp_graph::EdgeList::new(g.num_vertices() + 1);
+    for (u, v, w) in g.undirected_edges() {
+        el2.push(u, v, w);
+    }
+    let virt = g.num_vertices() as u32;
+    for &(s, d) in &seeds {
+        el2.push(virt, s, d as u32);
+    }
+    let g2 = CsrBuilder::new().build(&el2);
+    let expect = crate::seq::dijkstra(&g2, virt);
+    for (v, &got) in out.distances.iter().enumerate().take(g.num_vertices()) {
+        assert_eq!(got, expect[v], "vertex {v}");
+    }
+}
+
+#[test]
+fn duplicate_seeds_keep_minimum() {
+    let g = CsrBuilder::new().build(&gen::path(4, 5));
+    let dg = DistGraph::build(&g, 2, 1);
+    let out = run_sssp_seeded(&dg, &[(0, 9), (0, 2)], &SsspConfig::del(5), &model());
+    assert_eq!(out.distances[0], 2);
+    assert_eq!(out.distances[3], 2 + 15);
+}
+
+#[test]
+fn cyclic_partition_gives_identical_results() {
+    let g = medium_graph();
+    let expect = crate::seq::dijkstra(&g, 0);
+    for p in [1usize, 4, 7] {
+        let dg = DistGraph::build_cyclic(&g, p, 2);
+        let out = run_sssp(&dg, 0, &SsspConfig::opt(25), &model());
+        assert_eq!(out.distances, expect, "cyclic p={p}");
+    }
+}
+
+#[test]
+fn histogram_estimator_matches_results() {
+    let g = medium_graph();
+    let cfg = SsspConfig::opt(25)
+        .with_pull_estimator(crate::config::PullEstimator::Histogram);
+    let out = run_cfg(&g, 4, &cfg);
+    assert_matches_dijkstra(&g, 0, &out);
+    let exp = run_cfg(
+        &g,
+        4,
+        &SsspConfig::opt(25).with_pull_estimator(crate::config::PullEstimator::Expectation),
+    );
+    assert_eq!(out.distances, exp.distances);
+}
+
+#[test]
+fn packet_framing_adds_wire_overhead_not_results() {
+    let g = medium_graph();
+    let dg = DistGraph::build(&g, 4, 4);
+    let raw = run_sssp(&dg, 0, &SsspConfig::opt(25), &MachineModel::bgq_like());
+    let pkt = run_sssp(&dg, 0, &SsspConfig::opt(25), &MachineModel::bgq_like_packetized());
+    assert_eq!(raw.distances, pkt.distances);
+    assert_eq!(raw.stats.relaxations_total(), pkt.stats.relaxations_total());
+    assert!(
+        pkt.stats.comm.total_remote_bytes() > raw.stats.comm.total_remote_bytes(),
+        "packet headers must show up on the wire"
+    );
+    assert!(pkt.stats.ledger.total_s() >= raw.stats.ledger.total_s());
+}
+
+#[test]
+fn simulated_time_is_positive_and_split() {
+    let g = medium_graph();
+    let out = run_cfg(&g, 4, &SsspConfig::del(25));
+    assert!(out.stats.ledger.total_s() > 0.0);
+    assert!(out.stats.ledger.bucket_s > 0.0);
+    assert!(out.stats.ledger.relax_s > 0.0);
+    assert!(out.stats.gteps(g.num_undirected_edges() as u64) > 0.0);
+}
+
+#[test]
+fn forced_sequence_shorter_than_epochs_falls_back_to_heuristic() {
+    use crate::config::LongPhaseMode;
+    let g = medium_graph();
+    // Force only the first bucket; everything after must match the pure
+    // heuristic run's decisions.
+    let heur = run_cfg(&g, 4, &SsspConfig::prune(25));
+    let first = heur.stats.bucket_records[0].mode;
+    let forced = run_cfg(
+        &g,
+        4,
+        &SsspConfig::prune(25).with_direction(DirectionPolicy::Forced(vec![first])),
+    );
+    assert_eq!(forced.distances, heur.distances);
+    let modes = |o: &SsspOutput| -> Vec<LongPhaseMode> {
+        o.stats.bucket_records.iter().map(|r| r.mode).collect()
+    };
+    assert_eq!(modes(&forced), modes(&heur));
+}
+
+#[test]
+fn always_pull_with_delta_one_matches_dijkstra() {
+    // Dijkstra configuration driven entirely by the pull protocol.
+    let g = CsrBuilder::new().build(&gen::uniform(150, 900, 25, 3));
+    let cfg = SsspConfig::dijkstra().with_direction(DirectionPolicy::AlwaysPull);
+    let out = run_cfg(&g, 5, &cfg);
+    assert_matches_dijkstra(&g, 0, &out);
+    assert!(out.stats.pull_requests > 0);
+    assert_eq!(out.stats.long_push_relaxations, 0);
+}
+
+#[test]
+fn intra_balance_threshold_zero_is_correct() {
+    // π = 0 marks every vertex heavy — pure correctness check for the
+    // balanced charging path.
+    use crate::config::IntraBalance;
+    let g = medium_graph();
+    let cfg = SsspConfig::opt(25).with_intra_balance(IntraBalance::Threshold(0));
+    let out = run_cfg(&g, 4, &cfg);
+    assert_matches_dijkstra(&g, 0, &out);
+}
+
+#[test]
+fn expectation_estimator_matches_results_and_decides_sanely() {
+    use crate::config::PullEstimator;
+    let g = medium_graph();
+    let exact = run_cfg(
+        &g,
+        4,
+        &SsspConfig::prune(25).with_pull_estimator(PullEstimator::Exact),
+    );
+    let expectation = run_cfg(
+        &g,
+        4,
+        &SsspConfig::prune(25).with_pull_estimator(PullEstimator::Expectation),
+    );
+    assert_eq!(exact.distances, expectation.distances);
+    // Both estimators should produce mostly the same decisions on a graph
+    // with genuinely uniform weights.
+    let agree = exact
+        .stats
+        .bucket_records
+        .iter()
+        .zip(&expectation.stats.bucket_records)
+        .filter(|(a, b)| a.mode == b.mode)
+        .count();
+    assert!(
+        2 * agree >= exact.stats.bucket_records.len(),
+        "estimators disagree on most buckets: {agree}/{}",
+        exact.stats.bucket_records.len()
+    );
+}
+
+#[test]
+fn heavy_multigraph_with_duplicate_edges() {
+    // Duplicate parallel edges with different weights must not confuse the
+    // classification (the lightest parallel edge decides the distance).
+    let mut el = sssp_graph::EdgeList::new(4);
+    for w in [50u32, 3, 20] {
+        el.push(0, 1, w);
+    }
+    el.push(1, 2, 7);
+    el.push(1, 2, 5);
+    el.push(2, 3, 100);
+    let g = CsrBuilder::new().build(&el);
+    for cfg in [SsspConfig::dijkstra(), SsspConfig::del(10), SsspConfig::opt(10)] {
+        let out = run_cfg(&g, 2, &cfg);
+        assert_eq!(out.distances, vec![0, 3, 8, 108]);
+    }
+}
+
+#[test]
+fn bucket_records_are_strictly_increasing() {
+    let g = medium_graph();
+    let out = run_cfg(&g, 4, &SsspConfig::prune(25));
+    let buckets: Vec<u64> = out.stats.bucket_records.iter().map(|r| r.bucket).collect();
+    assert!(buckets.windows(2).all(|w| w[0] < w[1]), "{buckets:?}");
+}
+
+#[test]
+fn comm_supersteps_bound_phase_count() {
+    // Every phase needs at least one superstep; pull phases use up to three.
+    let g = medium_graph();
+    let out = run_cfg(&g, 4, &SsspConfig::opt(25));
+    let steps = out.stats.comm.num_supersteps() as u64;
+    assert!(steps >= out.stats.phases);
+    assert!(steps <= 3 * out.stats.phases);
+}

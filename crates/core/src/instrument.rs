@@ -1,0 +1,242 @@
+//! Run instrumentation: every count the paper's figures are built from.
+
+use sssp_comm::cost::TimeLedger;
+use sssp_comm::stats::CommStats;
+
+use crate::config::LongPhaseMode;
+
+/// What kind of superstep a phase record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// A short-edge phase of some bucket.
+    Short,
+    /// A push-mode long-edge phase.
+    LongPush,
+    /// A pull-mode long-edge phase (requests + responses).
+    LongPull,
+    /// A Bellman-Ford phase of the hybrid tail.
+    BellmanFord,
+}
+
+/// One relaxation superstep (Fig. 4 plots these in sequence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRecord {
+    /// Bucket being processed (`u64::MAX` for the hybrid tail).
+    pub bucket: u64,
+    pub kind: PhaseKind,
+    /// Relaxation messages generated (requests + responses for pull).
+    pub relaxations: u64,
+    /// Cross-rank messages.
+    pub remote_msgs: u64,
+}
+
+/// Per-processed-bucket record (Fig. 7 and the §IV-G validation read these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketRecord {
+    pub bucket: u64,
+    /// Vertices settled by this bucket (global).
+    pub settled: u64,
+    /// Mechanism used for the long-edge phase.
+    pub mode: LongPhaseMode,
+    /// Estimated volumes the decision heuristic compared.
+    pub est_push: u64,
+    pub est_pull: u64,
+    /// Push-mode receiver-side classification (§III-B): targets already in
+    /// the current bucket / an earlier bucket / a later bucket. Zero when
+    /// the bucket ran in pull mode.
+    pub self_edges: u64,
+    pub backward_edges: u64,
+    pub forward_edges: u64,
+    /// Pull-mode traffic. Zero when the bucket ran in push mode.
+    pub requests: u64,
+    pub responses: u64,
+}
+
+/// Aggregated statistics of one SSSP run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Buckets processed by Δ-stepping epochs (the hybrid tail, if any,
+    /// counts as one more — see [`Self::buckets`]).
+    pub epochs: u64,
+    /// Total relaxation supersteps (short + long + Bellman-Ford phases).
+    pub phases: u64,
+    /// Bucket index at which hybridization switched to Bellman-Ford.
+    pub hybrid_switch_at: Option<u64>,
+
+    pub short_relaxations: u64,
+    /// Outer short edges deferred to the long phase by IOS.
+    pub outer_short_relaxations: u64,
+    pub long_push_relaxations: u64,
+    pub pull_requests: u64,
+    pub pull_responses: u64,
+    pub bf_relaxations: u64,
+
+    /// Vertices with a finite final distance.
+    pub reachable: u64,
+
+    pub phase_records: Vec<PhaseRecord>,
+    pub bucket_records: Vec<BucketRecord>,
+
+    pub comm: CommStats,
+    pub ledger: TimeLedger,
+
+    /// Ranks and threads the run was simulated with (for per-thread stats).
+    pub num_ranks: usize,
+    pub threads_per_rank: usize,
+}
+
+impl RunStats {
+    /// Total relaxation operations under the paper's accounting: pull
+    /// requests and responses each count once ("contributing two times" per
+    /// relaxed edge).
+    pub fn relaxations_total(&self) -> u64 {
+        self.short_relaxations
+            + self.outer_short_relaxations
+            + self.long_push_relaxations
+            + self.pull_requests
+            + self.pull_responses
+            + self.bf_relaxations
+    }
+
+    /// Buckets including the hybrid tail's merged bucket (Fig 10d metric).
+    pub fn buckets(&self) -> u64 {
+        self.epochs + u64::from(self.hybrid_switch_at.is_some())
+    }
+
+    /// Average relaxations per thread (Fig 10c metric).
+    pub fn relaxations_per_thread(&self) -> f64 {
+        let t = (self.num_ranks * self.threads_per_rank).max(1) as f64;
+        self.relaxations_total() as f64 / t
+    }
+
+    /// Simulated GTEPS for an input edge count `m`.
+    pub fn gteps(&self, m_edges: u64) -> f64 {
+        sssp_comm::cost::teps(m_edges, self.ledger.total_s()) / 1e9
+    }
+
+    /// Dump the per-phase series (the data behind Fig. 4) as CSV.
+    pub fn phases_csv(&self) -> String {
+        let mut out = String::from("phase,bucket,kind,relaxations,remote_msgs\n");
+        for (i, r) in self.phase_records.iter().enumerate() {
+            let bucket = if r.bucket == u64::MAX {
+                "hybrid".to_string()
+            } else {
+                r.bucket.to_string()
+            };
+            out.push_str(&format!(
+                "{},{},{:?},{},{}\n",
+                i, bucket, r.kind, r.relaxations, r.remote_msgs
+            ));
+        }
+        out
+    }
+
+    /// Dump the per-bucket series (the data behind Fig. 7) as CSV.
+    pub fn buckets_csv(&self) -> String {
+        let mut out = String::from(
+            "bucket,settled,mode,est_push,est_pull,self,backward,forward,requests,responses\n",
+        );
+        for r in &self.bucket_records {
+            out.push_str(&format!(
+                "{},{},{:?},{},{},{},{},{},{},{}\n",
+                r.bucket,
+                r.settled,
+                r.mode,
+                r.est_push,
+                r.est_pull,
+                r.self_edges,
+                r.backward_edges,
+                r.forward_edges,
+                r.requests,
+                r.responses
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxation_total_sums_all_kinds() {
+        let s = RunStats {
+            short_relaxations: 10,
+            outer_short_relaxations: 4,
+            long_push_relaxations: 20,
+            pull_requests: 7,
+            pull_responses: 5,
+            bf_relaxations: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.relaxations_total(), 49);
+    }
+
+    #[test]
+    fn buckets_counts_hybrid_tail() {
+        let mut s = RunStats { epochs: 4, ..Default::default() };
+        assert_eq!(s.buckets(), 4);
+        s.hybrid_switch_at = Some(3);
+        assert_eq!(s.buckets(), 5);
+    }
+
+    #[test]
+    fn per_thread_average() {
+        let s = RunStats {
+            short_relaxations: 100,
+            num_ranks: 5,
+            threads_per_rank: 2,
+            ..Default::default()
+        };
+        assert!((s.relaxations_per_thread() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gteps_zero_when_no_time() {
+        let s = RunStats::default();
+        assert_eq!(s.gteps(1000), 0.0);
+    }
+
+    #[test]
+    fn phases_csv_has_header_and_rows() {
+        let s = RunStats {
+            phase_records: vec![
+                PhaseRecord { bucket: 0, kind: PhaseKind::Short, relaxations: 5, remote_msgs: 3 },
+                PhaseRecord {
+                    bucket: u64::MAX,
+                    kind: PhaseKind::BellmanFord,
+                    relaxations: 9,
+                    remote_msgs: 7,
+                },
+            ],
+            ..Default::default()
+        };
+        let csv = s.phases_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0,0,Short,5,3"));
+        assert!(lines[2].contains("hybrid"));
+    }
+
+    #[test]
+    fn buckets_csv_round_numbers() {
+        let s = RunStats {
+            bucket_records: vec![BucketRecord {
+                bucket: 2,
+                settled: 10,
+                mode: LongPhaseMode::Pull,
+                est_push: 100,
+                est_pull: 40,
+                self_edges: 0,
+                backward_edges: 0,
+                forward_edges: 0,
+                requests: 20,
+                responses: 15,
+            }],
+            ..Default::default()
+        };
+        let csv = s.buckets_csv();
+        assert!(csv.contains("2,10,Pull,100,40,0,0,0,20,15"));
+    }
+}

@@ -1,0 +1,44 @@
+//! The paper's contribution: distributed Δ-stepping with edge
+//! classification, the IOS refinement, push/pull direction-optimized
+//! pruning, Bellman-Ford hybridization and two-tier load balancing —
+//! running on the simulated distributed runtime of `sssp-comm`.
+//!
+//! Entry point: [`engine::run_sssp`] with a [`config::SsspConfig`] preset:
+//!
+//! | Preset | Paper name | Ingredients |
+//! |---|---|---|
+//! | [`SsspConfig::dijkstra`] | Dijkstra (Dial) | Δ = 1 |
+//! | [`SsspConfig::bellman_ford`] | Bellman-Ford | Δ = ∞ |
+//! | [`SsspConfig::del`] | `Del-Δ` | Δ-stepping + short/long classification |
+//! | [`SsspConfig::prune`] | `Prune-Δ` | + IOS + push/pull pruning heuristic |
+//! | [`SsspConfig::opt`] | `OPT-Δ` | + hybridization (τ = 0.4) |
+//! | [`SsspConfig::lb_opt`] | `LB-OPT` | + intra-node thread balancing |
+//!
+//! Inter-node vertex splitting (the second load-balancing tier) is a graph
+//! transformation: apply [`sssp_dist::split_heavy_vertices`] before building
+//! the [`sssp_dist::DistGraph`].
+//!
+//! [`SsspConfig::dijkstra`]: config::SsspConfig::dijkstra
+//! [`SsspConfig::bellman_ford`]: config::SsspConfig::bellman_ford
+//! [`SsspConfig::del`]: config::SsspConfig::del
+//! [`SsspConfig::prune`]: config::SsspConfig::prune
+//! [`SsspConfig::opt`]: config::SsspConfig::opt
+//! [`SsspConfig::lb_opt`]: config::SsspConfig::lb_opt
+
+pub mod betweenness;
+pub mod bfs;
+pub mod cc;
+pub mod closeness;
+pub mod config;
+pub mod crauser;
+pub mod engine;
+pub mod pagerank;
+pub mod instrument;
+pub mod seq;
+pub mod state;
+pub mod threaded_kernels;
+pub mod validate;
+
+pub use config::{DeltaParam, DirectionPolicy, IntraBalance, LongPhaseMode, SsspConfig};
+pub use engine::{run_sssp, SsspOutput};
+pub use instrument::RunStats;

@@ -1,0 +1,272 @@
+//! Per-rank mutable state of the distributed Δ-stepping engine.
+//!
+//! Each rank owns the tentative distances and bucket structure of its local
+//! vertices. Buckets use the classic lazy-deletion representation: a
+//! `BTreeMap` from bucket index to a vector of members plus an authoritative
+//! `bucket_of` array; entries whose `bucket_of` no longer matches are
+//! skipped at iteration time. A vertex only ever moves to a strictly lower
+//! bucket, so it appears at most once in any bucket vector. Exact
+//! per-bucket counts are kept alongside for the next-bucket collective.
+
+use std::collections::BTreeMap;
+
+use sssp_dist::ThreadLoads;
+
+use crate::config::DeltaParam;
+
+/// "Infinite" tentative distance.
+pub const INF: u64 = u64::MAX;
+
+/// Bucket index of unreached vertices (the paper's B∞).
+pub const INF_BUCKET: u64 = u64::MAX;
+
+/// State of one simulated rank.
+#[derive(Debug)]
+pub struct RankState {
+    pub rank: usize,
+    pub dist: Vec<u64>,
+    pub bucket_of: Vec<u64>,
+    buckets: BTreeMap<u64, Vec<u32>>,
+    counts: BTreeMap<u64, u64>,
+    /// Vertices whose distance changed in the current phase (deduplicated).
+    pub changed: Vec<u32>,
+    changed_stamp: Vec<u32>,
+    stamp: u32,
+    /// Active vertices for the next phase.
+    pub active: Vec<u32>,
+    /// Per-thread operation ledger for the current superstep.
+    pub loads: ThreadLoads,
+}
+
+impl RankState {
+    pub fn new(rank: usize, n_local: usize, threads: usize) -> Self {
+        RankState {
+            rank,
+            dist: vec![INF; n_local],
+            bucket_of: vec![INF_BUCKET; n_local],
+            buckets: BTreeMap::new(),
+            counts: BTreeMap::new(),
+            changed: Vec::new(),
+            changed_stamp: vec![0; n_local],
+            stamp: 0,
+            active: Vec::new(),
+            loads: ThreadLoads::new(threads),
+        }
+    }
+
+    pub fn n_local(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Place the root: distance 0, bucket 0.
+    pub fn set_root(&mut self, local: u32) {
+        self.dist[local as usize] = 0;
+        self.bucket_of[local as usize] = 0;
+        self.buckets.entry(0).or_default().push(local);
+        *self.counts.entry(0).or_insert(0) += 1;
+    }
+
+    /// Begin a new phase: clear the changed set.
+    pub fn begin_phase(&mut self) {
+        self.changed.clear();
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp wrapped: reset markers to keep correctness.
+            self.changed_stamp.fill(0);
+            self.stamp = 1;
+        }
+    }
+
+    /// Apply `Relax`: `d(v) ← min(d(v), nd)`, moving buckets as required
+    /// (Fig. 2 of the paper). Returns whether the distance decreased.
+    #[inline]
+    pub fn relax(&mut self, local: u32, nd: u64, delta: &DeltaParam) -> bool {
+        let li = local as usize;
+        if nd >= self.dist[li] {
+            return false;
+        }
+        let old_b = self.bucket_of[li];
+        let new_b = delta.bucket_of(nd);
+        self.dist[li] = nd;
+        if new_b < old_b {
+            if old_b != INF_BUCKET {
+                let c = self.counts.get_mut(&old_b).expect("bucket count missing");
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&old_b);
+                }
+            }
+            self.bucket_of[li] = new_b;
+            self.buckets.entry(new_b).or_default().push(local);
+            *self.counts.entry(new_b).or_insert(0) += 1;
+        }
+        if self.changed_stamp[li] != self.stamp {
+            self.changed_stamp[li] = self.stamp;
+            self.changed.push(local);
+        }
+        true
+    }
+
+    /// Live members of bucket `k` (lazy deletion filtered).
+    pub fn bucket_members(&self, k: u64) -> impl Iterator<Item = u32> + '_ {
+        self.buckets
+            .get(&k)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |&v| self.bucket_of[v as usize] == k)
+    }
+
+    /// Raw (unfiltered) length of bucket `k`'s vector — the scan cost of
+    /// collecting the bucket's members.
+    pub fn bucket_scan_len(&self, k: u64) -> usize {
+        self.buckets.get(&k).map_or(0, Vec::len)
+    }
+
+    /// Exact number of vertices currently in bucket `k`.
+    pub fn bucket_count(&self, k: u64) -> u64 {
+        self.counts.get(&k).copied().unwrap_or(0)
+    }
+
+    /// Smallest non-empty bucket index `> k`, if any. Pass `None` to search
+    /// from the beginning.
+    pub fn next_nonempty_after(&self, k: Option<u64>) -> Option<u64> {
+        let range = match k {
+            Some(k) => self.counts.range(k + 1..),
+            None => self.counts.range(..),
+        };
+        range.filter(|&(_, &c)| c > 0).map(|(&b, _)| b).next()
+    }
+
+    /// Number of unsettled vertices (bucket index > `k`), i.e. the scan
+    /// extent of a pull phase for current bucket `k`.
+    pub fn count_unsettled_after(&self, k: u64) -> u64 {
+        let later: u64 = self.counts.range(k + 1..).map(|(_, &c)| c).sum();
+        let infinite = self
+            .bucket_of
+            .iter()
+            .filter(|&&b| b == INF_BUCKET)
+            .count() as u64;
+        later + infinite
+    }
+
+    /// Collect the live members of bucket `k` into `active`.
+    pub fn collect_active_from_bucket(&mut self, k: u64) {
+        let members: Vec<u32> = self.bucket_members(k).collect();
+        self.active = members;
+    }
+
+    /// Collect every unsettled finite vertex (the hybrid tail's initial
+    /// active set).
+    pub fn collect_active_unsettled(&mut self, k: u64) {
+        self.active = (0..self.n_local() as u32)
+            .filter(|&v| {
+                let b = self.bucket_of[v as usize];
+                b > k && b != INF_BUCKET
+            })
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta5() -> DeltaParam {
+        DeltaParam::Finite(5)
+    }
+
+    #[test]
+    fn root_goes_to_bucket_zero() {
+        let mut s = RankState::new(0, 10, 2);
+        s.set_root(3);
+        assert_eq!(s.dist[3], 0);
+        assert_eq!(s.bucket_count(0), 1);
+        assert_eq!(s.bucket_members(0).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn relax_improves_and_moves_buckets() {
+        let mut s = RankState::new(0, 4, 1);
+        s.begin_phase();
+        assert!(s.relax(1, 12, &delta5())); // bucket 2
+        assert_eq!(s.bucket_of[1], 2);
+        assert!(s.relax(1, 3, &delta5())); // bucket 0
+        assert_eq!(s.bucket_of[1], 0);
+        assert_eq!(s.bucket_count(2), 0);
+        assert_eq!(s.bucket_count(0), 1);
+        assert!(!s.relax(1, 3, &delta5())); // equal: no change
+        assert!(!s.relax(1, 7, &delta5())); // worse: no change
+    }
+
+    #[test]
+    fn changed_is_deduplicated() {
+        let mut s = RankState::new(0, 4, 1);
+        s.begin_phase();
+        s.relax(2, 100, &delta5());
+        s.relax(2, 50, &delta5());
+        s.relax(2, 20, &delta5());
+        assert_eq!(s.changed, vec![2]);
+        s.begin_phase();
+        assert!(s.changed.is_empty());
+        s.relax(2, 10, &delta5());
+        assert_eq!(s.changed, vec![2]);
+    }
+
+    #[test]
+    fn lazy_deletion_filters_members() {
+        let mut s = RankState::new(0, 4, 1);
+        s.begin_phase();
+        s.relax(1, 12, &delta5()); // bucket 2
+        s.relax(2, 13, &delta5()); // bucket 2
+        s.relax(1, 2, &delta5()); // moves to bucket 0; stale entry remains in 2
+        let members: Vec<u32> = s.bucket_members(2).collect();
+        assert_eq!(members, vec![2]);
+        assert_eq!(s.bucket_scan_len(2), 2); // stale entry still scanned
+        assert_eq!(s.bucket_count(2), 1);
+    }
+
+    #[test]
+    fn next_nonempty_after_skips_empties() {
+        let mut s = RankState::new(0, 8, 1);
+        s.begin_phase();
+        s.relax(0, 3, &delta5()); // bucket 0
+        s.relax(1, 26, &delta5()); // bucket 5
+        assert_eq!(s.next_nonempty_after(None), Some(0));
+        assert_eq!(s.next_nonempty_after(Some(0)), Some(5));
+        assert_eq!(s.next_nonempty_after(Some(5)), None);
+    }
+
+    #[test]
+    fn unsettled_counts_include_infinite() {
+        let mut s = RankState::new(0, 6, 1);
+        s.begin_phase();
+        s.relax(0, 3, &delta5()); // bucket 0
+        s.relax(1, 26, &delta5()); // bucket 5
+        // 4 INF vertices + 1 in bucket 5.
+        assert_eq!(s.count_unsettled_after(0), 5);
+        assert_eq!(s.count_unsettled_after(5), 4);
+    }
+
+    #[test]
+    fn collect_active_unsettled_excludes_inf_and_settled() {
+        let mut s = RankState::new(0, 6, 1);
+        s.begin_phase();
+        s.relax(0, 3, &delta5()); // settled after bucket 0
+        s.relax(1, 26, &delta5());
+        s.relax(2, 31, &delta5());
+        s.collect_active_unsettled(0);
+        assert_eq!(s.active, vec![1, 2]);
+    }
+
+    #[test]
+    fn infinite_delta_single_bucket() {
+        let mut s = RankState::new(0, 4, 1);
+        s.begin_phase();
+        s.relax(0, 1_000_000, &DeltaParam::Infinite);
+        s.relax(1, 5, &DeltaParam::Infinite);
+        assert_eq!(s.bucket_of[0], 0);
+        assert_eq!(s.bucket_of[1], 0);
+        assert_eq!(s.bucket_count(0), 2);
+    }
+}

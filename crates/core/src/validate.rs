@@ -1,0 +1,188 @@
+//! Validation of distributed runs against the sequential reference.
+
+use sssp_graph::{Csr, VertexId};
+
+use crate::engine::SsspOutput;
+use crate::seq;
+use crate::state::INF;
+
+/// A mismatch between a distributed run and the Dijkstra reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    pub vertex: VertexId,
+    pub expected: u64,
+    pub actual: u64,
+}
+
+/// Compare a run's distances against sequential Dijkstra on the *original*
+/// graph. `out.distances` may be longer than `g.num_vertices()` when the
+/// run used a split graph — proxy distances are ignored (original vertices
+/// keep their ids under splitting).
+pub fn check_against_dijkstra(g: &Csr, root: VertexId, out: &SsspOutput) -> Vec<Mismatch> {
+    let expected = seq::dijkstra(g, root);
+    assert!(out.distances.len() >= expected.len(), "output shorter than graph");
+    expected
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &e)| {
+            let a = out.distances[v];
+            (a != e).then_some(Mismatch { vertex: v as VertexId, expected: e, actual: a })
+        })
+        .collect()
+}
+
+/// Panic with a readable report if the run disagrees with Dijkstra.
+pub fn assert_matches_dijkstra(g: &Csr, root: VertexId, out: &SsspOutput) {
+    let mismatches = check_against_dijkstra(g, root, out);
+    if !mismatches.is_empty() {
+        let show: Vec<String> = mismatches
+            .iter()
+            .take(10)
+            .map(|m| {
+                format!(
+                    "v{}: expected {}, got {}",
+                    m.vertex,
+                    fmt_dist(m.expected),
+                    fmt_dist(m.actual)
+                )
+            })
+            .collect();
+        panic!(
+            "{} mismatches vs Dijkstra (root {root}); first ones: {}",
+            mismatches.len(),
+            show.join("; ")
+        );
+    }
+}
+
+fn fmt_dist(d: u64) -> String {
+    if d == INF {
+        "INF".to_string()
+    } else {
+        d.to_string()
+    }
+}
+
+/// Sentinel for "no parent" in a shortest-path tree.
+pub const NO_PARENT: VertexId = VertexId::MAX;
+
+/// Derive a shortest-path tree from a distance array: for every reachable
+/// non-root vertex, pick a *tight* predecessor (`d(u) + w(u,v) = d(v)`).
+/// Correct distance arrays always admit one; the engine therefore does not
+/// need to carry parent pointers in its messages (and the paper's relax
+/// traffic stays at its published size).
+///
+/// Panics if some reachable vertex has no tight predecessor — i.e. if
+/// `dist` is not a valid SSSP solution for `g`.
+pub fn build_parent_tree(g: &Csr, root: VertexId, dist: &[u64]) -> Vec<VertexId> {
+    assert!(dist.len() >= g.num_vertices());
+    let mut parent = vec![NO_PARENT; g.num_vertices()];
+    for v in g.vertices() {
+        let dv = dist[v as usize];
+        if v == root || dv == INF {
+            continue;
+        }
+        parent[v as usize] = g
+            .row(v)
+            .find(|&(u, w)| dist[u as usize].saturating_add(w as u64) == dv)
+            .map(|(u, _)| u)
+            .unwrap_or_else(|| panic!("vertex {v} has no tight predecessor; invalid distances"));
+    }
+    parent
+}
+
+/// Reconstruct the shortest path `root → v` from a parent tree. Returns
+/// `None` when `v` is unreachable.
+pub fn shortest_path(parent: &[VertexId], root: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
+    if v != root && parent[v as usize] == NO_PARENT {
+        return None;
+    }
+    let mut path = vec![v];
+    let mut cur = v;
+    while cur != root {
+        cur = parent[cur as usize];
+        debug_assert!(cur != NO_PARENT);
+        path.push(cur);
+        assert!(path.len() <= parent.len(), "parent cycle — invalid tree");
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use sssp_graph::{gen, CsrBuilder};
+
+    #[test]
+    fn parent_tree_on_path_graph() {
+        let g = CsrBuilder::new().build(&gen::path(5, 2));
+        let dist = seq::dijkstra(&g, 0);
+        let parent = build_parent_tree(&g, 0, &dist);
+        assert_eq!(parent[0], NO_PARENT);
+        for (v, &pv) in parent.iter().enumerate().skip(1) {
+            assert_eq!(pv, v as u32 - 1);
+        }
+        let p = shortest_path(&parent, 0, 4).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn paths_have_correct_lengths() {
+        let g = CsrBuilder::new().build(&gen::uniform(80, 500, 20, 3));
+        let dist = seq::dijkstra(&g, 0);
+        let parent = build_parent_tree(&g, 0, &dist);
+        for v in g.vertices() {
+            let Some(path) = shortest_path(&parent, 0, v) else {
+                assert_eq!(dist[v as usize], INF);
+                continue;
+            };
+            // Sum the edge weights along the reconstructed path.
+            let mut total = 0u64;
+            for pair in path.windows(2) {
+                let w = g
+                    .row(pair[1])
+                    .filter(|&(u, _)| u == pair[0])
+                    .map(|(_, w)| w)
+                    .min()
+                    .expect("path edge must exist");
+                total += w as u64;
+            }
+            assert_eq!(total, dist[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn unreachable_has_no_path() {
+        let mut el = gen::path(3, 1);
+        el.n = 5;
+        let g = CsrBuilder::new().build(&el);
+        let dist = seq::dijkstra(&g, 0);
+        let parent = build_parent_tree(&g, 0, &dist);
+        assert!(shortest_path(&parent, 0, 4).is_none());
+        assert!(shortest_path(&parent, 0, 2).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no tight predecessor")]
+    fn invalid_distances_rejected() {
+        let g = CsrBuilder::new().build(&gen::path(3, 2));
+        let bad = vec![0u64, 1, 4]; // d(1) should be 2
+        let _ = build_parent_tree(&g, 0, &bad);
+    }
+
+    #[test]
+    fn mismatch_reporting_works() {
+        let g = CsrBuilder::new().build(&gen::path(3, 2));
+        let out = crate::engine::SsspOutput {
+            distances: vec![0, 2, 5], // d(2) should be 4
+            stats: Default::default(),
+        };
+        let mism = check_against_dijkstra(&g, 0, &out);
+        assert_eq!(mism.len(), 1);
+        assert_eq!(mism[0].vertex, 2);
+        assert_eq!(mism[0].expected, 4);
+        assert_eq!(mism[0].actual, 5);
+    }
+}

@@ -1,0 +1,333 @@
+//! Per-rank CSR slices and the assembled distributed graph.
+
+use sssp_graph::{Csr, VertexId, Weight};
+
+use crate::partition::Partition;
+
+/// The adjacency of one rank's vertices. Rows are indexed by *local* vertex
+/// id and keep the weight-sorted order inherited from the global CSR, so the
+/// short/long split, the IOS inner bound and the pull-request count are all
+/// binary searches here too.
+#[derive(Debug, Clone)]
+pub struct LocalGraph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>, // global ids
+    weights: Vec<Weight>,
+    /// Per-vertex power-of-two weight histograms (`hist_buckets` counters
+    /// per row) — the approximate range-count structure §III-C suggests as
+    /// an alternative to binary search on sorted rows.
+    hist: Vec<u32>,
+    hist_buckets: usize,
+}
+
+/// Histogram bucket of a weight: 0 for `w = 0`, otherwise `1 + ⌊log₂ w⌋`
+/// (bucket `b ≥ 1` covers `[2^{b−1}, 2^b)`).
+#[inline]
+pub fn weight_bucket(w: Weight) -> usize {
+    if w == 0 {
+        0
+    } else {
+        1 + (31 - w.leading_zeros()) as usize
+    }
+}
+
+impl LocalGraph {
+    fn from_rows(rows: Vec<(Vec<VertexId>, Vec<Weight>)>) -> Self {
+        let total: usize = rows.iter().map(|(t, _)| t.len()).sum();
+        let max_w = rows
+            .iter()
+            .flat_map(|(_, w)| w.iter().copied())
+            .max()
+            .unwrap_or(0);
+        let hist_buckets = weight_bucket(max_w) + 1;
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut targets = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        let mut hist = vec![0u32; rows.len() * hist_buckets];
+        offsets.push(0);
+        for (i, (t, w)) in rows.into_iter().enumerate() {
+            for &x in &w {
+                hist[i * hist_buckets + weight_bucket(x)] += 1;
+            }
+            targets.extend_from_slice(&t);
+            weights.extend_from_slice(&w);
+            offsets.push(targets.len());
+        }
+        LocalGraph { offsets, targets, weights, hist, hist_buckets }
+    }
+
+    /// Approximate number of edges of `local` with weight `< bound`, from
+    /// the power-of-two histogram: whole buckets below `bound` count fully,
+    /// the straddled bucket contributes linearly. `O(log w_max)` regardless
+    /// of degree, and within a factor of 2 of the exact count.
+    pub fn estimate_weight_below(&self, local: usize, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        let row = &self.hist[local * self.hist_buckets..(local + 1) * self.hist_buckets];
+        let mut est = 0.0f64;
+        for (b, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (lo, hi) = if b == 0 { (0u64, 1u64) } else { (1u64 << (b - 1), 1u64 << b) };
+            if bound >= hi {
+                est += c as f64;
+            } else if bound > lo {
+                est += c as f64 * (bound - lo) as f64 / (hi - lo) as f64;
+            }
+        }
+        est.round() as u64
+    }
+
+    #[inline]
+    pub fn num_local(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    pub fn degree(&self, local: usize) -> usize {
+        self.offsets[local + 1] - self.offsets[local]
+    }
+
+    /// `(targets, weights)` of the row, sorted by weight.
+    #[inline]
+    pub fn row(&self, local: usize) -> (&[VertexId], &[Weight]) {
+        let lo = self.offsets[local];
+        let hi = self.offsets[local + 1];
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Number of edges of `local` with weight `< bound` (binary search).
+    #[inline]
+    pub fn count_weight_below(&self, local: usize, bound: Weight) -> usize {
+        let (_, ws) = self.row(local);
+        ws.partition_point(|&w| w < bound)
+    }
+
+    /// First row position with weight `>= bound`; the suffix from here is
+    /// the "long edge" range for `bound = Δ`.
+    #[inline]
+    pub fn weight_lower_bound(&self, local: usize, bound: Weight) -> usize {
+        self.count_weight_below(local, bound)
+    }
+
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// A graph distributed over `P` simulated ranks.
+#[derive(Debug, Clone)]
+pub struct DistGraph {
+    pub part: Partition,
+    pub locals: Vec<LocalGraph>,
+    /// Logical threads per rank (for the intra-node load model).
+    pub threads_per_rank: usize,
+    /// Directed edge slots over all ranks (2× undirected count).
+    pub m_directed: u64,
+    /// Undirected edge count of the *input* graph (pre-splitting); this is
+    /// the `m` in the benchmark's `TEPS = m / t`.
+    pub m_input_undirected: u64,
+}
+
+impl DistGraph {
+    /// Distribute `csr` over `p` ranks with `threads_per_rank` logical
+    /// threads each (block distribution, the paper's layout).
+    pub fn build(csr: &Csr, p: usize, threads_per_rank: usize) -> Self {
+        let part = Partition::new(csr.num_vertices(), p);
+        Self::build_with_partition(csr, part, threads_per_rank, csr.num_undirected_edges() as u64)
+    }
+
+    /// Distribute with a cyclic layout (`owner(v) = v mod P`) — useful when
+    /// vertex ids correlate with degree.
+    pub fn build_cyclic(csr: &Csr, p: usize, threads_per_rank: usize) -> Self {
+        let part = Partition::cyclic(csr.num_vertices(), p);
+        Self::build_with_partition(csr, part, threads_per_rank, csr.num_undirected_edges() as u64)
+    }
+
+    /// Distribute a split graph (see [`crate::split`]): `part` carries the
+    /// proxy region, `m_input_undirected` should be the pre-split edge count.
+    pub fn build_with_partition(
+        csr: &Csr,
+        part: Partition,
+        threads_per_rank: usize,
+        m_input_undirected: u64,
+    ) -> Self {
+        assert_eq!(csr.num_vertices(), part.num_vertices());
+        let locals = Self::slice(csr, &part);
+        DistGraph {
+            part,
+            locals,
+            threads_per_rank: threads_per_rank.max(1),
+            m_directed: csr.num_directed_edges() as u64,
+            m_input_undirected,
+        }
+    }
+
+    fn slice(csr: &Csr, part: &Partition) -> Vec<LocalGraph> {
+        (0..part.num_ranks())
+            .map(|rank| {
+                let rows: Vec<(Vec<VertexId>, Vec<Weight>)> = (0..part.local_count(rank))
+                    .map(|local| {
+                        let v = part.to_global(rank, local);
+                        let (t, w) = csr.row_slices(v);
+                        (t.to_vec(), w.to_vec())
+                    })
+                    .collect();
+                LocalGraph::from_rows(rows)
+            })
+            .collect()
+    }
+
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.part.num_ranks()
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.part.num_vertices()
+    }
+
+    /// Degree of a global vertex (routed through its owner's local graph).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.locals[self.part.owner(v)].degree(self.part.to_local(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssp_graph::{gen, CsrBuilder};
+
+    fn small() -> Csr {
+        CsrBuilder::new().build(&gen::uniform(64, 400, 50, 3))
+    }
+
+    #[test]
+    fn slicing_preserves_rows() {
+        let csr = small();
+        let dg = DistGraph::build(&csr, 5, 2);
+        for v in csr.vertices() {
+            let r = dg.part.owner(v);
+            let l = dg.part.to_local(v);
+            let (t, w) = dg.locals[r].row(l);
+            let (gt, gw) = csr.row_slices(v);
+            assert_eq!(t, gt);
+            assert_eq!(w, gw);
+        }
+    }
+
+    #[test]
+    fn edge_totals_match() {
+        let csr = small();
+        let dg = DistGraph::build(&csr, 7, 1);
+        let total: usize = dg.locals.iter().map(|l| l.num_directed_edges()).sum();
+        assert_eq!(total, csr.num_directed_edges());
+        assert_eq!(dg.m_directed, csr.num_directed_edges() as u64);
+        assert_eq!(dg.m_input_undirected, csr.num_undirected_edges() as u64);
+    }
+
+    #[test]
+    fn count_weight_below_matches_global() {
+        let csr = small();
+        let dg = DistGraph::build(&csr, 3, 1);
+        for v in csr.vertices() {
+            let r = dg.part.owner(v);
+            let l = dg.part.to_local(v);
+            for bound in [0, 1, 10, 25, 51] {
+                assert_eq!(
+                    dg.locals[r].count_weight_below(l, bound),
+                    csr.count_weight_below(v, bound)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_route_matches() {
+        let csr = small();
+        let dg = DistGraph::build(&csr, 4, 1);
+        for v in csr.vertices() {
+            assert_eq!(dg.degree(v), csr.degree(v));
+        }
+    }
+
+    #[test]
+    fn single_rank_holds_whole_graph() {
+        let csr = small();
+        let dg = DistGraph::build(&csr, 1, 4);
+        assert_eq!(dg.locals[0].num_local(), csr.num_vertices());
+        assert_eq!(dg.locals[0].num_directed_edges(), csr.num_directed_edges());
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        let csr = small();
+        let dg = DistGraph::build(&csr, 2, 0);
+        assert_eq!(dg.threads_per_rank, 1);
+    }
+
+    #[test]
+    fn weight_bucket_boundaries() {
+        assert_eq!(weight_bucket(0), 0);
+        assert_eq!(weight_bucket(1), 1);
+        assert_eq!(weight_bucket(2), 2);
+        assert_eq!(weight_bucket(3), 2);
+        assert_eq!(weight_bucket(4), 3);
+        assert_eq!(weight_bucket(255), 8);
+        assert_eq!(weight_bucket(256), 9);
+    }
+
+    #[test]
+    fn histogram_estimate_brackets_exact_count() {
+        let csr = small();
+        let dg = DistGraph::build(&csr, 3, 1);
+        for r in 0..3 {
+            let lg = &dg.locals[r];
+            for v in 0..lg.num_local() {
+                let deg = lg.degree(v) as u64;
+                for bound in [1u64, 2, 5, 17, 33, 64, 100] {
+                    let exact = lg.count_weight_below(v, bound as u32) as u64;
+                    let est = lg.estimate_weight_below(v, bound);
+                    // Linear interpolation within a power-of-two bucket is
+                    // off by at most that bucket's population.
+                    assert!(est <= deg);
+                    let err = est.abs_diff(exact);
+                    assert!(
+                        err <= (exact / 2).max(4),
+                        "rank {r} v {v} bound {bound}: est {est} exact {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_estimate_exact_at_bucket_edges() {
+        // At power-of-two boundaries the estimate equals the exact count.
+        let csr = small();
+        let dg = DistGraph::build(&csr, 1, 1);
+        let lg = &dg.locals[0];
+        for v in 0..lg.num_local() {
+            for bound in [1u64, 2, 4, 8, 16, 32, 64] {
+                assert_eq!(
+                    lg.estimate_weight_below(v, bound),
+                    lg.count_weight_below(v, bound as u32) as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_estimate_full_range() {
+        let csr = small();
+        let dg = DistGraph::build(&csr, 1, 1);
+        let lg = &dg.locals[0];
+        for v in 0..lg.num_local() {
+            assert_eq!(lg.estimate_weight_below(v, u64::MAX), lg.degree(v) as u64);
+            assert_eq!(lg.estimate_weight_below(v, 0), 0);
+        }
+    }
+}

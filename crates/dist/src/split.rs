@@ -1,0 +1,200 @@
+//! Inter-node vertex splitting (§III-E, second tier).
+//!
+//! At extreme scale the neighborhood of a single hub exceeds what one rank
+//! can process, so the paper splits such vertices: a vertex `u` with degree
+//! above the π′ threshold is given `ℓ` proxies `u₁ … u_ℓ` connected to `u`
+//! by zero-weight edges; `u`'s original edges are partitioned round-robin
+//! among the proxies, and the proxies are placed on distinct ranks (via the
+//! partition's round-robin proxy region). Shortest distances are unchanged:
+//! any path through `u` now takes two extra zero-weight hops.
+
+use sssp_graph::{Csr, CsrBuilder, EdgeList, VertexId};
+
+use crate::partition::Partition;
+
+/// Outcome summary of a splitting pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitReport {
+    pub threshold: usize,
+    pub heavy_vertices: usize,
+    pub proxies_created: usize,
+    pub max_degree_before: usize,
+    pub max_degree_after: usize,
+}
+
+/// A reasonable default for π′: a vertex is "extreme" when its neighborhood
+/// is a significant fraction of a rank's average edge share. Mirrors the
+/// paper's (unpublished) heuristic in spirit: inter-node splitting only
+/// triggers when intra-node balancing can no longer help.
+pub fn auto_threshold(csr: &Csr, p: usize) -> usize {
+    let per_rank = csr.num_directed_edges() / p.max(1);
+    (per_rank / 4).max(64)
+}
+
+/// Split every vertex with degree > `threshold`. Returns the transformed
+/// graph, the proxy-aware partition for `p` ranks, and a report.
+///
+/// The transformed graph preserves all shortest distances of the original
+/// vertices (ids `0..n`); proxies occupy ids `n..n+proxies_created` and end
+/// with `d(proxy) = d(original)`.
+///
+/// # Examples
+///
+/// ```
+/// use sssp_dist::split_heavy_vertices;
+/// use sssp_graph::{gen, CsrBuilder};
+///
+/// // A 100-leaf star: the center's neighborhood is split into 10 proxies.
+/// let csr = CsrBuilder::new().build(&gen::star(101, 5));
+/// let (split, part, report) = split_heavy_vertices(&csr, 4, 10);
+/// assert_eq!(report.heavy_vertices, 1);
+/// assert_eq!(report.proxies_created, 10);
+/// assert_eq!(split.num_vertices(), 101 + 10);
+/// // The proxies are owned by distinct ranks (round-robin).
+/// assert_ne!(part.owner(101), part.owner(102));
+/// ```
+pub fn split_heavy_vertices(
+    csr: &Csr,
+    p: usize,
+    threshold: usize,
+) -> (Csr, Partition, SplitReport) {
+    assert!(threshold >= 1, "threshold must be positive");
+    let n = csr.num_vertices();
+
+    // Plan: number of proxies per heavy vertex, and their id offsets.
+    let mut num_proxies = vec![0usize; n];
+    let mut proxy_base = vec![0usize; n];
+    let mut total_proxies = 0usize;
+    for v in 0..n {
+        let d = csr.degree(v as VertexId);
+        if d > threshold {
+            proxy_base[v] = total_proxies;
+            num_proxies[v] = d.div_ceil(threshold);
+            total_proxies += num_proxies[v];
+        }
+    }
+
+    let heavy_vertices = num_proxies.iter().filter(|&&k| k > 0).count();
+    let report_before = csr.max_degree();
+
+    if total_proxies == 0 {
+        let part = Partition::new(n, p);
+        return (
+            csr.clone(),
+            part,
+            SplitReport {
+                threshold,
+                heavy_vertices: 0,
+                proxies_created: 0,
+                max_degree_before: report_before,
+                max_degree_after: report_before,
+            },
+        );
+    }
+
+    // Rewrite edges: each endpoint incidence of a heavy vertex goes to the
+    // next proxy in round-robin order.
+    let mut el = EdgeList::new(n + total_proxies);
+    let mut cursor = vec![0usize; n];
+    let endpoint = |v: VertexId, cursor: &mut Vec<usize>| -> VertexId {
+        let vi = v as usize;
+        if num_proxies[vi] == 0 {
+            return v;
+        }
+        let slot = cursor[vi] % num_proxies[vi];
+        cursor[vi] += 1;
+        (n + proxy_base[vi] + slot) as VertexId
+    };
+    for (u, v, w) in csr.undirected_edges() {
+        let nu = endpoint(u, &mut cursor);
+        let nv = endpoint(v, &mut cursor);
+        el.push(nu, nv, w);
+    }
+    // Zero-weight star from each heavy vertex to its proxies.
+    for v in 0..n {
+        for i in 0..num_proxies[v] {
+            el.push(v as VertexId, (n + proxy_base[v] + i) as VertexId, 0);
+        }
+    }
+
+    let new_csr = CsrBuilder::new().build(&el);
+    let part = Partition::with_proxies(n, total_proxies, p);
+    let report = SplitReport {
+        threshold,
+        heavy_vertices,
+        proxies_created: total_proxies,
+        max_degree_before: report_before,
+        max_degree_after: new_csr.max_degree(),
+    };
+    (new_csr, part, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sssp_graph::gen;
+
+    #[test]
+    fn no_heavy_vertices_is_identity() {
+        let csr = CsrBuilder::new().build(&gen::path(10, 3));
+        let (g2, part, rep) = split_heavy_vertices(&csr, 2, 10);
+        assert_eq!(rep.proxies_created, 0);
+        assert_eq!(g2.num_vertices(), 10);
+        assert_eq!(part.num_proxies(), 0);
+    }
+
+    #[test]
+    fn star_center_gets_split() {
+        let csr = CsrBuilder::new().build(&gen::star(101, 5)); // center degree 100
+        let (g2, part, rep) = split_heavy_vertices(&csr, 4, 10);
+        assert_eq!(rep.heavy_vertices, 1);
+        assert_eq!(rep.proxies_created, 10);
+        assert_eq!(part.num_proxies(), 10);
+        // Center now touches only its proxies.
+        assert_eq!(g2.degree(0), 10);
+        // Every proxy: 10 leaf edges + 1 zero edge to the center.
+        for i in 0..10u32 {
+            assert_eq!(g2.degree(101 + i), 11);
+        }
+        assert!(rep.max_degree_after < rep.max_degree_before);
+    }
+
+    #[test]
+    fn split_reduces_max_degree() {
+        let el = gen::uniform(200, 3000, 20, 8);
+        let csr = CsrBuilder::new().build(&el);
+        let thr = 16;
+        let (g2, _, rep) = split_heavy_vertices(&csr, 4, thr);
+        // Original vertices now have degree ≤ threshold or their proxy count;
+        // proxies have ≤ threshold + 1 edges (shard + star edge).
+        for v in 0..g2.num_vertices() {
+            if v < 200 {
+                let d = csr.degree(v as VertexId);
+                if d > thr {
+                    assert_eq!(g2.degree(v as VertexId), d.div_ceil(thr));
+                }
+            } else {
+                assert!(g2.degree(v as VertexId) <= thr + 1);
+            }
+        }
+        assert!(rep.max_degree_after <= rep.max_degree_before);
+    }
+
+    #[test]
+    fn edge_count_grows_only_by_stars() {
+        let csr = CsrBuilder::new().build(&gen::star(51, 2));
+        let (g2, _, rep) = split_heavy_vertices(&csr, 2, 10);
+        assert_eq!(
+            g2.num_undirected_edges(),
+            csr.num_undirected_edges() + rep.proxies_created
+        );
+    }
+
+    #[test]
+    fn zero_weight_edges_present_on_star() {
+        let csr = CsrBuilder::new().build(&gen::star(51, 2));
+        let (g2, _, _) = split_heavy_vertices(&csr, 2, 10);
+        let zero_edges = g2.undirected_edges().filter(|&(_, _, w)| w == 0).count();
+        assert_eq!(zero_edges, 5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of partitioning and vertex splitting.
+
+use proptest::prelude::*;
+
+use sssp_dist::{split_heavy_vertices, DistGraph, Partition};
+use sssp_graph::{gen, CsrBuilder};
+
+proptest! {
+    #[test]
+    fn partition_roundtrip(
+        n in 0usize..200,
+        n_proxy in 0usize..100,
+        p in 1usize..17,
+    ) {
+        let part = Partition::with_proxies(n, n_proxy, p);
+        let mut per_rank = vec![0usize; p];
+        for v in 0..(n + n_proxy) as u32 {
+            let r = part.owner(v);
+            prop_assert!(r < p);
+            let l = part.to_local(v);
+            prop_assert!(l < part.local_count(r));
+            prop_assert_eq!(part.to_global(r, l), v);
+            per_rank[r] += 1;
+        }
+        for (r, &cnt) in per_rank.iter().enumerate() {
+            prop_assert_eq!(cnt, part.local_count(r));
+        }
+    }
+
+    #[test]
+    fn dist_graph_covers_every_row(
+        n in 2usize..80,
+        m in 0usize..300,
+        p in 1usize..9,
+        seed in 0u64..50,
+    ) {
+        let csr = CsrBuilder::new().build(&gen::uniform(n, m, 30, seed));
+        let dg = DistGraph::build(&csr, p, 2);
+        for v in csr.vertices() {
+            let r = dg.part.owner(v);
+            let l = dg.part.to_local(v);
+            let (t, w) = dg.locals[r].row(l);
+            let (gt, gw) = csr.row_slices(v);
+            prop_assert_eq!(t, gt);
+            prop_assert_eq!(w, gw);
+        }
+    }
+
+    #[test]
+    fn splitting_caps_proxy_degrees(
+        n in 4usize..60,
+        m in 10usize..400,
+        p in 1usize..6,
+        thr in 4usize..40,
+        seed in 0u64..50,
+    ) {
+        let csr = CsrBuilder::new().build(&gen::uniform(n, m, 30, seed));
+        let (split, part, rep) = split_heavy_vertices(&csr, p, thr);
+        prop_assert_eq!(part.num_vertices(), split.num_vertices());
+        // Proxies carry at most `thr` shard edges plus the zero-weight star
+        // edge back to their original vertex.
+        for v in n..split.num_vertices() {
+            prop_assert!(split.degree(v as u32) <= thr + 1);
+        }
+        // Originals that were split now only touch proxies.
+        if rep.proxies_created > 0 {
+            for v in 0..n as u32 {
+                if csr.degree(v) > thr {
+                    prop_assert_eq!(split.degree(v), csr.degree(v).div_ceil(thr));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_preserves_shortest_distances(
+        n in 4usize..50,
+        m in 10usize..300,
+        p in 1usize..6,
+        thr in 3usize..20,
+        seed in 0u64..50,
+    ) {
+        // Reference shortest distances via a small local Dijkstra.
+        fn dijkstra(g: &sssp_graph::Csr, root: u32) -> Vec<u64> {
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut dist = vec![u64::MAX; g.num_vertices()];
+            let mut heap = BinaryHeap::new();
+            dist[root as usize] = 0;
+            heap.push(Reverse((0u64, root)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u as usize] { continue; }
+                for (v, w) in g.row(u) {
+                    let nd = d + w as u64;
+                    if nd < dist[v as usize] {
+                        dist[v as usize] = nd;
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+            dist
+        }
+
+        let csr = CsrBuilder::new().build(&gen::uniform(n, m, 30, seed));
+        let (split, _, _) = split_heavy_vertices(&csr, p, thr);
+        let before = dijkstra(&csr, 0);
+        let after = dijkstra(&split, 0);
+        for v in 0..n {
+            prop_assert_eq!(before[v], after[v], "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn thread_loads_conserve_work(
+        threads in 1usize..16,
+        charges in proptest::collection::vec((0usize..64, 0u64..1000, any::<bool>()), 0..40),
+    ) {
+        let mut loads = sssp_dist::ThreadLoads::new(threads);
+        let mut total = 0u64;
+        for (local, n, balanced) in charges {
+            loads.charge(local, n, balanced);
+            total += n;
+        }
+        prop_assert_eq!(loads.total(), total);
+        prop_assert!(loads.max() <= total);
+        // Max is at least the average (pigeonhole).
+        prop_assert!(loads.max() as u128 * threads as u128 >= total as u128);
+    }
+}

@@ -1,0 +1,172 @@
+//! Compressed sparse row graph representation.
+//!
+//! The paper's heuristics rely on adjacency rows being sorted by edge weight:
+//! with sorted rows, the split between short (`w < Δ`) and long edges, the
+//! inner/outer-short split of the IOS heuristic, and the exact pull-request
+//! count `|{e : w(e) < d(v) − kΔ}|` are all single binary searches. [`Csr`]
+//! therefore keeps each row sorted by weight (ties broken by target id so the
+//! layout is canonical).
+
+use crate::{VertexId, Weight};
+
+/// An undirected weighted graph in CSR form. Each undirected edge `{u, v}`
+/// appears twice: once in `u`'s row and once in `v`'s row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<Weight>,
+}
+
+impl Csr {
+    /// Build from pre-validated parts. `offsets` must have length `n + 1`,
+    /// start at 0, be non-decreasing and end at `targets.len()`.
+    pub(crate) fn from_parts(offsets: Vec<usize>, targets: Vec<VertexId>, weights: Vec<Weight>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert_eq!(targets.len(), weights.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets, targets, weights }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *directed* edge slots (twice the undirected edge count).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_undirected_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v` (number of incident directed edge slots).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The neighbors of `v` with weights, sorted by `(weight, target)`.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Raw slices of `v`'s row: `(targets, weights)`.
+    #[inline]
+    pub fn row_slices(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Number of edges incident on `v` with weight strictly less than `bound`.
+    /// Rows are weight-sorted, so this is a binary search (`O(log deg)`).
+    pub fn count_weight_below(&self, v: VertexId, bound: Weight) -> usize {
+        let (_, ws) = self.row_slices(v);
+        ws.partition_point(|&w| w < bound)
+    }
+
+    /// Iterate over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterate over every undirected edge once (by emitting only rows where
+    /// `u < v`, plus one of each self-loop pair — the builder removes
+    /// self-loops, so in practice each `{u, v}` with `u != v` is emitted once
+    /// per multiplicity).
+    pub fn undirected_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.row(u).filter_map(move |(v, w)| if u < v { Some((u, v, w)) } else { None })
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+    }
+
+    /// Total weight of all directed edge slots; useful as a checksum.
+    pub fn weight_sum(&self) -> u64 {
+        self.weights.iter().map(|&w| w as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CsrBuilder;
+    use crate::EdgeList;
+
+    fn triangle() -> crate::Csr {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1, 5);
+        el.push(1, 2, 3);
+        el.push(2, 0, 7);
+        CsrBuilder::new().build(&el)
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_undirected_edges(), 3);
+        assert_eq!(g.num_directed_edges(), 6);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn rows_sorted_by_weight() {
+        let g = triangle();
+        for v in g.vertices() {
+            let ws: Vec<_> = g.row(v).map(|(_, w)| w).collect();
+            let mut sorted = ws.clone();
+            sorted.sort_unstable();
+            assert_eq!(ws, sorted);
+        }
+    }
+
+    #[test]
+    fn count_weight_below_matches_scan() {
+        let g = triangle();
+        for v in g.vertices() {
+            for bound in 0..10 {
+                let expect = g.row(v).filter(|&(_, w)| w < bound).count();
+                assert_eq!(g.count_weight_below(v, bound), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_edges_emits_each_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.undirected_edges().collect();
+        assert_eq!(edges.len(), 3);
+    }
+
+    #[test]
+    fn weight_sum_counts_both_directions() {
+        let g = triangle();
+        assert_eq!(g.weight_sum(), 2 * (5 + 3 + 7));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let el = EdgeList::new(0);
+        let g = CsrBuilder::new().build(&el);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

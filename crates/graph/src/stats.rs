@@ -1,0 +1,119 @@
+//! Degree statistics: the inputs to Fig. 8 (max degree vs scale) and to the
+//! load-balancing thresholds of §III-E.
+
+use crate::{Csr, VertexId};
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    pub num_vertices: usize,
+    pub num_undirected_edges: usize,
+    pub max_degree: usize,
+    pub avg_degree: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+    /// Fraction of directed edge slots owned by the top 1% of vertices —
+    /// the skew metric that predicts whether load balancing matters.
+    pub top1pct_edge_share: f64,
+}
+
+/// Compute [`DegreeStats`] for a CSR graph.
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.num_vertices();
+    let mut degrees: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let isolated = degrees.iter().filter(|&&d| d == 0).count();
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let total: usize = degrees.iter().sum();
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let top = (n / 100).max(1).min(n.max(1));
+    let top_sum: usize = degrees.iter().take(top).sum();
+    DegreeStats {
+        num_vertices: n,
+        num_undirected_edges: g.num_undirected_edges(),
+        max_degree,
+        avg_degree: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+        isolated,
+        top1pct_edge_share: if total == 0 { 0.0 } else { top_sum as f64 / total as f64 },
+    }
+}
+
+/// Degree histogram in powers of two: `hist[k]` counts vertices with degree
+/// in `[2^k, 2^{k+1})`; `hist[0]` also includes degree-1, and degree-0
+/// vertices are reported separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    pub zero: usize,
+    pub buckets: Vec<usize>,
+}
+
+pub fn degree_histogram(g: &Csr) -> DegreeHistogram {
+    let mut zero = 0usize;
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in 0..g.num_vertices() {
+        let d = g.degree(v as VertexId);
+        if d == 0 {
+            zero += 1;
+            continue;
+        }
+        let k = (usize::BITS - 1 - d.leading_zeros()) as usize;
+        if buckets.len() <= k {
+            buckets.resize(k + 1, 0);
+        }
+        buckets[k] += 1;
+    }
+    DegreeHistogram { zero, buckets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, CsrBuilder};
+
+    #[test]
+    fn stats_of_star() {
+        let g = CsrBuilder::new().build(&gen::star(11, 1));
+        let s = degree_stats(&g);
+        assert_eq!(s.max_degree, 10);
+        assert_eq!(s.num_undirected_edges, 10);
+        assert_eq!(s.isolated, 0);
+        assert!((s.avg_degree - 20.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_counted() {
+        let mut el = gen::path(3, 1);
+        el.n = 6; // add three isolated vertices
+        let g = CsrBuilder::new().build(&el);
+        assert_eq!(degree_stats(&g).isolated, 3);
+    }
+
+    #[test]
+    fn histogram_total_matches_n() {
+        let g = CsrBuilder::new().build(&gen::uniform(200, 900, 10, 5));
+        let h = degree_histogram(&g);
+        let total: usize = h.zero + h.buckets.iter().sum::<usize>();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn histogram_of_path() {
+        // Path of 4: two endpoints (deg 1 → bucket 0), two middles (deg 2 → bucket 1).
+        let g = CsrBuilder::new().build(&gen::path(4, 1));
+        let h = degree_histogram(&g);
+        assert_eq!(h.zero, 0);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+    }
+
+    #[test]
+    fn skew_metric_orders_families() {
+        use crate::rmat::{RmatGenerator, RmatParams};
+        let build = |p| {
+            let el = RmatGenerator::new(p, 11, 16).seed(2).generate_weighted(255);
+            CsrBuilder::new().build(&el)
+        };
+        let s1 = degree_stats(&build(RmatParams::RMAT1));
+        let s2 = degree_stats(&build(RmatParams::RMAT2));
+        assert!(s1.top1pct_edge_share > s2.top1pct_edge_share);
+    }
+}

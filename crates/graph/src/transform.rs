@@ -1,0 +1,199 @@
+//! Graph transformations used in preprocessing pipelines.
+//!
+//! Real deployments of the paper's algorithm preprocess their inputs: the
+//! Graph 500 spec scrambles ids (done at generation here), production runs
+//! extract the giant component (SSSP from a random root otherwise wastes a
+//! run on a tiny fragment), and locality studies relabel vertices by degree.
+
+use crate::components::components_union_find;
+use crate::{Csr, Edge, EdgeList, VertexId};
+
+/// Extract the subgraph induced by `keep` (vertices with `keep[v] = true`).
+/// Returns the new edge list plus the mapping `old id → new id`
+/// (`u32::MAX` for dropped vertices).
+pub fn induced_subgraph(el: &EdgeList, keep: &[bool]) -> (EdgeList, Vec<VertexId>) {
+    assert_eq!(keep.len(), el.n);
+    let mut map = vec![VertexId::MAX; el.n];
+    let mut next = 0 as VertexId;
+    for (v, &k) in keep.iter().enumerate() {
+        if k {
+            map[v] = next;
+            next += 1;
+        }
+    }
+    let mut out = EdgeList::new(next as usize);
+    for e in &el.edges {
+        let (nu, nv) = (map[e.u as usize], map[e.v as usize]);
+        if nu != VertexId::MAX && nv != VertexId::MAX {
+            out.edges.push(Edge { u: nu, v: nv, w: e.w });
+        }
+    }
+    (out, map)
+}
+
+/// Keep only the largest connected component. Returns the reduced edge list
+/// and the old→new id mapping.
+pub fn largest_component(el: &EdgeList) -> (EdgeList, Vec<VertexId>) {
+    if el.n == 0 {
+        return (EdgeList::new(0), Vec::new());
+    }
+    let labels = components_union_find(el);
+    let k = labels.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut counts = vec![0usize; k];
+    for &l in &labels {
+        counts[l as usize] += 1;
+    }
+    let giant = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(l, _)| l as u32)
+        .unwrap();
+    let keep: Vec<bool> = labels.iter().map(|&l| l == giant).collect();
+    induced_subgraph(el, &keep)
+}
+
+/// Relabel vertices so ids are ordered by descending degree (hubs first).
+/// Returns the relabeled edge list and the old→new mapping. This is the
+/// *opposite* of the Graph 500 scrambling — it concentrates hubs at low
+/// ids, which the partition ablation uses to stress block distribution.
+pub fn relabel_by_degree(el: &EdgeList) -> (EdgeList, Vec<VertexId>) {
+    let mut degree = vec![0u32; el.n];
+    for e in &el.edges {
+        if e.u != e.v {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+    }
+    let mut order: Vec<VertexId> = (0..el.n as VertexId).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse((degree[v as usize], std::cmp::Reverse(v))));
+    let mut map = vec![0 as VertexId; el.n];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        map[old_id as usize] = new_id as VertexId;
+    }
+    let mut out = EdgeList::new(el.n);
+    for e in &el.edges {
+        out.edges.push(Edge { u: map[e.u as usize], v: map[e.v as usize], w: e.w });
+    }
+    (out, map)
+}
+
+/// Check that two CSR graphs are isomorphic under an explicit vertex
+/// mapping (used to validate transforms in tests): `map[old] = new`.
+pub fn is_isomorphic_under(a: &Csr, b: &Csr, map: &[VertexId]) -> bool {
+    if a.num_vertices() != b.num_vertices() || a.num_directed_edges() != b.num_directed_edges() {
+        return false;
+    }
+    for v in a.vertices() {
+        let mut ra: Vec<(VertexId, u32)> =
+            a.row(v).map(|(t, w)| (map[t as usize], w)).collect();
+        let mut rb: Vec<(VertexId, u32)> = b.row(map[v as usize]).collect();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        if ra != rb {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, CsrBuilder};
+
+    #[test]
+    fn induced_subgraph_drops_cross_edges() {
+        let el = gen::path(5, 1); // 0-1-2-3-4
+        let keep = vec![true, true, false, true, true];
+        let (sub, map) = induced_subgraph(&el, &keep);
+        assert_eq!(sub.n, 4);
+        // Only edges 0-1 and 3-4 survive.
+        assert_eq!(sub.edges.len(), 2);
+        assert_eq!(map[2], u32::MAX);
+        assert_eq!(map[3], 2);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let mut el = gen::path(5, 1); // component of 5
+        el.n = 8;
+        el.push(5, 6, 1); // component of 2; vertex 7 isolated
+        let (giant, map) = largest_component(&el);
+        assert_eq!(giant.n, 5);
+        assert_eq!(giant.edges.len(), 4);
+        assert_eq!(map[6], u32::MAX);
+        assert_eq!(map[7], u32::MAX);
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity_sized() {
+        let el = gen::clique(6, 2);
+        let (giant, _) = largest_component(&el);
+        assert_eq!(giant.n, 6);
+        assert_eq!(giant.edges.len(), 15);
+    }
+
+    #[test]
+    fn relabel_by_degree_puts_hub_first() {
+        let el = gen::star(10, 1);
+        let (rel, map) = relabel_by_degree(&el);
+        assert_eq!(map[0], 0); // the center has the top degree
+        let g = CsrBuilder::new().build(&rel);
+        assert_eq!(g.degree(0), 9);
+        // Degrees are non-increasing in the new id order.
+        let degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let el = gen::uniform(60, 300, 20, 9);
+        let (rel, map) = relabel_by_degree(&el);
+        let a = CsrBuilder::new().build(&el);
+        let b = CsrBuilder::new().build(&rel);
+        assert!(is_isomorphic_under(&a, &b, &map));
+    }
+
+    #[test]
+    fn distances_invariant_under_relabeling() {
+        // Shortest distances commute with the relabeling map.
+        let el = gen::uniform(50, 260, 15, 4);
+        let (rel, map) = relabel_by_degree(&el);
+        let a = CsrBuilder::new().build(&el);
+        let b = CsrBuilder::new().build(&rel);
+        // Simple local Dijkstra on both.
+        let dij = |g: &Csr, root: u32| -> Vec<u64> {
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut dist = vec![u64::MAX; g.num_vertices()];
+            let mut heap = BinaryHeap::new();
+            dist[root as usize] = 0;
+            heap.push(Reverse((0u64, root)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u as usize] { continue; }
+                for (v, w) in g.row(u) {
+                    let nd = d + w as u64;
+                    if nd < dist[v as usize] {
+                        dist[v as usize] = nd;
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+            dist
+        };
+        let da = dij(&a, 0);
+        let db = dij(&b, map[0]);
+        for v in 0..50usize {
+            assert_eq!(da[v], db[map[v] as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let el = EdgeList::new(0);
+        let (giant, map) = largest_component(&el);
+        assert_eq!(giant.n, 0);
+        assert!(map.is_empty());
+    }
+}

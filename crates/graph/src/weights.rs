@@ -1,0 +1,93 @@
+//! Edge weight assignment.
+//!
+//! The Graph 500 SSSP proposal assigns each edge an independent uniform
+//! integer weight; the paper uses the range `[0, 255]`. The SSSP problem
+//! statement in §II requires `w(e) > 0`, so the default here draws from
+//! `[1, w_max]` — the shift is immaterial to every experiment (it changes no
+//! ordering of weights and keeps the same short/long split statistics for any
+//! `Δ > 1`). Zero-weight edges remain fully supported by the engine because
+//! the vertex-splitting load balancer introduces them deliberately.
+
+use rayon::prelude::*;
+
+use crate::prng::SplitMix;
+use crate::{Edge, EdgeList, EdgeTuple};
+
+/// Attach uniform weights in `[1, w_max]` to unweighted tuples. Weight `i`
+/// depends only on `(seed, i)`, so the assignment is deterministic and
+/// parallel.
+pub fn weight_tuples(n: usize, tuples: &[EdgeTuple], w_max: u32, seed: u64) -> EdgeList {
+    assert!(w_max >= 1, "w_max must be at least 1");
+    let edges: Vec<Edge> = tuples
+        .par_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut rng = SplitMix::derive(seed, i as u64);
+            Edge { u: t.u, v: t.v, w: 1 + rng.next_below(w_max as u64) as u32 }
+        })
+        .collect();
+    EdgeList { n, edges }
+}
+
+/// Re-weight an existing edge list in place with uniform weights in
+/// `[1, w_max]`.
+pub fn assign_uniform_weights(el: &mut EdgeList, w_max: u32, seed: u64) {
+    assert!(w_max >= 1, "w_max must be at least 1");
+    el.edges.par_iter_mut().enumerate().for_each(|(i, e)| {
+        let mut rng = SplitMix::derive(seed, i as u64);
+        e.w = 1 + rng.next_below(w_max as u64) as u32;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples(k: usize) -> Vec<EdgeTuple> {
+        (0..k).map(|i| EdgeTuple { u: i as u32, v: ((i + 1) % k) as u32 }).collect()
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let el = weight_tuples(100, &tuples(100), 255, 9);
+        for e in &el.edges {
+            assert!((1..=255).contains(&e.w));
+        }
+    }
+
+    #[test]
+    fn weights_deterministic() {
+        let a = weight_tuples(50, &tuples(50), 255, 3);
+        let b = weight_tuples(50, &tuples(50), 255, 3);
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn weights_roughly_uniform() {
+        let el = weight_tuples(20_000, &tuples(20_000), 4, 17);
+        let mut counts = [0usize; 5];
+        for e in &el.edges {
+            counts[e.w as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..=4] {
+            assert!(c > 4_000, "weight bucket too small: {c}");
+        }
+    }
+
+    #[test]
+    fn reweight_in_place_changes_only_weights() {
+        let mut el = weight_tuples(10, &tuples(10), 255, 1);
+        let before: Vec<_> = el.edges.iter().map(|e| (e.u, e.v)).collect();
+        assign_uniform_weights(&mut el, 10, 2);
+        let after: Vec<_> = el.edges.iter().map(|e| (e.u, e.v)).collect();
+        assert_eq!(before, after);
+        assert!(el.edges.iter().all(|e| (1..=10).contains(&e.w)));
+    }
+
+    #[test]
+    fn w_max_one_gives_unit_weights() {
+        let el = weight_tuples(10, &tuples(10), 1, 5);
+        assert!(el.edges.iter().all(|e| e.w == 1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the graph substrate.
+
+use proptest::prelude::*;
+
+use sssp_graph::{gen, CsrBuilder, Edge, EdgeList};
+
+fn arb_edge_list() -> impl Strategy<Value = EdgeList> {
+    (2usize..80).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u32..100),
+            0..300,
+        );
+        edges.prop_map(move |es| EdgeList {
+            n,
+            edges: es.into_iter().map(|(u, v, w)| Edge { u, v, w }).collect(),
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_preserves_non_loop_edges(el in arb_edge_list()) {
+        let g = CsrBuilder::new().build(&el);
+        let expected = el.edges.iter().filter(|e| e.u != e.v).count();
+        prop_assert_eq!(g.num_undirected_edges(), expected);
+        prop_assert_eq!(g.num_directed_edges(), 2 * expected);
+    }
+
+    #[test]
+    fn csr_edge_multiset_roundtrips(el in arb_edge_list()) {
+        let g = CsrBuilder::new().build(&el);
+        let mut original: Vec<(u32, u32, u32)> = el
+            .edges
+            .iter()
+            .filter(|e| e.u != e.v)
+            .map(|e| (e.u.min(e.v), e.u.max(e.v), e.w))
+            .collect();
+        let mut roundtrip: Vec<(u32, u32, u32)> =
+            g.undirected_edges().map(|(u, v, w)| (u.min(v), u.max(v), w)).collect();
+        original.sort_unstable();
+        roundtrip.sort_unstable();
+        prop_assert_eq!(original, roundtrip);
+    }
+
+    #[test]
+    fn rows_are_weight_sorted(el in arb_edge_list()) {
+        let g = CsrBuilder::new().build(&el);
+        for v in g.vertices() {
+            let ws: Vec<u32> = g.row(v).map(|(_, w)| w).collect();
+            prop_assert!(ws.windows(2).all(|p| p[0] <= p[1]));
+        }
+    }
+
+    #[test]
+    fn count_weight_below_matches_linear_scan(el in arb_edge_list(), bound in 0u32..120) {
+        let g = CsrBuilder::new().build(&el);
+        for v in g.vertices() {
+            let expect = g.row(v).filter(|&(_, w)| w < bound).count();
+            prop_assert_eq!(g.count_weight_below(v, bound), expect);
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_directed_edges(el in arb_edge_list()) {
+        let g = CsrBuilder::new().build(&el);
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, g.num_directed_edges());
+    }
+
+    #[test]
+    fn dedup_is_idempotent_and_minimal(el in arb_edge_list()) {
+        let g = CsrBuilder::new().dedup_min_weight().build(&el);
+        // No duplicate (u, v) pairs remain in any row.
+        for v in g.vertices() {
+            let mut targets: Vec<u32> = g.row(v).map(|(t, _)| t).collect();
+            let before = targets.len();
+            targets.sort_unstable();
+            targets.dedup();
+            prop_assert_eq!(before, targets.len());
+        }
+    }
+
+    #[test]
+    fn uniform_generator_respects_bounds(
+        n in 2usize..60,
+        m in 0usize..200,
+        w_max in 1u32..50,
+        seed in 0u64..1000,
+    ) {
+        let el = gen::uniform(n, m, w_max, seed);
+        prop_assert_eq!(el.len(), m);
+        for e in &el.edges {
+            prop_assert!((e.u as usize) < n && (e.v as usize) < n);
+            prop_assert!(e.w >= 1 && e.w <= w_max);
+        }
+    }
+
+    #[test]
+    fn rmat_deterministic_across_calls(scale in 4u32..9, seed in 0u64..100) {
+        use sssp_graph::rmat::{RmatGenerator, RmatParams};
+        let g1 = RmatGenerator::new(RmatParams::RMAT2, scale, 4).seed(seed).generate_tuples();
+        let g2 = RmatGenerator::new(RmatParams::RMAT2, scale, 4).seed(seed).generate_tuples();
+        prop_assert_eq!(g1, g2);
+    }
+}

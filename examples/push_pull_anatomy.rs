@@ -1,0 +1,61 @@
+//! Anatomy of the direction-optimization decision (§III-B/C): trace, bucket
+//! by bucket, what the decision heuristic estimated, which mechanism it
+//! picked, and what traffic the long-edge phase actually moved.
+//!
+//! ```sh
+//! cargo run --release --example push_pull_anatomy
+//! ```
+
+use sssp_mps::core::config::LongPhaseMode;
+use sssp_mps::prelude::*;
+
+fn main() {
+    let el = RmatGenerator::new(RmatParams::RMAT1, 14, 16)
+        .seed(99)
+        .generate_weighted(255);
+    let csr = CsrBuilder::new().build(&el);
+    let dg = DistGraph::build(&csr, 8, 4);
+    let model = MachineModel::bgq_like();
+
+    // Pruning without hybridization, so every bucket shows up in the trace.
+    let cfg = SsspConfig::prune(25);
+    let out = run_sssp(&dg, 0, &cfg, &model);
+
+    println!(
+        "{:>7} {:>9} {:>12} {:>12} {:>6} {:>12} {:>12}",
+        "bucket", "settled", "est push", "est pull", "mode", "push msgs", "pull msgs"
+    );
+    println!("{}", "-".repeat(78));
+    for r in &out.stats.bucket_records {
+        let push_actual = r.self_edges + r.backward_edges + r.forward_edges;
+        let pull_actual = r.requests + r.responses;
+        println!(
+            "{:>7} {:>9} {:>12} {:>12} {:>6} {:>12} {:>12}",
+            r.bucket,
+            r.settled,
+            r.est_push,
+            r.est_pull,
+            match r.mode {
+                LongPhaseMode::Push => "push",
+                LongPhaseMode::Pull => "pull",
+            },
+            push_actual,
+            pull_actual
+        );
+    }
+
+    let pushes = out
+        .stats
+        .bucket_records
+        .iter()
+        .filter(|r| r.mode == LongPhaseMode::Push)
+        .count();
+    println!(
+        "\n{} buckets: {} push / {} pull. Dense early buckets push (requests would",
+        out.stats.bucket_records.len(),
+        pushes,
+        out.stats.bucket_records.len() - pushes
+    );
+    println!("flood in from every unsettled vertex); sparse late buckets pull (most");
+    println!("push messages would target already-settled vertices).");
+}

@@ -1,0 +1,60 @@
+//! A miniature of the paper's weak-scaling methodology: fix the number of
+//! vertices per rank, grow the rank count, and watch the simulated GTEPS of
+//! the baseline and optimized algorithms diverge — including the effect of
+//! the two-tier load balancing on the heavily skewed RMAT-1 family.
+//!
+//! ```sh
+//! cargo run --release --example weak_scaling
+//! ```
+
+use sssp_mps::dist::split_heavy_vertices;
+use sssp_mps::prelude::*;
+
+fn main() {
+    let scale_per_rank = 10u32; // paper: 23
+    let model = MachineModel::bgq_like();
+
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>14}",
+        "ranks", "scale", "Del-25", "OPT-25", "LB-OPT+split"
+    );
+    println!("{}", "-".repeat(52));
+    for p in [2usize, 4, 8, 16, 32] {
+        let scale = scale_per_rank + (p as f64).log2() as u32;
+        let el = RmatGenerator::new(RmatParams::RMAT1, scale, 16)
+            .seed(1)
+            .generate_weighted(255);
+        let csr = CsrBuilder::new().build(&el);
+        let m = csr.num_undirected_edges() as u64;
+        let root = csr.vertices().find(|&v| csr.degree(v) > 0).unwrap();
+
+        let dg = DistGraph::build(&csr, p, 4);
+        let del = run_sssp(&dg, root, &SsspConfig::del(25), &model);
+        let opt = run_sssp(&dg, root, &SsspConfig::opt(25), &model);
+
+        // Two-tier balancing: split extreme-degree hubs across ranks, then
+        // balance threads within each rank.
+        let threshold = sssp_mps::dist::split::auto_threshold(&csr, p);
+        let (split_csr, part, _) = split_heavy_vertices(&csr, p, threshold);
+        let dg_split = DistGraph::build_with_partition(&split_csr, part, 4, m);
+        let lb = run_sssp(&dg_split, root, &SsspConfig::lb_opt(25), &model);
+
+        assert_eq!(del.distances, opt.distances);
+        assert_eq!(
+            &lb.distances[..csr.num_vertices()],
+            &del.distances[..],
+            "splitting must preserve distances"
+        );
+
+        println!(
+            "{:>6} {:>6} {:>10.3} {:>10.3} {:>14.3}",
+            p,
+            scale,
+            del.stats.gteps(m),
+            opt.stats.gteps(m),
+            lb.stats.gteps(m)
+        );
+    }
+    println!("\nPaper shape: OPT ≫ Del everywhere; on this skewed family the");
+    println!("load-balanced variant keeps scaling after plain OPT flattens out.");
+}

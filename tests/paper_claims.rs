@@ -1,0 +1,201 @@
+//! Integration tests that pin the paper's qualitative claims — the
+//! relationships its figures are built on. Each test names the claim and
+//! the paper section it comes from.
+
+use sssp_mps::core::config::SsspConfig;
+use sssp_mps::core::engine::{run_sssp, SsspOutput};
+use sssp_mps::core::instrument::PhaseKind;
+use sssp_mps::dist::DistGraph;
+use sssp_mps::graph::rmat::{RmatGenerator, RmatParams};
+use sssp_mps::graph::{Csr, CsrBuilder};
+use sssp_mps::prelude::MachineModel;
+
+fn rmat(params: RmatParams, scale: u32) -> Csr {
+    let el = RmatGenerator::new(params, scale, 16).seed(1).generate_weighted(255);
+    CsrBuilder::new().build(&el)
+}
+
+fn run(g: &Csr, cfg: &SsspConfig) -> SsspOutput {
+    let dg = DistGraph::build(g, 8, 4);
+    let root = g.vertices().find(|&v| g.degree(v) > 0).unwrap();
+    run_sssp(&dg, root, cfg, &MachineModel::bgq_like())
+}
+
+/// §II-B: work-done ordering — Dijkstra ≤ Δ-stepping ≤ Bellman-Ford.
+#[test]
+fn work_done_ordering() {
+    let g = rmat(RmatParams::RMAT1, 11);
+    let dij = run(&g, &SsspConfig::dijkstra()).stats.relaxations_total();
+    let del = run(&g, &SsspConfig::del(25)).stats.relaxations_total();
+    let bf = run(&g, &SsspConfig::bellman_ford()).stats.relaxations_total();
+    assert!(dij <= del + del / 4, "Dijkstra {dij} should be ≲ Del {del}");
+    assert!(del < bf, "Del {del} should be < Bellman-Ford {bf}");
+}
+
+/// §II-B: phase ordering — Bellman-Ford ≤ Δ-stepping ≤ Dijkstra.
+#[test]
+fn phase_count_ordering() {
+    let g = rmat(RmatParams::RMAT1, 11);
+    let dij = run(&g, &SsspConfig::dijkstra()).stats.phases;
+    let del = run(&g, &SsspConfig::del(25)).stats.phases;
+    let bf = run(&g, &SsspConfig::bellman_ford()).stats.phases;
+    assert!(bf <= del, "BF {bf} phases should be ≤ Del {del}");
+    assert!(del <= dij, "Del {del} phases should be ≤ Dijkstra {dij}");
+}
+
+/// §III-A: IOS cuts short-edge relaxations (paper: ≈ 10%) without touching
+/// long-edge counts.
+#[test]
+fn ios_prunes_short_relaxations() {
+    let g = rmat(RmatParams::RMAT1, 11);
+    let base = run(&g, &SsspConfig::del(25));
+    let ios = run(&g, &SsspConfig::del(25).with_ios(true));
+    assert!(ios.stats.short_relaxations < base.stats.short_relaxations);
+    assert_eq!(
+        ios.stats.long_push_relaxations, base.stats.long_push_relaxations,
+        "IOS must not change the long-edge relaxation count"
+    );
+    // The deferred outer shorts cost less than what the short phases saved.
+    assert!(
+        ios.stats.short_relaxations + ios.stats.outer_short_relaxations
+            < base.stats.short_relaxations + base.stats.outer_short_relaxations
+    );
+}
+
+/// §III-B/Fig 3b: pruning beats even Dijkstra's 2m relaxation bound on the
+/// skewed family (paper: ≈ 5×; small scales give a smaller but clear win).
+#[test]
+fn pruning_beats_dijkstra_on_rmat1() {
+    let g = rmat(RmatParams::RMAT1, 12);
+    let dij = run(&g, &SsspConfig::dijkstra()).stats.relaxations_total();
+    let prune = run(&g, &SsspConfig::prune(25)).stats.relaxations_total();
+    assert!(
+        (prune as f64) < 0.6 * dij as f64,
+        "Prune {prune} not well below Dijkstra {dij}"
+    );
+}
+
+/// §III-D/Fig 10d: hybridization collapses the bucket count (paper: ~30 → ≤5)
+/// and the collapse is insensitive to scale.
+#[test]
+fn hybridization_collapses_buckets() {
+    for scale in [10u32, 12] {
+        let g = rmat(RmatParams::RMAT1, scale);
+        let del = run(&g, &SsspConfig::del(25));
+        let opt = run(&g, &SsspConfig::opt(25));
+        assert!(del.stats.buckets() >= 10, "Del should use many buckets");
+        assert!(opt.stats.buckets() <= 6, "OPT should use few buckets");
+    }
+}
+
+/// §III-B/Fig 4: long-edge phases dominate short-edge phases in relaxations.
+#[test]
+fn long_phases_dominate() {
+    let g = rmat(RmatParams::RMAT1, 12);
+    let out = run(&g, &SsspConfig::del(25));
+    let short: u64 = out
+        .stats
+        .phase_records
+        .iter()
+        .filter(|r| r.kind == PhaseKind::Short)
+        .map(|r| r.relaxations)
+        .sum();
+    let long: u64 = out
+        .stats
+        .phase_records
+        .iter()
+        .filter(|r| r.kind == PhaseKind::LongPush)
+        .map(|r| r.relaxations)
+        .sum();
+    assert!(long > short, "long {long} should dominate short {short}");
+}
+
+/// §IV-E/Fig 8: RMAT-1's maximum degree vastly exceeds RMAT-2's and the gap
+/// widens with scale.
+#[test]
+fn degree_skew_gap_widens() {
+    let gap = |scale: u32| {
+        let d1 = rmat(RmatParams::RMAT1, scale).max_degree() as f64;
+        let d2 = rmat(RmatParams::RMAT2, scale).max_degree() as f64;
+        d1 / d2
+    };
+    let g10 = gap(10);
+    let g13 = gap(13);
+    assert!(g10 > 2.0, "RMAT-1 should be more skewed at scale 10 ({g10:.1}x)");
+    assert!(g13 > g10, "gap should widen with scale ({g10:.1}x → {g13:.1}x)");
+}
+
+/// §IV-C vs §IV-D: pruning's relaxation reduction is stronger on RMAT-1
+/// than on RMAT-2 (paper: 5–6× vs ≈ 2×).
+#[test]
+fn pruning_stronger_on_rmat1() {
+    let reduction = |params| {
+        let g = rmat(params, 12);
+        let del = run(&g, &SsspConfig::del(25)).stats.relaxations_total() as f64;
+        let prune = run(&g, &SsspConfig::prune(25)).stats.relaxations_total() as f64;
+        del / prune
+    };
+    let r1 = reduction(RmatParams::RMAT1);
+    let r2 = reduction(RmatParams::RMAT2);
+    assert!(r1 > r2, "RMAT-1 reduction {r1:.2}x should exceed RMAT-2 {r2:.2}x");
+}
+
+/// §IV/Fig 10–11: the simulated GTEPS ranking Del ≤ Prune < OPT holds on
+/// both families. (On RMAT-2 the paper's pruning gain is only ≈ 12%, so
+/// Prune is allowed to tie Del there; OPT must strictly win everywhere.)
+#[test]
+fn gteps_ranking() {
+    for params in [RmatParams::RMAT1, RmatParams::RMAT2] {
+        let g = rmat(params, 12);
+        let m = g.num_undirected_edges() as u64;
+        let del = run(&g, &SsspConfig::del(25)).stats.gteps(m);
+        let prune = run(&g, &SsspConfig::prune(25)).stats.gteps(m);
+        let opt = run(&g, &SsspConfig::opt(25)).stats.gteps(m);
+        // RMAT-2's pruning gain is small even in the paper (≈ 12%) and at
+        // this reproduction's scale it is break-even; only guard against a
+        // real regression.
+        assert!(prune >= 0.95 * del, "Prune {prune:.3} regressed vs Del {del:.3}");
+        assert!(opt > del, "OPT {opt:.3} should beat Del {del:.3}");
+        assert!(opt > prune, "OPT {opt:.3} should beat Prune {prune:.3}");
+    }
+    // On the heavily skewed family the pruning win itself must be strict.
+    let g = rmat(RmatParams::RMAT1, 12);
+    let m = g.num_undirected_edges() as u64;
+    let del = run(&g, &SsspConfig::del(25)).stats.gteps(m);
+    let prune = run(&g, &SsspConfig::prune(25)).stats.gteps(m);
+    assert!(prune > del, "RMAT-1: Prune {prune:.3} should beat Del {del:.3}");
+}
+
+/// §IV-E claims RMAT-2's shortest distances span a larger range than
+/// RMAT-1's at the paper's scales. At this reproduction's scales the two
+/// families span *comparable* ranges (measured: 12–18 populated Δ=25
+/// buckets for both at scales 11–15), so this test pins only the part that
+/// does reproduce: both families populate enough buckets for hybridization
+/// to have something to merge, and the hybrid run collapses that count.
+#[test]
+fn both_families_populate_many_buckets_and_hybrid_collapses_them() {
+    use sssp_mps::core::seq;
+    for params in [RmatParams::RMAT1, RmatParams::RMAT2] {
+        let g = rmat(params, 12);
+        let root = g.vertices().find(|&v| g.degree(v) > 0).unwrap();
+        let dist = seq::dijkstra(&g, root);
+        let (buckets, _) = seq::distance_spread(&dist, 25);
+        assert!(buckets >= 8, "expected a wide bucket span, got {buckets}");
+        let opt = run(&g, &SsspConfig::opt(25));
+        assert!(opt.stats.buckets() as usize * 2 < buckets);
+    }
+}
+
+/// Fig 9: mid-range Δ beats both extremes in simulated GTEPS. (Bellman-
+/// Ford's redundancy only bites once there is enough work per rank, so this
+/// runs at the largest scale the test budget allows.)
+#[test]
+fn mid_delta_beats_extremes() {
+    let g = rmat(RmatParams::RMAT1, 14);
+    let m = g.num_undirected_edges() as u64;
+    let dij = run(&g, &SsspConfig::dijkstra()).stats.gteps(m);
+    let mid = run(&g, &SsspConfig::del(50)).stats.gteps(m);
+    let bf = run(&g, &SsspConfig::bellman_ford()).stats.gteps(m);
+    assert!(mid > dij, "Δ=50 ({mid:.3}) should beat Dijkstra ({dij:.3})");
+    assert!(mid > bf, "Δ=50 ({mid:.3}) should beat Bellman-Ford ({bf:.3})");
+}

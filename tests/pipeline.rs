@@ -1,0 +1,122 @@
+//! End-to-end integration tests spanning all crates: generator → CSR →
+//! (optional splitting) → distributed graph → engine → validation.
+
+use sssp_mps::core::config::{DirectionPolicy, SsspConfig};
+use sssp_mps::core::validate::assert_matches_dijkstra;
+use sssp_mps::core::engine::run_sssp;
+use sssp_mps::dist::{split_heavy_vertices, DistGraph};
+use sssp_mps::graph::rmat::{RmatGenerator, RmatParams};
+use sssp_mps::graph::{Csr, CsrBuilder};
+use sssp_mps::prelude::MachineModel;
+
+fn rmat(params: RmatParams, scale: u32, seed: u64) -> Csr {
+    let el = RmatGenerator::new(params, scale, 16).seed(seed).generate_weighted(255);
+    CsrBuilder::new().build(&el)
+}
+
+#[test]
+fn full_pipeline_rmat1() {
+    let g = rmat(RmatParams::RMAT1, 11, 3);
+    let dg = DistGraph::build(&g, 8, 4);
+    for cfg in [SsspConfig::del(25), SsspConfig::prune(25), SsspConfig::opt(25)] {
+        let out = run_sssp(&dg, 0, &cfg, &MachineModel::bgq_like());
+        assert_matches_dijkstra(&g, 0, &out);
+    }
+}
+
+#[test]
+fn full_pipeline_rmat2() {
+    let g = rmat(RmatParams::RMAT2, 11, 4);
+    let dg = DistGraph::build(&g, 6, 4);
+    let out = run_sssp(&dg, 1, &SsspConfig::opt(40), &MachineModel::bgq_like());
+    assert_matches_dijkstra(&g, 1, &out);
+}
+
+#[test]
+fn full_pipeline_with_splitting() {
+    let g = rmat(RmatParams::RMAT1, 11, 5);
+    let thr = sssp_mps::dist::split::auto_threshold(&g, 8).min(200);
+    let (split, part, rep) = split_heavy_vertices(&g, 8, thr);
+    assert!(rep.proxies_created > 0, "scale-11 RMAT-1 should have heavy hubs");
+    let dg = DistGraph::build_with_partition(&split, part, 4, g.num_undirected_edges() as u64);
+    let out = run_sssp(&dg, 0, &SsspConfig::lb_opt(25), &MachineModel::bgq_like());
+    assert_matches_dijkstra(&g, 0, &out);
+}
+
+#[test]
+fn social_standin_pipeline() {
+    let gen = sssp_mps::graph::social::social_preset("livejournal", 4096).unwrap();
+    let g = CsrBuilder::new().build(&gen.generate());
+    let dg = DistGraph::build(&g, 4, 4);
+    let root = g.vertices().find(|&v| g.degree(v) > 0).unwrap();
+    let out = run_sssp(&dg, root, &SsspConfig::opt(40), &MachineModel::bgq_like());
+    assert_matches_dijkstra(&g, root, &out);
+}
+
+#[test]
+fn multiple_roots_same_graph() {
+    let g = rmat(RmatParams::RMAT2, 10, 6);
+    let dg = DistGraph::build(&g, 5, 2);
+    for root in [0u32, 17, 250, 900] {
+        let out = run_sssp(&dg, root, &SsspConfig::opt(25), &MachineModel::bgq_like());
+        assert_matches_dijkstra(&g, root, &out);
+    }
+}
+
+#[test]
+fn forced_sequences_agree_with_heuristic_results() {
+    use sssp_mps::core::config::LongPhaseMode::*;
+    let g = rmat(RmatParams::RMAT1, 10, 7);
+    let dg = DistGraph::build(&g, 4, 2);
+    let model = MachineModel::bgq_like();
+    let heur = run_sssp(&dg, 0, &SsspConfig::prune(25), &model);
+    for forced in [vec![Push; 8], vec![Pull; 8], vec![Push, Pull, Push, Pull, Push, Pull]] {
+        let cfg = SsspConfig::prune(25).with_direction(DirectionPolicy::Forced(forced));
+        let out = run_sssp(&dg, 0, &cfg, &model);
+        assert_eq!(out.distances, heur.distances);
+    }
+}
+
+#[test]
+fn facade_prelude_covers_the_quickstart_flow() {
+    use sssp_mps::prelude::*;
+    let el = RmatGenerator::new(RmatParams::RMAT1, 9, 8).seed(1).generate_weighted(255);
+    let csr = CsrBuilder::new().build(&el);
+    let dg = DistGraph::build(&csr, 3, 2);
+    let out = run_sssp(&dg, 0, &SsspConfig::opt(25), &MachineModel::bgq_like());
+    assert_eq!(out.distances, seq::dijkstra(&csr, 0));
+}
+
+#[test]
+fn deterministic_across_identical_pipelines() {
+    let run = || {
+        let g = rmat(RmatParams::RMAT1, 10, 9);
+        let dg = DistGraph::build(&g, 6, 4);
+        run_sssp(&dg, 0, &SsspConfig::opt(25), &MachineModel::bgq_like())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.distances, b.distances);
+    assert_eq!(a.stats.relaxations_total(), b.stats.relaxations_total());
+    assert_eq!(a.stats.comm.total_remote_bytes(), b.stats.comm.total_remote_bytes());
+    assert!((a.stats.ledger.total_s() - b.stats.ledger.total_s()).abs() < 1e-15);
+}
+
+#[test]
+fn unreachable_component_reported() {
+    // Two disjoint paths; root in the first.
+    let mut el = sssp_mps::graph::EdgeList::new(10);
+    for i in 1..5u32 {
+        el.push(i - 1, i, 3);
+    }
+    for i in 6..10u32 {
+        el.push(i - 1, i, 3);
+    }
+    let g = CsrBuilder::new().build(&el);
+    let dg = DistGraph::build(&g, 3, 1);
+    let out = run_sssp(&dg, 0, &SsspConfig::opt(5), &MachineModel::bgq_like());
+    assert_eq!(out.reachable(), 5);
+    for v in 5..10u32 {
+        assert_eq!(out.dist(v), u64::MAX);
+    }
+}
