@@ -57,9 +57,11 @@ fn bench_hybrid_tau(c: &mut Criterion) {
     g.sample_size(10);
     for tau in [0.0, 0.2, 0.4, 0.6, 0.8] {
         let cfg = SsspConfig::prune(25).with_hybrid(Some(tau));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("tau{tau}")), &cfg, |b, cfg| {
-            b.iter(|| black_box(run_sssp(&dg, root, cfg, &model)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("tau{tau}")),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(run_sssp(&dg, root, cfg, &model))),
+        );
     }
     g.finish();
 }
@@ -71,9 +73,10 @@ fn bench_pull_estimator(c: &mut Criterion) {
     let model = MachineModel::bgq_like();
     let mut g = c.benchmark_group("ablation_pull_estimator");
     g.sample_size(10);
-    for (name, est) in
-        [("exact", PullEstimator::Exact), ("expectation", PullEstimator::Expectation)]
-    {
+    for (name, est) in [
+        ("exact", PullEstimator::Exact),
+        ("expectation", PullEstimator::Expectation),
+    ] {
         let cfg = SsspConfig::opt(25).with_pull_estimator(est);
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| black_box(run_sssp(&dg, root, cfg, &model)))
@@ -118,12 +121,8 @@ fn bench_load_balancing(c: &mut Criterion) {
     }
 
     let (split_csr, part, _) = split_heavy_vertices(&csr, p, 256);
-    let dg_split = DistGraph::build_with_partition(
-        &split_csr,
-        part,
-        64,
-        csr.num_undirected_edges() as u64,
-    );
+    let dg_split =
+        DistGraph::build_with_partition(&split_csr, part, 64, csr.num_undirected_edges() as u64);
     g.bench_function("intra_plus_split", |b| {
         b.iter(|| black_box(run_sssp(&dg_split, root, &SsspConfig::lb_opt(25), &model)))
     });

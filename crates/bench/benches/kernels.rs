@@ -24,7 +24,9 @@ fn bench_generation(c: &mut Criterion) {
         b.iter(|| black_box(gen.generate_weighted(255)))
     });
     g.bench_function("csr_build_scale12", |b| {
-        let el = RmatGenerator::new(RmatParams::RMAT1, 12, 16).seed(1).generate_weighted(255);
+        let el = RmatGenerator::new(RmatParams::RMAT1, 12, 16)
+            .seed(1)
+            .generate_weighted(255);
         b.iter(|| black_box(CsrBuilder::new().build(&el)))
     });
     g.finish();
@@ -34,7 +36,9 @@ fn bench_seq(c: &mut Criterion) {
     let mut g = c.benchmark_group("sequential");
     g.sample_size(10);
     let csr = build_family(Family::Rmat1, 12, 1);
-    g.bench_function("dijkstra_scale12", |b| b.iter(|| black_box(seq::dijkstra(&csr, 0))));
+    g.bench_function("dijkstra_scale12", |b| {
+        b.iter(|| black_box(seq::dijkstra(&csr, 0)))
+    });
     g.bench_function("delta_stepping25_scale12", |b| {
         b.iter(|| black_box(seq::delta_stepping(&csr, 0, 25)))
     });
@@ -88,5 +92,11 @@ fn bench_exchange(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_seq, bench_relax, bench_exchange);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_seq,
+    bench_relax,
+    bench_exchange
+);
 criterion_main!(benches);

@@ -22,8 +22,7 @@ fn main() {
         let roots = pick_roots(&csr, 2, 19);
         for delta in [10u32, 25, 40] {
             let base = run_aggregate(&dg, &roots, &SsspConfig::del(delta), &model);
-            let ios =
-                run_aggregate(&dg, &roots, &SsspConfig::del(delta).with_ios(true), &model);
+            let ios = run_aggregate(&dg, &roots, &SsspConfig::del(delta).with_ios(true), &model);
             let short_base = base.last.stats.short_relaxations as f64;
             let short_ios = ios.last.stats.short_relaxations as f64;
             let outer = ios.last.stats.outer_short_relaxations as f64;

@@ -34,8 +34,7 @@ fn main() {
         ] {
             let agg = run_aggregate(&dg, &roots, &SsspConfig::opt(25), &model);
             // Edge-ownership imbalance: max rank edges / mean rank edges.
-            let per_rank: Vec<usize> =
-                dg.locals.iter().map(|l| l.num_directed_edges()).collect();
+            let per_rank: Vec<usize> = dg.locals.iter().map(|l| l.num_directed_edges()).collect();
             let max = *per_rank.iter().max().unwrap() as f64;
             let mean = per_rank.iter().sum::<usize>() as f64 / ranks as f64;
             rows.push(vec![
@@ -66,7 +65,11 @@ fn main() {
         });
         let agg = run_aggregate(&dg, &roots, &cfg, &model);
         rows.push(vec![
-            if pi == u32::MAX { "off".into() } else { pi.to_string() },
+            if pi == u32::MAX {
+                "off".into()
+            } else {
+                pi.to_string()
+            },
             format!("{:.3}", agg.gteps),
         ]);
     }

@@ -17,12 +17,8 @@ fn main() {
     let g = build_family(Family::Rmat1, scale, 1);
     let dg = DistGraph::build(&g, ranks, 4);
     let root = pick_roots(&g, 1, 3)[0];
-    let out = sssp_core::engine::run_sssp(
-        &dg,
-        root,
-        &SsspConfig::del(25),
-        &MachineModel::bgq_like(),
-    );
+    let out =
+        sssp_core::engine::run_sssp(&dg, root, &SsspConfig::del(25), &MachineModel::bgq_like());
 
     let mut rows = Vec::new();
     for (i, r) in out.stats.phase_records.iter().enumerate() {

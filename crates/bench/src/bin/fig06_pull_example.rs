@@ -49,7 +49,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Fig 6 — {name} (total {} relaxations)", out.stats.relaxations_total()),
+            &format!(
+                "Fig 6 — {name} (total {} relaxations)",
+                out.stats.relaxations_total()
+            ),
             &["iter", "bucket", "kind", "relax msgs"],
             &rows,
         );

@@ -50,7 +50,13 @@ fn main() {
     }
     print_table(
         &format!("Fig 12 — final algorithms, weak scaling (2^{spr} vertices/rank)"),
-        &["ranks", "scale", "RMAT-1 (LB-OPT-25+split)", "RMAT-2 (OPT-40)", "proxies"],
+        &[
+            "ranks",
+            "scale",
+            "RMAT-1 (LB-OPT-25+split)",
+            "RMAT-2 (OPT-40)",
+            "proxies",
+        ],
         &rows,
     );
     println!("\nPaper expectation: near-linear scaling; RMAT-1 ≈ 2× RMAT-2.");

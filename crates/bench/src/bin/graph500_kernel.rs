@@ -40,7 +40,14 @@ fn main() {
     }
     print_table(
         &format!("Graph 500-style kernel comparison ({ranks} ranks, harmonic-mean GTEPS)"),
-        &["family", "scale", "roots", "BFS", "SSSP (LB-OPT)", "BFS/SSSP"],
+        &[
+            "family",
+            "scale",
+            "roots",
+            "BFS",
+            "SSSP (LB-OPT)",
+            "BFS/SSSP",
+        ],
         &rows,
     );
     println!("\nPaper expectation (Fig 1): SSSP within 2–5x of same-machine BFS.");

@@ -67,7 +67,14 @@ fn main() {
         crs.stats.ledger.total_s(),
     );
 
-    let pr = run_pagerank(&dg, &PageRankConfig { tolerance: 1e-6, ..Default::default() }, &model);
+    let pr = run_pagerank(
+        &dg,
+        &PageRankConfig {
+            tolerance: 1e-6,
+            ..Default::default()
+        },
+        &model,
+    );
     push(
         "PageRank (to 1e-6)",
         pr.comm.num_supersteps(),
@@ -87,7 +94,14 @@ fn main() {
 
     print_table(
         &format!("Kernel profiles — RMAT-1 scale {scale}, {ranks} ranks"),
-        &["kernel", "supersteps", "messages", "wire bytes", "sim time (s)", "GTEPS-equiv"],
+        &[
+            "kernel",
+            "supersteps",
+            "messages",
+            "wire bytes",
+            "sim time (s)",
+            "GTEPS-equiv",
+        ],
         &rows,
     );
     println!(

@@ -94,7 +94,5 @@ fn main() {
         ],
         &rows,
     );
-    println!(
-        "\n{optimal_cases}/{total_cases} configurations near-optimal (paper: all optimal)."
-    );
+    println!("\n{optimal_cases}/{total_cases} configurations near-optimal (paper: all optimal).");
 }

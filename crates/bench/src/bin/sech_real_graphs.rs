@@ -42,7 +42,14 @@ fn main() {
     }
     print_table(
         &format!("§IV-H — social graphs (Chung–Lu stand-ins, 1/{shrink} scale), {ranks} ranks"),
-        &["graph", "vertices", "edges", "Del-40 GTEPS", "Opt-40 GTEPS", "speedup"],
+        &[
+            "graph",
+            "vertices",
+            "edges",
+            "Del-40 GTEPS",
+            "Opt-40 GTEPS",
+            "speedup",
+        ],
         &rows,
     );
     println!("\nPaper expectation: OPT ≈ 2× Del on every graph.");

@@ -17,7 +17,9 @@ use sssp_graph::{Csr, VertexId};
 /// Result of a multi-root evaluation.
 #[derive(Debug, Clone)]
 pub struct KernelResult {
+    /// Which kernel the timings cover ("bfs" or "sssp").
     pub kernel: &'static str,
+    /// The sampled search roots, in run order.
     pub roots: Vec<VertexId>,
     /// Simulated seconds per root.
     pub times_s: Vec<f64>,
@@ -35,6 +37,7 @@ impl KernelResult {
         self.times_s.len() as f64 / inv_sum
     }
 
+    /// Mean wall-clock-model seconds per root.
     pub fn mean_time_s(&self) -> f64 {
         self.times_s.iter().sum::<f64>() / self.times_s.len().max(1) as f64
     }
@@ -60,7 +63,12 @@ pub fn evaluate_sssp(
             out.stats.ledger.total_s()
         })
         .collect();
-    KernelResult { kernel: "sssp", roots: roots.to_vec(), times_s, m_edges: dg.m_input_undirected }
+    KernelResult {
+        kernel: "sssp",
+        roots: roots.to_vec(),
+        times_s,
+        m_edges: dg.m_input_undirected,
+    }
 }
 
 /// Run the BFS kernel over `roots`, optionally validating hop distances.
@@ -85,7 +93,12 @@ pub fn evaluate_bfs(
             out.stats.ledger.total_s()
         })
         .collect();
-    KernelResult { kernel: "bfs", roots: roots.to_vec(), times_s, m_edges: dg.m_input_undirected }
+    KernelResult {
+        kernel: "bfs",
+        roots: roots.to_vec(),
+        times_s,
+        m_edges: dg.m_input_undirected,
+    }
 }
 
 /// Full validation of one SSSP output per the Graph 500 SSSP proposal's

@@ -12,6 +12,9 @@
 //! `SSSP_BENCH_SCALE_PER_RANK` / `SSSP_BENCH_MAX_RANKS` environment
 //! variables raise the scale for bigger machines.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod graph500;
 
 use sssp_comm::cost::MachineModel;
@@ -25,11 +28,14 @@ use sssp_graph::{Csr, CsrBuilder, VertexId};
 /// The paper's two synthetic families (§IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
+    /// Graph 500 BFS parameters (a=0.57): skewed, hub-heavy.
     Rmat1,
+    /// Proposed SSSP parameters (a=0.50): flatter degree profile.
     Rmat2,
 }
 
 impl Family {
+    /// The R-MAT parameter preset for this family.
     pub fn params(self) -> RmatParams {
         match self {
             Family::Rmat1 => RmatParams::RMAT1,
@@ -37,6 +43,7 @@ impl Family {
         }
     }
 
+    /// Display name used in table output.
     pub fn name(self) -> &'static str {
         match self {
             Family::Rmat1 => "RMAT-1",
@@ -106,14 +113,23 @@ pub fn pick_roots(g: &Csr, count: usize, seed: u64) -> Vec<VertexId> {
 /// Aggregate of several runs (different roots) of one configuration.
 #[derive(Debug, Clone)]
 pub struct Aggregate {
+    /// Number of roots aggregated.
     pub runs: usize,
+    /// Mean traversal rate in GTEPS.
     pub gteps: f64,
+    /// Mean relaxations per run.
     pub relaxations: f64,
+    /// Mean relaxations on the busiest thread (imbalance signal).
     pub relax_per_thread: f64,
+    /// Mean epochs (buckets processed) per run.
     pub buckets: f64,
+    /// Mean phases (supersteps) per run.
     pub phases: f64,
+    /// Mean simulated seconds in bucket/collective work.
     pub bucket_time_s: f64,
+    /// Mean simulated seconds in relaxation work.
     pub relax_time_s: f64,
+    /// Full output of the last run (for validation and spot checks).
     pub last: SsspOutput,
 }
 
@@ -214,7 +230,13 @@ pub fn family_analysis(family: Family, delta: u32, threads: usize) {
     }
     print_table(
         &format!("Fig b–d — {} scale {scale}, {p} ranks", family.name()),
-        &["algorithm", "BktTime (s)", "OthrTime (s)", "relax/thread", "buckets"],
+        &[
+            "algorithm",
+            "BktTime (s)",
+            "OthrTime (s)",
+            "relax/thread",
+            "buckets",
+        ],
         &rows_bcd,
     );
 
@@ -229,7 +251,11 @@ pub fn family_analysis(family: Family, delta: u32, threads: usize) {
             let roots = pick_roots(&g, 2, 23);
             let mut row = vec![p.to_string(), scale.to_string()];
             for &d in &deltas {
-                let cfg = if lb { SsspConfig::lb_opt(d) } else { SsspConfig::opt(d) };
+                let cfg = if lb {
+                    SsspConfig::lb_opt(d)
+                } else {
+                    SsspConfig::opt(d)
+                };
                 let agg = run_aggregate(&dg, &roots, &cfg, &model);
                 row.push(format!("{:.3}", agg.gteps));
             }
@@ -282,7 +308,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

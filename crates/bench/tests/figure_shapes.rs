@@ -22,7 +22,9 @@ fn fig06_counts_are_exact() {
     let dg = DistGraph::build(&g, 4, 1);
     use LongPhaseMode::*;
     let run = |seq: Vec<LongPhaseMode>| {
-        let cfg = SsspConfig::del(5).with_ios(false).with_direction(DirectionPolicy::Forced(seq));
+        let cfg = SsspConfig::del(5)
+            .with_ios(false)
+            .with_direction(DirectionPolicy::Forced(seq));
         run_sssp(&dg, 0, &cfg, &model())
     };
     let push = run(vec![Push, Push, Push]);
@@ -62,15 +64,29 @@ fn heuristic_is_optimal_at_small_scale() {
     let mut best = f64::INFINITY;
     for mask in 0..(1usize << k) {
         let seq: Vec<LongPhaseMode> = (0..k)
-            .map(|i| if mask >> i & 1 == 1 { LongPhaseMode::Pull } else { LongPhaseMode::Push })
+            .map(|i| {
+                if mask >> i & 1 == 1 {
+                    LongPhaseMode::Pull
+                } else {
+                    LongPhaseMode::Push
+                }
+            })
             .collect();
-        let out =
-            run_sssp(&dg, root, &base.clone().with_direction(DirectionPolicy::Forced(seq)), &model());
+        let out = run_sssp(
+            &dg,
+            root,
+            &base.clone().with_direction(DirectionPolicy::Forced(seq)),
+            &model(),
+        );
         assert_eq!(out.distances, heur.distances);
         best = best.min(out.stats.ledger.total_s());
     }
     let gap = (heur.stats.ledger.total_s() - best) / best;
-    assert!(gap <= 0.01, "heuristic {:.3e} vs best {best:.3e}", heur.stats.ledger.total_s());
+    assert!(
+        gap <= 0.01,
+        "heuristic {:.3e} vs best {best:.3e}",
+        heur.stats.ledger.total_s()
+    );
 }
 
 /// Graph 500 protocol: SSSP within a small factor of BFS, both spec-valid.
@@ -82,7 +98,10 @@ fn graph500_protocol_shape() {
     let bfs = evaluate_bfs(&csr, &dg, &roots, &model(), true);
     let sssp = evaluate_sssp(&csr, &dg, &roots, &SsspConfig::opt(25), &model(), true);
     let ratio = bfs.harmonic_mean_teps() / sssp.harmonic_mean_teps();
-    assert!((1.0..8.0).contains(&ratio), "BFS/SSSP ratio {ratio:.1} out of band");
+    assert!(
+        (1.0..8.0).contains(&ratio),
+        "BFS/SSSP ratio {ratio:.1} out of band"
+    );
 
     let out = run_sssp(&dg, roots[0], &SsspConfig::opt(25), &model());
     spec_validate(&csr, roots[0], &out.distances).expect("spec validation");

@@ -64,7 +64,10 @@ impl MachineModel {
     /// bytes then include the 32-byte-per-512-byte header overhead the SPI
     /// coalescing layer pays.
     pub fn bgq_like_packetized() -> Self {
-        MachineModel { packet: Some(crate::packet::PacketConfig::bgq()), ..Self::bgq_like() }
+        MachineModel {
+            packet: Some(crate::packet::PacketConfig::bgq()),
+            ..Self::bgq_like()
+        }
     }
 
     /// A unit model for tests: every charge adds a round number.
@@ -93,15 +96,19 @@ pub enum TimeClass {
 /// Accumulates simulated time for one run.
 #[derive(Debug, Clone, Default)]
 pub struct TimeLedger {
+    /// Simulated seconds of bucket scans and collectives.
     pub bucket_s: f64,
+    /// Simulated seconds of relaxation and message work.
     pub relax_s: f64,
 }
 
 impl TimeLedger {
+    /// Empty ledger.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Total simulated seconds across all time classes.
     pub fn total_s(&self) -> f64 {
         self.bucket_s + self.relax_s
     }

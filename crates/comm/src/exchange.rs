@@ -12,19 +12,25 @@ use crate::Rank;
 /// `dst`. Construct with [`Outbox::new`] and fill during the compute step.
 #[derive(Debug, Clone)]
 pub struct Outbox<M> {
+    /// One message lane per destination rank.
     pub out: Vec<Vec<M>>,
 }
 
 impl<M> Outbox<M> {
+    /// Empty outbox with one lane per destination rank.
     pub fn new(p: usize) -> Self {
-        Outbox { out: (0..p).map(|_| Vec::new()).collect() }
+        Outbox {
+            out: (0..p).map(|_| Vec::new()).collect(),
+        }
     }
 
     #[inline]
+    /// Queue `msg` for delivery to `dst` at the next superstep boundary.
     pub fn send(&mut self, dst: Rank, msg: M) {
         self.out[dst].push(msg);
     }
 
+    /// Number of queued messages across all destinations.
     pub fn total_msgs(&self) -> usize {
         self.out.iter().map(Vec::len).sum()
     }

@@ -24,11 +24,20 @@
 //! relative comparisons (push vs pull, hybrid vs not, balanced vs not) the
 //! paper's figures are built from.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Allreduce/allgather equivalents with tree-latency accounting.
 pub mod collective;
+/// The α–β–γ machine model converting traffic into simulated time.
 pub mod cost;
+/// Bulk-synchronous message exchange between simulated ranks.
 pub mod exchange;
+/// Optional SPI-style packet coalescing model.
 pub mod packet;
+/// Per-superstep traffic ledgers ([`stats::CommStats`]).
 pub mod stats;
+/// Real-thread SPMD runtime (one OS thread per rank) for differential tests.
 pub mod threaded;
 
 /// Index of a logical processor (the paper's "node"/"rank").

@@ -32,12 +32,18 @@ pub struct PacketConfig {
 impl PacketConfig {
     /// Blue Gene/Q torus packets: 512-byte payload chunks, 32-byte header.
     pub fn bgq() -> Self {
-        PacketConfig { payload_bytes: 512, header_bytes: 32 }
+        PacketConfig {
+            payload_bytes: 512,
+            header_bytes: 32,
+        }
     }
 
     /// Degenerate configuration: one message per packet (no coalescing).
     pub fn per_message(msg_bytes: usize) -> Self {
-        PacketConfig { payload_bytes: msg_bytes.max(1), header_bytes: 32 }
+        PacketConfig {
+            payload_bytes: msg_bytes.max(1),
+            header_bytes: 32,
+        }
     }
 
     /// Wire bytes for `count` messages of `msg_bytes` each sent to one

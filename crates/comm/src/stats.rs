@@ -22,36 +22,44 @@ pub struct StepStats {
 /// Cumulative communication statistics for a run.
 #[derive(Debug, Clone, Default)]
 pub struct CommStats {
+    /// One record per completed superstep, in execution order.
     pub steps: Vec<StepStats>,
     /// Number of collective operations performed (allreduce/allgather).
     pub collectives: u64,
 }
 
 impl CommStats {
+    /// Empty ledger.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Append one superstep record.
     pub fn record(&mut self, step: StepStats) {
         self.steps.push(step);
     }
 
+    /// Messages that crossed rank boundaries, summed over all supersteps.
     pub fn total_remote_msgs(&self) -> u64 {
         self.steps.iter().map(|s| s.remote_msgs).sum()
     }
 
+    /// Rank-local (self-addressed) messages, summed over all supersteps.
     pub fn total_local_msgs(&self) -> u64 {
         self.steps.iter().map(|s| s.local_msgs).sum()
     }
 
+    /// All delivered messages, remote and local.
     pub fn total_msgs(&self) -> u64 {
         self.total_remote_msgs() + self.total_local_msgs()
     }
 
+    /// Bytes that crossed rank boundaries, summed over all supersteps.
     pub fn total_remote_bytes(&self) -> u64 {
         self.steps.iter().map(|s| s.remote_bytes).sum()
     }
 
+    /// Number of recorded supersteps.
     pub fn num_supersteps(&self) -> usize {
         self.steps.len()
     }
@@ -64,8 +72,18 @@ mod tests {
     #[test]
     fn totals_accumulate() {
         let mut s = CommStats::new();
-        s.record(StepStats { remote_msgs: 3, local_msgs: 2, remote_bytes: 48, ..Default::default() });
-        s.record(StepStats { remote_msgs: 1, local_msgs: 0, remote_bytes: 16, ..Default::default() });
+        s.record(StepStats {
+            remote_msgs: 3,
+            local_msgs: 2,
+            remote_bytes: 48,
+            ..Default::default()
+        });
+        s.record(StepStats {
+            remote_msgs: 1,
+            local_msgs: 0,
+            remote_bytes: 16,
+            ..Default::default()
+        });
         assert_eq!(s.total_remote_msgs(), 4);
         assert_eq!(s.total_local_msgs(), 2);
         assert_eq!(s.total_msgs(), 6);

@@ -34,11 +34,13 @@ pub struct RankCtx<M> {
 
 impl<M: Send> RankCtx<M> {
     #[inline]
+    /// This thread’s rank id.
     pub fn rank(&self) -> Rank {
         self.rank
     }
 
     #[inline]
+    /// Total number of ranks in the run.
     pub fn num_ranks(&self) -> usize {
         self.p
     }
@@ -49,9 +51,14 @@ impl<M: Send> RankCtx<M> {
     pub fn exchange(&self, out: Vec<Vec<M>>) -> Vec<M> {
         assert_eq!(out.len(), self.p, "outbox fan-out mismatch");
         for (dst, msgs) in out.into_iter().enumerate() {
-            self.senders[dst].send((self.rank, msgs)).expect("peer hung up");
+            // A peer disappearing mid-superstep is unrecoverable by design
+            // (SPMD contract), hence the allowed panic below.
+            self.senders[dst]
+                .send((self.rank, msgs))
+                .expect("peer hung up"); // sssp-lint: allow(no-panic-hot-path): SPMD contract
         }
         let mut batches: Vec<(Rank, Vec<M>)> =
+            // sssp-lint: allow(no-panic-hot-path): same SPMD contract as above.
             (0..self.p).map(|_| self.inbox.recv().expect("peer hung up")).collect();
         batches.sort_by_key(|&(src, _)| src);
         let inbox: Vec<M> = batches.into_iter().flat_map(|(_, m)| m).collect();
@@ -64,18 +71,27 @@ impl<M: Send> RankCtx<M> {
     /// Allreduce over one `u64` contribution per rank.
     pub fn allreduce<F: Fn(&[u64]) -> u64>(&self, value: u64, combine: F) -> u64 {
         {
+            // sssp-lint: allow(no-panic-hot-path): poisoned = a rank already
+            // panicked; propagating the abort is the correct SPMD behavior.
             let mut slots = self.slots.lock().expect("collective mutex poisoned");
             slots[self.rank] = Some(value);
         }
         self.barrier.wait();
         let result = {
+            // sssp-lint: allow(no-panic-hot-path): see poisoning note above.
             let slots = self.slots.lock().expect("collective mutex poisoned");
-            let vals: Vec<u64> = slots.iter().map(|s| s.expect("missing contribution")).collect();
+            // Every rank filled its slot before the barrier; a hole means
+            // the barrier itself is broken, hence the allowed panic below.
+            let vals: Vec<u64> = slots
+                .iter()
+                .map(|s| s.expect("missing contribution")) // sssp-lint: allow(no-panic-hot-path): barrier guarantees slots
+                .collect();
             combine(&vals)
         };
         // Second barrier before anyone clears their slot for reuse.
         self.barrier.wait();
         {
+            // sssp-lint: allow(no-panic-hot-path): see poisoning note above.
             let mut slots = self.slots.lock().expect("collective mutex poisoned");
             slots[self.rank] = None;
         }
@@ -85,7 +101,9 @@ impl<M: Send> RankCtx<M> {
 
     /// Logical-or allreduce.
     pub fn any(&self, flag: bool) -> bool {
-        self.allreduce(u64::from(flag), |vals| u64::from(vals.iter().any(|&v| v != 0))) != 0
+        self.allreduce(u64::from(flag), |vals| {
+            u64::from(vals.iter().any(|&v| v != 0))
+        }) != 0
     }
 }
 
@@ -120,11 +138,18 @@ where
             std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .spawn(move || body(ctx))
+                // sssp-lint: allow(no-panic-hot-path): setup, not a hot path;
+                // no ranks have started yet, so aborting is clean.
                 .expect("failed to spawn rank thread"),
         );
     }
     drop(senders);
-    handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    // Re-raise a rank panic on the driver thread instead of returning
+    // partial results, hence the allowed panic below.
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread panicked")) // sssp-lint: allow(no-panic-hot-path): re-raise rank panic
+        .collect()
 }
 
 #[cfg(test)]
@@ -135,8 +160,7 @@ mod tests {
     fn exchange_routes_and_orders_by_source() {
         let inboxes = run_threaded(4, |ctx: RankCtx<(usize, usize)>| {
             let p = ctx.num_ranks();
-            let out: Vec<Vec<(usize, usize)>> =
-                (0..p).map(|dst| vec![(ctx.rank(), dst)]).collect();
+            let out: Vec<Vec<(usize, usize)>> = (0..p).map(|dst| vec![(ctx.rank(), dst)]).collect();
             ctx.exchange(out)
         });
         for (dst, inbox) in inboxes.iter().enumerate() {

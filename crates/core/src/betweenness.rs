@@ -37,8 +37,7 @@ fn accumulate_source(
 ) -> usize {
     let n = g.num_vertices();
     // Vertices in increasing distance order (unreachable excluded).
-    let mut order: Vec<VertexId> =
-        g.vertices().filter(|&v| dist[v as usize] != INF).collect();
+    let mut order: Vec<VertexId> = g.vertices().filter(|&v| dist[v as usize] != INF).collect();
     order.sort_unstable_by_key(|&v| dist[v as usize]);
 
     // σ: number of shortest s→v paths.

@@ -30,15 +30,20 @@ pub const UNVISITED: u32 = u32::MAX;
 /// Which direction a BFS level ran in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BfsDirection {
+    /// Frontier owners push to neighbors.
     TopDown,
+    /// Unvisited vertices probe the frontier (direction-optimized).
     BottomUp,
 }
 
 /// Per-level record.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BfsLevelRecord {
+    /// BFS depth of this level.
     pub level: u32,
+    /// Traversal direction chosen for this level.
     pub direction: BfsDirection,
+    /// Number of frontier vertices entering the level.
     pub frontier_size: u64,
     /// Edges examined during the level.
     pub edges_examined: u64,
@@ -47,14 +52,20 @@ pub struct BfsLevelRecord {
 /// BFS run statistics.
 #[derive(Debug, Clone, Default)]
 pub struct BfsStats {
+    /// Per-level records, in depth order.
     pub levels: Vec<BfsLevelRecord>,
+    /// Number of vertices reached.
     pub visited: u64,
+    /// Edges examined across all levels.
     pub edges_examined_total: u64,
+    /// Message traffic ledger.
     pub comm: CommStats,
+    /// Simulated time ledger.
     pub ledger: TimeLedger,
 }
 
 impl BfsStats {
+    /// Traversal rate in GTEPS given the graph’s directed edge count.
     pub fn gteps(&self, m_edges: u64) -> f64 {
         sssp_comm::cost::teps(m_edges, self.ledger.total_s()) / 1e9
     }
@@ -63,7 +74,9 @@ impl BfsStats {
 /// BFS output: hop distance per global vertex (`u32::MAX` = unreachable).
 #[derive(Debug, Clone)]
 pub struct BfsOutput {
+    /// BFS depth per vertex (`u32::MAX` = unreached).
     pub depth: Vec<u32>,
+    /// Full instrumentation record.
     pub stats: BfsStats,
 }
 
@@ -95,8 +108,9 @@ pub fn run_bfs(dg: &DistGraph, root: VertexId, model: &MachineModel) -> BfsOutpu
     let mut ledger = TimeLedger::new();
     let mut stats = BfsStats::default();
 
-    let mut depth: Vec<Vec<u32>> =
-        (0..p).map(|r| vec![UNVISITED; dg.part.local_count(r)]).collect();
+    let mut depth: Vec<Vec<u32>> = (0..p)
+        .map(|r| vec![UNVISITED; dg.part.local_count(r)])
+        .collect();
     let mut frontier: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
 
     if n == 0 {
@@ -121,7 +135,11 @@ pub fn run_bfs(dg: &DistGraph, root: VertexId, model: &MachineModel) -> BfsOutpu
         let fe: Vec<u64> = frontier
             .iter()
             .enumerate()
-            .map(|(r, f)| f.iter().map(|&v| dg.locals[r].degree(v as usize) as u64).sum())
+            .map(|(r, f)| {
+                f.iter()
+                    .map(|&v| dg.locals[r].degree(v as usize) as u64)
+                    .sum()
+            })
             .collect();
         let frontier_edges = allreduce_sum(&fe, &mut comm);
         let fs: Vec<u64> = frontier.iter().map(|f| f.len() as u64).collect();
@@ -132,13 +150,33 @@ pub fn run_bfs(dg: &DistGraph, root: VertexId, model: &MachineModel) -> BfsOutpu
             || (level > 0 && frontier_size > n as u64 / BETA);
 
         let (next, examined) = if bottom_up {
-            bottom_up_level(dg, &mut depth, &frontier, level, model, &mut comm, &mut ledger)
+            bottom_up_level(
+                dg,
+                &mut depth,
+                &frontier,
+                level,
+                model,
+                &mut comm,
+                &mut ledger,
+            )
         } else {
-            top_down_level(dg, &mut depth, &frontier, level, model, &mut comm, &mut ledger)
+            top_down_level(
+                dg,
+                &mut depth,
+                &frontier,
+                level,
+                model,
+                &mut comm,
+                &mut ledger,
+            )
         };
         stats.levels.push(BfsLevelRecord {
             level,
-            direction: if bottom_up { BfsDirection::BottomUp } else { BfsDirection::TopDown },
+            direction: if bottom_up {
+                BfsDirection::BottomUp
+            } else {
+                BfsDirection::TopDown
+            },
             frontier_size,
             edges_examined: examined,
         });
@@ -166,7 +204,10 @@ fn finishup(
     stats.visited = global.iter().filter(|&&d| d != UNVISITED).count() as u64;
     stats.comm = comm;
     stats.ledger = ledger;
-    BfsOutput { depth: global, stats }
+    BfsOutput {
+        depth: global,
+        stats,
+    }
 }
 
 /// Visit message: mark `target` (local on destination) at depth `level+1`.
@@ -198,7 +239,9 @@ fn top_down_level(
                 for &v in ts {
                     ob.send(
                         dg.part.owner(v),
-                        VisitMsg { target: dg.part.to_local(v) as u32 },
+                        VisitMsg {
+                            target: dg.part.to_local(v) as u32,
+                        },
                     );
                 }
             }
@@ -355,18 +398,26 @@ mod tests {
     #[test]
     fn bfs_switches_to_bottom_up_on_dense_frontier() {
         use sssp_graph::rmat::{RmatGenerator, RmatParams};
-        let el = RmatGenerator::new(RmatParams::RMAT1, 11, 16).seed(3).generate_weighted(255);
+        let el = RmatGenerator::new(RmatParams::RMAT1, 11, 16)
+            .seed(3)
+            .generate_weighted(255);
         let g = CsrBuilder::new().build(&el);
         let dg = DistGraph::build(&g, 4, 2);
         let root = g.vertices().find(|&v| g.degree(v) > 0).unwrap();
         let out = run_bfs(&dg, root, &model());
         assert_eq!(out.depth, seq_bfs(&g, root));
         assert!(
-            out.stats.levels.iter().any(|l| l.direction == BfsDirection::BottomUp),
+            out.stats
+                .levels
+                .iter()
+                .any(|l| l.direction == BfsDirection::BottomUp),
             "scale-free graph should trigger bottom-up levels"
         );
         assert!(
-            out.stats.levels.iter().any(|l| l.direction == BfsDirection::TopDown),
+            out.stats
+                .levels
+                .iter()
+                .any(|l| l.direction == BfsDirection::TopDown),
             "first level should be top-down"
         );
     }
@@ -374,7 +425,9 @@ mod tests {
     #[test]
     fn direction_optimization_examines_fewer_edges() {
         use sssp_graph::rmat::{RmatGenerator, RmatParams};
-        let el = RmatGenerator::new(RmatParams::RMAT1, 11, 16).seed(5).generate_weighted(255);
+        let el = RmatGenerator::new(RmatParams::RMAT1, 11, 16)
+            .seed(5)
+            .generate_weighted(255);
         let g = CsrBuilder::new().build(&el);
         let dg = DistGraph::build(&g, 4, 2);
         let root = g.vertices().find(|&v| g.degree(v) > 0).unwrap();

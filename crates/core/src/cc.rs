@@ -22,8 +22,11 @@ use sssp_graph::VertexId;
 pub struct CcOutput {
     /// Per-vertex label = the minimum vertex id in its component.
     pub labels: Vec<VertexId>,
+    /// Label-propagation rounds until fixpoint.
     pub rounds: u64,
+    /// Message traffic ledger.
     pub comm: CommStats,
+    /// Simulated time ledger.
     pub ledger: TimeLedger,
 }
 
@@ -53,12 +56,15 @@ pub fn run_cc(dg: &DistGraph, model: &MachineModel) -> CcOutput {
 
     let mut labels: Vec<Vec<VertexId>> = (0..p)
         .map(|r| {
-            (0..dg.part.local_count(r)).map(|l| dg.part.to_global(r, l)).collect()
+            (0..dg.part.local_count(r))
+                .map(|l| dg.part.to_global(r, l))
+                .collect()
         })
         .collect();
     // Initially every vertex is "changed".
-    let mut active: Vec<Vec<u32>> =
-        (0..p).map(|r| (0..dg.part.local_count(r) as u32).collect()).collect();
+    let mut active: Vec<Vec<u32>> = (0..p)
+        .map(|r| (0..dg.part.local_count(r) as u32).collect())
+        .collect();
     let mut rounds = 0u64;
 
     loop {
@@ -125,7 +131,10 @@ pub fn run_cc(dg: &DistGraph, model: &MachineModel) -> CcOutput {
             step.max_rank_send_bytes.max(step.max_rank_recv_bytes),
         );
         comm.record(step);
-        assert!(rounds <= n as u64 + 1, "label propagation failed to converge");
+        assert!(
+            rounds <= n as u64 + 1,
+            "label propagation failed to converge"
+        );
     }
 
     let mut global = vec![0 as VertexId; n];
@@ -134,7 +143,12 @@ pub fn run_cc(dg: &DistGraph, model: &MachineModel) -> CcOutput {
             global[dg.part.to_global(r, l) as usize] = x;
         }
     }
-    CcOutput { labels: global, rounds, comm, ledger }
+    CcOutput {
+        labels: global,
+        rounds,
+        comm,
+        ledger,
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +202,11 @@ mod tests {
         let dg = DistGraph::build(&g, 4, 1);
         let out = run_cc(&dg, &model());
         // Label 0 must travel 19 hops; plus the initial flood + quiescence.
-        assert!(out.rounds >= 19 && out.rounds <= 22, "rounds = {}", out.rounds);
+        assert!(
+            out.rounds >= 19 && out.rounds <= 22,
+            "rounds = {}",
+            out.rounds
+        );
         assert_eq!(out.num_components(), 1);
     }
 

@@ -143,8 +143,7 @@ mod tests {
         el.n = 4;
         let csr = CsrBuilder::new().build(&el);
         let dg = DistGraph::build(&csr, 2, 1);
-        let (owner, dist) =
-            voronoi(&dg, &[0], &SsspConfig::opt(25), &MachineModel::bgq_like());
+        let (owner, dist) = voronoi(&dg, &[0], &SsspConfig::opt(25), &MachineModel::bgq_like());
         assert_eq!(owner[3], usize::MAX);
         assert_eq!(dist[3], u64::MAX);
         assert_eq!(owner[2], 0);

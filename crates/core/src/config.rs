@@ -4,7 +4,9 @@
 /// `Infinite` yields Bellman-Ford, anything between is Δ-stepping (§II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeltaParam {
+    /// Bucket width Δ; distances map to bucket ⌊d/Δ⌋.
     Finite(u32),
+    /// Δ = ∞: a single bucket (Bellman-Ford).
     Infinite,
 }
 
@@ -40,7 +42,9 @@ impl DeltaParam {
 /// Which mechanism a long-edge phase uses (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LongPhaseMode {
+    /// Owners of the current bucket send relaxations outward.
     Push,
+    /// Owners of later buckets request candidate distances.
     Pull,
 }
 
@@ -76,6 +80,7 @@ pub enum PullEstimator {
 /// Intra-node thread-level load balancing (§III-E, first tier).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IntraBalance {
+    /// No intra-node balancing: each thread keeps its own vertices.
     Off,
     /// Split edge processing of vertices with degree > π across threads.
     Threshold(u32),
@@ -87,10 +92,13 @@ pub enum IntraBalance {
 /// methods.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SsspConfig {
+    /// Bucket width Δ.
     pub delta: DeltaParam,
     /// Inner/outer short-edge refinement (IOS heuristic, §III-A).
     pub ios: bool,
+    /// How each long phase picks push vs pull.
     pub direction: DirectionPolicy,
+    /// How pull-request volume is estimated for that decision.
     pub pull_estimator: PullEstimator,
     /// Imbalance-aware refinement of the decision heuristic (§III-C): also
     /// compare bottleneck-rank volumes, not just totals.
@@ -98,6 +106,7 @@ pub struct SsspConfig {
     /// Hybridization threshold τ (§III-D): switch to Bellman-Ford once this
     /// fraction of vertices is settled. `None` disables hybridization.
     pub hybrid_tau: Option<f64>,
+    /// Intra-node thread load balancing mode (π threshold).
     pub intra_balance: IntraBalance,
 }
 
@@ -168,16 +177,20 @@ impl SsspConfig {
 
     // Builder-style tweaks -------------------------------------------------
 
+    /// Toggle the inner/outer-short refinement (§III-A).
     pub fn with_ios(mut self, ios: bool) -> Self {
         self.ios = ios;
         self
     }
 
+    /// Select how each long phase chooses between push and pull (§III-C).
     pub fn with_direction(mut self, d: DirectionPolicy) -> Self {
         self.direction = d;
         self
     }
 
+    /// Set the Bellman-Ford switch threshold τ (fraction of vertices
+    /// settled, §III-D); `None` disables hybridization.
     pub fn with_hybrid(mut self, tau: Option<f64>) -> Self {
         if let Some(t) = tau {
             assert!((0.0..=1.0).contains(&t), "τ must lie in [0, 1]");
@@ -186,11 +199,13 @@ impl SsspConfig {
         self
     }
 
+    /// Select the intra-node thread load balancing mode (§III-E).
     pub fn with_intra_balance(mut self, b: IntraBalance) -> Self {
         self.intra_balance = b;
         self
     }
 
+    /// Select how pull-request volume is estimated for the §III-C decision.
     pub fn with_pull_estimator(mut self, e: PullEstimator) -> Self {
         self.pull_estimator = e;
         self

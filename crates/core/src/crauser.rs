@@ -31,16 +31,21 @@ use crate::state::INF;
 /// Run statistics of the Crauser algorithm.
 #[derive(Debug, Clone, Default)]
 pub struct CrauserStats {
+    /// Number of phases (parallel Dijkstra rounds).
     pub phases: u64,
+    /// Total edge relaxations performed.
     pub relaxations: u64,
     /// Vertices settled per phase (shows the parallelism the criteria
     /// extract compared to Dijkstra's one-per-phase).
     pub settled_per_phase: Vec<u64>,
+    /// Message traffic ledger.
     pub comm: CommStats,
+    /// Simulated time ledger.
     pub ledger: TimeLedger,
 }
 
 impl CrauserStats {
+    /// Traversal rate in GTEPS given the graph’s directed edge count.
     pub fn gteps(&self, m_edges: u64) -> f64 {
         sssp_comm::cost::teps(m_edges, self.ledger.total_s()) / 1e9
     }
@@ -49,7 +54,9 @@ impl CrauserStats {
 /// Output: distances indexed by global vertex id.
 #[derive(Debug, Clone)]
 pub struct CrauserOutput {
+    /// Final distances indexed by global vertex id.
     pub distances: Vec<u64>,
+    /// Full instrumentation record.
     pub stats: CrauserStats,
 }
 
@@ -81,12 +88,19 @@ pub fn run_crauser(dg: &DistGraph, root: VertexId, model: &MachineModel) -> Crau
             let min_w = (0..nl)
                 .map(|v| dg.locals[r].row(v).1.first().copied().unwrap_or(u32::MAX))
                 .collect();
-            Rank { dist: vec![INF; nl], settled: vec![false; nl], min_w }
+            Rank {
+                dist: vec![INF; nl],
+                settled: vec![false; nl],
+                min_w,
+            }
         })
         .collect();
 
     if n == 0 {
-        return CrauserOutput { distances: Vec::new(), stats };
+        return CrauserOutput {
+            distances: Vec::new(),
+            stats,
+        };
     }
     assert!((root as usize) < n, "root {root} out of range (n = {n})");
     ranks[dg.part.owner(root)].dist[dg.part.to_local(root)] = 0;
@@ -173,7 +187,10 @@ pub fn run_crauser(dg: &DistGraph, root: VertexId, model: &MachineModel) -> Crau
             sent_total += s;
             settled_total += k;
         }
-        debug_assert!(settled_total > 0, "criteria must settle at least the minimum");
+        debug_assert!(
+            settled_total > 0,
+            "criteria must settle at least the minimum"
+        );
         let (inboxes, step) = exchange_with(obs, RELAX_BYTES, model.packet.as_ref());
         ranks
             .par_iter_mut()
@@ -255,7 +272,12 @@ mod tests {
             dij.stats.phases
         );
         // The criteria settle multiple vertices in most phases.
-        let multi = crauser.stats.settled_per_phase.iter().filter(|&&k| k > 1).count();
+        let multi = crauser
+            .stats
+            .settled_per_phase
+            .iter()
+            .filter(|&&k| k > 1)
+            .count();
         assert!(multi > 0);
     }
 

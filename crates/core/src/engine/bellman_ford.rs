@@ -7,7 +7,7 @@ use sssp_comm::exchange::{exchange_with, Outbox};
 
 use crate::instrument::{PhaseKind, PhaseRecord};
 
-use super::{Engine, RelaxMsg, RELAX_BYTES};
+use super::{invariants, Engine, RelaxMsg, RELAX_BYTES};
 
 impl Engine<'_> {
     // -- hybrid Bellman-Ford tail (§III-D) ---------------------------------------
@@ -41,7 +41,7 @@ impl Engine<'_> {
                             ob.send(
                                 part.owner(v),
                                 RelaxMsg {
-                                    target: part.to_local(v) as u32,
+                                    target: part.local_index(v),
                                     nd: du + ws[i] as u64,
                                 },
                             );
@@ -56,6 +56,7 @@ impl Engine<'_> {
             let (obs, counts): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
             let sent_total: u64 = counts.iter().sum();
             let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+            invariants::check_conservation(&inboxes, &step);
             self.states
                 .par_iter_mut()
                 .zip(inboxes.into_par_iter())

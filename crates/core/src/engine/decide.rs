@@ -109,7 +109,8 @@ impl Engine<'_> {
         // per-vertex long-edge counts; at runtime only the per-rank sums
         // need to be shared).
         self.comm.collectives += 1;
-        self.ledger.charge_collective(self.model, TimeClass::Relax, self.p);
+        self.ledger
+            .charge_collective(self.model, TimeClass::Relax, self.p);
 
         let push_total: u64 = volumes.iter().map(|v| v.0).sum();
         let pull_total: u64 = volumes.iter().map(|v| v.1).sum();
@@ -127,8 +128,8 @@ impl Engine<'_> {
         // the imbalance-aware refinement is on; otherwise the average is
         // used (the paper's first-cut heuristic).
         let m = self.model;
-        let per_edge =
-            m.gamma_s_per_op / m.threads_per_rank.max(1) as f64 + m.beta_s_per_byte * RELAX_BYTES as f64;
+        let per_edge = m.gamma_s_per_op / m.threads_per_rank.max(1) as f64
+            + m.beta_s_per_byte * RELAX_BYTES as f64;
         let bottleneck = |total: u64, maxr: u64| -> f64 {
             if self.cfg.imbalance_aware {
                 (total as f64 / self.p as f64).max(maxr as f64)
@@ -147,7 +148,11 @@ impl Engine<'_> {
 
         let pull_wins = t_pull < t_push;
         (
-            if pull_wins { LongPhaseMode::Pull } else { LongPhaseMode::Push },
+            if pull_wins {
+                LongPhaseMode::Pull
+            } else {
+                LongPhaseMode::Push
+            },
             est_push,
             est_pull,
         )

@@ -1,0 +1,71 @@
+//! Runtime invariant checks — the dynamic half of the `sssp-lint` gate.
+//!
+//! Each check is a thin `#[inline]` wrapper around `debug_assert!`, so
+//! release builds pay nothing while every debug test run exercises the
+//! checks on every relaxed edge, pull request and superstep:
+//!
+//! * **IOS inner-edge bound** (§III-A) — short phases under IOS only relax
+//!   edges that are short *and* stay inside the current bucket.
+//! * **Pull-request threshold** (§III-B, eq. 1) — requests travel only
+//!   along long edges that could still improve the requester.
+//! * **Bucket monotonicity** — a vertex only ever moves to a lower bucket
+//!   (checked in [`RankState::relax`](crate::state::RankState::relax)) and
+//!   the run loop processes strictly increasing bucket indices.
+//! * **Message conservation** — every superstep delivers exactly the
+//!   messages that were sent, per [`StepStats`] accounting.
+
+use sssp_comm::stats::StepStats;
+
+use crate::state::INF;
+
+/// IOS inner-edge bound (§III-A). When `ios` is off the short phase
+/// legitimately relaxes edges that leave the bucket, so the check gates
+/// on the flag.
+#[inline]
+pub(super) fn check_ios_inner_edge(ios: bool, w: u32, du: u64, short_bound: u64, bucket_end: u64) {
+    debug_assert!(
+        !ios || (w as u64) < short_bound,
+        "IOS inner-edge bound violated: weight {w} is not short (bound {short_bound})"
+    );
+    debug_assert!(
+        !ios || du + w as u64 <= bucket_end,
+        "IOS inner-edge bound violated: d(u) + w = {} leaves the bucket (end {bucket_end})",
+        du + w as u64,
+    );
+}
+
+/// Pull-request threshold (§III-B, eq. 1): a request must travel along a
+/// long edge (`w ≥ Δ`) that could still improve the requester
+/// (`w < d(v) − kΔ`).
+#[inline]
+pub(super) fn check_pull_request(w: u32, dv: u64, k_delta: u64, short_bound: u64) {
+    debug_assert!(
+        (w as u64) >= short_bound,
+        "pull request sent along a short edge: w = {w} < Δ bound {short_bound}"
+    );
+    debug_assert!(
+        dv == INF || (w as u64) < dv - k_delta,
+        "pull request violates eq. 1: w = {w} cannot improve d(v) = {dv} (kΔ = {k_delta})"
+    );
+}
+
+/// Per-superstep message conservation: the inboxes delivered by an
+/// exchange must hold exactly `remote_msgs + local_msgs` messages.
+#[inline]
+pub(super) fn check_conservation<M>(inboxes: &[Vec<M>], step: &StepStats) {
+    debug_assert_eq!(
+        inboxes.iter().map(|b| b.len() as u64).sum::<u64>(),
+        step.remote_msgs + step.local_msgs,
+        "superstep message conservation violated: delivered != sent"
+    );
+}
+
+/// Epoch monotonicity: the run loop's bucket indices strictly increase
+/// (the settled-bucket collective can never hand back an old bucket).
+#[inline]
+pub(super) fn check_epoch_monotone(k: u64, k_prev: Option<u64>) {
+    debug_assert!(
+        k_prev.is_none_or(|kp| k > kp),
+        "bucket epochs must strictly increase: k = {k} after k_prev = {k_prev:?}"
+    );
+}

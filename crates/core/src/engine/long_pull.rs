@@ -10,7 +10,7 @@ use sssp_comm::exchange::{exchange_with, Outbox};
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
 use crate::state::INF;
 
-use super::{Engine, RelaxMsg, ReqMsg, RELAX_BYTES, REQ_BYTES};
+use super::{invariants, Engine, RelaxMsg, ReqMsg, RELAX_BYTES, REQ_BYTES};
 
 impl Engine<'_> {
     // -- long phase: pull ------------------------------------------------------
@@ -49,15 +49,14 @@ impl Engine<'_> {
                         let ul = u as usize;
                         let du = st.dist[ul];
                         let (ts, ws) = lg.row(ul);
-                        let start =
-                            Self::push_range_start(true, ws, du, bucket_end, short_bound);
+                        let start = Self::push_range_start(true, ws, du, bucket_end, short_bound);
                         let long_start = ws.partition_point(|&w| (w as u64) < short_bound);
                         for i in start..long_start {
                             let v = ts[i];
                             ob.send(
                                 part.owner(v),
                                 RelaxMsg {
-                                    target: part.to_local(v) as u32,
+                                    target: part.local_index(v),
                                     nd: du + ws[i] as u64,
                                 },
                             );
@@ -72,6 +71,7 @@ impl Engine<'_> {
             let (obs, counts): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
             let outer_total: u64 = counts.iter().sum();
             let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+            invariants::check_conservation(&inboxes, &step);
             self.states
                 .par_iter_mut()
                 .zip(inboxes.into_par_iter())
@@ -116,9 +116,14 @@ impl Engine<'_> {
                     let origin = part.to_global(st.rank, vl);
                     for i in lo..hi {
                         let u = ts[i];
+                        invariants::check_pull_request(ws[i], dv, k_delta, short_bound);
                         ob.send(
                             part.owner(u),
-                            ReqMsg { u_local: part.to_local(u) as u32, origin, w: ws[i] },
+                            ReqMsg {
+                                u_local: part.local_index(u),
+                                origin,
+                                w: ws[i],
+                            },
                         );
                     }
                     let heavy = (lg.degree(vl) as u64) > pi;
@@ -137,8 +142,10 @@ impl Engine<'_> {
             req_total += r;
             scan_max = scan_max.max(s);
         }
-        self.ledger.charge_scan(self.model, TimeClass::Relax, scan_max);
+        self.ledger
+            .charge_scan(self.model, TimeClass::Relax, scan_max);
         let (req_inboxes, req_step) = exchange_with(obs, REQ_BYTES, self.model.packet.as_ref());
+        invariants::check_conservation(&req_inboxes, &req_step);
         self.charge_exchange(&req_step);
         phase_remote += req_step.remote_msgs;
         self.comm.record(req_step);
@@ -160,7 +167,10 @@ impl Engine<'_> {
                         let nd = st.dist[r.u_local as usize] + r.w as u64;
                         ob.send(
                             part.owner(r.origin),
-                            RelaxMsg { target: part.to_local(r.origin) as u32, nd },
+                            RelaxMsg {
+                                target: part.local_index(r.origin),
+                                nd,
+                            },
                         );
                         responses += 1;
                     }
@@ -171,6 +181,7 @@ impl Engine<'_> {
         let (obs, counts): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
         let resp_total: u64 = counts.iter().sum();
         let (resp_inboxes, resp_step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+        invariants::check_conservation(&resp_inboxes, &resp_step);
         self.states
             .par_iter_mut()
             .zip(resp_inboxes.into_par_iter())

@@ -7,7 +7,7 @@ use sssp_comm::exchange::{exchange_with, Outbox};
 
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
 
-use super::{Engine, RelaxMsg, RELAX_BYTES};
+use super::{invariants, Engine, RelaxMsg, RELAX_BYTES};
 
 impl Engine<'_> {
     // -- long phase: push -----------------------------------------------------
@@ -59,7 +59,10 @@ impl Engine<'_> {
                         let v = ts[i];
                         ob.send(
                             part.owner(v),
-                            RelaxMsg { target: part.to_local(v) as u32, nd: du + ws[i] as u64 },
+                            RelaxMsg {
+                                target: part.local_index(v),
+                                nd: du + ws[i] as u64,
+                            },
                         );
                         if (ws[i] as u64) < short_bound {
                             outer += 1;
@@ -82,6 +85,7 @@ impl Engine<'_> {
             long_total += l;
         }
         let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+        invariants::check_conservation(&inboxes, &step);
 
         // Receiver-side classification (§III-B / Fig 7): self, backward or
         // forward, judged against the target's bucket before applying.

@@ -61,12 +61,15 @@ pub(super) const REQ_BYTES: usize = 16;
 /// = unreachable) plus the full instrumentation record.
 #[derive(Debug, Clone)]
 pub struct SsspOutput {
+    /// Final distances indexed by global vertex id (`u64::MAX` = unreached).
     pub distances: Vec<u64>,
+    /// Full instrumentation record.
     pub stats: RunStats,
 }
 
 impl SsspOutput {
     #[inline]
+    /// Final distance of `v` ([`INF`](crate::state::INF) when unreached).
     pub fn dist(&self, v: VertexId) -> u64 {
         self.distances[v as usize]
     }
@@ -213,7 +216,7 @@ impl<'a> Engine<'a> {
                 "seed vertex {v} out of range (n = {n_total})"
             );
             let owner = self.dg.part.owner(v);
-            let local = self.dg.part.to_local(v) as u32;
+            let local = self.dg.part.local_index(v);
             self.states[owner].relax(local, d, &delta);
         }
 
@@ -222,8 +225,11 @@ impl<'a> Engine<'a> {
         loop {
             let next = self.next_bucket(k_prev);
             let Some(k) = next else { break };
+            invariants::check_epoch_monotone(k, k_prev);
 
             if let (Some(tau), Some(kp)) = (self.cfg.hybrid_tau, k_prev) {
+                // sssp-lint: allow(no-float-kernel): hybrid switch test (§III-D);
+                // τ is a ratio, never enters a distance computation.
                 if settled_total as f64 > tau * n_total as f64 {
                     self.bellman_ford_tail(kp);
                     self.stats.hybrid_switch_at = Some(kp);
@@ -238,7 +244,8 @@ impl<'a> Engine<'a> {
             // computes it at every epoch end).
             let counts: Vec<u64> = self.states.iter().map(|s| s.bucket_count(k)).collect();
             let settled_k = allreduce_sum(&counts, &mut self.comm);
-            self.ledger.charge_collective(self.model, TimeClass::Bucket, self.p);
+            self.ledger
+                .charge_collective(self.model, TimeClass::Bucket, self.p);
             settled_total += settled_k;
             if let Some(rec) = self.stats.bucket_records.last_mut() {
                 rec.settled = settled_k;
@@ -260,7 +267,10 @@ impl<'a> Engine<'a> {
         self.stats.reachable = distances.iter().filter(|&&d| d != INF).count() as u64;
         self.stats.comm = self.comm;
         self.stats.ledger = self.ledger;
-        SsspOutput { distances, stats: self.stats }
+        SsspOutput {
+            distances,
+            stats: self.stats,
+        }
     }
 
     // -- collectives -------------------------------------------------------
@@ -272,14 +282,16 @@ impl<'a> Engine<'a> {
             .map(|s| s.next_nonempty_after(after).unwrap_or(u64::MAX))
             .collect();
         let k = allreduce_min(&mins, &mut self.comm);
-        self.ledger.charge_collective(self.model, TimeClass::Bucket, self.p);
+        self.ledger
+            .charge_collective(self.model, TimeClass::Bucket, self.p);
         (k != u64::MAX).then_some(k)
     }
 
     pub(super) fn any_active(&mut self) -> bool {
         let flags: Vec<bool> = self.states.iter().map(|s| !s.active.is_empty()).collect();
         let any = allreduce_any(&flags, &mut self.comm);
-        self.ledger.charge_collective(self.model, TimeClass::Bucket, self.p);
+        self.ledger
+            .charge_collective(self.model, TimeClass::Bucket, self.p);
         any
     }
 
@@ -358,6 +370,7 @@ impl<'a> Engine<'a> {
 
 mod bellman_ford;
 mod decide;
+mod invariants;
 mod long_pull;
 mod long_push;
 mod short;

@@ -6,7 +6,7 @@ use sssp_comm::exchange::{exchange_with, Outbox};
 
 use crate::instrument::{PhaseKind, PhaseRecord};
 
-use super::{Engine, RelaxMsg, RELAX_BYTES};
+use super::{invariants, Engine, RelaxMsg, RELAX_BYTES};
 
 impl Engine<'_> {
     // -- short phases --------------------------------------------------------
@@ -45,9 +45,13 @@ impl Engine<'_> {
                     };
                     for i in 0..hi {
                         let v = ts[i];
+                        invariants::check_ios_inner_edge(ios, ws[i], du, short_bound, bucket_end);
                         ob.send(
                             part.owner(v),
-                            RelaxMsg { target: part.to_local(v) as u32, nd: du + ws[i] as u64 },
+                            RelaxMsg {
+                                target: part.local_index(v),
+                                nd: du + ws[i] as u64,
+                            },
                         );
                     }
                     let heavy = (lg.degree(ul) as u64) > pi;
@@ -61,6 +65,7 @@ impl Engine<'_> {
         let (obs, sent): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
         let relaxations: u64 = sent.iter().sum();
         let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
+        invariants::check_conservation(&inboxes, &step);
 
         self.states
             .par_iter_mut()

@@ -40,7 +40,11 @@ fn all_presets_match_dijkstra() {
         for p in [1, 4, 7] {
             let out = run_cfg(&g, p, &cfg);
             let mism = crate::validate::check_against_dijkstra(&g, 0, &out);
-            assert!(mism.is_empty(), "{name} with p={p}: {} mismatches", mism.len());
+            assert!(
+                mism.is_empty(),
+                "{name} with p={p}: {} mismatches",
+                mism.len()
+            );
         }
     }
 }
@@ -73,13 +77,23 @@ fn bucket_evolution_is_mode_independent() {
     // either sequence yields the same distances and the same settled
     // counts per bucket.
     let g = medium_graph();
-    let push =
-        run_cfg(&g, 4, &SsspConfig::prune(25).with_direction(DirectionPolicy::AlwaysPush));
-    let pull =
-        run_cfg(&g, 4, &SsspConfig::prune(25).with_direction(DirectionPolicy::AlwaysPull));
+    let push = run_cfg(
+        &g,
+        4,
+        &SsspConfig::prune(25).with_direction(DirectionPolicy::AlwaysPush),
+    );
+    let pull = run_cfg(
+        &g,
+        4,
+        &SsspConfig::prune(25).with_direction(DirectionPolicy::AlwaysPull),
+    );
     assert_eq!(push.distances, pull.distances);
     let settled = |o: &SsspOutput| -> Vec<(u64, u64)> {
-        o.stats.bucket_records.iter().map(|r| (r.bucket, r.settled)).collect()
+        o.stats
+            .bucket_records
+            .iter()
+            .map(|r| (r.bucket, r.settled))
+            .collect()
     };
     assert_eq!(settled(&push), settled(&pull));
 }
@@ -137,7 +151,10 @@ fn split_graph_preserves_distances() {
     let el = gen::uniform(150, 3000, 40, 13);
     let g = CsrBuilder::new().build(&el);
     let (split_csr, part, rep) = sssp_dist::split_heavy_vertices(&g, 4, 24);
-    assert!(rep.proxies_created > 0, "test graph should trigger splitting");
+    assert!(
+        rep.proxies_created > 0,
+        "test graph should trigger splitting"
+    );
     let dg = DistGraph::build_with_partition(&split_csr, part, 4, g.num_undirected_edges() as u64);
     let out = run_sssp(&dg, 0, &SsspConfig::lb_opt(25), &model());
     assert_matches_dijkstra(&g, 0, &out);
@@ -151,7 +168,11 @@ fn zero_weight_edges_handled() {
     el.push(1, 2, 0);
     el.push(2, 3, 5);
     let g = CsrBuilder::new().build(&el);
-    for cfg in [SsspConfig::dijkstra(), SsspConfig::del(3), SsspConfig::opt(3)] {
+    for cfg in [
+        SsspConfig::dijkstra(),
+        SsspConfig::del(3),
+        SsspConfig::opt(3),
+    ] {
         let out = run_cfg(&g, 2, &cfg);
         assert_eq!(out.distances, vec![0, 5, 5, 10]);
     }
@@ -168,7 +189,9 @@ fn single_vertex_graph() {
 #[test]
 fn pruning_reduces_relaxations_on_skewed_graph() {
     use sssp_graph::rmat::{RmatGenerator, RmatParams};
-    let el = RmatGenerator::new(RmatParams::RMAT1, 10, 16).seed(5).generate_weighted(255);
+    let el = RmatGenerator::new(RmatParams::RMAT1, 10, 16)
+        .seed(5)
+        .generate_weighted(255);
     let g = CsrBuilder::new().build(&el);
     let del = run_cfg(&g, 4, &SsspConfig::del(25));
     let prune = run_cfg(&g, 4, &SsspConfig::prune(25));
@@ -261,8 +284,7 @@ fn cyclic_partition_gives_identical_results() {
 #[test]
 fn histogram_estimator_matches_results() {
     let g = medium_graph();
-    let cfg = SsspConfig::opt(25)
-        .with_pull_estimator(crate::config::PullEstimator::Histogram);
+    let cfg = SsspConfig::opt(25).with_pull_estimator(crate::config::PullEstimator::Histogram);
     let out = run_cfg(&g, 4, &cfg);
     assert_matches_dijkstra(&g, 0, &out);
     let exp = run_cfg(
@@ -278,7 +300,12 @@ fn packet_framing_adds_wire_overhead_not_results() {
     let g = medium_graph();
     let dg = DistGraph::build(&g, 4, 4);
     let raw = run_sssp(&dg, 0, &SsspConfig::opt(25), &MachineModel::bgq_like());
-    let pkt = run_sssp(&dg, 0, &SsspConfig::opt(25), &MachineModel::bgq_like_packetized());
+    let pkt = run_sssp(
+        &dg,
+        0,
+        &SsspConfig::opt(25),
+        &MachineModel::bgq_like_packetized(),
+    );
     assert_eq!(raw.distances, pkt.distances);
     assert_eq!(raw.stats.relaxations_total(), pkt.stats.relaxations_total());
     assert!(
@@ -383,7 +410,11 @@ fn heavy_multigraph_with_duplicate_edges() {
     el.push(1, 2, 5);
     el.push(2, 3, 100);
     let g = CsrBuilder::new().build(&el);
-    for cfg in [SsspConfig::dijkstra(), SsspConfig::del(10), SsspConfig::opt(10)] {
+    for cfg in [
+        SsspConfig::dijkstra(),
+        SsspConfig::del(10),
+        SsspConfig::opt(10),
+    ] {
         let out = run_cfg(&g, 2, &cfg);
         assert_eq!(out.distances, vec![0, 3, 8, 108]);
     }

@@ -23,6 +23,7 @@ pub enum PhaseKind {
 pub struct PhaseRecord {
     /// Bucket being processed (`u64::MAX` for the hybrid tail).
     pub bucket: u64,
+    /// Which kind of phase this record covers.
     pub kind: PhaseKind,
     /// Relaxation messages generated (requests + responses for pull).
     pub relaxations: u64,
@@ -33,6 +34,7 @@ pub struct PhaseRecord {
 /// Per-processed-bucket record (Fig. 7 and the §IV-G validation read these).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BucketRecord {
+    /// Bucket index k this epoch processed.
     pub bucket: u64,
     /// Vertices settled by this bucket (global).
     pub settled: u64,
@@ -40,15 +42,19 @@ pub struct BucketRecord {
     pub mode: LongPhaseMode,
     /// Estimated volumes the decision heuristic compared.
     pub est_push: u64,
+    /// Estimated pull volume used by the decision heuristic.
     pub est_pull: u64,
     /// Push-mode receiver-side classification (§III-B): targets already in
     /// the current bucket / an earlier bucket / a later bucket. Zero when
     /// the bucket ran in pull mode.
     pub self_edges: u64,
+    /// Edges scanned backward (pull candidates examined).
     pub backward_edges: u64,
+    /// Edges scanned forward (push relaxations attempted).
     pub forward_edges: u64,
     /// Pull-mode traffic. Zero when the bucket ran in push mode.
     pub requests: u64,
+    /// Pull responses sent back to requesters.
     pub responses: u64,
 }
 
@@ -63,25 +69,35 @@ pub struct RunStats {
     /// Bucket index at which hybridization switched to Bellman-Ford.
     pub hybrid_switch_at: Option<u64>,
 
+    /// Relaxations performed in short-edge phases.
     pub short_relaxations: u64,
     /// Outer short edges deferred to the long phase by IOS.
     pub outer_short_relaxations: u64,
+    /// Relaxations performed in long push phases.
     pub long_push_relaxations: u64,
+    /// Pull requests issued.
     pub pull_requests: u64,
+    /// Pull responses received.
     pub pull_responses: u64,
+    /// Relaxations performed in Bellman-Ford tail phases.
     pub bf_relaxations: u64,
 
     /// Vertices with a finite final distance.
     pub reachable: u64,
 
+    /// One record per phase, in execution order.
     pub phase_records: Vec<PhaseRecord>,
+    /// One record per processed bucket.
     pub bucket_records: Vec<BucketRecord>,
 
+    /// Message traffic ledger.
     pub comm: CommStats,
+    /// Simulated time ledger.
     pub ledger: TimeLedger,
 
     /// Ranks and threads the run was simulated with (for per-thread stats).
     pub num_ranks: usize,
+    /// Logical threads per rank.
     pub threads_per_rank: usize,
 }
 
@@ -175,7 +191,10 @@ mod tests {
 
     #[test]
     fn buckets_counts_hybrid_tail() {
-        let mut s = RunStats { epochs: 4, ..Default::default() };
+        let mut s = RunStats {
+            epochs: 4,
+            ..Default::default()
+        };
         assert_eq!(s.buckets(), 4);
         s.hybrid_switch_at = Some(3);
         assert_eq!(s.buckets(), 5);
@@ -202,7 +221,12 @@ mod tests {
     fn phases_csv_has_header_and_rows() {
         let s = RunStats {
             phase_records: vec![
-                PhaseRecord { bucket: 0, kind: PhaseKind::Short, relaxations: 5, remote_msgs: 3 },
+                PhaseRecord {
+                    bucket: 0,
+                    kind: PhaseKind::Short,
+                    relaxations: 5,
+                    remote_msgs: 3,
+                },
                 PhaseRecord {
                     bucket: u64::MAX,
                     kind: PhaseKind::BellmanFord,

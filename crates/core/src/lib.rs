@@ -25,18 +25,34 @@
 //! [`SsspConfig::opt`]: config::SsspConfig::opt
 //! [`SsspConfig::lb_opt`]: config::SsspConfig::lb_opt
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Brandes betweenness centrality over repeated SSSP runs.
 pub mod betweenness;
+/// Distributed BFS baseline (the Graph 500 reference point of Fig. 1).
 pub mod bfs;
+/// Connected components via distributed label propagation.
 pub mod cc;
+/// Closeness centrality from sampled SSSP runs.
 pub mod closeness;
+/// Algorithm presets and tuning knobs ([`SsspConfig`], Δ, τ, π).
 pub mod config;
+/// Crauser-criterion Dijkstra baseline for the comparison tables.
 pub mod crauser;
+/// The paper's engine: Δ-stepping with IOS, push/pull and hybridization.
 pub mod engine;
-pub mod pagerank;
+/// Per-run instrumentation: phase counts, traffic, simulated time.
 pub mod instrument;
+/// Distributed PageRank (exercises the same exchange substrate).
+pub mod pagerank;
+/// Sequential reference algorithms (Dijkstra, Bellman-Ford).
 pub mod seq;
+/// Per-rank bucket/distance state ([`state::RankState`]).
 pub mod state;
+/// Shared-memory (actually-threaded) kernels used for differential tests.
 pub mod threaded_kernels;
+/// Result checking against the sequential reference.
 pub mod validate;
 
 pub use config::{DeltaParam, DirectionPolicy, IntraBalance, LongPhaseMode, SsspConfig};

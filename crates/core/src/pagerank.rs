@@ -18,15 +18,21 @@ use sssp_dist::DistGraph;
 /// PageRank parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct PageRankConfig {
+    /// Damping factor (the classic 0.85).
     pub damping: f64,
     /// Stop when the max per-vertex change drops below this.
     pub tolerance: f64,
+    /// Iteration cap.
     pub max_iterations: usize,
 }
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, tolerance: 1e-9, max_iterations: 100 }
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 100,
+        }
     }
 }
 
@@ -35,9 +41,13 @@ impl Default for PageRankConfig {
 pub struct PageRankOutput {
     /// Score per global vertex; sums to ~1 over all vertices.
     pub scores: Vec<f64>,
+    /// Iterations actually run.
     pub iterations: usize,
+    /// Whether the L1 residual fell below tolerance.
     pub converged: bool,
+    /// Message traffic ledger.
     pub comm: CommStats,
+    /// Simulated time ledger.
     pub ledger: TimeLedger,
 }
 
@@ -56,10 +66,17 @@ pub fn run_pagerank(dg: &DistGraph, cfg: &PageRankConfig, model: &MachineModel) 
     let mut comm = CommStats::new();
     let mut ledger = TimeLedger::new();
 
-    let mut scores: Vec<Vec<f64>> =
-        (0..p).map(|r| vec![1.0 / n.max(1) as f64; dg.part.local_count(r)]).collect();
+    let mut scores: Vec<Vec<f64>> = (0..p)
+        .map(|r| vec![1.0 / n.max(1) as f64; dg.part.local_count(r)])
+        .collect();
     if n == 0 {
-        return PageRankOutput { scores: Vec::new(), iterations: 0, converged: true, comm, ledger };
+        return PageRankOutput {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            comm,
+            ledger,
+        };
     }
 
     let base = (1.0 - cfg.damping) / n as f64;
@@ -102,7 +119,10 @@ pub fn run_pagerank(dg: &DistGraph, cfg: &PageRankConfig, model: &MachineModel) 
                     for &t in ts {
                         ob.send(
                             dg.part.owner(t),
-                            RankMsg { target: dg.part.to_local(t) as u32, contrib },
+                            RankMsg {
+                                target: dg.part.to_local(t) as u32,
+                                contrib,
+                            },
                         );
                     }
                     sent += deg as u64;
@@ -125,8 +145,7 @@ pub fn run_pagerank(dg: &DistGraph, cfg: &PageRankConfig, model: &MachineModel) 
                 }
                 let mut max_delta = 0.0f64;
                 for (v, s) in sc.iter_mut().enumerate() {
-                    let next =
-                        base + cfg.damping * (incoming[v] + dangling_total / n as f64);
+                    let next = base + cfg.damping * (incoming[v] + dangling_total / n as f64);
                     max_delta = max_delta.max((next - *s).abs());
                     *s = next;
                 }
@@ -158,7 +177,13 @@ pub fn run_pagerank(dg: &DistGraph, cfg: &PageRankConfig, model: &MachineModel) 
             global[dg.part.to_global(r, l) as usize] = s;
         }
     }
-    PageRankOutput { scores: global, iterations, converged, comm, ledger }
+    PageRankOutput {
+        scores: global,
+        iterations,
+        converged,
+        comm,
+        ledger,
+    }
 }
 
 /// Sequential reference PageRank (same conventions).
@@ -170,8 +195,11 @@ pub fn seq_pagerank(g: &sssp_graph::Csr, cfg: &PageRankConfig) -> Vec<f64> {
     let mut scores = vec![1.0 / n as f64; n];
     let base = (1.0 - cfg.damping) / n as f64;
     for _ in 0..cfg.max_iterations {
-        let dangling: f64 =
-            g.vertices().filter(|&v| g.degree(v) == 0).map(|v| scores[v as usize]).sum();
+        let dangling: f64 = g
+            .vertices()
+            .filter(|&v| g.degree(v) == 0)
+            .map(|v| scores[v as usize])
+            .sum();
         let mut next = vec![base + cfg.damping * dangling / n as f64; n];
         for u in g.vertices() {
             let deg = g.degree(u);
@@ -213,10 +241,7 @@ mod tests {
             let dg = DistGraph::build(&g, p, 2);
             let out = run_pagerank(&dg, &PageRankConfig::default(), &model());
             for (v, (&got, &want)) in out.scores.iter().zip(&expect).enumerate() {
-                assert!(
-                    (got - want).abs() < 1e-8,
-                    "p={p} v={v}: {got} vs {want}"
-                );
+                assert!((got - want).abs() < 1e-8, "p={p} v={v}: {got} vs {want}");
             }
         }
     }
@@ -269,7 +294,11 @@ mod tests {
     fn iteration_cap_respected() {
         let g = CsrBuilder::new().build(&gen::uniform(50, 300, 5, 1));
         let dg = DistGraph::build(&g, 2, 1);
-        let cfg = PageRankConfig { tolerance: 0.0, max_iterations: 5, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 0.0,
+            max_iterations: 5,
+            ..Default::default()
+        };
         let out = run_pagerank(&dg, &cfg, &model());
         assert_eq!(out.iterations, 5);
         assert!(!out.converged);

@@ -86,8 +86,11 @@ pub fn distance_spread(dist: &[u64], delta: u32) -> (usize, u64) {
 /// Statistics of a sequential Δ-stepping run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SeqDeltaStats {
+    /// Total edge relaxations performed.
     pub relaxations: u64,
+    /// Buckets processed.
     pub epochs: u64,
+    /// Inner phases executed.
     pub phases: u64,
 }
 
@@ -104,10 +107,10 @@ pub fn delta_stepping(g: &Csr, root: VertexId, delta: u32) -> (Vec<u64>, SeqDelt
     let mut stats = SeqDeltaStats::default();
 
     let relax = |v: VertexId,
-                     nd: u64,
-                     dist: &mut Vec<u64>,
-                     bucket_of: &mut Vec<u64>,
-                     buckets: &mut std::collections::BTreeMap<u64, Vec<VertexId>>|
+                 nd: u64,
+                 dist: &mut Vec<u64>,
+                 bucket_of: &mut Vec<u64>,
+                 buckets: &mut std::collections::BTreeMap<u64, Vec<VertexId>>|
      -> bool {
         if nd < dist[v as usize] {
             dist[v as usize] = nd;
@@ -137,8 +140,11 @@ pub fn delta_stepping(g: &Csr, root: VertexId, delta: u32) -> (Vec<u64>, SeqDelt
         let bucket_end = (k + 1) * delta - 1;
 
         // Short-edge phases.
-        let mut active: Vec<VertexId> =
-            buckets[&k].iter().copied().filter(|&v| bucket_of[v as usize] == k).collect();
+        let mut active: Vec<VertexId> = buckets[&k]
+            .iter()
+            .copied()
+            .filter(|&v| bucket_of[v as usize] == k)
+            .collect();
         while !active.is_empty() {
             stats.phases += 1;
             let mut changed: Vec<VertexId> = Vec::new();
@@ -163,8 +169,11 @@ pub fn delta_stepping(g: &Csr, root: VertexId, delta: u32) -> (Vec<u64>, SeqDelt
         // Long-edge phase: every vertex settled in this bucket relaxes its
         // long edges once.
         stats.phases += 1;
-        let members: Vec<VertexId> =
-            buckets[&k].iter().copied().filter(|&v| bucket_of[v as usize] == k).collect();
+        let members: Vec<VertexId> = buckets[&k]
+            .iter()
+            .copied()
+            .filter(|&v| bucket_of[v as usize] == k)
+            .collect();
         for &u in &members {
             let du = dist[u as usize];
             debug_assert!(du <= bucket_end);
@@ -237,7 +246,12 @@ mod tests {
         let g = CsrBuilder::new().build(&el);
         let (_, s1) = delta_stepping(&g, 0, 2);
         let (_, s2) = delta_stepping(&g, 0, 50);
-        assert!(s2.epochs < s1.epochs, "epochs: {} vs {}", s2.epochs, s1.epochs);
+        assert!(
+            s2.epochs < s1.epochs,
+            "epochs: {} vs {}",
+            s2.epochs,
+            s1.epochs
+        );
     }
 
     #[test]

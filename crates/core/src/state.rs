@@ -23,8 +23,11 @@ pub const INF_BUCKET: u64 = u64::MAX;
 /// State of one simulated rank.
 #[derive(Debug)]
 pub struct RankState {
+    /// Rank id (for diagnostics).
     pub rank: usize,
+    /// Tentative distance per local vertex.
     pub dist: Vec<u64>,
+    /// Current bucket per local vertex ([`INF_BUCKET`] = unreached).
     pub bucket_of: Vec<u64>,
     buckets: BTreeMap<u64, Vec<u32>>,
     counts: BTreeMap<u64, u64>,
@@ -39,6 +42,7 @@ pub struct RankState {
 }
 
 impl RankState {
+    /// Fresh state for a rank owning `n_local` vertices, all unreached.
     pub fn new(rank: usize, n_local: usize, threads: usize) -> Self {
         RankState {
             rank,
@@ -54,6 +58,7 @@ impl RankState {
         }
     }
 
+    /// Number of vertices this rank owns.
     pub fn n_local(&self) -> usize {
         self.dist.len()
     }
@@ -87,9 +92,17 @@ impl RankState {
         }
         let old_b = self.bucket_of[li];
         let new_b = delta.bucket_of(nd);
+        debug_assert!(
+            new_b <= old_b,
+            "bucket monotonicity violated: relax(local {local}, d = {nd}) would move \
+             bucket {old_b} -> {new_b}"
+        );
         self.dist[li] = nd;
         if new_b < old_b {
             if old_b != INF_BUCKET {
+                // sssp-lint: allow(no-panic-hot-path): count exists whenever
+                // bucket_of is finite; a miss means corrupted bucket state and
+                // continuing would return wrong distances.
                 let c = self.counts.get_mut(&old_b).expect("bucket count missing");
                 *c -= 1;
                 if *c == 0 {
@@ -142,11 +155,7 @@ impl RankState {
     /// extent of a pull phase for current bucket `k`.
     pub fn count_unsettled_after(&self, k: u64) -> u64 {
         let later: u64 = self.counts.range(k + 1..).map(|(_, &c)| c).sum();
-        let infinite = self
-            .bucket_of
-            .iter()
-            .filter(|&&b| b == INF_BUCKET)
-            .count() as u64;
+        let infinite = self.bucket_of.iter().filter(|&&b| b == INF_BUCKET).count() as u64;
         later + infinite
     }
 
@@ -159,7 +168,7 @@ impl RankState {
     /// Collect every unsettled finite vertex (the hybrid tail's initial
     /// active set).
     pub fn collect_active_unsettled(&mut self, k: u64) {
-        self.active = (0..self.n_local() as u32)
+        self.active = (0..sssp_graph::checked_u32(self.n_local()))
             .filter(|&v| {
                 let b = self.bucket_of[v as usize];
                 b > k && b != INF_BUCKET
@@ -243,7 +252,7 @@ mod tests {
         s.begin_phase();
         s.relax(0, 3, &delta5()); // bucket 0
         s.relax(1, 26, &delta5()); // bucket 5
-        // 4 INF vertices + 1 in bucket 5.
+                                   // 4 INF vertices + 1 in bucket 5.
         assert_eq!(s.count_unsettled_after(0), 5);
         assert_eq!(s.count_unsettled_after(5), 4);
     }

@@ -87,8 +87,9 @@ pub fn threaded_cc(dg: &Arc<DistGraph>) -> Vec<VertexId> {
         let dg = &dgc;
         let r = ctx.rank();
         let lg = &dg.locals[r];
-        let mut labels: Vec<VertexId> =
-            (0..lg.num_local()).map(|l| dg.part.to_global(r, l)).collect();
+        let mut labels: Vec<VertexId> = (0..lg.num_local())
+            .map(|l| dg.part.to_global(r, l))
+            .collect();
         let mut active: Vec<u32> = (0..lg.num_local() as u32).collect();
         loop {
             if !ctx.any(!active.is_empty()) {
@@ -98,8 +99,7 @@ pub fn threaded_cc(dg: &Arc<DistGraph>) -> Vec<VertexId> {
             for &v in &active {
                 let (ts, _) = lg.row(v as usize);
                 for &t in ts {
-                    out[dg.part.owner(t)]
-                        .push((dg.part.to_local(t) as u32, labels[v as usize]));
+                    out[dg.part.owner(t)].push((dg.part.to_local(t) as u32, labels[v as usize]));
                 }
             }
             let inbox = ctx.exchange(out);

@@ -9,8 +9,11 @@ use crate::state::INF;
 /// A mismatch between a distributed run and the Dijkstra reference.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mismatch {
+    /// Global id of the disagreeing vertex.
     pub vertex: VertexId,
+    /// Distance per the sequential reference.
     pub expected: u64,
+    /// Distance the engine produced.
     pub actual: u64,
 }
 
@@ -20,13 +23,20 @@ pub struct Mismatch {
 /// keep their ids under splitting).
 pub fn check_against_dijkstra(g: &Csr, root: VertexId, out: &SsspOutput) -> Vec<Mismatch> {
     let expected = seq::dijkstra(g, root);
-    assert!(out.distances.len() >= expected.len(), "output shorter than graph");
+    assert!(
+        out.distances.len() >= expected.len(),
+        "output shorter than graph"
+    );
     expected
         .iter()
         .enumerate()
         .filter_map(|(v, &e)| {
             let a = out.distances[v];
-            (a != e).then_some(Mismatch { vertex: v as VertexId, expected: e, actual: a })
+            (a != e).then_some(Mismatch {
+                vertex: v as VertexId,
+                expected: e,
+                actual: a,
+            })
         })
         .collect()
 }

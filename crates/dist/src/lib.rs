@@ -16,6 +16,9 @@
 //! round-robin distributed (so the shards of one hub land on distinct ranks),
 //! while original vertices keep their ids — results never need re-mapping.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod local_graph;
 pub mod partition;
 pub mod split;

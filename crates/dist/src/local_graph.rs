@@ -53,7 +53,13 @@ impl LocalGraph {
             weights.extend_from_slice(&w);
             offsets.push(targets.len());
         }
-        LocalGraph { offsets, targets, weights, hist, hist_buckets }
+        LocalGraph {
+            offsets,
+            targets,
+            weights,
+            hist,
+            hist_buckets,
+        }
     }
 
     /// Approximate number of edges of `local` with weight `< bound`, from
@@ -70,7 +76,11 @@ impl LocalGraph {
             if c == 0 {
                 continue;
             }
-            let (lo, hi) = if b == 0 { (0u64, 1u64) } else { (1u64 << (b - 1), 1u64 << b) };
+            let (lo, hi) = if b == 0 {
+                (0u64, 1u64)
+            } else {
+                (1u64 << (b - 1), 1u64 << b)
+            };
             if bound >= hi {
                 est += c as f64;
             } else if bound > lo {
@@ -81,11 +91,13 @@ impl LocalGraph {
     }
 
     #[inline]
+    /// Number of vertices this rank owns.
     pub fn num_local(&self) -> usize {
         self.offsets.len() - 1
     }
 
     #[inline]
+    /// Degree of the local vertex `local`.
     pub fn degree(&self, local: usize) -> usize {
         self.offsets[local + 1] - self.offsets[local]
     }
@@ -112,6 +124,7 @@ impl LocalGraph {
         self.count_weight_below(local, bound)
     }
 
+    /// Directed edge count of this rank’s slice.
     pub fn num_directed_edges(&self) -> usize {
         self.targets.len()
     }
@@ -120,7 +133,9 @@ impl LocalGraph {
 /// A graph distributed over `P` simulated ranks.
 #[derive(Debug, Clone)]
 pub struct DistGraph {
+    /// The vertex partition shared by all ranks.
     pub part: Partition,
+    /// Per-rank adjacency slices, indexed by rank.
     pub locals: Vec<LocalGraph>,
     /// Logical threads per rank (for the intra-node load model).
     pub threads_per_rank: usize,
@@ -136,14 +151,24 @@ impl DistGraph {
     /// threads each (block distribution, the paper's layout).
     pub fn build(csr: &Csr, p: usize, threads_per_rank: usize) -> Self {
         let part = Partition::new(csr.num_vertices(), p);
-        Self::build_with_partition(csr, part, threads_per_rank, csr.num_undirected_edges() as u64)
+        Self::build_with_partition(
+            csr,
+            part,
+            threads_per_rank,
+            csr.num_undirected_edges() as u64,
+        )
     }
 
     /// Distribute with a cyclic layout (`owner(v) = v mod P`) — useful when
     /// vertex ids correlate with degree.
     pub fn build_cyclic(csr: &Csr, p: usize, threads_per_rank: usize) -> Self {
         let part = Partition::cyclic(csr.num_vertices(), p);
-        Self::build_with_partition(csr, part, threads_per_rank, csr.num_undirected_edges() as u64)
+        Self::build_with_partition(
+            csr,
+            part,
+            threads_per_rank,
+            csr.num_undirected_edges() as u64,
+        )
     }
 
     /// Distribute a split graph (see [`crate::split`]): `part` carries the
@@ -181,11 +206,13 @@ impl DistGraph {
     }
 
     #[inline]
+    /// Number of ranks.
     pub fn num_ranks(&self) -> usize {
         self.part.num_ranks()
     }
 
     #[inline]
+    /// Total vertex count (base + proxies).
     pub fn num_vertices(&self) -> usize {
         self.part.num_vertices()
     }

@@ -52,34 +52,46 @@ impl Partition {
     pub fn with_kind(kind: PartitionKind, n_base: usize, n_proxy: usize, p: usize) -> Self {
         assert!(p > 0, "at least one rank required");
         let block = n_base.div_ceil(p).max(1);
-        Partition { kind, n_base, n_proxy, p, block }
+        Partition {
+            kind,
+            n_base,
+            n_proxy,
+            p,
+            block,
+        }
     }
 
+    /// Which distribution scheme this partition uses.
     pub fn kind(&self) -> PartitionKind {
         self.kind
     }
 
     #[inline]
+    /// Number of ranks `P`.
     pub fn num_ranks(&self) -> usize {
         self.p
     }
 
     #[inline]
+    /// Total vertex count (base + proxies).
     pub fn num_vertices(&self) -> usize {
         self.n_base + self.n_proxy
     }
 
     #[inline]
+    /// Number of original (non-proxy) vertices.
     pub fn num_base(&self) -> usize {
         self.n_base
     }
 
     #[inline]
+    /// Number of proxy vertices appended by splitting.
     pub fn num_proxies(&self) -> usize {
         self.n_proxy
     }
 
     #[inline]
+    /// Is `v` a proxy introduced by vertex splitting?
     pub fn is_proxy(&self, v: VertexId) -> bool {
         (v as usize) >= self.n_base
     }
@@ -138,7 +150,7 @@ impl Partition {
         let v = v as usize;
         if v < self.n_base {
             match self.kind {
-                PartitionKind::Block => v - self.owner(v as VertexId) * self.block,
+                PartitionKind::Block => v - self.owner(sssp_graph::checked_u32(v)) * self.block,
                 PartitionKind::Cyclic => v / self.p,
             }
         } else {
@@ -148,17 +160,26 @@ impl Partition {
         }
     }
 
+    /// Local index of `v` on its owning rank, narrowed to the `u32` domain
+    /// of message fields via [`sssp_graph::checked_u32`]. The engine's
+    /// message builders use this instead of `to_local(v) as u32` so that
+    /// truncation can never pass silently (enforced by `sssp-lint`).
+    #[inline]
+    pub fn local_index(&self, v: VertexId) -> u32 {
+        sssp_graph::checked_u32(self.to_local(v))
+    }
+
     /// Global id of `local` on `rank` (inverse of [`Self::to_local`]).
     #[inline]
     pub fn to_global(&self, rank: usize, local: usize) -> VertexId {
         let base = self.base_count(rank);
         if local < base {
             match self.kind {
-                PartitionKind::Block => (rank * self.block + local) as VertexId,
-                PartitionKind::Cyclic => (local * self.p + rank) as VertexId,
+                PartitionKind::Block => sssp_graph::checked_u32(rank * self.block + local),
+                PartitionKind::Cyclic => sssp_graph::checked_u32(local * self.p + rank),
             }
         } else {
-            (self.n_base + (local - base) * self.p + rank) as VertexId
+            sssp_graph::checked_u32(self.n_base + (local - base) * self.p + rank)
         }
     }
 }

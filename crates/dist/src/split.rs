@@ -15,10 +15,15 @@ use crate::partition::Partition;
 /// Outcome summary of a splitting pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitReport {
+    /// Degree threshold above which vertices were split.
     pub threshold: usize,
+    /// Number of vertices that exceeded the threshold.
     pub heavy_vertices: usize,
+    /// Proxies appended to the id space.
     pub proxies_created: usize,
+    /// Maximum degree before splitting.
     pub max_degree_before: usize,
+    /// Maximum degree after splitting.
     pub max_degree_after: usize,
 }
 
@@ -66,7 +71,7 @@ pub fn split_heavy_vertices(
     let mut proxy_base = vec![0usize; n];
     let mut total_proxies = 0usize;
     for v in 0..n {
-        let d = csr.degree(v as VertexId);
+        let d = csr.degree(sssp_graph::checked_u32(v));
         if d > threshold {
             proxy_base[v] = total_proxies;
             num_proxies[v] = d.div_ceil(threshold);
@@ -103,7 +108,7 @@ pub fn split_heavy_vertices(
         }
         let slot = cursor[vi] % num_proxies[vi];
         cursor[vi] += 1;
-        (n + proxy_base[vi] + slot) as VertexId
+        sssp_graph::checked_u32(n + proxy_base[vi] + slot)
     };
     for (u, v, w) in csr.undirected_edges() {
         let nu = endpoint(u, &mut cursor);
@@ -113,7 +118,11 @@ pub fn split_heavy_vertices(
     // Zero-weight star from each heavy vertex to its proxies.
     for v in 0..n {
         for i in 0..num_proxies[v] {
-            el.push(v as VertexId, (n + proxy_base[v] + i) as VertexId, 0);
+            el.push(
+                sssp_graph::checked_u32(v),
+                sssp_graph::checked_u32(n + proxy_base[v] + i),
+                0,
+            );
         }
     }
 

@@ -15,15 +15,20 @@ pub struct ThreadLoads {
 }
 
 impl ThreadLoads {
+    /// Fresh ledger for `threads` logical threads.
     pub fn new(threads: usize) -> Self {
-        ThreadLoads { ops: vec![0; threads.max(1)] }
+        ThreadLoads {
+            ops: vec![0; threads.max(1)],
+        }
     }
 
+    /// Number of logical threads.
     pub fn num_threads(&self) -> usize {
         self.ops.len()
     }
 
     #[inline]
+    /// Owning thread of local vertex `local` (cyclic by default).
     pub fn thread_of(&self, local: usize) -> usize {
         local % self.ops.len()
     }
@@ -56,6 +61,7 @@ impl ThreadLoads {
         self.ops.iter().sum()
     }
 
+    /// Zero all per-thread counters.
     pub fn reset(&mut self) {
         self.ops.fill(0);
     }

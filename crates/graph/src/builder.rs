@@ -17,11 +17,15 @@ pub struct CsrBuilder {
 
 impl Default for CsrBuilder {
     fn default() -> Self {
-        CsrBuilder { drop_self_loops: true, dedup_min_weight: false }
+        CsrBuilder {
+            drop_self_loops: true,
+            dedup_min_weight: false,
+        }
     }
 }
 
 impl CsrBuilder {
+    /// Builder with default options (rows weight-sorted).
     pub fn new() -> Self {
         Self::default()
     }
@@ -99,8 +103,11 @@ impl CsrBuilder {
         for v in 0..n {
             let lo = offsets[v];
             let hi = offsets[v + 1];
-            let mut row: Vec<(Weight, VertexId)> =
-                weights[lo..hi].iter().copied().zip(targets[lo..hi].iter().copied()).collect();
+            let mut row: Vec<(Weight, VertexId)> = weights[lo..hi]
+                .iter()
+                .copied()
+                .zip(targets[lo..hi].iter().copied())
+                .collect();
             row.sort_unstable();
             for (i, (w, t)) in row.into_iter().enumerate() {
                 weights[lo + i] = w;

@@ -30,6 +30,7 @@ pub struct UnionFind {
 }
 
 impl UnionFind {
+    /// Disjoint sets over `n` singleton elements.
     pub fn new(n: usize) -> Self {
         UnionFind {
             parent: (0..n as u32).collect(),
@@ -64,6 +65,7 @@ impl UnionFind {
         true
     }
 
+    /// Are `a` and `b` in the same set? (Path-compresses.)
     pub fn same(&mut self, a: u32, b: u32) -> bool {
         self.find(a) == self.find(b)
     }
@@ -148,9 +150,9 @@ mod tests {
         // Same partition, possibly different label names.
         let mut fwd = std::collections::HashMap::new();
         let mut bwd = std::collections::HashMap::new();
-        a.iter().zip(b).all(|(&x, &y)| {
-            *fwd.entry(x).or_insert(y) == y && *bwd.entry(y).or_insert(x) == x
-        })
+        a.iter()
+            .zip(b)
+            .all(|(&x, &y)| *fwd.entry(x).or_insert(y) == y && *bwd.entry(y).or_insert(x) == x)
     }
 
     #[test]

@@ -21,13 +21,21 @@ pub struct Csr {
 impl Csr {
     /// Build from pre-validated parts. `offsets` must have length `n + 1`,
     /// start at 0, be non-decreasing and end at `targets.len()`.
-    pub(crate) fn from_parts(offsets: Vec<usize>, targets: Vec<VertexId>, weights: Vec<Weight>) -> Self {
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(offsets[0], 0);
         debug_assert_eq!(*offsets.last().unwrap(), targets.len());
         debug_assert_eq!(targets.len(), weights.len());
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
-        Csr { offsets, targets, weights }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Number of vertices.
@@ -59,7 +67,10 @@ impl Csr {
     pub fn row(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let lo = self.offsets[v as usize];
         let hi = self.offsets[v as usize + 1];
-        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
     }
 
     /// Raw slices of `v`'s row: `(targets, weights)`.
@@ -88,13 +99,17 @@ impl Csr {
     /// per multiplicity).
     pub fn undirected_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.row(u).filter_map(move |(v, w)| if u < v { Some((u, v, w)) } else { None })
+            self.row(u)
+                .filter_map(move |(v, w)| if u < v { Some((u, v, w)) } else { None })
         })
     }
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total weight of all directed edge slots; useful as a checksum.

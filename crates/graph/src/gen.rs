@@ -61,10 +61,15 @@ pub fn clique(n: usize, w: Weight) -> EdgeList {
 /// 4 self + 1 forward edge per clique vertex) to 10 (one request + one
 /// response per leaf).
 pub struct PullExample {
+    /// Number of vertices in the central clique.
     pub clique_size: usize,
+    /// Leaves attached to each clique vertex.
     pub fanout: usize,
+    /// Weight of root-to-clique edges.
     pub w_root: Weight,
+    /// Weight of clique-internal edges.
     pub w_clique: Weight,
+    /// Weight of clique-to-leaf edges.
     pub w_leaf: Weight,
 }
 
@@ -73,7 +78,13 @@ impl Default for PullExample {
         // Sized so the counts match the paper's illustration (total push
         // cost 40 relaxation messages across three long phases, 30 of them
         // in the clique epoch).
-        PullExample { clique_size: 5, fanout: 1, w_root: 10, w_clique: 6, w_leaf: 10 }
+        PullExample {
+            clique_size: 5,
+            fanout: 1,
+            w_root: 10,
+            w_clique: 6,
+            w_leaf: 10,
+        }
     }
 }
 
@@ -102,6 +113,7 @@ impl PullExample {
         el
     }
 
+    /// Total vertex count of the example graph.
     pub fn num_vertices(&self) -> usize {
         1 + self.clique_size + self.clique_size * self.fanout
     }

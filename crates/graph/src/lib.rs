@@ -20,6 +20,9 @@
 //! every run and for every partitioning, which keeps the distributed engine's
 //! tests and benches reproducible.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod components;
 pub mod csr;
@@ -48,15 +51,36 @@ pub type VertexId = u32;
 /// edges).
 pub type Weight = u32;
 
+/// Checked narrowing of a local index or vertex count into the `u32` space
+/// of [`VertexId`]-sized message fields.
+///
+/// All narrowing in the engine and dist layers funnels through here — the
+/// `sssp-lint` no-lossy-cast rule rejects bare `as u32` there — so an index
+/// escaping the 2^32 cap trips an assertion in debug builds instead of
+/// silently wrapping. Release builds rely on the structural cap: vertex
+/// counts are bounded by [`VertexId`]'s own range at graph construction.
+#[inline]
+pub fn checked_u32(value: usize) -> u32 {
+    debug_assert!(
+        u32::try_from(value).is_ok(),
+        "index {value} overflows the u32 vertex-id space"
+    );
+    value as u32
+}
+
 /// A weighted undirected edge, stored once (`u <= v` is not required).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
+    /// One endpoint.
     pub u: VertexId,
+    /// The other endpoint.
     pub v: VertexId,
+    /// Edge weight.
     pub w: Weight,
 }
 
 impl Edge {
+    /// Build an edge.
     pub fn new(u: VertexId, v: VertexId, w: Weight) -> Self {
         Edge { u, v, w }
     }
@@ -65,31 +89,42 @@ impl Edge {
 /// An unweighted edge tuple as produced by the generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EdgeTuple {
+    /// One endpoint.
     pub u: VertexId,
+    /// The other endpoint.
     pub v: VertexId,
 }
 
 /// An edge list together with its vertex-count bound.
 #[derive(Debug, Clone, Default)]
 pub struct EdgeList {
+    /// Vertex-count bound (ids are `< n`).
     pub n: usize,
+    /// The edges.
     pub edges: Vec<Edge>,
 }
 
 impl EdgeList {
+    /// Empty list over `n` vertices.
     pub fn new(n: usize) -> Self {
-        EdgeList { n, edges: Vec::new() }
+        EdgeList {
+            n,
+            edges: Vec::new(),
+        }
     }
 
+    /// Append an undirected edge.
     pub fn push(&mut self, u: VertexId, v: VertexId, w: Weight) {
         debug_assert!((u as usize) < self.n && (v as usize) < self.n);
         self.edges.push(Edge::new(u, v, w));
     }
 
+    /// Number of edges.
     pub fn len(&self) -> usize {
         self.edges.len()
     }
 
+    /// Is the list empty?
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
     }

@@ -23,6 +23,7 @@ pub struct SplitMix {
 }
 
 impl SplitMix {
+    /// Seeded generator (same seed, same sequence, forever).
     pub fn new(seed: u64) -> Self {
         SplitMix { state: seed }
     }
@@ -30,10 +31,13 @@ impl SplitMix {
     /// Derive an independent stream for a sub-object (e.g. one edge).
     pub fn derive(seed: u64, index: u64) -> Self {
         // Mix the index in twice so that adjacent indices diverge fully.
-        SplitMix { state: splitmix64(seed ^ splitmix64(index)) }
+        SplitMix {
+            state: splitmix64(seed ^ splitmix64(index)),
+        }
     }
 
     #[inline]
+    /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

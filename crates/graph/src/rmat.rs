@@ -22,29 +22,52 @@ use crate::{EdgeList, EdgeTuple, VertexId};
 /// R-MAT quadrant probabilities.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RmatParams {
+    /// Probability of the top-left quadrant.
     pub a: f64,
+    /// Probability of the top-right quadrant.
     pub b: f64,
+    /// Probability of the bottom-left quadrant.
     pub c: f64,
+    /// Probability of the bottom-right quadrant.
     pub d: f64,
 }
 
 impl RmatParams {
     /// Graph 500 BFS benchmark parameters — the paper's `RMAT-1` family.
-    pub const RMAT1: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+    pub const RMAT1: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
 
     /// Proposed Graph 500 SSSP benchmark parameters — the paper's `RMAT-2`
     /// family.
-    pub const RMAT2: RmatParams = RmatParams { a: 0.50, b: 0.10, c: 0.10, d: 0.30 };
+    pub const RMAT2: RmatParams = RmatParams {
+        a: 0.50,
+        b: 0.10,
+        c: 0.10,
+        d: 0.30,
+    };
 
     /// Uniform parameters: every vertex pair equally likely (Erdős–Rényi-ish).
-    pub const UNIFORM: RmatParams = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+    pub const UNIFORM: RmatParams = RmatParams {
+        a: 0.25,
+        b: 0.25,
+        c: 0.25,
+        d: 0.25,
+    };
 
+    /// Check the four probabilities form a distribution.
     pub fn validate(&self) -> Result<(), String> {
         let sum = self.a + self.b + self.c + self.d;
         if (sum - 1.0).abs() > 1e-9 {
             return Err(format!("R-MAT parameters must sum to 1, got {sum}"));
         }
-        if [self.a, self.b, self.c, self.d].iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+        if [self.a, self.b, self.c, self.d]
+            .iter()
+            .any(|&p| !(0.0..=1.0).contains(&p))
+        {
             return Err("R-MAT parameters must lie in [0, 1]".into());
         }
         Ok(())
@@ -73,9 +96,13 @@ impl RmatParams {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RmatGenerator {
+    /// Quadrant probabilities.
     pub params: RmatParams,
+    /// log2 of the vertex count.
     pub scale: u32,
+    /// Edges generated per vertex.
     pub edge_factor: usize,
+    /// PRNG seed.
     pub seed: u64,
     /// Scramble vertex ids (Graph 500 does this so that vertex id gives no
     /// hint about degree). Keeps block partitions balanced in expectation.
@@ -83,26 +110,37 @@ pub struct RmatGenerator {
 }
 
 impl RmatGenerator {
+    /// Generator for `2^scale` vertices and `edge_factor × 2^scale` edges.
     pub fn new(params: RmatParams, scale: u32, edge_factor: usize) -> Self {
         params.validate().expect("invalid R-MAT parameters");
         assert!(scale < 32, "this reproduction caps at 2^31 vertices");
-        RmatGenerator { params, scale, edge_factor, seed: 0x5353_5350, permute: true }
+        RmatGenerator {
+            params,
+            scale,
+            edge_factor,
+            seed: 0x5353_5350,
+            permute: true,
+        }
     }
 
+    /// Set the PRNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
+    /// Toggle the random vertex-id permutation (Graph 500 requires it).
     pub fn permute(mut self, yes: bool) -> Self {
         self.permute = yes;
         self
     }
 
+    /// Number of vertices (`2^scale`).
     pub fn num_vertices(&self) -> usize {
         1usize << self.scale
     }
 
+    /// Number of generated edges before dedup/self-loop removal.
     pub fn num_edges(&self) -> usize {
         self.edge_factor << self.scale
     }
@@ -133,12 +171,18 @@ impl RmatGenerator {
             u = scramble(u, self.scale, self.seed);
             v = scramble(v, self.scale, self.seed);
         }
-        EdgeTuple { u: u as VertexId, v: v as VertexId }
+        EdgeTuple {
+            u: u as VertexId,
+            v: v as VertexId,
+        }
     }
 
     /// Generate the full (unweighted) edge tuple list, in parallel.
     pub fn generate_tuples(&self) -> Vec<EdgeTuple> {
-        (0..self.num_edges() as u64).into_par_iter().map(|i| self.edge(i)).collect()
+        (0..self.num_edges() as u64)
+            .into_par_iter()
+            .map(|i| self.edge(i))
+            .collect()
     }
 
     /// Generate the edge list with uniform weights in `[1, w_max]`
@@ -146,7 +190,12 @@ impl RmatGenerator {
     /// [`crate::weights`]).
     pub fn generate_weighted(&self, w_max: u32) -> EdgeList {
         let tuples = self.generate_tuples();
-        crate::weights::weight_tuples(self.num_vertices(), &tuples, w_max, self.seed ^ WEIGHT_STREAM_TAG)
+        crate::weights::weight_tuples(
+            self.num_vertices(),
+            &tuples,
+            w_max,
+            self.seed ^ WEIGHT_STREAM_TAG,
+        )
     }
 }
 
@@ -186,7 +235,12 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        let bad = RmatParams { a: 0.9, b: 0.9, c: 0.1, d: 0.1 };
+        let bad = RmatParams {
+            a: 0.9,
+            b: 0.9,
+            c: 0.1,
+            d: 0.1,
+        };
         assert!(bad.validate().is_err());
     }
 
@@ -200,8 +254,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = RmatGenerator::new(RmatParams::RMAT1, 8, 16).seed(1).generate_tuples();
-        let b = RmatGenerator::new(RmatParams::RMAT1, 8, 16).seed(2).generate_tuples();
+        let a = RmatGenerator::new(RmatParams::RMAT1, 8, 16)
+            .seed(1)
+            .generate_tuples();
+        let b = RmatGenerator::new(RmatParams::RMAT1, 8, 16)
+            .seed(2)
+            .generate_tuples();
         assert_ne!(a, b);
     }
 

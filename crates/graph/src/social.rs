@@ -18,27 +18,41 @@ use crate::{Edge, EdgeList, VertexId};
 /// probability proportional to expected degree.
 #[derive(Debug, Clone)]
 pub struct ChungLu {
+    /// Number of vertices.
     pub n: usize,
+    /// Target number of edges.
     pub m: usize,
     /// Power-law exponent γ (2 < γ ≤ 3 for social networks).
     pub gamma: f64,
     /// Expected-degree cap, as a fraction of n.
     pub max_degree_frac: f64,
+    /// Maximum edge weight.
     pub w_max: u32,
+    /// PRNG seed.
     pub seed: u64,
 }
 
 impl ChungLu {
+    /// Chung–Lu generator with power-law exponent `gamma`.
     pub fn new(n: usize, m: usize, gamma: f64) -> Self {
         assert!(n > 1 && m > 0 && gamma > 1.0);
-        ChungLu { n, m, gamma, max_degree_frac: 0.1, w_max: 255, seed: 0x0050_C1A1 }
+        ChungLu {
+            n,
+            m,
+            gamma,
+            max_degree_frac: 0.1,
+            w_max: 255,
+            seed: 0x0050_C1A1,
+        }
     }
 
+    /// Set the PRNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
+    /// Set the maximum edge weight.
     pub fn w_max(mut self, w_max: u32) -> Self {
         self.w_max = w_max;
         self
@@ -53,8 +67,7 @@ impl ChungLu {
         let cap = (self.n as f64 * self.max_degree_frac).max(2.0);
         let target_avg = 2.0 * self.m as f64 / self.n as f64;
         // Normalize so the mean expected degree matches 2m/n.
-        let raw: Vec<f64> =
-            (0..self.n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+        let raw: Vec<f64> = (0..self.n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
         let raw_mean = raw.iter().sum::<f64>() / self.n as f64;
         let scale = target_avg / raw_mean;
         let degs: Vec<f64> = raw.iter().map(|&r| (r * scale).min(cap)).collect();
@@ -103,7 +116,11 @@ pub fn social_preset(name: &str, shrink: usize) -> Option<ChungLu> {
         "livejournal" => (4_800_000, 68_000_000, 2.5),
         _ => return None,
     };
-    Some(ChungLu::new((n / shrink).max(16), (m / shrink).max(16), gamma))
+    Some(ChungLu::new(
+        (n / shrink).max(16),
+        (m / shrink).max(16),
+        gamma,
+    ))
 }
 
 #[cfg(test)]

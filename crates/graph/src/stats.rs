@@ -6,9 +6,13 @@ use crate::{Csr, VertexId};
 /// Summary of a graph's degree distribution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DegreeStats {
+    /// Number of vertices.
     pub num_vertices: usize,
+    /// Number of undirected edges.
     pub num_undirected_edges: usize,
+    /// Maximum degree.
     pub max_degree: usize,
+    /// Mean degree.
     pub avg_degree: f64,
     /// Number of isolated (degree-0) vertices.
     pub isolated: usize,
@@ -33,7 +37,11 @@ pub fn degree_stats(g: &Csr) -> DegreeStats {
         max_degree,
         avg_degree: if n == 0 { 0.0 } else { total as f64 / n as f64 },
         isolated,
-        top1pct_edge_share: if total == 0 { 0.0 } else { top_sum as f64 / total as f64 },
+        top1pct_edge_share: if total == 0 {
+            0.0
+        } else {
+            top_sum as f64 / total as f64
+        },
     }
 }
 
@@ -42,10 +50,13 @@ pub fn degree_stats(g: &Csr) -> DegreeStats {
 /// vertices are reported separately.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DegreeHistogram {
+    /// Number of isolated (degree-0) vertices.
     pub zero: usize,
+    /// Power-of-two degree buckets: `buckets[i]` counts degrees in `[2^i, 2^(i+1))`.
     pub buckets: Vec<usize>,
 }
 
+/// Degree histogram of `g` (the Fig. 8 measurement).
 pub fn degree_histogram(g: &Csr) -> DegreeHistogram {
     let mut zero = 0usize;
     let mut buckets: Vec<usize> = Vec::new();

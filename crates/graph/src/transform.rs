@@ -25,7 +25,11 @@ pub fn induced_subgraph(el: &EdgeList, keep: &[bool]) -> (EdgeList, Vec<VertexId
     for e in &el.edges {
         let (nu, nv) = (map[e.u as usize], map[e.v as usize]);
         if nu != VertexId::MAX && nv != VertexId::MAX {
-            out.edges.push(Edge { u: nu, v: nv, w: e.w });
+            out.edges.push(Edge {
+                u: nu,
+                v: nv,
+                w: e.w,
+            });
         }
     }
     (out, map)
@@ -73,7 +77,11 @@ pub fn relabel_by_degree(el: &EdgeList) -> (EdgeList, Vec<VertexId>) {
     }
     let mut out = EdgeList::new(el.n);
     for e in &el.edges {
-        out.edges.push(Edge { u: map[e.u as usize], v: map[e.v as usize], w: e.w });
+        out.edges.push(Edge {
+            u: map[e.u as usize],
+            v: map[e.v as usize],
+            w: e.w,
+        });
     }
     (out, map)
 }
@@ -85,8 +93,7 @@ pub fn is_isomorphic_under(a: &Csr, b: &Csr, map: &[VertexId]) -> bool {
         return false;
     }
     for v in a.vertices() {
-        let mut ra: Vec<(VertexId, u32)> =
-            a.row(v).map(|(t, w)| (map[t as usize], w)).collect();
+        let mut ra: Vec<(VertexId, u32)> = a.row(v).map(|(t, w)| (map[t as usize], w)).collect();
         let mut rb: Vec<(VertexId, u32)> = b.row(map[v as usize]).collect();
         ra.sort_unstable();
         rb.sort_unstable();
@@ -171,7 +178,9 @@ mod tests {
             dist[root as usize] = 0;
             heap.push(Reverse((0u64, root)));
             while let Some(Reverse((d, u))) = heap.pop() {
-                if d > dist[u as usize] { continue; }
+                if d > dist[u as usize] {
+                    continue;
+                }
                 for (v, w) in g.row(u) {
                     let nd = d + w as u64;
                     if nd < dist[v as usize] {

@@ -23,7 +23,11 @@ pub fn weight_tuples(n: usize, tuples: &[EdgeTuple], w_max: u32, seed: u64) -> E
         .enumerate()
         .map(|(i, t)| {
             let mut rng = SplitMix::derive(seed, i as u64);
-            Edge { u: t.u, v: t.v, w: 1 + rng.next_below(w_max as u64) as u32 }
+            Edge {
+                u: t.u,
+                v: t.v,
+                w: 1 + rng.next_below(w_max as u64) as u32,
+            }
         })
         .collect();
     EdgeList { n, edges }
@@ -44,7 +48,12 @@ mod tests {
     use super::*;
 
     fn tuples(k: usize) -> Vec<EdgeTuple> {
-        (0..k).map(|i| EdgeTuple { u: i as u32, v: ((i + 1) % k) as u32 }).collect()
+        (0..k)
+            .map(|i| EdgeTuple {
+                u: i as u32,
+                v: ((i + 1) % k) as u32,
+            })
+            .collect()
     }
 
     #[test]

@@ -6,10 +6,7 @@ use sssp_graph::{gen, CsrBuilder, Edge, EdgeList};
 
 fn arb_edge_list() -> impl Strategy<Value = EdgeList> {
     (2usize..80).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1u32..100),
-            0..300,
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..100), 0..300);
         edges.prop_map(move |es| EdgeList {
             n,
             edges: es.into_iter().map(|(u, v, w)| Edge { u, v, w }).collect(),

@@ -1,0 +1,6 @@
+// Seeded violation for the crate-hygiene rule: a crate root with neither
+// #![forbid(unsafe_code)] nor #![warn(missing_docs)]. Linted by the
+// fixture self-test under the path crates/core/src/lib.rs.
+
+pub mod engine;
+pub mod state;

@@ -1,0 +1,23 @@
+// Seeded violations for the missing-docs-pub rule. Linted by the fixture
+// self-test under the path crates/comm/src/fixture.rs.
+
+pub struct Undocumented; // line 4: pub struct without docs
+
+/// Documented, fine.
+pub struct Documented;
+
+/// Docs survive attributes and blank lines in between.
+#[derive(Debug)]
+
+pub enum AlsoDocumented {}
+
+pub fn undocumented_fn() {} // line 14: pub fn without docs
+
+pub(crate) fn restricted_needs_no_docs() {}
+
+fn private_needs_no_docs() {}
+
+pub use std::cmp::Ordering; // re-exports are exempt
+
+// sssp-lint: allow(missing-docs-pub): name is the documentation
+pub const SELF_EXPLANATORY: u32 = 0;

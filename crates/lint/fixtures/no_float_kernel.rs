@@ -1,0 +1,21 @@
+// Seeded violations for the no-float-kernel rule. Linted by the fixture
+// self-test under the path crates/core/src/engine/fixture.rs.
+
+fn drift_prone(dist: u64, hops: u64) -> u64 {
+    let scaled = dist as f64 * 0.5; // line 5: f64 + float literal
+    let ratio: f32 = hops as f32; // line 6: f32 (twice)
+    let fudge = 1f64; // line 7: suffixed literal
+    scaled as u64 + ratio as u64 + fudge as u64
+}
+
+fn integral_is_fine(dist: u64, w: u32) -> u64 {
+    let half = dist / 2;
+    let range = 0..10;
+    let _ = range;
+    half + w as u64
+}
+
+fn documented_exception(n: u64) -> u64 {
+    // sssp-lint: allow(no-float-kernel): hybrid switch threshold, paper SIII-D
+    ((n as f64) * 0.05) as u64
+}

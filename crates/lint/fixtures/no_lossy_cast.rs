@@ -1,0 +1,22 @@
+// Seeded violations for the no-lossy-cast rule. Linted by the fixture
+// self-test under the path crates/core/src/engine/fixture.rs.
+
+fn build_messages(part: &Partition, v: u64, w: u64) -> RelaxMsg {
+    let target = part.to_local(v) as u32; // line 5: as u32
+    let weight = w as u16; // line 6: as u16
+    let small = v as u8; // line 7: as u8
+    let signed = w as i32; // line 8: as i32
+    let alias = v as VertexId; // line 9: u32 alias is just as lossy
+    RelaxMsg { target, weight, small, signed, alias }
+}
+
+fn widening_is_fine(v: u32, w: u32) -> u64 {
+    let a = v as u64;
+    let b = w as usize;
+    a + b as u64
+}
+
+fn checked_site(part: &Partition, v: u64) -> u32 {
+    // sssp-lint: allow(no-lossy-cast): audited helper, bound asserted above
+    part.to_local(v) as u32
+}

@@ -1,0 +1,34 @@
+// Seeded violations for the no-panic-hot-path rule. Linted by the fixture
+// self-test under the path crates/core/src/engine/fixture.rs.
+
+fn relax_all(buckets: &mut Buckets, v: u32) {
+    let b = buckets.get(v).unwrap(); // line 5: .unwrap()
+    let c = buckets.counts.get_mut(&b).expect("bucket count missing"); // line 6: .expect(
+    if *c == 0 {
+        panic!("empty bucket"); // line 8: panic!
+    }
+    match b {
+        0 => todo!(), // line 11: todo!
+        _ => unreachable!("bucket overflow"), // line 12: unreachable!
+    }
+}
+
+fn justified(buckets: &Buckets) -> u64 {
+    // A marked line must NOT be reported:
+    // sssp-lint: allow(no-panic-hot-path): counts are rebuilt one line above
+    buckets.counts.get(&0).expect("just rebuilt")
+}
+
+fn strings_do_not_count() {
+    let msg = "please do not .unwrap() in hot paths or call panic!()";
+    let raw = r"also not .expect( here";
+    let _ = (msg, raw);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_exempt() {
+        make_buckets().get(0).unwrap();
+    }
+}

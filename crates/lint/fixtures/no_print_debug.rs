@@ -1,0 +1,14 @@
+// Seeded violations for the no-print-debug rule. Linted by the fixture
+// self-test under the path crates/core/src/instrument.rs.
+
+fn report_progress(step: u64, sent: u64) {
+    println!("step {step}: sent {sent}"); // line 5: println!
+    eprintln!("warning"); // line 6: eprintln!
+    print!("partial"); // line 7: print!
+    let x = dbg!(sent); // line 8: dbg!
+    let _ = x;
+}
+
+fn formatting_is_fine(step: u64) -> String {
+    format!("step {step}")
+}

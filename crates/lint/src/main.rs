@@ -1,0 +1,89 @@
+//! CLI for the project lint gate.
+//!
+//! ```text
+//! cargo run -p sssp-lint -- --check            # lint the workspace
+//! cargo run -p sssp-lint -- --check --root DIR # lint another tree
+//! cargo run -p sssp-lint -- --list-rules       # show the rule set
+//! ```
+//!
+//! Exits 0 when clean, 1 when violations are found, 2 on usage or I/O
+//! errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: sssp-lint [--check] [--root DIR] [--list-rules]\n\
+                     Lints every .rs file in the workspace against the \
+                     project rules.\nMark deliberate exceptions with \
+                     `// sssp-lint: allow(rule-name): reason`."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in sssp_lint::rules::RULES {
+            println!("{:<20} {}", rule.name, normalize_ws(rule.summary));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(sssp_lint::default_root);
+    let files = match sssp_lint::workspace_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sssp-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let n_files = files.len();
+    match sssp_lint::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("sssp-lint: clean ({n_files} files checked)");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!(
+                "sssp-lint: {} issue(s) in {n_files} files checked",
+                diags.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sssp-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("sssp-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+/// Collapse the multi-line rule summaries to single spaces for display.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}

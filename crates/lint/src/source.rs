@@ -1,0 +1,423 @@
+//! Lexical source model for the analyzer.
+//!
+//! Rules never look at raw text directly: every file is first reduced to a
+//! per-line view in which comment bodies and string/char literal contents
+//! are blanked out (so `".unwrap()"` inside a string can never fire the
+//! no-panic rule), `#[cfg(test)]` / `#[test]` regions are masked, and
+//! `sssp-lint: allow(rule)` markers are resolved per line.
+
+/// One line of a parsed source file.
+#[derive(Debug)]
+pub struct Line {
+    /// The original line text, untouched.
+    pub raw: String,
+    /// The line with comments and literal contents replaced by spaces.
+    /// String/char delimiters are kept so `.expect("…")` still reads as
+    /// `.expect("   ")`.
+    pub code: String,
+    /// True when the line sits inside a `#[cfg(test)]` or `#[test]`
+    /// region (including the attribute line and the closing brace).
+    pub in_test: bool,
+    /// Rule names allowed on this line via an inline marker, either on
+    /// the line itself or anywhere in the comment block directly above it
+    /// (blank lines end a block).
+    pub allows: Vec<String>,
+}
+
+/// A fully parsed source file ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Per-line views, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Parse `text` into the per-line model used by all rules.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let raw: Vec<&str> = text.split('\n').collect();
+        let code = strip_literals(text);
+        debug_assert_eq!(raw.len(), code.len(), "strip must preserve line count");
+        let in_test = mask_test_regions(&code);
+        let marker_sets: Vec<Vec<String>> = raw.iter().map(|r| parse_markers(r)).collect();
+
+        // Markers on comment-only lines accumulate and attach to the next
+        // code line; a blank line discards them.
+        let mut pending: Vec<String> = Vec::new();
+        let lines = (0..raw.len())
+            .map(|i| {
+                let mut allows = marker_sets[i].clone();
+                if code[i].trim().is_empty() {
+                    if raw[i].trim().is_empty() {
+                        pending.clear();
+                    } else {
+                        pending.extend(marker_sets[i].iter().cloned());
+                    }
+                } else {
+                    allows.append(&mut pending);
+                }
+                Line {
+                    raw: raw[i].to_string(),
+                    code: code[i].clone(),
+                    in_test: in_test[i],
+                    allows,
+                }
+            })
+            .collect();
+
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines,
+        }
+    }
+}
+
+/// Lexer state for [`strip_literals`].
+enum State {
+    Normal,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string; the payload is the number of `#` marks in the opener.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Blank out comment bodies and string/char literal contents, preserving
+/// the line structure exactly (same number of lines, same byte columns
+/// for everything kept).
+fn strip_literals(text: &str) -> Vec<String> {
+    let cs: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut st = State::Normal;
+    let mut prev_ident = false;
+    let mut i = 0;
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            if matches!(st, State::LineComment) {
+                st = State::Normal;
+            }
+            out.push('\n');
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match st {
+            State::Normal => {
+                if c == '/' && cs.get(i + 1) == Some(&'/') {
+                    st = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && cs.get(i + 1) == Some(&'*') {
+                    st = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = State::Str;
+                    out.push('"');
+                    i += 1;
+                } else if !prev_ident && (c == 'r' || c == 'b') {
+                    if let Some(hashes) = raw_string_opener(&cs, i) {
+                        // `r"`, `r#"`, `br##"` … — skip prefix, hashes
+                        // and the opening quote.
+                        let skip = (cs[i] == 'b') as usize + 1 + hashes as usize + 1;
+                        for _ in 0..skip {
+                            out.push(' ');
+                        }
+                        st = State::RawStr(hashes);
+                        i += skip;
+                    } else {
+                        out.push(c);
+                        prev_ident = true;
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Distinguish `'a` (lifetime/label: keep scanning) from
+                    // `'a'` / `'\n'` (char literal: blank contents).
+                    let next = cs.get(i + 1);
+                    let lifetime = matches!(next, Some(&n) if n.is_alphabetic() || n == '_')
+                        && cs.get(i + 2) != Some(&'\'');
+                    if lifetime {
+                        out.push(' ');
+                        i += 1;
+                    } else {
+                        st = State::CharLit;
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    prev_ident = c.is_alphanumeric() || c == '_';
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                out.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && cs.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && cs.get(i + 1) == Some(&'*') {
+                    st = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str | State::CharLit => {
+                let quote = if matches!(st, State::Str) { '"' } else { '\'' };
+                if c == '\\' {
+                    out.push(' ');
+                    if cs.get(i + 1).is_some_and(|&n| n != '\n') {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == quote {
+                    out.push(quote);
+                    st = State::Normal;
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&cs, i, hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    st = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.split('\n').map(String::from).collect()
+}
+
+/// If position `i` starts a raw (byte) string opener, return its `#` count.
+fn raw_string_opener(cs: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if cs.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if cs.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while cs.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (cs.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// True when the `"` at position `i` is followed by `hashes` `#` marks.
+fn closes_raw_string(cs: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| cs.get(i + k) == Some(&'#'))
+}
+
+/// Attribute spellings that mark the following item as test-only.
+const TEST_ATTRS: &[&str] = &[
+    "#[cfg(test)]",
+    "#[test]",
+    "#[cfg(all(test",
+    "#[cfg(any(test",
+];
+
+/// Compute, for each stripped line, whether it belongs to a test region:
+/// the braces-balanced item following a test attribute. Tracks global
+/// brace depth, so nested helper fns inside `mod tests` stay masked.
+fn mask_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth = 0usize;
+    let mut mask_stack: Vec<usize> = Vec::new();
+    let mut pending = false;
+    for (li, line) in code.iter().enumerate() {
+        let mut line_test = !mask_stack.is_empty();
+        if TEST_ATTRS.iter().any(|a| line.contains(a)) {
+            pending = true;
+        }
+        if pending {
+            line_test = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        mask_stack.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if mask_stack.last() == Some(&depth) {
+                        mask_stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // `#[cfg(test)] use foo;` — the attribute guards a
+                // braceless item; nothing to mask beyond this line.
+                ';' if pending && mask_stack.is_empty() => pending = false,
+                _ => {}
+            }
+        }
+        in_test[li] = line_test || !mask_stack.is_empty();
+    }
+    in_test
+}
+
+/// Extract rule names from a `sssp-lint: allow(rule-a, rule-b)` marker.
+fn parse_markers(raw: &str) -> Vec<String> {
+    let mut allows = Vec::new();
+    let mut rest = raw;
+    while let Some(at) = rest.find("sssp-lint: allow(") {
+        let args = &rest[at + "sssp-lint: allow(".len()..];
+        if let Some(close) = args.find(')') {
+            allows.extend(
+                args[..close]
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty()),
+            );
+            rest = &args[close + 1..];
+        } else {
+            break;
+        }
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(text: &str) -> Vec<String> {
+        strip_literals(text)
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let c = codes("let x = 1; // .unwrap()\n/* panic! */ let y = 2;");
+        assert_eq!(c[0].trim_end(), "let x = 1;");
+        assert!(!c[1].contains("panic!"));
+        assert!(c[1].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = codes("/* outer /* inner */ still */ code");
+        assert!(!c[0].contains("outer"));
+        assert!(!c[0].contains("still"));
+        assert!(c[0].contains("code"));
+    }
+
+    #[test]
+    fn blanks_string_contents_keeps_delimiters() {
+        let c = codes(r#"m.expect("do not .unwrap() here");"#);
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(c[0].contains(".expect(\""));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate() {
+        let c = codes(r#"let s = "a\"b"; panic!();"#);
+        assert!(c[0].contains("panic!"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let c = codes("let s = r#\"contains .unwrap() and \"quotes\"\"#; Mutex");
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(c[0].contains("Mutex"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = codes("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; panic!()");
+        // The char literal 'x' is blanked, but code after it survives.
+        assert!(c[0].contains("panic!"));
+        assert!(c[0].contains("fn f<"));
+    }
+
+    #[test]
+    fn char_escape_literal() {
+        let c = codes(r"let c = '\''; todo!()");
+        assert!(c[0].contains("todo!"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\nfn live2() {}\n",
+        );
+        let mask: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(
+            mask,
+            vec![false, true, true, true, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked_without_cfg() {
+        let f = SourceFile::parse("x.rs", "#[test]\nfn t() {\n    body();\n}\nfn live() {}\n");
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_use_does_not_mask_rest_of_file() {
+        let f = SourceFile::parse("x.rs", "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n");
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let f = SourceFile::parse("x.rs", "#[cfg(not(test))]\nfn live() {\n    x();\n}\n");
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn markers_propagate_through_comment_blocks_not_blanks() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// sssp-lint: allow(rule-a): reason spanning\n// a second comment line\nlet x = 1;\n// sssp-lint: allow(rule-b)\n\nlet y = 2;\n",
+        );
+        assert!(f.lines[2].allows.iter().any(|a| a == "rule-a"));
+        // The blank line at index 4 discards rule-b before `let y`.
+        assert!(f.lines[5].allows.is_empty());
+    }
+
+    #[test]
+    fn markers_apply_to_own_and_next_line() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// sssp-lint: allow(rule-a, rule-b)\nlet x = 1;\nlet y = 2; // sssp-lint: allow(rule-c)\n",
+        );
+        assert!(f.lines[1].allows.iter().any(|a| a == "rule-a"));
+        assert!(f.lines[1].allows.iter().any(|a| a == "rule-b"));
+        assert!(f.lines[2].allows.iter().any(|a| a == "rule-c"));
+        assert!(f.lines[2].allows.iter().all(|a| a != "rule-a"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-rule self-tests: each rule must catch the violations seeded in its
+//! fixture file, must not flag the fixture's "fine" sections, and must
+//! honor `sssp-lint: allow(..)` markers.
+
+use std::path::Path;
+
+use sssp_lint::{lint_text, Diagnostic};
+
+/// Load a fixture and lint it as if it lived at `as_path` in the tree.
+fn lint_fixture(fixture: &str, as_path: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(fixture);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_text(as_path, &text)
+}
+
+/// The line numbers (1-based) at which `rule` fired.
+fn lines_for(diags: &[Diagnostic], rule: &str) -> Vec<usize> {
+    let mut lines: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+#[test]
+fn no_panic_catches_each_macro_and_method() {
+    let diags = lint_fixture("no_panic.rs", "crates/core/src/engine/fixture.rs");
+    assert_eq!(
+        lines_for(&diags, "no-panic-hot-path"),
+        vec![5, 6, 8, 11, 12]
+    );
+}
+
+#[test]
+fn no_panic_marker_and_strings_and_tests_are_exempt() {
+    let diags = lint_fixture("no_panic.rs", "crates/core/src/engine/fixture.rs");
+    // Line 19 carries a marker, lines 23-24 are string contents, line 32
+    // is inside #[cfg(test)] — none may be reported.
+    for exempt in [19, 23, 24, 32] {
+        assert!(
+            !lines_for(&diags, "no-panic-hot-path").contains(&exempt),
+            "line {exempt} should be exempt, got {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn no_shared_state_catches_every_primitive() {
+    let diags = lint_fixture("no_shared_state.rs", "crates/core/src/threaded_kernels.rs");
+    assert_eq!(
+        lines_for(&diags, "no-shared-state"),
+        vec![5, 6, 9, 10, 11, 16]
+    );
+}
+
+#[test]
+fn no_shared_state_ignores_comm_threaded() {
+    let diags = lint_fixture("no_shared_state.rs", "crates/comm/src/threaded.rs");
+    assert!(lines_for(&diags, "no-shared-state").is_empty());
+}
+
+#[test]
+fn no_lossy_cast_catches_narrowing_not_widening() {
+    let diags = lint_fixture("no_lossy_cast.rs", "crates/core/src/engine/fixture.rs");
+    assert_eq!(lines_for(&diags, "no-lossy-cast"), vec![5, 6, 7, 8, 9]);
+}
+
+#[test]
+fn no_float_catches_types_literals_and_suffixes() {
+    let diags = lint_fixture("no_float_kernel.rs", "crates/core/src/engine/fixture.rs");
+    assert_eq!(lines_for(&diags, "no-float-kernel"), vec![5, 6, 7]);
+}
+
+#[test]
+fn no_float_does_not_apply_to_decide_rs() {
+    let diags = lint_fixture("no_float_kernel.rs", "crates/core/src/engine/decide.rs");
+    assert!(lines_for(&diags, "no-float-kernel").is_empty());
+}
+
+#[test]
+fn missing_docs_flags_bare_pub_items_only() {
+    let diags = lint_fixture("missing_docs.rs", "crates/comm/src/fixture.rs");
+    assert_eq!(lines_for(&diags, "missing-docs-pub"), vec![4, 14]);
+}
+
+#[test]
+fn crate_hygiene_requires_both_attributes() {
+    let diags = lint_fixture("crate_hygiene.rs", "crates/core/src/lib.rs");
+    let hygiene: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "crate-hygiene").collect();
+    assert_eq!(
+        hygiene.len(),
+        2,
+        "expected forbid+warn findings, got {hygiene:?}"
+    );
+    assert!(hygiene
+        .iter()
+        .any(|d| d.message.contains("forbid(unsafe_code)")));
+    assert!(hygiene
+        .iter()
+        .any(|d| d.message.contains("warn(missing_docs)")));
+}
+
+#[test]
+fn crate_hygiene_passes_a_conforming_root() {
+    let text = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n//! docs\n";
+    assert!(lint_text("crates/core/src/lib.rs", text)
+        .iter()
+        .all(|d| d.rule != "crate-hygiene"));
+}
+
+#[test]
+fn no_print_catches_all_macros() {
+    let diags = lint_fixture("no_print_debug.rs", "crates/core/src/instrument.rs");
+    assert_eq!(lines_for(&diags, "no-print-debug"), vec![5, 6, 7, 8]);
+}
+
+#[test]
+fn no_print_does_not_apply_to_bench_or_bins() {
+    let diags = lint_fixture("no_print_debug.rs", "crates/bench/src/lib.rs");
+    assert!(lines_for(&diags, "no-print-debug").is_empty());
+}
+
+#[test]
+fn every_rule_has_a_fixture_that_fires() {
+    // Guard against a rule silently losing coverage: each named rule must
+    // produce at least one finding across the fixture corpus.
+    let corpus = [
+        ("no_panic.rs", "crates/core/src/engine/fixture.rs"),
+        ("no_shared_state.rs", "crates/core/src/threaded_kernels.rs"),
+        ("no_lossy_cast.rs", "crates/core/src/engine/fixture.rs"),
+        ("no_float_kernel.rs", "crates/core/src/engine/fixture.rs"),
+        ("missing_docs.rs", "crates/comm/src/fixture.rs"),
+        ("crate_hygiene.rs", "crates/core/src/lib.rs"),
+        ("no_print_debug.rs", "crates/core/src/instrument.rs"),
+    ];
+    let mut fired: Vec<&str> = corpus
+        .iter()
+        .flat_map(|(fx, path)| lint_fixture(fx, path))
+        .map(|d| d.rule)
+        .collect();
+    fired.sort_unstable();
+    fired.dedup();
+    for rule in sssp_lint::rules::RULES {
+        assert!(
+            fired.contains(&rule.name),
+            "rule {} has no firing fixture",
+            rule.name
+        );
+    }
+}

@@ -53,8 +53,14 @@ fn main() {
         .collect();
     let bt = betweenness_sampled(&csr, &dg, &sources, &SsspConfig::opt(25), &model);
     let cl = harmonic_closeness_sampled(&dg, &sources, &SsspConfig::opt(25), &model);
-    let top_bt = csr.vertices().max_by(|&a, &b| bt[a as usize].total_cmp(&bt[b as usize])).unwrap();
-    let top_cl = csr.vertices().max_by(|&a, &b| cl[a as usize].total_cmp(&cl[b as usize])).unwrap();
+    let top_bt = csr
+        .vertices()
+        .max_by(|&a, &b| bt[a as usize].total_cmp(&bt[b as usize]))
+        .unwrap();
+    let top_cl = csr
+        .vertices()
+        .max_by(|&a, &b| cl[a as usize].total_cmp(&cl[b as usize]))
+        .unwrap();
     println!(
         "betweenness (sampled from {} sources): top vertex {} (degree {})",
         sources.len(),
@@ -69,7 +75,11 @@ fn main() {
 
     // The three rankings should all point at well-connected hubs.
     let avg = csr.num_directed_edges() as f64 / csr.num_vertices() as f64;
-    for (name, v) in [("pagerank", by_rank[0]), ("betweenness", top_bt), ("closeness", top_cl)] {
+    for (name, v) in [
+        ("pagerank", by_rank[0]),
+        ("betweenness", top_bt),
+        ("closeness", top_cl),
+    ] {
         assert!(
             csr.degree(v) as f64 > avg,
             "{name} top vertex should be above average degree"

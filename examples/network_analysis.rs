@@ -52,20 +52,27 @@ fn main() {
     );
 
     let mut ranked: Vec<u32> = csr.vertices().collect();
-    ranked.sort_unstable_by(|&a, &b| {
-        centrality[b as usize].total_cmp(&centrality[a as usize])
-    });
+    ranked.sort_unstable_by(|&a, &b| centrality[b as usize].total_cmp(&centrality[a as usize]));
 
     println!("\ntop 10 vertices by estimated betweenness:");
     println!("{:>10} {:>16} {:>8}", "vertex", "centrality", "degree");
     for &v in ranked.iter().take(10) {
-        println!("{:>10} {:>16.1} {:>8}", v, centrality[v as usize], csr.degree(v));
+        println!(
+            "{:>10} {:>16.1} {:>8}",
+            v,
+            centrality[v as usize],
+            csr.degree(v)
+        );
     }
 
     // Hubs should dominate the centrality ranking on a scale-free graph.
     let avg_deg = csr.num_directed_edges() as f64 / csr.num_vertices() as f64;
-    let top_avg: f64 =
-        ranked.iter().take(10).map(|&v| csr.degree(v) as f64).sum::<f64>() / 10.0;
+    let top_avg: f64 = ranked
+        .iter()
+        .take(10)
+        .map(|&v| csr.degree(v) as f64)
+        .sum::<f64>()
+        / 10.0;
     println!(
         "\nmean degree of the top 10: {top_avg:.0} (graph average {avg_deg:.0}) — \
          hubs mediate most shortest paths."

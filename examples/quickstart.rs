@@ -36,7 +36,10 @@ fn main() {
     println!("  buckets processed  : {}", out.stats.buckets());
     println!("  phases             : {}", out.stats.phases);
     println!("  relaxations        : {}", out.stats.relaxations_total());
-    println!("  cross-rank msgs    : {}", out.stats.comm.total_remote_msgs());
+    println!(
+        "  cross-rank msgs    : {}",
+        out.stats.comm.total_remote_msgs()
+    );
     println!("  simulated time     : {:.4} s", out.stats.ledger.total_s());
     println!(
         "  simulated GTEPS    : {:.3}",
@@ -45,7 +48,10 @@ fn main() {
 
     // Every distributed result is easy to validate against textbook Dijkstra.
     let reference = seq::dijkstra(&csr, 0);
-    assert_eq!(out.distances, reference, "distributed result must match Dijkstra");
+    assert_eq!(
+        out.distances, reference,
+        "distributed result must match Dijkstra"
+    );
     println!("\nvalidated: distances identical to sequential Dijkstra ✓");
 
     // Sample a few shortest distances.

@@ -53,5 +53,8 @@ fn main() {
     println!("\naveraged over {} roots:", roots.len());
     println!("  Del-40 : {del_gteps:.3} simulated GTEPS");
     println!("  Opt-40 : {opt_gteps:.3} simulated GTEPS");
-    println!("  speedup: {:.2}x (paper reports ≈ 2x)", opt_gteps / del_gteps);
+    println!(
+        "  speedup: {:.2}x (paper reports ≈ 2x)",
+        opt_gteps / del_gteps
+    );
 }

@@ -59,7 +59,9 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
-        argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
     };
     while i < argv.len() {
         match argv[i].as_str() {
@@ -121,8 +123,11 @@ OPTIONS:
 fn build_graph(args: &Args) -> Csr {
     match args.family.as_str() {
         "rmat1" | "rmat2" => {
-            let params =
-                if args.family == "rmat1" { RmatParams::RMAT1 } else { RmatParams::RMAT2 };
+            let params = if args.family == "rmat1" {
+                RmatParams::RMAT1
+            } else {
+                RmatParams::RMAT2
+            };
             let el = RmatGenerator::new(params, args.scale, args.edge_factor)
                 .seed(args.seed)
                 .generate_weighted(255);
@@ -155,8 +160,7 @@ fn config_for(args: &Args) -> SsspConfig {
 }
 
 fn load_edge_list(path: &str) -> EdgeList {
-    let file = std::fs::File::open(path)
-        .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+    let file = std::fs::File::open(path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
     if path.ends_with(".bin") {
         let mut reader = std::io::BufReader::new(file);
         io::read_binary(&mut reader).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
@@ -167,8 +171,7 @@ fn load_edge_list(path: &str) -> EdgeList {
 }
 
 fn store_edge_list(path: &str, el: &EdgeList) {
-    let file = std::fs::File::create(path)
-        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    let file = std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     let mut w = std::io::BufWriter::new(file);
     if path.ends_with(".bin") {
         io::write_binary(&mut w, el).expect("write failed");
@@ -205,7 +208,11 @@ fn cmd_convert(args: &Args) {
     let out = args.output.as_deref().expect("convert requires --out");
     let el = load_edge_list(input);
     store_edge_list(out, &el);
-    println!("converted {input} → {out} ({} vertices, {} edges)", el.n, el.len());
+    println!(
+        "converted {input} → {out} ({} vertices, {} edges)",
+        el.n,
+        el.len()
+    );
 }
 
 fn cmd_inspect(args: &Args) {
@@ -228,9 +235,7 @@ fn cmd_inspect(args: &Args) {
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let sub = match argv.first().map(String::as_str) {
-        Some("run") | Some("generate") | Some("convert") | Some("inspect") => {
-            argv.remove(0)
-        }
+        Some("run") | Some("generate") | Some("convert") | Some("inspect") => argv.remove(0),
         _ => "run".to_string(),
     };
     let args = match parse_args(argv) {

@@ -35,6 +35,9 @@
 //!          out.reachable(), out.stats.epochs, out.stats.phases);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use sssp_comm as comm;
 pub use sssp_core as core;
 pub use sssp_dist as dist;

@@ -11,7 +11,9 @@ use sssp_mps::graph::{Csr, CsrBuilder};
 use sssp_mps::prelude::MachineModel;
 
 fn rmat(params: RmatParams, scale: u32) -> Csr {
-    let el = RmatGenerator::new(params, scale, 16).seed(1).generate_weighted(255);
+    let el = RmatGenerator::new(params, scale, 16)
+        .seed(1)
+        .generate_weighted(255);
     CsrBuilder::new().build(&el)
 }
 
@@ -27,7 +29,9 @@ fn work_done_ordering() {
     let g = rmat(RmatParams::RMAT1, 11);
     let dij = run(&g, &SsspConfig::dijkstra()).stats.relaxations_total();
     let del = run(&g, &SsspConfig::del(25)).stats.relaxations_total();
-    let bf = run(&g, &SsspConfig::bellman_ford()).stats.relaxations_total();
+    let bf = run(&g, &SsspConfig::bellman_ford())
+        .stats
+        .relaxations_total();
     assert!(dij <= del + del / 4, "Dijkstra {dij} should be ≲ Del {del}");
     assert!(del < bf, "Del {del} should be < Bellman-Ford {bf}");
 }
@@ -121,8 +125,14 @@ fn degree_skew_gap_widens() {
     };
     let g10 = gap(10);
     let g13 = gap(13);
-    assert!(g10 > 2.0, "RMAT-1 should be more skewed at scale 10 ({g10:.1}x)");
-    assert!(g13 > g10, "gap should widen with scale ({g10:.1}x → {g13:.1}x)");
+    assert!(
+        g10 > 2.0,
+        "RMAT-1 should be more skewed at scale 10 ({g10:.1}x)"
+    );
+    assert!(
+        g13 > g10,
+        "gap should widen with scale ({g10:.1}x → {g13:.1}x)"
+    );
 }
 
 /// §IV-C vs §IV-D: pruning's relaxation reduction is stronger on RMAT-1
@@ -137,7 +147,10 @@ fn pruning_stronger_on_rmat1() {
     };
     let r1 = reduction(RmatParams::RMAT1);
     let r2 = reduction(RmatParams::RMAT2);
-    assert!(r1 > r2, "RMAT-1 reduction {r1:.2}x should exceed RMAT-2 {r2:.2}x");
+    assert!(
+        r1 > r2,
+        "RMAT-1 reduction {r1:.2}x should exceed RMAT-2 {r2:.2}x"
+    );
 }
 
 /// §IV/Fig 10–11: the simulated GTEPS ranking Del ≤ Prune < OPT holds on
@@ -154,7 +167,10 @@ fn gteps_ranking() {
         // RMAT-2's pruning gain is small even in the paper (≈ 12%) and at
         // this reproduction's scale it is break-even; only guard against a
         // real regression.
-        assert!(prune >= 0.95 * del, "Prune {prune:.3} regressed vs Del {del:.3}");
+        assert!(
+            prune >= 0.95 * del,
+            "Prune {prune:.3} regressed vs Del {del:.3}"
+        );
         assert!(opt > del, "OPT {opt:.3} should beat Del {del:.3}");
         assert!(opt > prune, "OPT {opt:.3} should beat Prune {prune:.3}");
     }
@@ -163,7 +179,10 @@ fn gteps_ranking() {
     let m = g.num_undirected_edges() as u64;
     let del = run(&g, &SsspConfig::del(25)).stats.gteps(m);
     let prune = run(&g, &SsspConfig::prune(25)).stats.gteps(m);
-    assert!(prune > del, "RMAT-1: Prune {prune:.3} should beat Del {del:.3}");
+    assert!(
+        prune > del,
+        "RMAT-1: Prune {prune:.3} should beat Del {del:.3}"
+    );
 }
 
 /// §IV-E claims RMAT-2's shortest distances span a larger range than
@@ -197,5 +216,8 @@ fn mid_delta_beats_extremes() {
     let mid = run(&g, &SsspConfig::del(50)).stats.gteps(m);
     let bf = run(&g, &SsspConfig::bellman_ford()).stats.gteps(m);
     assert!(mid > dij, "Δ=50 ({mid:.3}) should beat Dijkstra ({dij:.3})");
-    assert!(mid > bf, "Δ=50 ({mid:.3}) should beat Bellman-Ford ({bf:.3})");
+    assert!(
+        mid > bf,
+        "Δ=50 ({mid:.3}) should beat Bellman-Ford ({bf:.3})"
+    );
 }

@@ -2,15 +2,17 @@
 //! (optional splitting) → distributed graph → engine → validation.
 
 use sssp_mps::core::config::{DirectionPolicy, SsspConfig};
-use sssp_mps::core::validate::assert_matches_dijkstra;
 use sssp_mps::core::engine::run_sssp;
+use sssp_mps::core::validate::assert_matches_dijkstra;
 use sssp_mps::dist::{split_heavy_vertices, DistGraph};
 use sssp_mps::graph::rmat::{RmatGenerator, RmatParams};
 use sssp_mps::graph::{Csr, CsrBuilder};
 use sssp_mps::prelude::MachineModel;
 
 fn rmat(params: RmatParams, scale: u32, seed: u64) -> Csr {
-    let el = RmatGenerator::new(params, scale, 16).seed(seed).generate_weighted(255);
+    let el = RmatGenerator::new(params, scale, 16)
+        .seed(seed)
+        .generate_weighted(255);
     CsrBuilder::new().build(&el)
 }
 
@@ -18,7 +20,11 @@ fn rmat(params: RmatParams, scale: u32, seed: u64) -> Csr {
 fn full_pipeline_rmat1() {
     let g = rmat(RmatParams::RMAT1, 11, 3);
     let dg = DistGraph::build(&g, 8, 4);
-    for cfg in [SsspConfig::del(25), SsspConfig::prune(25), SsspConfig::opt(25)] {
+    for cfg in [
+        SsspConfig::del(25),
+        SsspConfig::prune(25),
+        SsspConfig::opt(25),
+    ] {
         let out = run_sssp(&dg, 0, &cfg, &MachineModel::bgq_like());
         assert_matches_dijkstra(&g, 0, &out);
     }
@@ -37,7 +43,10 @@ fn full_pipeline_with_splitting() {
     let g = rmat(RmatParams::RMAT1, 11, 5);
     let thr = sssp_mps::dist::split::auto_threshold(&g, 8).min(200);
     let (split, part, rep) = split_heavy_vertices(&g, 8, thr);
-    assert!(rep.proxies_created > 0, "scale-11 RMAT-1 should have heavy hubs");
+    assert!(
+        rep.proxies_created > 0,
+        "scale-11 RMAT-1 should have heavy hubs"
+    );
     let dg = DistGraph::build_with_partition(&split, part, 4, g.num_undirected_edges() as u64);
     let out = run_sssp(&dg, 0, &SsspConfig::lb_opt(25), &MachineModel::bgq_like());
     assert_matches_dijkstra(&g, 0, &out);
@@ -70,7 +79,11 @@ fn forced_sequences_agree_with_heuristic_results() {
     let dg = DistGraph::build(&g, 4, 2);
     let model = MachineModel::bgq_like();
     let heur = run_sssp(&dg, 0, &SsspConfig::prune(25), &model);
-    for forced in [vec![Push; 8], vec![Pull; 8], vec![Push, Pull, Push, Pull, Push, Pull]] {
+    for forced in [
+        vec![Push; 8],
+        vec![Pull; 8],
+        vec![Push, Pull, Push, Pull, Push, Pull],
+    ] {
         let cfg = SsspConfig::prune(25).with_direction(DirectionPolicy::Forced(forced));
         let out = run_sssp(&dg, 0, &cfg, &model);
         assert_eq!(out.distances, heur.distances);
@@ -80,7 +93,9 @@ fn forced_sequences_agree_with_heuristic_results() {
 #[test]
 fn facade_prelude_covers_the_quickstart_flow() {
     use sssp_mps::prelude::*;
-    let el = RmatGenerator::new(RmatParams::RMAT1, 9, 8).seed(1).generate_weighted(255);
+    let el = RmatGenerator::new(RmatParams::RMAT1, 9, 8)
+        .seed(1)
+        .generate_weighted(255);
     let csr = CsrBuilder::new().build(&el);
     let dg = DistGraph::build(&csr, 3, 2);
     let out = run_sssp(&dg, 0, &SsspConfig::opt(25), &MachineModel::bgq_like());
@@ -98,7 +113,10 @@ fn deterministic_across_identical_pipelines() {
     let b = run();
     assert_eq!(a.distances, b.distances);
     assert_eq!(a.stats.relaxations_total(), b.stats.relaxations_total());
-    assert_eq!(a.stats.comm.total_remote_bytes(), b.stats.comm.total_remote_bytes());
+    assert_eq!(
+        a.stats.comm.total_remote_bytes(),
+        b.stats.comm.total_remote_bytes()
+    );
     assert!((a.stats.ledger.total_s() - b.stats.ledger.total_s()).abs() < 1e-15);
 }
 

@@ -1,0 +1,37 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// A collection-size-independent random index: generate once, project onto
+/// any non-empty length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Wrap a raw random value.
+    pub fn new(raw: usize) -> Self {
+        Index(raw)
+    }
+
+    /// Project onto `[0, len)`. Panics if `len == 0` (like the real
+    /// proptest).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_modular() {
+        assert_eq!(Index::new(12).index(5), 2);
+        assert_eq!(Index::new(3).index(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_len_panics() {
+        Index::new(7).index(0);
+    }
+}

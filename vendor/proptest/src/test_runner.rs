@@ -1,0 +1,134 @@
+//! Deterministic case generation and failure reporting.
+
+use std::fmt;
+
+/// Error returned by `prop_assert*` (or via `?`) from inside a property
+/// body; carries the failure message shown in the panic.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Real-proptest-compatible alias of [`TestCaseError::fail`].
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-block configuration. Only the case count is honored by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) if n > 0 => n,
+            _ => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// SplitMix64: tiny, fast, full-period; good enough for test-case
+/// generation and trivially reproducible from a printed seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name` (deterministic).
+    pub fn for_case(name: &str, case: u32) -> Self {
+        TestRng {
+            state: Self::seed_for_case(name, case),
+        }
+    }
+
+    /// The seed `for_case` starts from, for failure reporting.
+    pub fn seed_for_case(name: &str, case: u32) -> u64 {
+        // FNV-1a over the name, then mix in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift mapping (Lemire); bias is irrelevant for tests.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("t::x", 3);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("t::x", 3);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = TestRng::for_case("t::x", 4).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = TestRng::for_case("t::bounds", 0);
+        for _ in 0..10_000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+}

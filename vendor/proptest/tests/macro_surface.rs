@@ -1,0 +1,55 @@
+//! End-to-end exercise of the `proptest!` surface syntax this shim must
+//! support, including the negative case (a false property must panic).
+
+use proptest::prelude::*;
+
+fn arb_pair() -> impl Strategy<Value = (usize, Vec<u32>)> {
+    (1usize..8).prop_flat_map(|n| {
+        let items = proptest::collection::vec(0u32..100, 0..20);
+        (Just(n), items)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ranges_and_tuples(a in 0u32..10, (n, items) in arb_pair()) {
+        prop_assert!(a < 10);
+        prop_assert!((1..8).contains(&n));
+        prop_assert!(items.len() < 20);
+        for &x in &items {
+            prop_assert!(x < 100, "element {} out of range", x);
+        }
+    }
+
+    #[test]
+    fn any_and_index(x in any::<u32>(), flag in any::<bool>(), ix in any::<prop::sample::Index>()) {
+        let len = (x % 50 + 1) as usize;
+        prop_assert!(ix.index(len) < len);
+        prop_assert_eq!(flag, flag);
+    }
+
+    #[test]
+    fn question_mark_propagates(v in proptest::collection::vec(0u64..5, 1..10)) {
+        fn helper(v: &[u64]) -> Result<(), TestCaseError> {
+            prop_assert!(v.iter().all(|&x| x < 5));
+            Ok(())
+        }
+        helper(&v)?;
+    }
+}
+
+mod failing {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        #[should_panic(expected = "property `always_fails` failed")]
+        fn always_fails(x in 0u32..100) {
+            prop_assert!(x > 1000, "x was {}", x);
+        }
+    }
+}

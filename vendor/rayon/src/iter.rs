@@ -1,0 +1,269 @@
+//! Materialized parallel iterators.
+//!
+//! A [`ParIter`] owns its items in a `Vec`; adapters transform that vector
+//! (in parallel for `map`/`for_each`), so arbitrary adapter chains compose
+//! without rayon's consumer/producer machinery. Order is always preserved.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Resolve the worker-thread count once: `RAYON_NUM_THREADS` if set and
+/// positive, otherwise the machine's available parallelism.
+pub(crate) fn num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Apply `f` to every item on a pool of scoped threads, preserving order.
+/// Falls back to a sequential pass for tiny inputs.
+fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// A parallel iterator over an owned, ordered collection of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Transform every item with `f`, in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_map_vec(self.items, &f),
+        }
+    }
+
+    /// Run `f` on every item, in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, &|x| f(x));
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Pair items with another parallel iterator's items, up to the shorter.
+    pub fn zip<I: IntoParallelIterator>(self, other: I) -> ParIter<(T, I::Item)> {
+        let other = other.into_par_iter();
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Collect the items into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Fold the items pairwise with `op`, or `None` when empty.
+    pub fn reduce_with<F: Fn(T, T) -> T + Sync>(self, op: F) -> Option<T> {
+        self.items.into_iter().reduce(op)
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The item type produced.
+    type Item: Send;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `.par_iter()` on `&self` (rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The item type produced (a shared reference).
+    type Item: Send;
+    /// Parallel iterator over shared references.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Item = <&'data I as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+/// `.par_iter_mut()` on `&mut self` (rayon's `IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The item type produced (an exclusive reference).
+    type Item: Send;
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoParallelIterator,
+{
+    type Item = <&'data mut I as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let v = vec![10u32, 20, 30];
+        let out: Vec<(usize, u32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let mut a = vec![0u32; 4];
+        let b = vec![1u32, 2, 3, 4];
+        a.par_iter_mut()
+            .zip(b.into_par_iter())
+            .for_each(|(x, y)| *x = y * 10);
+        assert_eq!(a, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let s: u64 = (0..100u64).into_par_iter().sum();
+        assert_eq!(s, 4950);
+        assert_eq!((0..7u32).into_par_iter().count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panic_propagates() {
+        (0..100u32).into_par_iter().for_each(|x| {
+            if x == 57 {
+                panic!("worker boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! In-tree stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real rayon cannot be fetched from crates.io. This vendored shim provides
+//! the (small) subset of rayon's data-parallel iterator API the workspace
+//! actually uses — `par_iter`, `par_iter_mut`, `into_par_iter` and the
+//! `enumerate` / `zip` / `map` / `for_each` / `collect` adapter chain — with
+//! genuine parallelism via `std::thread::scope`.
+//!
+//! Semantics match rayon for the pure, per-item-independent closures the
+//! workspace uses: results are returned in input order, panics in worker
+//! closures propagate to the caller, and `zip` pairs items up to the shorter
+//! input. The one observable difference is that adapters here are *eager*
+//! (each `map` materializes its output), which is fine for pipeline-free
+//! call sites but would change behavior for closures with side effects that
+//! depend on global evaluation order — none exist in this workspace, and the
+//! `sssp-lint` gate keeps hot-path closures free of shared mutable state.
+//!
+//! Thread-count control: `RAYON_NUM_THREADS` is honored (like the real
+//! rayon); otherwise `std::thread::available_parallelism()` is used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod iter;
+
+/// The traits and types needed to call `.par_iter()` & friends.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+/// Number of worker threads a parallel pass will use.
+pub fn current_num_threads() -> usize {
+    iter::num_threads()
+}
