@@ -1,0 +1,173 @@
+//! Machine-readable perf-baseline records (`BENCH_sssp.json`).
+//!
+//! `perf_baseline` measures the engine twice — pooled superstep buffers and
+//! the historical fresh-allocation mode — and records wall time, allocation
+//! counts and simulated time here. The JSON is hand-rolled: the document is
+//! a flat two-level object, so rendering and extraction are a few lines
+//! each and the harness stays dependency-free.
+
+/// Metrics of one measured configuration (pooled or fresh buffers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfRecord {
+    /// Wall-clock milliseconds over all measured roots.
+    pub wall_ms: f64,
+    /// Heap allocations performed during the measured runs.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Data-exchange supersteps accumulated over the measured runs.
+    pub supersteps: u64,
+    /// Mean simulated seconds per run (the cost-model clock).
+    pub simulated_s: f64,
+    /// Mean simulated GTEPS per run.
+    pub gteps: f64,
+}
+
+impl PerfRecord {
+    /// Allocations per superstep — the pooling work's headline metric.
+    pub fn allocs_per_superstep(&self) -> f64 {
+        if self.supersteps == 0 {
+            0.0
+        } else {
+            self.allocs as f64 / self.supersteps as f64
+        }
+    }
+
+    /// Render as a JSON object literal.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"wall_ms\": {:.3}, \"allocs\": {}, \"alloc_bytes\": {}, ",
+                "\"supersteps\": {}, \"allocs_per_superstep\": {:.3}, ",
+                "\"simulated_s\": {:.6}, \"gteps\": {:.6}}}"
+            ),
+            self.wall_ms,
+            self.allocs,
+            self.alloc_bytes,
+            self.supersteps,
+            self.allocs_per_superstep(),
+            self.simulated_s,
+            self.gteps,
+        )
+    }
+}
+
+/// A full baseline document: the workload parameters plus one record per
+/// allocation mode.
+#[derive(Debug, Clone)]
+pub struct PerfBaseline {
+    /// Graph family name (e.g. "RMAT-2").
+    pub family: String,
+    /// R-MAT scale (log2 of the vertex count).
+    pub scale: u32,
+    /// Simulated rank count.
+    pub ranks: usize,
+    /// Logical threads per rank.
+    pub threads: usize,
+    /// Number of measured roots.
+    pub roots: usize,
+    /// Metrics with buffer pooling on (the default engine).
+    pub pooled: PerfRecord,
+    /// Metrics with fresh per-superstep allocation (the pre-pool engine).
+    pub fresh: PerfRecord,
+}
+
+impl PerfBaseline {
+    /// Render the whole document as pretty-enough JSON.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n  \"bench\": \"perf_baseline\",\n  \"family\": \"{}\",\n",
+                "  \"scale\": {},\n  \"ranks\": {},\n  \"threads\": {},\n",
+                "  \"roots\": {},\n  \"pooled\": {},\n  \"fresh\": {}\n}}\n"
+            ),
+            self.family,
+            self.scale,
+            self.ranks,
+            self.threads,
+            self.roots,
+            self.pooled.to_json(),
+            self.fresh.to_json(),
+        )
+    }
+}
+
+/// Extract the number stored at `"key"` inside the object named `object`
+/// (pass `""` to search from the top of the document). Returns `None` when
+/// the object or key is absent or the value does not parse as a number.
+pub fn extract_number(json: &str, object: &str, key: &str) -> Option<f64> {
+    let start = if object.is_empty() {
+        0
+    } else {
+        json.find(&format!("\"{object}\""))?
+    };
+    let tail = &json[start..];
+    let kpos = tail.find(&format!("\"{key}\""))?;
+    let after = &tail[kpos..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfBaseline {
+        PerfBaseline {
+            family: "RMAT-2".to_string(),
+            scale: 10,
+            ranks: 4,
+            threads: 4,
+            roots: 3,
+            pooled: PerfRecord {
+                wall_ms: 12.5,
+                allocs: 480,
+                alloc_bytes: 65536,
+                supersteps: 120,
+                simulated_s: 0.25,
+                gteps: 0.0125,
+            },
+            fresh: PerfRecord {
+                wall_ms: 15.0,
+                allocs: 9600,
+                alloc_bytes: 1048576,
+                supersteps: 120,
+                simulated_s: 0.25,
+                gteps: 0.0125,
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_extract() {
+        let json = sample().to_json();
+        assert_eq!(extract_number(&json, "", "scale"), Some(10.0));
+        assert_eq!(extract_number(&json, "", "ranks"), Some(4.0));
+        assert_eq!(extract_number(&json, "pooled", "wall_ms"), Some(12.5));
+        assert_eq!(extract_number(&json, "pooled", "allocs"), Some(480.0));
+        assert_eq!(extract_number(&json, "fresh", "allocs"), Some(9600.0));
+        assert_eq!(
+            extract_number(&json, "fresh", "allocs_per_superstep"),
+            Some(80.0)
+        );
+    }
+
+    #[test]
+    fn extract_missing_returns_none() {
+        let json = sample().to_json();
+        assert_eq!(extract_number(&json, "pooled", "no_such_key"), None);
+        assert_eq!(extract_number(&json, "no_such_object", "wall_ms"), None);
+        assert_eq!(extract_number("not json at all", "", "wall_ms"), None);
+    }
+
+    #[test]
+    fn allocs_per_superstep_handles_zero() {
+        let mut r = sample().pooled;
+        r.supersteps = 0;
+        assert_eq!(r.allocs_per_superstep(), 0.0);
+        r.supersteps = 120;
+        assert_eq!(r.allocs_per_superstep(), 4.0);
+    }
+}

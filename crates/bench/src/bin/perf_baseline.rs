@@ -1,0 +1,262 @@
+//! Recorded performance baseline: wall time, allocations per superstep and
+//! simulated time of the engine, pooled vs fresh-allocation buffers.
+//!
+//! Usage:
+//!   cargo run -p sssp-bench --bin perf_baseline [--release] --
+//!       [--scale N] [--ranks N] [--threads N] [--roots N]
+//!       [--out PATH] [--check PATH]
+//!
+//! Writes a `BENCH_sssp.json` document (see `sssp_bench::baseline`) with
+//! one record per allocation mode. `--check PATH` additionally compares
+//! the freshly measured pooled run against a committed baseline and exits
+//! nonzero when wall time or allocations per superstep regress by more
+//! than `SSSP_PERF_TOLERANCE` (default 0.25, i.e. 25%).
+//!
+//! The binary installs a counting global allocator, so its allocation
+//! numbers are exact (every heap allocation and reallocation on every
+//! thread), not sampled.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering}; // sssp-lint: allow(no-shared-state): the counting allocator must observe every thread's allocations; the engine itself stays rank-sequential.
+use std::time::Instant;
+
+use sssp_bench::baseline::{extract_number, PerfBaseline, PerfRecord};
+use sssp_bench::{build_family, pick_roots, print_table, Family};
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::SsspConfig;
+use sssp_core::engine::run_sssp;
+use sssp_dist::DistGraph;
+use sssp_graph::VertexId;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0); // sssp-lint: allow(no-shared-state): allocator counter, written from any thread by design.
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0); // sssp-lint: allow(no-shared-state): allocator counter, written from any thread by design.
+
+/// Forwards to the system allocator, counting every allocation.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn measure(
+    dg: &DistGraph,
+    roots: &[VertexId],
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> PerfRecord {
+    // One warmup run outside the measured window: first-touch effects
+    // (lazy page faults, branch history) hit both modes equally.
+    let _ = run_sssp(dg, roots[0], cfg, model);
+
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let mut supersteps = 0u64;
+    let mut sim = 0.0;
+    let mut gteps = 0.0;
+    let t0 = Instant::now();
+    for &root in roots {
+        let out = run_sssp(dg, root, cfg, model);
+        supersteps += out.stats.supersteps();
+        sim += out.stats.ledger.total_s();
+        gteps += out.stats.gteps(dg.m_input_undirected);
+    }
+    let mut wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - b0;
+
+    // Wall time is the one noisy metric (allocation counts are exact and
+    // deterministic): take the minimum over a few repetitions so a single
+    // scheduler hiccup cannot trip the regression gate.
+    for _ in 0..2 {
+        let t = Instant::now();
+        for &root in roots {
+            let _ = run_sssp(dg, root, cfg, model);
+        }
+        wall_ms = wall_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let k = roots.len() as f64;
+    PerfRecord {
+        wall_ms,
+        allocs,
+        alloc_bytes,
+        supersteps,
+        simulated_s: sim / k,
+        gteps: gteps / k,
+    }
+}
+
+fn check_against(committed: &str, current: &PerfBaseline) -> Result<(), String> {
+    let tol: f64 = std::env::var("SSSP_PERF_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let mut problems = Vec::new();
+    let mut gate = |name: &str, base: Option<f64>, now: f64| match base {
+        Some(b) if b > 0.0 && now > b * (1.0 + tol) => {
+            problems.push(format!(
+                "{name} regressed: {now:.3} vs baseline {b:.3} (+{:.0}% > {:.0}% tolerance)",
+                100.0 * (now / b - 1.0),
+                100.0 * tol
+            ));
+        }
+        Some(_) => {}
+        None => problems.push(format!("committed baseline is missing pooled.{name}")),
+    };
+    gate(
+        "wall_ms",
+        extract_number(committed, "pooled", "wall_ms"),
+        current.pooled.wall_ms,
+    );
+    gate(
+        "allocs_per_superstep",
+        extract_number(committed, "pooled", "allocs_per_superstep"),
+        current.pooled.allocs_per_superstep(),
+    );
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+fn main() {
+    // Pin the worker count unless the caller chose one: the allocation
+    // numbers in a recorded baseline must not depend on the machine's
+    // core count.
+    if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    }
+
+    let mut scale = 10u32;
+    let mut ranks = 4usize;
+    let mut threads = 4usize;
+    let mut nroots = 3usize;
+    let mut out_path = "BENCH_sssp.json".to_string();
+    let mut check_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{what} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--scale" => scale = take("--scale").parse().unwrap_or(scale),
+            "--ranks" => ranks = take("--ranks").parse().unwrap_or(ranks),
+            "--threads" => threads = take("--threads").parse().unwrap_or(threads),
+            "--roots" => nroots = take("--roots").parse().unwrap_or(nroots),
+            "--out" => out_path = take("--out"),
+            "--check" => check_path = Some(take("--check")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let family = Family::Rmat2;
+    let model = MachineModel::bgq_like();
+    let g = build_family(family, scale, 1);
+    let dg = DistGraph::build(&g, ranks, threads);
+    let roots = pick_roots(&g, nroots, 23);
+    let cfg = SsspConfig::opt(25);
+
+    let fresh = measure(&dg, &roots, &cfg.clone().with_pooled_buffers(false), &model);
+    let pooled = measure(&dg, &roots, &cfg, &model);
+
+    let doc = PerfBaseline {
+        family: family.name().to_string(),
+        scale,
+        ranks,
+        threads,
+        roots: roots.len(),
+        pooled,
+        fresh,
+    };
+
+    let rows: Vec<Vec<String>> = [("pooled", &doc.pooled), ("fresh", &doc.fresh)]
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.to_string(),
+                format!("{:.2}", r.wall_ms),
+                r.allocs.to_string(),
+                format!("{:.1}", r.allocs_per_superstep()),
+                r.alloc_bytes.to_string(),
+                r.supersteps.to_string(),
+                format!("{:.3e}", r.simulated_s),
+                format!("{:.4}", r.gteps),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "perf baseline — {} scale {scale}, p={ranks}×{threads}",
+            family.name()
+        ),
+        &[
+            "mode",
+            "wall ms",
+            "allocs",
+            "allocs/superstep",
+            "alloc bytes",
+            "supersteps",
+            "sim s",
+            "GTEPS",
+        ],
+        &rows,
+    );
+    if doc.pooled.allocs > 0 {
+        println!(
+            "allocation reduction: {:.1}x fewer allocations, {:.1}x fewer bytes (pooled vs fresh)",
+            doc.fresh.allocs as f64 / doc.pooled.allocs as f64,
+            doc.fresh.alloc_bytes as f64 / doc.pooled.alloc_bytes.max(1) as f64,
+        );
+    }
+
+    let json = doc.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read committed baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_against(&committed, &doc) {
+            Ok(()) => println!("perf check against {path}: OK"),
+            Err(msg) => {
+                eprintln!("perf check against {path} FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

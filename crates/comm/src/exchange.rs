@@ -4,6 +4,13 @@
 //! rank (`outboxes[src][dst]`). [`exchange`] transposes these into one inbox
 //! per destination, concatenating in source-rank order so delivery is
 //! deterministic, and records the traffic in a [`StepStats`].
+//!
+//! Two delivery flavors exist: the original consuming [`exchange`] /
+//! [`exchange_with`] (fresh inboxes every call) and the pooled
+//! [`exchange_pooled`] / [`ExchangeBuffers`] path, which recycles both
+//! outbox lanes and inboxes across supersteps so a steady-state superstep
+//! performs no heap allocation. Both produce identical delivery order and
+//! identical [`StepStats`].
 
 use crate::stats::StepStats;
 use crate::Rank;
@@ -34,6 +41,13 @@ impl<M> Outbox<M> {
     pub fn total_msgs(&self) -> usize {
         self.out.iter().map(Vec::len).sum()
     }
+
+    /// Empty every lane, retaining its capacity for reuse.
+    pub fn clear(&mut self) {
+        for lane in &mut self.out {
+            lane.clear();
+        }
+    }
 }
 
 /// Deliver all outboxes. Returns one inbox per rank (messages from source 0
@@ -49,11 +63,30 @@ pub fn exchange<M>(outboxes: Vec<Outbox<M>>, msg_bytes: usize) -> (Vec<Vec<M>>, 
 /// per-(src, dst) stream is framed into packets per the given
 /// [`PacketConfig`], and the byte statistics include header overhead.
 pub fn exchange_with<M>(
-    outboxes: Vec<Outbox<M>>,
+    mut outboxes: Vec<Outbox<M>>,
     msg_bytes: usize,
     packet: Option<&crate::packet::PacketConfig>,
 ) -> (Vec<Vec<M>>, StepStats) {
     let p = outboxes.len();
+    let mut inboxes: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
+    let stats = exchange_pooled(&mut outboxes, &mut inboxes, msg_bytes, packet);
+    (inboxes, stats)
+}
+
+/// Pooled variant of [`exchange_with`]: drains the outboxes into the given
+/// inboxes instead of allocating fresh ones. Inboxes are cleared first;
+/// after the call every outbox lane is empty *with its capacity retained*,
+/// so a caller that keeps both sides alive across supersteps reaches a
+/// steady state where the exchange allocates nothing. Delivery order and
+/// the returned [`StepStats`] are identical to [`exchange_with`].
+pub fn exchange_pooled<M>(
+    outboxes: &mut [Outbox<M>],
+    inboxes: &mut [Vec<M>],
+    msg_bytes: usize,
+    packet: Option<&crate::packet::PacketConfig>,
+) -> StepStats {
+    let p = outboxes.len();
+    assert_eq!(inboxes.len(), p, "inbox fan-out mismatch");
     let mut stats = StepStats::default();
     let wire = |count: u64| -> u64 {
         match packet {
@@ -63,7 +96,6 @@ pub fn exchange_with<M>(
     };
 
     // Per-rank send accounting (before the moves).
-    let mut recv_bytes = vec![0u64; p];
     for (src, ob) in outboxes.iter().enumerate() {
         assert_eq!(ob.out.len(), p, "outbox of rank {src} has wrong fan-out");
         let mut sent_bytes = 0u64;
@@ -75,22 +107,82 @@ pub fn exchange_with<M>(
                 stats.remote_msgs += k;
                 let b = wire(k);
                 sent_bytes += b;
-                recv_bytes[dst] += b;
                 stats.remote_bytes += b;
             }
         }
         stats.max_rank_send_bytes = stats.max_rank_send_bytes.max(sent_bytes);
     }
-    stats.max_rank_recv_bytes = recv_bytes.iter().copied().max().unwrap_or(0);
+    // Per-rank receive accounting: a second pass over the lane lengths
+    // instead of a scratch vector keeps the pooled path allocation-free.
+    for dst in 0..p {
+        let mut recv = 0u64;
+        for (src, ob) in outboxes.iter().enumerate() {
+            if src != dst {
+                recv += wire(ob.out[dst].len() as u64);
+            }
+        }
+        stats.max_rank_recv_bytes = stats.max_rank_recv_bytes.max(recv);
+    }
 
     // Transpose: inbox[dst] = concat over src of outboxes[src].out[dst].
-    let mut inboxes: Vec<Vec<M>> = (0..p).map(|_| Vec::new()).collect();
-    for ob in outboxes {
-        for (dst, mut msgs) in ob.out.into_iter().enumerate() {
-            inboxes[dst].append(&mut msgs);
+    // `append` moves the messages and leaves each lane empty with its
+    // capacity intact — the core of the recycling scheme.
+    for ib in inboxes.iter_mut() {
+        ib.clear();
+    }
+    for ob in outboxes.iter_mut() {
+        for (dst, lane) in ob.out.iter_mut().enumerate() {
+            inboxes[dst].append(lane);
         }
     }
-    (inboxes, stats)
+    stats
+}
+
+/// A recycled outbox/inbox set for one message type, reused across
+/// supersteps. One [`Outbox`] per source rank, one inbox per destination
+/// rank; [`ExchangeBuffers::exchange`] moves queued messages from the
+/// former to the latter while every buffer keeps its capacity.
+#[derive(Debug)]
+pub struct ExchangeBuffers<M> {
+    /// One outbox per source rank (`outboxes[src].out[dst]`).
+    pub outboxes: Vec<Outbox<M>>,
+    /// One inbox per destination rank, refilled by each exchange.
+    pub inboxes: Vec<Vec<M>>,
+}
+
+impl<M> ExchangeBuffers<M> {
+    /// Empty buffer set for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        ExchangeBuffers {
+            outboxes: (0..p).map(|_| Outbox::new(p)).collect(),
+            inboxes: (0..p).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of ranks this buffer set serves.
+    pub fn num_ranks(&self) -> usize {
+        self.outboxes.len()
+    }
+
+    /// Deliver all queued outbox messages into the inboxes (see
+    /// [`exchange_pooled`]) and return the step's traffic statistics.
+    pub fn exchange(
+        &mut self,
+        msg_bytes: usize,
+        packet: Option<&crate::packet::PacketConfig>,
+    ) -> StepStats {
+        exchange_pooled(&mut self.outboxes, &mut self.inboxes, msg_bytes, packet)
+    }
+
+    /// Drop every held buffer, replacing it with a fresh zero-capacity one.
+    /// This deliberately reinstates the per-superstep allocation pattern the
+    /// pool exists to avoid — the differential tests and the allocation
+    /// benchmark use it to emulate a non-pooled engine.
+    pub fn reset_capacity(&mut self) {
+        let p = self.outboxes.len();
+        self.outboxes = (0..p).map(|_| Outbox::new(p)).collect();
+        self.inboxes = (0..p).map(|_| Vec::new()).collect();
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +240,80 @@ mod tests {
         let (inboxes, stats) = exchange(obs, 4);
         assert!(inboxes.iter().all(Vec::is_empty));
         assert_eq!(stats, StepStats::default());
+    }
+
+    /// Fill one rank's worth of traffic into both a fresh outbox set and a
+    /// pooled buffer set and compare delivery + stats.
+    #[test]
+    fn pooled_matches_fresh_exchange() {
+        let p = 3;
+        let fill = |send: &mut dyn FnMut(usize, usize, (usize, usize))| {
+            for src in 0..p {
+                for dst in 0..p {
+                    for _ in 0..(src + 2 * dst) {
+                        send(src, dst, (src, dst));
+                    }
+                }
+            }
+        };
+        let mut obs: Vec<Outbox<(usize, usize)>> = (0..p).map(|_| Outbox::new(p)).collect();
+        fill(&mut |s, d, m| obs[s].send(d, m));
+        let (fresh_in, fresh_stats) = exchange(obs, 16);
+
+        let mut bufs: ExchangeBuffers<(usize, usize)> = ExchangeBuffers::new(p);
+        assert_eq!(bufs.num_ranks(), p);
+        fill(&mut |s, d, m| bufs.outboxes[s].send(d, m));
+        let pooled_stats = bufs.exchange(16, None);
+        assert_eq!(bufs.inboxes, fresh_in);
+        assert_eq!(pooled_stats, fresh_stats);
+    }
+
+    #[test]
+    fn pooled_buffers_retain_capacity_across_supersteps() {
+        let p = 2;
+        let mut bufs: ExchangeBuffers<u64> = ExchangeBuffers::new(p);
+        for round in 0..3u64 {
+            for dst in 0..p {
+                for i in 0..50 {
+                    bufs.outboxes[0].send(dst, round * 100 + i);
+                }
+            }
+            bufs.exchange(8, None);
+            assert_eq!(bufs.inboxes[0].len(), 50);
+            assert_eq!(bufs.inboxes[1].len(), 50);
+            // Lanes are drained but keep their capacity.
+            for ob in &bufs.outboxes {
+                assert!(ob.total_msgs() == 0);
+            }
+            assert!(bufs.outboxes[0].out[0].capacity() >= 50);
+            assert!(bufs.inboxes[0].capacity() >= 50);
+        }
+        bufs.reset_capacity();
+        assert_eq!(bufs.outboxes[0].out[0].capacity(), 0);
+        assert_eq!(bufs.inboxes[0].capacity(), 0);
+    }
+
+    #[test]
+    fn pooled_exchange_clears_stale_inbox_contents() {
+        let mut bufs: ExchangeBuffers<u32> = ExchangeBuffers::new(2);
+        bufs.outboxes[0].send(1, 7);
+        bufs.exchange(4, None);
+        assert_eq!(bufs.inboxes[1], vec![7]);
+        // Next superstep sends nothing: the old message must not survive.
+        let stats = bufs.exchange(4, None);
+        assert!(bufs.inboxes[1].is_empty());
+        assert_eq!(stats, StepStats::default());
+    }
+
+    #[test]
+    fn outbox_clear_keeps_capacity() {
+        let mut ob: Outbox<u8> = Outbox::new(2);
+        for _ in 0..32 {
+            ob.send(1, 9);
+        }
+        let cap = ob.out[1].capacity();
+        ob.clear();
+        assert_eq!(ob.total_msgs(), 0);
+        assert_eq!(ob.out[1].capacity(), cap);
     }
 }

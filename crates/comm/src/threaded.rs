@@ -30,6 +30,12 @@ pub struct RankCtx<M> {
     barrier: Arc<Barrier>,
     /// Rendezvous buffer for collectives (one slot per rank).
     slots: Arc<Mutex<Vec<Option<u64>>>>,
+    /// Recycled transport buffers for [`RankCtx::exchange_pooled`]: the `p`
+    /// batches drained at superstep `s` become the send buffers of `s + 1`,
+    /// so the pool never holds more than `p` vectors.
+    spare: Vec<Vec<M>>,
+    /// Reusable receive staging area (batches sorted by source rank).
+    batches: Vec<(Rank, Vec<M>)>,
 }
 
 impl<M: Send> RankCtx<M> {
@@ -66,6 +72,37 @@ impl<M: Send> RankCtx<M> {
         // every rank has drained this one.
         self.barrier.wait();
         inbox
+    }
+
+    /// Pooled bulk-synchronous exchange: drains `out[dst]` into recycled
+    /// transport buffers, delivers the concatenated batches (source-rank
+    /// order, like [`RankCtx::exchange`]) into `inbox`, and keeps every
+    /// emptied buffer for the next superstep. `out` lanes are left empty
+    /// with capacity intact, so after a warm-up superstep the steady state
+    /// allocates nothing on either side of the channel.
+    pub fn exchange_pooled(&mut self, out: &mut [Vec<M>], inbox: &mut Vec<M>) {
+        assert_eq!(out.len(), self.p, "outbox fan-out mismatch");
+        for (dst, msgs) in out.iter_mut().enumerate() {
+            let mut buf = self.spare.pop().unwrap_or_default();
+            buf.append(msgs);
+            // A peer disappearing mid-superstep is unrecoverable by design
+            // (SPMD contract), hence the allowed panic below.
+            self.senders[dst]
+                .send((self.rank, buf))
+                .expect("peer hung up"); // sssp-lint: allow(no-panic-hot-path): SPMD contract
+        }
+        while self.batches.len() < self.p {
+            // sssp-lint: allow(no-panic-hot-path): same SPMD contract as above.
+            let batch = self.inbox.recv().expect("peer hung up");
+            self.batches.push(batch);
+        }
+        self.batches.sort_by_key(|&(src, _)| src);
+        inbox.clear();
+        for (_, mut b) in self.batches.drain(..) {
+            inbox.append(&mut b);
+            self.spare.push(b);
+        }
+        self.barrier.wait();
     }
 
     /// Allreduce over one `u64` contribution per rank.
@@ -132,6 +169,8 @@ where
             inbox,
             barrier: Arc::clone(&barrier),
             slots: Arc::clone(&slots),
+            spare: Vec::new(),
+            batches: Vec::with_capacity(p),
         };
         let body = Arc::clone(&body);
         handles.push(
@@ -225,6 +264,73 @@ mod tests {
             x
         });
         assert_eq!(results, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn pooled_exchange_matches_consuming_exchange() {
+        let inboxes = run_threaded(4, |mut ctx: RankCtx<(usize, usize)>| {
+            let p = ctx.num_ranks();
+            let mut out: Vec<Vec<(usize, usize)>> = (0..p).map(|_| Vec::new()).collect();
+            let mut inbox = Vec::new();
+            let mut history = Vec::new();
+            for round in 0..3 {
+                for (dst, lane) in out.iter_mut().enumerate() {
+                    lane.push((ctx.rank(), dst + 10 * round));
+                }
+                ctx.exchange_pooled(&mut out, &mut inbox);
+                assert!(out.iter().all(Vec::is_empty), "lanes must be drained");
+                history.push(inbox.clone());
+            }
+            history
+        });
+        for (dst, history) in inboxes.iter().enumerate() {
+            for (round, inbox) in history.iter().enumerate() {
+                let expect: Vec<(usize, usize)> =
+                    (0..4).map(|src| (src, dst + 10 * round)).collect();
+                assert_eq!(inbox, &expect, "dst {dst} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_exchange_recycles_without_leaking_messages() {
+        // Uneven traffic: rank 0 floods, everyone else is quiet. Recycled
+        // buffers from the flood round must arrive empty in later rounds.
+        let results = run_threaded(3, |mut ctx: RankCtx<u64>| {
+            let p = ctx.num_ranks();
+            let mut out: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+            let mut inbox = Vec::new();
+            let mut sizes = Vec::new();
+            for round in 0..4u64 {
+                if ctx.rank() == 0 && round == 0 {
+                    for lane in out.iter_mut() {
+                        lane.extend(0..100);
+                    }
+                }
+                ctx.exchange_pooled(&mut out, &mut inbox);
+                sizes.push(inbox.len());
+            }
+            sizes
+        });
+        for sizes in results {
+            assert_eq!(sizes, vec![100, 0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn pooled_and_plain_exchange_interleave() {
+        let results = run_threaded(2, |mut ctx: RankCtx<u32>| {
+            let p = ctx.num_ranks();
+            let plain = ctx.exchange((0..p).map(|_| vec![1u32]).collect());
+            let mut out: Vec<Vec<u32>> = (0..p).map(|_| vec![2u32]).collect();
+            let mut inbox = Vec::new();
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            (plain, inbox)
+        });
+        for (plain, pooled) in results {
+            assert_eq!(plain, vec![1, 1]);
+            assert_eq!(pooled, vec![2, 2]);
+        }
     }
 
     #[test]

@@ -108,6 +108,13 @@ pub struct SsspConfig {
     pub hybrid_tau: Option<f64>,
     /// Intra-node thread load balancing mode (π threshold).
     pub intra_balance: IntraBalance,
+    /// Reuse outbox/inbox/scratch capacity across supersteps (the
+    /// zero-allocation hot path). `false` drops every buffer at each
+    /// superstep boundary — the historical allocation pattern, kept for
+    /// differential testing and the allocation benchmark. Message flow is
+    /// identical either way, so distances and comm statistics must match
+    /// bit for bit.
+    pub pooled_buffers: bool,
 }
 
 impl SsspConfig {
@@ -123,6 +130,7 @@ impl SsspConfig {
             imbalance_aware: true,
             hybrid_tau: None,
             intra_balance: IntraBalance::Off,
+            pooled_buffers: true,
         }
     }
 
@@ -210,6 +218,15 @@ impl SsspConfig {
         self.pull_estimator = e;
         self
     }
+
+    /// Toggle superstep buffer pooling (on by default). Turning it off
+    /// reinstates fresh per-superstep allocations without changing any
+    /// message, distance or statistic — the differential axis used by the
+    /// pooled-vs-fresh proptest and `perf_baseline`.
+    pub fn with_pooled_buffers(mut self, pooled: bool) -> Self {
+        self.pooled_buffers = pooled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +276,13 @@ mod tests {
     #[should_panic]
     fn invalid_tau_rejected() {
         let _ = SsspConfig::opt(10).with_hybrid(Some(1.5));
+    }
+
+    #[test]
+    fn pooled_buffers_default_on_and_toggleable() {
+        assert!(SsspConfig::del(5).pooled_buffers);
+        assert!(SsspConfig::opt(5).pooled_buffers);
+        assert!(!SsspConfig::opt(5).with_pooled_buffers(false).pooled_buffers);
     }
 
     #[test]

@@ -3,8 +3,6 @@
 //! relax every edge of every active vertex.
 use rayon::prelude::*;
 
-use sssp_comm::exchange::{exchange_with, Outbox};
-
 use crate::instrument::{PhaseKind, PhaseRecord};
 
 use super::{invariants, Engine, RelaxMsg, RELAX_BYTES};
@@ -14,7 +12,6 @@ impl Engine<'_> {
 
     pub(super) fn bellman_ford_tail(&mut self, k_last: u64) {
         let dg = self.dg;
-        let p = self.p;
         let delta = self.cfg.delta;
         let pi = self.pi;
 
@@ -24,13 +21,13 @@ impl Engine<'_> {
 
         while self.any_active() {
             self.begin_superstep();
-            let results: Vec<(Outbox<RelaxMsg>, u64)> = self
+            let sent_total: u64 = self
                 .states
                 .par_iter_mut()
-                .map(|st| {
+                .zip(self.relax_bufs.outboxes.par_iter_mut())
+                .map(|(st, ob)| {
                     let lg = &dg.locals[st.rank];
                     let part = &dg.part;
-                    let mut ob = Outbox::new(p);
                     let mut sent = 0u64;
                     for &u in &st.active {
                         let ul = u as usize;
@@ -50,22 +47,23 @@ impl Engine<'_> {
                         st.loads.charge(ul, ts.len() as u64, heavy);
                         sent += ts.len() as u64;
                     }
-                    (ob, sent)
+                    sent
                 })
-                .collect();
-            let (obs, counts): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
-            let sent_total: u64 = counts.iter().sum();
-            let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
-            invariants::check_conservation(&inboxes, &step);
+                .sum();
+            let step = self
+                .relax_bufs
+                .exchange(RELAX_BYTES, self.model.packet.as_ref());
+            invariants::check_conservation(&self.relax_bufs.inboxes, &step);
             self.states
                 .par_iter_mut()
-                .zip(inboxes.into_par_iter())
+                .zip(self.relax_bufs.inboxes.par_iter())
                 .for_each(|(st, inbox)| {
-                    st.loads.charge(0, inbox.len() as u64, true);
-                    for m in &inbox {
+                    for m in inbox.iter() {
+                        st.charge_recv(m.target);
                         st.relax(m.target, m.nd, &delta);
                     }
-                    st.active = st.changed.clone();
+                    // Next round's frontier: the vertices this round improved.
+                    st.collect_active_changed();
                 });
             self.charge_exchange(&step);
             self.comm.record(step);

@@ -47,10 +47,12 @@ impl Engine<'_> {
             crate::config::DeltaParam::Infinite => 0,
         };
 
-        // Per-rank volume estimates (one pass; read-only). The third value
-        // is the rank's unsettled-vertex count — the pull model's scan
+        // Per-rank volume estimates (one pass; read-only), folded straight
+        // into (Σpush, Σpull, max push, max pull, max scanned) so the hot
+        // path stays free of per-bucket scratch vectors. The scanned count
+        // is the rank's unsettled-vertex total — the pull model's scan
         // extent.
-        let volumes: Vec<(u64, u64, u64)> = self
+        let (push_total, pull_total, push_max, pull_max, scan_max) = self
             .states
             .par_iter()
             .map(|st| {
@@ -101,9 +103,18 @@ impl Engine<'_> {
                         }
                     }
                 }
-                (push, pull, scanned)
+                (push, pull, push, pull, scanned)
             })
-            .collect();
+            .reduce_with(|a, b| {
+                (
+                    a.0 + b.0,
+                    a.1 + b.1,
+                    a.2.max(b.2),
+                    a.3.max(b.3),
+                    a.4.max(b.4),
+                )
+            })
+            .unwrap_or((0, 0, 0, 0, 0));
 
         // The estimates travel through one allgather (§III-C preprocesses
         // per-vertex long-edge counts; at runtime only the per-rank sums
@@ -111,12 +122,6 @@ impl Engine<'_> {
         self.comm.collectives += 1;
         self.ledger
             .charge_collective(self.model, TimeClass::Relax, self.p);
-
-        let push_total: u64 = volumes.iter().map(|v| v.0).sum();
-        let pull_total: u64 = volumes.iter().map(|v| v.1).sum();
-        let push_max = volumes.iter().map(|v| v.0).max().unwrap_or(0);
-        let pull_max = volumes.iter().map(|v| v.1).max().unwrap_or(0);
-        let scan_max = volumes.iter().map(|v| v.2).max().unwrap_or(0);
 
         // Pull moves a request and (up to) a response per covered edge.
         let est_pull = 2 * pull_total;

@@ -5,7 +5,6 @@
 use rayon::prelude::*;
 
 use sssp_comm::cost::TimeClass;
-use sssp_comm::exchange::{exchange_with, Outbox};
 
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
 use crate::state::INF;
@@ -17,7 +16,6 @@ impl Engine<'_> {
 
     pub(super) fn long_pull(&mut self, k: u64, record: &mut BucketRecord) {
         let dg = self.dg;
-        let p = self.p;
         let delta = self.cfg.delta;
         let pi = self.pi;
         let short_bound = delta.short_bound();
@@ -36,28 +34,28 @@ impl Engine<'_> {
         // every short edge.
         if self.cfg.ios {
             self.begin_superstep();
-            let results: Vec<(Outbox<RelaxMsg>, u64)> = self
+            let outer_total: u64 = self
                 .states
                 .par_iter_mut()
-                .map(|st| {
+                .zip(self.relax_bufs.outboxes.par_iter_mut())
+                .map(|(st, ob)| {
                     let lg = &dg.locals[st.rank];
                     let part = &dg.part;
-                    let mut ob = Outbox::new(p);
                     let mut outer = 0u64;
-                    let members: Vec<u32> = st.bucket_members(k).collect();
-                    for u in members {
-                        let ul = u as usize;
+                    st.collect_active_from_bucket(k);
+                    for i in 0..st.active.len() {
+                        let ul = st.active[i] as usize;
                         let du = st.dist[ul];
                         let (ts, ws) = lg.row(ul);
                         let start = Self::push_range_start(true, ws, du, bucket_end, short_bound);
                         let long_start = ws.partition_point(|&w| (w as u64) < short_bound);
-                        for i in start..long_start {
-                            let v = ts[i];
+                        for j in start..long_start {
+                            let v = ts[j];
                             ob.send(
                                 part.owner(v),
                                 RelaxMsg {
                                     target: part.local_index(v),
-                                    nd: du + ws[i] as u64,
+                                    nd: du + ws[j] as u64,
                                 },
                             );
                             outer += 1;
@@ -65,19 +63,19 @@ impl Engine<'_> {
                         let heavy = (lg.degree(ul) as u64) > pi;
                         st.loads.charge(ul, (long_start - start) as u64, heavy);
                     }
-                    (ob, outer)
+                    outer
                 })
-                .collect();
-            let (obs, counts): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
-            let outer_total: u64 = counts.iter().sum();
-            let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
-            invariants::check_conservation(&inboxes, &step);
+                .sum();
+            let step = self
+                .relax_bufs
+                .exchange(RELAX_BYTES, self.model.packet.as_ref());
+            invariants::check_conservation(&self.relax_bufs.inboxes, &step);
             self.states
                 .par_iter_mut()
-                .zip(inboxes.into_par_iter())
+                .zip(self.relax_bufs.inboxes.par_iter())
                 .for_each(|(st, inbox)| {
-                    st.loads.charge(0, inbox.len() as u64, true);
-                    for m in &inbox {
+                    for m in inbox.iter() {
+                        st.charge_recv(m.target);
                         st.relax(m.target, m.nd, &delta);
                     }
                 });
@@ -91,13 +89,19 @@ impl Engine<'_> {
         // Sub-step 1: requests. Every unsettled vertex v asks along each
         // long edge that could still improve it: w(e) < d(v) − kΔ (eq. 1).
         self.begin_superstep();
-        let results: Vec<(Outbox<ReqMsg>, u64, u64)> = self
+        if !self.cfg.pooled_buffers {
+            // Fresh-allocation mode: the request pool resets here, at its
+            // fill site, rather than in begin_superstep — sub-step 2 begins
+            // a superstep while the request inboxes are still unread.
+            self.req_bufs.reset_capacity();
+        }
+        let (req_total, scan_max) = self
             .states
             .par_iter_mut()
-            .map(|st| {
+            .zip(self.req_bufs.outboxes.par_iter_mut())
+            .map(|(st, ob)| {
                 let lg = &dg.locals[st.rank];
                 let part = &dg.part;
-                let mut ob = Outbox::new(p);
                 let mut reqs = 0u64;
                 let mut scanned = 0u64;
                 for vl in 0..st.n_local() {
@@ -130,39 +134,35 @@ impl Engine<'_> {
                     st.loads.charge(vl, (hi - lo) as u64, heavy);
                     reqs += (hi - lo) as u64;
                 }
-                (ob, reqs, scanned)
+                (reqs, scanned)
             })
-            .collect();
-
-        let mut obs = Vec::with_capacity(p);
-        let mut req_total = 0u64;
-        let mut scan_max = 0u64;
-        for (ob, r, s) in results {
-            obs.push(ob);
-            req_total += r;
-            scan_max = scan_max.max(s);
-        }
+            .reduce_with(|a, b| (a.0 + b.0, a.1.max(b.1)))
+            .unwrap_or((0, 0));
         self.ledger
             .charge_scan(self.model, TimeClass::Relax, scan_max);
-        let (req_inboxes, req_step) = exchange_with(obs, REQ_BYTES, self.model.packet.as_ref());
-        invariants::check_conservation(&req_inboxes, &req_step);
+        let req_step = self
+            .req_bufs
+            .exchange(REQ_BYTES, self.model.packet.as_ref());
+        invariants::check_conservation(&self.req_bufs.inboxes, &req_step);
         self.charge_exchange(&req_step);
         phase_remote += req_step.remote_msgs;
         self.comm.record(req_step);
 
         // Sub-step 2: responses. Only sources settled in the current bucket
         // answer; everything else is the redundancy being pruned away.
+        // (begin_superstep leaves `req_bufs` alone: its inboxes still hold
+        // the sub-step 1 requests consumed below.)
         self.begin_superstep();
-        let results: Vec<(Outbox<RelaxMsg>, u64)> = self
+        let resp_total: u64 = self
             .states
             .par_iter_mut()
-            .zip(req_inboxes.into_par_iter())
-            .map(|(st, reqs)| {
+            .zip(self.req_bufs.inboxes.par_iter())
+            .zip(self.relax_bufs.outboxes.par_iter_mut())
+            .map(|((st, reqs), ob)| {
                 let part = &dg.part;
-                let mut ob = Outbox::new(p);
                 let mut responses = 0u64;
-                st.loads.charge(0, reqs.len() as u64, true);
-                for r in &reqs {
+                for r in reqs.iter() {
+                    st.charge_recv(r.u_local);
                     if st.bucket_of[r.u_local as usize] == k {
                         let nd = st.dist[r.u_local as usize] + r.w as u64;
                         ob.send(
@@ -175,19 +175,19 @@ impl Engine<'_> {
                         responses += 1;
                     }
                 }
-                (ob, responses)
+                responses
             })
-            .collect();
-        let (obs, counts): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
-        let resp_total: u64 = counts.iter().sum();
-        let (resp_inboxes, resp_step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
-        invariants::check_conservation(&resp_inboxes, &resp_step);
+            .sum();
+        let resp_step = self
+            .relax_bufs
+            .exchange(RELAX_BYTES, self.model.packet.as_ref());
+        invariants::check_conservation(&self.relax_bufs.inboxes, &resp_step);
         self.states
             .par_iter_mut()
-            .zip(resp_inboxes.into_par_iter())
+            .zip(self.relax_bufs.inboxes.par_iter())
             .for_each(|(st, inbox)| {
-                st.loads.charge(0, inbox.len() as u64, true);
-                for m in &inbox {
+                for m in inbox.iter() {
+                    st.charge_recv(m.target);
                     st.relax(m.target, m.nd, &delta);
                 }
             });

@@ -3,8 +3,6 @@
 //! with receiver-side self/backward/forward classification for Fig 7.
 use rayon::prelude::*;
 
-use sssp_comm::exchange::{exchange_with, Outbox};
-
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
 
 use super::{invariants, Engine, RelaxMsg, RELAX_BYTES};
@@ -34,37 +32,36 @@ impl Engine<'_> {
     pub(super) fn long_push(&mut self, k: u64, record: &mut BucketRecord) {
         self.begin_superstep();
         let dg = self.dg;
-        let p = self.p;
         let delta = self.cfg.delta;
         let ios = self.cfg.ios;
         let pi = self.pi;
         let short_bound = delta.short_bound();
         let bucket_end = delta.bucket_end(k);
 
-        let results: Vec<(Outbox<RelaxMsg>, u64, u64)> = self
+        let (outer_total, long_total) = self
             .states
             .par_iter_mut()
-            .map(|st| {
+            .zip(self.relax_bufs.outboxes.par_iter_mut())
+            .map(|(st, ob)| {
                 let lg = &dg.locals[st.rank];
                 let part = &dg.part;
-                let mut ob = Outbox::new(p);
                 let (mut outer, mut long) = (0u64, 0u64);
-                let members: Vec<u32> = st.bucket_members(k).collect();
-                for u in members {
-                    let ul = u as usize;
+                st.collect_active_from_bucket(k);
+                for i in 0..st.active.len() {
+                    let ul = st.active[i] as usize;
                     let du = st.dist[ul];
                     let (ts, ws) = lg.row(ul);
                     let start = Self::push_range_start(ios, ws, du, bucket_end, short_bound);
-                    for i in start..ts.len() {
-                        let v = ts[i];
+                    for j in start..ts.len() {
+                        let v = ts[j];
                         ob.send(
                             part.owner(v),
                             RelaxMsg {
                                 target: part.local_index(v),
-                                nd: du + ws[i] as u64,
+                                nd: du + ws[j] as u64,
                             },
                         );
-                        if (ws[i] as u64) < short_bound {
+                        if (ws[j] as u64) < short_bound {
                             outer += 1;
                         } else {
                             long += 1;
@@ -73,30 +70,25 @@ impl Engine<'_> {
                     let heavy = (lg.degree(ul) as u64) > pi;
                     st.loads.charge(ul, (ts.len() - start) as u64, heavy);
                 }
-                (ob, outer, long)
+                (outer, long)
             })
-            .collect();
+            .reduce_with(|a, b| (a.0 + b.0, a.1 + b.1))
+            .unwrap_or((0, 0));
 
-        let mut obs = Vec::with_capacity(p);
-        let (mut outer_total, mut long_total) = (0u64, 0u64);
-        for (ob, o, l) in results {
-            obs.push(ob);
-            outer_total += o;
-            long_total += l;
-        }
-        let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
-        invariants::check_conservation(&inboxes, &step);
+        let step = self
+            .relax_bufs
+            .exchange(RELAX_BYTES, self.model.packet.as_ref());
+        invariants::check_conservation(&self.relax_bufs.inboxes, &step);
 
         // Receiver-side classification (§III-B / Fig 7): self, backward or
         // forward, judged against the target's bucket before applying.
-        let tallies: Vec<(u64, u64, u64)> = self
+        let (se, be, fe) = self
             .states
             .par_iter_mut()
-            .zip(inboxes.into_par_iter())
+            .zip(self.relax_bufs.inboxes.par_iter())
             .map(|(st, inbox)| {
-                st.loads.charge(0, inbox.len() as u64, true);
                 let (mut se, mut be, mut fe) = (0u64, 0u64, 0u64);
-                for m in &inbox {
+                for m in inbox.iter() {
                     let b = st.bucket_of[m.target as usize];
                     if b == k {
                         se += 1;
@@ -105,16 +97,16 @@ impl Engine<'_> {
                     } else {
                         fe += 1;
                     }
+                    st.charge_recv(m.target);
                     st.relax(m.target, m.nd, &delta);
                 }
                 (se, be, fe)
             })
-            .collect();
-        for (se, be, fe) in tallies {
-            record.self_edges += se;
-            record.backward_edges += be;
-            record.forward_edges += fe;
-        }
+            .reduce_with(|a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+            .unwrap_or((0, 0, 0));
+        record.self_edges += se;
+        record.backward_edges += be;
+        record.forward_edges += fe;
 
         self.charge_exchange(&step);
         self.comm.record(step);

@@ -23,8 +23,9 @@
 
 use rayon::prelude::*;
 
-use sssp_comm::collective::{allreduce_any, allreduce_min, allreduce_sum};
+use sssp_comm::collective::{allreduce_max, allreduce_min, allreduce_sum};
 use sssp_comm::cost::{MachineModel, TimeClass, TimeLedger};
+use sssp_comm::exchange::ExchangeBuffers;
 use sssp_comm::stats::{CommStats, StepStats};
 use sssp_dist::DistGraph;
 use sssp_graph::VertexId;
@@ -144,6 +145,31 @@ struct Engine<'a> {
     pub(super) pi: u64,
     pub(super) min_weight: u32,
     pub(super) max_weight: u32,
+    /// Pooled relax-message buffers, reused by every phase of every
+    /// superstep (cleared between phases, capacity retained).
+    pub(super) relax_bufs: ExchangeBuffers<RelaxMsg>,
+    /// Pooled pull-request buffers.
+    pub(super) req_bufs: ExchangeBuffers<ReqMsg>,
+    /// Reusable per-rank contribution scratch for collectives.
+    pub(super) coll: Vec<u64>,
+}
+
+/// Resolve the §III-E intra-node balancing threshold π from the configured
+/// mode and the graph's average degree. `Auto` rounds the average degree to
+/// nearest — truncating division used to resolve π from `avg_deg = 0` (so
+/// π = 64 regardless of shape) on any graph whose true average degree had a
+/// fractional part, and systematically underestimated π elsewhere.
+pub(super) fn resolved_pi(balance: IntraBalance, m_directed: u64, n_vertices: u64) -> u64 {
+    match balance {
+        IntraBalance::Off => u64::MAX,
+        IntraBalance::Threshold(t) => t as u64,
+        IntraBalance::Auto => {
+            let avg_deg = (m_directed + n_vertices / 2)
+                .checked_div(n_vertices)
+                .unwrap_or(0);
+            (4 * avg_deg).max(64)
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -155,7 +181,9 @@ impl<'a> Engine<'a> {
             .collect();
 
         // Global weight extremes (rows are weight-sorted, so first/last
-        // entries suffice).
+        // entries suffice). An edgeless graph has no extremes; collapse the
+        // scan sentinels to (0, 0) so `min_weight = u32::MAX` never leaks
+        // into the decision heuristic's eq. 1 estimate.
         let mut min_w = u32::MAX;
         let mut max_w = 0u32;
         for lg in &dg.locals {
@@ -167,17 +195,12 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        if dg.m_directed == 0 {
+            min_w = 0;
+            max_w = 0;
+        }
 
-        let avg_deg = if dg.num_vertices() == 0 {
-            0
-        } else {
-            dg.m_directed / dg.num_vertices() as u64
-        };
-        let pi = match cfg.intra_balance {
-            IntraBalance::Off => u64::MAX,
-            IntraBalance::Threshold(t) => t as u64,
-            IntraBalance::Auto => (4 * avg_deg).max(64),
-        };
+        let pi = resolved_pi(cfg.intra_balance, dg.m_directed, dg.num_vertices() as u64);
 
         let stats = RunStats {
             num_ranks: p,
@@ -197,6 +220,9 @@ impl<'a> Engine<'a> {
             pi,
             min_weight: min_w,
             max_weight: max_w,
+            relax_bufs: ExchangeBuffers::new(p),
+            req_bufs: ExchangeBuffers::new(p),
+            coll: Vec::with_capacity(p),
         }
     }
 
@@ -242,8 +268,10 @@ impl<'a> Engine<'a> {
 
             // Settled-count collective (drives the hybrid switch; the paper
             // computes it at every epoch end).
-            let counts: Vec<u64> = self.states.iter().map(|s| s.bucket_count(k)).collect();
-            let settled_k = allreduce_sum(&counts, &mut self.comm);
+            self.coll.clear();
+            self.coll
+                .extend(self.states.iter().map(|s| s.bucket_count(k)));
+            let settled_k = allreduce_sum(&self.coll, &mut self.comm);
             self.ledger
                 .charge_collective(self.model, TimeClass::Bucket, self.p);
             settled_total += settled_k;
@@ -276,20 +304,23 @@ impl<'a> Engine<'a> {
     // -- collectives -------------------------------------------------------
 
     pub(super) fn next_bucket(&mut self, after: Option<u64>) -> Option<u64> {
-        let mins: Vec<u64> = self
-            .states
-            .iter()
-            .map(|s| s.next_nonempty_after(after).unwrap_or(u64::MAX))
-            .collect();
-        let k = allreduce_min(&mins, &mut self.comm);
+        self.coll.clear();
+        self.coll.extend(
+            self.states
+                .iter()
+                .map(|s| s.next_nonempty_after(after).unwrap_or(u64::MAX)),
+        );
+        let k = allreduce_min(&self.coll, &mut self.comm);
         self.ledger
             .charge_collective(self.model, TimeClass::Bucket, self.p);
         (k != u64::MAX).then_some(k)
     }
 
     pub(super) fn any_active(&mut self) -> bool {
-        let flags: Vec<bool> = self.states.iter().map(|s| !s.active.is_empty()).collect();
-        let any = allreduce_any(&flags, &mut self.comm);
+        self.coll.clear();
+        self.coll
+            .extend(self.states.iter().map(|s| u64::from(!s.active.is_empty())));
+        let any = allreduce_max(&self.coll, &mut self.comm) != 0;
         self.ledger
             .charge_collective(self.model, TimeClass::Bucket, self.p);
         any
@@ -298,6 +329,14 @@ impl<'a> Engine<'a> {
     // -- shared phase plumbing ---------------------------------------------
 
     pub(super) fn begin_superstep(&mut self) {
+        if !self.cfg.pooled_buffers {
+            // Fresh-allocation mode: drop the pooled capacity so every
+            // superstep re-allocates, exactly like the pre-pool engine.
+            // Only the relax buffers are safe to drop here — a pull phase
+            // calls begin_superstep between exchanging and *processing* its
+            // request inboxes, so `req_bufs` resets at its own fill site.
+            self.relax_bufs.reset_capacity();
+        }
         self.states.par_iter_mut().for_each(|st| {
             st.begin_phase();
             st.loads.reset();
@@ -317,27 +356,27 @@ impl<'a> Engine<'a> {
 
     /// Whether any short edge exists at all for the configured Δ (lets the
     /// Dijkstra configuration skip its necessarily-empty short stages).
+    /// The `m_directed` guard keeps an edgeless graph (whose weight
+    /// extremes are the degenerate (0, 0)) out of the short stages.
     pub(super) fn has_short_edges(&self) -> bool {
-        (self.min_weight as u64) < self.cfg.delta.short_bound() && self.min_weight != u32::MAX
+        self.dg.m_directed > 0 && (self.min_weight as u64) < self.cfg.delta.short_bound()
     }
 
     // -- epoch processing ---------------------------------------------------
 
     fn process_bucket(&mut self, k: u64) {
         // Collect the epoch's initial active set from the bucket.
-        let scan: Vec<u64> = self
+        let scan_max = self
             .states
             .par_iter_mut()
             .map(|st| {
                 st.collect_active_from_bucket(k);
                 st.bucket_scan_len(k) as u64
             })
-            .collect();
-        self.ledger.charge_scan(
-            self.model,
-            TimeClass::Bucket,
-            scan.into_iter().max().unwrap_or(0),
-        );
+            .reduce_with(u64::max)
+            .unwrap_or(0);
+        self.ledger
+            .charge_scan(self.model, TimeClass::Bucket, scan_max);
 
         // Stage 1: short-edge phases.
         if self.has_short_edges() {

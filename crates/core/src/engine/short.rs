@@ -2,11 +2,9 @@
 //! active vertices until no tentative distance changes.
 use rayon::prelude::*;
 
-use sssp_comm::exchange::{exchange_with, Outbox};
-
 use crate::instrument::{PhaseKind, PhaseRecord};
 
-use super::{invariants, Engine, RelaxMsg, RELAX_BYTES};
+use super::{invariants, Engine, RELAX_BYTES};
 
 impl Engine<'_> {
     // -- short phases --------------------------------------------------------
@@ -14,20 +12,19 @@ impl Engine<'_> {
     pub(super) fn short_phase(&mut self, k: u64) {
         self.begin_superstep();
         let dg = self.dg;
-        let p = self.p;
         let delta = self.cfg.delta;
         let ios = self.cfg.ios;
         let pi = self.pi;
         let short_bound = delta.short_bound();
         let bucket_end = delta.bucket_end(k);
 
-        let results: Vec<(Outbox<RelaxMsg>, u64)> = self
+        let relaxations: u64 = self
             .states
             .par_iter_mut()
-            .map(|st| {
+            .zip(self.relax_bufs.outboxes.par_iter_mut())
+            .map(|(st, ob)| {
                 let lg = &dg.locals[st.rank];
                 let part = &dg.part;
-                let mut ob = Outbox::new(p);
                 let mut sent = 0u64;
                 for &u in &st.active {
                     let ul = u as usize;
@@ -48,7 +45,7 @@ impl Engine<'_> {
                         invariants::check_ios_inner_edge(ios, ws[i], du, short_bound, bucket_end);
                         ob.send(
                             part.owner(v),
-                            RelaxMsg {
+                            super::RelaxMsg {
                                 target: part.local_index(v),
                                 nd: du + ws[i] as u64,
                             },
@@ -58,30 +55,25 @@ impl Engine<'_> {
                     st.loads.charge(ul, hi as u64, heavy);
                     sent += hi as u64;
                 }
-                (ob, sent)
+                sent
             })
-            .collect();
+            .sum();
 
-        let (obs, sent): (Vec<_>, Vec<u64>) = results.into_iter().unzip();
-        let relaxations: u64 = sent.iter().sum();
-        let (inboxes, step) = exchange_with(obs, RELAX_BYTES, self.model.packet.as_ref());
-        invariants::check_conservation(&inboxes, &step);
+        let step = self
+            .relax_bufs
+            .exchange(RELAX_BYTES, self.model.packet.as_ref());
+        invariants::check_conservation(&self.relax_bufs.inboxes, &step);
 
         self.states
             .par_iter_mut()
-            .zip(inboxes.into_par_iter())
+            .zip(self.relax_bufs.inboxes.par_iter())
             .for_each(|(st, inbox)| {
-                st.loads.charge(0, inbox.len() as u64, true);
-                for m in &inbox {
+                for m in inbox.iter() {
+                    st.charge_recv(m.target);
                     st.relax(m.target, m.nd, &delta);
                 }
                 // Next phase's active set: changed vertices now in B_k.
-                st.active = st
-                    .changed
-                    .iter()
-                    .copied()
-                    .filter(|&v| st.bucket_of[v as usize] == k)
-                    .collect();
+                st.collect_active_changed_in_bucket(k);
             });
 
         self.charge_exchange(&step);

@@ -437,3 +437,79 @@ fn comm_supersteps_bound_phase_count() {
     assert!(steps >= out.stats.phases);
     assert!(steps <= 3 * out.stats.phases);
 }
+
+#[test]
+fn edgeless_graph_safe_under_every_direction_policy() {
+    // An edgeless graph has no weights at all: the extremes must collapse
+    // to the degenerate (0, 0) instead of (u32::MAX, 0), and every long
+    // phase mechanism must terminate with only the source reachable.
+    let el = sssp_graph::EdgeList::new(5);
+    let g = CsrBuilder::new().build(&el);
+    for (name, cfg) in [
+        ("push", SsspConfig::del(5)),
+        (
+            "pull",
+            SsspConfig::prune(5).with_direction(DirectionPolicy::AlwaysPull),
+        ),
+        ("heuristic", SsspConfig::opt(5)),
+    ] {
+        let out = run_cfg(&g, 2, &cfg);
+        let inf = crate::state::INF;
+        assert_eq!(out.distances, vec![0, inf, inf, inf, inf], "{name}");
+        assert_eq!(out.stats.reachable, 1, "{name}");
+    }
+}
+
+#[test]
+fn single_vertex_graph_under_push_and_pull_forcing() {
+    let el = sssp_graph::EdgeList::new(1);
+    let g = CsrBuilder::new().build(&el);
+    for dir in [DirectionPolicy::AlwaysPush, DirectionPolicy::AlwaysPull] {
+        let cfg = SsspConfig::opt(25).with_direction(dir.clone());
+        let out = run_cfg(&g, 2, &cfg);
+        assert_eq!(out.distances, vec![0], "{dir:?}");
+    }
+}
+
+#[test]
+fn auto_pi_rounds_the_average_degree() {
+    use crate::config::IntraBalance;
+    // 165 directed edges over 10 vertices: average degree 16.5 rounds to
+    // 17, so π = 4·17 = 68. Truncating division used to give 4·16 = 64.
+    assert_eq!(resolved_pi(IntraBalance::Auto, 165, 10), 68);
+    assert_eq!(resolved_pi(IntraBalance::Auto, 164, 10), 64);
+    // The floor of 64 and the empty graph both stay sane.
+    assert_eq!(resolved_pi(IntraBalance::Auto, 4, 10), 64);
+    assert_eq!(resolved_pi(IntraBalance::Auto, 0, 0), 64);
+    assert_eq!(resolved_pi(IntraBalance::Off, 1000, 10), u64::MAX);
+    assert_eq!(resolved_pi(IntraBalance::Threshold(7), 1000, 10), 7);
+}
+
+#[test]
+fn receive_work_charged_to_target_owner_threads() {
+    use crate::config::IntraBalance;
+    // Star: vertex 0 → {4, 8, 12, 16}, all weight 3. With 4 threads per
+    // rank every target lives on thread 0 (local % 4 == 0), so receive
+    // work must pile up there — the old accounting spread the whole inbox
+    // evenly and hid exactly this imbalance.
+    //
+    // With the unit model, p = 1 (all messages local → zero wire bytes)
+    // and π = 1, the Relax-class time is the sum over supersteps of
+    // (max thread ops + 1):
+    //   short #1: heavy send spread 1/thread, 4 receives on thread 0 → 5+1
+    //   short #2: 4 light sends on thread 0, 4 receives on thread 0 → 8+1
+    //   long push: nothing left to send                            → 0+1
+    let mut el = sssp_graph::EdgeList::new(17);
+    for t in [4u32, 8, 12, 16] {
+        el.push(0, t, 3);
+    }
+    let g = CsrBuilder::new().build(&el);
+    let dg = DistGraph::build(&g, 1, 4);
+    let cfg = SsspConfig::del(5).with_intra_balance(IntraBalance::Threshold(1));
+    let out = run_sssp(&dg, 0, &cfg, &MachineModel::unit());
+    assert_eq!(out.distances[0], 0);
+    for t in [4usize, 8, 12, 16] {
+        assert_eq!(out.distances[t], 3);
+    }
+    assert_eq!(out.stats.ledger.relax_s, 16.0);
+}

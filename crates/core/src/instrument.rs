@@ -119,6 +119,12 @@ impl RunStats {
         self.epochs + u64::from(self.hybrid_switch_at.is_some())
     }
 
+    /// Data-exchange supersteps recorded by the comm layer — the
+    /// denominator of `perf_baseline`'s allocations-per-superstep metric.
+    pub fn supersteps(&self) -> u64 {
+        self.comm.num_supersteps() as u64
+    }
+
     /// Average relaxations per thread (Fig 10c metric).
     pub fn relaxations_per_thread(&self) -> f64 {
         let t = (self.num_ranks * self.threads_per_rank).max(1) as f64;
@@ -215,6 +221,21 @@ mod tests {
     fn gteps_zero_when_no_time() {
         let s = RunStats::default();
         assert_eq!(s.gteps(1000), 0.0);
+    }
+
+    #[test]
+    fn supersteps_mirror_the_comm_ledger() {
+        let mut s = RunStats::default();
+        assert_eq!(s.supersteps(), 0);
+        s.comm.record(sssp_comm::stats::StepStats {
+            local_msgs: 1,
+            ..Default::default()
+        });
+        s.comm.record(sssp_comm::stats::StepStats {
+            remote_msgs: 2,
+            ..Default::default()
+        });
+        assert_eq!(s.supersteps(), 2);
     }
 
     #[test]

@@ -159,21 +159,61 @@ impl RankState {
         later + infinite
     }
 
-    /// Collect the live members of bucket `k` into `active`.
+    /// Collect the live members of bucket `k` into `active`, reusing its
+    /// capacity (all `collect_active_*` methods refill in place so the
+    /// active-set buffer survives across phases without reallocation).
     pub fn collect_active_from_bucket(&mut self, k: u64) {
-        let members: Vec<u32> = self.bucket_members(k).collect();
-        self.active = members;
+        self.active.clear();
+        let bucket_of = &self.bucket_of;
+        if let Some(members) = self.buckets.get(&k) {
+            self.active.extend(
+                members
+                    .iter()
+                    .copied()
+                    .filter(|&v| bucket_of[v as usize] == k),
+            );
+        }
     }
 
     /// Collect every unsettled finite vertex (the hybrid tail's initial
-    /// active set).
+    /// active set), reusing `active`'s capacity.
     pub fn collect_active_unsettled(&mut self, k: u64) {
-        self.active = (0..sssp_graph::checked_u32(self.n_local()))
-            .filter(|&v| {
-                let b = self.bucket_of[v as usize];
-                b > k && b != INF_BUCKET
-            })
-            .collect();
+        let n = sssp_graph::checked_u32(self.n_local());
+        self.active.clear();
+        let bucket_of = &self.bucket_of;
+        self.active.extend((0..n).filter(|&v| {
+            let b = bucket_of[v as usize];
+            b > k && b != INF_BUCKET
+        }));
+    }
+
+    /// Refill `active` with the changed vertices currently in bucket `k`
+    /// (the next short phase's frontier), reusing `active`'s capacity.
+    pub fn collect_active_changed_in_bucket(&mut self, k: u64) {
+        self.active.clear();
+        let (changed, bucket_of) = (&self.changed, &self.bucket_of);
+        self.active.extend(
+            changed
+                .iter()
+                .copied()
+                .filter(|&v| bucket_of[v as usize] == k),
+        );
+    }
+
+    /// Refill `active` with every changed vertex (the Bellman-Ford tail's
+    /// next frontier), reusing `active`'s capacity.
+    pub fn collect_active_changed(&mut self) {
+        self.active.clear();
+        self.active.extend_from_slice(&self.changed);
+    }
+
+    /// Charge the receive-side processing of one message to the thread
+    /// owning the target vertex. Receive work is O(1) per message, so it is
+    /// never spread (spreading would hide exactly the per-thread imbalance
+    /// the decision heuristic's cost model is supposed to see).
+    #[inline]
+    pub fn charge_recv(&mut self, target: u32) {
+        self.loads.charge(target as usize, 1, false);
     }
 }
 
@@ -266,6 +306,50 @@ mod tests {
         s.relax(2, 31, &delta5());
         s.collect_active_unsettled(0);
         assert_eq!(s.active, vec![1, 2]);
+    }
+
+    #[test]
+    fn collect_active_reuses_capacity_in_place() {
+        let mut s = RankState::new(0, 16, 2);
+        s.begin_phase();
+        for v in 0..8 {
+            s.relax(v, 3, &delta5()); // all in bucket 0
+        }
+        s.collect_active_from_bucket(0);
+        assert_eq!(s.active.len(), 8);
+        let cap = s.active.capacity();
+        let ptr = s.active.as_ptr();
+        // Refilling with fewer members must not reallocate.
+        s.begin_phase();
+        s.relax(9, 2, &delta5());
+        s.collect_active_changed_in_bucket(0);
+        assert_eq!(s.active, vec![9]);
+        assert_eq!(s.active.capacity(), cap);
+        assert_eq!(s.active.as_ptr(), ptr);
+        s.collect_active_changed();
+        assert_eq!(s.active, vec![9]);
+        assert_eq!(s.active.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn collect_active_changed_in_bucket_filters_moved_vertices() {
+        let mut s = RankState::new(0, 8, 1);
+        s.begin_phase();
+        s.relax(1, 3, &delta5()); // bucket 0
+        s.relax(2, 12, &delta5()); // bucket 2 — not in bucket 0
+        s.collect_active_changed_in_bucket(0);
+        assert_eq!(s.active, vec![1]);
+    }
+
+    #[test]
+    fn charge_recv_lands_on_target_owner_thread() {
+        let mut s = RankState::new(0, 8, 4);
+        // Locals 0 and 4 are both owned by thread 0 (cyclic ownership).
+        s.charge_recv(0);
+        s.charge_recv(4);
+        s.charge_recv(1);
+        assert_eq!(s.loads.max(), 2);
+        assert_eq!(s.loads.total(), 3);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub fn threaded_bellman_ford(dg: &Arc<DistGraph>, root: VertexId) -> Vec<u64> {
     let dg_outer = Arc::clone(dg);
     let dgc = Arc::clone(dg);
 
-    let per_rank: Vec<Vec<u64>> = run_threaded(p, move |ctx: RankCtx<(u32, u64)>| {
+    let per_rank: Vec<Vec<u64>> = run_threaded(p, move |mut ctx: RankCtx<(u32, u64)>| {
         let dg = &dgc;
         let r = ctx.rank();
         let lg = &dg.locals[r];
@@ -36,11 +36,16 @@ pub fn threaded_bellman_ford(dg: &Arc<DistGraph>, root: VertexId) -> Vec<u64> {
             dist[dg.part.to_local(root)] = 0;
             active.push(dg.part.to_local(root) as u32);
         }
+        // Superstep scratch, hoisted so capacity survives across rounds
+        // (mirrors the simulated engine's pooled buffers).
+        let mut out: Vec<Vec<(u32, u64)>> = (0..ctx.num_ranks()).map(|_| Vec::new()).collect();
+        let mut inbox: Vec<(u32, u64)> = Vec::new();
+        let mut changed: Vec<u32> = Vec::new();
+        let mut seen = vec![false; dist.len()];
         loop {
             if !ctx.any(!active.is_empty()) {
                 break;
             }
-            let mut out: Vec<Vec<(u32, u64)>> = (0..ctx.num_ranks()).map(|_| Vec::new()).collect();
             for &u in &active {
                 let du = dist[u as usize];
                 let (ts, ws) = lg.row(u as usize);
@@ -49,10 +54,8 @@ pub fn threaded_bellman_ford(dg: &Arc<DistGraph>, root: VertexId) -> Vec<u64> {
                         .push((dg.part.to_local(ts[i]) as u32, du + ws[i] as u64));
                 }
             }
-            let inbox = ctx.exchange(out);
-            let mut changed = Vec::new();
-            let mut seen = vec![false; dist.len()];
-            for (t, nd) in inbox {
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            for &(t, nd) in &inbox {
                 let ti = t as usize;
                 if nd < dist[ti] {
                     dist[ti] = nd;
@@ -62,7 +65,13 @@ pub fn threaded_bellman_ford(dg: &Arc<DistGraph>, root: VertexId) -> Vec<u64> {
                     }
                 }
             }
-            active = changed;
+            // Reset only the flags set this round, then promote the changed
+            // set to the next frontier (the swap keeps both capacities).
+            for &t in &changed {
+                seen[t as usize] = false;
+            }
+            std::mem::swap(&mut active, &mut changed);
+            changed.clear();
         }
         dist
     });
@@ -83,7 +92,7 @@ pub fn threaded_cc(dg: &Arc<DistGraph>) -> Vec<VertexId> {
     let dg_outer = Arc::clone(dg);
     let dgc = Arc::clone(dg);
 
-    let per_rank: Vec<Vec<VertexId>> = run_threaded(p, move |ctx: RankCtx<(u32, u32)>| {
+    let per_rank: Vec<Vec<VertexId>> = run_threaded(p, move |mut ctx: RankCtx<(u32, u32)>| {
         let dg = &dgc;
         let r = ctx.rank();
         let lg = &dg.locals[r];
@@ -91,21 +100,22 @@ pub fn threaded_cc(dg: &Arc<DistGraph>) -> Vec<VertexId> {
             .map(|l| dg.part.to_global(r, l))
             .collect();
         let mut active: Vec<u32> = (0..lg.num_local() as u32).collect();
+        let mut out: Vec<Vec<(u32, u32)>> = (0..ctx.num_ranks()).map(|_| Vec::new()).collect();
+        let mut inbox: Vec<(u32, u32)> = Vec::new();
+        let mut changed: Vec<u32> = Vec::new();
+        let mut seen = vec![false; labels.len()];
         loop {
             if !ctx.any(!active.is_empty()) {
                 break;
             }
-            let mut out: Vec<Vec<(u32, u32)>> = (0..ctx.num_ranks()).map(|_| Vec::new()).collect();
             for &v in &active {
                 let (ts, _) = lg.row(v as usize);
                 for &t in ts {
                     out[dg.part.owner(t)].push((dg.part.to_local(t) as u32, labels[v as usize]));
                 }
             }
-            let inbox = ctx.exchange(out);
-            let mut changed = Vec::new();
-            let mut seen = vec![false; labels.len()];
-            for (t, label) in inbox {
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            for &(t, label) in &inbox {
                 let ti = t as usize;
                 if label < labels[ti] {
                     labels[ti] = label;
@@ -115,7 +125,11 @@ pub fn threaded_cc(dg: &Arc<DistGraph>) -> Vec<VertexId> {
                     }
                 }
             }
-            active = changed;
+            for &t in &changed {
+                seen[t as usize] = false;
+            }
+            std::mem::swap(&mut active, &mut changed);
+            changed.clear();
         }
         labels
     });
