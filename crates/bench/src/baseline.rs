@@ -1,12 +1,14 @@
 //! Machine-readable perf-baseline records (`BENCH_sssp.json`).
 //!
-//! `perf_baseline` measures the engine twice — pooled superstep buffers and
-//! the historical fresh-allocation mode — and records wall time, allocation
-//! counts and simulated time here. The JSON is hand-rolled: the document is
-//! a flat two-level object, so rendering and extraction are a few lines
+//! `perf_baseline` measures the engine three ways — pooled superstep
+//! buffers, the historical fresh-allocation mode, and the real-thread
+//! backend — and records wall time, allocation counts, message traffic
+//! and simulated time here. The JSON is hand-rolled: the document is a
+//! flat two-level object, so rendering and extraction are a few lines
 //! each and the harness stays dependency-free.
 
-/// Metrics of one measured configuration (pooled or fresh buffers).
+/// Metrics of one measured simulated configuration (pooled or fresh
+/// buffers).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfRecord {
     /// Wall-clock milliseconds over all measured roots.
@@ -17,6 +19,10 @@ pub struct PerfRecord {
     pub alloc_bytes: u64,
     /// Data-exchange supersteps accumulated over the measured runs.
     pub supersteps: u64,
+    /// Messages delivered over the measured runs (post-coalescing).
+    pub msgs: u64,
+    /// Messages removed by sender-side coalescing before the exchanges.
+    pub coalesced_msgs: u64,
     /// Mean simulated seconds per run (the cost-model clock).
     pub simulated_s: f64,
     /// Mean simulated GTEPS per run.
@@ -33,12 +39,24 @@ impl PerfRecord {
         }
     }
 
+    /// Fraction of would-be messages the coalescer removed — the
+    /// coalescing work's headline metric.
+    pub fn coalesced_fraction(&self) -> f64 {
+        let would_be = self.msgs + self.coalesced_msgs;
+        if would_be == 0 {
+            0.0
+        } else {
+            self.coalesced_msgs as f64 / would_be as f64
+        }
+    }
+
     /// Render as a JSON object literal.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
                 "{{\"wall_ms\": {:.3}, \"allocs\": {}, \"alloc_bytes\": {}, ",
                 "\"supersteps\": {}, \"allocs_per_superstep\": {:.3}, ",
+                "\"msgs\": {}, \"coalesced_msgs\": {}, \"coalesced_fraction\": {:.4}, ",
                 "\"simulated_s\": {:.6}, \"gteps\": {:.6}}}"
             ),
             self.wall_ms,
@@ -46,14 +64,63 @@ impl PerfRecord {
             self.alloc_bytes,
             self.supersteps,
             self.allocs_per_superstep(),
+            self.msgs,
+            self.coalesced_msgs,
+            self.coalesced_fraction(),
             self.simulated_s,
             self.gteps,
         )
     }
 }
 
+/// Metrics of the real-thread backend run (one OS thread per rank; the
+/// GTEPS here are wall-clock, not simulated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadedRecord {
+    /// Wall-clock milliseconds over all measured roots.
+    pub wall_ms: f64,
+    /// Wall-clock GTEPS over the measured runs.
+    pub gteps: f64,
+    /// Wall-time speedup over the pooled simulated engine on the same
+    /// workload (pooled wall_ms / threaded wall_ms).
+    pub speedup_vs_pooled: f64,
+    /// Relax messages that crossed the channels (post-coalescing).
+    pub relax_msgs: u64,
+    /// Relax messages removed by sender-side coalescing.
+    pub coalesced_msgs: u64,
+}
+
+impl ThreadedRecord {
+    /// Fraction of would-be relax messages the coalescer removed.
+    pub fn coalesced_fraction(&self) -> f64 {
+        let would_be = self.relax_msgs + self.coalesced_msgs;
+        if would_be == 0 {
+            0.0
+        } else {
+            self.coalesced_msgs as f64 / would_be as f64
+        }
+    }
+
+    /// Render as a JSON object literal.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"wall_ms\": {:.3}, \"gteps\": {:.6}, ",
+                "\"speedup_vs_pooled\": {:.3}, \"relax_msgs\": {}, ",
+                "\"coalesced_msgs\": {}, \"coalesced_fraction\": {:.4}}}"
+            ),
+            self.wall_ms,
+            self.gteps,
+            self.speedup_vs_pooled,
+            self.relax_msgs,
+            self.coalesced_msgs,
+            self.coalesced_fraction(),
+        )
+    }
+}
+
 /// A full baseline document: the workload parameters plus one record per
-/// allocation mode.
+/// measured engine mode.
 #[derive(Debug, Clone)]
 pub struct PerfBaseline {
     /// Graph family name (e.g. "RMAT-2").
@@ -70,6 +137,8 @@ pub struct PerfBaseline {
     pub pooled: PerfRecord,
     /// Metrics with fresh per-superstep allocation (the pre-pool engine).
     pub fresh: PerfRecord,
+    /// Metrics of the real-thread backend on the same workload.
+    pub threaded: ThreadedRecord,
 }
 
 impl PerfBaseline {
@@ -79,7 +148,8 @@ impl PerfBaseline {
             concat!(
                 "{{\n  \"bench\": \"perf_baseline\",\n  \"family\": \"{}\",\n",
                 "  \"scale\": {},\n  \"ranks\": {},\n  \"threads\": {},\n",
-                "  \"roots\": {},\n  \"pooled\": {},\n  \"fresh\": {}\n}}\n"
+                "  \"roots\": {},\n  \"pooled\": {},\n  \"fresh\": {},\n",
+                "  \"threaded\": {}\n}}\n"
             ),
             self.family,
             self.scale,
@@ -88,6 +158,7 @@ impl PerfBaseline {
             self.roots,
             self.pooled.to_json(),
             self.fresh.to_json(),
+            self.threaded.to_json(),
         )
     }
 }
@@ -126,6 +197,8 @@ mod tests {
                 allocs: 480,
                 alloc_bytes: 65536,
                 supersteps: 120,
+                msgs: 30000,
+                coalesced_msgs: 10000,
                 simulated_s: 0.25,
                 gteps: 0.0125,
             },
@@ -134,8 +207,17 @@ mod tests {
                 allocs: 9600,
                 alloc_bytes: 1048576,
                 supersteps: 120,
+                msgs: 30000,
+                coalesced_msgs: 10000,
                 simulated_s: 0.25,
                 gteps: 0.0125,
+            },
+            threaded: ThreadedRecord {
+                wall_ms: 5.0,
+                gteps: 0.05,
+                speedup_vs_pooled: 2.5,
+                relax_msgs: 28000,
+                coalesced_msgs: 10000,
             },
         }
     }
@@ -147,10 +229,24 @@ mod tests {
         assert_eq!(extract_number(&json, "", "ranks"), Some(4.0));
         assert_eq!(extract_number(&json, "pooled", "wall_ms"), Some(12.5));
         assert_eq!(extract_number(&json, "pooled", "allocs"), Some(480.0));
+        assert_eq!(extract_number(&json, "pooled", "msgs"), Some(30000.0));
         assert_eq!(extract_number(&json, "fresh", "allocs"), Some(9600.0));
         assert_eq!(
             extract_number(&json, "fresh", "allocs_per_superstep"),
             Some(80.0)
+        );
+        assert_eq!(extract_number(&json, "threaded", "wall_ms"), Some(5.0));
+        assert_eq!(
+            extract_number(&json, "threaded", "speedup_vs_pooled"),
+            Some(2.5)
+        );
+        assert_eq!(
+            extract_number(&json, "threaded", "relax_msgs"),
+            Some(28000.0)
+        );
+        assert_eq!(
+            extract_number(&json, "threaded", "coalesced_msgs"),
+            Some(10000.0)
         );
     }
 
@@ -169,5 +265,15 @@ mod tests {
         assert_eq!(r.allocs_per_superstep(), 0.0);
         r.supersteps = 120;
         assert_eq!(r.allocs_per_superstep(), 4.0);
+    }
+
+    #[test]
+    fn coalesced_fraction_handles_zero_traffic() {
+        let mut r = sample().pooled;
+        r.msgs = 0;
+        r.coalesced_msgs = 0;
+        assert_eq!(r.coalesced_fraction(), 0.0);
+        let t = sample().threaded;
+        assert_eq!(t.coalesced_fraction(), 10000.0 / 38000.0);
     }
 }

@@ -1,5 +1,7 @@
-//! Recorded performance baseline: wall time, allocations per superstep and
-//! simulated time of the engine, pooled vs fresh-allocation buffers.
+//! Recorded performance baseline: wall time, allocations per superstep,
+//! message traffic and simulated time of the engine — pooled vs
+//! fresh-allocation buffers, plus the real-thread backend's wall time on
+//! the same roots.
 //!
 //! Usage:
 //!   cargo run -p sssp-bench --bin perf_baseline [--release] --
@@ -7,10 +9,10 @@
 //!       [--out PATH] [--check PATH]
 //!
 //! Writes a `BENCH_sssp.json` document (see `sssp_bench::baseline`) with
-//! one record per allocation mode. `--check PATH` additionally compares
-//! the freshly measured pooled run against a committed baseline and exits
-//! nonzero when wall time or allocations per superstep regress by more
-//! than `SSSP_PERF_TOLERANCE` (default 0.25, i.e. 25%).
+//! one record per engine mode. `--check PATH` additionally compares the
+//! freshly measured pooled and threaded runs against a committed baseline
+//! and exits nonzero when wall time or allocations per superstep regress
+//! by more than `SSSP_PERF_TOLERANCE` (default 0.25, i.e. 25%).
 //!
 //! The binary installs a counting global allocator, so its allocation
 //! numbers are exact (every heap allocation and reallocation on every
@@ -18,13 +20,15 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering}; // sssp-lint: allow(no-shared-state): the counting allocator must observe every thread's allocations; the engine itself stays rank-sequential.
+use std::sync::Arc;
 use std::time::Instant;
 
-use sssp_bench::baseline::{extract_number, PerfBaseline, PerfRecord};
+use sssp_bench::baseline::{extract_number, PerfBaseline, PerfRecord, ThreadedRecord};
 use sssp_bench::{build_family, pick_roots, print_table, Family};
 use sssp_comm::cost::MachineModel;
 use sssp_core::config::SsspConfig;
 use sssp_core::engine::run_sssp;
+use sssp_core::threaded_delta_stepping;
 use sssp_dist::DistGraph;
 use sssp_graph::VertexId;
 
@@ -68,12 +72,16 @@ fn measure(
     let a0 = ALLOCS.load(Ordering::Relaxed);
     let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
     let mut supersteps = 0u64;
+    let mut msgs = 0u64;
+    let mut coalesced_msgs = 0u64;
     let mut sim = 0.0;
     let mut gteps = 0.0;
     let t0 = Instant::now();
     for &root in roots {
         let out = run_sssp(dg, root, cfg, model);
         supersteps += out.stats.supersteps();
+        msgs += out.stats.comm.total_msgs();
+        coalesced_msgs += out.stats.comm.total_coalesced_msgs();
         sim += out.stats.ledger.total_s();
         gteps += out.stats.gteps(dg.m_input_undirected);
     }
@@ -97,8 +105,48 @@ fn measure(
         allocs,
         alloc_bytes,
         supersteps,
+        msgs,
+        coalesced_msgs,
         simulated_s: sim / k,
         gteps: gteps / k,
+    }
+}
+
+/// Time the real-thread backend on the same roots. Its GTEPS are
+/// wall-clock (there is no cost-model ledger on this backend), so they
+/// are only comparable with other wall-clock numbers.
+fn measure_threaded(
+    dg: &Arc<DistGraph>,
+    roots: &[VertexId],
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    pooled_wall_ms: f64,
+) -> ThreadedRecord {
+    let _ = threaded_delta_stepping(dg, roots[0], cfg, model);
+
+    let mut relax_msgs = 0u64;
+    let mut coalesced_msgs = 0u64;
+    let t0 = Instant::now();
+    for &root in roots {
+        let out = threaded_delta_stepping(dg, root, cfg, model);
+        relax_msgs += out.relax_msgs;
+        coalesced_msgs += out.coalesced_msgs;
+    }
+    let mut wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for _ in 0..2 {
+        let t = Instant::now();
+        for &root in roots {
+            let _ = threaded_delta_stepping(dg, root, cfg, model);
+        }
+        wall_ms = wall_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let per_run_s = wall_ms / 1e3 / roots.len() as f64;
+    ThreadedRecord {
+        wall_ms,
+        gteps: sssp_comm::cost::teps(dg.m_input_undirected, per_run_s) / 1e9,
+        speedup_vs_pooled: pooled_wall_ms / wall_ms.max(f64::MIN_POSITIVE),
+        relax_msgs,
+        coalesced_msgs,
     }
 }
 
@@ -117,17 +165,22 @@ fn check_against(committed: &str, current: &PerfBaseline) -> Result<(), String> 
             ));
         }
         Some(_) => {}
-        None => problems.push(format!("committed baseline is missing pooled.{name}")),
+        None => problems.push(format!("committed baseline is missing {name}")),
     };
     gate(
-        "wall_ms",
+        "pooled.wall_ms",
         extract_number(committed, "pooled", "wall_ms"),
         current.pooled.wall_ms,
     );
     gate(
-        "allocs_per_superstep",
+        "pooled.allocs_per_superstep",
         extract_number(committed, "pooled", "allocs_per_superstep"),
         current.pooled.allocs_per_superstep(),
+    );
+    gate(
+        "threaded.wall_ms",
+        extract_number(committed, "threaded", "wall_ms"),
+        current.threaded.wall_ms,
     );
     if problems.is_empty() {
         Ok(())
@@ -179,12 +232,13 @@ fn main() {
     let family = Family::Rmat2;
     let model = MachineModel::bgq_like();
     let g = build_family(family, scale, 1);
-    let dg = DistGraph::build(&g, ranks, threads);
+    let dg = Arc::new(DistGraph::build(&g, ranks, threads));
     let roots = pick_roots(&g, nroots, 23);
     let cfg = SsspConfig::opt(25);
 
     let fresh = measure(&dg, &roots, &cfg.clone().with_pooled_buffers(false), &model);
     let pooled = measure(&dg, &roots, &cfg, &model);
+    let threaded = measure_threaded(&dg, &roots, &cfg, &model, pooled.wall_ms);
 
     let doc = PerfBaseline {
         family: family.name().to_string(),
@@ -194,9 +248,10 @@ fn main() {
         roots: roots.len(),
         pooled,
         fresh,
+        threaded,
     };
 
-    let rows: Vec<Vec<String>> = [("pooled", &doc.pooled), ("fresh", &doc.fresh)]
+    let mut rows: Vec<Vec<String>> = [("pooled", &doc.pooled), ("fresh", &doc.fresh)]
         .iter()
         .map(|(name, r)| {
             vec![
@@ -211,6 +266,16 @@ fn main() {
             ]
         })
         .collect();
+    rows.push(vec![
+        "threaded".to_string(),
+        format!("{:.2}", doc.threaded.wall_ms),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{:.4} (wall)", doc.threaded.gteps),
+    ]);
     print_table(
         &format!(
             "perf baseline — {} scale {scale}, p={ranks}×{threads}",
@@ -235,6 +300,16 @@ fn main() {
             doc.fresh.alloc_bytes as f64 / doc.pooled.alloc_bytes.max(1) as f64,
         );
     }
+    println!(
+        "threaded speedup vs pooled simulated: {:.2}x wall",
+        doc.threaded.speedup_vs_pooled
+    );
+    println!(
+        "coalescing savings: {} of {} relax msgs removed ({:.1}%) on the threaded backend",
+        doc.threaded.coalesced_msgs,
+        doc.threaded.relax_msgs + doc.threaded.coalesced_msgs,
+        100.0 * doc.threaded.coalesced_fraction(),
+    );
 
     let json = doc.to_json();
     if let Err(e) = std::fs::write(&out_path, &json) {

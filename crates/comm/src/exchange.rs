@@ -138,6 +138,51 @@ pub fn exchange_pooled<M>(
     stats
 }
 
+/// Sender-side coalescing of one outbox lane: keep, for every distinct
+/// `key(m)`, only the message with the smallest `val(m)`. Relaxation
+/// traffic is an idempotent min-reduction per destination vertex, so
+/// dropping every dominated duplicate before the wire changes neither
+/// final distances nor which vertices observe an improvement — it only
+/// shrinks the exchange. The lane is left sorted by `(key, val)`, which
+/// also makes the post-coalescing delivery order a pure function of the
+/// lane's message *set* rather than its fill order.
+///
+/// Returns the number of messages removed.
+pub fn coalesce_lane_min<M, K, V>(
+    lane: &mut Vec<M>,
+    key: impl Fn(&M) -> K,
+    val: impl Fn(&M) -> V,
+) -> u64
+where
+    K: Ord,
+    V: Ord,
+{
+    if lane.len() < 2 {
+        return 0;
+    }
+    let before = lane.len();
+    lane.sort_unstable_by(|a, b| key(a).cmp(&key(b)).then_with(|| val(a).cmp(&val(b))));
+    // `dedup_by` drops the *later* element of each equal-key pair, so the
+    // survivor of every key run is its first — smallest — message.
+    lane.dedup_by(|a, b| key(a) == key(b));
+    (before - lane.len()) as u64
+}
+
+/// The pool-growth bound: shrink `buf` back to `high_water` capacity when
+/// its current capacity exceeds 4× that high-water mark. A single giant
+/// superstep thereby cannot pin its peak allocation for the rest of the
+/// run; steady-state buffers (within 4× of recent traffic) are untouched.
+///
+/// Returns whether the buffer shrank.
+pub fn shrink_oversized<M>(buf: &mut Vec<M>, high_water: usize) -> bool {
+    if buf.capacity() > high_water.saturating_mul(4) {
+        buf.shrink_to(high_water);
+        true
+    } else {
+        false
+    }
+}
+
 /// A recycled outbox/inbox set for one message type, reused across
 /// supersteps. One [`Outbox`] per source rank, one inbox per destination
 /// rank; [`ExchangeBuffers::exchange`] moves queued messages from the
@@ -148,6 +193,10 @@ pub struct ExchangeBuffers<M> {
     pub outboxes: Vec<Outbox<M>>,
     /// One inbox per destination rank, refilled by each exchange.
     pub inboxes: Vec<Vec<M>>,
+    /// Largest single-buffer fill observed since the last
+    /// [`ExchangeBuffers::shrink_to_watermark`] — the shrink policy's
+    /// high-water mark.
+    watermark: usize,
 }
 
 impl<M> ExchangeBuffers<M> {
@@ -156,6 +205,7 @@ impl<M> ExchangeBuffers<M> {
         ExchangeBuffers {
             outboxes: (0..p).map(|_| Outbox::new(p)).collect(),
             inboxes: (0..p).map(|_| Vec::new()).collect(),
+            watermark: 0,
         }
     }
 
@@ -171,7 +221,37 @@ impl<M> ExchangeBuffers<M> {
         msg_bytes: usize,
         packet: Option<&crate::packet::PacketConfig>,
     ) -> StepStats {
-        exchange_pooled(&mut self.outboxes, &mut self.inboxes, msg_bytes, packet)
+        for ob in &self.outboxes {
+            for lane in &ob.out {
+                self.watermark = self.watermark.max(lane.len());
+            }
+        }
+        let stats = exchange_pooled(&mut self.outboxes, &mut self.inboxes, msg_bytes, packet);
+        for ib in &self.inboxes {
+            self.watermark = self.watermark.max(ib.len());
+        }
+        stats
+    }
+
+    /// Apply the [`shrink_oversized`] 4× policy to every lane and inbox,
+    /// using the high-water mark accumulated since the previous call, then
+    /// reset the mark. Callers invoke this at epoch boundaries so one
+    /// outsized superstep cannot pin its peak capacity for the whole run.
+    ///
+    /// Returns the number of buffers shrunk.
+    pub fn shrink_to_watermark(&mut self) -> usize {
+        let hwm = self.watermark;
+        let mut shrunk = 0;
+        for ob in &mut self.outboxes {
+            for lane in &mut ob.out {
+                shrunk += usize::from(shrink_oversized(lane, hwm));
+            }
+        }
+        for ib in &mut self.inboxes {
+            shrunk += usize::from(shrink_oversized(ib, hwm));
+        }
+        self.watermark = 0;
+        shrunk
     }
 
     /// Drop every held buffer, replacing it with a fresh zero-capacity one.
@@ -182,6 +262,7 @@ impl<M> ExchangeBuffers<M> {
         let p = self.outboxes.len();
         self.outboxes = (0..p).map(|_| Outbox::new(p)).collect();
         self.inboxes = (0..p).map(|_| Vec::new()).collect();
+        self.watermark = 0;
     }
 }
 
@@ -303,6 +384,61 @@ mod tests {
         let stats = bufs.exchange(4, None);
         assert!(bufs.inboxes[1].is_empty());
         assert_eq!(stats, StepStats::default());
+    }
+
+    #[test]
+    fn coalesce_keeps_min_per_key() {
+        let mut lane: Vec<(u32, u64)> = vec![(3, 9), (1, 5), (3, 2), (2, 7), (1, 5), (3, 11)];
+        let saved = coalesce_lane_min(&mut lane, |m| m.0, |m| m.1);
+        assert_eq!(saved, 3);
+        assert_eq!(lane, vec![(1, 5), (2, 7), (3, 2)]);
+    }
+
+    #[test]
+    fn coalesce_short_lanes_are_untouched() {
+        let mut empty: Vec<(u32, u64)> = Vec::new();
+        assert_eq!(coalesce_lane_min(&mut empty, |m| m.0, |m| m.1), 0);
+        let mut one = vec![(5u32, 40u64)];
+        assert_eq!(coalesce_lane_min(&mut one, |m| m.0, |m| m.1), 0);
+        assert_eq!(one, vec![(5, 40)]);
+    }
+
+    #[test]
+    fn shrink_oversized_honors_the_4x_bound() {
+        let mut buf: Vec<u8> = Vec::with_capacity(1000);
+        // Capacity 1000 ≤ 4 × 250: not oversized.
+        assert!(!shrink_oversized(&mut buf, 250));
+        assert!(buf.capacity() >= 1000);
+        // Capacity 1000 > 4 × 100: shrinks back to the high-water mark.
+        assert!(shrink_oversized(&mut buf, 100));
+        assert!(buf.capacity() < 1000);
+        // A zero high-water mark releases the buffer entirely.
+        let mut spike: Vec<u8> = Vec::with_capacity(64);
+        assert!(shrink_oversized(&mut spike, 0));
+        assert_eq!(spike.capacity(), 0);
+    }
+
+    #[test]
+    fn watermark_shrink_releases_only_outsized_buffers() {
+        let p = 2;
+        let mut bufs: ExchangeBuffers<u64> = ExchangeBuffers::new(p);
+        // Epoch 1: a giant superstep grows rank 0's lane to ~4096.
+        for i in 0..4096 {
+            bufs.outboxes[0].send(1, i);
+        }
+        bufs.exchange(8, None);
+        assert_eq!(bufs.shrink_to_watermark(), 0, "peak epoch keeps its pool");
+        // Epoch 2: steady-state traffic is tiny; the giant buffers now
+        // exceed 4× the epoch's high-water mark and must be released.
+        for i in 0..4u64 {
+            bufs.outboxes[0].send(1, i);
+        }
+        bufs.exchange(8, None);
+        assert!(bufs.outboxes[0].out[1].capacity() >= 4096);
+        assert!(bufs.inboxes[1].capacity() >= 4096);
+        assert!(bufs.shrink_to_watermark() >= 2);
+        assert!(bufs.outboxes[0].out[1].capacity() <= 16);
+        assert!(bufs.inboxes[1].capacity() <= 16);
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct StepStats {
     pub max_rank_send_bytes: u64,
     /// Maximum bytes received by any single rank.
     pub max_rank_recv_bytes: u64,
+    /// Messages removed by sender-side coalescing before this exchange
+    /// (duplicate relaxations min-reduced per destination vertex). The
+    /// delivered-message counters above are post-coalescing.
+    pub coalesced_msgs: u64,
 }
 
 /// Cumulative communication statistics for a run.
@@ -59,6 +63,11 @@ impl CommStats {
         self.steps.iter().map(|s| s.remote_bytes).sum()
     }
 
+    /// Messages saved by sender-side coalescing, summed over all supersteps.
+    pub fn total_coalesced_msgs(&self) -> u64 {
+        self.steps.iter().map(|s| s.coalesced_msgs).sum()
+    }
+
     /// Number of recorded supersteps.
     pub fn num_supersteps(&self) -> usize {
         self.steps.len()
@@ -89,6 +98,21 @@ mod tests {
         assert_eq!(s.total_msgs(), 6);
         assert_eq!(s.total_remote_bytes(), 64);
         assert_eq!(s.num_supersteps(), 2);
+    }
+
+    #[test]
+    fn coalescing_savings_accumulate() {
+        let mut s = CommStats::new();
+        s.record(StepStats {
+            remote_msgs: 3,
+            coalesced_msgs: 5,
+            ..Default::default()
+        });
+        s.record(StepStats {
+            coalesced_msgs: 2,
+            ..Default::default()
+        });
+        assert_eq!(s.total_coalesced_msgs(), 7);
     }
 
     #[test]

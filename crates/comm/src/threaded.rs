@@ -36,6 +36,9 @@ pub struct RankCtx<M> {
     spare: Vec<Vec<M>>,
     /// Reusable receive staging area (batches sorted by source rank).
     batches: Vec<(Rank, Vec<M>)>,
+    /// Largest batch moved through [`RankCtx::exchange_pooled`] since the
+    /// last [`RankCtx::trim_spares`] — the spare pool's high-water mark.
+    watermark: usize,
 }
 
 impl<M: Send> RankCtx<M> {
@@ -83,6 +86,7 @@ impl<M: Send> RankCtx<M> {
     pub fn exchange_pooled(&mut self, out: &mut [Vec<M>], inbox: &mut Vec<M>) {
         assert_eq!(out.len(), self.p, "outbox fan-out mismatch");
         for (dst, msgs) in out.iter_mut().enumerate() {
+            self.watermark = self.watermark.max(msgs.len());
             let mut buf = self.spare.pop().unwrap_or_default();
             buf.append(msgs);
             // A peer disappearing mid-superstep is unrecoverable by design
@@ -99,10 +103,26 @@ impl<M: Send> RankCtx<M> {
         self.batches.sort_by_key(|&(src, _)| src);
         inbox.clear();
         for (_, mut b) in self.batches.drain(..) {
+            self.watermark = self.watermark.max(b.len());
             inbox.append(&mut b);
             self.spare.push(b);
         }
         self.barrier.wait();
+    }
+
+    /// Release spare transport buffers whose capacity exceeds 4× the
+    /// high-water mark observed since the previous call, then reset the
+    /// mark. Purely rank-local (no rendezvous): each rank bounds its own
+    /// pool at epoch boundaries so one outsized superstep cannot pin its
+    /// peak allocation for the rest of the run.
+    ///
+    /// Returns the number of buffers released.
+    pub fn trim_spares(&mut self) -> usize {
+        let limit = self.watermark.saturating_mul(4);
+        let before = self.spare.len();
+        self.spare.retain(|b| b.capacity() <= limit);
+        self.watermark = 0;
+        before - self.spare.len()
     }
 
     /// Allreduce over one `u64` contribution per rank.
@@ -134,6 +154,21 @@ impl<M: Send> RankCtx<M> {
         }
         self.barrier.wait();
         result
+    }
+
+    /// Minimum allreduce: every rank receives the smallest contribution.
+    pub fn allreduce_min(&self, value: u64) -> u64 {
+        self.allreduce(value, |vals| vals.iter().copied().min().unwrap_or(u64::MAX))
+    }
+
+    /// Maximum allreduce: every rank receives the largest contribution.
+    pub fn allreduce_max(&self, value: u64) -> u64 {
+        self.allreduce(value, |vals| vals.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Sum allreduce: every rank receives the total of all contributions.
+    pub fn allreduce_sum(&self, value: u64) -> u64 {
+        self.allreduce(value, |vals| vals.iter().sum())
     }
 
     /// Logical-or allreduce.
@@ -171,6 +206,7 @@ where
             slots: Arc::clone(&slots),
             spare: Vec::new(),
             batches: Vec::with_capacity(p),
+            watermark: 0,
         };
         let body = Arc::clone(&body);
         handles.push(
@@ -314,6 +350,56 @@ mod tests {
         });
         for sizes in results {
             assert_eq!(sizes, vec![100, 0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_wrappers_agree_with_the_generic_form() {
+        let results = run_threaded(4, |ctx: RankCtx<()>| {
+            let v = ctx.rank() as u64 + 3;
+            (
+                ctx.allreduce_min(v),
+                ctx.allreduce_max(v),
+                ctx.allreduce_sum(v),
+            )
+        });
+        for (mn, mx, sum) in results {
+            assert_eq!(mn, 3);
+            assert_eq!(mx, 6);
+            assert_eq!(sum, 3 + 4 + 5 + 6);
+        }
+    }
+
+    #[test]
+    fn trim_spares_releases_oversized_pool_buffers() {
+        let trims = run_threaded(2, |mut ctx: RankCtx<u64>| {
+            let p = ctx.num_ranks();
+            let mut out: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+            let mut inbox = Vec::new();
+            // Epoch 1: a flood superstep grows the recycled buffers.
+            for lane in out.iter_mut() {
+                lane.extend(0..5000);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            let flood_trim = ctx.trim_spares();
+            // Epoch 2: steady trickle; the flood-sized spares now exceed
+            // 4× the epoch's high-water mark and must be released.
+            for lane in out.iter_mut() {
+                lane.push(1);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            let steady_trim = ctx.trim_spares();
+            // Later supersteps keep working after the pool was emptied.
+            for lane in out.iter_mut() {
+                lane.push(2);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            (flood_trim, steady_trim, inbox.len())
+        });
+        for (flood_trim, steady_trim, len) in trims {
+            assert_eq!(flood_trim, 0, "peak epoch keeps its pool");
+            assert!(steady_trim > 0, "oversized spares must be released");
+            assert_eq!(len, 2);
         }
     }
 

@@ -115,6 +115,13 @@ pub struct SsspConfig {
     /// identical either way, so distances and comm statistics must match
     /// bit for bit.
     pub pooled_buffers: bool,
+    /// Sender-side relaxation coalescing (on by default): before every
+    /// exchange, each outbox lane is min-reduced per destination vertex so
+    /// only the smallest tentative distance crosses the wire. Relaxation
+    /// is an idempotent min-reduction, so final distances are unchanged;
+    /// only message counts (and the receiver-side Fig 7 classification of
+    /// the pruned duplicates) shrink.
+    pub coalescing: bool,
 }
 
 impl SsspConfig {
@@ -131,6 +138,7 @@ impl SsspConfig {
             hybrid_tau: None,
             intra_balance: IntraBalance::Off,
             pooled_buffers: true,
+            coalescing: true,
         }
     }
 
@@ -227,6 +235,15 @@ impl SsspConfig {
         self.pooled_buffers = pooled;
         self
     }
+
+    /// Toggle sender-side relaxation coalescing (on by default). Turning it
+    /// off sends every produced relaxation verbatim — the differential axis
+    /// used by the coalescing proptests. Distances are identical either
+    /// way; only message counts differ.
+    pub fn with_coalescing(mut self, coalescing: bool) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +300,13 @@ mod tests {
         assert!(SsspConfig::del(5).pooled_buffers);
         assert!(SsspConfig::opt(5).pooled_buffers);
         assert!(!SsspConfig::opt(5).with_pooled_buffers(false).pooled_buffers);
+    }
+
+    #[test]
+    fn coalescing_default_on_and_toggleable() {
+        assert!(SsspConfig::del(5).coalescing);
+        assert!(SsspConfig::opt(5).coalescing);
+        assert!(!SsspConfig::opt(5).with_coalescing(false).coalescing);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use rayon::prelude::*;
 
 use crate::instrument::{PhaseKind, PhaseRecord};
 
-use super::{invariants, Engine, RelaxMsg, RELAX_BYTES};
+use super::{invariants, kernels, Engine};
 
 impl Engine<'_> {
     // -- hybrid Bellman-Ford tail (§III-D) ---------------------------------------
@@ -26,42 +26,18 @@ impl Engine<'_> {
                 .par_iter_mut()
                 .zip(self.relax_bufs.outboxes.par_iter_mut())
                 .map(|(st, ob)| {
-                    let lg = &dg.locals[st.rank];
-                    let part = &dg.part;
-                    let mut sent = 0u64;
-                    for &u in &st.active {
-                        let ul = u as usize;
-                        let du = st.dist[ul];
-                        let (ts, ws) = lg.row(ul);
-                        for i in 0..ts.len() {
-                            let v = ts[i];
-                            ob.send(
-                                part.owner(v),
-                                RelaxMsg {
-                                    target: part.local_index(v),
-                                    nd: du + ws[i] as u64,
-                                },
-                            );
-                        }
-                        let heavy = (lg.degree(ul) as u64) > pi;
-                        st.loads.charge(ul, ts.len() as u64, heavy);
-                        sent += ts.len() as u64;
-                    }
-                    sent
+                    kernels::bf_send(&dg.locals[st.rank], &dg.part, st, pi, &mut |dst, m| {
+                        ob.send(dst, m)
+                    })
                 })
                 .sum();
-            let step = self
-                .relax_bufs
-                .exchange(RELAX_BYTES, self.model.packet.as_ref());
+            let step = self.exchange_relax();
             invariants::check_conservation(&self.relax_bufs.inboxes, &step);
             self.states
                 .par_iter_mut()
                 .zip(self.relax_bufs.inboxes.par_iter())
                 .for_each(|(st, inbox)| {
-                    for m in inbox.iter() {
-                        st.charge_recv(m.target);
-                        st.relax(m.target, m.nd, &delta);
-                    }
+                    kernels::apply_relax(st, &delta, inbox.iter().copied());
                     // Next round's frontier: the vertices this round improved.
                     st.collect_active_changed();
                 });

@@ -2,14 +2,145 @@
 //! volumes (exact, histogram, or closed-form expectation), convert to
 //! per-phase time with the machine model, and pick the cheaper — with the
 //! bottleneck-rank (imbalance-aware) refinement the paper describes.
+//!
+//! Split into a rank-local volume pass ([`rank_volumes`]) and a pure
+//! totals→decision conversion ([`decide_from_totals`]) so the simulated
+//! engine (parallel fold over its rank states) and the real-thread engine
+//! (one pass per rank thread + five allreduces) share the arithmetic.
 use rayon::prelude::*;
 
-use sssp_comm::cost::TimeClass;
+use sssp_comm::cost::{MachineModel, TimeClass};
+use sssp_dist::LocalGraph;
 
-use crate::config::{DirectionPolicy, LongPhaseMode, PullEstimator};
-use crate::state::INF;
+use crate::config::{DirectionPolicy, LongPhaseMode, PullEstimator, SsspConfig};
+use crate::state::{RankState, INF};
 
-use super::{Engine, RELAX_BYTES};
+use super::{kernels, Engine, RELAX_BYTES};
+
+/// One rank's §III-C volume estimates for bucket `k`: the push send
+/// volume, the pull request volume, and the number of unsettled vertices
+/// scanned (the pull model's scan extent). Read-only over the rank state.
+pub(super) fn rank_volumes(
+    lg: &LocalGraph,
+    st: &RankState,
+    k: u64,
+    delta: &crate::config::DeltaParam,
+    ios: bool,
+    estimator: PullEstimator,
+    w_max: u64,
+) -> (u64, u64, u64) {
+    let short_bound = delta.short_bound();
+    let bucket_end = delta.bucket_end(k);
+    let kd = kernels::k_delta(delta, k);
+
+    // Push: the long-phase send volume of this rank.
+    let mut push = 0u64;
+    for u in st.bucket_members(k) {
+        let ul = u as usize;
+        let (_, ws) = lg.row(ul);
+        let start = kernels::push_range_start(ios, ws, st.dist[ul], bucket_end, short_bound);
+        push += (ws.len() - start) as u64;
+    }
+    // Pull: the request volume of this rank.
+    let mut pull = 0u64;
+    let mut scanned = 0u64;
+    for vl in 0..st.n_local() {
+        if st.bucket_of[vl] <= k {
+            continue;
+        }
+        scanned += 1;
+        let dv = st.dist[vl];
+        let threshold = if dv == INF { u64::MAX } else { dv - kd };
+        match estimator {
+            PullEstimator::Exact => {
+                let (_, ws) = lg.row(vl);
+                let lo = ws.partition_point(|&w| (w as u64) < short_bound);
+                let hi = ws.partition_point(|&w| (w as u64) < threshold);
+                pull += (hi.saturating_sub(lo)) as u64;
+            }
+            PullEstimator::Histogram => {
+                let hi = lg.estimate_weight_below(vl, threshold);
+                let lo = lg.estimate_weight_below(vl, short_bound);
+                pull += hi.saturating_sub(lo);
+            }
+            PullEstimator::Expectation => {
+                // Uniform weights on [1, w_max]: expected number of edges
+                // with Δ ≤ w < T.
+                let deg = lg.degree(vl) as u64;
+                if w_max == 0 || short_bound > w_max {
+                    continue;
+                }
+                let t_hi = threshold.saturating_sub(1).min(w_max);
+                let t_lo = short_bound.saturating_sub(1);
+                if t_hi > t_lo {
+                    pull += deg * (t_hi - t_lo) / w_max;
+                }
+            }
+        }
+    }
+    (push, pull, scanned)
+}
+
+/// Convert globally reduced volumes into the push/pull decision plus the
+/// `(est_push, est_pull)` pair recorded per bucket. Pure arithmetic over
+/// the machine model — both backends feed it their own reductions
+/// (parallel fold here, allreduces on the thread backend).
+#[allow(clippy::too_many_arguments)]
+pub(super) fn decide_from_totals(
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    p: usize,
+    push_total: u64,
+    pull_total: u64,
+    push_max: u64,
+    pull_max: u64,
+    scan_max: u64,
+) -> (LongPhaseMode, u64, u64) {
+    // Pull moves a request and (up to) a response per covered edge.
+    let est_pull = 2 * pull_total;
+    let est_push = push_total;
+
+    // Convert volumes into estimated phase times, the quantity §III-C
+    // actually minimizes ("estimating the communication volume and the
+    // processing time"). The bottleneck rank's volume dominates when
+    // the imbalance-aware refinement is on; otherwise the average is
+    // used (the paper's first-cut heuristic).
+    let per_edge = model.gamma_s_per_op / model.threads_per_rank.max(1) as f64
+        + model.beta_s_per_byte * RELAX_BYTES as f64;
+    let bottleneck = |total: u64, maxr: u64| -> f64 {
+        if cfg.imbalance_aware {
+            (total as f64 / p as f64).max(maxr as f64)
+        } else {
+            total as f64 / p as f64
+        }
+    };
+    let t_push = bottleneck(est_push, push_max) * per_edge;
+    // Pull pays for requests + responses, the unsettled-vertex scan and
+    // one to two extra superstep latencies (requests/responses, plus
+    // the outer-short push under IOS).
+    let extra_supersteps = if cfg.ios { 2.0 } else { 1.0 };
+    let t_pull = bottleneck(est_pull, 2 * pull_max) * per_edge
+        + scan_max as f64 * model.scan_s_per_op
+        + extra_supersteps * model.alpha_s;
+
+    let pull_wins = t_pull < t_push;
+    (
+        if pull_wins {
+            LongPhaseMode::Pull
+        } else {
+            LongPhaseMode::Push
+        },
+        est_push,
+        est_pull,
+    )
+}
+
+/// The §III-D hybrid switch test: true once more than fraction τ of the
+/// graph's vertices is settled. Shared by both engine run loops so the
+/// float arithmetic lives only in this module.
+pub(super) fn hybrid_should_switch(tau: f64, settled_total: u64, n_total: u64) -> bool {
+    settled_total as f64 > tau * n_total as f64
+}
 
 impl Engine<'_> {
     // -- push/pull decision heuristic (§III-C) ----------------------------------
@@ -39,70 +170,17 @@ impl Engine<'_> {
         let delta = self.cfg.delta;
         let ios = self.cfg.ios;
         let estimator = self.cfg.pull_estimator;
-        let short_bound = delta.short_bound();
-        let bucket_end = delta.bucket_end(k);
         let w_max = self.max_weight as u64;
-        let k_delta = match delta {
-            crate::config::DeltaParam::Finite(d) => k * d as u64,
-            crate::config::DeltaParam::Infinite => 0,
-        };
 
         // Per-rank volume estimates (one pass; read-only), folded straight
         // into (Σpush, Σpull, max push, max pull, max scanned) so the hot
-        // path stays free of per-bucket scratch vectors. The scanned count
-        // is the rank's unsettled-vertex total — the pull model's scan
-        // extent.
+        // path stays free of per-bucket scratch vectors.
         let (push_total, pull_total, push_max, pull_max, scan_max) = self
             .states
             .par_iter()
             .map(|st| {
-                let lg = &dg.locals[st.rank];
-                // Push: the long-phase send volume of this rank.
-                let mut push = 0u64;
-                for u in st.bucket_members(k) {
-                    let ul = u as usize;
-                    let (_, ws) = lg.row(ul);
-                    let start =
-                        Self::push_range_start(ios, ws, st.dist[ul], bucket_end, short_bound);
-                    push += (ws.len() - start) as u64;
-                }
-                // Pull: the request volume of this rank.
-                let mut pull = 0u64;
-                let mut scanned = 0u64;
-                for vl in 0..st.n_local() {
-                    if st.bucket_of[vl] <= k {
-                        continue;
-                    }
-                    scanned += 1;
-                    let dv = st.dist[vl];
-                    let threshold = if dv == INF { u64::MAX } else { dv - k_delta };
-                    match estimator {
-                        PullEstimator::Exact => {
-                            let (_, ws) = lg.row(vl);
-                            let lo = ws.partition_point(|&w| (w as u64) < short_bound);
-                            let hi = ws.partition_point(|&w| (w as u64) < threshold);
-                            pull += (hi.saturating_sub(lo)) as u64;
-                        }
-                        PullEstimator::Histogram => {
-                            let hi = lg.estimate_weight_below(vl, threshold);
-                            let lo = lg.estimate_weight_below(vl, short_bound);
-                            pull += hi.saturating_sub(lo);
-                        }
-                        PullEstimator::Expectation => {
-                            // Uniform weights on [1, w_max]: expected number
-                            // of edges with Δ ≤ w < T.
-                            let deg = lg.degree(vl) as u64;
-                            if w_max == 0 || short_bound > w_max {
-                                continue;
-                            }
-                            let t_hi = threshold.saturating_sub(1).min(w_max);
-                            let t_lo = short_bound.saturating_sub(1);
-                            if t_hi > t_lo {
-                                pull += deg * (t_hi - t_lo) / w_max;
-                            }
-                        }
-                    }
-                }
+                let (push, pull, scanned) =
+                    rank_volumes(&dg.locals[st.rank], st, k, &delta, ios, estimator, w_max);
                 (push, pull, push, pull, scanned)
             })
             .reduce_with(|a, b| {
@@ -123,43 +201,8 @@ impl Engine<'_> {
         self.ledger
             .charge_collective(self.model, TimeClass::Relax, self.p);
 
-        // Pull moves a request and (up to) a response per covered edge.
-        let est_pull = 2 * pull_total;
-        let est_push = push_total;
-
-        // Convert volumes into estimated phase times, the quantity §III-C
-        // actually minimizes ("estimating the communication volume and the
-        // processing time"). The bottleneck rank's volume dominates when
-        // the imbalance-aware refinement is on; otherwise the average is
-        // used (the paper's first-cut heuristic).
-        let m = self.model;
-        let per_edge = m.gamma_s_per_op / m.threads_per_rank.max(1) as f64
-            + m.beta_s_per_byte * RELAX_BYTES as f64;
-        let bottleneck = |total: u64, maxr: u64| -> f64 {
-            if self.cfg.imbalance_aware {
-                (total as f64 / self.p as f64).max(maxr as f64)
-            } else {
-                total as f64 / self.p as f64
-            }
-        };
-        let t_push = bottleneck(est_push, push_max) * per_edge;
-        // Pull pays for requests + responses, the unsettled-vertex scan and
-        // one to two extra superstep latencies (requests/responses, plus
-        // the outer-short push under IOS).
-        let extra_supersteps = if self.cfg.ios { 2.0 } else { 1.0 };
-        let t_pull = bottleneck(est_pull, 2 * pull_max) * per_edge
-            + scan_max as f64 * m.scan_s_per_op
-            + extra_supersteps * m.alpha_s;
-
-        let pull_wins = t_pull < t_push;
-        (
-            if pull_wins {
-                LongPhaseMode::Pull
-            } else {
-                LongPhaseMode::Push
-            },
-            est_push,
-            est_pull,
+        decide_from_totals(
+            self.cfg, self.model, self.p, push_total, pull_total, push_max, pull_max, scan_max,
         )
     }
 }

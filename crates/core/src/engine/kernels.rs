@@ -1,0 +1,333 @@
+//! Rank-local bodies of the relaxation phases, shared by both backends.
+//!
+//! The simulated engine ([`super::Engine`]) calls these once per rank
+//! inside its parallel iterators; the real-thread engine
+//! ([`super::threaded`]) calls the very same functions on each rank's own
+//! OS thread. Every kernel reads and writes exactly one rank's
+//! [`RankState`] and emits messages through a caller-supplied sink, so the
+//! two backends cannot drift apart: there is one implementation of the
+//! relaxation logic, and the backends differ only in how the emitted
+//! messages travel.
+//!
+//! Thread-load accounting (`loads.charge` / `charge_recv`) lives inside
+//! the kernels too — it is part of the paper's per-phase work definition,
+//! not a transport concern.
+
+use sssp_dist::{LocalGraph, Partition};
+
+use crate::config::DeltaParam;
+use crate::state::{RankState, INF};
+
+use super::{invariants, RelaxMsg, ReqMsg};
+
+/// Bucket base distance `kΔ` of bucket `k` (eq. 1's pull threshold uses
+/// `d(v) − kΔ`). Zero under Δ = ∞, where a single bucket spans everything.
+#[inline]
+pub(super) fn k_delta(delta: &DeltaParam, k: u64) -> u64 {
+    match *delta {
+        DeltaParam::Finite(d) => k * d as u64,
+        DeltaParam::Infinite => 0,
+    }
+}
+
+/// Row index where the long-phase push range of `u` starts: with IOS the
+/// suffix of edges that could not have been relaxed as inner shorts
+/// (`w > bucket_end − d(u)`), otherwise the long edges (`w ≥ Δ`).
+#[inline]
+pub(super) fn push_range_start(
+    ios: bool,
+    ws: &[u32],
+    du: u64,
+    bucket_end: u64,
+    short_bound: u64,
+) -> usize {
+    if ios {
+        let bound = (bucket_end - du).min(short_bound.saturating_sub(1));
+        ws.partition_point(|&w| (w as u64) <= bound)
+    } else {
+        ws.partition_point(|&w| (w as u64) < short_bound)
+    }
+}
+
+/// One rank's send side of a short phase (§II / §III-A): relax the (inner)
+/// short edges of the active vertices. Returns the number of relaxations
+/// produced.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn short_send(
+    lg: &LocalGraph,
+    part: &Partition,
+    st: &mut RankState,
+    k: u64,
+    delta: &DeltaParam,
+    ios: bool,
+    pi: u64,
+    send: &mut impl FnMut(usize, RelaxMsg),
+) -> u64 {
+    let short_bound = delta.short_bound();
+    let bucket_end = delta.bucket_end(k);
+    let mut sent = 0u64;
+    for &u in &st.active {
+        let ul = u as usize;
+        debug_assert_eq!(st.bucket_of[ul], k);
+        let du = st.dist[ul];
+        debug_assert!(du <= bucket_end);
+        let (ts, ws) = lg.row(ul);
+        let hi = if ios {
+            // Inner short edges only: d(u) + w must stay inside the
+            // bucket (and the edge must be short).
+            let bound = (bucket_end - du).min(short_bound.saturating_sub(1));
+            ws.partition_point(|&w| (w as u64) <= bound)
+        } else {
+            ws.partition_point(|&w| (w as u64) < short_bound)
+        };
+        for i in 0..hi {
+            let v = ts[i];
+            invariants::check_ios_inner_edge(ios, ws[i], du, short_bound, bucket_end);
+            send(
+                part.owner(v),
+                RelaxMsg {
+                    target: part.local_index(v),
+                    nd: du + ws[i] as u64,
+                },
+            );
+        }
+        let heavy = (lg.degree(ul) as u64) > pi;
+        st.loads.charge(ul, hi as u64, heavy);
+        sent += hi as u64;
+    }
+    sent
+}
+
+/// One rank's receive side of a relax superstep: apply every delivered
+/// proposal as a min-reduction.
+pub(super) fn apply_relax(
+    st: &mut RankState,
+    delta: &DeltaParam,
+    msgs: impl Iterator<Item = RelaxMsg>,
+) {
+    for m in msgs {
+        st.charge_recv(m.target);
+        st.relax(m.target, m.nd, delta);
+    }
+}
+
+/// Receive side of a long push phase with the §III-B / Fig 7 receiver-side
+/// classification: each delivered edge is self, backward or forward,
+/// judged against the target's bucket *before* applying. Returns
+/// `(self, backward, forward)` counts.
+pub(super) fn classify_apply_relax(
+    st: &mut RankState,
+    k: u64,
+    delta: &DeltaParam,
+    msgs: impl Iterator<Item = RelaxMsg>,
+) -> (u64, u64, u64) {
+    let (mut se, mut be, mut fe) = (0u64, 0u64, 0u64);
+    for m in msgs {
+        let b = st.bucket_of[m.target as usize];
+        if b == k {
+            se += 1;
+        } else if b < k {
+            be += 1;
+        } else {
+            fe += 1;
+        }
+        st.charge_recv(m.target);
+        st.relax(m.target, m.nd, delta);
+    }
+    (se, be, fe)
+}
+
+/// One rank's send side of a push-mode long phase (§III-B): every vertex
+/// settled in the current bucket relaxes its long (and, under IOS,
+/// outer-short) edges outward. Collects the bucket's active set itself.
+/// Returns `(outer_short, long)` relaxation counts.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn long_push_send(
+    lg: &LocalGraph,
+    part: &Partition,
+    st: &mut RankState,
+    k: u64,
+    delta: &DeltaParam,
+    ios: bool,
+    pi: u64,
+    send: &mut impl FnMut(usize, RelaxMsg),
+) -> (u64, u64) {
+    let short_bound = delta.short_bound();
+    let bucket_end = delta.bucket_end(k);
+    let (mut outer, mut long) = (0u64, 0u64);
+    st.collect_active_from_bucket(k);
+    for i in 0..st.active.len() {
+        let ul = st.active[i] as usize;
+        let du = st.dist[ul];
+        let (ts, ws) = lg.row(ul);
+        let start = push_range_start(ios, ws, du, bucket_end, short_bound);
+        for j in start..ts.len() {
+            let v = ts[j];
+            send(
+                part.owner(v),
+                RelaxMsg {
+                    target: part.local_index(v),
+                    nd: du + ws[j] as u64,
+                },
+            );
+            if (ws[j] as u64) < short_bound {
+                outer += 1;
+            } else {
+                long += 1;
+            }
+        }
+        let heavy = (lg.degree(ul) as u64) > pi;
+        st.loads.charge(ul, (ts.len() - start) as u64, heavy);
+    }
+    (outer, long)
+}
+
+/// One rank's send side of a pull phase's IOS sub-step 0: the settled
+/// bucket's outer short edges are not covered by the pull protocol
+/// (requests target long edges), so push them directly. Collects the
+/// bucket's active set itself. Returns the number of outer-short
+/// relaxations produced.
+pub(super) fn outer_short_send(
+    lg: &LocalGraph,
+    part: &Partition,
+    st: &mut RankState,
+    k: u64,
+    delta: &DeltaParam,
+    pi: u64,
+    send: &mut impl FnMut(usize, RelaxMsg),
+) -> u64 {
+    let short_bound = delta.short_bound();
+    let bucket_end = delta.bucket_end(k);
+    let mut outer = 0u64;
+    st.collect_active_from_bucket(k);
+    for i in 0..st.active.len() {
+        let ul = st.active[i] as usize;
+        let du = st.dist[ul];
+        let (ts, ws) = lg.row(ul);
+        let start = push_range_start(true, ws, du, bucket_end, short_bound);
+        let long_start = ws.partition_point(|&w| (w as u64) < short_bound);
+        for j in start..long_start {
+            let v = ts[j];
+            send(
+                part.owner(v),
+                RelaxMsg {
+                    target: part.local_index(v),
+                    nd: du + ws[j] as u64,
+                },
+            );
+            outer += 1;
+        }
+        let heavy = (lg.degree(ul) as u64) > pi;
+        st.loads.charge(ul, (long_start - start) as u64, heavy);
+    }
+    outer
+}
+
+/// One rank's send side of a pull phase's request sub-step (§III-B):
+/// every unsettled vertex v asks along each long edge that could still
+/// improve it, `w(e) < d(v) − kΔ` (eq. 1). Returns
+/// `(requests, vertices_scanned)`.
+pub(super) fn pull_request_send(
+    lg: &LocalGraph,
+    part: &Partition,
+    st: &mut RankState,
+    k: u64,
+    delta: &DeltaParam,
+    pi: u64,
+    send: &mut impl FnMut(usize, ReqMsg),
+) -> (u64, u64) {
+    let short_bound = delta.short_bound();
+    let kd = k_delta(delta, k);
+    let mut reqs = 0u64;
+    let mut scanned = 0u64;
+    for vl in 0..st.n_local() {
+        if st.bucket_of[vl] <= k {
+            continue;
+        }
+        scanned += 1;
+        let dv = st.dist[vl];
+        let threshold = if dv == INF { u64::MAX } else { dv - kd };
+        let (ts, ws) = lg.row(vl);
+        let lo = ws.partition_point(|&w| (w as u64) < short_bound);
+        let hi = ws.partition_point(|&w| (w as u64) < threshold);
+        if hi <= lo {
+            continue;
+        }
+        let origin = part.to_global(st.rank, vl);
+        for i in lo..hi {
+            let u = ts[i];
+            invariants::check_pull_request(ws[i], dv, kd, short_bound);
+            send(
+                part.owner(u),
+                ReqMsg {
+                    u_local: part.local_index(u),
+                    origin,
+                    w: ws[i],
+                },
+            );
+        }
+        let heavy = (lg.degree(vl) as u64) > pi;
+        st.loads.charge(vl, (hi - lo) as u64, heavy);
+        reqs += (hi - lo) as u64;
+    }
+    (reqs, scanned)
+}
+
+/// One rank's response side of a pull phase (§III-B): only sources settled
+/// in the current bucket answer; everything else is the redundancy being
+/// pruned away. Returns the number of responses produced.
+pub(super) fn pull_respond(
+    part: &Partition,
+    st: &mut RankState,
+    k: u64,
+    reqs: impl Iterator<Item = ReqMsg>,
+    send: &mut impl FnMut(usize, RelaxMsg),
+) -> u64 {
+    let mut responses = 0u64;
+    for r in reqs {
+        st.charge_recv(r.u_local);
+        if st.bucket_of[r.u_local as usize] == k {
+            let nd = st.dist[r.u_local as usize] + r.w as u64;
+            send(
+                part.owner(r.origin),
+                RelaxMsg {
+                    target: part.local_index(r.origin),
+                    nd,
+                },
+            );
+            responses += 1;
+        }
+    }
+    responses
+}
+
+/// One rank's send side of a Bellman-Ford round (§III-D): relax every edge
+/// of every active vertex. Returns the number of relaxations produced.
+pub(super) fn bf_send(
+    lg: &LocalGraph,
+    part: &Partition,
+    st: &mut RankState,
+    pi: u64,
+    send: &mut impl FnMut(usize, RelaxMsg),
+) -> u64 {
+    let mut sent = 0u64;
+    for &u in &st.active {
+        let ul = u as usize;
+        let du = st.dist[ul];
+        let (ts, ws) = lg.row(ul);
+        for i in 0..ts.len() {
+            let v = ts[i];
+            send(
+                part.owner(v),
+                RelaxMsg {
+                    target: part.local_index(v),
+                    nd: du + ws[i] as u64,
+                },
+            );
+        }
+        let heavy = (lg.degree(ul) as u64) > pi;
+        st.loads.charge(ul, ts.len() as u64, heavy);
+        sent += ts.len() as u64;
+    }
+    sent
+}

@@ -7,9 +7,8 @@ use rayon::prelude::*;
 use sssp_comm::cost::TimeClass;
 
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
-use crate::state::INF;
 
-use super::{invariants, Engine, RelaxMsg, ReqMsg, RELAX_BYTES, REQ_BYTES};
+use super::{invariants, kernels, Engine, REQ_BYTES};
 
 impl Engine<'_> {
     // -- long phase: pull ------------------------------------------------------
@@ -18,12 +17,6 @@ impl Engine<'_> {
         let dg = self.dg;
         let delta = self.cfg.delta;
         let pi = self.pi;
-        let short_bound = delta.short_bound();
-        let bucket_end = delta.bucket_end(k);
-        let k_delta = match delta {
-            crate::config::DeltaParam::Finite(d) => k * d as u64,
-            crate::config::DeltaParam::Infinite => 0,
-        };
 
         let mut phase_relax = 0u64;
         let mut phase_remote = 0u64;
@@ -39,45 +32,24 @@ impl Engine<'_> {
                 .par_iter_mut()
                 .zip(self.relax_bufs.outboxes.par_iter_mut())
                 .map(|(st, ob)| {
-                    let lg = &dg.locals[st.rank];
-                    let part = &dg.part;
-                    let mut outer = 0u64;
-                    st.collect_active_from_bucket(k);
-                    for i in 0..st.active.len() {
-                        let ul = st.active[i] as usize;
-                        let du = st.dist[ul];
-                        let (ts, ws) = lg.row(ul);
-                        let start = Self::push_range_start(true, ws, du, bucket_end, short_bound);
-                        let long_start = ws.partition_point(|&w| (w as u64) < short_bound);
-                        for j in start..long_start {
-                            let v = ts[j];
-                            ob.send(
-                                part.owner(v),
-                                RelaxMsg {
-                                    target: part.local_index(v),
-                                    nd: du + ws[j] as u64,
-                                },
-                            );
-                            outer += 1;
-                        }
-                        let heavy = (lg.degree(ul) as u64) > pi;
-                        st.loads.charge(ul, (long_start - start) as u64, heavy);
-                    }
-                    outer
+                    kernels::outer_short_send(
+                        &dg.locals[st.rank],
+                        &dg.part,
+                        st,
+                        k,
+                        &delta,
+                        pi,
+                        &mut |dst, m| ob.send(dst, m),
+                    )
                 })
                 .sum();
-            let step = self
-                .relax_bufs
-                .exchange(RELAX_BYTES, self.model.packet.as_ref());
+            let step = self.exchange_relax();
             invariants::check_conservation(&self.relax_bufs.inboxes, &step);
             self.states
                 .par_iter_mut()
                 .zip(self.relax_bufs.inboxes.par_iter())
                 .for_each(|(st, inbox)| {
-                    for m in inbox.iter() {
-                        st.charge_recv(m.target);
-                        st.relax(m.target, m.nd, &delta);
-                    }
+                    kernels::apply_relax(st, &delta, inbox.iter().copied());
                 });
             self.charge_exchange(&step);
             phase_relax += outer_total;
@@ -88,6 +60,7 @@ impl Engine<'_> {
 
         // Sub-step 1: requests. Every unsettled vertex v asks along each
         // long edge that could still improve it: w(e) < d(v) − kΔ (eq. 1).
+        // Requests are never coalesced — each one expects its own response.
         self.begin_superstep();
         if !self.cfg.pooled_buffers {
             // Fresh-allocation mode: the request pool resets here, at its
@@ -100,41 +73,15 @@ impl Engine<'_> {
             .par_iter_mut()
             .zip(self.req_bufs.outboxes.par_iter_mut())
             .map(|(st, ob)| {
-                let lg = &dg.locals[st.rank];
-                let part = &dg.part;
-                let mut reqs = 0u64;
-                let mut scanned = 0u64;
-                for vl in 0..st.n_local() {
-                    if st.bucket_of[vl] <= k {
-                        continue;
-                    }
-                    scanned += 1;
-                    let dv = st.dist[vl];
-                    let threshold = if dv == INF { u64::MAX } else { dv - k_delta };
-                    let (ts, ws) = lg.row(vl);
-                    let lo = ws.partition_point(|&w| (w as u64) < short_bound);
-                    let hi = ws.partition_point(|&w| (w as u64) < threshold);
-                    if hi <= lo {
-                        continue;
-                    }
-                    let origin = part.to_global(st.rank, vl);
-                    for i in lo..hi {
-                        let u = ts[i];
-                        invariants::check_pull_request(ws[i], dv, k_delta, short_bound);
-                        ob.send(
-                            part.owner(u),
-                            ReqMsg {
-                                u_local: part.local_index(u),
-                                origin,
-                                w: ws[i],
-                            },
-                        );
-                    }
-                    let heavy = (lg.degree(vl) as u64) > pi;
-                    st.loads.charge(vl, (hi - lo) as u64, heavy);
-                    reqs += (hi - lo) as u64;
-                }
-                (reqs, scanned)
+                kernels::pull_request_send(
+                    &dg.locals[st.rank],
+                    &dg.part,
+                    st,
+                    k,
+                    &delta,
+                    pi,
+                    &mut |dst, m| ob.send(dst, m),
+                )
             })
             .reduce_with(|a, b| (a.0 + b.0, a.1.max(b.1)))
             .unwrap_or((0, 0));
@@ -159,37 +106,18 @@ impl Engine<'_> {
             .zip(self.req_bufs.inboxes.par_iter())
             .zip(self.relax_bufs.outboxes.par_iter_mut())
             .map(|((st, reqs), ob)| {
-                let part = &dg.part;
-                let mut responses = 0u64;
-                for r in reqs.iter() {
-                    st.charge_recv(r.u_local);
-                    if st.bucket_of[r.u_local as usize] == k {
-                        let nd = st.dist[r.u_local as usize] + r.w as u64;
-                        ob.send(
-                            part.owner(r.origin),
-                            RelaxMsg {
-                                target: part.local_index(r.origin),
-                                nd,
-                            },
-                        );
-                        responses += 1;
-                    }
-                }
-                responses
+                kernels::pull_respond(&dg.part, st, k, reqs.iter().copied(), &mut |dst, m| {
+                    ob.send(dst, m)
+                })
             })
             .sum();
-        let resp_step = self
-            .relax_bufs
-            .exchange(RELAX_BYTES, self.model.packet.as_ref());
+        let resp_step = self.exchange_relax();
         invariants::check_conservation(&self.relax_bufs.inboxes, &resp_step);
         self.states
             .par_iter_mut()
             .zip(self.relax_bufs.inboxes.par_iter())
             .for_each(|(st, inbox)| {
-                for m in inbox.iter() {
-                    st.charge_recv(m.target);
-                    st.relax(m.target, m.nd, &delta);
-                }
+                kernels::apply_relax(st, &delta, inbox.iter().copied());
             });
         self.charge_exchange(&resp_step);
         phase_remote += resp_step.remote_msgs;

@@ -5,29 +5,10 @@ use rayon::prelude::*;
 
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
 
-use super::{invariants, Engine, RelaxMsg, RELAX_BYTES};
+use super::{invariants, kernels, Engine};
 
 impl Engine<'_> {
     // -- long phase: push -----------------------------------------------------
-
-    /// Row index where the long-phase push range of `u` starts: with IOS the
-    /// suffix of edges that could not have been relaxed as inner shorts
-    /// (`w > bucket_end − d(u)`), otherwise the long edges (`w ≥ Δ`).
-    #[inline]
-    pub(super) fn push_range_start(
-        ios: bool,
-        ws: &[u32],
-        du: u64,
-        bucket_end: u64,
-        short_bound: u64,
-    ) -> usize {
-        if ios {
-            let bound = (bucket_end - du).min(short_bound.saturating_sub(1));
-            ws.partition_point(|&w| (w as u64) <= bound)
-        } else {
-            ws.partition_point(|&w| (w as u64) < short_bound)
-        }
-    }
 
     pub(super) fn long_push(&mut self, k: u64, record: &mut BucketRecord) {
         self.begin_superstep();
@@ -35,49 +16,27 @@ impl Engine<'_> {
         let delta = self.cfg.delta;
         let ios = self.cfg.ios;
         let pi = self.pi;
-        let short_bound = delta.short_bound();
-        let bucket_end = delta.bucket_end(k);
 
         let (outer_total, long_total) = self
             .states
             .par_iter_mut()
             .zip(self.relax_bufs.outboxes.par_iter_mut())
             .map(|(st, ob)| {
-                let lg = &dg.locals[st.rank];
-                let part = &dg.part;
-                let (mut outer, mut long) = (0u64, 0u64);
-                st.collect_active_from_bucket(k);
-                for i in 0..st.active.len() {
-                    let ul = st.active[i] as usize;
-                    let du = st.dist[ul];
-                    let (ts, ws) = lg.row(ul);
-                    let start = Self::push_range_start(ios, ws, du, bucket_end, short_bound);
-                    for j in start..ts.len() {
-                        let v = ts[j];
-                        ob.send(
-                            part.owner(v),
-                            RelaxMsg {
-                                target: part.local_index(v),
-                                nd: du + ws[j] as u64,
-                            },
-                        );
-                        if (ws[j] as u64) < short_bound {
-                            outer += 1;
-                        } else {
-                            long += 1;
-                        }
-                    }
-                    let heavy = (lg.degree(ul) as u64) > pi;
-                    st.loads.charge(ul, (ts.len() - start) as u64, heavy);
-                }
-                (outer, long)
+                kernels::long_push_send(
+                    &dg.locals[st.rank],
+                    &dg.part,
+                    st,
+                    k,
+                    &delta,
+                    ios,
+                    pi,
+                    &mut |dst, m| ob.send(dst, m),
+                )
             })
             .reduce_with(|a, b| (a.0 + b.0, a.1 + b.1))
             .unwrap_or((0, 0));
 
-        let step = self
-            .relax_bufs
-            .exchange(RELAX_BYTES, self.model.packet.as_ref());
+        let step = self.exchange_relax();
         invariants::check_conservation(&self.relax_bufs.inboxes, &step);
 
         // Receiver-side classification (§III-B / Fig 7): self, backward or
@@ -86,22 +45,7 @@ impl Engine<'_> {
             .states
             .par_iter_mut()
             .zip(self.relax_bufs.inboxes.par_iter())
-            .map(|(st, inbox)| {
-                let (mut se, mut be, mut fe) = (0u64, 0u64, 0u64);
-                for m in inbox.iter() {
-                    let b = st.bucket_of[m.target as usize];
-                    if b == k {
-                        se += 1;
-                    } else if b < k {
-                        be += 1;
-                    } else {
-                        fe += 1;
-                    }
-                    st.charge_recv(m.target);
-                    st.relax(m.target, m.nd, &delta);
-                }
-                (se, be, fe)
-            })
+            .map(|(st, inbox)| kernels::classify_apply_relax(st, k, &delta, inbox.iter().copied()))
             .reduce_with(|a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
             .unwrap_or((0, 0, 0));
         record.self_edges += se;

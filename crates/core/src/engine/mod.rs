@@ -25,7 +25,7 @@ use rayon::prelude::*;
 
 use sssp_comm::collective::{allreduce_max, allreduce_min, allreduce_sum};
 use sssp_comm::cost::{MachineModel, TimeClass, TimeLedger};
-use sssp_comm::exchange::ExchangeBuffers;
+use sssp_comm::exchange::{coalesce_lane_min, ExchangeBuffers};
 use sssp_comm::stats::{CommStats, StepStats};
 use sssp_dist::DistGraph;
 use sssp_graph::VertexId;
@@ -254,9 +254,7 @@ impl<'a> Engine<'a> {
             invariants::check_epoch_monotone(k, k_prev);
 
             if let (Some(tau), Some(kp)) = (self.cfg.hybrid_tau, k_prev) {
-                // sssp-lint: allow(no-float-kernel): hybrid switch test (§III-D);
-                // τ is a ratio, never enters a distance computation.
-                if settled_total as f64 > tau * n_total as f64 {
+                if decide::hybrid_should_switch(tau, settled_total, n_total) {
                     self.bellman_ford_tail(kp);
                     self.stats.hybrid_switch_at = Some(kp);
                     break;
@@ -277,6 +275,14 @@ impl<'a> Engine<'a> {
             settled_total += settled_k;
             if let Some(rec) = self.stats.bucket_records.last_mut() {
                 rec.settled = settled_k;
+            }
+
+            // Epoch-boundary pool bound: release any buffer whose capacity
+            // ballooned past 4× this epoch's high-water mark, so a one-off
+            // giant superstep cannot pin memory for the rest of the run.
+            if self.cfg.pooled_buffers {
+                self.relax_bufs.shrink_to_watermark();
+                self.req_bufs.shrink_to_watermark();
             }
 
             k_prev = Some(k);
@@ -347,6 +353,28 @@ impl<'a> Engine<'a> {
         self.states.iter().map(|s| s.loads.max()).max().unwrap_or(0)
     }
 
+    /// Coalesce + exchange the relax buffers: each outbox lane is
+    /// min-reduced per destination vertex first (when enabled), so only
+    /// the smallest tentative distance per target crosses the wire. The
+    /// removed-message count rides on the returned step record.
+    pub(super) fn exchange_relax(&mut self) -> StepStats {
+        let saved: u64 = if self.cfg.coalescing {
+            self.relax_bufs
+                .outboxes
+                .iter_mut()
+                .flat_map(|ob| ob.out.iter_mut())
+                .map(|lane| coalesce_lane_min(lane, |m| m.target, |m| m.nd))
+                .sum()
+        } else {
+            0
+        };
+        let mut step = self
+            .relax_bufs
+            .exchange(RELAX_BYTES, self.model.packet.as_ref());
+        step.coalesced_msgs = saved;
+        step
+    }
+
     pub(super) fn charge_exchange(&mut self, step: &StepStats) {
         let bytes = step.max_rank_send_bytes.max(step.max_rank_recv_bytes);
         let ops = self.max_thread_ops();
@@ -410,9 +438,12 @@ impl<'a> Engine<'a> {
 mod bellman_ford;
 mod decide;
 mod invariants;
+mod kernels;
 mod long_pull;
 mod long_push;
 mod short;
+/// The real-thread backend: the same epoch loop on one OS thread per rank.
+pub mod threaded;
 
 #[cfg(test)]
 mod tests;

@@ -4,7 +4,7 @@ use rayon::prelude::*;
 
 use crate::instrument::{PhaseKind, PhaseRecord};
 
-use super::{invariants, Engine, RELAX_BYTES};
+use super::{invariants, kernels, Engine};
 
 impl Engine<'_> {
     // -- short phases --------------------------------------------------------
@@ -15,63 +15,33 @@ impl Engine<'_> {
         let delta = self.cfg.delta;
         let ios = self.cfg.ios;
         let pi = self.pi;
-        let short_bound = delta.short_bound();
-        let bucket_end = delta.bucket_end(k);
 
         let relaxations: u64 = self
             .states
             .par_iter_mut()
             .zip(self.relax_bufs.outboxes.par_iter_mut())
             .map(|(st, ob)| {
-                let lg = &dg.locals[st.rank];
-                let part = &dg.part;
-                let mut sent = 0u64;
-                for &u in &st.active {
-                    let ul = u as usize;
-                    debug_assert_eq!(st.bucket_of[ul], k);
-                    let du = st.dist[ul];
-                    debug_assert!(du <= bucket_end);
-                    let (ts, ws) = lg.row(ul);
-                    let hi = if ios {
-                        // Inner short edges only: d(u) + w must stay inside
-                        // the bucket (and the edge must be short).
-                        let bound = (bucket_end - du).min(short_bound.saturating_sub(1));
-                        ws.partition_point(|&w| (w as u64) <= bound)
-                    } else {
-                        ws.partition_point(|&w| (w as u64) < short_bound)
-                    };
-                    for i in 0..hi {
-                        let v = ts[i];
-                        invariants::check_ios_inner_edge(ios, ws[i], du, short_bound, bucket_end);
-                        ob.send(
-                            part.owner(v),
-                            super::RelaxMsg {
-                                target: part.local_index(v),
-                                nd: du + ws[i] as u64,
-                            },
-                        );
-                    }
-                    let heavy = (lg.degree(ul) as u64) > pi;
-                    st.loads.charge(ul, hi as u64, heavy);
-                    sent += hi as u64;
-                }
-                sent
+                kernels::short_send(
+                    &dg.locals[st.rank],
+                    &dg.part,
+                    st,
+                    k,
+                    &delta,
+                    ios,
+                    pi,
+                    &mut |dst, m| ob.send(dst, m),
+                )
             })
             .sum();
 
-        let step = self
-            .relax_bufs
-            .exchange(RELAX_BYTES, self.model.packet.as_ref());
+        let step = self.exchange_relax();
         invariants::check_conservation(&self.relax_bufs.inboxes, &step);
 
         self.states
             .par_iter_mut()
             .zip(self.relax_bufs.inboxes.par_iter())
             .for_each(|(st, inbox)| {
-                for m in inbox.iter() {
-                    st.charge_recv(m.target);
-                    st.relax(m.target, m.nd, &delta);
-                }
+                kernels::apply_relax(st, &delta, inbox.iter().copied());
                 // Next phase's active set: changed vertices now in B_k.
                 st.collect_active_changed_in_bucket(k);
             });

@@ -505,11 +505,25 @@ fn receive_work_charged_to_target_owner_threads() {
     }
     let g = CsrBuilder::new().build(&el);
     let dg = DistGraph::build(&g, 1, 4);
-    let cfg = SsspConfig::del(5).with_intra_balance(IntraBalance::Threshold(1));
+    let cfg = SsspConfig::del(5)
+        .with_intra_balance(IntraBalance::Threshold(1))
+        .with_coalescing(false);
     let out = run_sssp(&dg, 0, &cfg, &MachineModel::unit());
     assert_eq!(out.distances[0], 0);
     for t in [4usize, 8, 12, 16] {
         assert_eq!(out.distances[t], 3);
     }
     assert_eq!(out.stats.ledger.relax_s, 16.0);
+
+    // Coalescing folds short #2's four duplicate (0, 6) proposals into
+    // one, so thread 0's receive pile shrinks by 3 there (5+1 instead of
+    // 8+1) and the saving is recorded on the step stats.
+    let cfg = SsspConfig::del(5).with_intra_balance(IntraBalance::Threshold(1));
+    let out = run_sssp(&dg, 0, &cfg, &MachineModel::unit());
+    assert_eq!(out.distances[0], 0);
+    for t in [4usize, 8, 12, 16] {
+        assert_eq!(out.distances[t], 3);
+    }
+    assert_eq!(out.stats.ledger.relax_s, 13.0);
+    assert_eq!(out.stats.comm.total_coalesced_msgs(), 3);
 }

@@ -1,0 +1,480 @@
+//! The real-thread Δ-stepping engine: the complete epoch loop of
+//! [`super::Engine`] — bucket collectives, repeated inner-short phases,
+//! the per-bucket §III-C push/pull decision and the τ-triggered
+//! Bellman-Ford tail — running one OS thread per rank over
+//! [`sssp_comm::threaded::RankCtx`].
+//!
+//! Both backends call the same rank-local kernels (`super::kernels`), so
+//! the relaxation logic exists exactly once; this module contributes only
+//! the SPMD driver: which kernel runs when, and how its messages travel.
+//! Because channel inboxes are delivered in source-rank order (matching
+//! the simulated transpose) and sender-side coalescing leaves each lane
+//! sorted by `(target, nd)`, a threaded run applies the *identical*
+//! message sequence in the *identical* order as a simulated run — final
+//! distances are bit-identical, which the differential proptests pin.
+//!
+//! Collectives use only the `sssp_comm::threaded` rendezvous primitives;
+//! everything else is rank-private state.
+
+use std::sync::Arc;
+
+use sssp_comm::cost::MachineModel;
+use sssp_comm::exchange::{coalesce_lane_min, shrink_oversized};
+use sssp_comm::threaded::{run_threaded, RankCtx};
+use sssp_dist::{DistGraph, LocalGraph};
+use sssp_graph::VertexId;
+
+use crate::config::{DirectionPolicy, LongPhaseMode, SsspConfig};
+use crate::state::{RankState, INF};
+
+use super::{decide, kernels, resolved_pi, RelaxMsg, ReqMsg};
+
+/// Messages of the threaded engine's single channel world: relax proposals
+/// and pull requests share one wire type (a superstep carries only one of
+/// the two kinds, exactly as the simulated engine keeps separate buffer
+/// pools per kind).
+enum Wire {
+    /// A relaxation proposal.
+    Relax(RelaxMsg),
+    /// A pull request.
+    Req(ReqMsg),
+}
+
+impl Wire {
+    #[inline]
+    fn relax(&self) -> RelaxMsg {
+        match self {
+            Wire::Relax(m) => *m,
+            // A request inside a relax superstep breaks the SPMD protocol;
+            // aborting the run is the correct response.
+            // sssp-lint: allow(no-panic-hot-path): SPMD protocol contract
+            Wire::Req(_) => panic!("pull request delivered in a relax superstep"),
+        }
+    }
+
+    #[inline]
+    fn req(&self) -> ReqMsg {
+        match self {
+            Wire::Req(m) => *m,
+            // sssp-lint: allow(no-panic-hot-path): SPMD protocol contract
+            Wire::Relax(_) => panic!("relaxation delivered in a request superstep"),
+        }
+    }
+}
+
+/// Result of a threaded run: final distances plus the transport counters
+/// the wall-clock benchmark records.
+#[derive(Debug, Clone)]
+pub struct ThreadedSsspOutput {
+    /// Final distances indexed by global vertex id (`u64::MAX` = unreached).
+    pub distances: Vec<u64>,
+    /// Relaxation messages that entered an exchange (post-coalescing, all
+    /// ranks summed). Pull requests are not included.
+    pub relax_msgs: u64,
+    /// Relaxation messages removed by sender-side coalescing before the
+    /// exchanges (all ranks summed).
+    pub coalesced_msgs: u64,
+}
+
+/// Per-rank return value of the rank body.
+struct RankResult {
+    dist: Vec<u64>,
+    relax_msgs: u64,
+    coalesced_msgs: u64,
+}
+
+/// Per-rank transport counters plus the epoch's pool high-water mark.
+struct Traffic {
+    relax_msgs: u64,
+    coalesced_msgs: u64,
+    hwm: usize,
+}
+
+/// Run the configured SSSP algorithm from `root` with one OS thread per
+/// rank. Distances are bit-identical to [`super::run_sssp`] under every
+/// configuration; only wall-clock behavior (and the absence of the
+/// simulated cost model) differs.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sssp_core::{threaded_delta_stepping, SsspConfig};
+/// use sssp_comm::cost::MachineModel;
+/// use sssp_dist::DistGraph;
+/// use sssp_graph::{gen, CsrBuilder};
+///
+/// let csr = CsrBuilder::new().build(&gen::path(5, 3));
+/// let dg = Arc::new(DistGraph::build(&csr, 2, 2));
+/// let out = threaded_delta_stepping(&dg, 0, &SsspConfig::opt(25), &MachineModel::bgq_like());
+/// assert_eq!(out.distances, vec![0, 3, 6, 9, 12]);
+/// ```
+pub fn threaded_delta_stepping(
+    dg: &Arc<DistGraph>,
+    root: VertexId,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> ThreadedSsspOutput {
+    let n = dg.num_vertices();
+    assert!((root as usize) < n, "root {root} out of range (n = {n})");
+    let p = dg.num_ranks();
+    let dg_body = Arc::clone(dg);
+    let cfg_body = cfg.clone();
+    let model_body = *model;
+    let per_rank = run_threaded(p, move |mut ctx: RankCtx<Wire>| {
+        rank_body(&dg_body, root, &cfg_body, &model_body, &mut ctx)
+    });
+
+    let mut distances = vec![INF; n];
+    let mut relax_msgs = 0u64;
+    let mut coalesced_msgs = 0u64;
+    for (rank, res) in per_rank.into_iter().enumerate() {
+        for (l, &d) in res.dist.iter().enumerate() {
+            distances[dg.part.to_global(rank, l) as usize] = d;
+        }
+        relax_msgs += res.relax_msgs;
+        coalesced_msgs += res.coalesced_msgs;
+    }
+    ThreadedSsspOutput {
+        distances,
+        relax_msgs,
+        coalesced_msgs,
+    }
+}
+
+/// Coalesce (when enabled) and exchange a relax superstep's lanes. Counts
+/// post-coalescing wire messages and removed duplicates, and tracks the
+/// epoch high-water mark for the pool-shrink policy.
+fn exchange_relax(
+    ctx: &mut RankCtx<Wire>,
+    out: &mut [Vec<Wire>],
+    inbox: &mut Vec<Wire>,
+    coalescing: bool,
+    t: &mut Traffic,
+) {
+    if coalescing {
+        for lane in out.iter_mut() {
+            t.coalesced_msgs += coalesce_lane_min(lane, |w| w.relax().target, |w| w.relax().nd);
+        }
+    }
+    for lane in out.iter() {
+        t.relax_msgs += lane.len() as u64;
+        t.hwm = t.hwm.max(lane.len());
+    }
+    ctx.exchange_pooled(out, inbox);
+    t.hwm = t.hwm.max(inbox.len());
+}
+
+/// Exchange a request superstep's lanes. Requests are never coalesced —
+/// each one expects its own response — and do not count as relax traffic.
+fn exchange_reqs(
+    ctx: &mut RankCtx<Wire>,
+    out: &mut [Vec<Wire>],
+    inbox: &mut Vec<Wire>,
+    t: &mut Traffic,
+) {
+    for lane in out.iter() {
+        t.hwm = t.hwm.max(lane.len());
+    }
+    ctx.exchange_pooled(out, inbox);
+    t.hwm = t.hwm.max(inbox.len());
+}
+
+/// The §III-C decision on the thread backend: rank-local volume estimates
+/// reduced through five allreduces, then the shared totals→decision
+/// arithmetic. Forced and Always policies skip the collectives uniformly
+/// (every rank holds the same config, so the SPMD sequence stays aligned).
+#[allow(clippy::too_many_arguments)]
+fn decide_threaded(
+    ctx: &mut RankCtx<Wire>,
+    lg: &LocalGraph,
+    st: &RankState,
+    k: u64,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    p: usize,
+    max_weight: u64,
+    buckets_done: usize,
+) -> LongPhaseMode {
+    let heuristic = |ctx: &mut RankCtx<Wire>| -> LongPhaseMode {
+        let (push, pull, scanned) = decide::rank_volumes(
+            lg,
+            st,
+            k,
+            &cfg.delta,
+            cfg.ios,
+            cfg.pull_estimator,
+            max_weight,
+        );
+        let push_total = ctx.allreduce_sum(push);
+        let pull_total = ctx.allreduce_sum(pull);
+        let push_max = ctx.allreduce_max(push);
+        let pull_max = ctx.allreduce_max(pull);
+        let scan_max = ctx.allreduce_max(scanned);
+        decide::decide_from_totals(
+            cfg, model, p, push_total, pull_total, push_max, pull_max, scan_max,
+        )
+        .0
+    };
+    match &cfg.direction {
+        DirectionPolicy::AlwaysPush => LongPhaseMode::Push,
+        DirectionPolicy::AlwaysPull => LongPhaseMode::Pull,
+        DirectionPolicy::Heuristic => heuristic(ctx),
+        DirectionPolicy::Forced(seq) => match seq.get(buckets_done) {
+            Some(&mode) => mode,
+            None => heuristic(ctx),
+        },
+    }
+}
+
+/// One rank's whole run: the exact epoch loop of the simulated engine,
+/// with every simulated collective replaced by its `RankCtx` counterpart
+/// and every buffer rank-private.
+fn rank_body(
+    dg: &DistGraph,
+    root: VertexId,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    ctx: &mut RankCtx<Wire>,
+) -> RankResult {
+    let r = ctx.rank();
+    let p = ctx.num_ranks();
+    let lg = &dg.locals[r];
+    let part = &dg.part;
+    let delta = cfg.delta;
+    let n_total = dg.num_vertices() as u64;
+    let mut st = RankState::new(r, part.local_count(r), dg.threads_per_rank);
+
+    // Global weight extremes: a local scan over the weight-sorted rows,
+    // reduced through two collectives (the simulated engine scans every
+    // rank directly). Degenerate (edgeless) graphs collapse to (0, 0).
+    let (mut w_lo, mut w_hi) = (u64::from(u32::MAX), 0u64);
+    for v in 0..lg.num_local() {
+        let (_, ws) = lg.row(v);
+        if let (Some(&first), Some(&last)) = (ws.first(), ws.last()) {
+            w_lo = w_lo.min(first as u64);
+            w_hi = w_hi.max(last as u64);
+        }
+    }
+    let mut min_weight = ctx.allreduce_min(w_lo);
+    let mut max_weight = ctx.allreduce_max(w_hi);
+    if dg.m_directed == 0 {
+        min_weight = 0;
+        max_weight = 0;
+    }
+
+    let pi = resolved_pi(cfg.intra_balance, dg.m_directed, n_total);
+    let has_short = dg.m_directed > 0 && min_weight < delta.short_bound();
+
+    let mut out: Vec<Vec<Wire>> = (0..p).map(|_| Vec::new()).collect();
+    let mut inbox: Vec<Wire> = Vec::new();
+    let mut req_inbox: Vec<Wire> = Vec::new();
+    let mut t = Traffic {
+        relax_msgs: 0,
+        coalesced_msgs: 0,
+        hwm: 0,
+    };
+
+    st.begin_phase();
+    if part.owner(root) == r {
+        st.relax(part.local_index(root), 0, &delta);
+    }
+
+    let mut k_prev: Option<u64> = None;
+    let mut settled_total = 0u64;
+    let mut buckets_done = 0usize;
+
+    loop {
+        // Bucket collective: smallest nonempty bucket across all ranks.
+        let k = ctx.allreduce_min(st.next_nonempty_after(k_prev).unwrap_or(u64::MAX));
+        if k == u64::MAX {
+            break;
+        }
+
+        // Hybrid switch (§III-D): merge the remaining buckets and finish
+        // with Bellman-Ford rounds.
+        if let (Some(tau), Some(kp)) = (cfg.hybrid_tau, k_prev) {
+            if decide::hybrid_should_switch(tau, settled_total, n_total) {
+                st.collect_active_unsettled(kp);
+                while ctx.any(!st.active.is_empty()) {
+                    st.begin_phase();
+                    st.loads.reset();
+                    kernels::bf_send(lg, part, &mut st, pi, &mut |dst, m| {
+                        out[dst].push(Wire::Relax(m))
+                    });
+                    exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
+                    kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+                    st.collect_active_changed();
+                }
+                break;
+            }
+        }
+
+        // Stage 1: repeated inner-short phases.
+        st.collect_active_from_bucket(k);
+        if has_short {
+            while ctx.any(!st.active.is_empty()) {
+                st.begin_phase();
+                st.loads.reset();
+                kernels::short_send(lg, part, &mut st, k, &delta, cfg.ios, pi, &mut |dst, m| {
+                    out[dst].push(Wire::Relax(m))
+                });
+                exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
+                kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+                st.collect_active_changed_in_bucket(k);
+            }
+        }
+
+        // Stage 2: long-edge phase, push or pull.
+        let mode = decide_threaded(ctx, lg, &st, k, cfg, model, p, max_weight, buckets_done);
+        match mode {
+            LongPhaseMode::Push => {
+                st.begin_phase();
+                st.loads.reset();
+                kernels::long_push_send(
+                    lg,
+                    part,
+                    &mut st,
+                    k,
+                    &delta,
+                    cfg.ios,
+                    pi,
+                    &mut |dst, m| out[dst].push(Wire::Relax(m)),
+                );
+                exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
+                kernels::classify_apply_relax(&mut st, k, &delta, inbox.iter().map(Wire::relax));
+            }
+            LongPhaseMode::Pull => {
+                if cfg.ios {
+                    st.begin_phase();
+                    st.loads.reset();
+                    kernels::outer_short_send(lg, part, &mut st, k, &delta, pi, &mut |dst, m| {
+                        out[dst].push(Wire::Relax(m))
+                    });
+                    exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
+                    kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+                }
+                st.begin_phase();
+                st.loads.reset();
+                kernels::pull_request_send(lg, part, &mut st, k, &delta, pi, &mut |dst, m| {
+                    out[dst].push(Wire::Req(m))
+                });
+                exchange_reqs(ctx, &mut out, &mut req_inbox, &mut t);
+                st.begin_phase();
+                st.loads.reset();
+                kernels::pull_respond(
+                    part,
+                    &mut st,
+                    k,
+                    req_inbox.iter().map(Wire::req),
+                    &mut |dst, m| out[dst].push(Wire::Relax(m)),
+                );
+                exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
+                kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+            }
+        }
+
+        // Settled-count collective (drives the hybrid switch; the paper
+        // computes it at every epoch end).
+        settled_total += ctx.allreduce_sum(st.bucket_count(k));
+        k_prev = Some(k);
+        buckets_done += 1;
+
+        // Epoch-boundary pool bound: release lanes, inboxes and channel
+        // spares that ballooned past 4× this epoch's high-water mark.
+        ctx.trim_spares();
+        for lane in out.iter_mut() {
+            shrink_oversized(lane, t.hwm);
+        }
+        shrink_oversized(&mut inbox, t.hwm);
+        shrink_oversized(&mut req_inbox, t.hwm);
+        t.hwm = 0;
+    }
+
+    RankResult {
+        dist: st.dist,
+        relax_msgs: t.relax_msgs,
+        coalesced_msgs: t.coalesced_msgs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use sssp_graph::{gen, CsrBuilder};
+
+    #[test]
+    fn threaded_matches_sequential_dijkstra() {
+        for seed in 0..3 {
+            let g = CsrBuilder::new().build(&gen::uniform(120, 700, 30, seed));
+            let expect = seq::dijkstra(&g, 0);
+            let model = MachineModel::bgq_like();
+            for p in [1usize, 3, 5] {
+                let dg = Arc::new(DistGraph::build(&g, p, 2));
+                for cfg in [
+                    SsspConfig::dijkstra(),
+                    SsspConfig::del(15),
+                    SsspConfig::prune(20),
+                    SsspConfig::opt(20),
+                    SsspConfig::bellman_ford(),
+                ] {
+                    let out = threaded_delta_stepping(&dg, 0, &cfg, &model);
+                    assert_eq!(out.distances, expect, "seed {seed} p {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_matches_simulated_bit_identical() {
+        let g = CsrBuilder::new().build(&gen::uniform(200, 1200, 40, 9));
+        let model = MachineModel::bgq_like();
+        for p in [1usize, 4, 6] {
+            let dg = Arc::new(DistGraph::build(&g, p, 2));
+            for cfg in [SsspConfig::opt(25), SsspConfig::prune(12).with_ios(false)] {
+                let simulated = super::super::run_sssp(&dg, 0, &cfg, &model);
+                let threaded = threaded_delta_stepping(&dg, 0, &cfg, &model);
+                assert_eq!(threaded.distances, simulated.distances, "p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_toggle_preserves_distances_and_counts_savings() {
+        // Dense-ish graph: plenty of parallel proposals per target, so the
+        // coalescer must fire. Turning it off must not change distances,
+        // only the wire counts.
+        let g = CsrBuilder::new().build(&gen::uniform(80, 900, 25, 7));
+        let dg = Arc::new(DistGraph::build(&g, 4, 2));
+        let model = MachineModel::bgq_like();
+        let on = threaded_delta_stepping(&dg, 0, &SsspConfig::opt(20), &model);
+        let off =
+            threaded_delta_stepping(&dg, 0, &SsspConfig::opt(20).with_coalescing(false), &model);
+        assert_eq!(on.distances, off.distances);
+        assert_eq!(off.coalesced_msgs, 0);
+        assert!(on.coalesced_msgs > 0, "coalescer never fired");
+        // Conservation: every message the coalesced run dropped is one the
+        // uncoalesced run carried.
+        assert_eq!(on.relax_msgs + on.coalesced_msgs, off.relax_msgs);
+    }
+
+    #[test]
+    fn threaded_handles_degenerate_graphs() {
+        // Single vertex, no edges.
+        let g = CsrBuilder::new().build(&gen::path(1, 1));
+        let dg = Arc::new(DistGraph::build(&g, 2, 1));
+        let out = threaded_delta_stepping(&dg, 0, &SsspConfig::opt(10), &MachineModel::bgq_like());
+        assert_eq!(out.distances, vec![0]);
+        assert_eq!(out.relax_msgs, 0);
+
+        // Disconnected pair: the far component stays unreached.
+        let mut el = gen::path(2, 5);
+        el.n = 4;
+        el.push(2, 3, 1);
+        let g = CsrBuilder::new().build(&el);
+        let dg = Arc::new(DistGraph::build(&g, 3, 1));
+        let out = threaded_delta_stepping(&dg, 0, &SsspConfig::del(4), &MachineModel::bgq_like());
+        assert_eq!(out.distances, vec![0, 5, INF, INF]);
+    }
+}

@@ -18,6 +18,10 @@
 //! transformation: apply [`sssp_dist::split_heavy_vertices`] before building
 //! the [`sssp_dist::DistGraph`].
 //!
+//! The same algorithm also runs on real OS threads (one per rank, channels
+//! and barriers instead of the simulated runtime) via
+//! [`threaded_delta_stepping`], with bit-identical distances.
+//!
 //! [`SsspConfig::dijkstra`]: config::SsspConfig::dijkstra
 //! [`SsspConfig::bellman_ford`]: config::SsspConfig::bellman_ford
 //! [`SsspConfig::del`]: config::SsspConfig::del
@@ -56,5 +60,6 @@ pub mod threaded_kernels;
 pub mod validate;
 
 pub use config::{DeltaParam, DirectionPolicy, IntraBalance, LongPhaseMode, SsspConfig};
+pub use engine::threaded::{threaded_delta_stepping, ThreadedSsspOutput};
 pub use engine::{run_sssp, SsspOutput};
 pub use instrument::RunStats;

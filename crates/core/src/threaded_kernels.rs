@@ -8,10 +8,16 @@
 //! faithfully model a real distributed execution.
 //!
 //! Two kernels are ported: Bellman-Ford SSSP (the message pattern of the
-//! engine's hybrid tail) and min-label connected components.
+//! engine's hybrid tail) and min-label connected components. The full
+//! Δ-stepping algorithm on this backend lives in
+//! [`crate::engine::threaded`]; like it, both kernels coalesce each
+//! outbox lane (min per target) before the exchange — the messages are
+//! min-reductions, so dropping dominated duplicates cannot change any
+//! result.
 
 use std::sync::Arc;
 
+use sssp_comm::exchange::coalesce_lane_min;
 use sssp_comm::threaded::{run_threaded, RankCtx};
 use sssp_dist::DistGraph;
 use sssp_graph::VertexId;
@@ -53,6 +59,9 @@ pub fn threaded_bellman_ford(dg: &Arc<DistGraph>, root: VertexId) -> Vec<u64> {
                     out[dg.part.owner(ts[i])]
                         .push((dg.part.to_local(ts[i]) as u32, du + ws[i] as u64));
                 }
+            }
+            for lane in out.iter_mut() {
+                coalesce_lane_min(lane, |m| m.0, |m| m.1);
             }
             ctx.exchange_pooled(&mut out, &mut inbox);
             for &(t, nd) in &inbox {
@@ -113,6 +122,9 @@ pub fn threaded_cc(dg: &Arc<DistGraph>) -> Vec<VertexId> {
                 for &t in ts {
                     out[dg.part.owner(t)].push((dg.part.to_local(t) as u32, labels[v as usize]));
                 }
+            }
+            for lane in out.iter_mut() {
+                coalesce_lane_min(lane, |m| m.0, |m| m.1);
             }
             ctx.exchange_pooled(&mut out, &mut inbox);
             for &(t, label) in &inbox {

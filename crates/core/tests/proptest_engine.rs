@@ -200,6 +200,27 @@ proptest! {
     }
 
     #[test]
+    fn coalescing_never_changes_results(g in arb_graph(), delta in 1u32..60, p in 1usize..6) {
+        // Sender-side coalescing keeps only the minimum proposal per
+        // (target, distance) key ahead of each exchange. Relaxation is an
+        // idempotent min-reduction, so distances, phase structure and
+        // superstep counts are all unaffected — only delivered-message
+        // totals shrink, by exactly the recorded saving.
+        let dg = DistGraph::build(&g, p, 2);
+        let model = MachineModel::bgq_like();
+        let on = run_sssp(&dg, 0, &SsspConfig::opt(delta), &model);
+        let off = run_sssp(&dg, 0, &SsspConfig::opt(delta).with_coalescing(false), &model);
+        prop_assert_eq!(&on.distances, &off.distances);
+        prop_assert_eq!(on.stats.phases, off.stats.phases);
+        prop_assert_eq!(on.stats.comm.num_supersteps(), off.stats.comm.num_supersteps());
+        prop_assert_eq!(off.stats.comm.total_coalesced_msgs(), 0);
+        prop_assert_eq!(
+            on.stats.comm.total_msgs() + on.stats.comm.total_coalesced_msgs(),
+            off.stats.comm.total_msgs()
+        );
+    }
+
+    #[test]
     fn histogram_estimator_never_changes_results(g in arb_graph(), delta in 2u32..60, p in 1usize..6) {
         use sssp_core::config::PullEstimator;
         let dg = DistGraph::build(&g, p, 2);

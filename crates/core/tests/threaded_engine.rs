@@ -1,0 +1,118 @@
+//! Differential property tests pinning the real-thread engine to the
+//! simulated one: over random graphs, partitions and roots, every
+//! configuration must produce bit-identical distances on both backends.
+//! This is the evidence that the shared rank-local kernels plus the
+//! source-ordered channel delivery reproduce the simulator's semantics
+//! exactly — and that sender-side coalescing is invisible to results.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::{DirectionPolicy, LongPhaseMode, SsspConfig};
+use sssp_core::engine::run_sssp;
+use sssp_core::threaded_delta_stepping;
+use sssp_dist::DistGraph;
+use sssp_graph::{gen, Csr, CsrBuilder};
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2usize..60, 0usize..250, 1u32..60, 0u64..1000)
+        .prop_map(|(n, m, w_max, seed)| CsrBuilder::new().build(&gen::uniform(n, m, w_max, seed)))
+}
+
+/// Case count: the proptest default here is 32, but the nightly
+/// ThreadSanitizer job dials it down via `PROPTEST_CASES` (TSan
+/// instrumentation costs ~10x); `with_cases` would otherwise ignore the
+/// environment.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+}
+
+/// The configuration matrix the differential runs sweep: Δ at both
+/// extremes and in between, each direction policy (including a forced
+/// sequence), the hybrid tail on and off, and coalescing off.
+fn config_matrix() -> Vec<SsspConfig> {
+    vec![
+        SsspConfig::dijkstra(),
+        SsspConfig::prune(20),
+        SsspConfig::bellman_ford(),
+        SsspConfig::del(15).with_direction(DirectionPolicy::AlwaysPush),
+        SsspConfig::prune(15).with_direction(DirectionPolicy::AlwaysPull),
+        SsspConfig::opt(20),
+        SsspConfig::prune(20).with_direction(DirectionPolicy::Forced(vec![
+            LongPhaseMode::Push,
+            LongPhaseMode::Pull,
+            LongPhaseMode::Push,
+        ])),
+        SsspConfig::opt(20).with_coalescing(false),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn threaded_distances_match_simulated(
+        g in arb_graph(),
+        p in 1usize..7,
+        root_pick in any::<prop::sample::Index>(),
+    ) {
+        let root = root_pick.index(g.num_vertices()) as u32;
+        let dg = Arc::new(DistGraph::build(&g, p, 2));
+        let model = MachineModel::bgq_like();
+        for cfg in config_matrix() {
+            let simulated = run_sssp(&dg, root, &cfg, &model);
+            let threaded = threaded_delta_stepping(&dg, root, &cfg, &model);
+            prop_assert_eq!(
+                &threaded.distances,
+                &simulated.distances,
+                "p = {}, cfg = {:?}",
+                p,
+                &cfg
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_coalescing_is_invisible_to_distances(
+        g in arb_graph(),
+        delta in 1u32..60,
+        p in 1usize..7,
+        root_pick in any::<prop::sample::Index>(),
+    ) {
+        let root = root_pick.index(g.num_vertices()) as u32;
+        let dg = Arc::new(DistGraph::build(&g, p, 2));
+        let model = MachineModel::bgq_like();
+        let cfg = SsspConfig::opt(delta);
+        let on = threaded_delta_stepping(&dg, root, &cfg, &model);
+        let off = threaded_delta_stepping(&dg, root, &cfg.clone().with_coalescing(false), &model);
+        prop_assert_eq!(&on.distances, &off.distances);
+        prop_assert_eq!(off.coalesced_msgs, 0);
+        // Message conservation: dropped + delivered under coalescing equals
+        // delivered without it.
+        prop_assert_eq!(on.relax_msgs + on.coalesced_msgs, off.relax_msgs);
+    }
+
+    #[test]
+    fn threaded_runs_are_deterministic(
+        g in arb_graph(),
+        root_pick in any::<prop::sample::Index>(),
+    ) {
+        // True concurrency must not leak into results: with six racing
+        // rank threads, repeat runs agree on distances and wire counts.
+        let root = root_pick.index(g.num_vertices()) as u32;
+        let dg = Arc::new(DistGraph::build(&g, 6, 1));
+        let model = MachineModel::bgq_like();
+        let a = threaded_delta_stepping(&dg, root, &SsspConfig::opt(25), &model);
+        for _ in 0..3 {
+            let b = threaded_delta_stepping(&dg, root, &SsspConfig::opt(25), &model);
+            prop_assert_eq!(&b.distances, &a.distances);
+            prop_assert_eq!(b.relax_msgs, a.relax_msgs);
+            prop_assert_eq!(b.coalesced_msgs, a.coalesced_msgs);
+        }
+    }
+}

@@ -229,6 +229,16 @@ fn check_no_shared_state(file: &SourceFile) -> Vec<(usize, String)> {
                 "outside sssp-comm::threaded: ranks are simulated sequentially everywhere else",
             ),
             (
+                "thread::Builder",
+                false,
+                "outside sssp-comm::threaded: rank threads are spawned only by run_threaded",
+            ),
+            (
+                "Barrier",
+                false,
+                "outside sssp-comm::threaded: supersteps synchronize through RankCtx collectives",
+            ),
+            (
                 "Mutex",
                 false,
                 "outside sssp-comm::threaded: the BSP model has no shared memory",

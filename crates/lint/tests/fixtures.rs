@@ -66,6 +66,19 @@ fn no_shared_state_ignores_comm_threaded() {
 }
 
 #[test]
+fn no_shared_state_covers_the_threaded_engine() {
+    // The real-thread engine module is NOT exempt: it runs on OS threads,
+    // but only through the sssp_comm::threaded primitives. Raw barriers,
+    // thread builders and channels seeded in the fixture must all fire;
+    // the sanctioned RankCtx surface must not.
+    let diags = lint_fixture(
+        "no_shared_state_engine.rs",
+        "crates/core/src/engine/threaded.rs",
+    );
+    assert_eq!(lines_for(&diags, "no-shared-state"), vec![7, 8, 11, 12, 13]);
+}
+
+#[test]
 fn no_lossy_cast_catches_narrowing_not_widening() {
     let diags = lint_fixture("no_lossy_cast.rs", "crates/core/src/engine/fixture.rs");
     assert_eq!(lines_for(&diags, "no-lossy-cast"), vec![5, 6, 7, 8, 9]);
@@ -133,6 +146,10 @@ fn every_rule_has_a_fixture_that_fires() {
     let corpus = [
         ("no_panic.rs", "crates/core/src/engine/fixture.rs"),
         ("no_shared_state.rs", "crates/core/src/threaded_kernels.rs"),
+        (
+            "no_shared_state_engine.rs",
+            "crates/core/src/engine/threaded.rs",
+        ),
         ("no_lossy_cast.rs", "crates/core/src/engine/fixture.rs"),
         ("no_float_kernel.rs", "crates/core/src/engine/fixture.rs"),
         ("missing_docs.rs", "crates/comm/src/fixture.rs"),
