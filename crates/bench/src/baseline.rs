@@ -21,6 +21,9 @@ pub struct PerfRecord {
     pub supersteps: u64,
     /// Messages delivered over the measured runs (post-coalescing).
     pub msgs: u64,
+    /// The subset of `msgs` that crossed rank boundaries — the wire
+    /// traffic the drift gate watches.
+    pub remote_msgs: u64,
     /// Messages removed by sender-side coalescing before the exchanges.
     pub coalesced_msgs: u64,
     /// Mean simulated seconds per run (the cost-model clock).
@@ -56,7 +59,8 @@ impl PerfRecord {
             concat!(
                 "{{\"wall_ms\": {:.3}, \"allocs\": {}, \"alloc_bytes\": {}, ",
                 "\"supersteps\": {}, \"allocs_per_superstep\": {:.3}, ",
-                "\"msgs\": {}, \"coalesced_msgs\": {}, \"coalesced_fraction\": {:.4}, ",
+                "\"msgs\": {}, \"remote_msgs\": {}, \"coalesced_msgs\": {}, ",
+                "\"coalesced_fraction\": {:.4}, ",
                 "\"simulated_s\": {:.6}, \"gteps\": {:.6}}}"
             ),
             self.wall_ms,
@@ -65,6 +69,7 @@ impl PerfRecord {
             self.supersteps,
             self.allocs_per_superstep(),
             self.msgs,
+            self.remote_msgs,
             self.coalesced_msgs,
             self.coalesced_fraction(),
             self.simulated_s,
@@ -84,16 +89,24 @@ pub struct ThreadedRecord {
     /// Wall-time speedup over the pooled simulated engine on the same
     /// workload (pooled wall_ms / threaded wall_ms).
     pub speedup_vs_pooled: f64,
-    /// Relax messages that crossed the channels (post-coalescing).
-    pub relax_msgs: u64,
+    /// Relax messages that stayed on the sender's own rank
+    /// (post-coalescing; never touch the channels' wire).
+    pub relax_local_msgs: u64,
+    /// Relax messages that crossed rank boundaries (post-coalescing).
+    pub relax_remote_msgs: u64,
     /// Relax messages removed by sender-side coalescing.
     pub coalesced_msgs: u64,
 }
 
 impl ThreadedRecord {
+    /// All relax messages that entered an exchange, local and remote.
+    pub fn relax_msgs_total(&self) -> u64 {
+        self.relax_local_msgs + self.relax_remote_msgs
+    }
+
     /// Fraction of would-be relax messages the coalescer removed.
     pub fn coalesced_fraction(&self) -> f64 {
-        let would_be = self.relax_msgs + self.coalesced_msgs;
+        let would_be = self.relax_msgs_total() + self.coalesced_msgs;
         if would_be == 0 {
             0.0
         } else {
@@ -106,15 +119,56 @@ impl ThreadedRecord {
         format!(
             concat!(
                 "{{\"wall_ms\": {:.3}, \"gteps\": {:.6}, ",
-                "\"speedup_vs_pooled\": {:.3}, \"relax_msgs\": {}, ",
+                "\"speedup_vs_pooled\": {:.3}, \"relax_local_msgs\": {}, ",
+                "\"relax_remote_msgs\": {}, ",
                 "\"coalesced_msgs\": {}, \"coalesced_fraction\": {:.4}}}"
             ),
             self.wall_ms,
             self.gteps,
             self.speedup_vs_pooled,
-            self.relax_msgs,
+            self.relax_local_msgs,
+            self.relax_remote_msgs,
             self.coalesced_msgs,
             self.coalesced_fraction(),
+        )
+    }
+}
+
+/// The unified-telemetry block: a simulated and a threaded trace of the
+/// same workload compared bucket-by-bucket, plus the threaded trace's
+/// headline counters (which the `--check` gate watches for drift).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryRecord {
+    /// 1 when the simulated and threaded traces diffed clean, else 0
+    /// (numeric so `extract_number` reads it like every other field).
+    pub backends_agree: u8,
+    /// Buckets processed before the hybrid tail (per traced run).
+    pub buckets: u64,
+    /// Data-exchange supersteps of the traced run.
+    pub supersteps: u64,
+    /// Rank-local messages of the traced run (relax + requests).
+    pub local_msgs: u64,
+    /// Wire messages of the traced run (relax + requests).
+    pub remote_msgs: u64,
+    /// Messages removed by sender-side coalescing in the traced run.
+    pub coalesced_msgs: u64,
+}
+
+impl TelemetryRecord {
+    /// Render as a JSON object literal.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"backends_agree\": {}, \"buckets\": {}, ",
+                "\"supersteps\": {}, \"local_msgs\": {}, ",
+                "\"remote_msgs\": {}, \"coalesced_msgs\": {}}}"
+            ),
+            self.backends_agree,
+            self.buckets,
+            self.supersteps,
+            self.local_msgs,
+            self.remote_msgs,
+            self.coalesced_msgs,
         )
     }
 }
@@ -139,6 +193,8 @@ pub struct PerfBaseline {
     pub fresh: PerfRecord,
     /// Metrics of the real-thread backend on the same workload.
     pub threaded: ThreadedRecord,
+    /// The unified-telemetry block (simulated vs threaded trace compare).
+    pub telemetry: TelemetryRecord,
 }
 
 impl PerfBaseline {
@@ -149,7 +205,7 @@ impl PerfBaseline {
                 "{{\n  \"bench\": \"perf_baseline\",\n  \"family\": \"{}\",\n",
                 "  \"scale\": {},\n  \"ranks\": {},\n  \"threads\": {},\n",
                 "  \"roots\": {},\n  \"pooled\": {},\n  \"fresh\": {},\n",
-                "  \"threaded\": {}\n}}\n"
+                "  \"threaded\": {},\n  \"telemetry\": {}\n}}\n"
             ),
             self.family,
             self.scale,
@@ -159,6 +215,7 @@ impl PerfBaseline {
             self.pooled.to_json(),
             self.fresh.to_json(),
             self.threaded.to_json(),
+            self.telemetry.to_json(),
         )
     }
 }
@@ -198,6 +255,7 @@ mod tests {
                 alloc_bytes: 65536,
                 supersteps: 120,
                 msgs: 30000,
+                remote_msgs: 22000,
                 coalesced_msgs: 10000,
                 simulated_s: 0.25,
                 gteps: 0.0125,
@@ -208,6 +266,7 @@ mod tests {
                 alloc_bytes: 1048576,
                 supersteps: 120,
                 msgs: 30000,
+                remote_msgs: 22000,
                 coalesced_msgs: 10000,
                 simulated_s: 0.25,
                 gteps: 0.0125,
@@ -216,7 +275,16 @@ mod tests {
                 wall_ms: 5.0,
                 gteps: 0.05,
                 speedup_vs_pooled: 2.5,
-                relax_msgs: 28000,
+                relax_local_msgs: 6000,
+                relax_remote_msgs: 22000,
+                coalesced_msgs: 10000,
+            },
+            telemetry: TelemetryRecord {
+                backends_agree: 1,
+                buckets: 40,
+                supersteps: 120,
+                local_msgs: 8000,
+                remote_msgs: 22000,
                 coalesced_msgs: 10000,
             },
         }
@@ -235,18 +303,35 @@ mod tests {
             extract_number(&json, "fresh", "allocs_per_superstep"),
             Some(80.0)
         );
+        assert_eq!(
+            extract_number(&json, "pooled", "remote_msgs"),
+            Some(22000.0)
+        );
         assert_eq!(extract_number(&json, "threaded", "wall_ms"), Some(5.0));
         assert_eq!(
             extract_number(&json, "threaded", "speedup_vs_pooled"),
             Some(2.5)
         );
         assert_eq!(
-            extract_number(&json, "threaded", "relax_msgs"),
-            Some(28000.0)
+            extract_number(&json, "threaded", "relax_local_msgs"),
+            Some(6000.0)
+        );
+        assert_eq!(
+            extract_number(&json, "threaded", "relax_remote_msgs"),
+            Some(22000.0)
         );
         assert_eq!(
             extract_number(&json, "threaded", "coalesced_msgs"),
             Some(10000.0)
+        );
+        assert_eq!(
+            extract_number(&json, "telemetry", "backends_agree"),
+            Some(1.0)
+        );
+        assert_eq!(extract_number(&json, "telemetry", "buckets"), Some(40.0));
+        assert_eq!(
+            extract_number(&json, "telemetry", "remote_msgs"),
+            Some(22000.0)
         );
     }
 

@@ -4,6 +4,11 @@
 //! Paper shape to reproduce: within each epoch the single long phase
 //! carries far more relaxations than the short phases combined, which is
 //! what motivates pointing the pruning heuristic at long edges.
+//!
+//! `--backend simulated|threaded` picks the engine (default simulated);
+//! the unified telemetry layer makes the figure identical on both.
+
+use std::sync::Arc;
 
 use sssp_bench::*;
 use sssp_comm::cost::MachineModel;
@@ -12,16 +17,22 @@ use sssp_core::instrument::PhaseKind;
 use sssp_dist::DistGraph;
 
 fn main() {
+    let backend = backend_from_args();
     let scale = scale_per_rank() + 4;
     let ranks = 16;
     let g = build_family(Family::Rmat1, scale, 1);
-    let dg = DistGraph::build(&g, ranks, 4);
+    let dg = Arc::new(DistGraph::build(&g, ranks, 4));
     let root = pick_roots(&g, 1, 3)[0];
-    let out =
-        sssp_core::engine::run_sssp(&dg, root, &SsspConfig::del(25), &MachineModel::bgq_like());
+    let (_, trace) = run_trace(
+        &dg,
+        root,
+        &SsspConfig::del(25),
+        &MachineModel::bgq_like(),
+        backend,
+    );
 
     let mut rows = Vec::new();
-    for (i, r) in out.stats.phase_records.iter().enumerate() {
+    for (i, r) in trace.phases.iter().enumerate() {
         rows.push(vec![
             i.to_string(),
             r.bucket.to_string(),
@@ -30,21 +41,22 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Fig 4 — phase-wise relaxations, Del-25, RMAT-1 scale {scale}"),
+        &format!(
+            "Fig 4 — phase-wise relaxations, Del-25, RMAT-1 scale {scale} ({} backend)",
+            backend.name()
+        ),
         &["phase", "bucket", "kind", "relaxations"],
         &rows,
     );
 
-    let short: u64 = out
-        .stats
-        .phase_records
+    let short: u64 = trace
+        .phases
         .iter()
         .filter(|r| r.kind == PhaseKind::Short)
         .map(|r| r.relaxations)
         .sum();
-    let long: u64 = out
-        .stats
-        .phase_records
+    let long: u64 = trace
+        .phases
         .iter()
         .filter(|r| r.kind == PhaseKind::LongPush || r.kind == PhaseKind::LongPull)
         .map(|r| r.relaxations)

@@ -9,6 +9,11 @@
 //! Paper shape to reproduce: early dense buckets favor push (requests dwarf
 //! the push volume); later sparse buckets favor pull (most push messages
 //! are self/backward, i.e. redundant).
+//!
+//! `--backend simulated|threaded` picks the engine (default simulated);
+//! the unified telemetry layer makes the figure identical on both.
+
+use std::sync::Arc;
 
 use sssp_bench::*;
 use sssp_comm::cost::MachineModel;
@@ -16,38 +21,40 @@ use sssp_core::config::{DirectionPolicy, SsspConfig};
 use sssp_dist::DistGraph;
 
 fn main() {
+    let backend = backend_from_args();
     let scale = scale_per_rank() + 4;
     let ranks = 16;
     let model = MachineModel::bgq_like();
     let g = build_family(Family::Rmat1, scale, 1);
-    let dg = DistGraph::build(&g, ranks, 4);
+    let dg = Arc::new(DistGraph::build(&g, ranks, 4));
     let root = pick_roots(&g, 1, 3)[0];
 
     let base = SsspConfig::prune(25).with_hybrid(None);
-    let push = sssp_core::engine::run_sssp(
+    let (push_dist, push) = run_trace(
         &dg,
         root,
         &base.clone().with_direction(DirectionPolicy::AlwaysPush),
         &model,
+        backend,
     );
-    let pull = sssp_core::engine::run_sssp(
+    let (pull_dist, pull) = run_trace(
         &dg,
         root,
         &base.clone().with_direction(DirectionPolicy::AlwaysPull),
         &model,
+        backend,
     );
-    let heur = sssp_core::engine::run_sssp(&dg, root, &base, &model);
-    assert_eq!(push.distances, pull.distances);
+    let (_, heur) = run_trace(&dg, root, &base, &model, backend);
+    assert_eq!(push_dist, pull_dist);
 
     let mut rows = Vec::new();
-    for (i, pr) in push.stats.bucket_records.iter().enumerate() {
-        let pl = &pull.stats.bucket_records[i];
+    for (i, pr) in push.buckets.iter().enumerate() {
+        let pl = &pull.buckets[i];
         assert_eq!(pr.bucket, pl.bucket);
         let push_vol = pr.self_edges + pr.backward_edges + pr.forward_edges;
         let pull_vol = pl.requests + pl.responses;
         let chosen = heur
-            .stats
-            .bucket_records
+            .buckets
             .get(i)
             .map(|r| format!("{:?}", r.mode))
             .unwrap_or_else(|| "-".into());
@@ -64,7 +71,10 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Fig 7 — push vs pull per bucket, RMAT-1 scale {scale}, Δ=25"),
+        &format!(
+            "Fig 7 — push vs pull per bucket, RMAT-1 scale {scale}, Δ=25 ({} backend)",
+            backend.name()
+        ),
         &[
             "bucket",
             "self",

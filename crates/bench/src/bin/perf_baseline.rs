@@ -23,12 +23,14 @@ use std::sync::atomic::{AtomicU64, Ordering}; // sssp-lint: allow(no-shared-stat
 use std::sync::Arc;
 use std::time::Instant;
 
-use sssp_bench::baseline::{extract_number, PerfBaseline, PerfRecord, ThreadedRecord};
+use sssp_bench::baseline::{
+    extract_number, PerfBaseline, PerfRecord, TelemetryRecord, ThreadedRecord,
+};
 use sssp_bench::{build_family, pick_roots, print_table, Family};
 use sssp_comm::cost::MachineModel;
 use sssp_core::config::SsspConfig;
 use sssp_core::engine::run_sssp;
-use sssp_core::threaded_delta_stepping;
+use sssp_core::{threaded_delta_stepping, threaded_delta_stepping_traced, RunTrace};
 use sssp_dist::DistGraph;
 use sssp_graph::VertexId;
 
@@ -73,6 +75,7 @@ fn measure(
     let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
     let mut supersteps = 0u64;
     let mut msgs = 0u64;
+    let mut remote_msgs = 0u64;
     let mut coalesced_msgs = 0u64;
     let mut sim = 0.0;
     let mut gteps = 0.0;
@@ -81,6 +84,7 @@ fn measure(
         let out = run_sssp(dg, root, cfg, model);
         supersteps += out.stats.supersteps();
         msgs += out.stats.comm.total_msgs();
+        remote_msgs += out.stats.comm.total_remote_msgs();
         coalesced_msgs += out.stats.comm.total_coalesced_msgs();
         sim += out.stats.ledger.total_s();
         gteps += out.stats.gteps(dg.m_input_undirected);
@@ -106,6 +110,7 @@ fn measure(
         alloc_bytes,
         supersteps,
         msgs,
+        remote_msgs,
         coalesced_msgs,
         simulated_s: sim / k,
         gteps: gteps / k,
@@ -124,12 +129,14 @@ fn measure_threaded(
 ) -> ThreadedRecord {
     let _ = threaded_delta_stepping(dg, roots[0], cfg, model);
 
-    let mut relax_msgs = 0u64;
+    let mut relax_local_msgs = 0u64;
+    let mut relax_remote_msgs = 0u64;
     let mut coalesced_msgs = 0u64;
     let t0 = Instant::now();
     for &root in roots {
         let out = threaded_delta_stepping(dg, root, cfg, model);
-        relax_msgs += out.relax_msgs;
+        relax_local_msgs += out.relax_local_msgs;
+        relax_remote_msgs += out.relax_remote_msgs;
         coalesced_msgs += out.coalesced_msgs;
     }
     let mut wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -145,8 +152,39 @@ fn measure_threaded(
         wall_ms,
         gteps: sssp_comm::cost::teps(dg.m_input_undirected, per_run_s) / 1e9,
         speedup_vs_pooled: pooled_wall_ms / wall_ms.max(f64::MIN_POSITIVE),
-        relax_msgs,
+        relax_local_msgs,
+        relax_remote_msgs,
         coalesced_msgs,
+    }
+}
+
+/// Trace the first root on both backends, diff the traces, and fold the
+/// threaded trace's headline counters into the telemetry block. A trace
+/// divergence is reported (and recorded as `backends_agree: 0`) but does
+/// not abort the measurement — the `--check` gate fails on it instead.
+fn measure_telemetry(
+    dg: &Arc<DistGraph>,
+    root: VertexId,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> TelemetryRecord {
+    let simulated = run_sssp(dg, root, cfg, model);
+    let trace_sim = RunTrace::from_run_stats(&simulated.stats, "simulated");
+    let (_, trace_thr) = threaded_delta_stepping_traced(dg, root, cfg, model);
+    let diffs = trace_sim.diff(&trace_thr);
+    if !diffs.is_empty() {
+        eprintln!(
+            "telemetry: simulated and threaded traces diverged:\n{}",
+            diffs.join("\n")
+        );
+    }
+    TelemetryRecord {
+        backends_agree: u8::from(diffs.is_empty()),
+        buckets: trace_thr.buckets.len() as u64,
+        supersteps: trace_thr.supersteps,
+        local_msgs: trace_thr.local_msgs,
+        remote_msgs: trace_thr.remote_msgs,
+        coalesced_msgs: trace_thr.coalesced_msgs,
     }
 }
 
@@ -182,6 +220,44 @@ fn check_against(committed: &str, current: &PerfBaseline) -> Result<(), String> 
         extract_number(committed, "threaded", "wall_ms"),
         current.threaded.wall_ms,
     );
+    // Remote-message drift gate: wire traffic is deterministic for a fixed
+    // workload, so it may not drift in *either* direction past the
+    // tolerance — fewer messages than the baseline is as suspicious as
+    // more (it means the accounting changed, not the machine).
+    let mut drift = |name: &str, base: Option<f64>, now: f64| match base {
+        Some(b) if b > 0.0 && (now / b - 1.0).abs() > tol => {
+            problems.push(format!(
+                "{name} drifted: {now:.0} vs baseline {b:.0} ({:+.1}%, tolerance {:.0}%)",
+                100.0 * (now / b - 1.0),
+                100.0 * tol
+            ));
+        }
+        Some(_) => {}
+        None => problems.push(format!("committed baseline is missing {name}")),
+    };
+    drift(
+        "pooled.remote_msgs",
+        extract_number(committed, "pooled", "remote_msgs"),
+        current.pooled.remote_msgs as f64,
+    );
+    drift(
+        "telemetry.remote_msgs",
+        extract_number(committed, "telemetry", "remote_msgs"),
+        current.telemetry.remote_msgs as f64,
+    );
+    match extract_number(committed, "telemetry", "backends_agree") {
+        Some(b) => {
+            if b != 1.0 {
+                problems.push(format!(
+                    "committed baseline records backends_agree = {b} (expected 1)"
+                ));
+            }
+        }
+        None => problems.push("committed baseline is missing telemetry.backends_agree".to_string()),
+    }
+    if current.telemetry.backends_agree != 1 {
+        problems.push("simulated and threaded traces diverged in this run".to_string());
+    }
     if problems.is_empty() {
         Ok(())
     } else {
@@ -239,6 +315,7 @@ fn main() {
     let fresh = measure(&dg, &roots, &cfg.clone().with_pooled_buffers(false), &model);
     let pooled = measure(&dg, &roots, &cfg, &model);
     let threaded = measure_threaded(&dg, &roots, &cfg, &model, pooled.wall_ms);
+    let telemetry = measure_telemetry(&dg, roots[0], &cfg, &model);
 
     let doc = PerfBaseline {
         family: family.name().to_string(),
@@ -249,6 +326,7 @@ fn main() {
         pooled,
         fresh,
         threaded,
+        telemetry,
     };
 
     let mut rows: Vec<Vec<String>> = [("pooled", &doc.pooled), ("fresh", &doc.fresh)]
@@ -307,8 +385,20 @@ fn main() {
     println!(
         "coalescing savings: {} of {} relax msgs removed ({:.1}%) on the threaded backend",
         doc.threaded.coalesced_msgs,
-        doc.threaded.relax_msgs + doc.threaded.coalesced_msgs,
+        doc.threaded.relax_msgs_total() + doc.threaded.coalesced_msgs,
         100.0 * doc.threaded.coalesced_fraction(),
+    );
+    println!(
+        "telemetry: backends {} — {} buckets, {} supersteps, {} local + {} remote msgs traced",
+        if doc.telemetry.backends_agree == 1 {
+            "agree"
+        } else {
+            "DIVERGED"
+        },
+        doc.telemetry.buckets,
+        doc.telemetry.supersteps,
+        doc.telemetry.local_msgs,
+        doc.telemetry.remote_msgs,
     );
 
     let json = doc.to_json();

@@ -18,9 +18,12 @@
 pub mod baseline;
 pub mod graph500;
 
+use std::sync::Arc;
+
 use sssp_comm::cost::MachineModel;
 use sssp_core::config::SsspConfig;
 use sssp_core::engine::{run_sssp, SsspOutput};
+use sssp_core::{threaded_delta_stepping_traced, RunTrace};
 use sssp_dist::DistGraph;
 use sssp_graph::prng::SplitMix;
 use sssp_graph::rmat::{RmatGenerator, RmatParams};
@@ -92,6 +95,73 @@ pub fn weak_scaling_ranks() -> Vec<usize> {
         p *= 2;
     }
     v
+}
+
+/// Which engine backend a figure binary drives. Both backends produce
+/// bit-identical distances and — through the unified telemetry layer —
+/// identical traces, so a figure regenerated on either must agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The simulated BSP engine (`run_sssp`), with the α–β–γ cost model.
+    Simulated,
+    /// The real-thread engine (one OS thread per rank), traced.
+    Threaded,
+}
+
+impl Backend {
+    /// Display name used in table titles.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Simulated => "simulated",
+            Backend::Threaded => "threaded",
+        }
+    }
+}
+
+/// Parse `--backend simulated|threaded` from the process arguments
+/// (default: simulated). Unknown values abort with a usage message.
+pub fn backend_from_args() -> Backend {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--backend" {
+            return match it.next().map(String::as_str) {
+                Some("simulated") => Backend::Simulated,
+                Some("threaded") => Backend::Threaded,
+                other => {
+                    eprintln!(
+                        "--backend takes 'simulated' or 'threaded', got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    Backend::Simulated
+}
+
+/// Run `cfg` from `root` on the chosen backend and return the distances
+/// plus the run trace the figure binaries consume (phase and bucket
+/// records, message splits).
+pub fn run_trace(
+    dg: &Arc<DistGraph>,
+    root: VertexId,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    backend: Backend,
+) -> (Vec<u64>, RunTrace) {
+    match backend {
+        Backend::Simulated => {
+            let out = run_sssp(dg, root, cfg, model);
+            let trace = RunTrace::from_run_stats(&out.stats, "simulated");
+            (out.distances, trace)
+        }
+        Backend::Threaded => {
+            let (out, trace) = threaded_delta_stepping_traced(dg, root, cfg, model);
+            (out.distances, trace)
+        }
+    }
 }
 
 /// Pick `count` deterministic non-isolated roots.

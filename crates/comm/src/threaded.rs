@@ -17,7 +17,32 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier, Mutex};
 
+use crate::packet::PacketConfig;
 use crate::Rank;
+
+/// Smallest buffer capacity [`RankCtx::trim_spares`] will ever release. A
+/// quiet epoch (empty buckets, pull-only phases) observes a zero high-water
+/// mark; without a floor that computed `limit = 0` and dumped the *entire*
+/// spare pool, forcing every lane to reallocate on the next busy epoch.
+pub const SPARE_CAPACITY_FLOOR: usize = 64;
+
+/// One rank's transport counts for a single pooled exchange, as seen from
+/// that rank: messages it sent to itself (`sent_local`), messages it put on
+/// the wire (`sent_remote`, with `sent_remote_bytes` of framed traffic) and
+/// the framed bytes it received from other ranks (`recv_remote_bytes`).
+/// Summing `sent_*` over all ranks reproduces the global per-superstep
+/// accounting of [`crate::exchange::exchange_pooled`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeCounts {
+    /// Messages this rank addressed to itself (never on the wire).
+    pub sent_local: u64,
+    /// Messages this rank sent to other ranks.
+    pub sent_remote: u64,
+    /// Wire bytes of this rank's remote sends (packet framing applied).
+    pub sent_remote_bytes: u64,
+    /// Wire bytes this rank received from other ranks.
+    pub recv_remote_bytes: u64,
+}
 
 /// Per-rank context handed to the rank's thread. `M` is the message type
 /// of this world.
@@ -84,9 +109,38 @@ impl<M: Send> RankCtx<M> {
     /// with capacity intact, so after a warm-up superstep the steady state
     /// allocates nothing on either side of the channel.
     pub fn exchange_pooled(&mut self, out: &mut [Vec<M>], inbox: &mut Vec<M>) {
+        self.exchange_pooled_counted(out, inbox, 0, None);
+    }
+
+    /// [`RankCtx::exchange_pooled`] plus per-rank transport accounting:
+    /// returns how many messages this rank kept local vs. put on the wire,
+    /// and the framed byte volume it sent and received, under the same
+    /// `msg_bytes`/`packet` wire model the simulated
+    /// [`crate::exchange::exchange_pooled`] charges.
+    pub fn exchange_pooled_counted(
+        &mut self,
+        out: &mut [Vec<M>],
+        inbox: &mut Vec<M>,
+        msg_bytes: usize,
+        packet: Option<&PacketConfig>,
+    ) -> ExchangeCounts {
         assert_eq!(out.len(), self.p, "outbox fan-out mismatch");
+        let wire = |count: u64| -> u64 {
+            match packet {
+                Some(pk) => pk.wire_bytes(count, msg_bytes),
+                None => count * msg_bytes as u64,
+            }
+        };
+        let mut counts = ExchangeCounts::default();
         for (dst, msgs) in out.iter_mut().enumerate() {
             self.watermark = self.watermark.max(msgs.len());
+            let k = msgs.len() as u64;
+            if dst == self.rank {
+                counts.sent_local += k;
+            } else {
+                counts.sent_remote += k;
+                counts.sent_remote_bytes += wire(k);
+            }
             let mut buf = self.spare.pop().unwrap_or_default();
             buf.append(msgs);
             // A peer disappearing mid-superstep is unrecoverable by design
@@ -102,23 +156,28 @@ impl<M: Send> RankCtx<M> {
         }
         self.batches.sort_by_key(|&(src, _)| src);
         inbox.clear();
-        for (_, mut b) in self.batches.drain(..) {
+        for (src, mut b) in self.batches.drain(..) {
             self.watermark = self.watermark.max(b.len());
+            if src != self.rank {
+                counts.recv_remote_bytes += wire(b.len() as u64);
+            }
             inbox.append(&mut b);
             self.spare.push(b);
         }
         self.barrier.wait();
+        counts
     }
 
     /// Release spare transport buffers whose capacity exceeds 4× the
-    /// high-water mark observed since the previous call, then reset the
-    /// mark. Purely rank-local (no rendezvous): each rank bounds its own
-    /// pool at epoch boundaries so one outsized superstep cannot pin its
-    /// peak allocation for the rest of the run.
+    /// high-water mark observed since the previous call (but never below
+    /// [`SPARE_CAPACITY_FLOOR`], so a quiet epoch keeps its warm pool),
+    /// then reset the mark. Purely rank-local (no rendezvous): each rank
+    /// bounds its own pool at epoch boundaries so one outsized superstep
+    /// cannot pin its peak allocation for the rest of the run.
     ///
     /// Returns the number of buffers released.
     pub fn trim_spares(&mut self) -> usize {
-        let limit = self.watermark.saturating_mul(4);
+        let limit = self.watermark.saturating_mul(4).max(SPARE_CAPACITY_FLOOR);
         let before = self.spare.len();
         self.spare.retain(|b| b.capacity() <= limit);
         self.watermark = 0;
@@ -400,6 +459,84 @@ mod tests {
             assert_eq!(flood_trim, 0, "peak epoch keeps its pool");
             assert!(steady_trim > 0, "oversized spares must be released");
             assert_eq!(len, 2);
+        }
+    }
+
+    #[test]
+    fn trim_spares_keeps_pool_through_quiet_epochs() {
+        // Regression: a quiet epoch (no traffic at all) observes a zero
+        // high-water mark. The trim limit used to collapse to 0 and release
+        // every spare buffer, forcing reallocation next epoch.
+        let trims = run_threaded(2, |mut ctx: RankCtx<u64>| {
+            let p = ctx.num_ranks();
+            let mut out: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+            let mut inbox = Vec::new();
+            // Epoch 1: modest traffic seeds the spare pool with small
+            // buffers (capacity well under the floor).
+            for lane in out.iter_mut() {
+                lane.extend(0..8);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            ctx.trim_spares();
+            // Epoch 2: completely quiet — empty lanes, zero watermark.
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            let quiet_trim = ctx.trim_spares();
+            // Epoch 3: traffic resumes; the pool must still be warm.
+            for lane in out.iter_mut() {
+                lane.push(9);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            (quiet_trim, inbox.len())
+        });
+        for (quiet_trim, len) in trims {
+            assert_eq!(quiet_trim, 0, "quiet epoch must keep its warm pool");
+            assert_eq!(len, 2);
+        }
+    }
+
+    #[test]
+    fn counted_exchange_splits_local_and_remote() {
+        // Rank r sends r+1 messages to every rank (itself included); with
+        // 8-byte messages and no packet framing the byte counts are exact.
+        let counts = run_threaded(3, |mut ctx: RankCtx<u64>| {
+            let p = ctx.num_ranks();
+            let mut out: Vec<Vec<u64>> = (0..p)
+                .map(|_| (0..ctx.rank() as u64 + 1).collect())
+                .collect();
+            let mut inbox = Vec::new();
+            let c = ctx.exchange_pooled_counted(&mut out, &mut inbox, 8, None);
+            (c, inbox.len())
+        });
+        for (rank, (c, received)) in counts.into_iter().enumerate() {
+            let own = rank as u64 + 1;
+            assert_eq!(c.sent_local, own, "rank {rank}");
+            assert_eq!(c.sent_remote, 2 * own, "rank {rank}");
+            assert_eq!(c.sent_remote_bytes, 2 * own * 8, "rank {rank}");
+            // Receives one batch of src+1 messages from each other rank.
+            let recv_remote: u64 = (0..3u64).filter(|&s| s != rank as u64).map(|s| s + 1).sum();
+            assert_eq!(c.recv_remote_bytes, recv_remote * 8, "rank {rank}");
+            assert_eq!(received as u64, recv_remote + own, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn counted_exchange_applies_packet_framing() {
+        let counts = run_threaded(2, |mut ctx: RankCtx<u64>| {
+            let p = ctx.num_ranks();
+            // One message to each rank.
+            let mut out: Vec<Vec<u64>> = (0..p).map(|_| vec![7]).collect();
+            let mut inbox = Vec::new();
+            let pk = PacketConfig {
+                payload_bytes: 512,
+                header_bytes: 32,
+            };
+            ctx.exchange_pooled_counted(&mut out, &mut inbox, 16, Some(&pk))
+        });
+        for c in counts {
+            // One 16-byte message fits one packet: 16 payload + 32 header.
+            assert_eq!(c.sent_remote, 1);
+            assert_eq!(c.sent_remote_bytes, 48);
+            assert_eq!(c.recv_remote_bytes, 48);
         }
     }
 

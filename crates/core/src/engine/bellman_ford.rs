@@ -5,6 +5,7 @@ use rayon::prelude::*;
 
 use crate::instrument::{PhaseKind, PhaseRecord};
 
+use super::record::Recorder;
 use super::{invariants, kernels, Engine};
 
 impl Engine<'_> {
@@ -42,10 +43,9 @@ impl Engine<'_> {
                     st.collect_active_changed();
                 });
             self.charge_exchange(&step);
-            self.comm.record(step);
+            self.stats.superstep(&step);
             self.stats.bf_relaxations += sent_total;
-            self.stats.phases += 1;
-            self.stats.phase_records.push(PhaseRecord {
+            self.stats.phase(&PhaseRecord {
                 bucket: u64::MAX,
                 kind: PhaseKind::BellmanFord,
                 relaxations: sent_total,

@@ -8,6 +8,7 @@ use sssp_comm::cost::TimeClass;
 
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
 
+use super::record::Recorder;
 use super::{invariants, kernels, Engine, REQ_BYTES};
 
 impl Engine<'_> {
@@ -54,7 +55,7 @@ impl Engine<'_> {
             self.charge_exchange(&step);
             phase_relax += outer_total;
             phase_remote += step.remote_msgs;
-            self.comm.record(step);
+            self.stats.superstep(&step);
             self.stats.outer_short_relaxations += outer_total;
         }
 
@@ -93,7 +94,7 @@ impl Engine<'_> {
         invariants::check_conservation(&self.req_bufs.inboxes, &req_step);
         self.charge_exchange(&req_step);
         phase_remote += req_step.remote_msgs;
-        self.comm.record(req_step);
+        self.stats.superstep(&req_step);
 
         // Sub-step 2: responses. Only sources settled in the current bucket
         // answer; everything else is the redundancy being pruned away.
@@ -121,15 +122,14 @@ impl Engine<'_> {
             });
         self.charge_exchange(&resp_step);
         phase_remote += resp_step.remote_msgs;
-        self.comm.record(resp_step);
+        self.stats.superstep(&resp_step);
 
         record.requests = req_total;
         record.responses = resp_total;
         phase_relax += req_total + resp_total;
         self.stats.pull_requests += req_total;
         self.stats.pull_responses += resp_total;
-        self.stats.phases += 1;
-        self.stats.phase_records.push(PhaseRecord {
+        self.stats.phase(&PhaseRecord {
             bucket: k,
             kind: PhaseKind::LongPull,
             relaxations: phase_relax,

@@ -5,6 +5,7 @@ use rayon::prelude::*;
 
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
 
+use super::record::Recorder;
 use super::{invariants, kernels, Engine};
 
 impl Engine<'_> {
@@ -53,11 +54,10 @@ impl Engine<'_> {
         record.forward_edges += fe;
 
         self.charge_exchange(&step);
-        self.comm.record(step);
+        self.stats.superstep(&step);
         self.stats.outer_short_relaxations += outer_total;
         self.stats.long_push_relaxations += long_total;
-        self.stats.phases += 1;
-        self.stats.phase_records.push(PhaseRecord {
+        self.stats.phase(&PhaseRecord {
             bucket: k,
             kind: PhaseKind::LongPush,
             relaxations: outer_total + long_total,

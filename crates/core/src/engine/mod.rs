@@ -34,6 +34,8 @@ use crate::config::{IntraBalance, LongPhaseMode, SsspConfig};
 use crate::instrument::{BucketRecord, RunStats};
 use crate::state::{RankState, INF};
 
+use record::Recorder;
+
 /// A relaxation proposal: `d(target) ← min(d(target), nd)`.
 #[derive(Debug, Clone, Copy)]
 pub(super) struct RelaxMsg {
@@ -255,8 +257,8 @@ impl<'a> Engine<'a> {
 
             if let (Some(tau), Some(kp)) = (self.cfg.hybrid_tau, k_prev) {
                 if decide::hybrid_should_switch(tau, settled_total, n_total) {
+                    self.stats.hybrid_switch(kp);
                     self.bellman_ford_tail(kp);
-                    self.stats.hybrid_switch_at = Some(kp);
                     break;
                 }
             }
@@ -273,9 +275,7 @@ impl<'a> Engine<'a> {
             self.ledger
                 .charge_collective(self.model, TimeClass::Bucket, self.p);
             settled_total += settled_k;
-            if let Some(rec) = self.stats.bucket_records.last_mut() {
-                rec.settled = settled_k;
-            }
+            self.stats.settled(settled_k);
 
             // Epoch-boundary pool bound: release any buffer whose capacity
             // ballooned past 4× this epoch's high-water mark, so a one-off
@@ -299,7 +299,12 @@ impl<'a> Engine<'a> {
             }
         }
         self.stats.reachable = distances.iter().filter(|&&d| d != INF).count() as u64;
-        self.stats.comm = self.comm;
+        // Flush the hybrid tail's pseudo-bucket record (if any) before the
+        // stats leave the engine.
+        self.stats.finish();
+        // Superstep records flow into `stats.comm` through the recorder as
+        // they happen; only the collective count lives on the engine side.
+        self.stats.comm.collectives = self.comm.collectives;
         self.stats.ledger = self.ledger;
         SsspOutput {
             distances,
@@ -426,12 +431,18 @@ impl<'a> Engine<'a> {
             forward_edges: 0,
             requests: 0,
             responses: 0,
+            supersteps: 0,
+            local_msgs: 0,
+            remote_msgs: 0,
+            coalesced_msgs: 0,
         };
         match mode {
             LongPhaseMode::Push => self.long_push(k, &mut record),
             LongPhaseMode::Pull => self.long_pull(k, &mut record),
         }
-        self.stats.bucket_records.push(record);
+        // The recorder fills the per-epoch traffic fields from the
+        // supersteps recorded since the previous bucket closed.
+        self.stats.bucket(record);
     }
 }
 
@@ -441,6 +452,9 @@ mod invariants;
 mod kernels;
 mod long_pull;
 mod long_push;
+/// The backend-neutral telemetry recorder ([`record::Recorder`]) and the
+/// per-rank trace merge of the threaded backend.
+pub mod record;
 mod short;
 /// The real-thread backend: the same epoch loop on one OS thread per rank.
 pub mod threaded;

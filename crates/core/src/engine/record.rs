@@ -1,0 +1,317 @@
+//! The run-telemetry recorder: one abstraction both backends feed their
+//! per-superstep, per-phase and per-bucket observations through.
+//!
+//! The simulated engine records into its [`RunStats`] directly (stats are
+//! the whole point of simulation, so its recorder is always on). The
+//! real-thread engine is generic over [`Recorder`]: the wall-clock entry
+//! point instantiates the zero-sized [`NoopRecorder`] — every call inlines
+//! to nothing, keeping the benchmarked hot path clean — while the traced
+//! entry point gives each rank its own `RunStats` and merges the per-rank
+//! [`RunTrace`]s deterministically after `run_threaded` joins
+//! ([`merge_rank_traces`]): rank-local volumes sum, per-step maxima
+//! combine by max (max is commutative, so per-rank-then-merge equals the
+//! simulator's per-step global max), and globally allreduced quantities
+//! (mode, estimates, settled counts) are asserted identical across ranks.
+
+use sssp_comm::stats::StepStats;
+
+use crate::instrument::{BucketRecord, PhaseRecord, RunStats, RunTrace};
+
+/// Sink for one backend run's telemetry events. All methods default to
+/// no-ops so a disabled recorder costs nothing; `enabled` lets callers
+/// skip work that exists only to be recorded (e.g. the heuristic volume
+/// pass under a forced direction policy).
+pub trait Recorder {
+    /// Whether this recorder stores anything at all. Must be uniform
+    /// across ranks of one run (it steers collective-bearing code paths).
+    fn enabled(&self) -> bool {
+        false
+    }
+    /// One data-exchange superstep completed with the given traffic.
+    fn superstep(&mut self, _step: &StepStats) {}
+    /// One relaxation phase (a short round, a long push, a whole pull
+    /// phase, or a Bellman-Ford round) completed.
+    fn phase(&mut self, _rec: &PhaseRecord) {}
+    /// One Δ-bucket epoch completed. The recorder fills the record's
+    /// per-epoch traffic fields from the supersteps since the last bucket.
+    fn bucket(&mut self, _rec: BucketRecord) {}
+    /// The settled count of the bucket recorded last.
+    fn settled(&mut self, _settled: u64) {}
+    /// The hybrid τ switch fired after bucket `_bucket`.
+    fn hybrid_switch(&mut self, _bucket: u64) {}
+    /// The run is over: flush the hybrid tail's pseudo-bucket record.
+    fn finish(&mut self) {}
+}
+
+/// The zero-cost disabled recorder (the wall-clock bench path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+impl Recorder for RunStats {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn superstep(&mut self, step: &StepStats) {
+        self.comm.record(*step);
+    }
+
+    fn phase(&mut self, rec: &PhaseRecord) {
+        self.phases += 1;
+        self.phase_records.push(*rec);
+    }
+
+    fn bucket(&mut self, mut rec: BucketRecord) {
+        let (supersteps, local, remote, coalesced) = self.epoch_window();
+        rec.supersteps = supersteps;
+        rec.local_msgs = local;
+        rec.remote_msgs = remote;
+        rec.coalesced_msgs = coalesced;
+        self.bucket_records.push(rec);
+    }
+
+    fn settled(&mut self, settled: u64) {
+        if let Some(rec) = self.bucket_records.last_mut() {
+            rec.settled = settled;
+        }
+    }
+
+    fn hybrid_switch(&mut self, bucket: u64) {
+        self.hybrid_switch_at = Some(bucket);
+    }
+
+    fn finish(&mut self) {
+        if self.hybrid_switch_at.is_some() {
+            let (supersteps, local, remote, coalesced) = self.epoch_window();
+            self.tail_record = Some(BucketRecord {
+                bucket: u64::MAX,
+                settled: 0,
+                mode: crate::config::LongPhaseMode::Push,
+                est_push: 0,
+                est_pull: 0,
+                self_edges: 0,
+                backward_edges: 0,
+                forward_edges: 0,
+                requests: 0,
+                responses: 0,
+                supersteps,
+                local_msgs: local,
+                remote_msgs: remote,
+                coalesced_msgs: coalesced,
+            });
+        }
+    }
+}
+
+/// Merge the per-rank traces of one threaded run into the run's global
+/// trace. Rank-local volumes (message and byte counts, relaxations) sum;
+/// per-superstep maxima combine by max; quantities every rank obtained
+/// from the same allreduce (bucket ids, modes, estimates, settled counts,
+/// superstep counts) are asserted identical — a mismatch means the SPMD
+/// contract broke, which must abort rather than produce a silently wrong
+/// trace.
+pub(super) fn merge_rank_traces(traces: Vec<RunTrace>) -> RunTrace {
+    let mut it = traces.into_iter();
+    // sssp-lint: allow(no-panic-hot-path): post-join merge, not a hot path;
+    // run_threaded always returns one result per rank.
+    let mut merged = it.next().expect("at least one rank trace");
+    for t in it {
+        assert_eq!(merged.ranks, t.ranks, "rank count drift across ranks");
+        assert_eq!(
+            merged.supersteps, t.supersteps,
+            "superstep count drift across ranks"
+        );
+        assert_eq!(
+            merged.hybrid_switch_at, t.hybrid_switch_at,
+            "hybrid switch drift across ranks"
+        );
+        merged.local_msgs += t.local_msgs;
+        merged.remote_msgs += t.remote_msgs;
+        merged.remote_bytes += t.remote_bytes;
+        merged.coalesced_msgs += t.coalesced_msgs;
+        merged.max_step_send_bytes = merged.max_step_send_bytes.max(t.max_step_send_bytes);
+        merged.max_step_recv_bytes = merged.max_step_recv_bytes.max(t.max_step_recv_bytes);
+        assert_eq!(
+            merged.phases.len(),
+            t.phases.len(),
+            "phase sequence drift across ranks"
+        );
+        for (m, r) in merged.phases.iter_mut().zip(&t.phases) {
+            assert_eq!(m.bucket, r.bucket, "phase bucket drift across ranks");
+            assert_eq!(m.kind, r.kind, "phase kind drift across ranks");
+            m.relaxations += r.relaxations;
+            m.remote_msgs += r.remote_msgs;
+        }
+        assert_eq!(
+            merged.buckets.len(),
+            t.buckets.len(),
+            "bucket sequence drift across ranks"
+        );
+        for (m, r) in merged.buckets.iter_mut().zip(&t.buckets) {
+            merge_bucket(m, r);
+        }
+        match (&mut merged.tail, &t.tail) {
+            (Some(m), Some(r)) => merge_bucket(m, r),
+            (None, None) => {}
+            _ => assert_eq!(
+                merged.tail.is_some(),
+                t.tail.is_some(),
+                "hybrid tail drift across ranks"
+            ),
+        }
+    }
+    merged
+}
+
+/// Fold one rank's bucket record into the merged record: globally reduced
+/// fields must agree, rank-local volumes sum.
+fn merge_bucket(m: &mut BucketRecord, r: &BucketRecord) {
+    assert_eq!(m.bucket, r.bucket, "bucket id drift across ranks");
+    assert_eq!(m.mode, r.mode, "long-phase mode drift across ranks");
+    assert_eq!(m.est_push, r.est_push, "est_push drift across ranks");
+    assert_eq!(m.est_pull, r.est_pull, "est_pull drift across ranks");
+    assert_eq!(m.settled, r.settled, "settled count drift across ranks");
+    assert_eq!(
+        m.supersteps, r.supersteps,
+        "epoch superstep drift across ranks"
+    );
+    m.self_edges += r.self_edges;
+    m.backward_edges += r.backward_edges;
+    m.forward_edges += r.forward_edges;
+    m.requests += r.requests;
+    m.responses += r.responses;
+    m.local_msgs += r.local_msgs;
+    m.remote_msgs += r.remote_msgs;
+    m.coalesced_msgs += r.coalesced_msgs;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LongPhaseMode;
+    use crate::instrument::PhaseKind;
+
+    fn bucket(remote: u64) -> BucketRecord {
+        BucketRecord {
+            bucket: 1,
+            settled: 6,
+            mode: LongPhaseMode::Push,
+            est_push: 12,
+            est_pull: 20,
+            self_edges: 1,
+            backward_edges: 2,
+            forward_edges: 3,
+            requests: 0,
+            responses: 0,
+            supersteps: 2,
+            local_msgs: 1,
+            remote_msgs: remote,
+            coalesced_msgs: 1,
+        }
+    }
+
+    fn rank_trace(remote: u64, send_max: u64) -> RunTrace {
+        RunTrace {
+            backend: "threaded".to_string(),
+            ranks: 2,
+            supersteps: 2,
+            local_msgs: 1,
+            remote_msgs: remote,
+            remote_bytes: remote * 16,
+            coalesced_msgs: 1,
+            max_step_send_bytes: send_max,
+            max_step_recv_bytes: send_max / 2,
+            hybrid_switch_at: None,
+            phases: vec![PhaseRecord {
+                bucket: 1,
+                kind: PhaseKind::Short,
+                relaxations: 4,
+                remote_msgs: remote,
+            }],
+            buckets: vec![bucket(remote)],
+            tail: None,
+        }
+    }
+
+    #[test]
+    fn merge_sums_volumes_and_maxes_maxima() {
+        let merged = merge_rank_traces(vec![rank_trace(10, 64), rank_trace(4, 160)]);
+        assert_eq!(merged.remote_msgs, 14);
+        assert_eq!(merged.remote_bytes, 14 * 16);
+        assert_eq!(merged.local_msgs, 2);
+        assert_eq!(merged.coalesced_msgs, 2);
+        assert_eq!(merged.max_step_send_bytes, 160);
+        assert_eq!(merged.max_step_recv_bytes, 80);
+        // Globally reduced fields stay as-is.
+        assert_eq!(merged.supersteps, 2);
+        assert_eq!(merged.buckets[0].est_push, 12);
+        assert_eq!(merged.buckets[0].settled, 6);
+        // Rank-local bucket volumes sum.
+        assert_eq!(merged.buckets[0].remote_msgs, 14);
+        assert_eq!(merged.buckets[0].self_edges, 2);
+        assert_eq!(merged.phases[0].relaxations, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "est_push drift")]
+    fn merge_rejects_global_field_drift() {
+        let mut b = rank_trace(4, 64);
+        b.buckets[0].est_push = 13;
+        merge_rank_traces(vec![rank_trace(4, 64), b]);
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+    }
+
+    #[test]
+    fn run_stats_recorder_builds_records() {
+        let mut s = RunStats::default();
+        assert!(Recorder::enabled(&s));
+        s.superstep(&StepStats {
+            local_msgs: 2,
+            remote_msgs: 3,
+            coalesced_msgs: 1,
+            ..Default::default()
+        });
+        s.phase(&PhaseRecord {
+            bucket: 0,
+            kind: PhaseKind::Short,
+            relaxations: 5,
+            remote_msgs: 3,
+        });
+        s.bucket(bucket(0));
+        s.settled(9);
+        // The epoch fields came from the recorded superstep, not the
+        // literal passed in.
+        let rec = s.bucket_records[0];
+        assert_eq!(rec.supersteps, 1);
+        assert_eq!(rec.local_msgs, 2);
+        assert_eq!(rec.remote_msgs, 3);
+        assert_eq!(rec.coalesced_msgs, 1);
+        assert_eq!(rec.settled, 9);
+        assert_eq!(s.phases, 1);
+        // A hybrid tail flushes the remaining steps at finish().
+        s.superstep(&StepStats {
+            remote_msgs: 7,
+            ..Default::default()
+        });
+        s.hybrid_switch(0);
+        s.finish();
+        let tail = s.tail_record.expect("tail record");
+        assert_eq!(tail.bucket, u64::MAX);
+        assert_eq!(tail.supersteps, 1);
+        assert_eq!(tail.remote_msgs, 7);
+    }
+
+    #[test]
+    fn finish_without_hybrid_leaves_no_tail() {
+        let mut s = RunStats::default();
+        s.finish();
+        assert!(s.tail_record.is_none());
+    }
+}

@@ -4,6 +4,7 @@ use rayon::prelude::*;
 
 use crate::instrument::{PhaseKind, PhaseRecord};
 
+use super::record::Recorder;
 use super::{invariants, kernels, Engine};
 
 impl Engine<'_> {
@@ -47,10 +48,9 @@ impl Engine<'_> {
             });
 
         self.charge_exchange(&step);
-        self.comm.record(step);
+        self.stats.superstep(&step);
         self.stats.short_relaxations += relaxations;
-        self.stats.phases += 1;
-        self.stats.phase_records.push(PhaseRecord {
+        self.stats.phase(&PhaseRecord {
             bucket: k,
             kind: PhaseKind::Short,
             relaxations,

@@ -20,14 +20,18 @@ use std::sync::Arc;
 
 use sssp_comm::cost::MachineModel;
 use sssp_comm::exchange::{coalesce_lane_min, shrink_oversized};
-use sssp_comm::threaded::{run_threaded, RankCtx};
+use sssp_comm::packet::PacketConfig;
+use sssp_comm::stats::StepStats;
+use sssp_comm::threaded::{run_threaded, RankCtx, SPARE_CAPACITY_FLOOR};
 use sssp_dist::{DistGraph, LocalGraph};
 use sssp_graph::VertexId;
 
 use crate::config::{DirectionPolicy, LongPhaseMode, SsspConfig};
+use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord, RunStats, RunTrace};
 use crate::state::{RankState, INF};
 
-use super::{decide, kernels, resolved_pi, RelaxMsg, ReqMsg};
+use super::record::{merge_rank_traces, NoopRecorder, Recorder};
+use super::{decide, kernels, resolved_pi, RelaxMsg, ReqMsg, RELAX_BYTES, REQ_BYTES};
 
 /// Messages of the threaded engine's single channel world: relax proposals
 /// and pull requests share one wire type (a superstep carries only one of
@@ -68,24 +72,39 @@ impl Wire {
 pub struct ThreadedSsspOutput {
     /// Final distances indexed by global vertex id (`u64::MAX` = unreached).
     pub distances: Vec<u64>,
-    /// Relaxation messages that entered an exchange (post-coalescing, all
-    /// ranks summed). Pull requests are not included.
-    pub relax_msgs: u64,
+    /// Relaxation messages that entered an exchange addressed to the
+    /// sender's own rank (post-coalescing, all ranks summed). These never
+    /// touch the wire; the simulated engine counts them separately, and so
+    /// do we. Pull requests are not included.
+    pub relax_local_msgs: u64,
+    /// Relaxation messages that entered an exchange addressed to another
+    /// rank (post-coalescing, all ranks summed) — the wire traffic. Pull
+    /// requests are not included.
+    pub relax_remote_msgs: u64,
     /// Relaxation messages removed by sender-side coalescing before the
     /// exchanges (all ranks summed).
     pub coalesced_msgs: u64,
 }
 
+impl ThreadedSsspOutput {
+    /// All relaxation messages that entered an exchange, local and remote.
+    pub fn relax_msgs_total(&self) -> u64 {
+        self.relax_local_msgs + self.relax_remote_msgs
+    }
+}
+
 /// Per-rank return value of the rank body.
 struct RankResult {
     dist: Vec<u64>,
-    relax_msgs: u64,
+    relax_local_msgs: u64,
+    relax_remote_msgs: u64,
     coalesced_msgs: u64,
 }
 
 /// Per-rank transport counters plus the epoch's pool high-water mark.
 struct Traffic {
-    relax_msgs: u64,
+    relax_local_msgs: u64,
+    relax_remote_msgs: u64,
     coalesced_msgs: u64,
     hwm: usize,
 }
@@ -115,6 +134,54 @@ pub fn threaded_delta_stepping(
     cfg: &SsspConfig,
     model: &MachineModel,
 ) -> ThreadedSsspOutput {
+    run_ranks_with(dg, root, cfg, model, || NoopRecorder).0
+}
+
+/// [`threaded_delta_stepping`] with run telemetry: each rank records its
+/// private [`RunStats`] through the shared [`Recorder`] hooks, and the
+/// per-rank traces are merged deterministically after the join — rank-local
+/// volumes sum, per-step maxima combine by max, and globally-allreduced
+/// quantities are asserted identical (the SPMD contract).
+///
+/// Distances are still bit-identical to the untraced entry point; the
+/// recorder only observes values the run already computes.
+pub fn threaded_delta_stepping_traced(
+    dg: &Arc<DistGraph>,
+    root: VertexId,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> (ThreadedSsspOutput, RunTrace) {
+    let p = dg.num_ranks();
+    let tpr = dg.threads_per_rank;
+    let (out, stats) = run_ranks_with(dg, root, cfg, model, move || RunStats {
+        num_ranks: p,
+        threads_per_rank: tpr,
+        ..RunStats::default()
+    });
+    let trace = merge_rank_traces(
+        stats
+            .iter()
+            .map(|s| RunTrace::from_run_stats(s, "threaded"))
+            .collect(),
+    );
+    (out, trace)
+}
+
+/// Shared driver behind the traced and untraced entry points: spawn one
+/// thread per rank, run [`rank_body`] with a freshly made recorder on each,
+/// and fold the per-rank results into the global output (returning the
+/// recorders in rank order for the caller to merge).
+fn run_ranks_with<R, F>(
+    dg: &Arc<DistGraph>,
+    root: VertexId,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    mk: F,
+) -> (ThreadedSsspOutput, Vec<R>)
+where
+    R: Recorder + Send + 'static,
+    F: Fn() -> R + Send + Sync + 'static,
+{
     let n = dg.num_vertices();
     assert!((root as usize) < n, "root {root} out of range (n = {n})");
     let p = dg.num_ranks();
@@ -122,68 +189,115 @@ pub fn threaded_delta_stepping(
     let cfg_body = cfg.clone();
     let model_body = *model;
     let per_rank = run_threaded(p, move |mut ctx: RankCtx<Wire>| {
-        rank_body(&dg_body, root, &cfg_body, &model_body, &mut ctx)
+        let mut rec = mk();
+        let res = rank_body(&dg_body, root, &cfg_body, &model_body, &mut ctx, &mut rec);
+        (res, rec)
     });
 
     let mut distances = vec![INF; n];
-    let mut relax_msgs = 0u64;
+    let mut relax_local_msgs = 0u64;
+    let mut relax_remote_msgs = 0u64;
     let mut coalesced_msgs = 0u64;
-    for (rank, res) in per_rank.into_iter().enumerate() {
+    let mut recorders = Vec::with_capacity(p);
+    for (rank, (res, rec)) in per_rank.into_iter().enumerate() {
         for (l, &d) in res.dist.iter().enumerate() {
             distances[dg.part.to_global(rank, l) as usize] = d;
         }
-        relax_msgs += res.relax_msgs;
+        relax_local_msgs += res.relax_local_msgs;
+        relax_remote_msgs += res.relax_remote_msgs;
         coalesced_msgs += res.coalesced_msgs;
+        recorders.push(rec);
     }
-    ThreadedSsspOutput {
-        distances,
-        relax_msgs,
-        coalesced_msgs,
-    }
+    (
+        ThreadedSsspOutput {
+            distances,
+            relax_local_msgs,
+            relax_remote_msgs,
+            coalesced_msgs,
+        },
+        recorders,
+    )
 }
 
-/// Coalesce (when enabled) and exchange a relax superstep's lanes. Counts
-/// post-coalescing wire messages and removed duplicates, and tracks the
-/// epoch high-water mark for the pool-shrink policy.
-fn exchange_relax(
+/// Coalesce (when enabled) and exchange a relax superstep's lanes. Splits
+/// post-coalescing messages into rank-local and remote (the self lane never
+/// touches the wire, matching the simulated accounting), records the
+/// superstep with the rank's recorder, and tracks the epoch high-water mark
+/// for the pool-shrink policy. Returns the rank's own [`StepStats`]; merged
+/// across ranks it reproduces the simulated global step record.
+fn exchange_relax<R: Recorder>(
     ctx: &mut RankCtx<Wire>,
     out: &mut [Vec<Wire>],
     inbox: &mut Vec<Wire>,
     coalescing: bool,
+    packet: Option<&PacketConfig>,
     t: &mut Traffic,
-) {
+    rec: &mut R,
+) -> StepStats {
+    let mut saved = 0u64;
     if coalescing {
         for lane in out.iter_mut() {
-            t.coalesced_msgs += coalesce_lane_min(lane, |w| w.relax().target, |w| w.relax().nd);
+            saved += coalesce_lane_min(lane, |w| w.relax().target, |w| w.relax().nd);
         }
     }
     for lane in out.iter() {
-        t.relax_msgs += lane.len() as u64;
         t.hwm = t.hwm.max(lane.len());
     }
-    ctx.exchange_pooled(out, inbox);
+    let c = ctx.exchange_pooled_counted(out, inbox, RELAX_BYTES, packet);
     t.hwm = t.hwm.max(inbox.len());
+    t.relax_local_msgs += c.sent_local;
+    t.relax_remote_msgs += c.sent_remote;
+    t.coalesced_msgs += saved;
+    let step = StepStats {
+        remote_msgs: c.sent_remote,
+        local_msgs: c.sent_local,
+        remote_bytes: c.sent_remote_bytes,
+        max_rank_send_bytes: c.sent_remote_bytes,
+        max_rank_recv_bytes: c.recv_remote_bytes,
+        coalesced_msgs: saved,
+    };
+    rec.superstep(&step);
+    step
 }
 
 /// Exchange a request superstep's lanes. Requests are never coalesced —
-/// each one expects its own response — and do not count as relax traffic.
-fn exchange_reqs(
+/// each one expects its own response — and do not count as relax traffic
+/// in [`Traffic`] (the recorder still sees them as a full superstep).
+fn exchange_reqs<R: Recorder>(
     ctx: &mut RankCtx<Wire>,
     out: &mut [Vec<Wire>],
     inbox: &mut Vec<Wire>,
+    packet: Option<&PacketConfig>,
     t: &mut Traffic,
-) {
+    rec: &mut R,
+) -> StepStats {
     for lane in out.iter() {
         t.hwm = t.hwm.max(lane.len());
     }
-    ctx.exchange_pooled(out, inbox);
+    let c = ctx.exchange_pooled_counted(out, inbox, REQ_BYTES, packet);
     t.hwm = t.hwm.max(inbox.len());
+    let step = StepStats {
+        remote_msgs: c.sent_remote,
+        local_msgs: c.sent_local,
+        remote_bytes: c.sent_remote_bytes,
+        max_rank_send_bytes: c.sent_remote_bytes,
+        max_rank_recv_bytes: c.recv_remote_bytes,
+        coalesced_msgs: 0,
+    };
+    rec.superstep(&step);
+    step
 }
 
 /// The §III-C decision on the thread backend: rank-local volume estimates
 /// reduced through five allreduces, then the shared totals→decision
-/// arithmetic. Forced and Always policies skip the collectives uniformly
-/// (every rank holds the same config, so the SPMD sequence stays aligned).
+/// arithmetic. Returns `(mode, est_push, est_pull)` like the simulated
+/// engine's decision. Always policies skip the collectives uniformly
+/// (every rank holds the same config, so the SPMD sequence stays aligned);
+/// a `Forced` bucket skips them too — except under `record_estimates`,
+/// where the volume pass still runs so telemetry shows what the heuristic
+/// would have seen, mirroring the simulated engine. `record_estimates`
+/// derives from [`Recorder::enabled`], which is uniform across ranks, so
+/// the collective sequence stays aligned either way.
 #[allow(clippy::too_many_arguments)]
 fn decide_threaded(
     ctx: &mut RankCtx<Wire>,
@@ -195,8 +309,9 @@ fn decide_threaded(
     p: usize,
     max_weight: u64,
     buckets_done: usize,
-) -> LongPhaseMode {
-    let heuristic = |ctx: &mut RankCtx<Wire>| -> LongPhaseMode {
+    record_estimates: bool,
+) -> (LongPhaseMode, u64, u64) {
+    let heuristic = |ctx: &mut RankCtx<Wire>| -> (LongPhaseMode, u64, u64) {
         let (push, pull, scanned) = decide::rank_volumes(
             lg,
             st,
@@ -214,14 +329,20 @@ fn decide_threaded(
         decide::decide_from_totals(
             cfg, model, p, push_total, pull_total, push_max, pull_max, scan_max,
         )
-        .0
     };
     match &cfg.direction {
-        DirectionPolicy::AlwaysPush => LongPhaseMode::Push,
-        DirectionPolicy::AlwaysPull => LongPhaseMode::Pull,
+        DirectionPolicy::AlwaysPush => (LongPhaseMode::Push, 0, 0),
+        DirectionPolicy::AlwaysPull => (LongPhaseMode::Pull, 0, 0),
         DirectionPolicy::Heuristic => heuristic(ctx),
         DirectionPolicy::Forced(seq) => match seq.get(buckets_done) {
-            Some(&mode) => mode,
+            Some(&mode) => {
+                if record_estimates {
+                    let (_, est_push, est_pull) = heuristic(ctx);
+                    (mode, est_push, est_pull)
+                } else {
+                    (mode, 0, 0)
+                }
+            }
             None => heuristic(ctx),
         },
     }
@@ -229,13 +350,16 @@ fn decide_threaded(
 
 /// One rank's whole run: the exact epoch loop of the simulated engine,
 /// with every simulated collective replaced by its `RankCtx` counterpart
-/// and every buffer rank-private.
-fn rank_body(
+/// and every buffer rank-private. The recorder observes the rank's own
+/// share of each superstep/phase/bucket; merging the per-rank records
+/// reproduces the simulated engine's global telemetry.
+fn rank_body<R: Recorder>(
     dg: &DistGraph,
     root: VertexId,
     cfg: &SsspConfig,
     model: &MachineModel,
     ctx: &mut RankCtx<Wire>,
+    rec: &mut R,
 ) -> RankResult {
     let r = ctx.rank();
     let p = ctx.num_ranks();
@@ -270,10 +394,12 @@ fn rank_body(
     let mut inbox: Vec<Wire> = Vec::new();
     let mut req_inbox: Vec<Wire> = Vec::new();
     let mut t = Traffic {
-        relax_msgs: 0,
+        relax_local_msgs: 0,
+        relax_remote_msgs: 0,
         coalesced_msgs: 0,
         hwm: 0,
     };
+    let packet = model.packet.as_ref();
 
     st.begin_phase();
     if part.owner(root) == r {
@@ -295,16 +421,31 @@ fn rank_body(
         // with Bellman-Ford rounds.
         if let (Some(tau), Some(kp)) = (cfg.hybrid_tau, k_prev) {
             if decide::hybrid_should_switch(tau, settled_total, n_total) {
+                rec.hybrid_switch(kp);
                 st.collect_active_unsettled(kp);
                 while ctx.any(!st.active.is_empty()) {
                     st.begin_phase();
                     st.loads.reset();
-                    kernels::bf_send(lg, part, &mut st, pi, &mut |dst, m| {
+                    let sent = kernels::bf_send(lg, part, &mut st, pi, &mut |dst, m| {
                         out[dst].push(Wire::Relax(m))
                     });
-                    exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
+                    let step = exchange_relax(
+                        ctx,
+                        &mut out,
+                        &mut inbox,
+                        cfg.coalescing,
+                        packet,
+                        &mut t,
+                        rec,
+                    );
                     kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
                     st.collect_active_changed();
+                    rec.phase(&PhaseRecord {
+                        bucket: u64::MAX,
+                        kind: PhaseKind::BellmanFord,
+                        relaxations: sent,
+                        remote_msgs: step.remote_msgs,
+                    });
                 }
                 break;
             }
@@ -316,22 +457,7 @@ fn rank_body(
             while ctx.any(!st.active.is_empty()) {
                 st.begin_phase();
                 st.loads.reset();
-                kernels::short_send(lg, part, &mut st, k, &delta, cfg.ios, pi, &mut |dst, m| {
-                    out[dst].push(Wire::Relax(m))
-                });
-                exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
-                kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
-                st.collect_active_changed_in_bucket(k);
-            }
-        }
-
-        // Stage 2: long-edge phase, push or pull.
-        let mode = decide_threaded(ctx, lg, &st, k, cfg, model, p, max_weight, buckets_done);
-        match mode {
-            LongPhaseMode::Push => {
-                st.begin_phase();
-                st.loads.reset();
-                kernels::long_push_send(
+                let sent = kernels::short_send(
                     lg,
                     part,
                     &mut st,
@@ -341,59 +467,190 @@ fn rank_body(
                     pi,
                     &mut |dst, m| out[dst].push(Wire::Relax(m)),
                 );
-                exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
-                kernels::classify_apply_relax(&mut st, k, &delta, inbox.iter().map(Wire::relax));
+                let step = exchange_relax(
+                    ctx,
+                    &mut out,
+                    &mut inbox,
+                    cfg.coalescing,
+                    packet,
+                    &mut t,
+                    rec,
+                );
+                kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+                st.collect_active_changed_in_bucket(k);
+                rec.phase(&PhaseRecord {
+                    bucket: k,
+                    kind: PhaseKind::Short,
+                    relaxations: sent,
+                    remote_msgs: step.remote_msgs,
+                });
+            }
+        }
+
+        // Stage 2: long-edge phase, push or pull.
+        let (mode, est_push, est_pull) = decide_threaded(
+            ctx,
+            lg,
+            &st,
+            k,
+            cfg,
+            model,
+            p,
+            max_weight,
+            buckets_done,
+            rec.enabled(),
+        );
+        let mut record = BucketRecord {
+            bucket: k,
+            settled: 0,
+            mode,
+            est_push,
+            est_pull,
+            self_edges: 0,
+            backward_edges: 0,
+            forward_edges: 0,
+            requests: 0,
+            responses: 0,
+            supersteps: 0,
+            local_msgs: 0,
+            remote_msgs: 0,
+            coalesced_msgs: 0,
+        };
+        match mode {
+            LongPhaseMode::Push => {
+                st.begin_phase();
+                st.loads.reset();
+                let (outer, long) = kernels::long_push_send(
+                    lg,
+                    part,
+                    &mut st,
+                    k,
+                    &delta,
+                    cfg.ios,
+                    pi,
+                    &mut |dst, m| out[dst].push(Wire::Relax(m)),
+                );
+                let step = exchange_relax(
+                    ctx,
+                    &mut out,
+                    &mut inbox,
+                    cfg.coalescing,
+                    packet,
+                    &mut t,
+                    rec,
+                );
+                let (se, be, fe) = kernels::classify_apply_relax(
+                    &mut st,
+                    k,
+                    &delta,
+                    inbox.iter().map(Wire::relax),
+                );
+                record.self_edges = se;
+                record.backward_edges = be;
+                record.forward_edges = fe;
+                rec.phase(&PhaseRecord {
+                    bucket: k,
+                    kind: PhaseKind::LongPush,
+                    relaxations: outer + long,
+                    remote_msgs: step.remote_msgs,
+                });
             }
             LongPhaseMode::Pull => {
+                let mut phase_relax = 0u64;
+                let mut phase_remote = 0u64;
                 if cfg.ios {
                     st.begin_phase();
                     st.loads.reset();
-                    kernels::outer_short_send(lg, part, &mut st, k, &delta, pi, &mut |dst, m| {
-                        out[dst].push(Wire::Relax(m))
-                    });
-                    exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
+                    let outer = kernels::outer_short_send(
+                        lg,
+                        part,
+                        &mut st,
+                        k,
+                        &delta,
+                        pi,
+                        &mut |dst, m| out[dst].push(Wire::Relax(m)),
+                    );
+                    let step = exchange_relax(
+                        ctx,
+                        &mut out,
+                        &mut inbox,
+                        cfg.coalescing,
+                        packet,
+                        &mut t,
+                        rec,
+                    );
                     kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+                    phase_relax += outer;
+                    phase_remote += step.remote_msgs;
                 }
                 st.begin_phase();
                 st.loads.reset();
-                kernels::pull_request_send(lg, part, &mut st, k, &delta, pi, &mut |dst, m| {
-                    out[dst].push(Wire::Req(m))
-                });
-                exchange_reqs(ctx, &mut out, &mut req_inbox, &mut t);
+                let (req_total, _scanned) =
+                    kernels::pull_request_send(lg, part, &mut st, k, &delta, pi, &mut |dst, m| {
+                        out[dst].push(Wire::Req(m))
+                    });
+                let req_step = exchange_reqs(ctx, &mut out, &mut req_inbox, packet, &mut t, rec);
+                phase_remote += req_step.remote_msgs;
                 st.begin_phase();
                 st.loads.reset();
-                kernels::pull_respond(
+                let resp_total = kernels::pull_respond(
                     part,
                     &mut st,
                     k,
                     req_inbox.iter().map(Wire::req),
                     &mut |dst, m| out[dst].push(Wire::Relax(m)),
                 );
-                exchange_relax(ctx, &mut out, &mut inbox, cfg.coalescing, &mut t);
+                let resp_step = exchange_relax(
+                    ctx,
+                    &mut out,
+                    &mut inbox,
+                    cfg.coalescing,
+                    packet,
+                    &mut t,
+                    rec,
+                );
                 kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+                phase_remote += resp_step.remote_msgs;
+                record.requests = req_total;
+                record.responses = resp_total;
+                phase_relax += req_total + resp_total;
+                rec.phase(&PhaseRecord {
+                    bucket: k,
+                    kind: PhaseKind::LongPull,
+                    relaxations: phase_relax,
+                    remote_msgs: phase_remote,
+                });
             }
         }
+        rec.bucket(record);
 
         // Settled-count collective (drives the hybrid switch; the paper
         // computes it at every epoch end).
-        settled_total += ctx.allreduce_sum(st.bucket_count(k));
+        let settled_k = ctx.allreduce_sum(st.bucket_count(k));
+        settled_total += settled_k;
+        rec.settled(settled_k);
         k_prev = Some(k);
         buckets_done += 1;
 
         // Epoch-boundary pool bound: release lanes, inboxes and channel
-        // spares that ballooned past 4× this epoch's high-water mark.
+        // spares that ballooned past 4× this epoch's high-water mark. The
+        // same capacity floor as the channel spare pool keeps a quiet epoch
+        // (hwm = 0) from freeing every lane.
         ctx.trim_spares();
+        let floor = t.hwm.max(SPARE_CAPACITY_FLOOR / 4);
         for lane in out.iter_mut() {
-            shrink_oversized(lane, t.hwm);
+            shrink_oversized(lane, floor);
         }
-        shrink_oversized(&mut inbox, t.hwm);
-        shrink_oversized(&mut req_inbox, t.hwm);
+        shrink_oversized(&mut inbox, floor);
+        shrink_oversized(&mut req_inbox, floor);
         t.hwm = 0;
     }
 
+    rec.finish();
     RankResult {
         dist: st.dist,
-        relax_msgs: t.relax_msgs,
+        relax_local_msgs: t.relax_local_msgs,
+        relax_remote_msgs: t.relax_remote_msgs,
         coalesced_msgs: t.coalesced_msgs,
     }
 }
@@ -455,8 +712,28 @@ mod tests {
         assert_eq!(off.coalesced_msgs, 0);
         assert!(on.coalesced_msgs > 0, "coalescer never fired");
         // Conservation: every message the coalesced run dropped is one the
-        // uncoalesced run carried.
-        assert_eq!(on.relax_msgs + on.coalesced_msgs, off.relax_msgs);
+        // uncoalesced run carried, whether it stayed rank-local or went
+        // over the wire.
+        assert_eq!(
+            on.relax_msgs_total() + on.coalesced_msgs,
+            off.relax_msgs_total()
+        );
+    }
+
+    #[test]
+    fn local_and_remote_split_is_exact() {
+        // Single rank: every message is self-addressed, none hit the wire.
+        let g = CsrBuilder::new().build(&gen::uniform(60, 400, 20, 3));
+        let dg1 = Arc::new(DistGraph::build(&g, 1, 2));
+        let model = MachineModel::bgq_like();
+        let solo = threaded_delta_stepping(&dg1, 0, &SsspConfig::opt(15), &model);
+        assert_eq!(solo.relax_remote_msgs, 0);
+        assert!(solo.relax_local_msgs > 0, "no traffic recorded at all");
+
+        // Multiple ranks: the same run splits, but the total is conserved.
+        let dg4 = Arc::new(DistGraph::build(&g, 4, 2));
+        let multi = threaded_delta_stepping(&dg4, 0, &SsspConfig::opt(15), &model);
+        assert!(multi.relax_remote_msgs > 0, "no wire traffic across ranks");
     }
 
     #[test]
@@ -466,7 +743,7 @@ mod tests {
         let dg = Arc::new(DistGraph::build(&g, 2, 1));
         let out = threaded_delta_stepping(&dg, 0, &SsspConfig::opt(10), &MachineModel::bgq_like());
         assert_eq!(out.distances, vec![0]);
-        assert_eq!(out.relax_msgs, 0);
+        assert_eq!(out.relax_msgs_total(), 0);
 
         // Disconnected pair: the far component stays unreached.
         let mut el = gen::path(2, 5);

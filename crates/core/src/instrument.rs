@@ -56,6 +56,15 @@ pub struct BucketRecord {
     pub requests: u64,
     /// Pull responses sent back to requesters.
     pub responses: u64,
+    /// Data-exchange supersteps this epoch ran (short phases + the long
+    /// phase's one to three exchanges).
+    pub supersteps: u64,
+    /// Messages of this epoch that stayed on their sender rank.
+    pub local_msgs: u64,
+    /// Messages of this epoch that crossed ranks.
+    pub remote_msgs: u64,
+    /// Messages sender-side coalescing removed this epoch.
+    pub coalesced_msgs: u64,
 }
 
 /// Aggregated statistics of one SSSP run.
@@ -89,6 +98,10 @@ pub struct RunStats {
     pub phase_records: Vec<PhaseRecord>,
     /// One record per processed bucket.
     pub bucket_records: Vec<BucketRecord>,
+    /// The hybrid Bellman-Ford tail's pseudo-bucket record (`bucket` =
+    /// `u64::MAX`), present iff the τ switch fired. Kept out of
+    /// [`Self::bucket_records`] so per-Δ-bucket consumers stay unchanged.
+    pub tail_record: Option<BucketRecord>,
 
     /// Message traffic ledger.
     pub comm: CommStats,
@@ -153,15 +166,23 @@ impl RunStats {
         out
     }
 
-    /// Dump the per-bucket series (the data behind Fig. 7) as CSV.
+    /// Dump the per-bucket series (the data behind Fig. 7) as CSV. The
+    /// hybrid tail's pseudo-bucket, when present, is the last row
+    /// (`bucket` column reads `hybrid`).
     pub fn buckets_csv(&self) -> String {
         let mut out = String::from(
-            "bucket,settled,mode,est_push,est_pull,self,backward,forward,requests,responses\n",
+            "bucket,settled,mode,est_push,est_pull,self,backward,forward,requests,responses,\
+             supersteps,local_msgs,remote_msgs,coalesced_msgs\n",
         );
-        for r in &self.bucket_records {
+        for r in self.bucket_records.iter().chain(self.tail_record.iter()) {
+            let bucket = if r.bucket == u64::MAX {
+                "hybrid".to_string()
+            } else {
+                r.bucket.to_string()
+            };
             out.push_str(&format!(
-                "{},{},{:?},{},{},{},{},{},{},{}\n",
-                r.bucket,
+                "{},{},{:?},{},{},{},{},{},{},{},{},{},{},{}\n",
+                bucket,
                 r.settled,
                 r.mode,
                 r.est_push,
@@ -170,11 +191,442 @@ impl RunStats {
                 r.backward_edges,
                 r.forward_edges,
                 r.requests,
-                r.responses
+                r.responses,
+                r.supersteps,
+                r.local_msgs,
+                r.remote_msgs,
+                r.coalesced_msgs
             ));
         }
         out
     }
+
+    /// Totals of the comm-ledger steps not yet attributed to a bucket
+    /// record: `(supersteps, local_msgs, remote_msgs, coalesced_msgs)`.
+    /// The recorder calls this when closing an epoch (or the hybrid tail)
+    /// to fill the record's per-epoch traffic fields.
+    pub(crate) fn epoch_window(&self) -> (u64, u64, u64, u64) {
+        let consumed: u64 = self
+            .bucket_records
+            .iter()
+            .chain(self.tail_record.iter())
+            .map(|r| r.supersteps)
+            .sum();
+        let steps = self.comm.steps.iter().skip(consumed as usize);
+        let mut w = (0u64, 0u64, 0u64, 0u64);
+        for s in steps {
+            w.0 += 1;
+            w.1 += s.local_msgs;
+            w.2 += s.remote_msgs;
+            w.3 += s.coalesced_msgs;
+        }
+        w
+    }
+}
+
+/// A backend-neutral telemetry trace of one SSSP run: global traffic
+/// totals plus the per-phase and per-bucket records, with every timing
+/// field (wall clock, simulated ledger) deliberately excluded — so a
+/// simulated and a threaded run of the same configuration produce traces
+/// that compare equal field-for-field. Exported and re-imported through a
+/// small hand-rolled JSON codec ([`RunTrace::to_json`] /
+/// [`RunTrace::from_json`]) consumed by the `trace_diff` tool.
+///
+/// Collective counts are also excluded: the backends intentionally differ
+/// there (the threaded §III-C decision runs five allreduces where the
+/// simulator charges one allgather).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    /// Which backend produced the trace (`"simulated"` or `"threaded"`).
+    /// Informational only — [`RunTrace::diff`] ignores it.
+    pub backend: String,
+    /// Ranks the run executed with.
+    pub ranks: usize,
+    /// Total data-exchange supersteps.
+    pub supersteps: u64,
+    /// Messages that stayed on their sender rank.
+    pub local_msgs: u64,
+    /// Messages that crossed ranks.
+    pub remote_msgs: u64,
+    /// Framed wire bytes of the cross-rank traffic.
+    pub remote_bytes: u64,
+    /// Messages removed by sender-side coalescing.
+    pub coalesced_msgs: u64,
+    /// Largest per-rank send volume of any single superstep (bytes).
+    pub max_step_send_bytes: u64,
+    /// Largest per-rank receive volume of any single superstep (bytes).
+    pub max_step_recv_bytes: u64,
+    /// Bucket at which the hybrid τ switch fired, if it did.
+    pub hybrid_switch_at: Option<u64>,
+    /// One record per relaxation superstep-group, in execution order.
+    pub phases: Vec<PhaseRecord>,
+    /// One record per processed Δ-bucket, in execution order.
+    pub buckets: Vec<BucketRecord>,
+    /// The hybrid tail's merged pseudo-bucket record, if the switch fired.
+    pub tail: Option<BucketRecord>,
+}
+
+impl RunTrace {
+    /// Project the telemetry trace out of a finished run's stats. For the
+    /// threaded backend this is applied per rank and the per-rank traces
+    /// are merged (sums for volumes, maxima for maxima, equality-checked
+    /// for globally reduced quantities).
+    pub fn from_run_stats(stats: &RunStats, backend: &str) -> RunTrace {
+        RunTrace {
+            backend: backend.to_string(),
+            ranks: stats.num_ranks,
+            supersteps: stats.comm.num_supersteps() as u64,
+            local_msgs: stats.comm.total_local_msgs(),
+            remote_msgs: stats.comm.total_remote_msgs(),
+            remote_bytes: stats.comm.total_remote_bytes(),
+            coalesced_msgs: stats.comm.total_coalesced_msgs(),
+            max_step_send_bytes: stats
+                .comm
+                .steps
+                .iter()
+                .map(|s| s.max_rank_send_bytes)
+                .max()
+                .unwrap_or(0),
+            max_step_recv_bytes: stats
+                .comm
+                .steps
+                .iter()
+                .map(|s| s.max_rank_recv_bytes)
+                .max()
+                .unwrap_or(0),
+            hybrid_switch_at: stats.hybrid_switch_at,
+            phases: stats.phase_records.clone(),
+            buckets: stats.bucket_records.clone(),
+            tail: stats.tail_record,
+        }
+    }
+
+    /// Serialize the trace as JSON: scalars first, then one line per phase
+    /// and per bucket record (the line-oriented layout is what
+    /// [`RunTrace::from_json`] parses).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"trace\": \"sssp-run-trace\",\n");
+        s.push_str(&format!("  \"backend\": \"{}\",\n", self.backend));
+        s.push_str(&format!("  \"ranks\": {},\n", self.ranks));
+        s.push_str(&format!("  \"supersteps\": {},\n", self.supersteps));
+        s.push_str(&format!("  \"local_msgs\": {},\n", self.local_msgs));
+        s.push_str(&format!("  \"remote_msgs\": {},\n", self.remote_msgs));
+        s.push_str(&format!("  \"remote_bytes\": {},\n", self.remote_bytes));
+        s.push_str(&format!("  \"coalesced_msgs\": {},\n", self.coalesced_msgs));
+        s.push_str(&format!(
+            "  \"max_step_send_bytes\": {},\n",
+            self.max_step_send_bytes
+        ));
+        s.push_str(&format!(
+            "  \"max_step_recv_bytes\": {},\n",
+            self.max_step_recv_bytes
+        ));
+        match self.hybrid_switch_at {
+            Some(k) => s.push_str(&format!("  \"hybrid_switch_at\": {k},\n")),
+            None => s.push_str("  \"hybrid_switch_at\": null,\n"),
+        }
+        s.push_str("  \"phases\": [\n");
+        let phase_lines: Vec<String> = self.phases.iter().map(phase_json).collect();
+        s.push_str(&phase_lines.join(",\n"));
+        if !phase_lines.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"buckets\": [\n");
+        let bucket_lines: Vec<String> = self.buckets.iter().map(bucket_json).collect();
+        s.push_str(&bucket_lines.join(",\n"));
+        if !bucket_lines.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        match &self.tail {
+            Some(t) => s.push_str(&format!("  \"tail\":\n{}\n", bucket_json(t))),
+            None => s.push_str("  \"tail\": null\n"),
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parse a trace produced by [`RunTrace::to_json`]. This is a codec
+    /// for our own line-oriented output, not a general JSON parser.
+    pub fn from_json(text: &str) -> Result<RunTrace, String> {
+        if !text.contains("\"trace\": \"sssp-run-trace\"") {
+            return Err("not an sssp run trace".to_string());
+        }
+        // Top-level scalars live strictly before the "phases" array, so
+        // key lookups cannot collide with the per-record keys below it.
+        let head_end = text
+            .find("\"phases\"")
+            .ok_or_else(|| "missing \"phases\" array".to_string())?;
+        let head = &text[..head_end];
+        let hybrid = {
+            let raw = raw_value(head, "hybrid_switch_at")?;
+            if raw == "null" {
+                None
+            } else {
+                Some(parse_u64(raw, "hybrid_switch_at")?)
+            }
+        };
+        let mut phases = Vec::new();
+        for line in array_lines(text, "\"phases\": [")? {
+            phases.push(parse_phase_line(line)?);
+        }
+        let mut buckets = Vec::new();
+        for line in array_lines(text, "\"buckets\": [")? {
+            buckets.push(parse_bucket_line(line)?);
+        }
+        let tail = {
+            let at = text
+                .find("\"tail\":")
+                .ok_or_else(|| "missing \"tail\" field".to_string())?;
+            let rest = text["\"tail\":".len() + at..].trim_start();
+            if rest.starts_with("null") {
+                None
+            } else {
+                let end = rest
+                    .find('}')
+                    .ok_or_else(|| "unterminated tail record".to_string())?;
+                Some(parse_bucket_line(&rest[..=end])?)
+            }
+        };
+        Ok(RunTrace {
+            backend: str_value(head, "backend")?.to_string(),
+            ranks: parse_u64(raw_value(head, "ranks")?, "ranks")? as usize,
+            supersteps: num_value(head, "supersteps")?,
+            local_msgs: num_value(head, "local_msgs")?,
+            remote_msgs: num_value(head, "remote_msgs")?,
+            remote_bytes: num_value(head, "remote_bytes")?,
+            coalesced_msgs: num_value(head, "coalesced_msgs")?,
+            max_step_send_bytes: num_value(head, "max_step_send_bytes")?,
+            max_step_recv_bytes: num_value(head, "max_step_recv_bytes")?,
+            hybrid_switch_at: hybrid,
+            phases,
+            buckets,
+            tail,
+        })
+    }
+
+    /// Compare two traces field-for-field, ignoring `backend`. Returns one
+    /// human-readable line per mismatch; an empty vector means the traces
+    /// agree. This is the equality the differential tests and the
+    /// `trace_diff` tool gate on.
+    pub fn diff(&self, other: &RunTrace) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.ranks != other.ranks {
+            out.push(format!("ranks: {} vs {}", self.ranks, other.ranks));
+        }
+        let scalars = [
+            ("supersteps", self.supersteps, other.supersteps),
+            ("local_msgs", self.local_msgs, other.local_msgs),
+            ("remote_msgs", self.remote_msgs, other.remote_msgs),
+            ("remote_bytes", self.remote_bytes, other.remote_bytes),
+            ("coalesced_msgs", self.coalesced_msgs, other.coalesced_msgs),
+            (
+                "max_step_send_bytes",
+                self.max_step_send_bytes,
+                other.max_step_send_bytes,
+            ),
+            (
+                "max_step_recv_bytes",
+                self.max_step_recv_bytes,
+                other.max_step_recv_bytes,
+            ),
+        ];
+        for (name, a, b) in scalars {
+            if a != b {
+                out.push(format!("{name}: {a} vs {b}"));
+            }
+        }
+        if self.hybrid_switch_at != other.hybrid_switch_at {
+            out.push(format!(
+                "hybrid_switch_at: {:?} vs {:?}",
+                self.hybrid_switch_at, other.hybrid_switch_at
+            ));
+        }
+        if self.phases.len() != other.phases.len() {
+            out.push(format!(
+                "phases.len: {} vs {}",
+                self.phases.len(),
+                other.phases.len()
+            ));
+        } else {
+            for (i, (a, b)) in self.phases.iter().zip(&other.phases).enumerate() {
+                if a != b {
+                    out.push(format!("phases[{i}]: {a:?} vs {b:?}"));
+                }
+            }
+        }
+        if self.buckets.len() != other.buckets.len() {
+            out.push(format!(
+                "buckets.len: {} vs {}",
+                self.buckets.len(),
+                other.buckets.len()
+            ));
+        } else {
+            for (i, (a, b)) in self.buckets.iter().zip(&other.buckets).enumerate() {
+                diff_bucket(&format!("buckets[{i}]"), a, b, &mut out);
+            }
+        }
+        match (&self.tail, &other.tail) {
+            (Some(a), Some(b)) => diff_bucket("tail", a, b, &mut out),
+            (None, None) => {}
+            (a, b) => out.push(format!("tail presence: {} vs {}", a.is_some(), b.is_some())),
+        }
+        out
+    }
+}
+
+fn phase_json(p: &PhaseRecord) -> String {
+    format!(
+        "    {{\"bucket\": {}, \"kind\": \"{:?}\", \"relaxations\": {}, \"remote_msgs\": {}}}",
+        p.bucket, p.kind, p.relaxations, p.remote_msgs
+    )
+}
+
+fn bucket_json(b: &BucketRecord) -> String {
+    format!(
+        "    {{\"bucket\": {}, \"mode\": \"{:?}\", \"settled\": {}, \"est_push\": {}, \
+         \"est_pull\": {}, \"self_edges\": {}, \"backward_edges\": {}, \"forward_edges\": {}, \
+         \"requests\": {}, \"responses\": {}, \"supersteps\": {}, \"local_msgs\": {}, \
+         \"remote_msgs\": {}, \"coalesced_msgs\": {}}}",
+        b.bucket,
+        b.mode,
+        b.settled,
+        b.est_push,
+        b.est_pull,
+        b.self_edges,
+        b.backward_edges,
+        b.forward_edges,
+        b.requests,
+        b.responses,
+        b.supersteps,
+        b.local_msgs,
+        b.remote_msgs,
+        b.coalesced_msgs
+    )
+}
+
+/// Per-field comparison of two bucket records with `prefix`-qualified
+/// mismatch messages (so `trace_diff` output names the exact counter).
+fn diff_bucket(prefix: &str, a: &BucketRecord, b: &BucketRecord, out: &mut Vec<String>) {
+    let pairs: [(&str, u64, u64); 12] = [
+        ("bucket", a.bucket, b.bucket),
+        ("settled", a.settled, b.settled),
+        ("est_push", a.est_push, b.est_push),
+        ("est_pull", a.est_pull, b.est_pull),
+        ("self_edges", a.self_edges, b.self_edges),
+        ("backward_edges", a.backward_edges, b.backward_edges),
+        ("forward_edges", a.forward_edges, b.forward_edges),
+        ("requests", a.requests, b.requests),
+        ("responses", a.responses, b.responses),
+        ("supersteps", a.supersteps, b.supersteps),
+        ("local_msgs", a.local_msgs, b.local_msgs),
+        ("coalesced_msgs", a.coalesced_msgs, b.coalesced_msgs),
+    ];
+    if a.mode != b.mode {
+        out.push(format!("{prefix}.mode: {:?} vs {:?}", a.mode, b.mode));
+    }
+    if a.remote_msgs != b.remote_msgs {
+        out.push(format!(
+            "{prefix}.remote_msgs: {} vs {}",
+            a.remote_msgs, b.remote_msgs
+        ));
+    }
+    for (name, x, y) in pairs {
+        if x != y {
+            out.push(format!("{prefix}.{name}: {x} vs {y}"));
+        }
+    }
+}
+
+// -- hand-rolled parsing helpers (for our own line-oriented output) --------
+
+fn raw_value<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let at = text
+        .find(&pat)
+        .ok_or_else(|| format!("missing \"{key}\""))?;
+    let rest = text[at + pat.len()..].trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    Ok(rest[..end].trim())
+}
+
+fn parse_u64(raw: &str, key: &str) -> Result<u64, String> {
+    raw.parse::<u64>()
+        .map_err(|_| format!("\"{key}\": expected a number, got {raw:?}"))
+}
+
+fn num_value(text: &str, key: &str) -> Result<u64, String> {
+    parse_u64(raw_value(text, key)?, key)
+}
+
+fn str_value<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let raw = raw_value(text, key)?;
+    raw.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("\"{key}\": expected a string, got {raw:?}"))
+}
+
+/// The record lines of the array opened by `opener` (each record occupies
+/// exactly one line in our output; the closing `]` sits on its own line).
+fn array_lines<'a>(text: &'a str, opener: &str) -> Result<Vec<&'a str>, String> {
+    let at = text
+        .find(opener)
+        .ok_or_else(|| format!("missing {opener}"))?;
+    let body = &text[at + opener.len()..];
+    let mut lines = Vec::new();
+    for line in body.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if t.is_empty() {
+            continue;
+        }
+        if t == "]" {
+            return Ok(lines);
+        }
+        lines.push(line);
+    }
+    Err(format!("unterminated array {opener}"))
+}
+
+fn parse_phase_line(line: &str) -> Result<PhaseRecord, String> {
+    let kind = match str_value(line, "kind")? {
+        "Short" => PhaseKind::Short,
+        "LongPush" => PhaseKind::LongPush,
+        "LongPull" => PhaseKind::LongPull,
+        "BellmanFord" => PhaseKind::BellmanFord,
+        other => return Err(format!("unknown phase kind {other:?}")),
+    };
+    Ok(PhaseRecord {
+        bucket: num_value(line, "bucket")?,
+        kind,
+        relaxations: num_value(line, "relaxations")?,
+        remote_msgs: num_value(line, "remote_msgs")?,
+    })
+}
+
+fn parse_bucket_line(line: &str) -> Result<BucketRecord, String> {
+    let mode = match str_value(line, "mode")? {
+        "Push" => LongPhaseMode::Push,
+        "Pull" => LongPhaseMode::Pull,
+        other => return Err(format!("unknown long-phase mode {other:?}")),
+    };
+    Ok(BucketRecord {
+        bucket: num_value(line, "bucket")?,
+        settled: num_value(line, "settled")?,
+        mode,
+        est_push: num_value(line, "est_push")?,
+        est_pull: num_value(line, "est_pull")?,
+        self_edges: num_value(line, "self_edges")?,
+        backward_edges: num_value(line, "backward_edges")?,
+        forward_edges: num_value(line, "forward_edges")?,
+        requests: num_value(line, "requests")?,
+        responses: num_value(line, "responses")?,
+        supersteps: num_value(line, "supersteps")?,
+        local_msgs: num_value(line, "local_msgs")?,
+        remote_msgs: num_value(line, "remote_msgs")?,
+        coalesced_msgs: num_value(line, "coalesced_msgs")?,
+    })
 }
 
 #[cfg(test)]
@@ -264,24 +716,156 @@ mod tests {
         assert!(lines[2].contains("hybrid"));
     }
 
+    fn sample_bucket() -> BucketRecord {
+        BucketRecord {
+            bucket: 2,
+            settled: 10,
+            mode: LongPhaseMode::Pull,
+            est_push: 100,
+            est_pull: 40,
+            self_edges: 0,
+            backward_edges: 0,
+            forward_edges: 0,
+            requests: 20,
+            responses: 15,
+            supersteps: 4,
+            local_msgs: 9,
+            remote_msgs: 31,
+            coalesced_msgs: 6,
+        }
+    }
+
     #[test]
     fn buckets_csv_round_numbers() {
         let s = RunStats {
-            bucket_records: vec![BucketRecord {
-                bucket: 2,
-                settled: 10,
-                mode: LongPhaseMode::Pull,
-                est_push: 100,
-                est_pull: 40,
-                self_edges: 0,
-                backward_edges: 0,
-                forward_edges: 0,
-                requests: 20,
-                responses: 15,
-            }],
+            bucket_records: vec![sample_bucket()],
             ..Default::default()
         };
         let csv = s.buckets_csv();
-        assert!(csv.contains("2,10,Pull,100,40,0,0,0,20,15"));
+        assert!(csv.contains("2,10,Pull,100,40,0,0,0,20,15,4,9,31,6"));
+    }
+
+    #[test]
+    fn buckets_csv_appends_hybrid_tail_row() {
+        let mut tail = sample_bucket();
+        tail.bucket = u64::MAX;
+        let s = RunStats {
+            bucket_records: vec![sample_bucket()],
+            tail_record: Some(tail),
+            ..Default::default()
+        };
+        let csv = s.buckets_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].starts_with("hybrid,"));
+    }
+
+    #[test]
+    fn epoch_window_attributes_unconsumed_steps() {
+        let mut s = RunStats::default();
+        s.comm.record(sssp_comm::stats::StepStats {
+            local_msgs: 3,
+            remote_msgs: 5,
+            coalesced_msgs: 1,
+            ..Default::default()
+        });
+        s.comm.record(sssp_comm::stats::StepStats {
+            local_msgs: 2,
+            remote_msgs: 4,
+            ..Default::default()
+        });
+        assert_eq!(s.epoch_window(), (2, 5, 9, 1));
+        // Attribute both steps to a bucket record; the window empties.
+        let mut rec = sample_bucket();
+        rec.supersteps = 2;
+        s.bucket_records.push(rec);
+        assert_eq!(s.epoch_window(), (0, 0, 0, 0));
+        // The tail record consumes steps too.
+        s.comm.record(sssp_comm::stats::StepStats {
+            remote_msgs: 7,
+            ..Default::default()
+        });
+        assert_eq!(s.epoch_window(), (1, 0, 7, 0));
+        let mut tail = sample_bucket();
+        tail.supersteps = 1;
+        s.tail_record = Some(tail);
+        assert_eq!(s.epoch_window(), (0, 0, 0, 0));
+    }
+
+    fn sample_trace() -> RunTrace {
+        let mut tail = sample_bucket();
+        tail.bucket = u64::MAX;
+        tail.mode = LongPhaseMode::Push;
+        RunTrace {
+            backend: "simulated".to_string(),
+            ranks: 4,
+            supersteps: 12,
+            local_msgs: 30,
+            remote_msgs: 70,
+            remote_bytes: 1120,
+            coalesced_msgs: 8,
+            max_step_send_bytes: 96,
+            max_step_recv_bytes: 80,
+            hybrid_switch_at: Some(3),
+            phases: vec![
+                PhaseRecord {
+                    bucket: 0,
+                    kind: PhaseKind::Short,
+                    relaxations: 5,
+                    remote_msgs: 3,
+                },
+                PhaseRecord {
+                    bucket: u64::MAX,
+                    kind: PhaseKind::BellmanFord,
+                    relaxations: 9,
+                    remote_msgs: 7,
+                },
+            ],
+            buckets: vec![sample_bucket()],
+            tail: Some(tail),
+        }
+    }
+
+    #[test]
+    fn trace_json_roundtrips() {
+        let t = sample_trace();
+        let parsed = RunTrace::from_json(&t.to_json()).expect("roundtrip parse");
+        assert_eq!(parsed, t);
+        assert!(t.diff(&parsed).is_empty());
+    }
+
+    #[test]
+    fn trace_json_roundtrips_without_optionals() {
+        let mut t = sample_trace();
+        t.hybrid_switch_at = None;
+        t.tail = None;
+        t.phases.clear();
+        t.buckets.clear();
+        let parsed = RunTrace::from_json(&t.to_json()).expect("roundtrip parse");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn trace_diff_ignores_backend_but_flags_counters() {
+        let a = sample_trace();
+        let mut b = sample_trace();
+        b.backend = "threaded".to_string();
+        assert!(a.diff(&b).is_empty(), "backend label must not diff");
+        b.remote_msgs += 1;
+        b.buckets[0].est_pull = 41;
+        b.tail = None;
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 3, "unexpected diff: {d:?}");
+        assert!(d.iter().any(|l| l.starts_with("remote_msgs:")));
+        assert!(d.iter().any(|l| l.starts_with("buckets[0].est_pull:")));
+        assert!(d.iter().any(|l| l.starts_with("tail presence:")));
+    }
+
+    #[test]
+    fn malformed_trace_is_rejected() {
+        assert!(RunTrace::from_json("{}").is_err());
+        let t = sample_trace().to_json();
+        let broken = t.replace("\"supersteps\": 12", "\"supersteps\": twelve");
+        assert!(RunTrace::from_json(&broken).is_err());
     }
 }

@@ -60,6 +60,8 @@ pub mod threaded_kernels;
 pub mod validate;
 
 pub use config::{DeltaParam, DirectionPolicy, IntraBalance, LongPhaseMode, SsspConfig};
-pub use engine::threaded::{threaded_delta_stepping, ThreadedSsspOutput};
+pub use engine::threaded::{
+    threaded_delta_stepping, threaded_delta_stepping_traced, ThreadedSsspOutput,
+};
 pub use engine::{run_sssp, SsspOutput};
-pub use instrument::RunStats;
+pub use instrument::{RunStats, RunTrace};

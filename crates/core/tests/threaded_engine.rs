@@ -93,8 +93,12 @@ proptest! {
         prop_assert_eq!(&on.distances, &off.distances);
         prop_assert_eq!(off.coalesced_msgs, 0);
         // Message conservation: dropped + delivered under coalescing equals
-        // delivered without it.
-        prop_assert_eq!(on.relax_msgs + on.coalesced_msgs, off.relax_msgs);
+        // delivered without it, with rank-local and wire messages counted
+        // separately on both sides.
+        prop_assert_eq!(
+            on.relax_local_msgs + on.relax_remote_msgs + on.coalesced_msgs,
+            off.relax_local_msgs + off.relax_remote_msgs
+        );
     }
 
     #[test]
@@ -111,7 +115,8 @@ proptest! {
         for _ in 0..3 {
             let b = threaded_delta_stepping(&dg, root, &SsspConfig::opt(25), &model);
             prop_assert_eq!(&b.distances, &a.distances);
-            prop_assert_eq!(b.relax_msgs, a.relax_msgs);
+            prop_assert_eq!(b.relax_local_msgs, a.relax_local_msgs);
+            prop_assert_eq!(b.relax_remote_msgs, a.relax_remote_msgs);
             prop_assert_eq!(b.coalesced_msgs, a.coalesced_msgs);
         }
     }

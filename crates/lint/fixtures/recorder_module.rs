@@ -1,0 +1,21 @@
+// Seeded violations proving the telemetry recorder module
+// (crates/core/src/engine/record.rs) sits inside the engine lint scope:
+// no-float and no-panic must fire on it like on any other engine file.
+
+fn merge_fraction(sum: u64, n: u64) -> u64 {
+    let mean = sum as f64 / n as f64; // line 6: floats in the recorder
+    mean as u64
+}
+
+fn take_first(traces: Vec<u64>) -> u64 {
+    traces.first().copied().unwrap() // line 11: unwrap on the hot path
+}
+
+fn merge_checked(traces: &[u64]) -> u64 {
+    // sssp-lint: allow(no-panic-hot-path): post-join merge, not a hot path
+    traces.first().copied().expect("at least one rank trace")
+}
+
+fn sum_is_fine(traces: &[u64]) -> u64 {
+    traces.iter().sum()
+}

@@ -97,6 +97,16 @@ fn no_float_does_not_apply_to_decide_rs() {
 }
 
 #[test]
+fn engine_rules_cover_the_recorder_module() {
+    // The telemetry recorder (engine/record.rs) is engine code: the
+    // no-float and no-panic scopes must include it, and its allow marker
+    // must still work.
+    let diags = lint_fixture("recorder_module.rs", "crates/core/src/engine/record.rs");
+    assert_eq!(lines_for(&diags, "no-float-kernel"), vec![6]);
+    assert_eq!(lines_for(&diags, "no-panic-hot-path"), vec![11]);
+}
+
+#[test]
 fn missing_docs_flags_bare_pub_items_only() {
     let diags = lint_fixture("missing_docs.rs", "crates/comm/src/fixture.rs");
     assert_eq!(lines_for(&diags, "missing-docs-pub"), vec![4, 14]);
@@ -151,6 +161,7 @@ fn every_rule_has_a_fixture_that_fires() {
             "crates/core/src/engine/threaded.rs",
         ),
         ("no_lossy_cast.rs", "crates/core/src/engine/fixture.rs"),
+        ("recorder_module.rs", "crates/core/src/engine/record.rs"),
         ("no_float_kernel.rs", "crates/core/src/engine/fixture.rs"),
         ("missing_docs.rs", "crates/comm/src/fixture.rs"),
         ("crate_hygiene.rs", "crates/core/src/lib.rs"),
