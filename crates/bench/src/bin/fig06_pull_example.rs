@@ -7,36 +7,43 @@
 //! Paper shape to reproduce: per-iteration relaxation-message counts where
 //! the middle iteration drops sharply when switched from push to pull
 //! (30 → 10 in the paper's instance).
+//!
+//! `--backend simulated|threaded` picks the engine (default simulated);
+//! the unified telemetry layer makes the figure identical on both.
+
+use std::sync::Arc;
 
 use sssp_bench::*;
 use sssp_comm::cost::MachineModel;
 use sssp_core::config::{DirectionPolicy, LongPhaseMode, SsspConfig};
+use sssp_core::RunTrace;
 use sssp_dist::DistGraph;
 use sssp_graph::gen::PullExample;
 use sssp_graph::CsrBuilder;
 
 fn main() {
+    let backend = backend_from_args();
     let ex = PullExample::default();
     let g = CsrBuilder::new().build(&ex.build());
-    let dg = DistGraph::build(&g, 4, 1);
+    let dg = Arc::new(DistGraph::build(&g, 4, 1));
     let model = MachineModel::bgq_like();
 
     let run = |decisions: Vec<LongPhaseMode>| {
         let cfg = SsspConfig::del(5)
             .with_ios(false)
             .with_direction(DirectionPolicy::Forced(decisions));
-        sssp_core::engine::run_sssp(&dg, 0, &cfg, &model)
+        run_trace(&dg, 0, &cfg, &model, backend)
     };
 
     use LongPhaseMode::*;
-    let push = run(vec![Push, Push, Push]);
-    let pull_mid = run(vec![Push, Pull, Push]);
-    assert_eq!(push.distances, pull_mid.distances, "modes must agree");
+    let (push_dist, push) = run(vec![Push, Push, Push]);
+    let (pull_dist, pull_mid) = run(vec![Push, Pull, Push]);
+    assert_eq!(push_dist, pull_dist, "modes must agree");
 
-    for (name, out) in [("all-push", &push), ("pull at clique bucket", &pull_mid)] {
-        let rows: Vec<Vec<String>> = out
-            .stats
-            .phase_records
+    let total = |t: &RunTrace| -> u64 { t.phases.iter().map(|r| r.relaxations).sum() };
+    for (name, trace) in [("all-push", &push), ("pull at clique bucket", &pull_mid)] {
+        let rows: Vec<Vec<String>> = trace
+            .phases
             .iter()
             .enumerate()
             .map(|(i, r)| {
@@ -50,8 +57,9 @@ fn main() {
             .collect();
         print_table(
             &format!(
-                "Fig 6 — {name} (total {} relaxations)",
-                out.stats.relaxations_total()
+                "Fig 6 — {name} (total {} relaxations, {} backend)",
+                total(trace),
+                backend.name()
             ),
             &["iter", "bucket", "kind", "relax msgs"],
             &rows,
@@ -59,7 +67,7 @@ fn main() {
     }
     println!(
         "\nPush total {} vs push+pull total {} — pull wins the clique epoch.",
-        push.stats.relaxations_total(),
-        pull_mid.stats.relaxations_total()
+        total(&push),
+        total(&pull_mid)
     );
 }

@@ -9,29 +9,36 @@
 //! settled-count aggregation for the hybrid switch, and volume estimates for
 //! the push/pull decision.
 
+use crate::fingerprint::{
+    FP_ALLGATHER, FP_REDUCE_ANY, FP_REDUCE_F64, FP_REDUCE_MAX, FP_REDUCE_MIN, FP_REDUCE_SUM,
+};
 use crate::stats::CommStats;
 
 /// Sum-allreduce over per-rank `u64` contributions.
 pub fn allreduce_sum(vals: &[u64], stats: &mut CommStats) -> u64 {
     stats.collectives += 1;
+    stats.fp_mix(FP_REDUCE_SUM);
     vals.iter().sum()
 }
 
 /// Min-allreduce. Empty input yields `u64::MAX` (the identity).
 pub fn allreduce_min(vals: &[u64], stats: &mut CommStats) -> u64 {
     stats.collectives += 1;
+    stats.fp_mix(FP_REDUCE_MIN);
     vals.iter().copied().min().unwrap_or(u64::MAX)
 }
 
 /// Max-allreduce. Empty input yields 0 (the identity).
 pub fn allreduce_max(vals: &[u64], stats: &mut CommStats) -> u64 {
     stats.collectives += 1;
+    stats.fp_mix(FP_REDUCE_MAX);
     vals.iter().copied().max().unwrap_or(0)
 }
 
 /// Logical-or allreduce (the per-phase "any rank still active?" check).
 pub fn allreduce_any(vals: &[bool], stats: &mut CommStats) -> bool {
     stats.collectives += 1;
+    stats.fp_mix(FP_REDUCE_ANY);
     vals.iter().any(|&b| b)
 }
 
@@ -39,12 +46,14 @@ pub fn allreduce_any(vals: &[bool], stats: &mut CommStats) -> bool {
 /// so results are bit-reproducible).
 pub fn allreduce_sum_f64(vals: &[f64], stats: &mut CommStats) -> f64 {
     stats.collectives += 1;
+    stats.fp_mix(FP_REDUCE_F64);
     vals.iter().sum()
 }
 
 /// Max-allreduce over per-rank `f64` contributions.
 pub fn allreduce_max_f64(vals: &[f64], stats: &mut CommStats) -> f64 {
     stats.collectives += 1;
+    stats.fp_mix(FP_REDUCE_F64);
     vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
@@ -52,6 +61,7 @@ pub fn allreduce_max_f64(vals: &[f64], stats: &mut CommStats) -> f64 {
 /// Returns it once (ranks share the simulator's memory).
 pub fn allgather<T: Clone>(vals: &[T], stats: &mut CommStats) -> Vec<T> {
     stats.collectives += 1;
+    stats.fp_mix(FP_ALLGATHER);
     vals.to_vec()
 }
 

@@ -33,6 +33,8 @@ pub mod collective;
 pub mod cost;
 /// Bulk-synchronous message exchange between simulated ranks.
 pub mod exchange;
+/// Rolling collective-schedule fingerprints shared by both backends.
+pub mod fingerprint;
 /// Optional SPI-style packet coalescing model.
 pub mod packet;
 /// Per-superstep traffic ledgers ([`stats::CommStats`]).

@@ -14,9 +14,13 @@
 //! programs use: inboxes are ordered by source rank, never by arrival
 //! time.
 
+use std::cell::Cell;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier, Mutex};
 
+use crate::fingerprint::{
+    fp_mix, FP_EXCHANGE, FP_REDUCE, FP_REDUCE_ANY, FP_REDUCE_MAX, FP_REDUCE_MIN, FP_REDUCE_SUM,
+};
 use crate::packet::PacketConfig;
 use crate::Rank;
 
@@ -64,6 +68,13 @@ pub struct RankCtx<M> {
     /// Largest batch moved through [`RankCtx::exchange_pooled`] since the
     /// last [`RankCtx::trim_spares`] — the spare pool's high-water mark.
     watermark: usize,
+    /// Rolling collective-schedule fingerprint (see [`crate::fingerprint`]).
+    /// `Cell` because several collectives take `&self`; the value is strictly
+    /// rank-private.
+    fp: Cell<u64>,
+    /// Epoch tag mixed into the fingerprint; advanced by the kernel through
+    /// [`RankCtx::set_epoch`] at bucket boundaries.
+    epoch: Cell<u64>,
 }
 
 impl<M: Send> RankCtx<M> {
@@ -79,11 +90,59 @@ impl<M: Send> RankCtx<M> {
         self.p
     }
 
+    /// Fold one collective of `kind` into this rank's schedule fingerprint.
+    #[inline]
+    fn note_collective(&self, kind: u64) {
+        self.fp.set(fp_mix(self.fp.get(), kind, self.epoch.get()));
+    }
+
+    /// Set the epoch tag mixed into subsequent fingerprint updates. Kernels
+    /// call this at bucket boundaries so a skipped epoch shows up as a
+    /// fingerprint divergence even when the collective kinds happen to line
+    /// up.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.set(epoch);
+    }
+
+    /// This rank's rolling collective-schedule fingerprint.
+    pub fn schedule_fingerprint(&self) -> u64 {
+        self.fp.get()
+    }
+
+    /// Debug-build cross-rank check that every rank has executed the same
+    /// collective schedule: min- and max-reduce the fingerprints and assert
+    /// they agree. A no-op in release builds. The gate is compile-time
+    /// uniform across ranks (all threads run the same binary), so the extra
+    /// collectives cannot themselves skew the schedule.
+    pub fn assert_schedule_uniform(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let fp = self.fp.get();
+            let lo = self.allreduce_inner(fp, |vals| vals.iter().copied().min().unwrap_or(0));
+            let hi = self.allreduce_inner(fp, |vals| vals.iter().copied().max().unwrap_or(0));
+            assert_eq!(
+                lo,
+                hi,
+                "collective schedule diverged across ranks (rank {} fp {fp:#018x}, epoch {})",
+                self.rank,
+                self.epoch.get()
+            );
+        }
+    }
+
+    /// Test hook: xor `salt` into this rank's fingerprint so differential
+    /// tests can prove [`RankCtx::assert_schedule_uniform`] actually fires.
+    #[cfg(debug_assertions)]
+    pub fn perturb_fingerprint(&self, salt: u64) {
+        self.fp.set(self.fp.get() ^ salt);
+    }
+
     /// Bulk-synchronous exchange: send `out[dst]` to every rank, receive
     /// one batch from every rank, deliver concatenated in source order.
     /// Blocks until all ranks have exchanged.
     pub fn exchange(&self, out: Vec<Vec<M>>) -> Vec<M> {
         assert_eq!(out.len(), self.p, "outbox fan-out mismatch");
+        self.note_collective(FP_EXCHANGE);
         for (dst, msgs) in out.into_iter().enumerate() {
             // A peer disappearing mid-superstep is unrecoverable by design
             // (SPMD contract), hence the allowed panic below.
@@ -125,6 +184,7 @@ impl<M: Send> RankCtx<M> {
         packet: Option<&PacketConfig>,
     ) -> ExchangeCounts {
         assert_eq!(out.len(), self.p, "outbox fan-out mismatch");
+        self.note_collective(FP_EXCHANGE);
         let wire = |count: u64| -> u64 {
             match packet {
                 Some(pk) => pk.wire_bytes(count, msg_bytes),
@@ -186,6 +246,15 @@ impl<M: Send> RankCtx<M> {
 
     /// Allreduce over one `u64` contribution per rank.
     pub fn allreduce<F: Fn(&[u64]) -> u64>(&self, value: u64, combine: F) -> u64 {
+        self.note_collective(FP_REDUCE);
+        self.allreduce_inner(value, combine)
+    }
+
+    /// The rendezvous itself, without the fingerprint update: shared by the
+    /// public collectives (which mix their own kind codes first) and by
+    /// [`RankCtx::assert_schedule_uniform`], whose meta-collectives must not
+    /// perturb the fingerprint they are checking.
+    fn allreduce_inner<F: Fn(&[u64]) -> u64>(&self, value: u64, combine: F) -> u64 {
         {
             // sssp-lint: allow(no-panic-hot-path): poisoned = a rank already
             // panicked; propagating the abort is the correct SPMD behavior.
@@ -217,22 +286,26 @@ impl<M: Send> RankCtx<M> {
 
     /// Minimum allreduce: every rank receives the smallest contribution.
     pub fn allreduce_min(&self, value: u64) -> u64 {
-        self.allreduce(value, |vals| vals.iter().copied().min().unwrap_or(u64::MAX))
+        self.note_collective(FP_REDUCE_MIN);
+        self.allreduce_inner(value, |vals| vals.iter().copied().min().unwrap_or(u64::MAX))
     }
 
     /// Maximum allreduce: every rank receives the largest contribution.
     pub fn allreduce_max(&self, value: u64) -> u64 {
-        self.allreduce(value, |vals| vals.iter().copied().max().unwrap_or(0))
+        self.note_collective(FP_REDUCE_MAX);
+        self.allreduce_inner(value, |vals| vals.iter().copied().max().unwrap_or(0))
     }
 
     /// Sum allreduce: every rank receives the total of all contributions.
     pub fn allreduce_sum(&self, value: u64) -> u64 {
-        self.allreduce(value, |vals| vals.iter().sum())
+        self.note_collective(FP_REDUCE_SUM);
+        self.allreduce_inner(value, |vals| vals.iter().sum())
     }
 
     /// Logical-or allreduce.
     pub fn any(&self, flag: bool) -> bool {
-        self.allreduce(u64::from(flag), |vals| {
+        self.note_collective(FP_REDUCE_ANY);
+        self.allreduce_inner(u64::from(flag), |vals| {
             u64::from(vals.iter().any(|&v| v != 0))
         }) != 0
     }
@@ -266,6 +339,8 @@ where
             spare: Vec::new(),
             batches: Vec::with_capacity(p),
             watermark: 0,
+            fp: Cell::new(0),
+            epoch: Cell::new(0),
         };
         let body = Arc::clone(&body);
         handles.push(
@@ -279,10 +354,14 @@ where
     }
     drop(senders);
     // Re-raise a rank panic on the driver thread instead of returning
-    // partial results, hence the allowed panic below.
+    // partial results, preserving the rank's own panic payload so the
+    // driver reports the real failure rather than a generic join error.
     handles
         .into_iter()
-        .map(|h| h.join().expect("rank thread panicked")) // sssp-lint: allow(no-panic-hot-path): re-raise rank panic
+        .map(|h| match h.join() {
+            Ok(r) => r,
+            Err(e) => std::panic::resume_unwind(e),
+        })
         .collect()
 }
 
@@ -554,6 +633,56 @@ mod tests {
             assert_eq!(plain, vec![1, 1]);
             assert_eq!(pooled, vec![2, 2]);
         }
+    }
+
+    #[test]
+    fn fingerprints_agree_across_ranks_and_rank_counts() {
+        for p in [1, 3, 5] {
+            let fps = run_threaded(p, |mut ctx: RankCtx<u64>| {
+                let p = ctx.num_ranks();
+                for epoch in 0..3 {
+                    ctx.set_epoch(epoch);
+                    ctx.allreduce_min(ctx.rank() as u64);
+                    let mut out: Vec<Vec<u64>> = (0..p).map(|_| vec![1]).collect();
+                    let mut inbox = Vec::new();
+                    ctx.exchange_pooled(&mut out, &mut inbox);
+                    ctx.any(ctx.rank() == 0);
+                    ctx.assert_schedule_uniform();
+                }
+                ctx.schedule_fingerprint()
+            });
+            assert!(
+                fps.windows(2).all(|w| w[0] == w[1]),
+                "p={p}: ranks disagree: {fps:?}"
+            );
+            assert_ne!(fps[0], 0, "p={p}: schedule must move the fingerprint");
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_schedules() {
+        let a = run_threaded(2, |ctx: RankCtx<u64>| {
+            ctx.allreduce_min(0);
+            ctx.schedule_fingerprint()
+        });
+        let b = run_threaded(2, |ctx: RankCtx<u64>| {
+            ctx.allreduce_max(0);
+            ctx.schedule_fingerprint()
+        });
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "collective schedule diverged")]
+    fn corrupted_fingerprint_trips_the_uniformity_assertion() {
+        run_threaded(3, |ctx: RankCtx<u64>| {
+            ctx.allreduce_sum(1);
+            if ctx.rank() == 1 {
+                ctx.perturb_fingerprint(0xDEAD_BEEF);
+            }
+            ctx.assert_schedule_uniform();
+        });
     }
 
     #[test]

@@ -20,6 +20,7 @@ impl Engine<'_> {
             .par_iter_mut()
             .for_each(|st| st.collect_active_unsettled(k_last));
 
+        // sssp-lint: protocol: bf-tail.active-any
         while self.any_active() {
             self.begin_superstep();
             let sent_total: u64 = self
@@ -32,6 +33,7 @@ impl Engine<'_> {
                     })
                 })
                 .sum();
+            // sssp-lint: protocol: bf-tail.exchange-relax
             let step = self.exchange_relax();
             invariants::check_conservation(&self.relax_bufs.inboxes, &step);
             self.states

@@ -9,6 +9,7 @@
 //! (one pass per rank thread + five allreduces) share the arithmetic.
 use rayon::prelude::*;
 
+use sssp_comm::collective::allgather;
 use sssp_comm::cost::{MachineModel, TimeClass};
 use sssp_dist::LocalGraph;
 
@@ -196,13 +197,15 @@ impl Engine<'_> {
 
         // The estimates travel through one allgather (§III-C preprocesses
         // per-vertex long-edge counts; at runtime only the per-rank sums
-        // need to be shared).
-        self.comm.collectives += 1;
+        // need to be shared). The parallel fold above already globalized
+        // them, so the gathered vector is read straight back.
+        let g = allgather(
+            &[push_total, pull_total, push_max, pull_max, scan_max],
+            &mut self.comm,
+        );
         self.ledger
             .charge_collective(self.model, TimeClass::Relax, self.p);
 
-        decide_from_totals(
-            self.cfg, self.model, self.p, push_total, pull_total, push_max, pull_max, scan_max,
-        )
+        decide_from_totals(self.cfg, self.model, self.p, g[0], g[1], g[2], g[3], g[4])
     }
 }

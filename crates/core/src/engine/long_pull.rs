@@ -44,6 +44,7 @@ impl Engine<'_> {
                     )
                 })
                 .sum();
+            // sssp-lint: protocol: long-pull.ios-outer-short
             let step = self.exchange_relax();
             invariants::check_conservation(&self.relax_bufs.inboxes, &step);
             self.states
@@ -88,6 +89,7 @@ impl Engine<'_> {
             .unwrap_or((0, 0));
         self.ledger
             .charge_scan(self.model, TimeClass::Relax, scan_max);
+        // sssp-lint: protocol: long-pull.requests
         let req_step = self
             .req_bufs
             .exchange(REQ_BYTES, self.model.packet.as_ref());
@@ -112,6 +114,7 @@ impl Engine<'_> {
                 })
             })
             .sum();
+        // sssp-lint: protocol: long-pull.responses
         let resp_step = self.exchange_relax();
         invariants::check_conservation(&self.relax_bufs.inboxes, &resp_step);
         self.states

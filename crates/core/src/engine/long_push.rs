@@ -37,6 +37,7 @@ impl Engine<'_> {
             .reduce_with(|a, b| (a.0 + b.0, a.1 + b.1))
             .unwrap_or((0, 0));
 
+        // sssp-lint: protocol: long-push.exchange-relax
         let step = self.exchange_relax();
         invariants::check_conservation(&self.relax_bufs.inboxes, &step);
 

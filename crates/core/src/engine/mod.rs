@@ -175,6 +175,7 @@ pub(super) fn resolved_pi(balance: IntraBalance, m_directed: u64, n_vertices: u6
 }
 
 impl<'a> Engine<'a> {
+    // sssp-lint: protocol-entry(simulated)
     fn new(dg: &'a DistGraph, cfg: &'a SsspConfig, model: &'a MachineModel) -> Self {
         let p = dg.num_ranks();
         let threads = dg.threads_per_rank;
@@ -185,7 +186,10 @@ impl<'a> Engine<'a> {
         // Global weight extremes (rows are weight-sorted, so first/last
         // entries suffice). An edgeless graph has no extremes; collapse the
         // scan sentinels to (0, 0) so `min_weight = u32::MAX` never leaks
-        // into the decision heuristic's eq. 1 estimate.
+        // into the decision heuristic's eq. 1 estimate. The ranks share the
+        // simulator's memory, so no collective travels here — the threaded
+        // backend reduces the same extremes with two allreduces.
+        // sssp-lint: protocol-implicit: setup.weight-extremes reduce
         let mut min_w = u32::MAX;
         let mut max_w = 0u32;
         for lg in &dg.locals {
@@ -228,6 +232,7 @@ impl<'a> Engine<'a> {
         }
     }
 
+    // sssp-lint: protocol-entry(simulated)
     fn run(mut self, seeds: &[(VertexId, u64)]) -> SsspOutput {
         let n_total = self.dg.num_vertices() as u64;
         if n_total == 0 {
@@ -250,7 +255,14 @@ impl<'a> Engine<'a> {
 
         let mut k_prev: Option<u64> = None;
         let mut settled_total = 0u64;
+        let mut epoch = 0u64;
         loop {
+            // Uniform epoch tag for the schedule fingerprint: bumped once
+            // per bucket epoch on both backends (setup runs as epoch 0).
+            epoch += 1;
+            self.comm.set_epoch(epoch);
+            self.stats.comm.set_epoch(epoch);
+            // sssp-lint: protocol: epoch.select
             let next = self.next_bucket(k_prev);
             let Some(k) = next else { break };
             invariants::check_epoch_monotone(k, k_prev);
@@ -271,6 +283,7 @@ impl<'a> Engine<'a> {
             self.coll.clear();
             self.coll
                 .extend(self.states.iter().map(|s| s.bucket_count(k)));
+            // sssp-lint: protocol: epoch.settle
             let settled_k = allreduce_sum(&self.coll, &mut self.comm);
             self.ledger
                 .charge_collective(self.model, TimeClass::Bucket, self.p);
@@ -305,6 +318,9 @@ impl<'a> Engine<'a> {
         // Superstep records flow into `stats.comm` through the recorder as
         // they happen; only the collective count lives on the engine side.
         self.stats.comm.collectives = self.comm.collectives;
+        // Fold the engine-side collective fingerprint into the recorder's
+        // exchange fingerprint so the output carries the full schedule.
+        self.stats.comm.fingerprint ^= self.comm.fingerprint;
         self.stats.ledger = self.ledger;
         SsspOutput {
             distances,
@@ -413,12 +429,15 @@ impl<'a> Engine<'a> {
 
         // Stage 1: short-edge phases.
         if self.has_short_edges() {
+            // sssp-lint: protocol: short.active-any
             while self.any_active() {
+                // sssp-lint: protocol: short.exchange-relax
                 self.short_phase(k);
             }
         }
 
         // Stage 2: long-edge phase, push or pull.
+        // sssp-lint: protocol: decide.estimates
         let (mode, est_push, est_pull) = self.decide(k);
         let mut record = BucketRecord {
             bucket: k,

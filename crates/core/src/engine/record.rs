@@ -32,6 +32,11 @@ pub trait Recorder {
     /// One relaxation phase (a short round, a long push, a whole pull
     /// phase, or a Bellman-Ford round) completed.
     fn phase(&mut self, _rec: &PhaseRecord) {}
+    /// Wall-clock nanoseconds one phase of `kind` took on this rank,
+    /// including the rendezvous wait inside its exchanges. Only the
+    /// threaded backend reports these; the simulated engine never calls
+    /// this hook, so its traces keep all-zero timings.
+    fn phase_nanos(&mut self, _kind: crate::instrument::PhaseKind, _ns: u64) {}
     /// One Δ-bucket epoch completed. The recorder fills the record's
     /// per-epoch traffic fields from the supersteps since the last bucket.
     fn bucket(&mut self, _rec: BucketRecord) {}
@@ -61,6 +66,10 @@ impl Recorder for RunStats {
     fn phase(&mut self, rec: &PhaseRecord) {
         self.phases += 1;
         self.phase_records.push(*rec);
+    }
+
+    fn phase_nanos(&mut self, kind: crate::instrument::PhaseKind, ns: u64) {
+        self.wall.add(kind, ns);
     }
 
     fn bucket(&mut self, mut rec: BucketRecord) {
@@ -133,6 +142,8 @@ pub(super) fn merge_rank_traces(traces: Vec<RunTrace>) -> RunTrace {
         merged.coalesced_msgs += t.coalesced_msgs;
         merged.max_step_send_bytes = merged.max_step_send_bytes.max(t.max_step_send_bytes);
         merged.max_step_recv_bytes = merged.max_step_recv_bytes.max(t.max_step_recv_bytes);
+        // Per-phase wall clock: the slowest rank bounds a BSP phase.
+        merged.timings = merged.timings.max(&t.timings);
         assert_eq!(
             merged.phases.len(),
             t.phases.len(),
@@ -224,6 +235,7 @@ mod tests {
             max_step_send_bytes: send_max,
             max_step_recv_bytes: send_max / 2,
             hybrid_switch_at: None,
+            timings: crate::instrument::PhaseTimings::default(),
             phases: vec![PhaseRecord {
                 bucket: 1,
                 kind: PhaseKind::Short,

@@ -17,6 +17,7 @@
 //! everything else is rank-private state.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use sssp_comm::cost::MachineModel;
 use sssp_comm::exchange::{coalesce_lane_min, shrink_oversized};
@@ -99,6 +100,13 @@ struct RankResult {
     relax_local_msgs: u64,
     relax_remote_msgs: u64,
     coalesced_msgs: u64,
+}
+
+/// Wall-clock nanoseconds since `start`, saturated into a `u64` (580 years
+/// of headroom — the cast can only be reached by a clock bug).
+#[inline]
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Per-rank transport counters plus the epoch's pool high-water mark.
@@ -353,6 +361,7 @@ fn decide_threaded(
 /// and every buffer rank-private. The recorder observes the rank's own
 /// share of each superstep/phase/bucket; merging the per-rank records
 /// reproduces the simulated engine's global telemetry.
+// sssp-lint: protocol-entry(threaded)
 fn rank_body<R: Recorder>(
     dg: &DistGraph,
     root: VertexId,
@@ -380,6 +389,7 @@ fn rank_body<R: Recorder>(
             w_hi = w_hi.max(last as u64);
         }
     }
+    // sssp-lint: protocol: setup.weight-extremes
     let mut min_weight = ctx.allreduce_min(w_lo);
     let mut max_weight = ctx.allreduce_max(w_hi);
     if dg.m_directed == 0 {
@@ -409,9 +419,16 @@ fn rank_body<R: Recorder>(
     let mut k_prev: Option<u64> = None;
     let mut settled_total = 0u64;
     let mut buckets_done = 0usize;
+    let mut epoch = 0u64;
 
     loop {
+        // Epoch tag for the schedule fingerprint: advanced by the same
+        // uniform counter on every rank (setup was epoch 0).
+        epoch += 1;
+        ctx.set_epoch(epoch);
+
         // Bucket collective: smallest nonempty bucket across all ranks.
+        // sssp-lint: protocol: epoch.select
         let k = ctx.allreduce_min(st.next_nonempty_after(k_prev).unwrap_or(u64::MAX));
         if k == u64::MAX {
             break;
@@ -423,12 +440,15 @@ fn rank_body<R: Recorder>(
             if decide::hybrid_should_switch(tau, settled_total, n_total) {
                 rec.hybrid_switch(kp);
                 st.collect_active_unsettled(kp);
+                let bf_start = Instant::now();
+                // sssp-lint: protocol: bf-tail.active-any
                 while ctx.any(!st.active.is_empty()) {
                     st.begin_phase();
                     st.loads.reset();
                     let sent = kernels::bf_send(lg, part, &mut st, pi, &mut |dst, m| {
                         out[dst].push(Wire::Relax(m))
                     });
+                    // sssp-lint: protocol: bf-tail.exchange-relax
                     let step = exchange_relax(
                         ctx,
                         &mut out,
@@ -447,6 +467,7 @@ fn rank_body<R: Recorder>(
                         remote_msgs: step.remote_msgs,
                     });
                 }
+                rec.phase_nanos(PhaseKind::BellmanFord, elapsed_ns(bf_start));
                 break;
             }
         }
@@ -454,6 +475,8 @@ fn rank_body<R: Recorder>(
         // Stage 1: repeated inner-short phases.
         st.collect_active_from_bucket(k);
         if has_short {
+            let short_start = Instant::now();
+            // sssp-lint: protocol: short.active-any
             while ctx.any(!st.active.is_empty()) {
                 st.begin_phase();
                 st.loads.reset();
@@ -467,6 +490,7 @@ fn rank_body<R: Recorder>(
                     pi,
                     &mut |dst, m| out[dst].push(Wire::Relax(m)),
                 );
+                // sssp-lint: protocol: short.exchange-relax
                 let step = exchange_relax(
                     ctx,
                     &mut out,
@@ -485,9 +509,11 @@ fn rank_body<R: Recorder>(
                     remote_msgs: step.remote_msgs,
                 });
             }
+            rec.phase_nanos(PhaseKind::Short, elapsed_ns(short_start));
         }
 
         // Stage 2: long-edge phase, push or pull.
+        // sssp-lint: protocol: decide.estimates
         let (mode, est_push, est_pull) = decide_threaded(
             ctx,
             lg,
@@ -518,6 +544,7 @@ fn rank_body<R: Recorder>(
         };
         match mode {
             LongPhaseMode::Push => {
+                let push_start = Instant::now();
                 st.begin_phase();
                 st.loads.reset();
                 let (outer, long) = kernels::long_push_send(
@@ -530,6 +557,7 @@ fn rank_body<R: Recorder>(
                     pi,
                     &mut |dst, m| out[dst].push(Wire::Relax(m)),
                 );
+                // sssp-lint: protocol: long-push.exchange-relax
                 let step = exchange_relax(
                     ctx,
                     &mut out,
@@ -554,8 +582,10 @@ fn rank_body<R: Recorder>(
                     relaxations: outer + long,
                     remote_msgs: step.remote_msgs,
                 });
+                rec.phase_nanos(PhaseKind::LongPush, elapsed_ns(push_start));
             }
             LongPhaseMode::Pull => {
+                let pull_start = Instant::now();
                 let mut phase_relax = 0u64;
                 let mut phase_remote = 0u64;
                 if cfg.ios {
@@ -570,6 +600,7 @@ fn rank_body<R: Recorder>(
                         pi,
                         &mut |dst, m| out[dst].push(Wire::Relax(m)),
                     );
+                    // sssp-lint: protocol: long-pull.ios-outer-short
                     let step = exchange_relax(
                         ctx,
                         &mut out,
@@ -589,6 +620,7 @@ fn rank_body<R: Recorder>(
                     kernels::pull_request_send(lg, part, &mut st, k, &delta, pi, &mut |dst, m| {
                         out[dst].push(Wire::Req(m))
                     });
+                // sssp-lint: protocol: long-pull.requests
                 let req_step = exchange_reqs(ctx, &mut out, &mut req_inbox, packet, &mut t, rec);
                 phase_remote += req_step.remote_msgs;
                 st.begin_phase();
@@ -600,6 +632,7 @@ fn rank_body<R: Recorder>(
                     req_inbox.iter().map(Wire::req),
                     &mut |dst, m| out[dst].push(Wire::Relax(m)),
                 );
+                // sssp-lint: protocol: long-pull.responses
                 let resp_step = exchange_relax(
                     ctx,
                     &mut out,
@@ -620,12 +653,14 @@ fn rank_body<R: Recorder>(
                     relaxations: phase_relax,
                     remote_msgs: phase_remote,
                 });
+                rec.phase_nanos(PhaseKind::LongPull, elapsed_ns(pull_start));
             }
         }
         rec.bucket(record);
 
         // Settled-count collective (drives the hybrid switch; the paper
         // computes it at every epoch end).
+        // sssp-lint: protocol: epoch.settle
         let settled_k = ctx.allreduce_sum(st.bucket_count(k));
         settled_total += settled_k;
         rec.settled(settled_k);
@@ -644,7 +679,15 @@ fn rank_body<R: Recorder>(
         shrink_oversized(&mut inbox, floor);
         shrink_oversized(&mut req_inbox, floor);
         t.hwm = 0;
+
+        // Debug cross-check of the static protocol table: every rank must
+        // have folded the same collective schedule into its fingerprint.
+        ctx.assert_schedule_uniform();
     }
+
+    // Final check covers the epochs that exit early (empty-bucket break
+    // and the Bellman-Ford tail).
+    ctx.assert_schedule_uniform();
 
     rec.finish();
     RankResult {
@@ -698,6 +741,34 @@ mod tests {
     }
 
     #[test]
+    fn auto_split_proxies_keep_the_schedule_uniform_across_backends() {
+        // Hub-heavy graph through the §III-E auto-split trigger: the proxy
+        // region must not perturb the collective schedule. In debug builds
+        // every run crosses the rank_body fingerprint assertion, so a
+        // divergent schedule on any rank count aborts here; both backends
+        // must also stay bit-identical and correct against Dijkstra.
+        let mut el = gen::star(300, 5);
+        for e in gen::uniform(300, 900, 30, 11).edges {
+            el.push(e.u, e.v, e.w);
+        }
+        let g = CsrBuilder::new().build(&el);
+        let expect = seq::dijkstra(&g, 0);
+        let model = MachineModel::bgq_like();
+        for p in [2usize, 4, 6] {
+            let (dg, report) = DistGraph::build_auto_split(&g, p, 2);
+            let report = report.expect("hub graph should trigger splitting");
+            assert!(report.proxies_created > 0, "p {p}");
+            let dg = Arc::new(dg);
+            for cfg in [SsspConfig::opt(20), SsspConfig::lb_opt(20)] {
+                let simulated = super::super::run_sssp(&dg, 0, &cfg, &model);
+                let threaded = threaded_delta_stepping(&dg, 0, &cfg, &model);
+                assert_eq!(threaded.distances, simulated.distances, "p {p}");
+                assert_eq!(&threaded.distances[..300], &expect[..], "p {p}");
+            }
+        }
+    }
+
+    #[test]
     fn coalescing_toggle_preserves_distances_and_counts_savings() {
         // Dense-ish graph: plenty of parallel proposals per target, so the
         // coalescer must fire. Turning it off must not change distances,
@@ -734,6 +805,40 @@ mod tests {
         let dg4 = Arc::new(DistGraph::build(&g, 4, 2));
         let multi = threaded_delta_stepping(&dg4, 0, &SsspConfig::opt(15), &model);
         assert!(multi.relax_remote_msgs > 0, "no wire traffic across ranks");
+    }
+
+    #[test]
+    fn traced_run_populates_wall_clock_timings() {
+        let g = CsrBuilder::new().build(&gen::uniform(150, 900, 30, 5));
+        let model = MachineModel::bgq_like();
+        let dg = Arc::new(DistGraph::build(&g, 3, 2));
+        let (_, trace) = threaded_delta_stepping_traced(&dg, 0, &SsspConfig::opt(20), &model);
+        assert!(
+            !trace.timings.is_zero(),
+            "threaded trace recorded no wall-clock phase time"
+        );
+        // The simulated backend leaves timings zero, and the differential
+        // comparison must not see the difference.
+        let sim = super::super::run_sssp(&dg, 0, &SsspConfig::opt(20), &model);
+        let sim_trace = RunTrace::from_run_stats(&sim.stats, "simulated");
+        assert!(sim_trace.timings.is_zero());
+        assert!(
+            sim_trace.diff(&trace).is_empty(),
+            "timings leaked into diff"
+        );
+    }
+
+    #[test]
+    fn hybrid_tail_records_bellman_ford_time() {
+        let g = CsrBuilder::new().build(&gen::uniform(150, 900, 30, 11));
+        let model = MachineModel::bgq_like();
+        let dg = Arc::new(DistGraph::build(&g, 2, 2));
+        let (_, trace) = threaded_delta_stepping_traced(&dg, 0, &SsspConfig::opt(10), &model);
+        assert!(trace.hybrid_switch_at.is_some(), "tail never engaged");
+        assert!(
+            trace.timings.bf_ns > 0,
+            "no Bellman-Ford wall time recorded"
+        );
     }
 
     #[test]

@@ -67,6 +67,52 @@ pub struct BucketRecord {
     pub coalesced_msgs: u64,
 }
 
+/// Wall-clock nanoseconds spent in each phase family, recorded only by
+/// the threaded backend (the simulated engine charges ledger time instead
+/// and leaves these zero). Each rank's timer spans kernel work *and* the
+/// rendezvous wait inside the phase's exchanges, so merged values report
+/// the slowest rank's critical path, not a sum of useful work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Short-edge phases (all buckets).
+    pub short_ns: u64,
+    /// Long push phases.
+    pub long_push_ns: u64,
+    /// Long pull phases (requests + responses, plus the IOS outer-short
+    /// round when enabled).
+    pub long_pull_ns: u64,
+    /// Bellman-Ford tail rounds.
+    pub bf_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Fold `ns` into the accumulator of `kind`.
+    pub fn add(&mut self, kind: PhaseKind, ns: u64) {
+        match kind {
+            PhaseKind::Short => self.short_ns += ns,
+            PhaseKind::LongPush => self.long_push_ns += ns,
+            PhaseKind::LongPull => self.long_pull_ns += ns,
+            PhaseKind::BellmanFord => self.bf_ns += ns,
+        }
+    }
+
+    /// Combine with another rank's timings by per-phase maximum (the
+    /// slowest rank bounds the wall clock of a bulk-synchronous phase).
+    pub fn max(&self, other: &PhaseTimings) -> PhaseTimings {
+        PhaseTimings {
+            short_ns: self.short_ns.max(other.short_ns),
+            long_push_ns: self.long_push_ns.max(other.long_push_ns),
+            long_pull_ns: self.long_pull_ns.max(other.long_pull_ns),
+            bf_ns: self.bf_ns.max(other.bf_ns),
+        }
+    }
+
+    /// True when no phase recorded any time (e.g. a simulated run).
+    pub fn is_zero(&self) -> bool {
+        *self == PhaseTimings::default()
+    }
+}
+
 /// Aggregated statistics of one SSSP run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -107,6 +153,9 @@ pub struct RunStats {
     pub comm: CommStats,
     /// Simulated time ledger.
     pub ledger: TimeLedger,
+    /// Wall-clock per-phase timings (threaded backend only; all-zero on
+    /// the simulated backend).
+    pub wall: PhaseTimings,
 
     /// Ranks and threads the run was simulated with (for per-thread stats).
     pub num_ranks: usize,
@@ -258,6 +307,11 @@ pub struct RunTrace {
     pub max_step_recv_bytes: u64,
     /// Bucket at which the hybrid τ switch fired, if it did.
     pub hybrid_switch_at: Option<u64>,
+    /// Wall-clock per-phase timings (threaded backend only). Like every
+    /// other timing quantity, [`RunTrace::diff`] ignores them; they ride
+    /// along for reporting, serialized only when nonzero so deterministic
+    /// simulated traces stay byte-stable.
+    pub timings: PhaseTimings,
     /// One record per relaxation superstep-group, in execution order.
     pub phases: Vec<PhaseRecord>,
     /// One record per processed Δ-bucket, in execution order.
@@ -295,6 +349,7 @@ impl RunTrace {
                 .max()
                 .unwrap_or(0),
             hybrid_switch_at: stats.hybrid_switch_at,
+            timings: stats.wall,
             phases: stats.phase_records.clone(),
             buckets: stats.bucket_records.clone(),
             tail: stats.tail_record,
@@ -325,6 +380,18 @@ impl RunTrace {
         match self.hybrid_switch_at {
             Some(k) => s.push_str(&format!("  \"hybrid_switch_at\": {k},\n")),
             None => s.push_str("  \"hybrid_switch_at\": null,\n"),
+        }
+        if !self.timings.is_zero() {
+            s.push_str(&format!("  \"short_ns\": {},\n", self.timings.short_ns));
+            s.push_str(&format!(
+                "  \"long_push_ns\": {},\n",
+                self.timings.long_push_ns
+            ));
+            s.push_str(&format!(
+                "  \"long_pull_ns\": {},\n",
+                self.timings.long_pull_ns
+            ));
+            s.push_str(&format!("  \"bf_ns\": {},\n", self.timings.bf_ns));
         }
         s.push_str("  \"phases\": [\n");
         let phase_lines: Vec<String> = self.phases.iter().map(phase_json).collect();
@@ -390,6 +457,12 @@ impl RunTrace {
                 Some(parse_bucket_line(&rest[..=end])?)
             }
         };
+        let timings = PhaseTimings {
+            short_ns: num_value_or_zero(head, "short_ns")?,
+            long_push_ns: num_value_or_zero(head, "long_push_ns")?,
+            long_pull_ns: num_value_or_zero(head, "long_pull_ns")?,
+            bf_ns: num_value_or_zero(head, "bf_ns")?,
+        };
         Ok(RunTrace {
             backend: str_value(head, "backend")?.to_string(),
             ranks: parse_u64(raw_value(head, "ranks")?, "ranks")? as usize,
@@ -401,13 +474,16 @@ impl RunTrace {
             max_step_send_bytes: num_value(head, "max_step_send_bytes")?,
             max_step_recv_bytes: num_value(head, "max_step_recv_bytes")?,
             hybrid_switch_at: hybrid,
+            timings,
             phases,
             buckets,
             tail,
         })
     }
 
-    /// Compare two traces field-for-field, ignoring `backend`. Returns one
+    /// Compare two traces field-for-field, ignoring `backend` and the
+    /// wall-clock `timings` (timing is exactly what may differ between
+    /// backends and runs). Returns one
     /// human-readable line per mismatch; an empty vector means the traces
     /// agree. This is the equality the differential tests and the
     /// `trace_diff` tool gate on.
@@ -559,6 +635,15 @@ fn parse_u64(raw: &str, key: &str) -> Result<u64, String> {
 
 fn num_value(text: &str, key: &str) -> Result<u64, String> {
     parse_u64(raw_value(text, key)?, key)
+}
+
+/// Like [`num_value`], but an absent key parses as 0 — used for the
+/// timing fields, which [`RunTrace::to_json`] omits when all-zero.
+fn num_value_or_zero(text: &str, key: &str) -> Result<u64, String> {
+    match raw_value(text, key) {
+        Ok(raw) => parse_u64(raw, key),
+        Err(_) => Ok(0),
+    }
 }
 
 fn str_value<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
@@ -807,6 +892,7 @@ mod tests {
             max_step_send_bytes: 96,
             max_step_recv_bytes: 80,
             hybrid_switch_at: Some(3),
+            timings: PhaseTimings::default(),
             phases: vec![
                 PhaseRecord {
                     bucket: 0,
@@ -832,6 +918,42 @@ mod tests {
         let parsed = RunTrace::from_json(&t.to_json()).expect("roundtrip parse");
         assert_eq!(parsed, t);
         assert!(t.diff(&parsed).is_empty());
+    }
+
+    #[test]
+    fn trace_json_roundtrips_timings_and_diff_ignores_them() {
+        let mut t = sample_trace();
+        t.timings = PhaseTimings {
+            short_ns: 120,
+            long_push_ns: 0,
+            long_pull_ns: 44,
+            bf_ns: 7,
+        };
+        let parsed = RunTrace::from_json(&t.to_json()).expect("roundtrip parse");
+        assert_eq!(parsed, t);
+        // Traces differing only in wall-clock timings still compare equal.
+        let zeroed = sample_trace();
+        assert!(t.diff(&zeroed).is_empty());
+        // All-zero timings are omitted from the serialized form entirely.
+        assert!(!zeroed.to_json().contains("short_ns"));
+    }
+
+    #[test]
+    fn phase_timings_accumulate_and_max() {
+        let mut a = PhaseTimings::default();
+        a.add(PhaseKind::Short, 10);
+        a.add(PhaseKind::Short, 5);
+        a.add(PhaseKind::BellmanFord, 3);
+        let mut b = PhaseTimings::default();
+        b.add(PhaseKind::Short, 9);
+        b.add(PhaseKind::LongPull, 2);
+        let m = a.max(&b);
+        assert_eq!(m.short_ns, 15);
+        assert_eq!(m.long_pull_ns, 2);
+        assert_eq!(m.bf_ns, 3);
+        assert_eq!(m.long_push_ns, 0);
+        assert!(!m.is_zero());
+        assert!(PhaseTimings::default().is_zero());
     }
 
     #[test]

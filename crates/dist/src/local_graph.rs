@@ -159,6 +159,35 @@ impl DistGraph {
         )
     }
 
+    /// Distribute `csr` over `p` ranks with the §III-E degree-threshold
+    /// vertex-splitting trigger armed: when the maximum degree exceeds the
+    /// π′ threshold ([`crate::split::auto_threshold`]), heavy vertices are
+    /// replaced by round-robin-distributed proxies before slicing, and the
+    /// split report is returned alongside the graph. Shortest distances of
+    /// the original ids `0..n` are preserved (zero-weight star edges), so
+    /// this is the entry point for SSSP-style runs; hop- or mass-based
+    /// algorithms (BFS, PageRank) must keep using [`DistGraph::build`],
+    /// whose layout never rewrites the graph.
+    pub fn build_auto_split(
+        csr: &Csr,
+        p: usize,
+        threads_per_rank: usize,
+    ) -> (Self, Option<crate::split::SplitReport>) {
+        let threshold = crate::split::auto_threshold(csr, p);
+        if p > 1 && csr.max_degree() > threshold {
+            let (split, part, report) = crate::split::split_heavy_vertices(csr, p, threshold);
+            let dg = Self::build_with_partition(
+                &split,
+                part,
+                threads_per_rank,
+                csr.num_undirected_edges() as u64,
+            );
+            (dg, Some(report))
+        } else {
+            (Self::build(csr, p, threads_per_rank), None)
+        }
+    }
+
     /// Distribute with a cyclic layout (`owner(v) = v mod P`) — useful when
     /// vertex ids correlate with degree.
     pub fn build_cyclic(csr: &Csr, p: usize, threads_per_rank: usize) -> Self {
@@ -294,6 +323,42 @@ mod tests {
         let csr = small();
         let dg = DistGraph::build(&csr, 2, 0);
         assert_eq!(dg.threads_per_rank, 1);
+    }
+
+    #[test]
+    fn auto_split_triggers_on_extreme_degree() {
+        // A 400-leaf star: center degree 400 far exceeds the π′ threshold
+        // (max(m_directed/p/4, 64)), so the trigger must engage and scatter
+        // the hub's neighborhood over proxies on distinct ranks.
+        let csr = CsrBuilder::new().build(&gen::star(401, 5));
+        for p in [2, 4, 6] {
+            let (dg, report) = DistGraph::build_auto_split(&csr, p, 2);
+            let report = report.expect("trigger should engage");
+            assert!(report.proxies_created > 0);
+            assert!(report.max_degree_after < report.max_degree_before);
+            assert_eq!(dg.part.num_proxies(), report.proxies_created);
+            assert_eq!(dg.part.num_base(), 401);
+            // TEPS accounting still refers to the input graph.
+            assert_eq!(dg.m_input_undirected, csr.num_undirected_edges() as u64);
+        }
+    }
+
+    #[test]
+    fn auto_split_leaves_mild_graphs_alone() {
+        let csr = small(); // max degree well under the 64-edge floor
+        let (dg, report) = DistGraph::build_auto_split(&csr, 4, 2);
+        assert!(report.is_none());
+        assert_eq!(dg.part.num_proxies(), 0);
+        assert_eq!(dg.num_vertices(), csr.num_vertices());
+    }
+
+    #[test]
+    fn auto_split_never_engages_on_one_rank() {
+        // On a single rank there is no inter-node imbalance to fix.
+        let csr = CsrBuilder::new().build(&gen::star(401, 5));
+        let (dg, report) = DistGraph::build_auto_split(&csr, 1, 2);
+        assert!(report.is_none());
+        assert_eq!(dg.num_vertices(), csr.num_vertices());
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! Fixture: twin backends whose collective schedules diverge — the
+//! threaded twin drops the epoch.settle reduction, so line 15 must fire.
+
+// sssp-lint: protocol-entry(simulated)
+fn run_simulated(&mut self) {
+    loop {
+        // sssp-lint: protocol: epoch.select
+        let k = allreduce_min(&self.coll, &mut self.comm);
+        // sssp-lint: protocol: epoch.settle
+        let settled = allreduce_sum(&self.coll, &mut self.comm);
+    }
+}
+
+// sssp-lint: protocol-entry(threaded)
+fn run_threaded_rank(ctx: &mut RankCtx) {
+    loop {
+        // sssp-lint: protocol: epoch.select
+        let k = ctx.allreduce_min(0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: a collective rendezvous missing the barrier between its
+//! write and read phases. The second `.lock(` at line 10 must fire.
+
+fn bad_collective(&self, value: u64) -> u64 {
+    {
+        let mut slots = self.slots.lock();
+        slots.push(value);
+    }
+    // Missing: a barrier between the write phase and the read below.
+    let combined = self.slots.lock();
+    let out = combined.iter().sum();
+    drop(combined);
+    self.barrier.wait();
+    out
+}
+
+fn good_collective(&self, value: u64) -> u64 {
+    {
+        let mut slots = self.slots.lock();
+        slots.push(value);
+    }
+    self.barrier.wait();
+    let out = {
+        let slots = self.slots.lock();
+        slots.iter().sum()
+    };
+    self.barrier.wait();
+    out
+}

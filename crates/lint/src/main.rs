@@ -4,6 +4,8 @@
 //! cargo run -p sssp-lint -- --check            # lint the workspace
 //! cargo run -p sssp-lint -- --check --root DIR # lint another tree
 //! cargo run -p sssp-lint -- --list-rules       # show the rule set
+//! cargo run -p sssp-lint -- --protocol         # extract + diff the
+//!                                              # collective schedules
 //! ```
 //!
 //! Exits 0 when clean, 1 when violations are found, 2 on usage or I/O
@@ -18,21 +20,26 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut list_rules = false;
+    let mut protocol = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {}
             "--list-rules" => list_rules = true,
+            "--protocol" => protocol = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory argument"),
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: sssp-lint [--check] [--root DIR] [--list-rules]\n\
+                    "usage: sssp-lint [--check] [--root DIR] [--list-rules] [--protocol]\n\
                      Lints every .rs file in the workspace against the \
                      project rules.\nMark deliberate exceptions with \
-                     `// sssp-lint: allow(rule-name): reason`."
+                     `// sssp-lint: allow(rule-name): reason`.\n\
+                     --protocol extracts both engine backends' collective \
+                     schedules,\ndiffs them, and prints the normalized \
+                     protocol table."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -41,13 +48,50 @@ fn main() -> ExitCode {
     }
 
     if list_rules {
-        for rule in sssp_lint::rules::RULES {
-            println!("{:<20} {}", rule.name, normalize_ws(rule.summary));
-        }
+        print!("{}", sssp_lint::rules::list_rules_text());
         return ExitCode::SUCCESS;
     }
 
     let root = root.unwrap_or_else(sssp_lint::default_root);
+
+    if protocol {
+        let files = match sssp_lint::workspace_files(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("sssp-lint: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut inputs = Vec::new();
+        for (rel, path) in files {
+            if !sssp_lint::protocol::in_scope(&rel) {
+                continue;
+            }
+            match std::fs::read_to_string(&path) {
+                Ok(text) => inputs.push((rel, text)),
+                Err(e) => {
+                    eprintln!("sssp-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let analysis = sssp_lint::protocol::analyze(&inputs);
+        if let Some(table) = &analysis.table {
+            print!("{table}");
+        }
+        if analysis.findings.is_empty() {
+            eprintln!(
+                "sssp-lint: protocol clean ({} backends)",
+                analysis.schedules.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for f in &analysis.findings {
+            eprintln!("{f}");
+        }
+        eprintln!("sssp-lint: {} protocol finding(s)", analysis.findings.len());
+        return ExitCode::FAILURE;
+    }
     let files = match sssp_lint::workspace_files(&root) {
         Ok(f) => f,
         Err(e) => {
@@ -81,9 +125,4 @@ fn main() -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("sssp-lint: {msg} (try --help)");
     ExitCode::from(2)
-}
-
-/// Collapse the multi-line rule summaries to single spaces for display.
-fn normalize_ws(s: &str) -> String {
-    s.split_whitespace().collect::<Vec<_>>().join(" ")
 }

@@ -1,0 +1,1451 @@
+//! The SPMD collective-protocol checker: the flow-aware half of the gate.
+//!
+//! The lexical rules in [`crate::rules`] look at single lines; this module
+//! parses function bodies in `crates/core/src/engine/` into a lightweight
+//! control-flow model and extracts each backend's *collective schedule* —
+//! the ordered sequence of allreduce/exchange/barrier call sites, with
+//! their loop-nesting depth along the call path from a marked entry point.
+//! The two backends (the simulated BSP engine and the real-thread engine)
+//! must issue the same sequence, or a run deadlocks / silently skews; the
+//! checker diffs the normalized schedules and renders the agreed protocol
+//! as a golden table (`crates/lint/golden/protocol_table.txt`).
+//!
+//! Source markers drive the model:
+//!
+//! ```text
+//! // sssp-lint: protocol-entry(<backend>)      (directly above an entry fn)
+//! // sssp-lint: protocol: <label>              (labels following collectives)
+//! // sssp-lint: protocol-implicit: <label> <op>  (synthetic event: a
+//!                                               collective the backend gets
+//!                                               for free, e.g. the simulated
+//!                                               engine's shared-memory scan)
+//! ```
+//!
+//! Labels propagate down call chains (the innermost marker wins), so a
+//! phase file can label `self.exchange_relax()` once and every terminal
+//! `exchange` reached through it inherits the label.
+//!
+//! The comm primitives (`crates/comm/src/{collective,threaded}.rs`) are
+//! modeled as *terminal* operations — the walker never descends into them,
+//! so the rendezvous internals (triple lock/barrier handshakes) do not leak
+//! into the protocol. They are still covered by the lexical
+//! `protocol-missing-barrier` rule in this module.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::rules::token_positions;
+use crate::source::SourceFile;
+
+// ---------------------------------------------------------------------------
+// scope
+
+/// Files whose function bodies the flow-aware pass parses and traverses.
+pub fn traversable(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/core/src/engine/")
+}
+
+/// Files in scope for the protocol pass overall: the traversable engine
+/// tree plus the comm primitives (modeled as terminal operations).
+pub fn in_scope(rel_path: &str) -> bool {
+    traversable(rel_path)
+        || rel_path == "crates/comm/src/collective.rs"
+        || rel_path == "crates/comm/src/threaded.rs"
+}
+
+// ---------------------------------------------------------------------------
+// events, markers, tables
+
+/// The kind of a collective call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Op {
+    /// An allreduce/allgather rendezvous (every rank contributes, every
+    /// rank observes the combined value).
+    Reduce,
+    /// An all-to-all message exchange (one superstep boundary).
+    Exchange,
+    /// A bare barrier.
+    // sssp-lint: allow(no-shared-state): enum variant naming the op kind
+    Barrier,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Op::Reduce => "reduce",
+            Op::Exchange => "exchange",
+            // sssp-lint: allow(no-shared-state): op-kind variant, not a primitive
+            Op::Barrier => "barrier",
+        })
+    }
+}
+
+/// Parse an op keyword as written in `protocol-implicit` markers.
+pub fn op_from_str(s: &str) -> Option<Op> {
+    match s {
+        "reduce" => Some(Op::Reduce),
+        "exchange" => Some(Op::Exchange),
+        // sssp-lint: allow(no-shared-state): op-kind variant, not a primitive
+        "barrier" => Some(Op::Barrier),
+        _ => None,
+    }
+}
+
+/// A `sssp-lint: protocol…` marker parsed from one raw source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Marker {
+    /// `protocol-entry(<backend>)`: the next `fn` is that backend's entry.
+    Entry(String),
+    /// `protocol: <label>`: collectives from here on carry this label.
+    Label(String),
+    /// `protocol-implicit: <label> <op>`: emit a synthetic event here.
+    Implicit(String, Op),
+}
+
+/// Extract the protocol marker on a raw line, if any.
+pub fn parse_marker(raw: &str) -> Option<Marker> {
+    let at = raw.find("sssp-lint: protocol")?;
+    let rest = &raw[at + "sssp-lint: protocol".len()..];
+    if let Some(args) = rest.strip_prefix("-entry(") {
+        let close = args.find(')')?;
+        return Some(Marker::Entry(args[..close].trim().to_string()));
+    }
+    if let Some(args) = rest.strip_prefix("-implicit:") {
+        let mut it = args.split_whitespace();
+        let label = it.next()?.to_string();
+        let op = op_from_str(it.next()?)?;
+        return Some(Marker::Implicit(label, op));
+    }
+    if let Some(args) = rest.strip_prefix(':') {
+        let label = args.split_whitespace().next()?.to_string();
+        return Some(Marker::Label(label));
+    }
+    None
+}
+
+/// One collective event extracted by the schedule walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Workspace-relative file of the call site.
+    pub file: String,
+    /// 1-based line of the call site.
+    pub line: usize,
+    /// Protocol label in force at the call site (`None` = unlabeled).
+    pub label: Option<String>,
+    /// Collective kind.
+    pub op: Op,
+    /// Loop-nesting depth of the call site along its call path.
+    pub depth: usize,
+}
+
+/// A protocol violation found by the flow-aware pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line (0 = whole-tree finding).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [protocol] {}",
+            self.file, self.line, self.message
+        )
+    }
+}
+
+/// One backend's full collective schedule, in program order.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Backend name from the `protocol-entry(<backend>)` marker.
+    pub backend: String,
+    /// Events in the order the walk reached them.
+    pub events: Vec<Event>,
+}
+
+/// One normalized protocol-table row: consecutive events with the same
+/// `(depth, op, label)` merge into a row with a per-backend count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRow {
+    /// Loop-nesting depth.
+    pub depth: usize,
+    /// Collective kind.
+    pub op: Op,
+    /// Protocol label (`<unlabeled>` for missing markers).
+    pub label: String,
+}
+
+/// Collapse an event stream into `(row, consecutive-count)` pairs.
+pub fn normalize(events: &[Event]) -> Vec<(TableRow, usize)> {
+    let mut out: Vec<(TableRow, usize)> = Vec::new();
+    for e in events {
+        let row = TableRow {
+            depth: e.depth,
+            op: e.op,
+            label: e.label.clone().unwrap_or_else(|| "<unlabeled>".to_string()),
+        };
+        match out.last_mut() {
+            Some(last) if last.0 == row => last.1 += 1,
+            _ => out.push((row, 1)),
+        }
+    }
+    out
+}
+
+fn describe(row: Option<&(TableRow, usize)>) -> String {
+    match row {
+        Some((r, n)) => format!("(depth {}, {}, {}) x{}", r.depth, r.op, r.label, n),
+        None => "nothing (schedule ended)".to_string(),
+    }
+}
+
+/// Zip two normalized schedules into the shared protocol table. The
+/// `(depth, op, label)` sequence must match exactly; the per-row call-site
+/// counts may differ (e.g. the threaded backend reduces weight extremes
+/// with two allreduces where the simulated engine scans shared memory).
+/// `Err` describes the first divergence.
+pub fn merge(
+    sim: &[(TableRow, usize)],
+    thr: &[(TableRow, usize)],
+) -> Result<Vec<(TableRow, usize, usize)>, String> {
+    for i in 0..sim.len().max(thr.len()) {
+        let (a, b) = (sim.get(i), thr.get(i));
+        if let (Some(ra), Some(rb)) = (a, b) {
+            if ra.0 == rb.0 {
+                continue;
+            }
+        }
+        return Err(format!(
+            "collective schedules diverge at row {}: simulated issues {}, threaded issues {}",
+            i + 1,
+            describe(a),
+            describe(b)
+        ));
+    }
+    Ok(sim
+        .iter()
+        .zip(thr.iter())
+        .map(|(a, b)| (a.0.clone(), a.1, b.1))
+        .collect())
+}
+
+/// Render the merged protocol table (the golden artifact committed at
+/// `crates/lint/golden/protocol_table.txt`).
+pub fn render_table(rows: &[(TableRow, usize, usize)]) -> String {
+    let mut s = String::new();
+    s.push_str("# Collective protocol table: the normalized SPMD schedule both engine\n");
+    s.push_str("# backends must follow. Regenerate with:\n");
+    s.push_str("#   cargo run -p sssp-lint -- --protocol\n");
+    s.push_str("# Rows merge consecutive call sites with the same (depth, op, label);\n");
+    s.push_str("# per-backend counts may differ, the row sequence may not (DESIGN.md).\n");
+    s.push_str(&format!(
+        "{:<6} {:<9} {:<26} {:>9} {:>9}\n",
+        "depth", "op", "label", "simulated", "threaded"
+    ));
+    for (row, a, b) in rows {
+        let line = format!(
+            "{:<6} {:<9} {:<26} {:>9} {:>9}",
+            row.depth,
+            row.op.to_string(),
+            row.label,
+            a,
+            b
+        );
+        s.push_str(line.trim_end());
+        s.push('\n');
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// lexical call model
+
+/// One `ident(`-shaped call site on a stripped code line.
+#[derive(Debug)]
+struct CallTok {
+    ident: String,
+    /// Identifier directly before a `.` (method receiver), if any.
+    recv: Option<String>,
+    /// Identifier directly before a `::`, if any.
+    qual: Option<String>,
+    /// True when the call is in method position (`.ident(`).
+    method: bool,
+    /// True when the token is a definition (`fn ident(`), not a call.
+    is_def: bool,
+}
+
+fn ident_before(cs: &[char], end: usize) -> Option<String> {
+    let mut j = end;
+    while j > 0 && (cs[j - 1].is_alphanumeric() || cs[j - 1] == '_') {
+        j -= 1;
+    }
+    (j < end).then(|| cs[j..end].iter().collect())
+}
+
+/// Scan a stripped code line for call-shaped tokens, left to right.
+/// Macros (`ident!(`) are excluded; numbers never start a token.
+fn call_tokens(code: &str) -> Vec<CallTok> {
+    let cs: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        let c = cs[i];
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < cs.len() && (cs[i].is_alphanumeric() || cs[i] == '_') {
+                i += 1;
+            }
+            if i < cs.len() && cs[i] == '(' {
+                let ident: String = cs[start..i].iter().collect();
+                let method = start > 0 && cs[start - 1] == '.';
+                let recv = if method {
+                    ident_before(&cs, start - 1)
+                } else {
+                    None
+                };
+                let qual = if !method && start >= 2 && cs[start - 1] == ':' && cs[start - 2] == ':'
+                {
+                    ident_before(&cs, start - 2)
+                } else {
+                    None
+                };
+                let is_def = {
+                    let mut j = start;
+                    while j > 0 && cs[j - 1].is_whitespace() {
+                        j -= 1;
+                    }
+                    j >= 2
+                        && cs[j - 2] == 'f'
+                        && cs[j - 1] == 'n'
+                        && (j < 3 || !(cs[j - 3].is_alphanumeric() || cs[j - 3] == '_'))
+                };
+                out.push(CallTok {
+                    ident,
+                    recv,
+                    qual,
+                    method,
+                    is_def,
+                });
+            }
+        } else if c.is_ascii_digit() {
+            while i < cs.len() && (cs[i].is_alphanumeric() || cs[i] == '_') {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Idents that terminate the walk as a [`Op::Reduce`] in any call form.
+const REDUCE_IDENTS: &[&str] = &[
+    "allreduce",
+    "allreduce_sum",
+    "allreduce_min",
+    "allreduce_max",
+    "allreduce_any",
+    "allreduce_sum_f64",
+    "allreduce_max_f64",
+    "allgather",
+];
+
+/// Idents that terminate the walk as an [`Op::Exchange`] in method position.
+const EXCHANGE_IDENTS: &[&str] = &["exchange", "exchange_pooled", "exchange_pooled_counted"];
+
+/// Classify a call token as a terminal collective, if it is one. The comm
+/// primitives are the protocol alphabet; the walker never descends into
+/// them (`allreduce_inner`'s lock/barrier handshake is an implementation
+/// detail, not part of the schedule).
+fn terminal_op(t: &CallTok) -> Option<Op> {
+    if t.is_def {
+        return None;
+    }
+    if REDUCE_IDENTS.contains(&t.ident.as_str()) {
+        return Some(Op::Reduce);
+    }
+    if t.ident == "any" && t.recv.as_deref() == Some("ctx") {
+        return Some(Op::Reduce);
+    }
+    if t.method && EXCHANGE_IDENTS.contains(&t.ident.as_str()) {
+        return Some(Op::Exchange);
+    }
+    if t.ident == "wait" && t.recv.as_deref() == Some("barrier") {
+        // sssp-lint: allow(no-shared-state): op-kind variant, not a primitive
+        return Some(Op::Barrier);
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// function scanning
+
+/// One function definition with a resolvable body span.
+#[derive(Debug)]
+pub(crate) struct FnDef {
+    pub(crate) name: String,
+    /// Surrounding `impl`/`trait` target type, if any.
+    pub(crate) impl_type: Option<String>,
+    /// True when the signature mentions `self` (method).
+    pub(crate) has_self: bool,
+    /// Backend name from a `protocol-entry` marker directly above.
+    pub(crate) entry: Option<String>,
+    /// True when the definition sits in a test region.
+    pub(crate) in_test: bool,
+    /// `(line index, char column just after the opening brace)`.
+    pub(crate) open: (usize, usize),
+    /// Line index of the closing brace.
+    pub(crate) end_line: usize,
+}
+
+/// Extract the target type from an `impl`/`trait` header (text after the
+/// keyword, up to the opening brace): angle-bracket spans are stripped,
+/// `impl A for B` resolves to `B`, paths keep their last segment.
+fn impl_target(header: &str) -> Option<String> {
+    let mut flat = String::new();
+    let mut angle = 0i32;
+    for c in header.chars() {
+        match c {
+            '<' => angle += 1,
+            '>' => angle = (angle - 1).max(0),
+            c if angle == 0 => flat.push(c),
+            _ => {}
+        }
+    }
+    let toks: Vec<&str> = flat
+        .split(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+        .filter(|s| !s.is_empty())
+        .collect();
+    let pick = match toks.iter().position(|&t| t == "for") {
+        Some(i) => toks.get(i + 1).copied(),
+        None => toks.first().copied(),
+    };
+    pick.map(|t| t.rsplit("::").next().unwrap_or(t).to_string())
+}
+
+/// Scan a parsed file for function definitions, tracking brace depth,
+/// `impl`/`trait` context and `protocol-entry` markers. Declarations
+/// without a body (trait methods ending in `;`) are dropped.
+pub(crate) fn scan_fns(sf: &SourceFile) -> Vec<FnDef> {
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut open_fns: Vec<(usize, usize)> = Vec::new(); // (fn index, depth at open)
+    let mut impls: Vec<(String, usize)> = Vec::new(); // (target, depth at open)
+    let mut pending_entry: Option<String> = None;
+    let mut depth = 0usize;
+    // In-flight signature: (fn index, paren depth, signature text).
+    let mut sig: Option<(usize, i32, String)> = None;
+    // In-flight impl/trait header text.
+    let mut impl_head: Option<String> = None;
+
+    for (li, line) in sf.lines.iter().enumerate() {
+        if let Some(Marker::Entry(b)) = parse_marker(&line.raw) {
+            pending_entry = Some(b);
+        }
+        let cs: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < cs.len() {
+            if let Some((fx, parens, text)) = sig.as_mut() {
+                let c = cs[i];
+                match c {
+                    '(' => {
+                        *parens += 1;
+                        text.push(c);
+                    }
+                    ')' => {
+                        *parens -= 1;
+                        text.push(c);
+                    }
+                    '{' if *parens == 0 => {
+                        depth += 1;
+                        let fx = *fx;
+                        let has_self = !token_positions(text, "self", false).is_empty();
+                        fns[fx].has_self = has_self;
+                        fns[fx].open = (li, i + 1);
+                        open_fns.push((fx, depth));
+                        sig = None;
+                    }
+                    ';' if *parens == 0 => {
+                        // Bodyless declaration: drop the def.
+                        let fx = *fx;
+                        fns.remove(fx);
+                        sig = None;
+                    }
+                    _ => text.push(c),
+                }
+                i += 1;
+                continue;
+            }
+            if let Some(text) = impl_head.as_mut() {
+                let c = cs[i];
+                if c == '{' {
+                    depth += 1;
+                    if let Some(target) = impl_target(text) {
+                        impls.push((target, depth));
+                    }
+                    impl_head = None;
+                } else {
+                    text.push(c);
+                }
+                i += 1;
+                continue;
+            }
+            let c = cs[i];
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < cs.len() && (cs[i].is_alphanumeric() || cs[i] == '_') {
+                    i += 1;
+                }
+                let boundary_ok = start == 0
+                    || !(cs[start - 1].is_alphanumeric()
+                        || cs[start - 1] == '_'
+                        || cs[start - 1] == '.');
+                if !boundary_ok {
+                    continue;
+                }
+                let tok: String = cs[start..i].iter().collect();
+                match tok.as_str() {
+                    "fn" => {
+                        let mut j = i;
+                        while j < cs.len() && cs[j].is_whitespace() {
+                            j += 1;
+                        }
+                        let ns = j;
+                        while j < cs.len() && (cs[j].is_alphanumeric() || cs[j] == '_') {
+                            j += 1;
+                        }
+                        if j > ns {
+                            let name: String = cs[ns..j].iter().collect();
+                            fns.push(FnDef {
+                                name,
+                                impl_type: impls.last().map(|(t, _)| t.clone()),
+                                has_self: false,
+                                entry: pending_entry.take(),
+                                in_test: line.in_test,
+                                open: (0, 0),
+                                end_line: 0,
+                            });
+                            sig = Some((fns.len() - 1, 0, String::new()));
+                            i = j;
+                        }
+                    }
+                    "impl" | "trait" => {
+                        impl_head = Some(String::new());
+                    }
+                    _ => {}
+                }
+            } else {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        if open_fns.last().map(|&(_, d)| d) == Some(depth) {
+                            if let Some((fx, _)) = open_fns.pop() {
+                                fns[fx].end_line = li;
+                            }
+                        }
+                        if impls.last().map(|&(_, d)| d) == Some(depth) {
+                            impls.pop();
+                        }
+                        depth = depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    // Unterminated bodies (malformed input): close at EOF.
+    let last = sf.lines.len().saturating_sub(1);
+    for (fx, _) in open_fns {
+        fns[fx].end_line = last;
+    }
+    fns.retain(|f| f.end_line >= f.open.0);
+    fns
+}
+
+// ---------------------------------------------------------------------------
+// the flow model and schedule walk
+
+struct ParsedFile {
+    path: String,
+    stem: String,
+    sf: SourceFile,
+    fns: Vec<FnDef>,
+}
+
+/// The parsed flow model over the traversable engine files.
+pub struct Model {
+    files: Vec<ParsedFile>,
+}
+
+impl Model {
+    /// Parse `(rel_path, text)` pairs. Only [`traversable`] files enter
+    /// the model; everything else (including the comm primitives) is
+    /// treated as terminal.
+    pub fn build(files: &[(String, String)]) -> Model {
+        let mut parsed: Vec<ParsedFile> = files
+            .iter()
+            .filter(|(p, _)| traversable(p))
+            .map(|(p, text)| {
+                let sf = SourceFile::parse(p, text);
+                let fns = scan_fns(&sf);
+                let stem = p
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or(p)
+                    .trim_end_matches(".rs")
+                    .to_string();
+                ParsedFile {
+                    path: p.clone(),
+                    stem,
+                    sf,
+                    fns,
+                }
+            })
+            .collect();
+        parsed.sort_by(|a, b| a.path.cmp(&b.path));
+        Model { files: parsed }
+    }
+
+    /// Resolve a call token to a function in the model: qualified calls
+    /// match the impl type or (for free functions) the module stem, method
+    /// calls match `self` methods, bare calls match free functions.
+    /// Same-file definitions win over cross-file ones.
+    fn resolve(&self, from: usize, t: &CallTok) -> Option<(usize, usize)> {
+        let mut first: Option<(usize, usize)> = None;
+        for (fj, f) in self.files.iter().enumerate() {
+            for (nj, fd) in f.fns.iter().enumerate() {
+                if fd.in_test || fd.name != t.ident {
+                    continue;
+                }
+                let ok = if let Some(q) = &t.qual {
+                    fd.impl_type.as_deref() == Some(q.as_str()) || (!fd.has_self && f.stem == *q)
+                } else if t.method {
+                    fd.has_self
+                } else {
+                    !fd.has_self
+                };
+                if !ok {
+                    continue;
+                }
+                if fj == from {
+                    return Some((fj, nj));
+                }
+                if first.is_none() {
+                    first = Some((fj, nj));
+                }
+            }
+        }
+        first
+    }
+
+    /// Walk every marked entry point and collect each backend's schedule.
+    /// Also reports findings for collectives reached without a label.
+    pub fn schedules(&self) -> (Vec<Schedule>, Vec<Finding>) {
+        let mut by_backend: Vec<(String, Vec<Event>)> = Vec::new();
+        for (fi, f) in self.files.iter().enumerate() {
+            for (ni, fd) in f.fns.iter().enumerate() {
+                let Some(backend) = &fd.entry else { continue };
+                if fd.in_test {
+                    continue;
+                }
+                let mut w = Walk {
+                    model: self,
+                    events: Vec::new(),
+                    stack: Vec::new(),
+                };
+                w.walk(fi, ni, None, 0);
+                match by_backend.iter_mut().find(|(b, _)| b == backend) {
+                    Some((_, ev)) => ev.extend(w.events),
+                    None => by_backend.push((backend.clone(), w.events)),
+                }
+            }
+        }
+        let mut findings: Vec<Finding> = Vec::new();
+        for (backend, events) in &by_backend {
+            for e in events {
+                if e.label.is_none() {
+                    findings.push(Finding {
+                        file: e.file.clone(),
+                        line: e.line,
+                        message: format!(
+                            "{} reached from the `{backend}` entry without a \
+                             `sssp-lint: protocol:` label — label the call site \
+                             so the schedule diff can align it",
+                            e.op
+                        ),
+                    });
+                }
+            }
+        }
+        findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        findings.dedup();
+        let schedules = by_backend
+            .into_iter()
+            .map(|(backend, events)| Schedule { backend, events })
+            .collect();
+        (schedules, findings)
+    }
+}
+
+/// True when the line opens a loop (`loop`/`while`/`for` token present).
+fn has_loop_header(code: &str) -> bool {
+    ["loop", "while", "for"]
+        .iter()
+        .any(|k| !token_positions(code, k, false).is_empty())
+}
+
+struct Walk<'m> {
+    model: &'m Model,
+    events: Vec<Event>,
+    stack: Vec<(usize, usize)>,
+}
+
+impl Walk<'_> {
+    /// Walk one function body: emit terminal events at their loop depth,
+    /// propagate the innermost label, recurse into resolvable calls.
+    /// Closures are scanned at their definition site; recursion is cut by
+    /// the call stack.
+    fn walk(&mut self, fi: usize, ni: usize, label: Option<String>, base: usize) {
+        if self.stack.contains(&(fi, ni)) || self.stack.len() > 64 {
+            return;
+        }
+        self.stack.push((fi, ni));
+        let f = &self.model.files[fi];
+        let fd = &f.fns[ni];
+        let mut label = label;
+        let mut loops: Vec<usize> = Vec::new();
+        let mut depth = 0usize;
+        let mut pending_loop = false;
+        for li in fd.open.0..=fd.end_line.min(f.sf.lines.len() - 1) {
+            let line = &f.sf.lines[li];
+            if line.in_test {
+                continue;
+            }
+            match parse_marker(&line.raw) {
+                Some(Marker::Label(l)) => label = Some(l),
+                Some(Marker::Implicit(l, op)) => self.events.push(Event {
+                    file: f.path.clone(),
+                    line: li + 1,
+                    label: Some(l),
+                    op,
+                    depth: base + loops.len(),
+                }),
+                _ => {}
+            }
+            let code: String = if li == fd.open.0 {
+                line.code.chars().skip(fd.open.1).collect()
+            } else {
+                line.code.clone()
+            };
+            if has_loop_header(&code) {
+                pending_loop = true;
+            }
+            let at = base + loops.len() + usize::from(pending_loop);
+            for t in call_tokens(&code) {
+                if t.is_def {
+                    continue;
+                }
+                if let Some(op) = terminal_op(&t) {
+                    self.events.push(Event {
+                        file: f.path.clone(),
+                        line: li + 1,
+                        label: label.clone(),
+                        op,
+                        depth: at,
+                    });
+                } else if let Some((cf, cn)) = self.model.resolve(fi, &t) {
+                    self.walk(cf, cn, label.clone(), at);
+                }
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if pending_loop {
+                            loops.push(depth);
+                            pending_loop = false;
+                        }
+                    }
+                    '}' => {
+                        if loops.last() == Some(&depth) {
+                            loops.pop();
+                        }
+                        depth = depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.stack.pop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// whole-tree analysis
+
+/// Result of the whole-tree protocol pass.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The rendered protocol table when both backends' schedules align.
+    pub table: Option<String>,
+    /// Everything the pass flagged (unlabeled sites, divergence, missing
+    /// entries). Empty on a healthy tree.
+    pub findings: Vec<Finding>,
+    /// The raw per-backend schedules, for tests and tooling.
+    pub schedules: Vec<Schedule>,
+}
+
+/// Run the full protocol pass over `(rel_path, text)` pairs (the caller
+/// collects the [`in_scope`] files; out-of-scope entries are ignored).
+pub fn analyze(files: &[(String, String)]) -> Analysis {
+    let model = Model::build(files);
+    let (schedules, mut findings) = model.schedules();
+    let sim = schedules.iter().find(|s| s.backend == "simulated");
+    let thr = schedules.iter().find(|s| s.backend == "threaded");
+    let mut table = None;
+    match (sim, thr) {
+        (Some(s), Some(t)) => match merge(&normalize(&s.events), &normalize(&t.events)) {
+            Ok(rows) => table = Some(render_table(&rows)),
+            Err(msg) => findings.push(Finding {
+                file: "crates/core/src/engine/".to_string(),
+                line: 0,
+                message: msg,
+            }),
+        },
+        _ => {
+            for backend in ["simulated", "threaded"] {
+                if !schedules.iter().any(|s| s.backend == backend) {
+                    findings.push(Finding {
+                        file: "crates/core/src/engine/".to_string(),
+                        line: 0,
+                        message: format!(
+                            "no `sssp-lint: protocol-entry({backend})` marker found — \
+                             the {backend} backend's schedule cannot be extracted"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Analysis {
+        table,
+        findings,
+        schedules,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rule: protocol-divergent-guard
+
+/// Identifiers that seed the rank-local taint set in every function:
+/// the rank id and the per-rank message buffers / state.
+const TAINT_SEEDS: &[&str] = &["rank", "out", "inbox", "req_inbox", "st", "lg"];
+
+/// Tokens whose presence sanitizes a condition or right-hand side:
+/// collective results are identical on every rank, and the config / the
+/// decision heuristics are uniform by construction.
+const SANITIZERS: &[&str] = &[
+    "allreduce",
+    "allreduce_sum",
+    "allreduce_min",
+    "allreduce_max",
+    "allreduce_any",
+    "allreduce_sum_f64",
+    "allreduce_max_f64",
+    "allgather",
+    "any",
+    "any_active",
+    "next_bucket",
+    "enabled",
+    "cfg",
+    "decide",
+    "decide_threaded",
+    "heuristic_decide",
+    "hybrid_should_switch",
+    "num_ranks",
+];
+
+fn has_any_token(text: &str, needles: &[&str]) -> bool {
+    needles
+        .iter()
+        .any(|n| !token_positions(text, n, false).is_empty())
+}
+
+fn has_taint_token(text: &str, taint: &BTreeSet<String>) -> bool {
+    taint
+        .iter()
+        .any(|n| !token_positions(text, n, false).is_empty())
+}
+
+/// If the (trimmed) line starts a guard, return `(condition text, is_else)`.
+/// Only line-leading guards are modeled; `loop` has no condition and is
+/// never tainted.
+fn guard_condition(trimmed: &str) -> Option<(String, bool)> {
+    let mut t = trimmed;
+    let mut is_else = false;
+    if let Some(rest) = t.strip_prefix('}') {
+        t = rest.trim_start();
+    }
+    if let Some(rest) = t.strip_prefix("else") {
+        if rest.is_empty() || !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+            is_else = true;
+            t = rest.trim_start();
+        }
+    }
+    for kw in ["if ", "while ", "match "] {
+        if let Some(rest) = t.strip_prefix(kw) {
+            return Some((rest.trim_end_matches('{').trim().to_string(), is_else));
+        }
+    }
+    if let Some(rest) = t.strip_prefix("for ") {
+        let cond = match rest.split_once(" in ") {
+            Some((_, c)) => c,
+            None => rest,
+        };
+        return Some((cond.trim_end_matches('{').trim().to_string(), is_else));
+    }
+    if is_else {
+        return Some((String::new(), true));
+    }
+    None
+}
+
+/// Find the first top-level `=` that is an assignment (not part of `==`,
+/// `!=`, `<=`, `>=`, `=>`, or a compound operator's tail).
+fn assign_eq(text: &str) -> Option<usize> {
+    let cs: Vec<char> = text.chars().collect();
+    for (i, &c) in cs.iter().enumerate() {
+        if c != '=' {
+            continue;
+        }
+        if cs.get(i + 1) == Some(&'=') || cs.get(i + 1) == Some(&'>') {
+            continue;
+        }
+        if i > 0 && matches!(cs[i - 1], '=' | '!' | '<' | '>') {
+            continue;
+        }
+        return Some(i);
+    }
+    None
+}
+
+fn ident_names(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let cs: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if cs[i].is_alphabetic() || cs[i] == '_' {
+            let start = i;
+            while i < cs.len() && (cs[i].is_alphanumeric() || cs[i] == '_') {
+                i += 1;
+            }
+            out.push(cs[start..i].iter().collect());
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Apply one line's `let`/assignment effects to the taint set: a
+/// sanitizer on the right-hand side clears the bound names, a tainted
+/// right-hand side (or a surrounding tainted block) taints them, and a
+/// clean one clears them.
+fn apply_assign(code: &str, taint: &mut BTreeSet<String>, in_tainted: bool) {
+    let t = code.trim();
+    let (lhs, rhs) = if let Some(rest) = t.strip_prefix("let ") {
+        let Some(eq) = assign_eq(rest) else { return };
+        let (l, r) = rest.split_at(eq);
+        let l = l.split(':').next().unwrap_or(l);
+        (l.to_string(), r[1..].to_string())
+    } else {
+        let Some(eq) = assign_eq(t) else { return };
+        let (l, r) = t.split_at(eq);
+        // Strip a compound operator tail (`+`, `|`, …) off the lhs.
+        let l = l
+            .trim_end_matches(|c: char| !(c.is_alphanumeric() || c == '_' || c == ')' || c == ']'));
+        // Only simple `name` / `name.field` / `name[..]` targets.
+        (l.to_string(), r[1..].to_string())
+    };
+    let names: Vec<String> = ident_names(&lhs)
+        .into_iter()
+        .filter(|n| n != "mut" && n != "_" && !n.starts_with(char::is_uppercase))
+        .collect();
+    if names.is_empty() {
+        return;
+    }
+    if has_any_token(&rhs, SANITIZERS) {
+        for n in &names {
+            taint.remove(n);
+        }
+    } else if in_tainted || has_taint_token(&rhs, taint) {
+        for n in names {
+            taint.insert(n);
+        }
+    } else {
+        // Plain-assignment targets get their taint cleared; `let` shadows
+        // likewise. Field writes (`t.hwm = …`) conservatively keep only the
+        // head name, which the ident scan already produced.
+        for n in &names {
+            taint.remove(n);
+        }
+    }
+}
+
+/// `protocol-divergent-guard`: a collective call site under a rank-local
+/// condition. Every rank must reach every collective the same number of
+/// times; a guard on the rank id or on per-rank buffers/state deadlocks
+/// the rendezvous (threaded) or skews the schedule (simulated).
+pub(crate) fn check_divergent_guard(sf: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for fd in scan_fns(sf) {
+        if fd.in_test {
+            continue;
+        }
+        let mut taint: BTreeSet<String> = TAINT_SEEDS.iter().map(|s| s.to_string()).collect();
+        let mut depth = 0usize;
+        // (depth of block, tainted, guard line index)
+        let mut blocks: Vec<(usize, bool, usize)> = Vec::new();
+        let mut pending: Option<(bool, usize)> = None;
+        for li in fd.open.0..=fd.end_line.min(sf.lines.len() - 1) {
+            let code: String = if li == fd.open.0 {
+                sf.lines[li].code.chars().skip(fd.open.1).collect()
+            } else {
+                sf.lines[li].code.clone()
+            };
+            let trimmed = code.trim_start().to_string();
+            // A line-leading `}` closes its block before the rest of the
+            // line is interpreted (`} else {` / `} else if … {`).
+            let mut rest: &str = &code;
+            let mut popped_taint = false;
+            if trimmed.starts_with('}') {
+                if blocks.last().map(|b| b.0) == Some(depth) {
+                    if let Some(b) = blocks.pop() {
+                        popped_taint = b.1;
+                    }
+                }
+                depth = depth.saturating_sub(1);
+                if let Some(at) = code.find('}') {
+                    rest = &code[at + 1..];
+                }
+            }
+            if let Some((cond, is_else)) = guard_condition(&trimmed) {
+                let tainted = has_taint_token(&cond, &taint) && !has_any_token(&cond, SANITIZERS);
+                pending = Some((tainted || (is_else && popped_taint), li));
+            }
+            // Events under any tainted block.
+            if let Some(&(_, _, gl)) = blocks.iter().rev().find(|b| b.1) {
+                for t in call_tokens(&code) {
+                    if let Some(op) = terminal_op(&t) {
+                        out.push((
+                            li,
+                            format!(
+                                "`{}` ({op}) is reached under a rank-local condition \
+                                 (guard at line {}): collectives must execute \
+                                 uniformly on every rank",
+                                t.ident,
+                                gl + 1
+                            ),
+                        ));
+                    }
+                }
+            }
+            let in_tainted = blocks.iter().any(|b| b.1);
+            apply_assign(&code, &mut taint, in_tainted);
+            for c in rest.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if let Some((t, gl)) = pending.take() {
+                            blocks.push((depth, t, gl));
+                        }
+                    }
+                    '}' => {
+                        if blocks.last().map(|b| b.0) == Some(depth) {
+                            blocks.pop();
+                        }
+                        depth = depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// rule: protocol-missing-barrier
+
+/// `protocol-missing-barrier`: two `.lock(` phases in one function with no
+/// `.wait(` between them. The rendezvous protocol writes a slot table
+/// under one lock, barriers, then reads it under the next; dropping the
+/// barrier lets a reader observe a half-written table.
+pub(crate) fn check_missing_barrier(sf: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for fd in scan_fns(sf) {
+        if fd.in_test {
+            continue;
+        }
+        let mut pending_lock: Option<usize> = None;
+        for li in fd.open.0..=fd.end_line.min(sf.lines.len() - 1) {
+            let code: String = if li == fd.open.0 {
+                sf.lines[li].code.chars().skip(fd.open.1).collect()
+            } else {
+                sf.lines[li].code.clone()
+            };
+            let mut marks: Vec<(usize, bool)> = Vec::new(); // (col, is_lock)
+            for at in token_positions(&code, ".lock(", false) {
+                marks.push((at, true));
+            }
+            for at in token_positions(&code, ".wait(", false) {
+                marks.push((at, false));
+            }
+            marks.sort_unstable();
+            for (_, is_lock) in marks {
+                if is_lock {
+                    if let Some(prev) = pending_lock {
+                        out.push((
+                            li,
+                            format!(
+                                "second `.lock(` with no barrier `.wait(` since the \
+                                 lock at line {}: a reader may observe a \
+                                 half-written collective slot table",
+                                prev + 1
+                            ),
+                        ));
+                    }
+                    pending_lock = Some(li);
+                } else {
+                    pending_lock = None;
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// rule: protocol-backend-skew
+
+/// `protocol-backend-skew`: a file defining protocol entries for more than
+/// one backend must produce the same normalized schedule from each. (The
+/// cross-file simulated/threaded diff runs in `--protocol` mode and CI;
+/// this rule catches the single-file case in fixtures and future twins.)
+pub(crate) fn check_backend_skew(sf: &SourceFile) -> Vec<(usize, String)> {
+    let fns = scan_fns(sf);
+    let mut backends: Vec<&String> = Vec::new();
+    for fd in &fns {
+        if let Some(b) = &fd.entry {
+            if !fd.in_test && !backends.contains(&b) {
+                backends.push(b);
+            }
+        }
+    }
+    if backends.len() < 2 {
+        return Vec::new();
+    }
+    let path = if traversable(&sf.rel_path) {
+        sf.rel_path.clone()
+    } else {
+        "crates/core/src/engine/backend_skew_probe.rs".to_string()
+    };
+    let text: String = sf
+        .lines
+        .iter()
+        .map(|l| l.raw.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let model = Model::build(&[(path, text)]);
+    let (schedules, _) = model.schedules();
+    let first = backends[0].clone();
+    let second = backends[1].clone();
+    let a = schedules.iter().find(|s| s.backend == first);
+    let b = schedules.iter().find(|s| s.backend == second);
+    let (Some(a), Some(b)) = (a, b) else {
+        return Vec::new();
+    };
+    if let Err(msg) = merge(&normalize(&a.events), &normalize(&b.events)) {
+        let line = fns
+            .iter()
+            .find(|f| f.entry.as_ref() == Some(&second))
+            .map(|f| f.open.0)
+            .unwrap_or(0);
+        return vec![(
+            line,
+            format!("backend `{second}` skews from `{first}`: {msg}"),
+        )];
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_parse() {
+        assert_eq!(
+            parse_marker("    // sssp-lint: protocol-entry(threaded)"),
+            Some(Marker::Entry("threaded".to_string()))
+        );
+        assert_eq!(
+            parse_marker("// sssp-lint: protocol: epoch.settle"),
+            Some(Marker::Label("epoch.settle".to_string()))
+        );
+        assert_eq!(
+            parse_marker("// sssp-lint: protocol-implicit: setup.weight-extremes reduce"),
+            Some(Marker::Implicit(
+                "setup.weight-extremes".to_string(),
+                Op::Reduce
+            ))
+        );
+        assert_eq!(parse_marker("// sssp-lint: allow(no-panic-hot-path)"), None);
+        assert_eq!(parse_marker("let x = 1;"), None);
+    }
+
+    #[test]
+    fn call_tokens_classify_receivers_and_macros() {
+        let toks = call_tokens("ctx.allreduce_min(st.next_nonempty_after(k).unwrap_or(MAX));");
+        assert_eq!(toks[0].ident, "allreduce_min");
+        assert_eq!(toks[0].recv.as_deref(), Some("ctx"));
+        assert!(toks[0].method);
+        let toks = call_tokens("decide::rank_volumes(lg, st)");
+        assert_eq!(toks[0].qual.as_deref(), Some("decide"));
+        assert!(call_tokens("panic!(\"boom\")").is_empty());
+        let toks = call_tokens("fn exchange_relax(ctx: &mut RankCtx)");
+        assert!(toks[0].is_def);
+    }
+
+    #[test]
+    fn terminal_ops_are_token_exact() {
+        let t = &call_tokens("self.allreduce_inner(v, f)")[0];
+        assert_eq!(terminal_op(t), None);
+        let t = &call_tokens("allgather(&vals, &mut comm)")[0];
+        assert_eq!(terminal_op(t), Some(Op::Reduce));
+        let t = &call_tokens("bufs.exchange(BYTES, packet)")[0];
+        assert_eq!(terminal_op(t), Some(Op::Exchange));
+        let t = &call_tokens("x.iter().any(|v| v > 0)")[1];
+        assert_eq!(t.ident, "any");
+        assert_eq!(terminal_op(t), None);
+        let t = &call_tokens("ctx.any(flag)")[0];
+        assert_eq!(terminal_op(t), Some(Op::Reduce));
+        let t = &call_tokens("barrier.wait()")[0];
+        assert_eq!(terminal_op(t), Some(Op::Barrier));
+    }
+
+    #[test]
+    fn scan_fns_tracks_impls_entries_and_self() {
+        let src = "\
+impl<'a> Engine<'a> {
+    // sssp-lint: protocol-entry(simulated)
+    fn run(&mut self) {
+        self.go();
+    }
+    fn go(&mut self) {}
+}
+fn free(x: u64) -> u64 {
+    x
+}
+trait Rec {
+    fn hook(&mut self);
+}
+";
+        let sf = SourceFile::parse("crates/core/src/engine/x.rs", src);
+        let fns = scan_fns(&sf);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["run", "go", "free"]);
+        assert_eq!(fns[0].impl_type.as_deref(), Some("Engine"));
+        assert_eq!(fns[0].entry.as_deref(), Some("simulated"));
+        assert!(fns[0].has_self);
+        assert!(!fns[2].has_self);
+        assert_eq!(fns[0].open.0, 2);
+        assert_eq!(fns[0].end_line, 4);
+    }
+
+    fn two_backend_src() -> (String, String) {
+        let src = "\
+// sssp-lint: protocol-entry(simulated)
+fn run_sim(&mut self) {
+    loop {
+        // sssp-lint: protocol: epoch.select
+        let k = allreduce_min(&self.coll, &mut self.comm);
+        // sssp-lint: protocol: epoch.body
+        self.body();
+    }
+}
+fn body(&mut self) {
+    let step = bufs.exchange(BYTES, packet);
+}
+// sssp-lint: protocol-entry(threaded)
+fn run_thr(ctx: &mut RankCtx) {
+    loop {
+        // sssp-lint: protocol: epoch.select
+        let k = ctx.allreduce_min(v);
+        // sssp-lint: protocol: epoch.body
+        let step = ctx.exchange_pooled_counted(out, inbox, BYTES, packet);
+    }
+}
+";
+        ("crates/core/src/engine/x.rs".to_string(), src.to_string())
+    }
+
+    #[test]
+    fn walker_labels_depths_and_diffs_align() {
+        let a = analyze(&[two_backend_src()]);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        let table = a.table.expect("table");
+        assert!(table.contains("epoch.select"));
+        assert!(table.contains("epoch.body"));
+        let sim = &a.schedules[0];
+        assert_eq!(sim.backend, "simulated");
+        assert_eq!(sim.events.len(), 2);
+        assert_eq!(sim.events[0].depth, 1);
+        assert_eq!(sim.events[1].op, Op::Exchange);
+        assert_eq!(sim.events[1].label.as_deref(), Some("epoch.body"));
+    }
+
+    #[test]
+    fn unlabeled_collectives_are_flagged() {
+        let src = "\
+// sssp-lint: protocol-entry(simulated)
+fn run(&mut self) {
+    let k = allreduce_min(&self.coll, &mut self.comm);
+}
+";
+        let a = analyze(&[("crates/core/src/engine/x.rs".to_string(), src.to_string())]);
+        assert_eq!(a.findings.len(), 2, "{:?}", a.findings);
+        assert!(a.findings[0].message.contains("without a"));
+    }
+
+    #[test]
+    fn normalize_merges_consecutive_rows_only() {
+        let ev = |label: &str, op, depth| Event {
+            file: "f".to_string(),
+            line: 1,
+            label: Some(label.to_string()),
+            op,
+            depth,
+        };
+        let rows = normalize(&[
+            ev("a", Op::Reduce, 1),
+            ev("a", Op::Reduce, 1),
+            ev("b", Op::Exchange, 1),
+            ev("a", Op::Reduce, 1),
+        ]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].1, 2);
+    }
+
+    #[test]
+    fn merge_reports_first_divergence() {
+        let row = |label: &str| {
+            (
+                TableRow {
+                    depth: 1,
+                    op: Op::Reduce,
+                    label: label.to_string(),
+                },
+                1,
+            )
+        };
+        let err = merge(&[row("a"), row("b")], &[row("a")]).unwrap_err();
+        assert!(err.contains("row 2"), "{err}");
+        assert!(err.contains("schedule ended"), "{err}");
+        let ok = merge(&[row("a")], &[(row("a").0, 3)]).unwrap();
+        assert_eq!(ok[0].1, 1);
+        assert_eq!(ok[0].2, 3);
+    }
+
+    #[test]
+    fn divergent_guard_flags_and_sanitizes() {
+        let src = "\
+fn f(ctx: &mut RankCtx) {
+    let r = ctx.rank();
+    if r == 0 {
+        ctx.allreduce_sum(1);
+    }
+    let total = ctx.allreduce_sum(v);
+    if total > 0 {
+        ctx.allreduce_max(total);
+    }
+    while ctx.any(!st.active.is_empty()) {
+        ctx.exchange_pooled(out, inbox);
+    }
+}
+";
+        let sf = SourceFile::parse("crates/core/src/engine/x.rs", src);
+        let hits = check_divergent_guard(&sf);
+        let lines: Vec<usize> = hits.iter().map(|h| h.0).collect();
+        assert_eq!(lines, vec![3]);
+    }
+
+    #[test]
+    fn divergent_guard_else_branch_carries_taint() {
+        let src = "\
+fn f(ctx: &mut RankCtx) {
+    if inbox.is_empty() {
+        noop();
+    } else {
+        ctx.allreduce_sum(1);
+    }
+}
+";
+        let sf = SourceFile::parse("crates/core/src/engine/x.rs", src);
+        let hits = check_divergent_guard(&sf);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 4);
+    }
+
+    #[test]
+    fn missing_barrier_resets_per_function() {
+        let src = "\
+fn bad(&self) {
+    let a = self.slots.lock();
+    let b = self.slots.lock();
+    self.barrier.wait();
+}
+fn good(&self) {
+    let a = self.slots.lock();
+    self.barrier.wait();
+    let b = self.slots.lock();
+    self.barrier.wait();
+}
+";
+        let sf = SourceFile::parse("crates/comm/src/x.rs", src);
+        let hits = check_missing_barrier(&sf);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
+    }
+
+    #[test]
+    fn backend_skew_fires_on_single_file_divergence() {
+        let src = "\
+// sssp-lint: protocol-entry(simulated)
+fn run_sim(&mut self) {
+    // sssp-lint: protocol: a
+    let k = allreduce_min(&self.coll, &mut self.comm);
+    // sssp-lint: protocol: b
+    let s = allreduce_sum(&self.coll, &mut self.comm);
+}
+// sssp-lint: protocol-entry(threaded)
+fn run_thr(ctx: &mut RankCtx) {
+    // sssp-lint: protocol: a
+    let k = ctx.allreduce_min(v);
+}
+";
+        let sf = SourceFile::parse("crates/core/src/engine/x.rs", src);
+        let hits = check_backend_skew(&sf);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 8);
+        assert!(hits[0].1.contains("diverge"), "{}", hits[0].1);
+        let (p, aligned) = two_backend_src();
+        let sf = SourceFile::parse(&p, &aligned);
+        assert!(check_backend_skew(&sf).is_empty());
+    }
+}

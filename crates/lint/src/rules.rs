@@ -144,7 +144,52 @@ pub static RULES: &[Rule] = &[
         },
         check: check_no_print,
     },
+    Rule {
+        name: "protocol-divergent-guard",
+        summary: "no collective call site under a rank-local condition; \
+                  every rank must reach every collective uniformly",
+        scope: Scope {
+            include: &["crates/core/src/engine/"],
+            exclude: &[],
+        },
+        check: crate::protocol::check_divergent_guard,
+    },
+    Rule {
+        name: "protocol-missing-barrier",
+        summary: "no two `.lock(` phases in one comm function without a \
+                  barrier `.wait(` between them",
+        scope: Scope {
+            include: &["crates/comm/src/"],
+            exclude: &[],
+        },
+        check: crate::protocol::check_missing_barrier,
+    },
+    Rule {
+        name: "protocol-backend-skew",
+        summary: "a file with protocol entries for several backends must \
+                  extract the same normalized collective schedule from each",
+        scope: Scope {
+            include: &["crates/core/src/engine/"],
+            exclude: &[],
+        },
+        check: crate::protocol::check_backend_skew,
+    },
 ];
+
+/// The `--list-rules` output, one `name  summary` line per rule. Shared
+/// by the CLI and the golden snapshot test.
+pub fn list_rules_text() -> String {
+    let normalize_ws = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ");
+    let mut out = String::new();
+    for rule in RULES {
+        out.push_str(&format!(
+            "{:<26} {}\n",
+            rule.name,
+            normalize_ws(rule.summary)
+        ));
+    }
+    out
+}
 
 /// Look up a rule by name.
 pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
@@ -157,7 +202,7 @@ const IDENT: fn(char) -> bool = |c: char| c.is_alphanumeric() || c == '_';
 /// an identifier character, the preceding (following) character must not
 /// be one. `prefix` relaxes the trailing boundary so `Atomic` matches
 /// `AtomicU64`.
-fn token_positions(code: &str, needle: &str, prefix: bool) -> Vec<usize> {
+pub(crate) fn token_positions(code: &str, needle: &str, prefix: bool) -> Vec<usize> {
     let first_ident = needle.chars().next().is_some_and(IDENT);
     let last_ident = needle.chars().next_back().is_some_and(IDENT);
     code.match_indices(needle)

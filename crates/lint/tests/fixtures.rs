@@ -150,6 +150,30 @@ fn no_print_does_not_apply_to_bench_or_bins() {
 }
 
 #[test]
+fn protocol_divergent_guard_flags_rank_local_collectives() {
+    let diags = lint_fixture(
+        "protocol_divergent_guard.rs",
+        "crates/core/src/engine/fixture.rs",
+    );
+    assert_eq!(lines_for(&diags, "protocol-divergent-guard"), vec![7, 11]);
+}
+
+#[test]
+fn protocol_missing_barrier_flags_back_to_back_locks() {
+    let diags = lint_fixture("protocol_missing_barrier.rs", "crates/comm/src/fixture.rs");
+    assert_eq!(lines_for(&diags, "protocol-missing-barrier"), vec![10]);
+}
+
+#[test]
+fn protocol_backend_skew_flags_divergent_twins() {
+    let diags = lint_fixture(
+        "protocol_backend_skew.rs",
+        "crates/core/src/engine/fixture.rs",
+    );
+    assert_eq!(lines_for(&diags, "protocol-backend-skew"), vec![15]);
+}
+
+#[test]
 fn every_rule_has_a_fixture_that_fires() {
     // Guard against a rule silently losing coverage: each named rule must
     // produce at least one finding across the fixture corpus.
@@ -166,6 +190,15 @@ fn every_rule_has_a_fixture_that_fires() {
         ("missing_docs.rs", "crates/comm/src/fixture.rs"),
         ("crate_hygiene.rs", "crates/core/src/lib.rs"),
         ("no_print_debug.rs", "crates/core/src/instrument.rs"),
+        (
+            "protocol_divergent_guard.rs",
+            "crates/core/src/engine/fixture.rs",
+        ),
+        ("protocol_missing_barrier.rs", "crates/comm/src/fixture.rs"),
+        (
+            "protocol_backend_skew.rs",
+            "crates/core/src/engine/fixture.rs",
+        ),
     ];
     let mut fired: Vec<&str> = corpus
         .iter()

@@ -1,0 +1,110 @@
+//! The protocol gate: the flow-aware pass must report zero findings on
+//! the real engine, both backends' schedules must merge into the golden
+//! table, and the rule list snapshot must stay in sync. Running plain
+//! `cargo test` therefore enforces the collective protocol; CI also diffs
+//! the CLI output against the same goldens.
+
+use sssp_lint::protocol;
+
+/// Collect the in-scope `(rel_path, text)` pairs from the real tree.
+fn workspace_inputs() -> Vec<(String, String)> {
+    let root = sssp_lint::default_root();
+    let files = sssp_lint::workspace_files(&root).expect("workspace walk");
+    let mut out = Vec::new();
+    for (rel, path) in files {
+        if protocol::in_scope(&rel) {
+            let text = std::fs::read_to_string(&path).expect("readable source");
+            out.push((rel, text));
+        }
+    }
+    assert!(!out.is_empty(), "no in-scope files found");
+    out
+}
+
+#[test]
+fn real_engine_protocol_is_clean() {
+    let analysis = protocol::analyze(&workspace_inputs());
+    assert!(
+        analysis.findings.is_empty(),
+        "protocol findings on the real engine:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(analysis.table.is_some(), "no merged table produced");
+}
+
+#[test]
+fn both_backends_are_extracted() {
+    let analysis = protocol::analyze(&workspace_inputs());
+    let mut backends: Vec<&str> = analysis
+        .schedules
+        .iter()
+        .map(|s| s.backend.as_str())
+        .collect();
+    backends.sort_unstable();
+    assert_eq!(backends, vec!["simulated", "threaded"]);
+    for s in &analysis.schedules {
+        assert!(
+            !s.events.is_empty(),
+            "backend {} produced no events",
+            s.backend
+        );
+    }
+}
+
+#[test]
+fn protocol_table_matches_golden() {
+    let analysis = protocol::analyze(&workspace_inputs());
+    let table = analysis.table.expect("merged table");
+    let golden = include_str!("../golden/protocol_table.txt");
+    assert_eq!(
+        table, golden,
+        "protocol table drifted from crates/lint/golden/protocol_table.txt — \
+         if the schedule change is intentional on BOTH backends, regenerate \
+         with `cargo run -p sssp-lint -- --protocol > crates/lint/golden/protocol_table.txt`"
+    );
+}
+
+#[test]
+fn rule_list_matches_golden() {
+    let golden = include_str!("../golden/rules.txt");
+    assert_eq!(
+        sssp_lint::rules::list_rules_text(),
+        golden,
+        "rule list drifted from crates/lint/golden/rules.txt — regenerate \
+         with `cargo run -p sssp-lint -- --list-rules > crates/lint/golden/rules.txt`"
+    );
+}
+
+#[test]
+fn skew_fixture_schedules_diverge_with_a_useful_message() {
+    // The backend-skew fixture's two entries must fail to merge, and the
+    // error must name the row and both sides (the message CI users see).
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("protocol_backend_skew.rs");
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    let model = protocol::Model::build(&[("crates/core/src/engine/fixture.rs".to_string(), text)]);
+    let (schedules, findings) = model.schedules();
+    assert!(findings.is_empty(), "{findings:?}");
+    let sim = schedules
+        .iter()
+        .find(|s| s.backend == "simulated")
+        .expect("simulated entry");
+    let thr = schedules
+        .iter()
+        .find(|s| s.backend == "threaded")
+        .expect("threaded entry");
+    let err = protocol::merge(
+        &protocol::normalize(&sim.events),
+        &protocol::normalize(&thr.events),
+    )
+    .expect_err("fixture schedules must diverge");
+    assert!(err.contains("row 2"), "{err}");
+    assert!(err.contains("epoch.settle"), "{err}");
+    assert!(err.contains("schedule ended"), "{err}");
+}

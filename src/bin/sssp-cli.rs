@@ -12,7 +12,6 @@
 
 use sssp_mps::core::bfs::run_bfs;
 use sssp_mps::core::config::IntraBalance;
-use sssp_mps::dist::split_heavy_vertices;
 use sssp_mps::graph::social::social_preset;
 use sssp_mps::graph::{io, stats};
 use sssp_mps::prelude::*;
@@ -115,7 +114,9 @@ OPTIONS:
   --delta <D>        Δ parameter for the Δ-stepping family (default 25)
   --roots <K>        number of random roots to run (default 1)
   --seed <S>         generator seed (default 1)
-  --split            apply inter-node vertex splitting before distribution
+  --split            arm the §III-E degree-threshold splitting trigger:
+                     vertices above π′ are split into proxies before
+                     distribution (no-op when the graph is mild)
   --validate         check every run against sequential Dijkstra/BFS"
     );
 }
@@ -268,13 +269,23 @@ fn main() {
     );
 
     let dg = if args.split {
-        let thr = sssp_mps::dist::split::auto_threshold(&csr, args.ranks);
-        let (split, part, rep) = split_heavy_vertices(&csr, args.ranks, thr);
-        println!(
-            "splitting: {} heavy vertices → {} proxies (max degree {} → {})",
-            rep.heavy_vertices, rep.proxies_created, rep.max_degree_before, rep.max_degree_after
-        );
-        DistGraph::build_with_partition(&split, part, args.threads, m)
+        let (dg, rep) = DistGraph::build_auto_split(&csr, args.ranks, args.threads);
+        match rep {
+            Some(rep) => println!(
+                "splitting: {} heavy vertices → {} proxies (max degree {} → {}, π′ = {})",
+                rep.heavy_vertices,
+                rep.proxies_created,
+                rep.max_degree_before,
+                rep.max_degree_after,
+                rep.threshold
+            ),
+            None => println!(
+                "splitting: trigger armed but max degree {} is within π′ = {}",
+                csr.max_degree(),
+                sssp_mps::dist::split::auto_threshold(&csr, args.ranks)
+            ),
+        }
+        dg
     } else {
         DistGraph::build(&csr, args.ranks, args.threads)
     };
