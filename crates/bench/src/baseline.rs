@@ -152,16 +152,34 @@ pub struct TelemetryRecord {
     pub remote_msgs: u64,
     /// Messages removed by sender-side coalescing in the traced run.
     pub coalesced_msgs: u64,
+    /// Wall-clock nanoseconds the threaded trace spent in short-edge
+    /// phases. The wall fields are informational (they track the slowest
+    /// rank's critical path and vary with machine load), so the `--check`
+    /// gate deliberately ignores them.
+    pub wall_short_ns: u64,
+    /// Wall-clock nanoseconds in long push phases.
+    pub wall_long_push_ns: u64,
+    /// Wall-clock nanoseconds in long pull phases.
+    pub wall_long_pull_ns: u64,
+    /// Wall-clock nanoseconds in Bellman-Ford tail rounds.
+    pub wall_bf_ns: u64,
 }
 
 impl TelemetryRecord {
+    /// Sum of the per-phase wall-clock accumulators.
+    pub fn wall_total_ns(&self) -> u64 {
+        self.wall_short_ns + self.wall_long_push_ns + self.wall_long_pull_ns + self.wall_bf_ns
+    }
+
     /// Render as a JSON object literal.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
                 "{{\"backends_agree\": {}, \"buckets\": {}, ",
                 "\"supersteps\": {}, \"local_msgs\": {}, ",
-                "\"remote_msgs\": {}, \"coalesced_msgs\": {}}}"
+                "\"remote_msgs\": {}, \"coalesced_msgs\": {}, ",
+                "\"wall_short_ns\": {}, \"wall_long_push_ns\": {}, ",
+                "\"wall_long_pull_ns\": {}, \"wall_bf_ns\": {}}}"
             ),
             self.backends_agree,
             self.buckets,
@@ -169,6 +187,10 @@ impl TelemetryRecord {
             self.local_msgs,
             self.remote_msgs,
             self.coalesced_msgs,
+            self.wall_short_ns,
+            self.wall_long_push_ns,
+            self.wall_long_pull_ns,
+            self.wall_bf_ns,
         )
     }
 }
@@ -286,6 +308,10 @@ mod tests {
                 local_msgs: 8000,
                 remote_msgs: 22000,
                 coalesced_msgs: 10000,
+                wall_short_ns: 1_500_000,
+                wall_long_push_ns: 400_000,
+                wall_long_pull_ns: 250_000,
+                wall_bf_ns: 100_000,
             },
         }
     }
@@ -333,6 +359,20 @@ mod tests {
             extract_number(&json, "telemetry", "remote_msgs"),
             Some(22000.0)
         );
+        assert_eq!(
+            extract_number(&json, "telemetry", "wall_short_ns"),
+            Some(1_500_000.0)
+        );
+        assert_eq!(
+            extract_number(&json, "telemetry", "wall_bf_ns"),
+            Some(100_000.0)
+        );
+    }
+
+    #[test]
+    fn wall_total_sums_the_phase_accumulators() {
+        let t = sample().telemetry;
+        assert_eq!(t.wall_total_ns(), 2_250_000);
     }
 
     #[test]

@@ -5,20 +5,37 @@
 //! Δ-stepping in between, trending toward Dijkstra as Δ shrinks. For
 //! relaxations the order reverses, and `Prune` beats even Dijkstra by a
 //! large factor (≈5× on RMAT-1).
+//!
+//! `--backend simulated|threaded` picks the engine (default simulated);
+//! the unified telemetry layer makes the figure identical on both.
+
+use std::sync::Arc;
 
 use sssp_bench::*;
 use sssp_comm::cost::MachineModel;
 use sssp_core::config::SsspConfig;
+use sssp_core::RunTrace;
 use sssp_dist::DistGraph;
 
+/// The figure's three series, read off one run's telemetry trace:
+/// relaxation supersteps, processed buckets (hybrid tail included), and
+/// total relaxation messages.
+fn series(trace: &RunTrace) -> (u64, u64, u64) {
+    let phases = trace.phases.len() as u64;
+    let buckets = trace.buckets.len() as u64 + u64::from(trace.tail.is_some());
+    let relaxations = trace.phases.iter().map(|r| r.relaxations).sum();
+    (phases, buckets, relaxations)
+}
+
 fn main() {
+    let backend = backend_from_args();
     let scale = scale_per_rank() + 4;
     let ranks = 16;
     let model = MachineModel::bgq_like();
 
     for family in [Family::Rmat1, Family::Rmat2] {
         let g = build_family(family, scale, 1);
-        let dg = DistGraph::build(&g, ranks, 4);
+        let dg = Arc::new(DistGraph::build(&g, ranks, 4));
         let roots = pick_roots(&g, 4, 11);
 
         let algos: Vec<(&str, SsspConfig)> = vec![
@@ -34,19 +51,28 @@ fn main() {
 
         let mut rows = Vec::new();
         for (name, cfg) in &algos {
-            let agg = run_aggregate(&dg, &roots, cfg, &model);
+            let (mut phases, mut buckets, mut relaxations) = (0.0f64, 0.0f64, 0u64);
+            for &root in &roots {
+                let (_, trace) = run_trace(&dg, root, cfg, &model, backend);
+                let (p, b, r) = series(&trace);
+                phases += p as f64;
+                buckets += b as f64;
+                relaxations += r;
+            }
+            let k = roots.len() as f64;
             rows.push(vec![
                 name.to_string(),
-                format!("{:.1}", agg.phases),
-                format!("{:.1}", agg.buckets),
-                human(agg.relaxations),
+                format!("{:.1}", phases / k),
+                format!("{:.1}", buckets / k),
+                human(relaxations as f64 / k),
             ]);
         }
         print_table(
             &format!(
-                "Fig 3 — {} scale {scale}, {ranks} ranks, {} roots",
+                "Fig 3 — {} scale {scale}, {ranks} ranks, {} roots, {} backend",
                 family.name(),
-                roots.len()
+                roots.len(),
+                backend.name()
             ),
             &["algorithm", "phases (3a)", "buckets", "relaxations (3b)"],
             &rows,

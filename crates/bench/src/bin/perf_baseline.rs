@@ -185,6 +185,10 @@ fn measure_telemetry(
         local_msgs: trace_thr.local_msgs,
         remote_msgs: trace_thr.remote_msgs,
         coalesced_msgs: trace_thr.coalesced_msgs,
+        wall_short_ns: trace_thr.timings.short_ns,
+        wall_long_push_ns: trace_thr.timings.long_push_ns,
+        wall_long_pull_ns: trace_thr.timings.long_pull_ns,
+        wall_bf_ns: trace_thr.timings.bf_ns,
     }
 }
 
@@ -399,6 +403,15 @@ fn main() {
         doc.telemetry.supersteps,
         doc.telemetry.local_msgs,
         doc.telemetry.remote_msgs,
+    );
+    let wall = &doc.telemetry;
+    println!(
+        "telemetry wall clock (threaded, slowest-rank critical path): \
+         {:.2} ms short, {:.2} ms long-push, {:.2} ms long-pull, {:.2} ms BF tail",
+        wall.wall_short_ns as f64 / 1e6,
+        wall.wall_long_push_ns as f64 / 1e6,
+        wall.wall_long_pull_ns as f64 / 1e6,
+        wall.wall_bf_ns as f64 / 1e6,
     );
 
     let json = doc.to_json();

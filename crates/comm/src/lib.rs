@@ -35,6 +35,8 @@ pub mod cost;
 pub mod exchange;
 /// Rolling collective-schedule fingerprints shared by both backends.
 pub mod fingerprint;
+/// Debug-gated runtime twin of the static lock-order model.
+pub mod lockorder;
 /// Optional SPI-style packet coalescing model.
 pub mod packet;
 /// Per-superstep traffic ledgers ([`stats::CommStats`]).

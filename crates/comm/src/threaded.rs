@@ -21,6 +21,7 @@ use std::sync::{Arc, Barrier, Mutex};
 use crate::fingerprint::{
     fp_mix, FP_EXCHANGE, FP_REDUCE, FP_REDUCE_ANY, FP_REDUCE_MAX, FP_REDUCE_MIN, FP_REDUCE_SUM,
 };
+use crate::lockorder;
 use crate::packet::PacketConfig;
 use crate::Rank;
 
@@ -75,6 +76,10 @@ pub struct RankCtx<M> {
     /// Epoch tag mixed into the fingerprint; advanced by the kernel through
     /// [`RankCtx::set_epoch`] at bucket boundaries.
     epoch: Cell<u64>,
+    /// Runtime twin of the static lock-order model: records this thread's
+    /// actual acquisition order and checks it against
+    /// [`lockorder::STATIC_EDGES`] when the context is dropped.
+    lock_rec: lockorder::Recorder,
 }
 
 impl<M: Send> RankCtx<M> {
@@ -135,6 +140,29 @@ impl<M: Send> RankCtx<M> {
     #[cfg(debug_assertions)]
     pub fn perturb_fingerprint(&self, salt: u64) {
         self.fp.set(self.fp.get() ^ salt);
+    }
+
+    /// Test hook: seed a held→acquired pair into the runtime lock-order
+    /// twin, as if this rank had nested the two acquisitions, so
+    /// differential tests can prove the drop-time consistency check fires.
+    #[cfg(debug_assertions)]
+    pub fn perturb_lock_order(&self, from: &'static str, to: &'static str) {
+        self.lock_rec.inject_pair(from, to);
+    }
+
+    /// Every held→acquired pair the runtime twin has observed on this rank
+    /// thread so far (sorted). Empty in a correct run: the rendezvous
+    /// runtime never nests lock acquisitions.
+    #[cfg(debug_assertions)]
+    pub fn observed_lock_pairs(&self) -> Vec<(&'static str, &'static str)> {
+        self.lock_rec.observed_pairs()
+    }
+
+    /// Every lock name the runtime twin has observed this rank thread
+    /// acquire so far (sorted).
+    #[cfg(debug_assertions)]
+    pub fn observed_locks(&self) -> Vec<&'static str> {
+        self.lock_rec.observed_locks()
     }
 
     /// Bulk-synchronous exchange: send `out[dst]` to every rank, receive
@@ -256,15 +284,21 @@ impl<M: Send> RankCtx<M> {
     /// perturb the fingerprint they are checking.
     fn allreduce_inner<F: Fn(&[u64]) -> u64>(&self, value: u64, combine: F) -> u64 {
         {
-            // sssp-lint: allow(no-panic-hot-path): poisoned = a rank already
-            // panicked; propagating the abort is the correct SPMD behavior.
-            let mut slots = self.slots.lock().expect("collective mutex poisoned");
+            let mut slots = self.lock_rec.track(
+                "slots",
+                // sssp-lint: allow(no-panic-hot-path): poisoned = a rank already
+                // panicked; propagating the abort is the correct SPMD behavior.
+                self.slots.lock().expect("collective mutex poisoned"),
+            );
             slots[self.rank] = Some(value);
         }
         self.barrier.wait();
         let result = {
-            // sssp-lint: allow(no-panic-hot-path): see poisoning note above.
-            let slots = self.slots.lock().expect("collective mutex poisoned");
+            let slots = self.lock_rec.track(
+                "slots",
+                // sssp-lint: allow(no-panic-hot-path): see poisoning note above.
+                self.slots.lock().expect("collective mutex poisoned"),
+            );
             // Every rank filled its slot before the barrier; a hole means
             // the barrier itself is broken, hence the allowed panic below.
             let vals: Vec<u64> = slots
@@ -276,8 +310,11 @@ impl<M: Send> RankCtx<M> {
         // Second barrier before anyone clears their slot for reuse.
         self.barrier.wait();
         {
-            // sssp-lint: allow(no-panic-hot-path): see poisoning note above.
-            let mut slots = self.slots.lock().expect("collective mutex poisoned");
+            let mut slots = self.lock_rec.track(
+                "slots",
+                // sssp-lint: allow(no-panic-hot-path): see poisoning note above.
+                self.slots.lock().expect("collective mutex poisoned"),
+            );
             slots[self.rank] = None;
         }
         self.barrier.wait();
@@ -341,6 +378,7 @@ where
             watermark: 0,
             fp: Cell::new(0),
             epoch: Cell::new(0),
+            lock_rec: lockorder::Recorder::new(),
         };
         let body = Arc::clone(&body);
         handles.push(
@@ -682,6 +720,37 @@ mod tests {
                 ctx.perturb_fingerprint(0xDEAD_BEEF);
             }
             ctx.assert_schedule_uniform();
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn lock_order_twin_records_the_collective_mutex_and_no_nesting() {
+        for p in [1, 3, 5] {
+            let obs = run_threaded(p, |ctx: RankCtx<u64>| {
+                ctx.allreduce_sum(ctx.rank() as u64);
+                ctx.any(false);
+                (ctx.observed_locks(), ctx.observed_lock_pairs())
+            });
+            for (locks, pairs) in obs {
+                assert_eq!(locks, vec!["slots"], "p={p}");
+                assert!(
+                    pairs.is_empty(),
+                    "p={p}: rendezvous runtime must never nest locks: {pairs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock acquisition order")]
+    fn seeded_lock_inversion_trips_the_twin_at_the_join() {
+        run_threaded(3, |ctx: RankCtx<u64>| {
+            ctx.allreduce_sum(1);
+            if ctx.rank() == 2 {
+                ctx.perturb_lock_order("slots", "slots");
+            }
         });
     }
 

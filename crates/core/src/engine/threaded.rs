@@ -842,6 +842,71 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    fn runtime_lock_order_embeds_into_the_static_graph() {
+        // The runtime lock-order twin must observe only locks and nestings
+        // that exist in the static model (crates/lint/golden/lock_order.txt,
+        // mirrored by sssp_comm::lockorder). Full engine runs across three
+        // rank counts, with proxies (auto-split hub graph) and without; the
+        // twin's own drop-time check also runs implicitly at every join.
+        let mut el = gen::star(300, 5);
+        for e in gen::uniform(300, 900, 30, 11).edges {
+            el.push(e.u, e.v, e.w);
+        }
+        let hub = CsrBuilder::new().build(&el);
+        let plain = CsrBuilder::new().build(&gen::uniform(150, 900, 30, 5));
+        let model = MachineModel::bgq_like();
+        for p in [2usize, 4, 6] {
+            let (split, report) = DistGraph::build_auto_split(&hub, p, 2);
+            let report = report.expect("hub graph should trigger splitting");
+            assert!(report.proxies_created > 0, "p {p}");
+            for dg in [Arc::new(split), Arc::new(DistGraph::build(&plain, p, 2))] {
+                let cfg = SsspConfig::opt(20);
+                let obs = run_threaded(p, {
+                    let dg = Arc::clone(&dg);
+                    let cfg = cfg.clone();
+                    move |mut ctx: RankCtx<Wire>| {
+                        let mut rec = NoopRecorder;
+                        rank_body(&dg, 0, &cfg, &model, &mut ctx, &mut rec);
+                        (ctx.observed_locks(), ctx.observed_lock_pairs())
+                    }
+                });
+                for (locks, pairs) in obs {
+                    assert!(locks.contains(&"slots"), "p {p}: no collective lock");
+                    for lock in &locks {
+                        assert!(
+                            sssp_comm::lockorder::STATIC_LOCKS.contains(lock),
+                            "p {p}: lock `{lock}` outside the static model"
+                        );
+                    }
+                    for pair in &pairs {
+                        assert!(
+                            sssp_comm::lockorder::STATIC_EDGES.contains(pair),
+                            "p {p}: order {pair:?} outside the static graph"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock acquisition order")]
+    fn seeded_inversion_in_an_engine_run_trips_the_twin() {
+        let g = CsrBuilder::new().build(&gen::uniform(80, 400, 20, 3));
+        let dg = Arc::new(DistGraph::build(&g, 2, 2));
+        let model = MachineModel::bgq_like();
+        run_threaded(2, move |mut ctx: RankCtx<Wire>| {
+            let mut rec = NoopRecorder;
+            rank_body(&dg, 0, &SsspConfig::opt(15), &model, &mut ctx, &mut rec);
+            if ctx.rank() == 1 {
+                ctx.perturb_lock_order("slots", "slots");
+            }
+        });
+    }
+
+    #[test]
     fn threaded_handles_degenerate_graphs() {
         // Single vertex, no edges.
         let g = CsrBuilder::new().build(&gen::path(1, 1));

@@ -22,7 +22,7 @@ pub struct Mismatch {
 /// run used a split graph — proxy distances are ignored (original vertices
 /// keep their ids under splitting).
 pub fn check_against_dijkstra(g: &Csr, root: VertexId, out: &SsspOutput) -> Vec<Mismatch> {
-    let expected = seq::dijkstra(g, root);
+    let expected = seq::dijkstra_radix(g, root);
     assert!(
         out.distances.len() >= expected.len(),
         "output shorter than graph"

@@ -1,0 +1,26 @@
+//! Seeded blocking-while-held: `bad` waits on the barrier and recvs with
+//! the guard live; `good` scopes the guard, or drops it, before blocking.
+
+struct S {
+    m: Mutex<u64>,
+    bar: Barrier,
+    rx: Receiver<u64>,
+}
+
+impl S {
+    fn bad(&self) {
+        let g = self.m.lock();
+        self.bar.wait();
+        let v = self.rx.recv();
+    }
+
+    fn good(&self) {
+        {
+            let g = self.m.lock();
+        }
+        self.bar.wait();
+        let g2 = self.m.lock();
+        drop(g2);
+        let v = self.rx.recv();
+    }
+}

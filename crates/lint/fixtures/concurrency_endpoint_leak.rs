@@ -1,0 +1,25 @@
+//! Seeded endpoint leak: `bad` clones the sender into spawned threads and
+//! joins without dropping the original; `good` drops it before the join.
+
+fn bad(tx: Sender<u64>) {
+    let mut hs = Vec::new();
+    for _ in 0..2 {
+        let t = tx.clone();
+        hs.push(std::thread::spawn(move || t.send(1)));
+    }
+    for h in hs {
+        h.join();
+    }
+}
+
+fn good(tx: Sender<u64>) {
+    let mut hs = Vec::new();
+    for _ in 0..2 {
+        let t = tx.clone();
+        hs.push(std::thread::spawn(move || t.send(1)));
+    }
+    drop(tx);
+    for h in hs {
+        h.join();
+    }
+}

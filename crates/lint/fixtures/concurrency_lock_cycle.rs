@@ -1,0 +1,25 @@
+//! Seeded lock-order cycle: `ab` takes a then b, `ba` takes b then a.
+//! `ac` extends the order without closing a cycle and must stay clean.
+
+struct S {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    c: Mutex<u64>,
+}
+
+impl S {
+    fn ab(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+    }
+
+    fn ba(&self) {
+        let g = self.b.lock();
+        let h = self.a.lock();
+    }
+
+    fn ac(&self) {
+        let g = self.a.lock();
+        let h = self.c.lock();
+    }
+}

@@ -1,0 +1,37 @@
+//! Seeded unterminated recv: `bad` recvs in a bare loop with no break;
+//! `good` breaks on disconnect and `bounded` uses a counted while loop.
+
+struct S {
+    rx: Receiver<u64>,
+    p: usize,
+}
+
+impl S {
+    fn bad(&self) -> u64 {
+        let mut acc = 0;
+        loop {
+            acc += self.rx.recv();
+        }
+    }
+
+    fn good(&self) -> u64 {
+        let mut acc = 0;
+        loop {
+            match self.rx.recv() {
+                Ok(v) => acc = acc + v,
+                Err(_) => break,
+            }
+        }
+        acc
+    }
+
+    fn bounded(&self) -> u64 {
+        let mut acc = 0;
+        let mut seen = 0;
+        while seen < self.p {
+            acc += self.rx.recv();
+            seen += 1;
+        }
+        acc
+    }
+}

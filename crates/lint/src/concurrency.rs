@@ -1,0 +1,1350 @@
+//! The flow-aware concurrency-model pass.
+//!
+//! PR 5's protocol checker validates the *collective sequence*; this pass
+//! models the lock/channel structure underneath it, the part an async
+//! engine refactor is most likely to break. Two static models are built
+//! from the comm and threaded-engine sources:
+//!
+//! 1. a **lock-order graph** — every `Mutex`/`RwLock`/`Condvar`
+//!    acquisition site together with the set of locks already held along
+//!    each intraprocedural path. Order cycles (`concurrency-lock-cycle`)
+//!    and blocking `recv`/`wait` calls made while a lock is held
+//!    (`concurrency-blocking-hold`) are findings.
+//! 2. a **channel topology table** — every channel creation, `Sender`
+//!    clone, send, recv and drop site, grouped by packet kind. Sender
+//!    clones that can outlive the thread join
+//!    (`concurrency-endpoint-leak`) and recv loops with no termination
+//!    edge (`concurrency-unterminated-recv`) are findings.
+//!
+//! Both models are rendered as tables, committed as golden artifacts
+//! (`crates/lint/golden/lock_order.txt`, `channel_topology.txt`) and
+//! diffed in tests and CI — the same workflow as the protocol table. The
+//! runtime twin (`sssp_comm::lockorder`) records actual acquisition
+//! orders per rank thread and asserts at the threaded join that they
+//! embed into the static graph committed here.
+//!
+//! The analysis is lexical, like the rest of this crate: declarations are
+//! recognized by their type tokens (`name: Mutex<..>`, `name: Sender<..>`,
+//! `let (tx, rx) = channel()`), guard lifetimes follow brace scopes,
+//! explicit `drop(guard)` calls and end-of-statement temporaries.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::protocol::{scan_fns, FnDef};
+use crate::rules::token_positions;
+use crate::source::SourceFile;
+
+/// Files the concurrency models are built from: the comm crate (locks,
+/// channels, the rank runtime) and the threaded engine sources.
+pub fn in_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/comm/src/") || rel_path.starts_with("crates/core/src/engine/")
+}
+
+/// Kind of a declared lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockKind {
+    /// `std::sync::Mutex`.
+    Mutex,
+    /// `std::sync::RwLock`.
+    RwLock,
+    /// `std::sync::Condvar`.
+    Condvar,
+}
+
+impl fmt::Display for LockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockKind::Mutex => "Mutex",
+            LockKind::RwLock => "RwLock",
+            LockKind::Condvar => "Condvar",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Role of a declared channel endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The producing half (`Sender<K>`).
+    Sender,
+    /// The consuming half (`Receiver<K>`).
+    Receiver,
+}
+
+/// Kind of a channel-topology event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChanOp {
+    /// `channel()` creation site.
+    Create,
+    /// `.clone()` of a sender endpoint.
+    Clone,
+    /// `.send(..)` on a sender endpoint.
+    Send,
+    /// `.recv()`-family call on a receiver endpoint.
+    Recv,
+    /// Explicit `drop(endpoint)`.
+    Drop,
+}
+
+impl fmt::Display for ChanOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChanOp::Create => "create",
+            ChanOp::Clone => "clone",
+            ChanOp::Send => "send",
+            ChanOp::Recv => "recv",
+            ChanOp::Drop => "drop",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A concurrency-model violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule that produced the finding.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [concurrency] {}",
+            self.file, self.line, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// declarations
+
+/// A declared lock: `name: ..Mutex<..>` field/binding or
+/// `let name = ..Mutex::new(..)`.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Binding or field name — the model's identity for the lock.
+    pub name: String,
+    /// Mutex / RwLock / Condvar.
+    pub kind: LockKind,
+}
+
+/// A declared channel endpoint.
+#[derive(Debug, Clone)]
+pub struct EndpointDecl {
+    /// Binding or field name.
+    pub name: String,
+    /// Sender or receiver half.
+    pub role: Role,
+    /// Message ("packet") kind from the `Sender<K>`/`Receiver<K>`
+    /// declaration, when one is spelled out.
+    pub kind: Option<String>,
+}
+
+/// The identifier ending just before byte position `end` (exclusive).
+fn ident_ending_at(code: &str, end: usize) -> Option<String> {
+    let mut name: Vec<char> = Vec::new();
+    for c in code[..end].chars().rev() {
+        if c.is_alphanumeric() || c == '_' {
+            name.push(c);
+        } else {
+            break;
+        }
+    }
+    if name.is_empty() || name.iter().last().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    name.reverse();
+    Some(name.into_iter().collect())
+}
+
+/// The identifier starting at byte position `at`.
+fn ident_starting_at(code: &str, at: usize) -> Option<String> {
+    let name: String = code[at..]
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Method receiver for a token starting at `tok_start` (the `.` sits one
+/// byte earlier). Rustfmt wraps long chains, leaving the `.method(` alone
+/// on a continuation line — in that case the receiver is the tail of the
+/// previous code line (`self.senders[dst]` ⏎ `.send(..)`).
+fn method_receiver(code: &str, tok_start: usize, prev_tail: &str) -> Option<String> {
+    let dot = tok_start - 1;
+    receiver_before(code, dot).or_else(|| {
+        if code[..dot].trim().is_empty() {
+            receiver_before(prev_tail, prev_tail.len())
+        } else {
+            None
+        }
+    })
+}
+
+/// Method receiver just before the `.` at byte position `dot`: skips one
+/// trailing index/call group (`senders[dst].send` → `senders`), then reads
+/// the identifier.
+fn receiver_before(code: &str, dot: usize) -> Option<String> {
+    let mut end = code[..dot].trim_end().len();
+    loop {
+        let last = code[..end].chars().next_back()?;
+        let open = match last {
+            ']' => '[',
+            ')' => '(',
+            _ => break,
+        };
+        let mut depth = 0i32;
+        let mut pos = end;
+        for c in code[..end].chars().rev() {
+            pos -= c.len_utf8();
+            if c == last {
+                depth += 1;
+            } else if c == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        if depth != 0 {
+            return None;
+        }
+        end = pos;
+    }
+    ident_ending_at(code, end)
+}
+
+/// Name bound on the left of a declaration containing a type token at
+/// byte position `at`: the identifier before the nearest single `:`
+/// (skipping `::`), falling back to a `let` binding on the same line.
+fn decl_name(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        if bytes[i] == b':' {
+            if i > 0 && bytes[i - 1] == b':' {
+                i -= 1;
+                continue;
+            }
+            if bytes.get(i + 1) == Some(&b':') {
+                continue;
+            }
+            return ident_ending_at(code, i).filter(|n| n != "mut" && n != "let");
+        }
+    }
+    let_names(code).and_then(|mut v| (v.len() == 1).then(|| v.remove(0)))
+}
+
+/// Names bound by a `let` on this line: `let a = ..` → `[a]`,
+/// `let (a, b) = ..` → `[a, b]`.
+fn let_names(code: &str) -> Option<Vec<String>> {
+    let at = *token_positions(code, "let", false).first()?;
+    let rest = code[at + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    if let Some(inner) = rest.strip_prefix('(') {
+        let close = inner.find(')')?;
+        let names: Vec<String> = inner[..close]
+            .split(',')
+            .map(|s| s.trim().trim_start_matches("mut ").trim().to_string())
+            .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_'))
+            .collect();
+        (!names.is_empty()).then_some(names)
+    } else {
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        (!name.is_empty()).then_some(vec![name])
+    }
+}
+
+/// Extract the `K` of a `Sender<K>`/`Receiver<K>` given the byte position
+/// just after the opening `<`, whitespace-normalized.
+fn angle_payload(code: &str, after_lt: usize) -> Option<String> {
+    let mut depth = 1i32;
+    let mut out = String::new();
+    for c in code[after_lt..].chars() {
+        match c {
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    let norm = out.split_whitespace().collect::<Vec<_>>().join(" ");
+                    let norm = norm.replace(", ", ",").replace(',', ", ");
+                    return Some(norm);
+                }
+            }
+            _ => {}
+        }
+        out.push(c);
+    }
+    None
+}
+
+/// Scan a file for lock and endpoint declarations (test regions skipped).
+fn scan_decls(sf: &SourceFile) -> (Vec<LockDecl>, Vec<EndpointDecl>) {
+    let mut locks: Vec<LockDecl> = Vec::new();
+    let mut endpoints: Vec<EndpointDecl> = Vec::new();
+    for line in sf.lines.iter().filter(|l| !l.in_test) {
+        let code = &line.code;
+        for (tok, kind) in [
+            ("Mutex", LockKind::Mutex),
+            ("RwLock", LockKind::RwLock),
+            ("Condvar", LockKind::Condvar),
+        ] {
+            for at in token_positions(code, tok, false) {
+                let rest = &code[at + tok.len()..];
+                // A declaration spells the type (`Mutex<`) or constructs
+                // one (`Mutex::new`); bare imports are neither.
+                let is_decl = rest.starts_with('<')
+                    || rest.starts_with("::new")
+                    || (kind == LockKind::Condvar && rest.trim_start().starts_with(','))
+                        && code.contains(':');
+                if !is_decl {
+                    continue;
+                }
+                if let Some(name) = decl_name(code, at) {
+                    if !locks.iter().any(|l| l.name == name) {
+                        locks.push(LockDecl { name, kind });
+                    }
+                }
+            }
+        }
+        for (tok, role) in [("Sender", Role::Sender), ("Receiver", Role::Receiver)] {
+            for at in token_positions(code, tok, false) {
+                let rest = &code[at + tok.len()..];
+                if !rest.starts_with('<') {
+                    continue;
+                }
+                let kind = angle_payload(code, at + tok.len() + 1);
+                if let Some(name) = decl_name(code, at) {
+                    if !endpoints.iter().any(|e| e.name == name) {
+                        endpoints.push(EndpointDecl { name, role, kind });
+                    }
+                }
+            }
+        }
+    }
+    (locks, endpoints)
+}
+
+// ---------------------------------------------------------------------------
+// the intraprocedural walk
+
+/// One lock acquisition site.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Lock name.
+    pub lock: String,
+    /// Qualified function (`Type::name` or `name`).
+    pub func: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Locks already held along the path to this site, in order.
+    pub held: Vec<String>,
+}
+
+/// One lock-order edge with its witnessing site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSite {
+    /// Lock held first.
+    pub from: String,
+    /// Lock acquired while `from` is held.
+    pub to: String,
+    /// 1-based line of the inner acquisition.
+    pub line: usize,
+}
+
+/// One channel-topology event.
+#[derive(Debug, Clone)]
+pub struct ChanEvent {
+    /// Event kind.
+    pub op: ChanOp,
+    /// Endpoint name(s) involved (create sites list both halves).
+    pub names: Vec<String>,
+    /// Qualified function.
+    pub func: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// Everything the per-file walk extracts.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Declared locks, in declaration order.
+    pub locks: Vec<LockDecl>,
+    /// Declared channel endpoints, in declaration order.
+    pub endpoints: Vec<EndpointDecl>,
+    /// Lock acquisition sites.
+    pub acquisitions: Vec<Acquisition>,
+    /// Lock-order edges with witnessing sites.
+    pub edges: Vec<EdgeSite>,
+    /// Blocking calls made while holding locks: `(line, op, held)`.
+    pub blocking: Vec<(usize, String, Vec<String>)>,
+    /// Channel events in line order.
+    pub chan_events: Vec<ChanEvent>,
+    /// Sender clones that can outlive a join: `(line, endpoint)`.
+    pub leaks: Vec<(usize, String)>,
+    /// Recv sites inside bare loops with no termination edge.
+    pub unterminated: Vec<usize>,
+}
+
+/// A held lock guard during the walk.
+struct Held {
+    lock: String,
+    guard: Option<String>,
+    depth: usize,
+    stmt: usize,
+}
+
+/// An open loop during the walk.
+struct OpenLoop {
+    bare: bool,
+    depth: usize,
+    terminated: bool,
+    recvs: Vec<usize>,
+}
+
+impl FileModel {
+    /// Build the model for one parsed file.
+    pub fn build(sf: &SourceFile) -> FileModel {
+        let (locks, endpoints) = scan_decls(sf);
+        let fns = scan_fns(sf);
+        let mut m = FileModel {
+            locks,
+            endpoints,
+            ..FileModel::default()
+        };
+        for fd in fns.iter().filter(|f| !f.in_test) {
+            m.walk_fn(sf, fd);
+        }
+        m.chan_events.sort_by_key(|e| e.line);
+        m
+    }
+
+    fn lock_kind(&self, name: &str) -> Option<LockKind> {
+        self.locks.iter().find(|l| l.name == name).map(|l| l.kind)
+    }
+
+    fn endpoint(&self, name: &str) -> Option<&EndpointDecl> {
+        self.endpoints.iter().find(|e| e.name == name)
+    }
+
+    fn qualified(fd: &FnDef) -> String {
+        match (&fd.impl_type, fd.has_self) {
+            (Some(t), _) => format!("{t}::{}", fd.name),
+            (None, _) => fd.name.clone(),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn walk_fn(&mut self, sf: &SourceFile, fd: &FnDef) {
+        let func = Self::qualified(fd);
+        let mut depth = 1usize; // inside the body's opening brace
+        let mut held: Vec<Held> = Vec::new();
+        let mut loops: Vec<OpenLoop> = Vec::new();
+        let mut pending_loop: Option<bool> = None; // Some(bare?)
+        let mut stmt = 0usize;
+        let mut current_let: Option<Vec<String>> = None;
+        // Leak bookkeeping for this function.
+        let mut has_spawn = false;
+        let mut first_join: Option<usize> = None;
+        let mut clones: Vec<(usize, String)> = Vec::new();
+        let mut drops_seen: Vec<(usize, String)> = Vec::new();
+        // Tail of the previous code line, for wrapped method chains.
+        let mut prev_tail = String::new();
+
+        'lines: for li in fd.open.0..=fd.end_line {
+            let line = &sf.lines[li];
+            if line.in_test {
+                continue;
+            }
+            let code: String = if li == fd.open.0 {
+                line.code.chars().skip(fd.open.1).collect()
+            } else {
+                line.code.clone()
+            };
+            let bytes = code.as_bytes();
+            let mut i = 0usize;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_alphabetic() || c == '_' {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    let prev = code[..start].chars().next_back();
+                    if prev.is_some_and(|p| p.is_alphanumeric() || p == '_') {
+                        continue;
+                    }
+                    let tok = &code[start..i];
+                    let after = code[i..].trim_start();
+                    let is_method = prev == Some('.');
+                    match tok {
+                        "loop" if !is_method => pending_loop = Some(true),
+                        "while" | "for" if !is_method => pending_loop = Some(false),
+                        "break" => {
+                            if let Some(l) = loops.last_mut() {
+                                l.terminated = true;
+                            }
+                        }
+                        "return" => {
+                            for l in &mut loops {
+                                l.terminated = true;
+                            }
+                        }
+                        "let" if !is_method => {
+                            current_let = let_names(&code[start..]);
+                        }
+                        "drop" if !is_method && after.starts_with('(') => {
+                            let open = start + (code[start..].find('(').unwrap_or(0)) + 1;
+                            if let Some(name) = ident_starting_at(&code, open) {
+                                // Guard release.
+                                if let Some(pos) = held
+                                    .iter()
+                                    .rposition(|h| h.guard.as_deref() == Some(name.as_str()))
+                                {
+                                    held.remove(pos);
+                                }
+                                drops_seen.push((li + 1, name.clone()));
+                                if self.endpoint(&name).is_some() {
+                                    self.chan_events.push(ChanEvent {
+                                        op: ChanOp::Drop,
+                                        names: vec![name],
+                                        func: func.clone(),
+                                        line: li + 1,
+                                    });
+                                }
+                            }
+                        }
+                        "spawn" if after.starts_with('(') => has_spawn = true,
+                        "join" if is_method && after.starts_with('(') => {
+                            first_join.get_or_insert(li + 1);
+                        }
+                        "channel"
+                            if !is_method
+                                && (after.starts_with('(') || after.starts_with("::<")) =>
+                        {
+                            let names = current_let.clone().unwrap_or_default();
+                            self.chan_events.push(ChanEvent {
+                                op: ChanOp::Create,
+                                names,
+                                func: func.clone(),
+                                line: li + 1,
+                            });
+                        }
+                        "lock" | "read" | "write" if is_method && after.starts_with('(') => {
+                            let recv = method_receiver(&code, start, &prev_tail);
+                            let acquired = recv.filter(|r| match self.lock_kind(r) {
+                                Some(LockKind::Mutex | LockKind::Condvar) => tok == "lock",
+                                Some(LockKind::RwLock) => tok == "read" || tok == "write",
+                                None => false,
+                            });
+                            if let Some(lock) = acquired {
+                                let held_names: Vec<String> =
+                                    held.iter().map(|h| h.lock.clone()).collect();
+                                for h in &held_names {
+                                    self.edges.push(EdgeSite {
+                                        from: h.clone(),
+                                        to: lock.clone(),
+                                        line: li + 1,
+                                    });
+                                }
+                                self.acquisitions.push(Acquisition {
+                                    lock: lock.clone(),
+                                    func: func.clone(),
+                                    line: li + 1,
+                                    held: held_names,
+                                });
+                                let guard = current_let
+                                    .as_ref()
+                                    .and_then(|v| (v.len() == 1).then(|| v[0].clone()));
+                                held.push(Held {
+                                    lock,
+                                    guard,
+                                    depth,
+                                    stmt,
+                                });
+                            }
+                        }
+                        "wait" | "wait_timeout" | "wait_while"
+                            if is_method && after.starts_with('(') && !held.is_empty() =>
+                        {
+                            self.blocking.push((
+                                li + 1,
+                                format!(".{tok}()"),
+                                held.iter().map(|h| h.lock.clone()).collect(),
+                            ));
+                        }
+                        "recv" | "try_recv" | "recv_timeout"
+                            if is_method && after.starts_with('(') =>
+                        {
+                            if !held.is_empty() && tok != "try_recv" {
+                                self.blocking.push((
+                                    li + 1,
+                                    format!(".{tok}()"),
+                                    held.iter().map(|h| h.lock.clone()).collect(),
+                                ));
+                            }
+                            let recv = method_receiver(&code, start, &prev_tail);
+                            if let Some(name) = recv.filter(|r| {
+                                self.endpoint(r).is_some_and(|e| e.role == Role::Receiver)
+                            }) {
+                                self.chan_events.push(ChanEvent {
+                                    op: ChanOp::Recv,
+                                    names: vec![name],
+                                    func: func.clone(),
+                                    line: li + 1,
+                                });
+                                if let Some(l) = loops.last_mut() {
+                                    if l.bare {
+                                        l.recvs.push(li + 1);
+                                    }
+                                }
+                            }
+                        }
+                        "send" if is_method && after.starts_with('(') => {
+                            let recv = method_receiver(&code, start, &prev_tail);
+                            if let Some(name) = recv.filter(|r| {
+                                self.endpoint(r).is_some_and(|e| e.role == Role::Sender)
+                            }) {
+                                self.chan_events.push(ChanEvent {
+                                    op: ChanOp::Send,
+                                    names: vec![name],
+                                    func: func.clone(),
+                                    line: li + 1,
+                                });
+                            }
+                        }
+                        "clone" if is_method && after.starts_with('(') => {
+                            let recv = method_receiver(&code, start, &prev_tail);
+                            if let Some(name) = recv.filter(|r| {
+                                self.endpoint(r).is_some_and(|e| e.role == Role::Sender)
+                            }) {
+                                self.chan_events.push(ChanEvent {
+                                    op: ChanOp::Clone,
+                                    names: vec![name.clone()],
+                                    func: func.clone(),
+                                    line: li + 1,
+                                });
+                                clones.push((li + 1, name));
+                            }
+                        }
+                        _ => {}
+                    }
+                    continue;
+                }
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if let Some(bare) = pending_loop.take() {
+                            loops.push(OpenLoop {
+                                bare,
+                                depth,
+                                terminated: false,
+                                recvs: Vec::new(),
+                            });
+                        }
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        held.retain(|h| h.depth <= depth);
+                        while loops.last().is_some_and(|l| l.depth > depth) {
+                            let l = loops.pop().unwrap_or_else(|| unreachable!());
+                            if l.bare && !l.terminated {
+                                self.unterminated.extend(l.recvs);
+                            }
+                        }
+                        if depth == 0 {
+                            break 'lines;
+                        }
+                    }
+                    ';' => {
+                        stmt += 1;
+                        current_let = None;
+                        // Un-bound guards are statement temporaries.
+                        held.retain(|h| h.guard.is_some() || h.stmt == stmt);
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            // A temporary guard never outlives its statement's line.
+            held.retain(|h| h.guard.is_some() || h.depth < depth || h.stmt == stmt);
+            if !code.trim().is_empty() {
+                prev_tail = code;
+            }
+        }
+        // Function ended with loops still open (malformed input).
+        for l in loops {
+            if l.bare && !l.terminated {
+                self.unterminated.extend(l.recvs);
+            }
+        }
+        // Endpoint-leak: a cloned sender in a spawning function must be
+        // dropped before the first join.
+        if has_spawn {
+            if let Some(join_line) = first_join {
+                for (line, name) in clones {
+                    let dropped = drops_seen
+                        .iter()
+                        .any(|(dl, dn)| *dl <= join_line && dn == &name);
+                    if !dropped {
+                        self.leaks.push((line, name));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cycle detection
+
+/// Indices of edges that participate in a lock-order cycle (the target can
+/// reach the source through other edges, or the edge is a self-loop).
+pub fn cycle_edges(edges: &[EdgeSite]) -> Vec<usize> {
+    let reach = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            for e in edges {
+                if e.from == n {
+                    stack.push(&e.to);
+                }
+            }
+        }
+        false
+    };
+    edges
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.from == e.to || reach(&e.to, &e.from))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// the per-file rules (registered in crate::rules::RULES)
+
+/// `concurrency-lock-cycle`: a lock acquired while another is held must
+/// never complete an order cycle with the file's other acquisition paths.
+pub(crate) fn check_lock_cycle(sf: &SourceFile) -> Vec<(usize, String)> {
+    let m = FileModel::build(sf);
+    cycle_edges(&m.edges)
+        .into_iter()
+        .map(|i| {
+            let e = &m.edges[i];
+            (
+                e.line - 1,
+                format!(
+                    "acquiring `{}` while holding `{}` closes a lock-order \
+                     cycle — keep one global acquisition order",
+                    e.to, e.from
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `concurrency-blocking-hold`: no blocking `recv`/`wait` while a lock is
+/// held — a peer blocked on the same lock deadlocks the rendezvous.
+pub(crate) fn check_blocking_hold(sf: &SourceFile) -> Vec<(usize, String)> {
+    let m = FileModel::build(sf);
+    m.blocking
+        .iter()
+        .map(|(line, op, held)| {
+            (
+                line - 1,
+                format!(
+                    "blocking `{op}` while holding `{}` — release the lock \
+                     before blocking so peers can make progress",
+                    held.join("`, `")
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `concurrency-endpoint-leak`: a cloned `Sender` in a spawning function
+/// must be dropped before the join, or the channel never disconnects.
+pub(crate) fn check_endpoint_leak(sf: &SourceFile) -> Vec<(usize, String)> {
+    let m = FileModel::build(sf);
+    m.leaks
+        .iter()
+        .map(|(line, name)| {
+            (
+                line - 1,
+                format!(
+                    "sender `{name}` is cloned in a spawning function but \
+                     never dropped before the join — the original keeps the \
+                     channel open and receivers never see disconnect"
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `concurrency-unterminated-recv`: a recv inside a bare `loop` with no
+/// `break`/`return` has no termination edge.
+pub(crate) fn check_unterminated_recv(sf: &SourceFile) -> Vec<(usize, String)> {
+    let m = FileModel::build(sf);
+    m.unterminated
+        .iter()
+        .map(|line| {
+            (
+                line - 1,
+                "recv loop has no termination edge: a bare `loop` with no \
+                 `break`/`return` spins forever once senders go quiet — \
+                 bound the loop or break on disconnect"
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// the merged workspace model and the golden tables
+
+/// The merged analysis over all in-scope files.
+pub struct Analysis {
+    /// Rendered lock-order model (golden `lock_order.txt`).
+    pub lock_table: String,
+    /// Rendered channel topology (golden `channel_topology.txt`).
+    pub channel_table: String,
+    /// All findings, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Number of distinct locks in the model.
+    pub num_locks: usize,
+    /// Number of distinct channels (by packet kind) in the model.
+    pub num_channels: usize,
+}
+
+/// Locks, acquisitions and edges merged across files, with file
+/// attribution for rendering.
+struct Merged {
+    locks: Vec<(LockDecl, String)>,
+    acqs: Vec<(String, Acquisition)>,
+    edges: Vec<(String, EdgeSite)>,
+    endpoints: Vec<(EndpointDecl, String)>,
+    events: Vec<(String, ChanEvent)>,
+}
+
+/// Build the full concurrency analysis from `(rel_path, text)` pairs.
+/// Findings respect inline `sssp-lint: allow(rule)` markers, like the
+/// engine-driven rules.
+pub fn analyze(files: &[(String, String)]) -> Analysis {
+    let mut sorted: Vec<&(String, String)> = files.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut merged = Merged {
+        locks: Vec::new(),
+        acqs: Vec::new(),
+        edges: Vec::new(),
+        endpoints: Vec::new(),
+        events: Vec::new(),
+    };
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut parsed: Vec<(String, SourceFile)> = Vec::new();
+    for (path, text) in sorted {
+        let sf = SourceFile::parse(path, text);
+        let m = FileModel::build(&sf);
+        for l in &m.locks {
+            if !merged.locks.iter().any(|(d, _)| d.name == l.name) {
+                merged.locks.push((l.clone(), path.clone()));
+            }
+        }
+        for e in &m.endpoints {
+            if !merged.endpoints.iter().any(|(d, _)| d.name == e.name) {
+                merged.endpoints.push((e.clone(), path.clone()));
+            }
+        }
+        merged
+            .acqs
+            .extend(m.acquisitions.iter().map(|a| (path.clone(), a.clone())));
+        merged
+            .edges
+            .extend(m.edges.iter().map(|e| (path.clone(), e.clone())));
+        merged
+            .events
+            .extend(m.chan_events.iter().map(|e| (path.clone(), e.clone())));
+        // Per-file findings, allow-marker filtered.
+        let per_rule: [(&'static str, Vec<(usize, String)>); 4] = [
+            ("concurrency-lock-cycle", check_lock_cycle(&sf)),
+            ("concurrency-blocking-hold", check_blocking_hold(&sf)),
+            ("concurrency-endpoint-leak", check_endpoint_leak(&sf)),
+            (
+                "concurrency-unterminated-recv",
+                check_unterminated_recv(&sf),
+            ),
+        ];
+        for (rule, hits) in per_rule {
+            for (li, message) in hits {
+                let line = &sf.lines[li];
+                if line.in_test || line.allows.iter().any(|a| a == rule) {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: li + 1,
+                    rule,
+                    message,
+                });
+            }
+        }
+        parsed.push((path.clone(), sf));
+    }
+    // Cross-file cycles the per-file rules cannot see.
+    let all_edges: Vec<EdgeSite> = merged.edges.iter().map(|(_, e)| e.clone()).collect();
+    for i in cycle_edges(&all_edges) {
+        let (path, e) = &merged.edges[i];
+        let f = Finding {
+            file: path.clone(),
+            line: e.line,
+            rule: "concurrency-lock-cycle",
+            message: format!(
+                "acquiring `{}` while holding `{}` closes a cross-file \
+                 lock-order cycle — keep one global acquisition order",
+                e.to, e.from
+            ),
+        };
+        let allowed = parsed.iter().any(|(p, sf)| {
+            p == path
+                && sf
+                    .lines
+                    .get(e.line - 1)
+                    .is_some_and(|l| l.allows.iter().any(|a| a == f.rule))
+        });
+        if !allowed
+            && !findings.contains(&f)
+            && !findings
+                .iter()
+                .any(|x| x.file == f.file && x.line == f.line && x.rule == f.rule)
+        {
+            findings.push(f);
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    let lock_table = render_lock_table(&merged);
+    let (channel_table, num_channels) = render_channel_table(&merged);
+    Analysis {
+        lock_table,
+        channel_table,
+        findings,
+        num_locks: merged.locks.len(),
+        num_channels,
+    }
+}
+
+/// Render the lock-order model. Sites are identified by file + qualified
+/// function + per-function ordinal (not line numbers), so unrelated edits
+/// to the sources do not churn the golden.
+fn render_lock_table(m: &Merged) -> String {
+    let mut out = String::new();
+    out.push_str("lock-order model\n");
+    out.push_str("================\n");
+    out.push_str("scope: crates/comm/src/ + crates/core/src/engine/\n\n");
+
+    out.push_str("locks\n");
+    if m.locks.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (l, path) in &m.locks {
+        out.push_str(&format!(
+            "  {:<12} {:<8} {}\n",
+            l.name,
+            l.kind.to_string(),
+            path
+        ));
+    }
+
+    out.push_str("\nacquisition sites\n");
+    if m.acqs.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    let mut last_file = "";
+    let mut ord: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for (path, a) in &m.acqs {
+        if path != last_file {
+            out.push_str(&format!("  {path}\n"));
+            last_file = path;
+        }
+        let k = ord.entry((a.func.clone(), a.lock.clone())).or_insert(0);
+        *k += 1;
+        let held = if a.held.is_empty() {
+            "-".to_string()
+        } else {
+            a.held.join(", ")
+        };
+        out.push_str(&format!(
+            "    {:<36} #{} {:<10} held: {}\n",
+            a.func, k, a.lock, held
+        ));
+    }
+
+    out.push_str("\norder edges\n");
+    if m.edges.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for (path, e) in &m.edges {
+        if seen.insert((e.from.clone(), e.to.clone())) {
+            out.push_str(&format!("  {} -> {}   ({path})\n", e.from, e.to));
+        }
+    }
+
+    out.push_str("\ncycles\n");
+    let all: Vec<EdgeSite> = m.edges.iter().map(|(_, e)| e.clone()).collect();
+    let cyc = cycle_edges(&all);
+    if cyc.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for i in cyc {
+        let e = &all[i];
+        out.push_str(&format!(
+            "  {} -> {} participates in a cycle\n",
+            e.from, e.to
+        ));
+    }
+    out
+}
+
+/// Render the channel topology, channels grouped by packet kind.
+fn render_channel_table(m: &Merged) -> (String, usize) {
+    let mut out = String::new();
+    out.push_str("channel topology\n");
+    out.push_str("================\n");
+    out.push_str("scope: crates/comm/src/ + crates/core/src/engine/\n\n");
+
+    // Resolve each endpoint name to a packet kind: declared kinds win;
+    // names tied together by a create site share the declared kind.
+    let mut kind_of: BTreeMap<String, String> = BTreeMap::new();
+    for (e, _) in &m.endpoints {
+        if let Some(k) = &e.kind {
+            kind_of.insert(e.name.clone(), k.clone());
+        }
+    }
+    for (_, ev) in m.events.iter().filter(|(_, e)| e.op == ChanOp::Create) {
+        let known = ev.names.iter().find_map(|n| kind_of.get(n).cloned());
+        if let Some(k) = known {
+            for n in &ev.names {
+                kind_of.entry(n.clone()).or_insert_with(|| k.clone());
+            }
+        }
+    }
+    let kind_for = |names: &[String]| -> String {
+        names
+            .iter()
+            .find_map(|n| kind_of.get(n).cloned())
+            .unwrap_or_else(|| "?".to_string())
+    };
+
+    // Group events by kind.
+    let mut groups: BTreeMap<String, Vec<&(String, ChanEvent)>> = BTreeMap::new();
+    for ev in &m.events {
+        groups.entry(kind_for(&ev.1.names)).or_default().push(ev);
+    }
+    let num = groups.len();
+    if groups.is_empty() {
+        out.push_str("(no channels)\n");
+    }
+    for (kind, evs) in &groups {
+        out.push_str(&format!("channel kind {kind}\n"));
+        let mut senders: BTreeSet<&str> = BTreeSet::new();
+        let mut receivers: BTreeSet<&str> = BTreeSet::new();
+        for (e, _) in &m.endpoints {
+            if kind_of.get(&e.name).is_some_and(|k| k == kind) {
+                match e.role {
+                    Role::Sender => senders.insert(&e.name),
+                    Role::Receiver => receivers.insert(&e.name),
+                };
+            }
+        }
+        for (_, ev) in m.events.iter().filter(|(_, e)| e.op == ChanOp::Create) {
+            if kind_for(&ev.names) == *kind {
+                if let [s, r] = ev.names.as_slice() {
+                    senders.insert(s);
+                    receivers.insert(r);
+                }
+            }
+        }
+        out.push_str(&format!(
+            "  senders: {:<24} receivers: {}\n",
+            join_or_dash(&senders),
+            join_or_dash(&receivers)
+        ));
+        // Event rows in (op, file, function) order, with multiplicities.
+        let mut rows: BTreeMap<(ChanOp, &str, &str), usize> = BTreeMap::new();
+        for (path, ev) in evs {
+            *rows
+                .entry((ev.op, path.as_str(), ev.func.as_str()))
+                .or_insert(0) += 1;
+        }
+        for ((op, path, func), n) in rows {
+            let mult = if n > 1 {
+                format!(" x{n}")
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  {:<8} {:<36} {path}{mult}\n",
+                op.to_string(),
+                func
+            ));
+        }
+        out.push('\n');
+    }
+    (out, num)
+}
+
+fn join_or_dash(set: &BTreeSet<&str>) -> String {
+    if set.is_empty() {
+        "-".to_string()
+    } else {
+        set.iter().copied().collect::<Vec<_>>().join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build(&SourceFile::parse("crates/comm/src/x.rs", src))
+    }
+
+    #[test]
+    fn declarations_are_recognized() {
+        let m = model(
+            "struct S {\n    slots: Arc<Mutex<Vec<u64>>>,\n    tx: Sender<(u32, u64)>,\n    rx: Receiver<(u32, u64)>,\n}\nfn f() {\n    let q = RwLock::new(0);\n}\n",
+        );
+        assert_eq!(m.locks.len(), 2);
+        assert_eq!(m.locks[0].name, "slots");
+        assert_eq!(m.locks[0].kind, LockKind::Mutex);
+        assert_eq!(m.locks[1].name, "q");
+        assert_eq!(m.locks[1].kind, LockKind::RwLock);
+        assert_eq!(m.endpoints.len(), 2);
+        assert_eq!(m.endpoints[0].kind.as_deref(), Some("(u32, u64)"));
+    }
+
+    #[test]
+    fn use_imports_are_not_declarations() {
+        let m = model("use std::sync::mpsc::{channel, Receiver, Sender};\nuse std::sync::{Arc, Barrier, Mutex};\n");
+        assert!(m.locks.is_empty());
+        assert!(m.endpoints.is_empty());
+    }
+
+    #[test]
+    fn guard_scopes_bound_the_held_set() {
+        let m = model(
+            "struct S { a: Mutex<u64>, b: Mutex<u64> }\nimpl S {\n    fn f(&self) {\n        {\n            let g = self.a.lock().unwrap();\n        }\n        let h = self.b.lock().unwrap();\n    }\n}\n",
+        );
+        assert_eq!(m.acquisitions.len(), 2);
+        assert!(m.acquisitions[0].held.is_empty());
+        assert!(m.acquisitions[1].held.is_empty(), "a released at block end");
+        assert!(m.edges.is_empty());
+    }
+
+    #[test]
+    fn nested_acquisitions_record_edges() {
+        let m = model(
+            "struct S { a: Mutex<u64>, b: Mutex<u64> }\nimpl S {\n    fn f(&self) {\n        let g = self.a.lock().unwrap();\n        let h = self.b.lock().unwrap();\n    }\n}\n",
+        );
+        assert_eq!(m.edges.len(), 1);
+        assert_eq!(m.edges[0].from, "a");
+        assert_eq!(m.edges[0].to, "b");
+        assert_eq!(m.acquisitions[1].held, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let m = model(
+            "struct S { a: Mutex<u64>, bar: Barrier }\nimpl S {\n    fn f(&self) {\n        let g = self.a.lock().unwrap();\n        drop(g);\n        self.bar.wait();\n    }\n}\n",
+        );
+        assert!(m.blocking.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_ends_with_the_statement() {
+        let m = model(
+            "struct S { a: Mutex<u64>, bar: Barrier }\nimpl S {\n    fn f(&self) {\n        self.a.lock().unwrap().push(1);\n        self.bar.wait();\n    }\n}\n",
+        );
+        assert!(m.blocking.is_empty(), "{:?}", m.blocking);
+    }
+
+    #[test]
+    fn blocking_while_held_is_recorded() {
+        let m = model(
+            "struct S { a: Mutex<u64>, bar: Barrier, rx: Receiver<u64> }\nimpl S {\n    fn f(&self) {\n        let g = self.a.lock().unwrap();\n        self.bar.wait();\n        let v = self.rx.recv().unwrap();\n    }\n}\n",
+        );
+        assert_eq!(m.blocking.len(), 2);
+        assert_eq!(m.blocking[0].1, ".wait()");
+        assert_eq!(m.blocking[1].1, ".recv()");
+    }
+
+    #[test]
+    fn cycle_detection_finds_inversions() {
+        let edges = vec![
+            EdgeSite {
+                from: "a".into(),
+                to: "b".into(),
+                line: 1,
+            },
+            EdgeSite {
+                from: "b".into(),
+                to: "a".into(),
+                line: 2,
+            },
+            EdgeSite {
+                from: "a".into(),
+                to: "c".into(),
+                line: 3,
+            },
+        ];
+        assert_eq!(cycle_edges(&edges), vec![0, 1]);
+        assert!(cycle_edges(&edges[..1]).is_empty());
+    }
+
+    #[test]
+    fn self_lock_is_a_cycle() {
+        let edges = vec![EdgeSite {
+            from: "a".into(),
+            to: "a".into(),
+            line: 1,
+        }];
+        assert_eq!(cycle_edges(&edges), vec![0]);
+    }
+
+    #[test]
+    fn indexed_receiver_resolves_to_the_collection() {
+        let m = model(
+            "struct S { senders: Vec<Sender<u64>> }\nimpl S {\n    fn f(&self, dst: usize) {\n        self.senders[dst].send(1).unwrap();\n    }\n}\n",
+        );
+        assert_eq!(m.chan_events.len(), 1);
+        assert_eq!(m.chan_events[0].op, ChanOp::Send);
+        assert_eq!(m.chan_events[0].names, vec!["senders".to_string()]);
+    }
+
+    #[test]
+    fn create_site_binds_tuple_names() {
+        let m = model("fn f() {\n    let (tx, rx): (Sender<u64>, Receiver<u64>) = channel();\n    tx.send(1).unwrap();\n}\n");
+        let create = m
+            .chan_events
+            .iter()
+            .find(|e| e.op == ChanOp::Create)
+            .expect("create event");
+        assert_eq!(create.names, vec!["tx".to_string(), "rx".to_string()]);
+    }
+
+    #[test]
+    fn bounded_recv_loops_are_not_flagged() {
+        let m = model(
+            "struct S { rx: Receiver<u64>, p: usize }\nimpl S {\n    fn f(&self) {\n        while self.p > 0 {\n            let v = self.rx.recv().unwrap();\n        }\n    }\n}\n",
+        );
+        assert!(m.unterminated.is_empty());
+    }
+
+    #[test]
+    fn bare_recv_loop_without_break_is_flagged() {
+        let m = model(
+            "struct S { rx: Receiver<u64> }\nimpl S {\n    fn f(&self) {\n        loop {\n            let v = self.rx.recv().unwrap();\n        }\n    }\n}\n",
+        );
+        assert_eq!(m.unterminated, vec![5]);
+    }
+
+    #[test]
+    fn bare_recv_loop_with_break_is_clean() {
+        let m = model(
+            "struct S { rx: Receiver<u64> }\nimpl S {\n    fn f(&self) {\n        loop {\n            match self.rx.recv() {\n                Ok(_) => {}\n                Err(_) => break,\n            }\n        }\n    }\n}\n",
+        );
+        assert!(m.unterminated.is_empty());
+    }
+
+    #[test]
+    fn leak_requires_spawn_join_and_missing_drop() {
+        let src_bad = "fn f(tx: Sender<u64>) {\n    let mut hs = Vec::new();\n    for _ in 0..2 {\n        let t = tx.clone();\n        hs.push(std::thread::spawn(move || t.send(1).unwrap()));\n    }\n    for h in hs { h.join().unwrap(); }\n}\n";
+        let m = model(src_bad);
+        assert_eq!(m.leaks.len(), 1);
+        assert_eq!(m.leaks[0].0, 4);
+        let src_ok = src_bad.replace(
+            "    for h in hs { h.join",
+            "    drop(tx);\n    for h in hs { h.join",
+        );
+        assert!(model(&src_ok).leaks.is_empty());
+    }
+
+    #[test]
+    fn analyze_groups_channels_by_kind() {
+        let files = vec![(
+            "crates/comm/src/x.rs".to_string(),
+            "struct S { tx: Sender<(u32, u64)>, rx: Receiver<(u32, u64)> }\nimpl S {\n    fn f(&self) {\n        self.tx.send((1, 2)).unwrap();\n        let v = self.rx.recv().unwrap();\n    }\n}\n"
+                .to_string(),
+        )];
+        let a = analyze(&files);
+        assert_eq!(a.num_channels, 1);
+        assert!(a.channel_table.contains("channel kind (u32, u64)"));
+        assert!(a.channel_table.contains("send"));
+        assert!(a.channel_table.contains("recv"));
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn analyze_detects_cross_file_cycles() {
+        let files = vec![
+            (
+                "crates/comm/src/a.rs".to_string(),
+                "struct A { a: Mutex<u64>, b: Mutex<u64> }\nimpl A {\n    fn f(&self) {\n        let g = self.a.lock().unwrap();\n        let h = self.b.lock().unwrap();\n    }\n}\n"
+                    .to_string(),
+            ),
+            (
+                "crates/comm/src/b.rs".to_string(),
+                "struct B { a: Mutex<u64>, b: Mutex<u64> }\nimpl B {\n    fn g(&self) {\n        let h = self.b.lock().unwrap();\n        let g = self.a.lock().unwrap();\n    }\n}\n"
+                    .to_string(),
+            ),
+        ];
+        let a = analyze(&files);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == "concurrency-lock-cycle"),
+            "{:?}",
+            a.findings
+        );
+        assert!(a.lock_table.contains("participates in a cycle"));
+    }
+
+    #[test]
+    fn allow_marker_suppresses_analyze_findings() {
+        let files = vec![(
+            "crates/comm/src/x.rs".to_string(),
+            "struct S { a: Mutex<u64>, bar: Barrier }\nimpl S {\n    fn f(&self) {\n        let g = self.a.lock().unwrap();\n        // sssp-lint: allow(concurrency-blocking-hold): test\n        self.bar.wait();\n    }\n}\n"
+                .to_string(),
+        )];
+        assert!(analyze(&files).findings.is_empty());
+    }
+
+    #[test]
+    fn in_scope_covers_comm_and_threaded_engine() {
+        assert!(in_scope("crates/comm/src/threaded.rs"));
+        assert!(in_scope("crates/core/src/engine/threaded.rs"));
+        assert!(!in_scope("crates/graph/src/gen.rs"));
+        assert!(!in_scope("crates/bench/src/lib.rs"));
+    }
+}

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod protocol;
 pub mod rules;
 pub mod source;

@@ -6,6 +6,10 @@
 //! cargo run -p sssp-lint -- --list-rules       # show the rule set
 //! cargo run -p sssp-lint -- --protocol         # extract + diff the
 //!                                              # collective schedules
+//! cargo run -p sssp-lint -- --concurrency      # lock-order + channel
+//!                                              # topology models
+//! cargo run -p sssp-lint -- --concurrency-locks     # lock table only
+//! cargo run -p sssp-lint -- --concurrency-channels  # channel table only
 //! ```
 //!
 //! Exits 0 when clean, 1 when violations are found, 2 on usage or I/O
@@ -21,12 +25,17 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut list_rules = false;
     let mut protocol = false;
+    // None = not requested; Some(None) = both tables; Some(Some(..)) = one.
+    let mut concurrency: Option<Option<&'static str>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {}
             "--list-rules" => list_rules = true,
             "--protocol" => protocol = true,
+            "--concurrency" => concurrency = Some(None),
+            "--concurrency-locks" => concurrency = Some(Some("locks")),
+            "--concurrency-channels" => concurrency = Some(Some("channels")),
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory argument"),
@@ -34,12 +43,17 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: sssp-lint [--check] [--root DIR] [--list-rules] [--protocol]\n\
+                     \x20                [--concurrency | --concurrency-locks | --concurrency-channels]\n\
                      Lints every .rs file in the workspace against the \
                      project rules.\nMark deliberate exceptions with \
                      `// sssp-lint: allow(rule-name): reason`.\n\
                      --protocol extracts both engine backends' collective \
                      schedules,\ndiffs them, and prints the normalized \
-                     protocol table."
+                     protocol table.\n\
+                     --concurrency builds the lock-order graph and channel \
+                     topology\nfrom the comm and threaded-engine sources and \
+                     prints both tables;\nthe -locks/-channels variants print \
+                     one table (for golden diffs)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -90,6 +104,53 @@ fn main() -> ExitCode {
             eprintln!("{f}");
         }
         eprintln!("sssp-lint: {} protocol finding(s)", analysis.findings.len());
+        return ExitCode::FAILURE;
+    }
+    if let Some(table) = concurrency {
+        let files = match sssp_lint::workspace_files(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("sssp-lint: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut inputs = Vec::new();
+        for (rel, path) in files {
+            if !sssp_lint::concurrency::in_scope(&rel) {
+                continue;
+            }
+            match std::fs::read_to_string(&path) {
+                Ok(text) => inputs.push((rel, text)),
+                Err(e) => {
+                    eprintln!("sssp-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let analysis = sssp_lint::concurrency::analyze(&inputs);
+        match table {
+            Some("locks") => print!("{}", analysis.lock_table),
+            Some(_) => print!("{}", analysis.channel_table),
+            None => {
+                print!("{}", analysis.lock_table);
+                println!();
+                print!("{}", analysis.channel_table);
+            }
+        }
+        if analysis.findings.is_empty() {
+            eprintln!(
+                "sssp-lint: concurrency clean ({} locks, {} channels)",
+                analysis.num_locks, analysis.num_channels
+            );
+            return ExitCode::SUCCESS;
+        }
+        for f in &analysis.findings {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "sssp-lint: {} concurrency finding(s)",
+            analysis.findings.len()
+        );
         return ExitCode::FAILURE;
     }
     let files = match sssp_lint::workspace_files(&root) {

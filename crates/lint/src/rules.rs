@@ -74,7 +74,12 @@ pub static RULES: &[Rule] = &[
                 "crates/lint/src/",
                 "src/",
             ],
-            exclude: &["crates/comm/src/threaded.rs"],
+            exclude: &[
+                "crates/comm/src/threaded.rs",
+                // The concurrency analyzer must spell the primitives it
+                // detects (token tables, lock-kind enums); it never uses them.
+                "crates/lint/src/concurrency.rs",
+            ],
         },
         check: check_no_shared_state,
     },
@@ -173,6 +178,46 @@ pub static RULES: &[Rule] = &[
             exclude: &[],
         },
         check: crate::protocol::check_backend_skew,
+    },
+    Rule {
+        name: "concurrency-lock-cycle",
+        summary: "lock acquisitions must follow one global order; an \
+                  acquisition that closes an order cycle can deadlock",
+        scope: Scope {
+            include: &["crates/comm/src/", "crates/core/src/engine/"],
+            exclude: &[],
+        },
+        check: crate::concurrency::check_lock_cycle,
+    },
+    Rule {
+        name: "concurrency-blocking-hold",
+        summary: "no blocking `.recv(`/`.wait(` while holding a lock — a \
+                  peer blocked on the same lock deadlocks the rendezvous",
+        scope: Scope {
+            include: &["crates/comm/src/", "crates/core/src/engine/"],
+            exclude: &[],
+        },
+        check: crate::concurrency::check_blocking_hold,
+    },
+    Rule {
+        name: "concurrency-endpoint-leak",
+        summary: "a cloned Sender in a spawning function must be dropped \
+                  before the join, or receivers never see disconnect",
+        scope: Scope {
+            include: &["crates/comm/src/"],
+            exclude: &[],
+        },
+        check: crate::concurrency::check_endpoint_leak,
+    },
+    Rule {
+        name: "concurrency-unterminated-recv",
+        summary: "a recv inside a bare `loop` needs a break/return \
+                  termination edge; otherwise a quiet peer hangs the rank",
+        scope: Scope {
+            include: &["crates/comm/src/"],
+            exclude: &[],
+        },
+        check: crate::concurrency::check_unterminated_recv,
     },
 ];
 

@@ -1,0 +1,105 @@
+//! The concurrency gate: the lock-order and channel-topology models must
+//! report zero findings on the real tree and must match the committed
+//! goldens. Running plain `cargo test` therefore enforces the concurrency
+//! models; CI also diffs the CLI output against the same goldens.
+
+use sssp_lint::concurrency;
+
+/// Collect the in-scope `(rel_path, text)` pairs from the real tree.
+fn workspace_inputs() -> Vec<(String, String)> {
+    let root = sssp_lint::default_root();
+    let files = sssp_lint::workspace_files(&root).expect("workspace walk");
+    let mut out = Vec::new();
+    for (rel, path) in files {
+        if concurrency::in_scope(&rel) {
+            let text = std::fs::read_to_string(&path).expect("readable source");
+            out.push((rel, text));
+        }
+    }
+    assert!(!out.is_empty(), "no in-scope files found");
+    out
+}
+
+#[test]
+fn real_tree_is_concurrency_clean() {
+    let analysis = concurrency::analyze(&workspace_inputs());
+    assert!(
+        analysis.findings.is_empty(),
+        "concurrency findings on the real tree:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn lock_order_matches_golden() {
+    let analysis = concurrency::analyze(&workspace_inputs());
+    let golden = include_str!("../golden/lock_order.txt");
+    assert_eq!(
+        analysis.lock_table, golden,
+        "lock-order model drifted from crates/lint/golden/lock_order.txt — \
+         if the locking change is intentional, regenerate with \
+         `cargo run -p sssp-lint -- --concurrency-locks > crates/lint/golden/lock_order.txt` \
+         and update sssp_comm::lockorder::{{STATIC_LOCKS, STATIC_EDGES}} to match"
+    );
+}
+
+#[test]
+fn channel_topology_matches_golden() {
+    let analysis = concurrency::analyze(&workspace_inputs());
+    let golden = include_str!("../golden/channel_topology.txt");
+    assert_eq!(
+        analysis.channel_table, golden,
+        "channel topology drifted from crates/lint/golden/channel_topology.txt — \
+         if the channel change is intentional, regenerate with \
+         `cargo run -p sssp-lint -- --concurrency-channels > crates/lint/golden/channel_topology.txt`"
+    );
+}
+
+#[test]
+fn models_cover_the_real_primitives() {
+    // Guard against the models silently going empty: the rank runtime's
+    // collective mutex and exchange channels must appear.
+    let analysis = concurrency::analyze(&workspace_inputs());
+    assert!(analysis.num_locks >= 1, "no locks extracted");
+    assert!(analysis.num_channels >= 1, "no channels extracted");
+    assert!(analysis.lock_table.contains("slots"));
+    assert!(analysis.lock_table.contains("allreduce_inner"));
+    assert!(analysis.channel_table.contains("senders"));
+    assert!(analysis.channel_table.contains("inbox"));
+    for op in ["create", "clone", "send", "recv", "drop"] {
+        assert!(
+            analysis.channel_table.contains(op),
+            "channel table lacks a `{op}` event"
+        );
+    }
+}
+
+#[test]
+fn runtime_twin_constants_agree_with_the_static_model() {
+    // The debug runtime twin (sssp_comm::lockorder) carries its own copy
+    // of the static graph; every lock it knows must be in the golden, and
+    // every lock in the model must be known to the twin.
+    let analysis = concurrency::analyze(&workspace_inputs());
+    for lock in sssp_comm::lockorder::STATIC_LOCKS {
+        assert!(
+            analysis.lock_table.contains(lock),
+            "twin lock `{lock}` missing from the static model"
+        );
+    }
+    assert_eq!(
+        analysis.num_locks,
+        sssp_comm::lockorder::STATIC_LOCKS.len(),
+        "twin STATIC_LOCKS out of sync with the static model"
+    );
+    for (a, b) in sssp_comm::lockorder::STATIC_EDGES {
+        assert!(
+            analysis.lock_table.contains(&format!("{a} -> {b}")),
+            "twin edge `{a} -> {b}` missing from the static model"
+        );
+    }
+}

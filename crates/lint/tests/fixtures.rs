@@ -174,6 +174,41 @@ fn protocol_backend_skew_flags_divergent_twins() {
 }
 
 #[test]
+fn lock_cycle_flags_both_inversion_sites_only() {
+    let diags = lint_fixture("concurrency_lock_cycle.rs", "crates/comm/src/fixture.rs");
+    // Lines 13 and 18 close the a/b cycle; the a->c extension on line 23
+    // follows the global order and must stay clean.
+    assert_eq!(lines_for(&diags, "concurrency-lock-cycle"), vec![13, 18]);
+}
+
+#[test]
+fn blocking_hold_flags_wait_and_recv_under_a_live_guard() {
+    let diags = lint_fixture("concurrency_blocking_hold.rs", "crates/comm/src/fixture.rs");
+    // `bad` blocks twice with the guard live; `good` scopes or drops the
+    // guard first and must stay clean.
+    assert_eq!(lines_for(&diags, "concurrency-blocking-hold"), vec![13, 14]);
+}
+
+#[test]
+fn endpoint_leak_flags_the_undropped_clone() {
+    let diags = lint_fixture("concurrency_endpoint_leak.rs", "crates/comm/src/fixture.rs");
+    // `bad` clones on line 7 and never drops `tx` before the join;
+    // `good` drops it and must stay clean.
+    assert_eq!(lines_for(&diags, "concurrency-endpoint-leak"), vec![7]);
+}
+
+#[test]
+fn unterminated_recv_flags_the_bare_loop_only() {
+    let diags = lint_fixture(
+        "concurrency_unterminated_recv.rs",
+        "crates/comm/src/fixture.rs",
+    );
+    // The bare loop's recv on line 13 has no termination edge; the
+    // breaking loop and the counted while loop must stay clean.
+    assert_eq!(lines_for(&diags, "concurrency-unterminated-recv"), vec![13]);
+}
+
+#[test]
 fn every_rule_has_a_fixture_that_fires() {
     // Guard against a rule silently losing coverage: each named rule must
     // produce at least one finding across the fixture corpus.
@@ -198,6 +233,13 @@ fn every_rule_has_a_fixture_that_fires() {
         (
             "protocol_backend_skew.rs",
             "crates/core/src/engine/fixture.rs",
+        ),
+        ("concurrency_lock_cycle.rs", "crates/comm/src/fixture.rs"),
+        ("concurrency_blocking_hold.rs", "crates/comm/src/fixture.rs"),
+        ("concurrency_endpoint_leak.rs", "crates/comm/src/fixture.rs"),
+        (
+            "concurrency_unterminated_recv.rs",
+            "crates/comm/src/fixture.rs",
         ),
     ];
     let mut fired: Vec<&str> = corpus
