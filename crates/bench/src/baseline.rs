@@ -153,9 +153,10 @@ pub struct TelemetryRecord {
     /// Messages removed by sender-side coalescing in the traced run.
     pub coalesced_msgs: u64,
     /// Wall-clock nanoseconds the threaded trace spent in short-edge
-    /// phases. The wall fields are informational (they track the slowest
-    /// rank's critical path and vary with machine load), so the `--check`
-    /// gate deliberately ignores them.
+    /// phases. The wall fields track the slowest rank's critical path and
+    /// vary with machine load, so the `--check` gate never compares them
+    /// against the committed baseline — it only sanity-checks the current
+    /// run's numbers against each other ([`TelemetryRecord::wall_problems`]).
     pub wall_short_ns: u64,
     /// Wall-clock nanoseconds in long push phases.
     pub wall_long_push_ns: u64,
@@ -163,12 +164,55 @@ pub struct TelemetryRecord {
     pub wall_long_pull_ns: u64,
     /// Wall-clock nanoseconds in Bellman-Ford tail rounds.
     pub wall_bf_ns: u64,
+    /// End-to-end measured wall time of the traced threaded run (timed
+    /// around the whole run, unlike the per-phase accumulators above,
+    /// which only cover phase bodies). The `--check` gate cross-validates
+    /// the phase accumulators against this: their sum may not exceed it,
+    /// and neither may be zero on a run that performed supersteps.
+    pub wall_measured_ns: u64,
 }
 
 impl TelemetryRecord {
-    /// Sum of the per-phase wall-clock accumulators.
+    /// Sum of the per-phase wall-clock accumulators (NOT the measured
+    /// end-to-end wall time — that is [`TelemetryRecord::wall_measured_ns`];
+    /// this sum excludes setup, collectives and inter-phase gaps).
     pub fn wall_total_ns(&self) -> u64 {
         self.wall_short_ns + self.wall_long_push_ns + self.wall_long_pull_ns + self.wall_bf_ns
+    }
+
+    /// Sanity problems in the wall-clock telemetry of *this* run: the
+    /// phase-time sum exceeding the measured end-to-end wall time (the
+    /// accumulators cover disjoint sub-intervals of the run, so their sum
+    /// is bounded by it), or zero wall time on a run that demonstrably
+    /// performed supersteps. Empty on healthy telemetry.
+    pub fn wall_problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.wall_total_ns() > self.wall_measured_ns {
+            problems.push(format!(
+                "telemetry wall-clock phase sum {} ns exceeds the measured \
+                 run wall time {} ns — the phase accumulators overlap or \
+                 the total was not measured around the whole run",
+                self.wall_total_ns(),
+                self.wall_measured_ns
+            ));
+        }
+        if self.supersteps > 0 {
+            if self.wall_total_ns() == 0 {
+                problems.push(format!(
+                    "telemetry recorded {} supersteps but zero wall-clock \
+                     phase time — the threaded recorder dropped its timings",
+                    self.supersteps
+                ));
+            }
+            if self.wall_measured_ns == 0 {
+                problems.push(format!(
+                    "telemetry recorded {} supersteps but zero measured \
+                     wall time — the traced run was not timed",
+                    self.supersteps
+                ));
+            }
+        }
+        problems
     }
 
     /// Render as a JSON object literal.
@@ -179,7 +223,8 @@ impl TelemetryRecord {
                 "\"supersteps\": {}, \"local_msgs\": {}, ",
                 "\"remote_msgs\": {}, \"coalesced_msgs\": {}, ",
                 "\"wall_short_ns\": {}, \"wall_long_push_ns\": {}, ",
-                "\"wall_long_pull_ns\": {}, \"wall_bf_ns\": {}}}"
+                "\"wall_long_pull_ns\": {}, \"wall_bf_ns\": {}, ",
+                "\"wall_measured_ns\": {}}}"
             ),
             self.backends_agree,
             self.buckets,
@@ -191,6 +236,7 @@ impl TelemetryRecord {
             self.wall_long_push_ns,
             self.wall_long_pull_ns,
             self.wall_bf_ns,
+            self.wall_measured_ns,
         )
     }
 }
@@ -312,6 +358,7 @@ mod tests {
                 wall_long_push_ns: 400_000,
                 wall_long_pull_ns: 250_000,
                 wall_bf_ns: 100_000,
+                wall_measured_ns: 3_000_000,
             },
         }
     }
@@ -367,12 +414,43 @@ mod tests {
             extract_number(&json, "telemetry", "wall_bf_ns"),
             Some(100_000.0)
         );
+        assert_eq!(
+            extract_number(&json, "telemetry", "wall_measured_ns"),
+            Some(3_000_000.0)
+        );
     }
 
     #[test]
     fn wall_total_sums_the_phase_accumulators() {
         let t = sample().telemetry;
         assert_eq!(t.wall_total_ns(), 2_250_000);
+    }
+
+    #[test]
+    fn wall_problems_gate_phase_sum_and_zero_timings() {
+        let healthy = sample().telemetry;
+        assert!(healthy.wall_problems().is_empty());
+
+        // Phase sum exceeding the measured run wall time is inconsistent.
+        let mut t = healthy;
+        t.wall_measured_ns = 1_000_000;
+        let p = t.wall_problems();
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert!(p[0].contains("exceeds"), "{p:?}");
+
+        // A run with supersteps must have nonzero phase and measured time.
+        let mut t = healthy;
+        t.wall_short_ns = 0;
+        t.wall_long_push_ns = 0;
+        t.wall_long_pull_ns = 0;
+        t.wall_bf_ns = 0;
+        t.wall_measured_ns = 0;
+        let p = t.wall_problems();
+        assert_eq!(p.len(), 2, "{p:?}");
+
+        // A degenerate run (no supersteps) may be all-zero.
+        t.supersteps = 0;
+        assert!(t.wall_problems().is_empty());
     }
 
     #[test]

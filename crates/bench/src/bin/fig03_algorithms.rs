@@ -47,6 +47,8 @@ fn main() {
             ("Hybrid-25", SsspConfig::del(25).with_hybrid(Some(0.4))),
             ("Prune-25", SsspConfig::prune(25)),
             ("OPT-25", SsspConfig::opt(25)),
+            ("Rho-2k", SsspConfig::rho(2048)),
+            ("Radius-8", SsspConfig::radius(8)),
         ];
 
         let mut rows = Vec::new();

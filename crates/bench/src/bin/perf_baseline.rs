@@ -170,7 +170,9 @@ fn measure_telemetry(
 ) -> TelemetryRecord {
     let simulated = run_sssp(dg, root, cfg, model);
     let trace_sim = RunTrace::from_run_stats(&simulated.stats, "simulated");
+    let t0 = Instant::now();
     let (_, trace_thr) = threaded_delta_stepping_traced(dg, root, cfg, model);
+    let wall_measured_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let diffs = trace_sim.diff(&trace_thr);
     if !diffs.is_empty() {
         eprintln!(
@@ -189,6 +191,7 @@ fn measure_telemetry(
         wall_long_push_ns: trace_thr.timings.long_push_ns,
         wall_long_pull_ns: trace_thr.timings.long_pull_ns,
         wall_bf_ns: trace_thr.timings.bf_ns,
+        wall_measured_ns,
     }
 }
 
@@ -262,6 +265,10 @@ fn check_against(committed: &str, current: &PerfBaseline) -> Result<(), String> 
     if current.telemetry.backends_agree != 1 {
         problems.push("simulated and threaded traces diverged in this run".to_string());
     }
+    // Wall-clock telemetry sanity: gates on the CURRENT run only (the
+    // committed baseline's wall numbers are machine-dependent and not
+    // comparable, but a freshly measured run must be self-consistent).
+    problems.extend(current.telemetry.wall_problems());
     if problems.is_empty() {
         Ok(())
     } else {

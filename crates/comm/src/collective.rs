@@ -11,6 +11,7 @@
 
 use crate::fingerprint::{
     FP_ALLGATHER, FP_REDUCE_ANY, FP_REDUCE_F64, FP_REDUCE_MAX, FP_REDUCE_MIN, FP_REDUCE_SUM,
+    FP_WINDOW,
 };
 use crate::stats::CommStats;
 
@@ -25,6 +26,17 @@ pub fn allreduce_sum(vals: &[u64], stats: &mut CommStats) -> u64 {
 pub fn allreduce_min(vals: &[u64], stats: &mut CommStats) -> u64 {
     stats.collectives += 1;
     stats.fp_mix(FP_REDUCE_MIN);
+    vals.iter().copied().min().unwrap_or(u64::MAX)
+}
+
+/// Min-allreduce of per-rank epoch-window proposals (stepping-policy
+/// window selection). Semantically a min-reduce, but fingerprinted with
+/// its own kind so a policy that issues the window collective holds a
+/// schedule distinct from one that does not. Empty input yields
+/// `u64::MAX` (the identity).
+pub fn allreduce_min_window(vals: &[u64], stats: &mut CommStats) -> u64 {
+    stats.collectives += 1;
+    stats.fp_mix(FP_WINDOW);
     vals.iter().copied().min().unwrap_or(u64::MAX)
 }
 
@@ -83,8 +95,21 @@ mod tests {
     fn identities_on_empty_input() {
         let mut st = CommStats::new();
         assert_eq!(allreduce_min(&[], &mut st), u64::MAX);
+        assert_eq!(allreduce_min_window(&[], &mut st), u64::MAX);
         assert_eq!(allreduce_max(&[], &mut st), 0);
         assert!(!allreduce_any(&[], &mut st));
+    }
+
+    #[test]
+    fn window_min_matches_plain_min_but_fingerprints_apart() {
+        let vals = [7u64, 3, 11];
+        let mut a = CommStats::new();
+        let mut b = CommStats::new();
+        assert_eq!(
+            allreduce_min(&vals, &mut a),
+            allreduce_min_window(&vals, &mut b)
+        );
+        assert_ne!(a.fingerprint, b.fingerprint, "window op must be its own kind");
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub const FP_REDUCE_F64: u64 = 0x16;
 pub const FP_ALLGATHER: u64 = 0x17;
 /// Bulk-synchronous message exchange (one superstep).
 pub const FP_EXCHANGE: u64 = 0x18;
+/// Epoch-window min-reduction (stepping-policy window selection). Its own
+/// kind so a policy that adds or drops the window collective diverges
+/// from one that does not, even at identical epochs.
+pub const FP_WINDOW: u64 = 0x19;
 
 /// Fold one collective of `kind` issued during `epoch` into the rolling
 /// fingerprint `fp`. A splitmix64-style finalizer: order-sensitive,

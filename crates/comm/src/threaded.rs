@@ -20,6 +20,7 @@ use std::sync::{Arc, Barrier, Mutex};
 
 use crate::fingerprint::{
     fp_mix, FP_EXCHANGE, FP_REDUCE, FP_REDUCE_ANY, FP_REDUCE_MAX, FP_REDUCE_MIN, FP_REDUCE_SUM,
+    FP_WINDOW,
 };
 use crate::lockorder;
 use crate::packet::PacketConfig;
@@ -324,6 +325,15 @@ impl<M: Send> RankCtx<M> {
     /// Minimum allreduce: every rank receives the smallest contribution.
     pub fn allreduce_min(&self, value: u64) -> u64 {
         self.note_collective(FP_REDUCE_MIN);
+        self.allreduce_inner(value, |vals| vals.iter().copied().min().unwrap_or(u64::MAX))
+    }
+
+    /// Minimum allreduce of per-rank epoch-window proposals. The threaded
+    /// twin of [`crate::collective::allreduce_min_window`]: a min-reduce
+    /// fingerprinted with its own kind, so policies that issue the window
+    /// collective hold schedules distinct from those that do not.
+    pub fn allreduce_min_window(&self, value: u64) -> u64 {
+        self.note_collective(FP_WINDOW);
         self.allreduce_inner(value, |vals| vals.iter().copied().min().unwrap_or(u64::MAX))
     }
 

@@ -11,20 +11,27 @@ pub enum DeltaParam {
 }
 
 impl DeltaParam {
-    /// Bucket index of a finite tentative distance.
+    /// Bucket index of a finite tentative distance. The index is capped at
+    /// `u64::MAX - 1`: the engine's epoch-selection collective reserves
+    /// `u64::MAX` as its "no bucket left" sentinel, so under Δ = 1 with
+    /// near-maximal distances a legitimate bucket index must never collide
+    /// with it.
     #[inline]
     pub fn bucket_of(&self, d: u64) -> u64 {
+        debug_assert!(d != u64::MAX, "bucket_of called on an INF distance");
         match *self {
-            DeltaParam::Finite(delta) => d / delta as u64,
+            DeltaParam::Finite(delta) => (d / delta as u64).min(u64::MAX - 1),
             DeltaParam::Infinite => 0,
         }
     }
 
-    /// Largest distance belonging to bucket `k` (inclusive).
+    /// Largest distance belonging to bucket `k` (inclusive). Saturates at
+    /// the top of the distance range instead of overflowing for buckets
+    /// near the `bucket_of` cap.
     #[inline]
     pub fn bucket_end(&self, k: u64) -> u64 {
         match *self {
-            DeltaParam::Finite(delta) => (k + 1) * delta as u64 - 1,
+            DeltaParam::Finite(delta) => (k + 1).saturating_mul(delta as u64).saturating_sub(1),
             DeltaParam::Infinite => u64::MAX - 1,
         }
     }
@@ -37,6 +44,23 @@ impl DeltaParam {
             DeltaParam::Infinite => u64::MAX,
         }
     }
+}
+
+/// Which stepping policy drives bucket assignment and epoch-window
+/// selection (see `crate::policy`). `Delta` is the paper's algorithm; the
+/// other two are the Dong et al. / Blelloch et al. instances of the same
+/// lazy-batched priority structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteppingPolicyKind {
+    /// Classic Δ-stepping: buckets of width Δ, one bucket per epoch.
+    Delta,
+    /// ρ-stepping: Dial-granularity buckets, each epoch extracts (about)
+    /// the globally closest ρ vertices as one window.
+    Rho(u32),
+    /// Radius stepping: Dial-granularity buckets, each epoch's window end
+    /// is the frontier minimum of `d(v) + r(v)` with `r(v)` the ρ-th
+    /// smallest incident edge weight.
+    Radius(u32),
 }
 
 /// Which mechanism a long-edge phase uses (§III-B).
@@ -94,6 +118,10 @@ pub enum IntraBalance {
 pub struct SsspConfig {
     /// Bucket width Δ.
     pub delta: DeltaParam,
+    /// Which stepping policy the engine runs. `Delta` uses `delta` as the
+    /// bucket width; the other policies ignore `delta` and bucket at Dial
+    /// granularity (one distance value per bucket).
+    pub policy: SteppingPolicyKind,
     /// Inner/outer short-edge refinement (IOS heuristic, §III-A).
     pub ios: bool,
     /// How each long phase picks push vs pull.
@@ -131,6 +159,7 @@ impl SsspConfig {
         assert!(delta >= 1);
         SsspConfig {
             delta: DeltaParam::Finite(delta),
+            policy: SteppingPolicyKind::Delta,
             ios: false,
             direction: DirectionPolicy::AlwaysPush,
             pull_estimator: PullEstimator::Exact,
@@ -181,6 +210,30 @@ impl SsspConfig {
         cfg
     }
 
+    /// ρ-stepping (Dong et al.): each epoch lazily extracts roughly the ρ
+    /// globally closest unsettled vertices as one window. Buckets run at
+    /// Dial granularity, so `delta` is inert; IOS keeps the in-window
+    /// fixpoint from chasing edges that leave the window.
+    pub fn rho(rho: u32) -> Self {
+        assert!(rho >= 1, "ρ must be at least 1");
+        let mut cfg = Self::del(1);
+        cfg.policy = SteppingPolicyKind::Rho(rho);
+        cfg.ios = true;
+        cfg
+    }
+
+    /// Radius stepping (Blelloch et al.): each epoch's window reaches to
+    /// the frontier minimum of `d(v) + r(v)`, where `r(v)` is the ρ-th
+    /// smallest incident edge weight of `v`. Buckets run at Dial
+    /// granularity, so `delta` is inert.
+    pub fn radius(rho: u32) -> Self {
+        assert!(rho >= 1, "ρ must be at least 1");
+        let mut cfg = Self::del(1);
+        cfg.policy = SteppingPolicyKind::Radius(rho);
+        cfg.ios = true;
+        cfg
+    }
+
     /// Meyer and Sanders' recommendation for random edge weights:
     /// `Δ = Θ(w_max / d̄)` where `d̄` is the average degree — large enough
     /// that a bucket's short-edge phases do real work, small enough that
@@ -192,6 +245,15 @@ impl SsspConfig {
     }
 
     // Builder-style tweaks -------------------------------------------------
+
+    /// Select the stepping policy (see [`SteppingPolicyKind`]).
+    pub fn with_policy(mut self, p: SteppingPolicyKind) -> Self {
+        if let SteppingPolicyKind::Rho(r) | SteppingPolicyKind::Radius(r) = p {
+            assert!(r >= 1, "ρ must be at least 1");
+        }
+        self.policy = p;
+        self
+    }
 
     /// Toggle the inner/outer-short refinement (§III-A).
     pub fn with_ios(mut self, ios: bool) -> Self {
@@ -267,6 +329,46 @@ mod tests {
         assert_eq!(d.bucket_of(0), 0);
         assert_eq!(d.bucket_of(u64::MAX - 2), 0);
         assert!(d.bucket_end(0) > 1u64 << 60);
+    }
+
+    #[test]
+    fn bucket_of_reserves_the_epoch_sentinel() {
+        // Δ = 1 with a maximal finite distance must not produce the
+        // `u64::MAX` index the epoch-selection collective uses as its "no
+        // bucket left" sentinel.
+        let d = DeltaParam::Finite(1);
+        assert_eq!(d.bucket_of(u64::MAX - 1), u64::MAX - 1);
+        // And bucket_end must not overflow for indices near the cap.
+        assert_eq!(d.bucket_end(u64::MAX - 1), u64::MAX - 1);
+        let d2 = DeltaParam::Finite(2);
+        assert_eq!(d2.bucket_of(u64::MAX - 1), (u64::MAX - 1) / 2);
+        assert_eq!(d2.bucket_end((u64::MAX - 1) / 2), u64::MAX - 1);
+        assert_eq!(d2.bucket_end(u64::MAX - 1), u64::MAX - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "INF distance")]
+    #[cfg(debug_assertions)]
+    fn bucket_of_rejects_inf() {
+        let _ = DeltaParam::Finite(1).bucket_of(u64::MAX);
+    }
+
+    #[test]
+    fn policy_presets_and_builder() {
+        assert_eq!(SsspConfig::del(25).policy, SteppingPolicyKind::Delta);
+        let rho = SsspConfig::rho(64);
+        assert_eq!(rho.policy, SteppingPolicyKind::Rho(64));
+        assert!(rho.ios);
+        let rad = SsspConfig::radius(8);
+        assert_eq!(rad.policy, SteppingPolicyKind::Radius(8));
+        let cfg = SsspConfig::del(5).with_policy(SteppingPolicyKind::Rho(3));
+        assert_eq!(cfg.policy, SteppingPolicyKind::Rho(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "ρ must be at least 1")]
+    fn zero_rho_rejected() {
+        let _ = SsspConfig::rho(0);
     }
 
     #[test]

@@ -13,7 +13,7 @@ impl Engine<'_> {
 
     pub(super) fn bellman_ford_tail(&mut self, k_last: u64) {
         let dg = self.dg;
-        let delta = self.cfg.delta;
+        let policy = self.policy;
         let pi = self.pi;
 
         self.states
@@ -40,7 +40,7 @@ impl Engine<'_> {
                 .par_iter_mut()
                 .zip(self.relax_bufs.inboxes.par_iter())
                 .for_each(|(st, inbox)| {
-                    kernels::apply_relax(st, &delta, inbox.iter().copied());
+                    kernels::apply_relax(st, &policy, inbox.iter().copied());
                     // Next round's frontier: the vertices this round improved.
                     st.collect_active_changed();
                 });

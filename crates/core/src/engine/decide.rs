@@ -14,39 +14,39 @@ use sssp_comm::cost::{MachineModel, TimeClass};
 use sssp_dist::LocalGraph;
 
 use crate::config::{DirectionPolicy, LongPhaseMode, PullEstimator, SsspConfig};
+use crate::policy::EpochWindow;
 use crate::state::{RankState, INF};
 
 use super::{kernels, Engine, RELAX_BYTES};
 
-/// One rank's §III-C volume estimates for bucket `k`: the push send
+/// One rank's §III-C volume estimates for the epoch window: the push send
 /// volume, the pull request volume, and the number of unsettled vertices
 /// scanned (the pull model's scan extent). Read-only over the rank state.
 pub(super) fn rank_volumes(
     lg: &LocalGraph,
     st: &RankState,
-    k: u64,
-    delta: &crate::config::DeltaParam,
+    window: &EpochWindow,
     ios: bool,
     estimator: PullEstimator,
     w_max: u64,
 ) -> (u64, u64, u64) {
-    let short_bound = delta.short_bound();
-    let bucket_end = delta.bucket_end(k);
-    let kd = kernels::k_delta(delta, k);
+    let short_bound = window.short_bound;
+    let end_dist = window.end_dist;
+    let kd = window.start_dist;
 
     // Push: the long-phase send volume of this rank.
     let mut push = 0u64;
-    for u in st.bucket_members(k) {
+    for u in st.window_members(window.lo, window.hi) {
         let ul = u as usize;
         let (_, ws) = lg.row(ul);
-        let start = kernels::push_range_start(ios, ws, st.dist[ul], bucket_end, short_bound);
+        let start = kernels::push_range_start(ios, ws, st.dist[ul], end_dist, short_bound);
         push += (ws.len() - start) as u64;
     }
     // Pull: the request volume of this rank.
     let mut pull = 0u64;
     let mut scanned = 0u64;
     for vl in 0..st.n_local() {
-        if st.bucket_of[vl] <= k {
+        if st.bucket_of[vl] <= window.hi {
             continue;
         }
         scanned += 1;
@@ -146,29 +146,28 @@ pub(super) fn hybrid_should_switch(tau: f64, settled_total: u64, n_total: u64) -
 impl Engine<'_> {
     // -- push/pull decision heuristic (§III-C) ----------------------------------
 
-    pub(super) fn decide(&mut self, k: u64) -> (LongPhaseMode, u64, u64) {
+    pub(super) fn decide(&mut self, window: &EpochWindow) -> (LongPhaseMode, u64, u64) {
         match &self.cfg.direction {
             DirectionPolicy::AlwaysPush => (LongPhaseMode::Push, 0, 0),
             DirectionPolicy::AlwaysPull => (LongPhaseMode::Pull, 0, 0),
-            DirectionPolicy::Heuristic => self.heuristic_decide(k),
+            DirectionPolicy::Heuristic => self.heuristic_decide(window),
             DirectionPolicy::Forced(seq) => {
                 let idx = self.stats.bucket_records.len();
                 match seq.get(idx) {
                     Some(&mode) => {
                         // Still compute the estimates so the record shows
                         // what the heuristic would have seen.
-                        let (_, ep, el) = self.heuristic_decide(k);
+                        let (_, ep, el) = self.heuristic_decide(window);
                         (mode, ep, el)
                     }
-                    None => self.heuristic_decide(k),
+                    None => self.heuristic_decide(window),
                 }
             }
         }
     }
 
-    pub(super) fn heuristic_decide(&mut self, k: u64) -> (LongPhaseMode, u64, u64) {
+    pub(super) fn heuristic_decide(&mut self, window: &EpochWindow) -> (LongPhaseMode, u64, u64) {
         let dg = self.dg;
-        let delta = self.cfg.delta;
         let ios = self.cfg.ios;
         let estimator = self.cfg.pull_estimator;
         let w_max = self.max_weight as u64;
@@ -181,7 +180,7 @@ impl Engine<'_> {
             .par_iter()
             .map(|st| {
                 let (push, pull, scanned) =
-                    rank_volumes(&dg.locals[st.rank], st, k, &delta, ios, estimator, w_max);
+                    rank_volumes(&dg.locals[st.rank], st, window, ios, estimator, w_max);
                 (push, pull, push, pull, scanned)
             })
             .reduce_with(|a, b| {

@@ -9,40 +9,38 @@
 //! relaxation logic, and the backends differ only in how the emitted
 //! messages travel.
 //!
+//! The kernels cut edges against an [`EpochWindow`], not a raw bucket:
+//! the stepping policy resolves each epoch's window once, and everything
+//! the kernels need — the bucket range, the distance bounds, the
+//! short/long boundary — rides inside it. Under Δ-stepping the window
+//! degenerates to the classic single bucket `k`, so these are the same
+//! phases the paper describes. Only the receive side (bucket placement of
+//! improved vertices) needs the policy itself.
+//!
 //! Thread-load accounting (`loads.charge` / `charge_recv`) lives inside
 //! the kernels too — it is part of the paper's per-phase work definition,
 //! not a transport concern.
 
 use sssp_dist::{LocalGraph, Partition};
 
-use crate::config::DeltaParam;
+use crate::policy::{EpochWindow, SteppingPolicy};
 use crate::state::{RankState, INF};
 
 use super::{invariants, RelaxMsg, ReqMsg};
 
-/// Bucket base distance `kΔ` of bucket `k` (eq. 1's pull threshold uses
-/// `d(v) − kΔ`). Zero under Δ = ∞, where a single bucket spans everything.
-#[inline]
-pub(super) fn k_delta(delta: &DeltaParam, k: u64) -> u64 {
-    match *delta {
-        DeltaParam::Finite(d) => k * d as u64,
-        DeltaParam::Infinite => 0,
-    }
-}
-
 /// Row index where the long-phase push range of `u` starts: with IOS the
 /// suffix of edges that could not have been relaxed as inner shorts
-/// (`w > bucket_end − d(u)`), otherwise the long edges (`w ≥ Δ`).
+/// (`w > end_dist − d(u)`), otherwise the long edges (`w ≥ short_bound`).
 #[inline]
 pub(super) fn push_range_start(
     ios: bool,
     ws: &[u32],
     du: u64,
-    bucket_end: u64,
+    end_dist: u64,
     short_bound: u64,
 ) -> usize {
     if ios {
-        let bound = (bucket_end - du).min(short_bound.saturating_sub(1));
+        let bound = (end_dist - du).min(short_bound.saturating_sub(1));
         ws.partition_point(|&w| (w as u64) <= bound)
     } else {
         ws.partition_point(|&w| (w as u64) < short_bound)
@@ -52,37 +50,35 @@ pub(super) fn push_range_start(
 /// One rank's send side of a short phase (§II / §III-A): relax the (inner)
 /// short edges of the active vertices. Returns the number of relaxations
 /// produced.
-#[allow(clippy::too_many_arguments)]
 pub(super) fn short_send(
     lg: &LocalGraph,
     part: &Partition,
     st: &mut RankState,
-    k: u64,
-    delta: &DeltaParam,
+    window: &EpochWindow,
     ios: bool,
     pi: u64,
     send: &mut impl FnMut(usize, RelaxMsg),
 ) -> u64 {
-    let short_bound = delta.short_bound();
-    let bucket_end = delta.bucket_end(k);
+    let short_bound = window.short_bound;
+    let end_dist = window.end_dist;
     let mut sent = 0u64;
     for &u in &st.active {
         let ul = u as usize;
-        debug_assert_eq!(st.bucket_of[ul], k);
+        debug_assert!(window.contains(st.bucket_of[ul]));
         let du = st.dist[ul];
-        debug_assert!(du <= bucket_end);
+        debug_assert!(du <= end_dist);
         let (ts, ws) = lg.row(ul);
         let hi = if ios {
             // Inner short edges only: d(u) + w must stay inside the
-            // bucket (and the edge must be short).
-            let bound = (bucket_end - du).min(short_bound.saturating_sub(1));
+            // window (and the edge must be short).
+            let bound = (end_dist - du).min(short_bound.saturating_sub(1));
             ws.partition_point(|&w| (w as u64) <= bound)
         } else {
             ws.partition_point(|&w| (w as u64) < short_bound)
         };
         for i in 0..hi {
             let v = ts[i];
-            invariants::check_ios_inner_edge(ios, ws[i], du, short_bound, bucket_end);
+            invariants::check_ios_inner_edge(ios, ws[i], du, short_bound, end_dist);
             send(
                 part.owner(v),
                 RelaxMsg {
@@ -100,14 +96,14 @@ pub(super) fn short_send(
 
 /// One rank's receive side of a relax superstep: apply every delivered
 /// proposal as a min-reduction.
-pub(super) fn apply_relax(
+pub(super) fn apply_relax<P: SteppingPolicy>(
     st: &mut RankState,
-    delta: &DeltaParam,
+    policy: &P,
     msgs: impl Iterator<Item = RelaxMsg>,
 ) {
     for m in msgs {
         st.charge_recv(m.target);
-        st.relax(m.target, m.nd, delta);
+        st.relax(m.target, m.nd, policy);
     }
 }
 
@@ -115,52 +111,50 @@ pub(super) fn apply_relax(
 /// classification: each delivered edge is self, backward or forward,
 /// judged against the target's bucket *before* applying. Returns
 /// `(self, backward, forward)` counts.
-pub(super) fn classify_apply_relax(
+pub(super) fn classify_apply_relax<P: SteppingPolicy>(
     st: &mut RankState,
-    k: u64,
-    delta: &DeltaParam,
+    window: &EpochWindow,
+    policy: &P,
     msgs: impl Iterator<Item = RelaxMsg>,
 ) -> (u64, u64, u64) {
     let (mut se, mut be, mut fe) = (0u64, 0u64, 0u64);
     for m in msgs {
         let b = st.bucket_of[m.target as usize];
-        if b == k {
+        if window.contains(b) {
             se += 1;
-        } else if b < k {
+        } else if b < window.lo {
             be += 1;
         } else {
             fe += 1;
         }
         st.charge_recv(m.target);
-        st.relax(m.target, m.nd, delta);
+        st.relax(m.target, m.nd, policy);
     }
     (se, be, fe)
 }
 
 /// One rank's send side of a push-mode long phase (§III-B): every vertex
-/// settled in the current bucket relaxes its long (and, under IOS,
-/// outer-short) edges outward. Collects the bucket's active set itself.
+/// settled in the current window relaxes its long (and, under IOS,
+/// outer-short) edges outward. Collects the window's active set itself.
 /// Returns `(outer_short, long)` relaxation counts.
-#[allow(clippy::too_many_arguments)]
 pub(super) fn long_push_send(
     lg: &LocalGraph,
     part: &Partition,
     st: &mut RankState,
-    k: u64,
-    delta: &DeltaParam,
+    window: &EpochWindow,
     ios: bool,
     pi: u64,
     send: &mut impl FnMut(usize, RelaxMsg),
 ) -> (u64, u64) {
-    let short_bound = delta.short_bound();
-    let bucket_end = delta.bucket_end(k);
+    let short_bound = window.short_bound;
+    let end_dist = window.end_dist;
     let (mut outer, mut long) = (0u64, 0u64);
-    st.collect_active_from_bucket(k);
+    st.collect_active_from_window(window.lo, window.hi);
     for i in 0..st.active.len() {
         let ul = st.active[i] as usize;
         let du = st.dist[ul];
         let (ts, ws) = lg.row(ul);
-        let start = push_range_start(ios, ws, du, bucket_end, short_bound);
+        let start = push_range_start(ios, ws, du, end_dist, short_bound);
         for j in start..ts.len() {
             let v = ts[j];
             send(
@@ -183,28 +177,27 @@ pub(super) fn long_push_send(
 }
 
 /// One rank's send side of a pull phase's IOS sub-step 0: the settled
-/// bucket's outer short edges are not covered by the pull protocol
+/// window's outer short edges are not covered by the pull protocol
 /// (requests target long edges), so push them directly. Collects the
-/// bucket's active set itself. Returns the number of outer-short
+/// window's active set itself. Returns the number of outer-short
 /// relaxations produced.
 pub(super) fn outer_short_send(
     lg: &LocalGraph,
     part: &Partition,
     st: &mut RankState,
-    k: u64,
-    delta: &DeltaParam,
+    window: &EpochWindow,
     pi: u64,
     send: &mut impl FnMut(usize, RelaxMsg),
 ) -> u64 {
-    let short_bound = delta.short_bound();
-    let bucket_end = delta.bucket_end(k);
+    let short_bound = window.short_bound;
+    let end_dist = window.end_dist;
     let mut outer = 0u64;
-    st.collect_active_from_bucket(k);
+    st.collect_active_from_window(window.lo, window.hi);
     for i in 0..st.active.len() {
         let ul = st.active[i] as usize;
         let du = st.dist[ul];
         let (ts, ws) = lg.row(ul);
-        let start = push_range_start(true, ws, du, bucket_end, short_bound);
+        let start = push_range_start(true, ws, du, end_dist, short_bound);
         let long_start = ws.partition_point(|&w| (w as u64) < short_bound);
         for j in start..long_start {
             let v = ts[j];
@@ -225,23 +218,22 @@ pub(super) fn outer_short_send(
 
 /// One rank's send side of a pull phase's request sub-step (§III-B):
 /// every unsettled vertex v asks along each long edge that could still
-/// improve it, `w(e) < d(v) − kΔ` (eq. 1). Returns
-/// `(requests, vertices_scanned)`.
+/// improve it, `w(e) < d(v) − start_dist` (eq. 1, with the window's start
+/// distance as the `kΔ` base). Returns `(requests, vertices_scanned)`.
 pub(super) fn pull_request_send(
     lg: &LocalGraph,
     part: &Partition,
     st: &mut RankState,
-    k: u64,
-    delta: &DeltaParam,
+    window: &EpochWindow,
     pi: u64,
     send: &mut impl FnMut(usize, ReqMsg),
 ) -> (u64, u64) {
-    let short_bound = delta.short_bound();
-    let kd = k_delta(delta, k);
+    let short_bound = window.short_bound;
+    let kd = window.start_dist;
     let mut reqs = 0u64;
     let mut scanned = 0u64;
     for vl in 0..st.n_local() {
-        if st.bucket_of[vl] <= k {
+        if st.bucket_of[vl] <= window.hi {
             continue;
         }
         scanned += 1;
@@ -274,19 +266,19 @@ pub(super) fn pull_request_send(
 }
 
 /// One rank's response side of a pull phase (§III-B): only sources settled
-/// in the current bucket answer; everything else is the redundancy being
+/// in the current window answer; everything else is the redundancy being
 /// pruned away. Returns the number of responses produced.
 pub(super) fn pull_respond(
     part: &Partition,
     st: &mut RankState,
-    k: u64,
+    window: &EpochWindow,
     reqs: impl Iterator<Item = ReqMsg>,
     send: &mut impl FnMut(usize, RelaxMsg),
 ) -> u64 {
     let mut responses = 0u64;
     for r in reqs {
         st.charge_recv(r.u_local);
-        if st.bucket_of[r.u_local as usize] == k {
+        if window.contains(st.bucket_of[r.u_local as usize]) {
             let nd = st.dist[r.u_local as usize] + r.w as u64;
             send(
                 part.owner(r.origin),

@@ -7,6 +7,7 @@ use rayon::prelude::*;
 use sssp_comm::cost::TimeClass;
 
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
+use crate::policy::EpochWindow;
 
 use super::record::Recorder;
 use super::{invariants, kernels, Engine, REQ_BYTES};
@@ -14,9 +15,9 @@ use super::{invariants, kernels, Engine, REQ_BYTES};
 impl Engine<'_> {
     // -- long phase: pull ------------------------------------------------------
 
-    pub(super) fn long_pull(&mut self, k: u64, record: &mut BucketRecord) {
+    pub(super) fn long_pull(&mut self, window: EpochWindow, record: &mut BucketRecord) {
         let dg = self.dg;
-        let delta = self.cfg.delta;
+        let policy = self.policy;
         let pi = self.pi;
 
         let mut phase_relax = 0u64;
@@ -37,8 +38,7 @@ impl Engine<'_> {
                         &dg.locals[st.rank],
                         &dg.part,
                         st,
-                        k,
-                        &delta,
+                        &window,
                         pi,
                         &mut |dst, m| ob.send(dst, m),
                     )
@@ -51,7 +51,7 @@ impl Engine<'_> {
                 .par_iter_mut()
                 .zip(self.relax_bufs.inboxes.par_iter())
                 .for_each(|(st, inbox)| {
-                    kernels::apply_relax(st, &delta, inbox.iter().copied());
+                    kernels::apply_relax(st, &policy, inbox.iter().copied());
                 });
             self.charge_exchange(&step);
             phase_relax += outer_total;
@@ -79,8 +79,7 @@ impl Engine<'_> {
                     &dg.locals[st.rank],
                     &dg.part,
                     st,
-                    k,
-                    &delta,
+                    &window,
                     pi,
                     &mut |dst, m| ob.send(dst, m),
                 )
@@ -109,7 +108,7 @@ impl Engine<'_> {
             .zip(self.req_bufs.inboxes.par_iter())
             .zip(self.relax_bufs.outboxes.par_iter_mut())
             .map(|((st, reqs), ob)| {
-                kernels::pull_respond(&dg.part, st, k, reqs.iter().copied(), &mut |dst, m| {
+                kernels::pull_respond(&dg.part, st, &window, reqs.iter().copied(), &mut |dst, m| {
                     ob.send(dst, m)
                 })
             })
@@ -121,7 +120,7 @@ impl Engine<'_> {
             .par_iter_mut()
             .zip(self.relax_bufs.inboxes.par_iter())
             .for_each(|(st, inbox)| {
-                kernels::apply_relax(st, &delta, inbox.iter().copied());
+                kernels::apply_relax(st, &policy, inbox.iter().copied());
             });
         self.charge_exchange(&resp_step);
         phase_remote += resp_step.remote_msgs;
@@ -133,7 +132,7 @@ impl Engine<'_> {
         self.stats.pull_requests += req_total;
         self.stats.pull_responses += resp_total;
         self.stats.phase(&PhaseRecord {
-            bucket: k,
+            bucket: window.lo,
             kind: PhaseKind::LongPull,
             relaxations: phase_relax,
             remote_msgs: phase_remote,

@@ -4,6 +4,7 @@
 use rayon::prelude::*;
 
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord};
+use crate::policy::EpochWindow;
 
 use super::record::Recorder;
 use super::{invariants, kernels, Engine};
@@ -11,10 +12,10 @@ use super::{invariants, kernels, Engine};
 impl Engine<'_> {
     // -- long phase: push -----------------------------------------------------
 
-    pub(super) fn long_push(&mut self, k: u64, record: &mut BucketRecord) {
+    pub(super) fn long_push(&mut self, window: EpochWindow, record: &mut BucketRecord) {
         self.begin_superstep();
         let dg = self.dg;
-        let delta = self.cfg.delta;
+        let policy = self.policy;
         let ios = self.cfg.ios;
         let pi = self.pi;
 
@@ -27,8 +28,7 @@ impl Engine<'_> {
                     &dg.locals[st.rank],
                     &dg.part,
                     st,
-                    k,
-                    &delta,
+                    &window,
                     ios,
                     pi,
                     &mut |dst, m| ob.send(dst, m),
@@ -47,7 +47,9 @@ impl Engine<'_> {
             .states
             .par_iter_mut()
             .zip(self.relax_bufs.inboxes.par_iter())
-            .map(|(st, inbox)| kernels::classify_apply_relax(st, k, &delta, inbox.iter().copied()))
+            .map(|(st, inbox)| {
+                kernels::classify_apply_relax(st, &window, &policy, inbox.iter().copied())
+            })
             .reduce_with(|a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
             .unwrap_or((0, 0, 0));
         record.self_edges += se;
@@ -59,7 +61,7 @@ impl Engine<'_> {
         self.stats.outer_short_relaxations += outer_total;
         self.stats.long_push_relaxations += long_total;
         self.stats.phase(&PhaseRecord {
-            bucket: k,
+            bucket: window.lo,
             kind: PhaseKind::LongPush,
             relaxations: outer_total + long_total,
             remote_msgs: step.remote_msgs,

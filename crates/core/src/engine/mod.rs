@@ -21,9 +21,11 @@
 //! Blue Gene/Q implementation does, and the α–β–γ cost model converts the
 //! recorded traffic into simulated time.
 
+use std::collections::BTreeMap;
+
 use rayon::prelude::*;
 
-use sssp_comm::collective::{allreduce_max, allreduce_min, allreduce_sum};
+use sssp_comm::collective::{allreduce_max, allreduce_min, allreduce_min_window, allreduce_sum};
 use sssp_comm::cost::{MachineModel, TimeClass, TimeLedger};
 use sssp_comm::exchange::{coalesce_lane_min, ExchangeBuffers};
 use sssp_comm::stats::{CommStats, StepStats};
@@ -32,6 +34,7 @@ use sssp_graph::VertexId;
 
 use crate::config::{IntraBalance, LongPhaseMode, SsspConfig};
 use crate::instrument::{BucketRecord, RunStats};
+use crate::policy::{EpochWindow, PolicyDispatch, SteppingPolicy, WindowRule};
 use crate::state::{RankState, INF};
 
 use record::Recorder;
@@ -134,11 +137,32 @@ pub fn run_sssp_seeded(
     Engine::new(dg, cfg, model).run(seeds)
 }
 
+/// Validate and canonicalize a seed list, shared by both backends: every
+/// seed vertex must exist, and a vertex listed twice keeps its smallest
+/// seed distance — so the relax order of duplicate seeds can never matter.
+/// An empty list is legal: the run settles nothing and every distance
+/// stays [`INF`].
+pub(super) fn dedup_seeds(seeds: &[(VertexId, u64)], n_total: usize) -> Vec<(VertexId, u64)> {
+    let mut best: BTreeMap<VertexId, u64> = BTreeMap::new();
+    for &(v, d) in seeds {
+        assert!(
+            (v as usize) < n_total,
+            "seed vertex {v} out of range (n = {n_total})"
+        );
+        let e = best.entry(v).or_insert(d);
+        *e = (*e).min(d);
+    }
+    best.into_iter().collect()
+}
+
 struct Engine<'a> {
     pub(super) dg: &'a DistGraph,
     pub(super) cfg: &'a SsspConfig,
     pub(super) model: &'a MachineModel,
     pub(super) p: usize,
+    /// The run's stepping policy (bucket assignment + window selection),
+    /// resolved once from the config.
+    pub(super) policy: PolicyDispatch,
     pub(super) states: Vec<RankState>,
     pub(super) comm: CommStats,
     pub(super) ledger: TimeLedger,
@@ -219,6 +243,7 @@ impl<'a> Engine<'a> {
             cfg,
             model,
             p,
+            policy: PolicyDispatch::from_config(cfg, p),
             states,
             comm: CommStats::new(),
             ledger: TimeLedger::new(),
@@ -235,22 +260,21 @@ impl<'a> Engine<'a> {
     // sssp-lint: protocol-entry(simulated)
     fn run(mut self, seeds: &[(VertexId, u64)]) -> SsspOutput {
         let n_total = self.dg.num_vertices() as u64;
+        // Seed validation runs before the empty-graph return so both
+        // degenerate cases behave the same on both backends: out-of-range
+        // seeds always panic, an empty seed list always yields all-INF.
+        let seeds = dedup_seeds(seeds, n_total as usize);
         if n_total == 0 {
             return self.finish();
         }
-        assert!(!seeds.is_empty(), "at least one seed required");
-        let delta = self.cfg.delta;
+        let policy = self.policy;
         for st in &mut self.states {
             st.begin_phase();
         }
-        for &(v, d) in seeds {
-            assert!(
-                (v as usize) < n_total as usize,
-                "seed vertex {v} out of range (n = {n_total})"
-            );
+        for &(v, d) in &seeds {
             let owner = self.dg.part.owner(v);
             let local = self.dg.part.local_index(v);
-            self.states[owner].relax(local, d, &delta);
+            self.states[owner].relax(local, d, &policy);
         }
 
         let mut k_prev: Option<u64> = None;
@@ -275,14 +299,35 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            self.process_bucket(k);
+            // Window selection: policies that process more than one bucket
+            // per epoch reduce their per-rank window proposals through the
+            // dedicated window collective; Δ-stepping's single-bucket rule
+            // issues no collective at all. Both backends hold this match in
+            // the same arm order so the protocol checker extracts the same
+            // per-policy schedule from each.
+            let window = match self.policy.window_rule() {
+                WindowRule::SingleBucket => self.policy.window_for(k, k),
+                WindowRule::RhoPrefix => {
+                    // sssp-lint: protocol: epoch.window-rho
+                    let hi = self.window_collective(k);
+                    self.policy.window_for(k, hi)
+                }
+                WindowRule::RadiusBall => {
+                    // sssp-lint: protocol: epoch.window-radius
+                    let hi = self.window_collective(k);
+                    self.policy.window_for(k, hi)
+                }
+            };
+
+            self.process_window(window);
             self.stats.epochs += 1;
 
             // Settled-count collective (drives the hybrid switch; the paper
-            // computes it at every epoch end).
+            // computes it at every epoch end). A window epoch settles its
+            // whole bucket range.
             self.coll.clear();
             self.coll
-                .extend(self.states.iter().map(|s| s.bucket_count(k)));
+                .extend(self.states.iter().map(|s| s.window_count(window.lo, window.hi)));
             // sssp-lint: protocol: epoch.settle
             let settled_k = allreduce_sum(&self.coll, &mut self.comm);
             self.ledger
@@ -298,7 +343,9 @@ impl<'a> Engine<'a> {
                 self.req_bufs.shrink_to_watermark();
             }
 
-            k_prev = Some(k);
+            // The next epoch starts past the *window*, not the selected
+            // bucket — everything inside `[lo, hi]` is settled now.
+            k_prev = Some(window.hi);
         }
         self.finish()
     }
@@ -341,6 +388,24 @@ impl<'a> Engine<'a> {
         self.ledger
             .charge_collective(self.model, TimeClass::Bucket, self.p);
         (k != u64::MAX).then_some(k)
+    }
+
+    /// The window-selection collective: min-reduce the per-rank window
+    /// proposals for the epoch starting at bucket `k`. Only policies whose
+    /// [`WindowRule`] extends past a single bucket issue it.
+    pub(super) fn window_collective(&mut self, k: u64) -> u64 {
+        self.coll.clear();
+        let policy = self.policy;
+        let dg = self.dg;
+        self.coll.extend(
+            self.states
+                .iter()
+                .map(|s| policy.window_proposal(s, &dg.locals[s.rank], k)),
+        );
+        let hi = allreduce_min_window(&self.coll, &mut self.comm);
+        self.ledger
+            .charge_collective(self.model, TimeClass::Bucket, self.p);
+        hi
     }
 
     pub(super) fn any_active(&mut self) -> bool {
@@ -403,24 +468,24 @@ impl<'a> Engine<'a> {
             .charge_superstep(self.model, TimeClass::Relax, ops, bytes);
     }
 
-    /// Whether any short edge exists at all for the configured Δ (lets the
-    /// Dijkstra configuration skip its necessarily-empty short stages).
-    /// The `m_directed` guard keeps an edgeless graph (whose weight
-    /// extremes are the degenerate (0, 0)) out of the short stages.
+    /// Whether any short edge exists at all for the policy's short bound
+    /// (lets the Dijkstra configuration skip its necessarily-empty short
+    /// stages). The `m_directed` guard keeps an edgeless graph (whose
+    /// weight extremes are the degenerate (0, 0)) out of the short stages.
     pub(super) fn has_short_edges(&self) -> bool {
-        self.dg.m_directed > 0 && (self.min_weight as u64) < self.cfg.delta.short_bound()
+        self.dg.m_directed > 0 && (self.min_weight as u64) < self.policy.short_bound()
     }
 
     // -- epoch processing ---------------------------------------------------
 
-    fn process_bucket(&mut self, k: u64) {
-        // Collect the epoch's initial active set from the bucket.
+    fn process_window(&mut self, window: EpochWindow) {
+        // Collect the epoch's initial active set from the window.
         let scan_max = self
             .states
             .par_iter_mut()
             .map(|st| {
-                st.collect_active_from_bucket(k);
-                st.bucket_scan_len(k) as u64
+                st.collect_active_from_window(window.lo, window.hi);
+                st.window_scan_len(window.lo, window.hi) as u64
             })
             .reduce_with(u64::max)
             .unwrap_or(0);
@@ -432,15 +497,15 @@ impl<'a> Engine<'a> {
             // sssp-lint: protocol: short.active-any
             while self.any_active() {
                 // sssp-lint: protocol: short.exchange-relax
-                self.short_phase(k);
+                self.short_phase(window);
             }
         }
 
         // Stage 2: long-edge phase, push or pull.
         // sssp-lint: protocol: decide.estimates
-        let (mode, est_push, est_pull) = self.decide(k);
+        let (mode, est_push, est_pull) = self.decide(&window);
         let mut record = BucketRecord {
-            bucket: k,
+            bucket: window.lo,
             settled: 0,
             mode,
             est_push,
@@ -456,8 +521,8 @@ impl<'a> Engine<'a> {
             coalesced_msgs: 0,
         };
         match mode {
-            LongPhaseMode::Push => self.long_push(k, &mut record),
-            LongPhaseMode::Pull => self.long_pull(k, &mut record),
+            LongPhaseMode::Push => self.long_push(window, &mut record),
+            LongPhaseMode::Pull => self.long_pull(window, &mut record),
         }
         // The recorder fills the per-epoch traffic fields from the
         // supersteps recorded since the previous bucket closed.

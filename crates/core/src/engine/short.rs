@@ -3,6 +3,7 @@
 use rayon::prelude::*;
 
 use crate::instrument::{PhaseKind, PhaseRecord};
+use crate::policy::EpochWindow;
 
 use super::record::Recorder;
 use super::{invariants, kernels, Engine};
@@ -10,10 +11,10 @@ use super::{invariants, kernels, Engine};
 impl Engine<'_> {
     // -- short phases --------------------------------------------------------
 
-    pub(super) fn short_phase(&mut self, k: u64) {
+    pub(super) fn short_phase(&mut self, window: EpochWindow) {
         self.begin_superstep();
         let dg = self.dg;
-        let delta = self.cfg.delta;
+        let policy = self.policy;
         let ios = self.cfg.ios;
         let pi = self.pi;
 
@@ -26,8 +27,7 @@ impl Engine<'_> {
                     &dg.locals[st.rank],
                     &dg.part,
                     st,
-                    k,
-                    &delta,
+                    &window,
                     ios,
                     pi,
                     &mut |dst, m| ob.send(dst, m),
@@ -42,16 +42,17 @@ impl Engine<'_> {
             .par_iter_mut()
             .zip(self.relax_bufs.inboxes.par_iter())
             .for_each(|(st, inbox)| {
-                kernels::apply_relax(st, &delta, inbox.iter().copied());
-                // Next phase's active set: changed vertices now in B_k.
-                st.collect_active_changed_in_bucket(k);
+                kernels::apply_relax(st, &policy, inbox.iter().copied());
+                // Next phase's active set: changed vertices now inside the
+                // window (the classic B_k under Δ-stepping).
+                st.collect_active_changed_in_window(window.lo, window.hi);
             });
 
         self.charge_exchange(&step);
         self.stats.superstep(&step);
         self.stats.short_relaxations += relaxations;
         self.stats.phase(&PhaseRecord {
-            bucket: k,
+            bucket: window.lo,
             kind: PhaseKind::Short,
             relaxations,
             remote_msgs: step.remote_msgs,

@@ -29,10 +29,11 @@ use sssp_graph::VertexId;
 
 use crate::config::{DirectionPolicy, LongPhaseMode, SsspConfig};
 use crate::instrument::{BucketRecord, PhaseKind, PhaseRecord, RunStats, RunTrace};
+use crate::policy::{EpochWindow, PolicyDispatch, SteppingPolicy, WindowRule};
 use crate::state::{RankState, INF};
 
 use super::record::{merge_rank_traces, NoopRecorder, Recorder};
-use super::{decide, kernels, resolved_pi, RelaxMsg, ReqMsg, RELAX_BYTES, REQ_BYTES};
+use super::{decide, dedup_seeds, kernels, resolved_pi, RelaxMsg, ReqMsg, RELAX_BYTES, REQ_BYTES};
 
 /// Messages of the threaded engine's single channel world: relax proposals
 /// and pull requests share one wire type (a superstep carries only one of
@@ -142,7 +143,21 @@ pub fn threaded_delta_stepping(
     cfg: &SsspConfig,
     model: &MachineModel,
 ) -> ThreadedSsspOutput {
-    run_ranks_with(dg, root, cfg, model, || NoopRecorder).0
+    threaded_sssp_seeded(dg, &[(root, 0)], cfg, model)
+}
+
+/// Fully general threaded entry point: start from arbitrary
+/// `(vertex, distance)` seeds, mirroring [`super::run_sssp_seeded`]. A
+/// vertex listed twice keeps its smallest seed distance; an empty seed
+/// list is legal and yields all-INF distances — the same contract, and
+/// bit-identical results, as the simulated backend.
+pub fn threaded_sssp_seeded(
+    dg: &Arc<DistGraph>,
+    seeds: &[(VertexId, u64)],
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> ThreadedSsspOutput {
+    run_ranks_with(dg, seeds, cfg, model, || NoopRecorder).0
 }
 
 /// [`threaded_delta_stepping`] with run telemetry: each rank records its
@@ -161,7 +176,7 @@ pub fn threaded_delta_stepping_traced(
 ) -> (ThreadedSsspOutput, RunTrace) {
     let p = dg.num_ranks();
     let tpr = dg.threads_per_rank;
-    let (out, stats) = run_ranks_with(dg, root, cfg, model, move || RunStats {
+    let (out, stats) = run_ranks_with(dg, &[(root, 0)], cfg, model, move || RunStats {
         num_ranks: p,
         threads_per_rank: tpr,
         ..RunStats::default()
@@ -181,7 +196,7 @@ pub fn threaded_delta_stepping_traced(
 /// recorders in rank order for the caller to merge).
 fn run_ranks_with<R, F>(
     dg: &Arc<DistGraph>,
-    root: VertexId,
+    seeds: &[(VertexId, u64)],
     cfg: &SsspConfig,
     model: &MachineModel,
     mk: F,
@@ -191,14 +206,27 @@ where
     F: Fn() -> R + Send + Sync + 'static,
 {
     let n = dg.num_vertices();
-    assert!((root as usize) < n, "root {root} out of range (n = {n})");
+    let seeds = dedup_seeds(seeds, n);
+    if n == 0 {
+        // Mirror the simulated engine: an empty graph short-circuits (any
+        // seed already panicked above as out of range).
+        return (
+            ThreadedSsspOutput {
+                distances: Vec::new(),
+                relax_local_msgs: 0,
+                relax_remote_msgs: 0,
+                coalesced_msgs: 0,
+            },
+            Vec::new(),
+        );
+    }
     let p = dg.num_ranks();
     let dg_body = Arc::clone(dg);
     let cfg_body = cfg.clone();
     let model_body = *model;
     let per_rank = run_threaded(p, move |mut ctx: RankCtx<Wire>| {
         let mut rec = mk();
-        let res = rank_body(&dg_body, root, &cfg_body, &model_body, &mut ctx, &mut rec);
+        let res = rank_body(&dg_body, &seeds, &cfg_body, &model_body, &mut ctx, &mut rec);
         (res, rec)
     });
 
@@ -311,7 +339,7 @@ fn decide_threaded(
     ctx: &mut RankCtx<Wire>,
     lg: &LocalGraph,
     st: &RankState,
-    k: u64,
+    window: &EpochWindow,
     cfg: &SsspConfig,
     model: &MachineModel,
     p: usize,
@@ -320,15 +348,8 @@ fn decide_threaded(
     record_estimates: bool,
 ) -> (LongPhaseMode, u64, u64) {
     let heuristic = |ctx: &mut RankCtx<Wire>| -> (LongPhaseMode, u64, u64) {
-        let (push, pull, scanned) = decide::rank_volumes(
-            lg,
-            st,
-            k,
-            &cfg.delta,
-            cfg.ios,
-            cfg.pull_estimator,
-            max_weight,
-        );
+        let (push, pull, scanned) =
+            decide::rank_volumes(lg, st, window, cfg.ios, cfg.pull_estimator, max_weight);
         let push_total = ctx.allreduce_sum(push);
         let pull_total = ctx.allreduce_sum(pull);
         let push_max = ctx.allreduce_max(push);
@@ -364,7 +385,7 @@ fn decide_threaded(
 // sssp-lint: protocol-entry(threaded)
 fn rank_body<R: Recorder>(
     dg: &DistGraph,
-    root: VertexId,
+    seeds: &[(VertexId, u64)],
     cfg: &SsspConfig,
     model: &MachineModel,
     ctx: &mut RankCtx<Wire>,
@@ -374,7 +395,7 @@ fn rank_body<R: Recorder>(
     let p = ctx.num_ranks();
     let lg = &dg.locals[r];
     let part = &dg.part;
-    let delta = cfg.delta;
+    let policy = PolicyDispatch::from_config(cfg, p);
     let n_total = dg.num_vertices() as u64;
     let mut st = RankState::new(r, part.local_count(r), dg.threads_per_rank);
 
@@ -398,7 +419,7 @@ fn rank_body<R: Recorder>(
     }
 
     let pi = resolved_pi(cfg.intra_balance, dg.m_directed, n_total);
-    let has_short = dg.m_directed > 0 && min_weight < delta.short_bound();
+    let has_short = dg.m_directed > 0 && min_weight < policy.short_bound();
 
     let mut out: Vec<Vec<Wire>> = (0..p).map(|_| Vec::new()).collect();
     let mut inbox: Vec<Wire> = Vec::new();
@@ -412,8 +433,10 @@ fn rank_body<R: Recorder>(
     let packet = model.packet.as_ref();
 
     st.begin_phase();
-    if part.owner(root) == r {
-        st.relax(part.local_index(root), 0, &delta);
+    for &(v, d) in seeds {
+        if part.owner(v) == r {
+            st.relax(part.local_index(v), d, &policy);
+        }
     }
 
     let mut k_prev: Option<u64> = None;
@@ -458,7 +481,7 @@ fn rank_body<R: Recorder>(
                         &mut t,
                         rec,
                     );
-                    kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+                    kernels::apply_relax(&mut st, &policy, inbox.iter().map(Wire::relax));
                     st.collect_active_changed();
                     rec.phase(&PhaseRecord {
                         bucket: u64::MAX,
@@ -472,8 +495,25 @@ fn rank_body<R: Recorder>(
             }
         }
 
+        // Window selection: how far past bucket `k` this epoch reaches.
+        // The match arms stay in the same source order as the simulated
+        // engine so the protocol checker extracts identical schedules.
+        let window = match policy.window_rule() {
+            WindowRule::SingleBucket => policy.window_for(k, k),
+            WindowRule::RhoPrefix => {
+                // sssp-lint: protocol: epoch.window-rho
+                let hi = ctx.allreduce_min_window(policy.window_proposal(&st, lg, k));
+                policy.window_for(k, hi)
+            }
+            WindowRule::RadiusBall => {
+                // sssp-lint: protocol: epoch.window-radius
+                let hi = ctx.allreduce_min_window(policy.window_proposal(&st, lg, k));
+                policy.window_for(k, hi)
+            }
+        };
+
         // Stage 1: repeated inner-short phases.
-        st.collect_active_from_bucket(k);
+        st.collect_active_from_window(window.lo, window.hi);
         if has_short {
             let short_start = Instant::now();
             // sssp-lint: protocol: short.active-any
@@ -484,8 +524,7 @@ fn rank_body<R: Recorder>(
                     lg,
                     part,
                     &mut st,
-                    k,
-                    &delta,
+                    &window,
                     cfg.ios,
                     pi,
                     &mut |dst, m| out[dst].push(Wire::Relax(m)),
@@ -500,10 +539,10 @@ fn rank_body<R: Recorder>(
                     &mut t,
                     rec,
                 );
-                kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
-                st.collect_active_changed_in_bucket(k);
+                kernels::apply_relax(&mut st, &policy, inbox.iter().map(Wire::relax));
+                st.collect_active_changed_in_window(window.lo, window.hi);
                 rec.phase(&PhaseRecord {
-                    bucket: k,
+                    bucket: window.lo,
                     kind: PhaseKind::Short,
                     relaxations: sent,
                     remote_msgs: step.remote_msgs,
@@ -518,7 +557,7 @@ fn rank_body<R: Recorder>(
             ctx,
             lg,
             &st,
-            k,
+            &window,
             cfg,
             model,
             p,
@@ -527,7 +566,7 @@ fn rank_body<R: Recorder>(
             rec.enabled(),
         );
         let mut record = BucketRecord {
-            bucket: k,
+            bucket: window.lo,
             settled: 0,
             mode,
             est_push,
@@ -551,8 +590,7 @@ fn rank_body<R: Recorder>(
                     lg,
                     part,
                     &mut st,
-                    k,
-                    &delta,
+                    &window,
                     cfg.ios,
                     pi,
                     &mut |dst, m| out[dst].push(Wire::Relax(m)),
@@ -569,15 +607,15 @@ fn rank_body<R: Recorder>(
                 );
                 let (se, be, fe) = kernels::classify_apply_relax(
                     &mut st,
-                    k,
-                    &delta,
+                    &window,
+                    &policy,
                     inbox.iter().map(Wire::relax),
                 );
                 record.self_edges = se;
                 record.backward_edges = be;
                 record.forward_edges = fe;
                 rec.phase(&PhaseRecord {
-                    bucket: k,
+                    bucket: window.lo,
                     kind: PhaseKind::LongPush,
                     relaxations: outer + long,
                     remote_msgs: step.remote_msgs,
@@ -595,8 +633,7 @@ fn rank_body<R: Recorder>(
                         lg,
                         part,
                         &mut st,
-                        k,
-                        &delta,
+                        &window,
                         pi,
                         &mut |dst, m| out[dst].push(Wire::Relax(m)),
                     );
@@ -610,14 +647,14 @@ fn rank_body<R: Recorder>(
                         &mut t,
                         rec,
                     );
-                    kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+                    kernels::apply_relax(&mut st, &policy, inbox.iter().map(Wire::relax));
                     phase_relax += outer;
                     phase_remote += step.remote_msgs;
                 }
                 st.begin_phase();
                 st.loads.reset();
                 let (req_total, _scanned) =
-                    kernels::pull_request_send(lg, part, &mut st, k, &delta, pi, &mut |dst, m| {
+                    kernels::pull_request_send(lg, part, &mut st, &window, pi, &mut |dst, m| {
                         out[dst].push(Wire::Req(m))
                     });
                 // sssp-lint: protocol: long-pull.requests
@@ -628,7 +665,7 @@ fn rank_body<R: Recorder>(
                 let resp_total = kernels::pull_respond(
                     part,
                     &mut st,
-                    k,
+                    &window,
                     req_inbox.iter().map(Wire::req),
                     &mut |dst, m| out[dst].push(Wire::Relax(m)),
                 );
@@ -642,13 +679,13 @@ fn rank_body<R: Recorder>(
                     &mut t,
                     rec,
                 );
-                kernels::apply_relax(&mut st, &delta, inbox.iter().map(Wire::relax));
+                kernels::apply_relax(&mut st, &policy, inbox.iter().map(Wire::relax));
                 phase_remote += resp_step.remote_msgs;
                 record.requests = req_total;
                 record.responses = resp_total;
                 phase_relax += req_total + resp_total;
                 rec.phase(&PhaseRecord {
-                    bucket: k,
+                    bucket: window.lo,
                     kind: PhaseKind::LongPull,
                     relaxations: phase_relax,
                     remote_msgs: phase_remote,
@@ -661,10 +698,10 @@ fn rank_body<R: Recorder>(
         // Settled-count collective (drives the hybrid switch; the paper
         // computes it at every epoch end).
         // sssp-lint: protocol: epoch.settle
-        let settled_k = ctx.allreduce_sum(st.bucket_count(k));
+        let settled_k = ctx.allreduce_sum(st.window_count(window.lo, window.hi));
         settled_total += settled_k;
         rec.settled(settled_k);
-        k_prev = Some(k);
+        k_prev = Some(window.hi);
         buckets_done += 1;
 
         // Epoch-boundary pool bound: release lanes, inboxes and channel
@@ -867,7 +904,7 @@ mod tests {
                     let cfg = cfg.clone();
                     move |mut ctx: RankCtx<Wire>| {
                         let mut rec = NoopRecorder;
-                        rank_body(&dg, 0, &cfg, &model, &mut ctx, &mut rec);
+                        rank_body(&dg, &[(0, 0)], &cfg, &model, &mut ctx, &mut rec);
                         (ctx.observed_locks(), ctx.observed_lock_pairs())
                     }
                 });
@@ -899,7 +936,7 @@ mod tests {
         let model = MachineModel::bgq_like();
         run_threaded(2, move |mut ctx: RankCtx<Wire>| {
             let mut rec = NoopRecorder;
-            rank_body(&dg, 0, &SsspConfig::opt(15), &model, &mut ctx, &mut rec);
+            rank_body(&dg, &[(0, 0)], &SsspConfig::opt(15), &model, &mut ctx, &mut rec);
             if ctx.rank() == 1 {
                 ctx.perturb_lock_order("slots", "slots");
             }

@@ -50,6 +50,8 @@ pub mod engine;
 pub mod instrument;
 /// Distributed PageRank (exercises the same exchange substrate).
 pub mod pagerank;
+/// Pluggable stepping policies (Δ-, ρ- and radius stepping).
+pub mod policy;
 /// Sequential reference algorithms (Dijkstra, Bellman-Ford).
 pub mod seq;
 /// Per-rank bucket/distance state ([`state::RankState`]).
@@ -59,9 +61,13 @@ pub mod threaded_kernels;
 /// Result checking against the sequential reference.
 pub mod validate;
 
-pub use config::{DeltaParam, DirectionPolicy, IntraBalance, LongPhaseMode, SsspConfig};
+pub use config::{
+    DeltaParam, DirectionPolicy, IntraBalance, LongPhaseMode, SsspConfig, SteppingPolicyKind,
+};
+pub use policy::{EpochWindow, PolicyDispatch, SteppingPolicy, WindowRule};
 pub use engine::threaded::{
-    threaded_delta_stepping, threaded_delta_stepping_traced, ThreadedSsspOutput,
+    threaded_delta_stepping, threaded_delta_stepping_traced, threaded_sssp_seeded,
+    ThreadedSsspOutput,
 };
 pub use engine::{run_sssp, SsspOutput};
 pub use instrument::{RunStats, RunTrace};

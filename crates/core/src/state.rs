@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use sssp_dist::ThreadLoads;
 
-use crate::config::DeltaParam;
+use crate::policy::{SteppingPolicy, NO_PROPOSAL};
 
 /// "Infinite" tentative distance.
 pub const INF: u64 = u64::MAX;
@@ -83,15 +83,19 @@ impl RankState {
     }
 
     /// Apply `Relax`: `d(v) ← min(d(v), nd)`, moving buckets as required
-    /// (Fig. 2 of the paper). Returns whether the distance decreased.
+    /// (Fig. 2 of the paper). Returns whether the distance decreased. The
+    /// bucket the vertex lands in is the policy's to decide ([`DeltaParam`]
+    /// for classic Δ-stepping).
+    ///
+    /// [`DeltaParam`]: crate::config::DeltaParam
     #[inline]
-    pub fn relax(&mut self, local: u32, nd: u64, delta: &DeltaParam) -> bool {
+    pub fn relax<P: SteppingPolicy>(&mut self, local: u32, nd: u64, policy: &P) -> bool {
         let li = local as usize;
         if nd >= self.dist[li] {
             return false;
         }
         let old_b = self.bucket_of[li];
-        let new_b = delta.bucket_of(nd);
+        let new_b = policy.bucket_of(nd);
         debug_assert!(
             new_b <= old_b,
             "bucket monotonicity violated: relax(local {local}, d = {nd}) would move \
@@ -130,6 +134,46 @@ impl RankState {
             .filter(move |&v| self.bucket_of[v as usize] == k)
     }
 
+    /// Live members of every bucket in `[lo, hi]` (lazy deletion filtered),
+    /// in bucket order.
+    pub fn window_members(&self, lo: u64, hi: u64) -> impl Iterator<Item = u32> + '_ {
+        self.buckets.range(lo..=hi).flat_map(move |(&b, members)| {
+            members
+                .iter()
+                .copied()
+                .filter(move |&v| self.bucket_of[v as usize] == b)
+        })
+    }
+
+    /// Raw (unfiltered) scan length over the bucket range `[lo, hi]` — the
+    /// cost of collecting the window's members.
+    pub fn window_scan_len(&self, lo: u64, hi: u64) -> usize {
+        self.buckets.range(lo..=hi).map(|(_, m)| m.len()).sum()
+    }
+
+    /// Exact number of vertices currently in buckets `[lo, hi]`.
+    pub fn window_count(&self, lo: u64, hi: u64) -> u64 {
+        self.counts.range(lo..=hi).map(|(_, &c)| c).sum()
+    }
+
+    /// ρ-stepping's per-rank window proposal: the largest bucket `H ≥ k`
+    /// such that at most `cap` local vertices sit in buckets `[k, H]` —
+    /// but at least `k` itself, since the globally selected bucket must be
+    /// inside the window. Returns [`NO_PROPOSAL`] when even the whole
+    /// suffix stays within the cap.
+    pub fn prefix_window_end(&self, k: u64, cap: u64) -> u64 {
+        let mut cum = 0u64;
+        let mut last = k;
+        for (&b, &c) in self.counts.range(k..) {
+            cum += c;
+            if cum > cap {
+                return if b == k { k } else { last };
+            }
+            last = b;
+        }
+        NO_PROPOSAL
+    }
+
     /// Raw (unfiltered) length of bucket `k`'s vector — the scan cost of
     /// collecting the bucket's members.
     pub fn bucket_scan_len(&self, k: u64) -> usize {
@@ -163,14 +207,20 @@ impl RankState {
     /// capacity (all `collect_active_*` methods refill in place so the
     /// active-set buffer survives across phases without reallocation).
     pub fn collect_active_from_bucket(&mut self, k: u64) {
+        self.collect_active_from_window(k, k);
+    }
+
+    /// Collect the live members of every bucket in `[lo, hi]` into
+    /// `active`, reusing its capacity.
+    pub fn collect_active_from_window(&mut self, lo: u64, hi: u64) {
         self.active.clear();
         let bucket_of = &self.bucket_of;
-        if let Some(members) = self.buckets.get(&k) {
+        for (&b, members) in self.buckets.range(lo..=hi) {
             self.active.extend(
                 members
                     .iter()
                     .copied()
-                    .filter(|&v| bucket_of[v as usize] == k),
+                    .filter(|&v| bucket_of[v as usize] == b),
             );
         }
     }
@@ -190,14 +240,19 @@ impl RankState {
     /// Refill `active` with the changed vertices currently in bucket `k`
     /// (the next short phase's frontier), reusing `active`'s capacity.
     pub fn collect_active_changed_in_bucket(&mut self, k: u64) {
+        self.collect_active_changed_in_window(k, k);
+    }
+
+    /// Refill `active` with the changed vertices currently in buckets
+    /// `[lo, hi]` (the next short phase's frontier of a window epoch),
+    /// reusing `active`'s capacity.
+    pub fn collect_active_changed_in_window(&mut self, lo: u64, hi: u64) {
         self.active.clear();
         let (changed, bucket_of) = (&self.changed, &self.bucket_of);
-        self.active.extend(
-            changed
-                .iter()
-                .copied()
-                .filter(|&v| bucket_of[v as usize] == k),
-        );
+        self.active.extend(changed.iter().copied().filter(|&v| {
+            let b = bucket_of[v as usize];
+            lo <= b && b <= hi
+        }));
     }
 
     /// Refill `active` with every changed vertex (the Bellman-Ford tail's
@@ -220,9 +275,50 @@ impl RankState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DeltaParam;
 
     fn delta5() -> DeltaParam {
         DeltaParam::Finite(5)
+    }
+
+    #[test]
+    fn window_helpers_cover_bucket_ranges() {
+        let mut s = RankState::new(0, 8, 1);
+        s.begin_phase();
+        s.relax(0, 3, &delta5()); // bucket 0
+        s.relax(1, 7, &delta5()); // bucket 1
+        s.relax(2, 12, &delta5()); // bucket 2
+        s.relax(3, 13, &delta5()); // bucket 2
+        assert_eq!(s.window_count(0, 1), 2);
+        assert_eq!(s.window_count(1, 2), 3);
+        assert_eq!(s.window_members(0, 2).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        s.collect_active_from_window(1, 2);
+        assert_eq!(s.active, vec![1, 2, 3]);
+        s.collect_active_changed_in_window(2, 2);
+        assert_eq!(s.active, vec![2, 3]);
+        // A vertex that moved below the window drops out everywhere.
+        s.relax(2, 1, &delta5());
+        assert_eq!(s.window_members(2, 2).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(s.window_scan_len(2, 2), 2); // stale entry still scanned
+        assert_eq!(s.window_count(2, 2), 1);
+    }
+
+    #[test]
+    fn prefix_window_end_respects_the_cap() {
+        let mut s = RankState::new(0, 8, 1);
+        s.begin_phase();
+        s.relax(0, 3, &delta5()); // bucket 0
+        s.relax(1, 7, &delta5()); // bucket 1
+        s.relax(2, 12, &delta5()); // bucket 2
+        s.relax(3, 13, &delta5()); // bucket 2
+        // cap 1: only bucket 0 fits.
+        assert_eq!(s.prefix_window_end(0, 1), 0);
+        // cap 2: buckets 0..=1 fit, bucket 2 would exceed.
+        assert_eq!(s.prefix_window_end(0, 2), 1);
+        // cap 4: everything fits — no bound.
+        assert_eq!(s.prefix_window_end(0, 4), NO_PROPOSAL);
+        // Even a cap the selected bucket alone exceeds proposes k itself.
+        assert_eq!(s.prefix_window_end(2, 1), 2);
     }
 
     #[test]

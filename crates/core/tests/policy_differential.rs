@@ -1,0 +1,188 @@
+//! Differential suite for the pluggable stepping-policy engine: the
+//! Δ-stepping, ρ-stepping and radius-stepping policies must all produce
+//! distances bit-identical to sequential Dijkstra (radix variant) on
+//! BOTH backends — including unreachable vertices, single-vertex
+//! graphs, multi-seed starts with duplicates, empty seed lists, and the
+//! Δ = 1 / maximal-weight epoch-sentinel edge case.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::SsspConfig;
+use sssp_core::engine::{run_sssp, run_sssp_seeded};
+use sssp_core::seq;
+use sssp_core::state::INF;
+use sssp_core::{threaded_delta_stepping, threaded_sssp_seeded};
+use sssp_dist::DistGraph;
+use sssp_graph::{gen, Csr, CsrBuilder, EdgeList};
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2usize..60, 0usize..250, 1u32..60, 0u64..1000)
+        .prop_map(|(n, m, w_max, seed)| CsrBuilder::new().build(&gen::uniform(n, m, w_max, seed)))
+}
+
+/// Nightly TSan runs dial proptest down via `PROPTEST_CASES`; honor it
+/// like the other threaded differential suites do.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One configuration per stepping policy, with parameters small enough
+/// that the window policies actually split the tiny proptest graphs
+/// into several epochs instead of swallowing them whole.
+fn policy_matrix() -> Vec<SsspConfig> {
+    vec![
+        SsspConfig::del(13),
+        SsspConfig::opt(20),
+        SsspConfig::rho(8),
+        SsspConfig::rho(64),
+        SsspConfig::radius(1),
+        SsspConfig::radius(4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(16)))]
+
+    #[test]
+    fn every_policy_matches_dijkstra_radix_on_both_backends(
+        g in arb_graph(),
+        p in 1usize..7,
+        root_pick in any::<prop::sample::Index>(),
+    ) {
+        let root = root_pick.index(g.num_vertices()) as u32;
+        let expect = seq::dijkstra_radix(&g, root);
+        let dg = Arc::new(DistGraph::build(&g, p, 2));
+        let model = MachineModel::bgq_like();
+        for cfg in policy_matrix() {
+            let simulated = run_sssp(&dg, root, &cfg, &model);
+            prop_assert_eq!(
+                &simulated.distances, &expect,
+                "simulated backend, p = {}, cfg = {:?}", p, &cfg
+            );
+            let threaded = threaded_delta_stepping(&dg, root, &cfg, &model);
+            prop_assert_eq!(
+                &threaded.distances, &expect,
+                "threaded backend, p = {}, cfg = {:?}", p, &cfg
+            );
+        }
+    }
+
+    #[test]
+    fn multi_seed_runs_agree_across_backends(
+        g in arb_graph(),
+        p in 1usize..6,
+        seeds in proptest::collection::vec((any::<prop::sample::Index>(), 0u64..500), 1..5),
+    ) {
+        let seed_list: Vec<(u32, u64)> = seeds
+            .into_iter()
+            .map(|(ix, d)| (ix.index(g.num_vertices()) as u32, d))
+            .collect();
+        // A duplicate of the first seed at a strictly larger distance
+        // must be invisible: per-vertex min wins on both backends.
+        let mut with_dup = seed_list.clone();
+        with_dup.push((seed_list[0].0, seed_list[0].1 + 7));
+        let dg = Arc::new(DistGraph::build(&g, p, 2));
+        let model = MachineModel::bgq_like();
+        for cfg in policy_matrix() {
+            let simulated = run_sssp_seeded(&dg, &seed_list, &cfg, &model);
+            let threaded = threaded_sssp_seeded(&dg, &seed_list, &cfg, &model);
+            prop_assert_eq!(
+                &threaded.distances, &simulated.distances,
+                "p = {}, cfg = {:?}", p, &cfg
+            );
+            let sim_dup = run_sssp_seeded(&dg, &with_dup, &cfg, &model);
+            let thr_dup = threaded_sssp_seeded(&dg, &with_dup, &cfg, &model);
+            prop_assert_eq!(&sim_dup.distances, &simulated.distances);
+            prop_assert_eq!(&thr_dup.distances, &simulated.distances);
+        }
+    }
+}
+
+#[test]
+fn empty_seed_list_yields_all_inf_on_both_backends() {
+    let g = CsrBuilder::new().build(&gen::uniform(20, 60, 30, 7));
+    let dg = Arc::new(DistGraph::build(&g, 3, 2));
+    let model = MachineModel::bgq_like();
+    for cfg in policy_matrix() {
+        let simulated = run_sssp_seeded(&dg, &[], &cfg, &model);
+        assert!(
+            simulated.distances.iter().all(|&d| d == INF),
+            "simulated, cfg = {cfg:?}"
+        );
+        let threaded = threaded_sssp_seeded(&dg, &[], &cfg, &model);
+        assert_eq!(threaded.distances, simulated.distances, "cfg = {cfg:?}");
+    }
+}
+
+#[test]
+fn single_vertex_graph_settles_its_root_under_every_policy() {
+    let g = CsrBuilder::new().build(&gen::uniform(1, 0, 1, 0));
+    let dg = Arc::new(DistGraph::build(&g, 2, 1));
+    let model = MachineModel::bgq_like();
+    for cfg in policy_matrix() {
+        let simulated = run_sssp(&dg, 0, &cfg, &model);
+        assert_eq!(simulated.distances, vec![0], "simulated, cfg = {cfg:?}");
+        let threaded = threaded_delta_stepping(&dg, 0, &cfg, &model);
+        assert_eq!(threaded.distances, vec![0], "threaded, cfg = {cfg:?}");
+    }
+}
+
+#[test]
+fn unreachable_vertices_stay_inf_under_every_policy() {
+    // Two components: {0, 1} and {2, 3}; root 0 never reaches the second.
+    let mut el = EdgeList::new(4);
+    el.push(0, 1, 3);
+    el.push(2, 3, 5);
+    let g = CsrBuilder::new().build(&el);
+    let expect = seq::dijkstra_radix(&g, 0);
+    assert_eq!(expect[2], INF);
+    assert_eq!(expect[3], INF);
+    let dg = Arc::new(DistGraph::build(&g, 3, 1));
+    let model = MachineModel::bgq_like();
+    for cfg in policy_matrix() {
+        let simulated = run_sssp(&dg, 0, &cfg, &model);
+        assert_eq!(simulated.distances, expect, "simulated, cfg = {cfg:?}");
+        let threaded = threaded_delta_stepping(&dg, 0, &cfg, &model);
+        assert_eq!(threaded.distances, expect, "threaded, cfg = {cfg:?}");
+    }
+}
+
+#[test]
+fn delta_one_with_maximal_weights_terminates_past_the_epoch_sentinel() {
+    // Regression for the `bucket_of` epoch-sentinel fix: under Δ = 1 the
+    // bucket index IS the distance, so a seed at `u64::MAX - 1` lands in
+    // the last representable bucket, one below the `u64::MAX` "no bucket
+    // left" sentinel of the epoch-selection collective. Before the cap,
+    // such a bucket index could collide with the sentinel and the run
+    // would terminate early, leaving the vertex unsettled. Maximal
+    // `u32::MAX` edge weights stress the same arithmetic on the reachable
+    // component. Vertex 3 is isolated so no `d + w` is ever computed from
+    // the near-maximal seed distance.
+    let mut el = EdgeList::new(4);
+    el.push(0, 1, u32::MAX);
+    el.push(1, 2, u32::MAX);
+    let g = CsrBuilder::new().build(&el);
+    let seeds: &[(u32, u64)] = &[(0, 0), (3, u64::MAX - 1)];
+    let expect = vec![
+        0,
+        u32::MAX as u64,
+        2 * (u32::MAX as u64),
+        u64::MAX - 1,
+    ];
+    let model = MachineModel::bgq_like();
+    for p in [1usize, 2, 4] {
+        let dg = Arc::new(DistGraph::build(&g, p, 1));
+        for cfg in [SsspConfig::del(1), SsspConfig::rho(2), SsspConfig::radius(1)] {
+            let simulated = run_sssp_seeded(&dg, seeds, &cfg, &model);
+            assert_eq!(simulated.distances, expect, "simulated, p = {p}, cfg = {cfg:?}");
+            let threaded = threaded_sssp_seeded(&dg, seeds, &cfg, &model);
+            assert_eq!(threaded.distances, expect, "threaded, p = {p}, cfg = {cfg:?}");
+        }
+    }
+}

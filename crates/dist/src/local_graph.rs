@@ -32,7 +32,15 @@ pub fn weight_bucket(w: Weight) -> usize {
 }
 
 impl LocalGraph {
-    fn from_rows(rows: Vec<(Vec<VertexId>, Vec<Weight>)>) -> Self {
+    /// Assemble a local graph directly from per-vertex `(targets, weights)`
+    /// rows (each row already weight-sorted). The distribution layer goes
+    /// through [`DistGraph`](crate::DistGraph); this constructor exists for
+    /// unit tests of row-consuming code.
+    pub fn from_rows<I>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = (Vec<VertexId>, Vec<Weight>)>,
+    {
+        let rows: Vec<(Vec<VertexId>, Vec<Weight>)> = rows.into_iter().collect();
         let total: usize = rows.iter().map(|(t, _)| t.len()).sum();
         let max_w = rows
             .iter()

@@ -259,7 +259,32 @@ pub fn render_table(rows: &[(TableRow, usize, usize)]) -> String {
         s.push_str(line.trim_end());
         s.push('\n');
     }
+    render_policy_sections(&mut s, rows);
     s
+}
+
+/// Append one schedule section per stepping policy. A run executes the
+/// merged rows minus the *other* policies' window collectives (labels
+/// `epoch.window-*` are policy-specific; every other row is shared), so
+/// pinning each filtered section pins each policy's schedule distinctly.
+fn render_policy_sections(s: &mut String, rows: &[(TableRow, usize, usize)]) {
+    let sections: &[(&str, fn(&str) -> bool)] = &[
+        ("delta", |l| !l.starts_with("epoch.window-")),
+        ("rho", |l| l != "epoch.window-radius"),
+        ("radius", |l| l != "epoch.window-rho"),
+    ];
+    s.push_str("#\n");
+    s.push_str("# Per-policy schedules: the rows one run actually executes under each\n");
+    s.push_str("# stepping policy (the `epoch.window-*` collectives are policy-specific;\n");
+    s.push_str("# all other rows are shared by every policy).\n");
+    for (name, keep) in sections {
+        s.push_str(&format!("## policy: {name}\n"));
+        for (row, _, _) in rows.iter().filter(|(r, _, _)| keep(&r.label)) {
+            let line = format!("{:<6} {:<9} {}", row.depth, row.op.to_string(), row.label);
+            s.push_str(line.trim_end());
+            s.push('\n');
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -348,6 +373,7 @@ const REDUCE_IDENTS: &[&str] = &[
     "allreduce",
     "allreduce_sum",
     "allreduce_min",
+    "allreduce_min_window",
     "allreduce_max",
     "allreduce_any",
     "allreduce_sum_f64",
@@ -853,6 +879,7 @@ const SANITIZERS: &[&str] = &[
     "allreduce",
     "allreduce_sum",
     "allreduce_min",
+    "allreduce_min_window",
     "allreduce_max",
     "allreduce_any",
     "allreduce_sum_f64",

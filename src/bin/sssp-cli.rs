@@ -11,7 +11,7 @@
 //! `run` without a subcommand is the default for backward compatibility.
 
 use sssp_mps::core::bfs::run_bfs;
-use sssp_mps::core::config::IntraBalance;
+use sssp_mps::core::config::{IntraBalance, SteppingPolicyKind};
 use sssp_mps::graph::social::social_preset;
 use sssp_mps::graph::{io, stats};
 use sssp_mps::prelude::*;
@@ -25,6 +25,8 @@ struct Args {
     threads: usize,
     algo: String,
     delta: u32,
+    policy: String,
+    rho: u32,
     roots: usize,
     seed: u64,
     validate: bool,
@@ -43,6 +45,8 @@ impl Default for Args {
             threads: 4,
             algo: "opt".into(),
             delta: 25,
+            policy: "delta".into(),
+            rho: 2048,
             roots: 1,
             seed: 1,
             validate: false,
@@ -73,6 +77,8 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             "--threads" => args.threads = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--algo" => args.algo = value(&mut i)?,
             "--delta" => args.delta = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--policy" => args.policy = value(&mut i)?,
+            "--rho" => args.rho = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--roots" => args.roots = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--validate" => args.validate = true,
@@ -112,6 +118,10 @@ OPTIONS:
   --threads <T>      logical threads per rank (default 4)
   --algo <A>         dijkstra | bellman-ford | del | ios | prune | opt | lb-opt | bfs (default opt)
   --delta <D>        Δ parameter for the Δ-stepping family (default 25)
+  --policy <P>       stepping policy: delta | rho | radius (default delta);
+                     rho extracts ≈ρ closest vertices per epoch, radius uses
+                     per-vertex radii (the ρ-th smallest incident weight)
+  --rho <N>          ρ parameter for the rho/radius policies (default 2048)
   --roots <K>        number of random roots to run (default 1)
   --seed <S>         generator seed (default 1)
   --split            arm the §III-E degree-threshold splitting trigger:
@@ -148,7 +158,7 @@ fn build_graph(args: &Args) -> Csr {
 }
 
 fn config_for(args: &Args) -> SsspConfig {
-    match args.algo.as_str() {
+    let cfg = match args.algo.as_str() {
         "dijkstra" => SsspConfig::dijkstra(),
         "bellman-ford" | "bf" => SsspConfig::bellman_ford(),
         "del" => SsspConfig::del(args.delta),
@@ -157,6 +167,12 @@ fn config_for(args: &Args) -> SsspConfig {
         "opt" => SsspConfig::opt(args.delta),
         "lb-opt" => SsspConfig::opt(args.delta).with_intra_balance(IntraBalance::Auto),
         other => panic!("unknown algorithm '{other}' (see --help)"),
+    };
+    match args.policy.as_str() {
+        "delta" => cfg,
+        "rho" => cfg.with_policy(SteppingPolicyKind::Rho(args.rho)),
+        "radius" => cfg.with_policy(SteppingPolicyKind::Radius(args.rho)),
+        other => panic!("unknown policy '{other}' (see --help)"),
     }
 }
 
