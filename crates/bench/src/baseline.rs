@@ -4,8 +4,20 @@
 //! buffers, the historical fresh-allocation mode, and the real-thread
 //! backend — and records wall time, allocation counts, message traffic
 //! and simulated time here. The JSON is hand-rolled: the document is a
-//! flat two-level object, so rendering and extraction are a few lines
+//! shallow object tree, so rendering and extraction are a few lines
 //! each and the harness stays dependency-free.
+//!
+//! The document holds one block per measured R-MAT scale, keyed
+//! `"scale_N"`. The binary regenerates only its own scale's block and
+//! preserves the others verbatim ([`upsert_scale_block`]), so baselines
+//! recorded at different scales can coexist in one committed file.
+//!
+//! GTEPS conventions: every GTEPS figure in a block divides the same
+//! traversed-edge count (`gteps_edges`, the undirected input edge count)
+//! by a time. `gteps` on the simulated records uses the cost-model clock;
+//! `gteps_wall` (and the threaded backend's `gteps`) use measured wall
+//! time. Compare wall to wall and simulated to simulated — the two clocks
+//! measure different machines.
 
 /// Metrics of one measured simulated configuration (pooled or fresh
 /// buffers).
@@ -28,8 +40,13 @@ pub struct PerfRecord {
     pub coalesced_msgs: u64,
     /// Mean simulated seconds per run (the cost-model clock).
     pub simulated_s: f64,
-    /// Mean simulated GTEPS per run.
+    /// Mean simulated GTEPS per run: the block's `gteps_edges` denominator
+    /// over `simulated_s`. Comparable only with other simulated figures.
     pub gteps: f64,
+    /// Mean wall-clock GTEPS per run: the same `gteps_edges` denominator
+    /// over measured wall time per root. This is the figure comparable
+    /// with the threaded backend's (wall-clock) `gteps`.
+    pub gteps_wall: f64,
 }
 
 impl PerfRecord {
@@ -61,7 +78,8 @@ impl PerfRecord {
                 "\"supersteps\": {}, \"allocs_per_superstep\": {:.3}, ",
                 "\"msgs\": {}, \"remote_msgs\": {}, \"coalesced_msgs\": {}, ",
                 "\"coalesced_fraction\": {:.4}, ",
-                "\"simulated_s\": {:.6}, \"gteps\": {:.6}}}"
+                "\"simulated_s\": {:.6}, \"gteps\": {:.6}, ",
+                "\"gteps_wall\": {:.6}}}"
             ),
             self.wall_ms,
             self.allocs,
@@ -74,17 +92,20 @@ impl PerfRecord {
             self.coalesced_fraction(),
             self.simulated_s,
             self.gteps,
+            self.gteps_wall,
         )
     }
 }
 
-/// Metrics of the real-thread backend run (one OS thread per rank; the
-/// GTEPS here are wall-clock, not simulated).
+/// Metrics of the real-thread backend run (one OS thread per rank).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThreadedRecord {
     /// Wall-clock milliseconds over all measured roots.
     pub wall_ms: f64,
-    /// Wall-clock GTEPS over the measured runs.
+    /// Wall-clock GTEPS over the measured runs: the block's `gteps_edges`
+    /// denominator over measured wall time per root. There is no
+    /// cost-model ledger on this backend, so the figure comparable here is
+    /// the simulated records' `gteps_wall`, never their simulated `gteps`.
     pub gteps: f64,
     /// Wall-time speedup over the pooled simulated engine on the same
     /// workload (pooled wall_ms / threaded wall_ms).
@@ -255,6 +276,9 @@ pub struct PerfBaseline {
     pub threads: usize,
     /// Number of measured roots.
     pub roots: usize,
+    /// The traversed-edge denominator shared by every GTEPS figure in this
+    /// block: the undirected input edge count of the benchmark graph.
+    pub gteps_edges: u64,
     /// Metrics with buffer pooling on (the default engine).
     pub pooled: PerfRecord,
     /// Metrics with fresh per-superstep allocation (the pre-pool engine).
@@ -266,20 +290,24 @@ pub struct PerfBaseline {
 }
 
 impl PerfBaseline {
-    /// Render the whole document as pretty-enough JSON.
+    /// Render this scale's block as pretty-enough JSON (an object literal;
+    /// the enclosing multi-scale document is assembled by
+    /// [`upsert_scale_block`]).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\n  \"bench\": \"perf_baseline\",\n  \"family\": \"{}\",\n",
-                "  \"scale\": {},\n  \"ranks\": {},\n  \"threads\": {},\n",
-                "  \"roots\": {},\n  \"pooled\": {},\n  \"fresh\": {},\n",
-                "  \"threaded\": {},\n  \"telemetry\": {}\n}}\n"
+                "{{\n    \"family\": \"{}\",\n",
+                "    \"scale\": {},\n    \"ranks\": {},\n    \"threads\": {},\n",
+                "    \"roots\": {},\n    \"gteps_edges\": {},\n",
+                "    \"pooled\": {},\n    \"fresh\": {},\n",
+                "    \"threaded\": {},\n    \"telemetry\": {}\n  }}"
             ),
             self.family,
             self.scale,
             self.ranks,
             self.threads,
             self.roots,
+            self.gteps_edges,
             self.pooled.to_json(),
             self.fresh.to_json(),
             self.threaded.to_json(),
@@ -291,6 +319,9 @@ impl PerfBaseline {
 /// Extract the number stored at `"key"` inside the object named `object`
 /// (pass `""` to search from the top of the document). Returns `None` when
 /// the object or key is absent or the value does not parse as a number.
+/// On a multi-scale document, slice out one scale's block with
+/// [`scale_block`] first — this function finds the *first* matching
+/// object name.
 pub fn extract_number(json: &str, object: &str, key: &str) -> Option<f64> {
     let start = if object.is_empty() {
         0
@@ -306,6 +337,82 @@ pub fn extract_number(json: &str, object: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+/// All `"scale_N"` blocks of a multi-scale baseline document, as
+/// `(scale, raw object text)` pairs in document order. Brace counting is
+/// exact for the documents this module renders (no string values contain
+/// braces). A legacy single-scale document (no `"scale_N"` keys) yields
+/// an empty list.
+pub fn extract_scale_blocks(json: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(i) = json[pos..].find("\"scale_") {
+        let digits_at = pos + i + "\"scale_".len();
+        let digits: String = json[digits_at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        pos = digits_at + digits.len();
+        let Ok(scale) = digits.parse::<u32>() else {
+            continue;
+        };
+        let Some(open) = json[pos..].find('{') else {
+            break;
+        };
+        let start = pos + open;
+        let mut depth = 0usize;
+        let mut end = None;
+        for (j, c) in json[start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(start + j + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else {
+            break;
+        };
+        out.push((scale, json[start..end].to_string()));
+        pos = end;
+    }
+    out
+}
+
+/// The raw `"scale_N"` block for one scale, if the document has one.
+/// `--check` slices the committed baseline with this before extracting
+/// gate values, so same-named objects in other scales' blocks cannot
+/// shadow the right ones.
+pub fn scale_block(json: &str, scale: u32) -> Option<String> {
+    extract_scale_blocks(json)
+        .into_iter()
+        .find(|(s, _)| *s == scale)
+        .map(|(_, b)| b)
+}
+
+/// Replace (or insert) one scale's block in a baseline document and
+/// render the result, blocks sorted by scale. Blocks for other scales in
+/// `existing` are preserved verbatim; a legacy single-scale document
+/// contributes nothing and is superseded.
+pub fn upsert_scale_block(existing: &str, scale: u32, block: &str) -> String {
+    let mut blocks = extract_scale_blocks(existing);
+    blocks.retain(|(s, _)| *s != scale);
+    blocks.push((scale, block.to_string()));
+    blocks.sort_by_key(|(s, _)| *s);
+    let body: Vec<String> = blocks
+        .iter()
+        .map(|(s, b)| format!("  \"scale_{s}\": {b}"))
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"perf_baseline\",\n{}\n}}\n",
+        body.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +424,7 @@ mod tests {
             ranks: 4,
             threads: 4,
             roots: 3,
+            gteps_edges: 16384,
             pooled: PerfRecord {
                 wall_ms: 12.5,
                 allocs: 480,
@@ -327,6 +435,7 @@ mod tests {
                 coalesced_msgs: 10000,
                 simulated_s: 0.25,
                 gteps: 0.0125,
+                gteps_wall: 0.004,
             },
             fresh: PerfRecord {
                 wall_ms: 15.0,
@@ -338,6 +447,7 @@ mod tests {
                 coalesced_msgs: 10000,
                 simulated_s: 0.25,
                 gteps: 0.0125,
+                gteps_wall: 0.0033,
             },
             threaded: ThreadedRecord {
                 wall_ms: 5.0,
@@ -368,6 +478,8 @@ mod tests {
         let json = sample().to_json();
         assert_eq!(extract_number(&json, "", "scale"), Some(10.0));
         assert_eq!(extract_number(&json, "", "ranks"), Some(4.0));
+        assert_eq!(extract_number(&json, "", "gteps_edges"), Some(16384.0));
+        assert_eq!(extract_number(&json, "pooled", "gteps_wall"), Some(0.004));
         assert_eq!(extract_number(&json, "pooled", "wall_ms"), Some(12.5));
         assert_eq!(extract_number(&json, "pooled", "allocs"), Some(480.0));
         assert_eq!(extract_number(&json, "pooled", "msgs"), Some(30000.0));
@@ -451,6 +563,61 @@ mod tests {
         // A degenerate run (no supersteps) may be all-zero.
         t.supersteps = 0;
         assert!(t.wall_problems().is_empty());
+    }
+
+    #[test]
+    fn multi_scale_document_roundtrips() {
+        let ten = sample();
+        let mut twenty = sample();
+        twenty.scale = 20;
+        twenty.pooled.wall_ms = 400.0;
+
+        let doc = upsert_scale_block("", 10, &ten.to_json());
+        let doc = upsert_scale_block(&doc, 20, &twenty.to_json());
+
+        let blocks = extract_scale_blocks(&doc);
+        assert_eq!(
+            blocks.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![10, 20]
+        );
+        let b10 = scale_block(&doc, 10).expect("scale 10 block");
+        let b20 = scale_block(&doc, 20).expect("scale 20 block");
+        assert_eq!(extract_number(&b10, "pooled", "wall_ms"), Some(12.5));
+        assert_eq!(extract_number(&b20, "pooled", "wall_ms"), Some(400.0));
+        assert_eq!(scale_block(&doc, 15), None);
+    }
+
+    #[test]
+    fn upsert_replaces_only_its_own_scale() {
+        let ten = sample();
+        let mut twenty = sample();
+        twenty.scale = 20;
+        twenty.pooled.wall_ms = 400.0;
+        let doc = upsert_scale_block("", 10, &ten.to_json());
+        let doc = upsert_scale_block(&doc, 20, &twenty.to_json());
+
+        // Re-record scale 10 with a different wall time: scale 20 must
+        // survive byte-for-byte.
+        let before_20 = scale_block(&doc, 20).expect("scale 20 block");
+        let mut ten2 = sample();
+        ten2.pooled.wall_ms = 9.0;
+        let doc2 = upsert_scale_block(&doc, 10, &ten2.to_json());
+        let b10 = scale_block(&doc2, 10).expect("scale 10 block");
+        assert_eq!(extract_number(&b10, "pooled", "wall_ms"), Some(9.0));
+        assert_eq!(scale_block(&doc2, 20).expect("scale 20 block"), before_20);
+        assert_eq!(extract_scale_blocks(&doc2).len(), 2);
+    }
+
+    #[test]
+    fn upsert_supersedes_legacy_single_scale_documents() {
+        // A pre-multi-scale document has no "scale_N" keys: nothing to
+        // preserve, the fresh block becomes the whole document.
+        let legacy = "{\n  \"bench\": \"perf_baseline\",\n  \"scale\": 10,\n  \
+                      \"pooled\": {\"wall_ms\": 26.897}\n}\n";
+        assert!(extract_scale_blocks(legacy).is_empty());
+        let doc = upsert_scale_block(legacy, 10, &sample().to_json());
+        let b10 = scale_block(&doc, 10).expect("scale 10 block");
+        assert_eq!(extract_number(&b10, "pooled", "wall_ms"), Some(12.5));
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //!       [--out PATH] [--check PATH]
 //!
 //! Writes a `BENCH_sssp.json` document (see `sssp_bench::baseline`) with
-//! one record per engine mode. `--check PATH` additionally compares the
-//! freshly measured pooled and threaded runs against a committed baseline
-//! and exits nonzero when wall time or allocations per superstep regress
-//! by more than `SSSP_PERF_TOLERANCE` (default 0.25, i.e. 25%).
+//! one `"scale_N"` block per measured scale, each holding one record per
+//! engine mode; a run re-records only its own scale's block and preserves
+//! the others. `--check PATH` additionally compares the freshly measured
+//! pooled and threaded runs against the committed baseline's block for
+//! the same scale and exits nonzero when wall time or allocations per
+//! superstep regress by more than `SSSP_PERF_TOLERANCE` (default 0.25,
+//! i.e. 25%).
 //!
 //! The binary installs a counting global allocator, so its allocation
 //! numbers are exact (every heap allocation and reallocation on every
@@ -24,7 +27,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sssp_bench::baseline::{
-    extract_number, PerfBaseline, PerfRecord, TelemetryRecord, ThreadedRecord,
+    extract_number, scale_block, upsert_scale_block, PerfBaseline, PerfRecord, TelemetryRecord,
+    ThreadedRecord,
 };
 use sssp_bench::{build_family, pick_roots, print_table, Family};
 use sssp_comm::cost::MachineModel;
@@ -104,6 +108,10 @@ fn measure(
         wall_ms = wall_ms.min(t.elapsed().as_secs_f64() * 1e3);
     }
     let k = roots.len() as f64;
+    // Wall-clock GTEPS on the same traversed-edge denominator as the
+    // simulated figure (and as the threaded backend's): undirected input
+    // edges over measured wall seconds per root.
+    let per_run_s = wall_ms / 1e3 / k;
     PerfRecord {
         wall_ms,
         allocs,
@@ -114,12 +122,15 @@ fn measure(
         coalesced_msgs,
         simulated_s: sim / k,
         gteps: gteps / k,
+        gteps_wall: sssp_comm::cost::teps(dg.m_input_undirected, per_run_s) / 1e9,
     }
 }
 
 /// Time the real-thread backend on the same roots. Its GTEPS are
-/// wall-clock (there is no cost-model ledger on this backend), so they
-/// are only comparable with other wall-clock numbers.
+/// wall-clock (there is no cost-model ledger on this backend) over the
+/// same traversed-edge denominator as the simulated records, so the
+/// comparable simulated figure is `gteps_wall`, never the simulated
+/// `gteps`.
 fn measure_threaded(
     dg: &Arc<DistGraph>,
     roots: &[VertexId],
@@ -195,6 +206,9 @@ fn measure_telemetry(
     }
 }
 
+/// Gate the freshly measured `current` document against one scale's block
+/// of the committed baseline (slice the committed document with
+/// [`scale_block`] first — the extractors here find first matches).
 fn check_against(committed: &str, current: &PerfBaseline) -> Result<(), String> {
     let tol: f64 = std::env::var("SSSP_PERF_TOLERANCE")
         .ok()
@@ -334,6 +348,7 @@ fn main() {
         ranks,
         threads,
         roots: roots.len(),
+        gteps_edges: dg.m_input_undirected,
         pooled,
         fresh,
         threaded,
@@ -352,6 +367,7 @@ fn main() {
                 r.supersteps.to_string(),
                 format!("{:.3e}", r.simulated_s),
                 format!("{:.4}", r.gteps),
+                format!("{:.4}", r.gteps_wall),
             ]
         })
         .collect();
@@ -363,7 +379,8 @@ fn main() {
         "-".to_string(),
         "-".to_string(),
         "-".to_string(),
-        format!("{:.4} (wall)", doc.threaded.gteps),
+        "-".to_string(),
+        format!("{:.4}", doc.threaded.gteps),
     ]);
     print_table(
         &format!(
@@ -378,7 +395,8 @@ fn main() {
             "alloc bytes",
             "supersteps",
             "sim s",
-            "GTEPS",
+            "GTEPS (sim)",
+            "GTEPS (wall)",
         ],
         &rows,
     );
@@ -421,12 +439,15 @@ fn main() {
         wall.wall_bf_ns as f64 / 1e6,
     );
 
-    let json = doc.to_json();
+    // Re-record only this scale's block; other scales' blocks in an
+    // existing document survive verbatim.
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let json = upsert_scale_block(&existing, scale, &doc.to_json());
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     }
-    println!("wrote {out_path}");
+    println!("wrote {out_path} (scale_{scale} block)");
 
     if let Some(path) = check_path {
         let committed = match std::fs::read_to_string(&path) {
@@ -436,10 +457,14 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match check_against(&committed, &doc) {
-            Ok(()) => println!("perf check against {path}: OK"),
+        let Some(block) = scale_block(&committed, scale) else {
+            eprintln!("committed baseline {path} has no scale_{scale} block");
+            std::process::exit(1);
+        };
+        match check_against(&block, &doc) {
+            Ok(()) => println!("perf check against {path} (scale_{scale}): OK"),
             Err(msg) => {
-                eprintln!("perf check against {path} FAILED:\n{msg}");
+                eprintln!("perf check against {path} (scale_{scale}) FAILED:\n{msg}");
                 std::process::exit(1);
             }
         }

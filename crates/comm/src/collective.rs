@@ -109,7 +109,10 @@ mod tests {
             allreduce_min(&vals, &mut a),
             allreduce_min_window(&vals, &mut b)
         );
-        assert_ne!(a.fingerprint, b.fingerprint, "window op must be its own kind");
+        assert_ne!(
+            a.fingerprint, b.fingerprint,
+            "window op must be its own kind"
+        );
     }
 
     #[test]

@@ -138,14 +138,45 @@ pub fn exchange_pooled<M>(
     stats
 }
 
+/// Sender-side sorted-run packing of one outbox lane: sort the lane by
+/// `(key, val)` so it ships as a single key-sorted run the receiver can
+/// apply as a sequential min-merge over its distance array instead of
+/// random-access writes. With `dedup` enabled (relaxation coalescing) the
+/// sorted order additionally lets every dominated duplicate collapse for
+/// free: for each distinct `key(m)` only the message with the smallest
+/// `val(m)` survives. Relaxation traffic is an idempotent min-reduction
+/// per destination vertex, so neither the reordering nor the dropping
+/// changes final distances — and sorting makes the delivery order a pure
+/// function of the lane's message *set* rather than its fill order.
+///
+/// Returns the number of messages removed (always 0 without `dedup`).
+pub fn pack_sorted_run<M, K, V>(
+    lane: &mut Vec<M>,
+    key: impl Fn(&M) -> K,
+    val: impl Fn(&M) -> V,
+    dedup: bool,
+) -> u64
+where
+    K: Ord,
+    V: Ord,
+{
+    if lane.len() < 2 {
+        return 0;
+    }
+    let before = lane.len();
+    lane.sort_unstable_by(|a, b| key(a).cmp(&key(b)).then_with(|| val(a).cmp(&val(b))));
+    if dedup {
+        // `dedup_by` drops the *later* element of each equal-key pair, so
+        // the survivor of every key run is its first — smallest — message.
+        lane.dedup_by(|a, b| key(a) == key(b));
+    }
+    (before - lane.len()) as u64
+}
+
 /// Sender-side coalescing of one outbox lane: keep, for every distinct
-/// `key(m)`, only the message with the smallest `val(m)`. Relaxation
-/// traffic is an idempotent min-reduction per destination vertex, so
-/// dropping every dominated duplicate before the wire changes neither
-/// final distances nor which vertices observe an improvement — it only
-/// shrinks the exchange. The lane is left sorted by `(key, val)`, which
-/// also makes the post-coalescing delivery order a pure function of the
-/// lane's message *set* rather than its fill order.
+/// `key(m)`, only the message with the smallest `val(m)`. Equivalent to
+/// [`pack_sorted_run`] with `dedup` enabled — the lane is left sorted by
+/// `(key, val)` as one run.
 ///
 /// Returns the number of messages removed.
 pub fn coalesce_lane_min<M, K, V>(
@@ -157,15 +188,7 @@ where
     K: Ord,
     V: Ord,
 {
-    if lane.len() < 2 {
-        return 0;
-    }
-    let before = lane.len();
-    lane.sort_unstable_by(|a, b| key(a).cmp(&key(b)).then_with(|| val(a).cmp(&val(b))));
-    // `dedup_by` drops the *later* element of each equal-key pair, so the
-    // survivor of every key run is its first — smallest — message.
-    lane.dedup_by(|a, b| key(a) == key(b));
-    (before - lane.len()) as u64
+    pack_sorted_run(lane, key, val, true)
 }
 
 /// The pool-growth bound: shrink `buf` back to `high_water` capacity when
@@ -401,6 +424,26 @@ mod tests {
         let mut one = vec![(5u32, 40u64)];
         assert_eq!(coalesce_lane_min(&mut one, |m| m.0, |m| m.1), 0);
         assert_eq!(one, vec![(5, 40)]);
+    }
+
+    #[test]
+    fn pack_without_dedup_sorts_and_keeps_everything() {
+        let mut lane: Vec<(u32, u64)> = vec![(3, 9), (1, 5), (3, 2), (2, 7), (1, 5), (3, 11)];
+        let saved = pack_sorted_run(&mut lane, |m| m.0, |m| m.1, false);
+        assert_eq!(saved, 0);
+        assert_eq!(lane, vec![(1, 5), (1, 5), (2, 7), (3, 2), (3, 9), (3, 11)]);
+    }
+
+    #[test]
+    fn pack_with_dedup_matches_coalesce() {
+        let msgs: Vec<(u32, u64)> = vec![(3, 9), (1, 5), (3, 2), (2, 7), (1, 5), (3, 11)];
+        let mut packed = msgs.clone();
+        let mut coalesced = msgs;
+        let a = pack_sorted_run(&mut packed, |m| m.0, |m| m.1, true);
+        let b = coalesce_lane_min(&mut coalesced, |m| m.0, |m| m.1);
+        assert_eq!(a, b);
+        assert_eq!(packed, coalesced);
+        assert_eq!(packed, vec![(1, 5), (2, 7), (3, 2)]);
     }
 
     #[test]

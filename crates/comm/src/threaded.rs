@@ -656,14 +656,16 @@ mod tests {
             let pk = PacketConfig {
                 payload_bytes: 512,
                 header_bytes: 32,
+                run_header_bytes: 8,
             };
             ctx.exchange_pooled_counted(&mut out, &mut inbox, 16, Some(&pk))
         });
         for c in counts {
-            // One 16-byte message fits one packet: 16 payload + 32 header.
+            // One 16-byte message fits one packet: 16 payload + 32 header
+            // + the stream's 8-byte run descriptor.
             assert_eq!(c.sent_remote, 1);
-            assert_eq!(c.sent_remote_bytes, 48);
-            assert_eq!(c.recv_remote_bytes, 48);
+            assert_eq!(c.sent_remote_bytes, 56);
+            assert_eq!(c.recv_remote_bytes, 56);
         }
     }
 

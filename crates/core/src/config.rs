@@ -143,6 +143,13 @@ pub struct SsspConfig {
     /// identical either way, so distances and comm statistics must match
     /// bit for bit.
     pub pooled_buffers: bool,
+    /// Flat hot-path state layout (on by default): bucket members live in
+    /// the lazy cyclic ring of flat lanes ([`crate::state::FLAT_LANES`])
+    /// instead of the legacy `BTreeMap` bucket structure. Distances, the
+    /// collective schedule and all message statistics are identical either
+    /// way — the legacy layout is kept for one release as the differential
+    /// baseline of the flat-layout proptests.
+    pub flat_state: bool,
     /// Sender-side relaxation coalescing (on by default): before every
     /// exchange, each outbox lane is min-reduced per destination vertex so
     /// only the smallest tentative distance crosses the wire. Relaxation
@@ -167,6 +174,7 @@ impl SsspConfig {
             hybrid_tau: None,
             intra_balance: IntraBalance::Off,
             pooled_buffers: true,
+            flat_state: true,
             coalescing: true,
         }
     }
@@ -298,6 +306,15 @@ impl SsspConfig {
         self
     }
 
+    /// Toggle the flat bucket/frontier layout (on by default). Turning it
+    /// off reinstates the legacy `BTreeMap` bucket structure without
+    /// changing any message, distance or statistic — the differential axis
+    /// used by the flat-vs-legacy proptests.
+    pub fn with_flat_state(mut self, flat: bool) -> Self {
+        self.flat_state = flat;
+        self
+    }
+
     /// Toggle sender-side relaxation coalescing (on by default). Turning it
     /// off sends every produced relaxation verbatim — the differential axis
     /// used by the coalescing proptests. Distances are identical either
@@ -402,6 +419,13 @@ mod tests {
         assert!(SsspConfig::del(5).pooled_buffers);
         assert!(SsspConfig::opt(5).pooled_buffers);
         assert!(!SsspConfig::opt(5).with_pooled_buffers(false).pooled_buffers);
+    }
+
+    #[test]
+    fn flat_state_default_on_and_toggleable() {
+        assert!(SsspConfig::del(5).flat_state);
+        assert!(SsspConfig::rho(64).flat_state);
+        assert!(!SsspConfig::opt(5).with_flat_state(false).flat_state);
     }
 
     #[test]

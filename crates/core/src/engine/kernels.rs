@@ -62,48 +62,63 @@ pub(super) fn short_send(
     let short_bound = window.short_bound;
     let end_dist = window.end_dist;
     let mut sent = 0u64;
-    for &u in &st.active {
-        let ul = u as usize;
-        debug_assert!(window.contains(st.bucket_of[ul]));
-        let du = st.dist[ul];
-        debug_assert!(du <= end_dist);
-        let (ts, ws) = lg.row(ul);
-        let hi = if ios {
-            // Inner short edges only: d(u) + w must stay inside the
-            // window (and the edge must be short).
-            let bound = (end_dist - du).min(short_bound.saturating_sub(1));
-            ws.partition_point(|&w| (w as u64) <= bound)
-        } else {
-            ws.partition_point(|&w| (w as u64) < short_bound)
-        };
-        for i in 0..hi {
-            let v = ts[i];
-            invariants::check_ios_inner_edge(ios, ws[i], du, short_bound, end_dist);
-            send(
-                part.owner(v),
-                RelaxMsg {
-                    target: part.local_index(v),
-                    nd: du + ws[i] as u64,
-                },
-            );
+    for wi in 0..st.active.num_words() {
+        let mut word = st.active.word(wi);
+        while word != 0 {
+            let u = sssp_graph::checked_u32(wi * 64) + word.trailing_zeros();
+            word &= word - 1;
+            let ul = u as usize;
+            debug_assert!(window.contains(st.bucket_of[ul]));
+            let du = st.dist[ul];
+            debug_assert!(du <= end_dist);
+            let (ts, ws) = lg.row(ul);
+            let hi = if ios {
+                // Inner short edges only: d(u) + w must stay inside the
+                // window (and the edge must be short).
+                let bound = (end_dist - du).min(short_bound.saturating_sub(1));
+                ws.partition_point(|&w| (w as u64) <= bound)
+            } else {
+                ws.partition_point(|&w| (w as u64) < short_bound)
+            };
+            for i in 0..hi {
+                let v = ts[i];
+                invariants::check_ios_inner_edge(ios, ws[i], du, short_bound, end_dist);
+                send(
+                    part.owner(v),
+                    RelaxMsg {
+                        target: part.local_index(v),
+                        nd: du + ws[i] as u64,
+                    },
+                );
+            }
+            let heavy = (lg.degree(ul) as u64) > pi;
+            st.loads.charge(ul, hi as u64, heavy);
+            sent += hi as u64;
         }
-        let heavy = (lg.degree(ul) as u64) > pi;
-        st.loads.charge(ul, hi as u64, heavy);
-        sent += hi as u64;
     }
     sent
 }
 
 /// One rank's receive side of a relax superstep: apply every delivered
-/// proposal as a min-reduction.
+/// proposal as a min-reduction. Inboxes arrive as concatenated
+/// target-sorted runs (one per sender lane), so a repeated target with a
+/// non-decreasing distance cannot improve — the min-merge skips the relax
+/// call outright. Observationally identical to relaxing every message.
 pub(super) fn apply_relax<P: SteppingPolicy>(
     st: &mut RankState,
     policy: &P,
     msgs: impl Iterator<Item = RelaxMsg>,
 ) {
+    let mut prev: Option<(u32, u64)> = None;
     for m in msgs {
         st.charge_recv(m.target);
+        if let Some((pt, pn)) = prev {
+            if pt == m.target && m.nd >= pn {
+                continue;
+            }
+        }
         st.relax(m.target, m.nd, policy);
+        prev = Some((m.target, m.nd));
     }
 }
 
@@ -150,28 +165,33 @@ pub(super) fn long_push_send(
     let end_dist = window.end_dist;
     let (mut outer, mut long) = (0u64, 0u64);
     st.collect_active_from_window(window.lo, window.hi);
-    for i in 0..st.active.len() {
-        let ul = st.active[i] as usize;
-        let du = st.dist[ul];
-        let (ts, ws) = lg.row(ul);
-        let start = push_range_start(ios, ws, du, end_dist, short_bound);
-        for j in start..ts.len() {
-            let v = ts[j];
-            send(
-                part.owner(v),
-                RelaxMsg {
-                    target: part.local_index(v),
-                    nd: du + ws[j] as u64,
-                },
-            );
-            if (ws[j] as u64) < short_bound {
-                outer += 1;
-            } else {
-                long += 1;
+    for wi in 0..st.active.num_words() {
+        let mut word = st.active.word(wi);
+        while word != 0 {
+            let u = sssp_graph::checked_u32(wi * 64) + word.trailing_zeros();
+            word &= word - 1;
+            let ul = u as usize;
+            let du = st.dist[ul];
+            let (ts, ws) = lg.row(ul);
+            let start = push_range_start(ios, ws, du, end_dist, short_bound);
+            for j in start..ts.len() {
+                let v = ts[j];
+                send(
+                    part.owner(v),
+                    RelaxMsg {
+                        target: part.local_index(v),
+                        nd: du + ws[j] as u64,
+                    },
+                );
+                if (ws[j] as u64) < short_bound {
+                    outer += 1;
+                } else {
+                    long += 1;
+                }
             }
+            let heavy = (lg.degree(ul) as u64) > pi;
+            st.loads.charge(ul, (ts.len() - start) as u64, heavy);
         }
-        let heavy = (lg.degree(ul) as u64) > pi;
-        st.loads.charge(ul, (ts.len() - start) as u64, heavy);
     }
     (outer, long)
 }
@@ -193,25 +213,30 @@ pub(super) fn outer_short_send(
     let end_dist = window.end_dist;
     let mut outer = 0u64;
     st.collect_active_from_window(window.lo, window.hi);
-    for i in 0..st.active.len() {
-        let ul = st.active[i] as usize;
-        let du = st.dist[ul];
-        let (ts, ws) = lg.row(ul);
-        let start = push_range_start(true, ws, du, end_dist, short_bound);
-        let long_start = ws.partition_point(|&w| (w as u64) < short_bound);
-        for j in start..long_start {
-            let v = ts[j];
-            send(
-                part.owner(v),
-                RelaxMsg {
-                    target: part.local_index(v),
-                    nd: du + ws[j] as u64,
-                },
-            );
-            outer += 1;
+    for wi in 0..st.active.num_words() {
+        let mut word = st.active.word(wi);
+        while word != 0 {
+            let u = sssp_graph::checked_u32(wi * 64) + word.trailing_zeros();
+            word &= word - 1;
+            let ul = u as usize;
+            let du = st.dist[ul];
+            let (ts, ws) = lg.row(ul);
+            let start = push_range_start(true, ws, du, end_dist, short_bound);
+            let long_start = ws.partition_point(|&w| (w as u64) < short_bound);
+            for j in start..long_start {
+                let v = ts[j];
+                send(
+                    part.owner(v),
+                    RelaxMsg {
+                        target: part.local_index(v),
+                        nd: du + ws[j] as u64,
+                    },
+                );
+                outer += 1;
+            }
+            let heavy = (lg.degree(ul) as u64) > pi;
+            st.loads.charge(ul, (long_start - start) as u64, heavy);
         }
-        let heavy = (lg.degree(ul) as u64) > pi;
-        st.loads.charge(ul, (long_start - start) as u64, heavy);
     }
     outer
 }
@@ -303,23 +328,28 @@ pub(super) fn bf_send(
     send: &mut impl FnMut(usize, RelaxMsg),
 ) -> u64 {
     let mut sent = 0u64;
-    for &u in &st.active {
-        let ul = u as usize;
-        let du = st.dist[ul];
-        let (ts, ws) = lg.row(ul);
-        for i in 0..ts.len() {
-            let v = ts[i];
-            send(
-                part.owner(v),
-                RelaxMsg {
-                    target: part.local_index(v),
-                    nd: du + ws[i] as u64,
-                },
-            );
+    for wi in 0..st.active.num_words() {
+        let mut word = st.active.word(wi);
+        while word != 0 {
+            let u = sssp_graph::checked_u32(wi * 64) + word.trailing_zeros();
+            word &= word - 1;
+            let ul = u as usize;
+            let du = st.dist[ul];
+            let (ts, ws) = lg.row(ul);
+            for i in 0..ts.len() {
+                let v = ts[i];
+                send(
+                    part.owner(v),
+                    RelaxMsg {
+                        target: part.local_index(v),
+                        nd: du + ws[i] as u64,
+                    },
+                );
+            }
+            let heavy = (lg.degree(ul) as u64) > pi;
+            st.loads.charge(ul, ts.len() as u64, heavy);
+            sent += ts.len() as u64;
         }
-        let heavy = (lg.degree(ul) as u64) > pi;
-        st.loads.charge(ul, ts.len() as u64, heavy);
-        sent += ts.len() as u64;
     }
     sent
 }

@@ -108,9 +108,13 @@ impl Engine<'_> {
             .zip(self.req_bufs.inboxes.par_iter())
             .zip(self.relax_bufs.outboxes.par_iter_mut())
             .map(|((st, reqs), ob)| {
-                kernels::pull_respond(&dg.part, st, &window, reqs.iter().copied(), &mut |dst, m| {
-                    ob.send(dst, m)
-                })
+                kernels::pull_respond(
+                    &dg.part,
+                    st,
+                    &window,
+                    reqs.iter().copied(),
+                    &mut |dst, m| ob.send(dst, m),
+                )
             })
             .sum();
         // sssp-lint: protocol: long-pull.responses

@@ -27,7 +27,7 @@ use rayon::prelude::*;
 
 use sssp_comm::collective::{allreduce_max, allreduce_min, allreduce_min_window, allreduce_sum};
 use sssp_comm::cost::{MachineModel, TimeClass, TimeLedger};
-use sssp_comm::exchange::{coalesce_lane_min, ExchangeBuffers};
+use sssp_comm::exchange::{pack_sorted_run, ExchangeBuffers};
 use sssp_comm::stats::{CommStats, StepStats};
 use sssp_dist::DistGraph;
 use sssp_graph::VertexId;
@@ -204,7 +204,7 @@ impl<'a> Engine<'a> {
         let p = dg.num_ranks();
         let threads = dg.threads_per_rank;
         let states: Vec<RankState> = (0..p)
-            .map(|r| RankState::new(r, dg.part.local_count(r), threads))
+            .map(|r| RankState::new_with_layout(r, dg.part.local_count(r), threads, cfg.flat_state))
             .collect();
 
         // Global weight extremes (rows are weight-sorted, so first/last
@@ -290,6 +290,12 @@ impl<'a> Engine<'a> {
             let next = self.next_bucket(k_prev);
             let Some(k) = next else { break };
             invariants::check_epoch_monotone(k, k_prev);
+            // Slide the flat bucket rings up to the epoch's bucket before
+            // anything queries the structure (window proposals included);
+            // every later query of the epoch is at or above `k`.
+            for st in &mut self.states {
+                st.advance_frontier(k);
+            }
 
             if let (Some(tau), Some(kp)) = (self.cfg.hybrid_tau, k_prev) {
                 if decide::hybrid_should_switch(tau, settled_total, n_total) {
@@ -326,8 +332,11 @@ impl<'a> Engine<'a> {
             // computes it at every epoch end). A window epoch settles its
             // whole bucket range.
             self.coll.clear();
-            self.coll
-                .extend(self.states.iter().map(|s| s.window_count(window.lo, window.hi)));
+            self.coll.extend(
+                self.states
+                    .iter()
+                    .map(|s| s.window_count(window.lo, window.hi)),
+            );
             // sssp-lint: protocol: epoch.settle
             let settled_k = allreduce_sum(&self.coll, &mut self.comm);
             self.ledger
@@ -439,21 +448,21 @@ impl<'a> Engine<'a> {
         self.states.iter().map(|s| s.loads.max()).max().unwrap_or(0)
     }
 
-    /// Coalesce + exchange the relax buffers: each outbox lane is
-    /// min-reduced per destination vertex first (when enabled), so only
-    /// the smallest tentative distance per target crosses the wire. The
-    /// removed-message count rides on the returned step record.
+    /// Pack + exchange the relax buffers: each outbox lane becomes one
+    /// target-sorted run (sorted by `(target, nd)`), so the receiver can
+    /// apply it as a sequential min-merge; with coalescing enabled the
+    /// sort additionally collapses duplicate targets to their minimum, so
+    /// only the smallest tentative distance per target crosses the wire.
+    /// The removed-message count rides on the returned step record.
     pub(super) fn exchange_relax(&mut self) -> StepStats {
-        let saved: u64 = if self.cfg.coalescing {
-            self.relax_bufs
-                .outboxes
-                .iter_mut()
-                .flat_map(|ob| ob.out.iter_mut())
-                .map(|lane| coalesce_lane_min(lane, |m| m.target, |m| m.nd))
-                .sum()
-        } else {
-            0
-        };
+        let dedup = self.cfg.coalescing;
+        let saved: u64 = self
+            .relax_bufs
+            .outboxes
+            .iter_mut()
+            .flat_map(|ob| ob.out.iter_mut())
+            .map(|lane| pack_sorted_run(lane, |m| m.target, |m| m.nd, dedup))
+            .sum();
         let mut step = self
             .relax_bufs
             .exchange(RELAX_BYTES, self.model.packet.as_ref());

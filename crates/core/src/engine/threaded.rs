@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sssp_comm::cost::MachineModel;
-use sssp_comm::exchange::{coalesce_lane_min, shrink_oversized};
+use sssp_comm::exchange::{pack_sorted_run, shrink_oversized};
 use sssp_comm::packet::PacketConfig;
 use sssp_comm::stats::StepStats;
 use sssp_comm::threaded::{run_threaded, RankCtx, SPARE_CAPACITY_FLOOR};
@@ -255,12 +255,14 @@ where
     )
 }
 
-/// Coalesce (when enabled) and exchange a relax superstep's lanes. Splits
-/// post-coalescing messages into rank-local and remote (the self lane never
-/// touches the wire, matching the simulated accounting), records the
-/// superstep with the rank's recorder, and tracks the epoch high-water mark
-/// for the pool-shrink policy. Returns the rank's own [`StepStats`]; merged
-/// across ranks it reproduces the simulated global step record.
+/// Pack (and, when enabled, coalesce) and exchange a relax superstep's
+/// lanes: every lane becomes one target-sorted run, so the receiver
+/// applies it as a sequential min-merge. Splits post-packing messages into
+/// rank-local and remote (the self lane never touches the wire, matching
+/// the simulated accounting), records the superstep with the rank's
+/// recorder, and tracks the epoch high-water mark for the pool-shrink
+/// policy. Returns the rank's own [`StepStats`]; merged across ranks it
+/// reproduces the simulated global step record.
 fn exchange_relax<R: Recorder>(
     ctx: &mut RankCtx<Wire>,
     out: &mut [Vec<Wire>],
@@ -271,10 +273,8 @@ fn exchange_relax<R: Recorder>(
     rec: &mut R,
 ) -> StepStats {
     let mut saved = 0u64;
-    if coalescing {
-        for lane in out.iter_mut() {
-            saved += coalesce_lane_min(lane, |w| w.relax().target, |w| w.relax().nd);
-        }
+    for lane in out.iter_mut() {
+        saved += pack_sorted_run(lane, |w| w.relax().target, |w| w.relax().nd, coalescing);
     }
     for lane in out.iter() {
         t.hwm = t.hwm.max(lane.len());
@@ -397,7 +397,8 @@ fn rank_body<R: Recorder>(
     let part = &dg.part;
     let policy = PolicyDispatch::from_config(cfg, p);
     let n_total = dg.num_vertices() as u64;
-    let mut st = RankState::new(r, part.local_count(r), dg.threads_per_rank);
+    let mut st =
+        RankState::new_with_layout(r, part.local_count(r), dg.threads_per_rank, cfg.flat_state);
 
     // Global weight extremes: a local scan over the weight-sorted rows,
     // reduced through two collectives (the simulated engine scans every
@@ -456,6 +457,10 @@ fn rank_body<R: Recorder>(
         if k == u64::MAX {
             break;
         }
+        // Slide the flat bucket ring up to the epoch's bucket before
+        // anything queries the structure (window proposals included);
+        // every later query of the epoch is at or above `k`.
+        st.advance_frontier(k);
 
         // Hybrid switch (§III-D): merge the remaining buckets and finish
         // with Bellman-Ford rounds.
@@ -520,15 +525,10 @@ fn rank_body<R: Recorder>(
             while ctx.any(!st.active.is_empty()) {
                 st.begin_phase();
                 st.loads.reset();
-                let sent = kernels::short_send(
-                    lg,
-                    part,
-                    &mut st,
-                    &window,
-                    cfg.ios,
-                    pi,
-                    &mut |dst, m| out[dst].push(Wire::Relax(m)),
-                );
+                let sent =
+                    kernels::short_send(lg, part, &mut st, &window, cfg.ios, pi, &mut |dst, m| {
+                        out[dst].push(Wire::Relax(m))
+                    });
                 // sssp-lint: protocol: short.exchange-relax
                 let step = exchange_relax(
                     ctx,
@@ -629,14 +629,10 @@ fn rank_body<R: Recorder>(
                 if cfg.ios {
                     st.begin_phase();
                     st.loads.reset();
-                    let outer = kernels::outer_short_send(
-                        lg,
-                        part,
-                        &mut st,
-                        &window,
-                        pi,
-                        &mut |dst, m| out[dst].push(Wire::Relax(m)),
-                    );
+                    let outer =
+                        kernels::outer_short_send(lg, part, &mut st, &window, pi, &mut |dst, m| {
+                            out[dst].push(Wire::Relax(m))
+                        });
                     // sssp-lint: protocol: long-pull.ios-outer-short
                     let step = exchange_relax(
                         ctx,
@@ -936,7 +932,14 @@ mod tests {
         let model = MachineModel::bgq_like();
         run_threaded(2, move |mut ctx: RankCtx<Wire>| {
             let mut rec = NoopRecorder;
-            rank_body(&dg, &[(0, 0)], &SsspConfig::opt(15), &model, &mut ctx, &mut rec);
+            rank_body(
+                &dg,
+                &[(0, 0)],
+                &SsspConfig::opt(15),
+                &model,
+                &mut ctx,
+                &mut rec,
+            );
             if ctx.rank() == 1 {
                 ctx.perturb_lock_order("slots", "slots");
             }

@@ -64,10 +64,10 @@ pub mod validate;
 pub use config::{
     DeltaParam, DirectionPolicy, IntraBalance, LongPhaseMode, SsspConfig, SteppingPolicyKind,
 };
-pub use policy::{EpochWindow, PolicyDispatch, SteppingPolicy, WindowRule};
 pub use engine::threaded::{
     threaded_delta_stepping, threaded_delta_stepping_traced, threaded_sssp_seeded,
     ThreadedSsspOutput,
 };
 pub use engine::{run_sssp, SsspOutput};
 pub use instrument::{RunStats, RunTrace};
+pub use policy::{EpochWindow, PolicyDispatch, SteppingPolicy, WindowRule};

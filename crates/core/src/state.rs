@@ -1,12 +1,30 @@
 //! Per-rank mutable state of the distributed Δ-stepping engine.
 //!
 //! Each rank owns the tentative distances and bucket structure of its local
-//! vertices. Buckets use the classic lazy-deletion representation: a
-//! `BTreeMap` from bucket index to a vector of members plus an authoritative
-//! `bucket_of` array; entries whose `bucket_of` no longer matches are
-//! skipped at iteration time. A vertex only ever moves to a strictly lower
-//! bucket, so it appears at most once in any bucket vector. Exact
-//! per-bucket counts are kept alongside for the next-bucket collective.
+//! vertices. Buckets use the classic lazy-deletion representation: member
+//! containers plus an authoritative `bucket_of` array; entries whose
+//! `bucket_of` no longer matches are skipped at iteration time. A vertex
+//! only ever moves to a strictly lower bucket, so it appears at most once
+//! in any bucket container. Exact per-bucket counts are kept alongside for
+//! the next-bucket collective.
+//!
+//! Two member layouts exist behind one API:
+//!
+//! * [`FlatBuckets`] (the default) — a lazy cyclic ring of
+//!   [`FLAT_LANES`] flat `Vec<u32>` lanes indexed by `bucket % FLAT_LANES`,
+//!   with an overflow spill list for buckets beyond the ring. The engine
+//!   calls [`RankState::advance_frontier`] once per epoch; lanes the
+//!   frontier passed are recycled in O(passed) and spill entries whose
+//!   bucket entered the ring migrate in. All hot-path operations are
+//!   array indexing instead of `BTreeMap` node chasing.
+//! * Legacy `BTreeMap<u64, Vec<u32>>` buckets — the historical layout,
+//!   kept for one release as a differential toggle
+//!   (`SsspConfig::flat_state = false`) and pinned against the flat layout
+//!   by proptests.
+//!
+//! The `changed` / `active` frontier sets are epoch-stamped bitsets
+//! ([`StampBitset`]): O(1) clear by stamp bump, duplicate-free insertion by
+//! construction, and word-level iteration in the kernels.
 
 use std::collections::BTreeMap;
 
@@ -20,6 +38,426 @@ pub const INF: u64 = u64::MAX;
 /// Bucket index of unreached vertices (the paper's B∞).
 pub const INF_BUCKET: u64 = u64::MAX;
 
+/// Width of the flat bucket ring: how many consecutive bucket indices the
+/// lane array covers before pushes overflow into the spill list. Sized so
+/// Δ-stepping (small bucket indices) and Dial-granularity policies with
+/// Graph 500-scale weights (≤ 255) stay in the ring almost always.
+pub const FLAT_LANES: u64 = 512;
+
+/// An epoch-stamped bitset over local vertex ids: clearing is an O(1)
+/// stamp bump (a word is live only when its stamp matches the current
+/// one), insertion is idempotent, and the kernels iterate members a word
+/// at a time. Replaces the `Vec<u32>` + stamp-array frontier sets.
+#[derive(Debug)]
+pub struct StampBitset {
+    words: Vec<u64>,
+    word_stamp: Vec<u32>,
+    stamp: u32,
+    len: usize,
+}
+
+impl StampBitset {
+    /// Empty set over a universe of `n` vertex ids.
+    pub fn new(n: usize) -> Self {
+        let nw = n.div_ceil(64);
+        StampBitset {
+            words: vec![0; nw],
+            word_stamp: vec![0; nw],
+            stamp: 1,
+            len: 0,
+        }
+    }
+
+    /// Remove every member. O(1): bumps the epoch stamp instead of
+    /// touching the words (with a full reset on the rare stamp wrap).
+    pub fn clear(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp wrapped: reset markers to keep correctness.
+            self.word_stamp.fill(0);
+            self.stamp = 1;
+        }
+        self.len = 0;
+    }
+
+    /// Insert `v`; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: u32) -> bool {
+        let wi = (v >> 6) as usize;
+        let bit = 1u64 << (v & 63);
+        if self.word_stamp[wi] != self.stamp {
+            self.word_stamp[wi] = self.stamp;
+            self.words[wi] = 0;
+        }
+        let newly = self.words[wi] & bit == 0;
+        if newly {
+            self.words[wi] |= bit;
+            self.len += 1;
+        }
+        newly
+    }
+
+    /// Whether `v` is a member.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        let wi = (v >> 6) as usize;
+        self.word_stamp[wi] == self.stamp && self.words[wi] & (1u64 << (v & 63)) != 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 64-bit words covering the universe.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word `wi` of the member mask (0 when the word is not live in the
+    /// current epoch) — the kernels' word-level iteration primitive.
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        if self.word_stamp[wi] == self.stamp {
+            self.words[wi]
+        } else {
+            0
+        }
+    }
+
+    /// Overwrite word `wi` with `w`, adjusting the member count. Used for
+    /// whole-word copies between frontier sets.
+    #[inline]
+    pub fn set_word(&mut self, wi: usize, w: u64) {
+        let old = if self.word_stamp[wi] == self.stamp {
+            self.words[wi]
+        } else {
+            0
+        };
+        self.len = self.len - old.count_ones() as usize + w.count_ones() as usize;
+        self.words[wi] = w;
+        self.word_stamp[wi] = self.stamp;
+    }
+
+    /// Members in ascending vertex-id order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.words.len()).flat_map(move |wi| {
+            let mut w = self.word(wi);
+            let base = sssp_graph::checked_u32(wi * 64);
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(base + b)
+                }
+            })
+        })
+    }
+
+    /// Members collected into a vector (ascending order) — test helper.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+}
+
+impl Default for StampBitset {
+    fn default() -> Self {
+        StampBitset::new(0)
+    }
+}
+
+/// The lazy cyclic flat bucket queue: a ring of [`FLAT_LANES`] member
+/// lanes covering buckets `[base, base + FLAT_LANES)`, exact live counts
+/// per in-ring bucket, and a spill list for pushes beyond the ring.
+///
+/// Invariants (all relative to the monotone epoch sequence the engine
+/// drives through [`RankState::advance_frontier`]):
+///
+/// * lane `b % FLAT_LANES` holds only entries pushed for the unique
+///   in-ring bucket `b` (plus lazy-deletion stale entries for that `b`);
+/// * every spill entry's bucket is `≥ base + FLAT_LANES`;
+/// * counts track *live* vertices (`bucket_of` matches) exactly;
+/// * queries below `base` are answered as empty — the engine only ever
+///   queries at or above the current epoch's bucket.
+#[derive(Debug)]
+struct FlatBuckets {
+    /// First bucket the ring covers (the current epoch's bucket).
+    base: u64,
+    lanes: Vec<Vec<u32>>,
+    lane_counts: Vec<u64>,
+    /// Overflow entries `(vertex, bucket)` for buckets beyond the ring.
+    spill: Vec<(u32, u64)>,
+    /// Exact live counts of the spill buckets.
+    spill_counts: BTreeMap<u64, u64>,
+}
+
+impl FlatBuckets {
+    fn new() -> Self {
+        FlatBuckets {
+            base: 0,
+            lanes: (0..FLAT_LANES).map(|_| Vec::new()).collect(),
+            lane_counts: vec![0; FLAT_LANES as usize],
+            spill: Vec::new(),
+            spill_counts: BTreeMap::new(),
+        }
+    }
+
+    /// One past the last bucket the ring covers (saturating near the
+    /// bucket-index cap).
+    #[inline]
+    fn ring_end(&self) -> u64 {
+        self.base.saturating_add(FLAT_LANES)
+    }
+
+    #[inline]
+    fn slot(b: u64) -> usize {
+        (b % FLAT_LANES) as usize
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32, b: u64) {
+        debug_assert!(
+            b >= self.base,
+            "push below the ring base ({b} < {})",
+            self.base
+        );
+        if b < self.ring_end() {
+            self.lanes[Self::slot(b)].push(v);
+            self.lane_counts[Self::slot(b)] += 1;
+        } else {
+            self.spill.push((v, b));
+            *self.spill_counts.entry(b).or_insert(0) += 1;
+        }
+    }
+
+    #[inline]
+    fn dec(&mut self, b: u64) {
+        if b < self.base {
+            // A live vertex below the ring base would be a settled vertex
+            // improving — impossible under the epoch invariant; its count
+            // was recycled with the lane.
+            debug_assert!(false, "count decrement below the ring base");
+        } else if b < self.ring_end() {
+            let c = &mut self.lane_counts[Self::slot(b)];
+            // sssp-lint: allow(no-panic-hot-path): count exists whenever
+            // bucket_of is finite; a miss means corrupted bucket state and
+            // continuing would return wrong distances.
+            *c = c.checked_sub(1).expect("bucket count missing");
+        } else {
+            // sssp-lint: allow(no-panic-hot-path): same contract as above.
+            let c = self.spill_counts.get_mut(&b).expect("bucket count missing");
+            *c -= 1;
+            if *c == 0 {
+                self.spill_counts.remove(&b);
+            }
+        }
+    }
+
+    fn count(&self, b: u64) -> u64 {
+        if b < self.base {
+            0
+        } else if b < self.ring_end() {
+            self.lane_counts[Self::slot(b)]
+        } else {
+            self.spill_counts.get(&b).copied().unwrap_or(0)
+        }
+    }
+
+    fn window_count(&self, lo: u64, hi: u64) -> u64 {
+        let mut sum = 0u64;
+        let mut b = lo.max(self.base);
+        let ring_hi = hi.min(self.ring_end() - 1);
+        while b <= ring_hi {
+            sum += self.lane_counts[Self::slot(b)];
+            b += 1;
+        }
+        if hi >= self.ring_end() {
+            sum += self
+                .spill_counts
+                .range(self.ring_end()..=hi)
+                .map(|(_, &c)| c)
+                .sum::<u64>();
+        }
+        sum
+    }
+
+    fn window_scan_len(&self, lo: u64, hi: u64) -> usize {
+        let mut sum = 0usize;
+        let mut b = lo.max(self.base);
+        let ring_hi = hi.min(self.ring_end() - 1);
+        while b <= ring_hi {
+            sum += self.lanes[Self::slot(b)].len();
+            b += 1;
+        }
+        if hi >= self.ring_end() {
+            // A window reaching past the ring scans the whole spill list.
+            sum += self.spill.len();
+        }
+        sum
+    }
+
+    fn bucket_scan_len(&self, k: u64) -> usize {
+        if k < self.base {
+            0
+        } else if k < self.ring_end() {
+            self.lanes[Self::slot(k)].len()
+        } else {
+            self.spill.iter().filter(|&&(_, b)| b == k).count()
+        }
+    }
+
+    fn next_nonempty_from(&self, start: u64) -> Option<u64> {
+        let end = self.ring_end();
+        let mut b = start.max(self.base);
+        while b < end {
+            if self.lane_counts[Self::slot(b)] > 0 {
+                return Some(b);
+            }
+            b += 1;
+        }
+        self.spill_counts
+            .range(start.max(end)..)
+            .find(|&(_, &c)| c > 0)
+            .map(|(&b, _)| b)
+    }
+
+    fn prefix_window_end(&self, k: u64, cap: u64) -> u64 {
+        let mut cum = 0u64;
+        let mut last = k;
+        let end = self.ring_end();
+        let mut b = k.max(self.base);
+        while b < end {
+            let c = self.lane_counts[Self::slot(b)];
+            if c > 0 {
+                cum += c;
+                if cum > cap {
+                    return if b == k { k } else { last };
+                }
+                last = b;
+            }
+            b += 1;
+        }
+        for (&b, &c) in self.spill_counts.range(k.max(end)..) {
+            cum += c;
+            if cum > cap {
+                return if b == k { k } else { last };
+            }
+            last = b;
+        }
+        NO_PROPOSAL
+    }
+
+    fn count_after(&self, k: u64) -> u64 {
+        let start = k.saturating_add(1);
+        let end = self.ring_end();
+        let mut sum = 0u64;
+        let mut b = start.max(self.base);
+        while b < end {
+            sum += self.lane_counts[Self::slot(b)];
+            b += 1;
+        }
+        sum + self
+            .spill_counts
+            .range(start.max(end)..)
+            .map(|(_, &c)| c)
+            .sum::<u64>()
+    }
+
+    /// Slide the ring base up to bucket `k` (the new epoch's bucket):
+    /// recycle the lanes the frontier passed, then migrate spill entries
+    /// whose bucket entered the ring (dropping lazily deleted ones).
+    fn advance(&mut self, k: u64, bucket_of: &[u64]) {
+        if k <= self.base {
+            return;
+        }
+        if k.saturating_sub(self.base) >= FLAT_LANES {
+            for lane in &mut self.lanes {
+                lane.clear();
+            }
+            self.lane_counts.fill(0);
+        } else {
+            let mut b = self.base;
+            while b < k {
+                self.lanes[Self::slot(b)].clear();
+                self.lane_counts[Self::slot(b)] = 0;
+                b += 1;
+            }
+        }
+        self.base = k;
+        let end = self.ring_end();
+        if self.spill.is_empty() && self.spill_counts.is_empty() {
+            return;
+        }
+        let (lane_counts, lanes) = (&mut self.lane_counts, &mut self.lanes);
+        self.spill_counts.retain(|&b, c| {
+            if b < end {
+                if b >= k {
+                    lane_counts[Self::slot(b)] += *c;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let mut i = 0;
+        while i < self.spill.len() {
+            let (v, b) = self.spill[i];
+            if b < end {
+                self.spill.swap_remove(i);
+                // Migrate only live entries; stale (lazily deleted) and
+                // already-passed ones are dropped here instead of being
+                // rescanned every epoch.
+                if b >= k && bucket_of[v as usize] == b {
+                    lanes[Self::slot(b)].push(v);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// The historical `BTreeMap` bucket layout, kept for one release behind
+/// `SsspConfig::flat_state = false` as the differential baseline.
+#[derive(Debug)]
+struct LegacyBuckets {
+    buckets: BTreeMap<u64, Vec<u32>>,
+    counts: BTreeMap<u64, u64>,
+}
+
+/// Which member layout a [`RankState`] runs on.
+#[derive(Debug)]
+enum BucketStore {
+    Flat(FlatBuckets),
+    Legacy(LegacyBuckets),
+}
+
+impl BucketStore {
+    fn flat(&self) -> Option<&FlatBuckets> {
+        match self {
+            BucketStore::Flat(f) => Some(f),
+            BucketStore::Legacy(_) => None,
+        }
+    }
+
+    fn legacy(&self) -> Option<&LegacyBuckets> {
+        match self {
+            BucketStore::Flat(_) => None,
+            BucketStore::Legacy(l) => Some(l),
+        }
+    }
+}
+
 /// State of one simulated rank.
 #[derive(Debug)]
 pub struct RankState {
@@ -29,33 +467,52 @@ pub struct RankState {
     pub dist: Vec<u64>,
     /// Current bucket per local vertex ([`INF_BUCKET`] = unreached).
     pub bucket_of: Vec<u64>,
-    buckets: BTreeMap<u64, Vec<u32>>,
-    counts: BTreeMap<u64, u64>,
-    /// Vertices whose distance changed in the current phase (deduplicated).
-    pub changed: Vec<u32>,
-    changed_stamp: Vec<u32>,
-    stamp: u32,
+    store: BucketStore,
+    /// Vertices whose distance changed in the current phase.
+    pub changed: StampBitset,
     /// Active vertices for the next phase.
-    pub active: Vec<u32>,
+    pub active: StampBitset,
     /// Per-thread operation ledger for the current superstep.
     pub loads: ThreadLoads,
 }
 
 impl RankState {
-    /// Fresh state for a rank owning `n_local` vertices, all unreached.
+    /// Fresh state for a rank owning `n_local` vertices, all unreached,
+    /// on the default flat bucket layout.
     pub fn new(rank: usize, n_local: usize, threads: usize) -> Self {
+        Self::new_with_layout(rank, n_local, threads, true)
+    }
+
+    /// Fresh state on the legacy `BTreeMap` bucket layout (the
+    /// differential baseline of the flat-layout proptests).
+    pub fn new_legacy(rank: usize, n_local: usize, threads: usize) -> Self {
+        Self::new_with_layout(rank, n_local, threads, false)
+    }
+
+    /// Fresh state with an explicit layout choice (`flat = true` selects
+    /// [`FlatBuckets`]); the engines thread `SsspConfig::flat_state` here.
+    pub fn new_with_layout(rank: usize, n_local: usize, threads: usize, flat: bool) -> Self {
         RankState {
             rank,
             dist: vec![INF; n_local],
             bucket_of: vec![INF_BUCKET; n_local],
-            buckets: BTreeMap::new(),
-            counts: BTreeMap::new(),
-            changed: Vec::new(),
-            changed_stamp: vec![0; n_local],
-            stamp: 0,
-            active: Vec::new(),
+            store: if flat {
+                BucketStore::Flat(FlatBuckets::new())
+            } else {
+                BucketStore::Legacy(LegacyBuckets {
+                    buckets: BTreeMap::new(),
+                    counts: BTreeMap::new(),
+                })
+            },
+            changed: StampBitset::new(n_local),
+            active: StampBitset::new(n_local),
             loads: ThreadLoads::new(threads),
         }
+    }
+
+    /// Whether this state runs on the flat bucket layout.
+    pub fn is_flat(&self) -> bool {
+        matches!(self.store, BucketStore::Flat(_))
     }
 
     /// Number of vertices this rank owns.
@@ -67,18 +524,29 @@ impl RankState {
     pub fn set_root(&mut self, local: u32) {
         self.dist[local as usize] = 0;
         self.bucket_of[local as usize] = 0;
-        self.buckets.entry(0).or_default().push(local);
-        *self.counts.entry(0).or_insert(0) += 1;
+        match &mut self.store {
+            BucketStore::Flat(f) => f.push(local, 0),
+            BucketStore::Legacy(l) => {
+                l.buckets.entry(0).or_default().push(local);
+                *l.counts.entry(0).or_insert(0) += 1;
+            }
+        }
     }
 
-    /// Begin a new phase: clear the changed set.
+    /// Begin a new phase: clear the changed set (an O(1) stamp bump).
     pub fn begin_phase(&mut self) {
         self.changed.clear();
-        self.stamp = self.stamp.wrapping_add(1);
-        if self.stamp == 0 {
-            // Stamp wrapped: reset markers to keep correctness.
-            self.changed_stamp.fill(0);
-            self.stamp = 1;
+    }
+
+    /// Slide the flat bucket ring's base up to the new epoch's bucket
+    /// `k`, recycling the lanes the frontier passed and migrating spill
+    /// entries whose bucket entered the ring. The engines call this once
+    /// per epoch, right after the epoch-selection collective; every later
+    /// bucket query of the epoch is at or above `k`. A no-op on the
+    /// legacy layout.
+    pub fn advance_frontier(&mut self, k: u64) {
+        if let BucketStore::Flat(f) = &mut self.store {
+            f.advance(k, &self.bucket_of);
         }
     }
 
@@ -103,57 +571,93 @@ impl RankState {
         );
         self.dist[li] = nd;
         if new_b < old_b {
-            if old_b != INF_BUCKET {
-                // sssp-lint: allow(no-panic-hot-path): count exists whenever
-                // bucket_of is finite; a miss means corrupted bucket state and
-                // continuing would return wrong distances.
-                let c = self.counts.get_mut(&old_b).expect("bucket count missing");
-                *c -= 1;
-                if *c == 0 {
-                    self.counts.remove(&old_b);
+            match &mut self.store {
+                BucketStore::Flat(f) => {
+                    if old_b != INF_BUCKET {
+                        f.dec(old_b);
+                    }
+                    f.push(local, new_b);
+                }
+                BucketStore::Legacy(l) => {
+                    if old_b != INF_BUCKET {
+                        // sssp-lint: allow(no-panic-hot-path): count exists whenever
+                        // bucket_of is finite; a miss means corrupted bucket state and
+                        // continuing would return wrong distances.
+                        let c = l.counts.get_mut(&old_b).expect("bucket count missing");
+                        *c -= 1;
+                        if *c == 0 {
+                            l.counts.remove(&old_b);
+                        }
+                    }
+                    l.buckets.entry(new_b).or_default().push(local);
+                    *l.counts.entry(new_b).or_insert(0) += 1;
                 }
             }
             self.bucket_of[li] = new_b;
-            self.buckets.entry(new_b).or_default().push(local);
-            *self.counts.entry(new_b).or_insert(0) += 1;
         }
-        if self.changed_stamp[li] != self.stamp {
-            self.changed_stamp[li] = self.stamp;
-            self.changed.push(local);
-        }
+        self.changed.insert(local);
         true
     }
 
     /// Live members of bucket `k` (lazy deletion filtered).
     pub fn bucket_members(&self, k: u64) -> impl Iterator<Item = u32> + '_ {
-        self.buckets
-            .get(&k)
-            .into_iter()
-            .flatten()
-            .copied()
-            .filter(move |&v| self.bucket_of[v as usize] == k)
+        self.window_members(k, k)
     }
 
-    /// Live members of every bucket in `[lo, hi]` (lazy deletion filtered),
-    /// in bucket order.
+    /// Live members of every bucket in `[lo, hi]` (lazy deletion
+    /// filtered). In-ring buckets come in bucket order; spill members (a
+    /// window reaching past the ring) follow in no particular order —
+    /// every consumer is order-independent (min/sum folds and the bitset
+    /// active-set collector).
     pub fn window_members(&self, lo: u64, hi: u64) -> impl Iterator<Item = u32> + '_ {
-        self.buckets.range(lo..=hi).flat_map(move |(&b, members)| {
-            members
-                .iter()
-                .copied()
-                .filter(move |&v| self.bucket_of[v as usize] == b)
-        })
+        let bucket_of = &self.bucket_of;
+        let legacy = self.store.legacy().into_iter().flat_map(move |st| {
+            st.buckets.range(lo..=hi).flat_map(move |(&b, members)| {
+                members
+                    .iter()
+                    .copied()
+                    .filter(move |&v| bucket_of[v as usize] == b)
+            })
+        });
+        let flat = self.store.flat().into_iter().flat_map(move |fb| {
+            let ring_lo = lo.max(fb.base);
+            let ring_hi = hi.min(fb.ring_end() - 1);
+            let spill_take = if hi >= fb.ring_end() { usize::MAX } else { 0 };
+            (ring_lo..=ring_hi)
+                .flat_map(move |b| {
+                    fb.lanes[FlatBuckets::slot(b)]
+                        .iter()
+                        .copied()
+                        .filter(move |&v| bucket_of[v as usize] == b)
+                })
+                .chain(
+                    fb.spill
+                        .iter()
+                        .take(spill_take)
+                        .filter(move |&&(v, b)| lo <= b && b <= hi && bucket_of[v as usize] == b)
+                        .map(|&(v, _)| v),
+                )
+        });
+        legacy.chain(flat)
     }
 
     /// Raw (unfiltered) scan length over the bucket range `[lo, hi]` — the
-    /// cost of collecting the window's members.
+    /// cost of collecting the window's members. On the flat layout a
+    /// window reaching past the ring charges the whole spill list (that is
+    /// what the collector scans).
     pub fn window_scan_len(&self, lo: u64, hi: u64) -> usize {
-        self.buckets.range(lo..=hi).map(|(_, m)| m.len()).sum()
+        match &self.store {
+            BucketStore::Flat(f) => f.window_scan_len(lo, hi),
+            BucketStore::Legacy(l) => l.buckets.range(lo..=hi).map(|(_, m)| m.len()).sum(),
+        }
     }
 
     /// Exact number of vertices currently in buckets `[lo, hi]`.
     pub fn window_count(&self, lo: u64, hi: u64) -> u64 {
-        self.counts.range(lo..=hi).map(|(_, &c)| c).sum()
+        match &self.store {
+            BucketStore::Flat(f) => f.window_count(lo, hi),
+            BucketStore::Legacy(l) => l.counts.range(lo..=hi).map(|(_, &c)| c).sum(),
+        }
     }
 
     /// ρ-stepping's per-rank window proposal: the largest bucket `H ≥ k`
@@ -162,104 +666,131 @@ impl RankState {
     /// inside the window. Returns [`NO_PROPOSAL`] when even the whole
     /// suffix stays within the cap.
     pub fn prefix_window_end(&self, k: u64, cap: u64) -> u64 {
-        let mut cum = 0u64;
-        let mut last = k;
-        for (&b, &c) in self.counts.range(k..) {
-            cum += c;
-            if cum > cap {
-                return if b == k { k } else { last };
+        match &self.store {
+            BucketStore::Flat(f) => f.prefix_window_end(k, cap),
+            BucketStore::Legacy(l) => {
+                let mut cum = 0u64;
+                let mut last = k;
+                for (&b, &c) in l.counts.range(k..) {
+                    cum += c;
+                    if cum > cap {
+                        return if b == k { k } else { last };
+                    }
+                    last = b;
+                }
+                NO_PROPOSAL
             }
-            last = b;
         }
-        NO_PROPOSAL
     }
 
-    /// Raw (unfiltered) length of bucket `k`'s vector — the scan cost of
-    /// collecting the bucket's members.
+    /// Raw (unfiltered) length of bucket `k`'s member container — the scan
+    /// cost of collecting the bucket's members.
     pub fn bucket_scan_len(&self, k: u64) -> usize {
-        self.buckets.get(&k).map_or(0, Vec::len)
+        match &self.store {
+            BucketStore::Flat(f) => f.bucket_scan_len(k),
+            BucketStore::Legacy(l) => l.buckets.get(&k).map_or(0, Vec::len),
+        }
     }
 
     /// Exact number of vertices currently in bucket `k`.
     pub fn bucket_count(&self, k: u64) -> u64 {
-        self.counts.get(&k).copied().unwrap_or(0)
+        match &self.store {
+            BucketStore::Flat(f) => f.count(k),
+            BucketStore::Legacy(l) => l.counts.get(&k).copied().unwrap_or(0),
+        }
     }
 
     /// Smallest non-empty bucket index `> k`, if any. Pass `None` to search
     /// from the beginning.
     pub fn next_nonempty_after(&self, k: Option<u64>) -> Option<u64> {
-        let range = match k {
-            Some(k) => self.counts.range(k + 1..),
-            None => self.counts.range(..),
+        let start = match k {
+            Some(k) => k + 1,
+            None => 0,
         };
-        range.filter(|&(_, &c)| c > 0).map(|(&b, _)| b).next()
+        match &self.store {
+            BucketStore::Flat(f) => f.next_nonempty_from(start),
+            BucketStore::Legacy(l) => l
+                .counts
+                .range(start..)
+                .filter(|&(_, &c)| c > 0)
+                .map(|(&b, _)| b)
+                .next(),
+        }
     }
 
     /// Number of unsettled vertices (bucket index > `k`), i.e. the scan
     /// extent of a pull phase for current bucket `k`.
     pub fn count_unsettled_after(&self, k: u64) -> u64 {
-        let later: u64 = self.counts.range(k + 1..).map(|(_, &c)| c).sum();
+        let later: u64 = match &self.store {
+            BucketStore::Flat(f) => f.count_after(k),
+            BucketStore::Legacy(l) => l.counts.range(k + 1..).map(|(_, &c)| c).sum(),
+        };
         let infinite = self.bucket_of.iter().filter(|&&b| b == INF_BUCKET).count() as u64;
         later + infinite
     }
 
-    /// Collect the live members of bucket `k` into `active`, reusing its
-    /// capacity (all `collect_active_*` methods refill in place so the
-    /// active-set buffer survives across phases without reallocation).
+    /// Collect the live members of bucket `k` into `active` (all
+    /// `collect_active_*` methods refill the bitset in place — an O(1)
+    /// stamp-bump clear plus member insertion, no reallocation).
     pub fn collect_active_from_bucket(&mut self, k: u64) {
         self.collect_active_from_window(k, k);
     }
 
     /// Collect the live members of every bucket in `[lo, hi]` into
-    /// `active`, reusing its capacity.
+    /// `active`.
     pub fn collect_active_from_window(&mut self, lo: u64, hi: u64) {
-        self.active.clear();
-        let bucket_of = &self.bucket_of;
-        for (&b, members) in self.buckets.range(lo..=hi) {
-            self.active.extend(
-                members
-                    .iter()
-                    .copied()
-                    .filter(|&v| bucket_of[v as usize] == b),
-            );
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
+        for v in self.window_members(lo, hi) {
+            active.insert(v);
         }
+        self.active = active;
     }
 
     /// Collect every unsettled finite vertex (the hybrid tail's initial
-    /// active set), reusing `active`'s capacity.
+    /// active set) into `active`.
     pub fn collect_active_unsettled(&mut self, k: u64) {
         let n = sssp_graph::checked_u32(self.n_local());
         self.active.clear();
-        let bucket_of = &self.bucket_of;
-        self.active.extend((0..n).filter(|&v| {
+        let (bucket_of, active) = (&self.bucket_of, &mut self.active);
+        for v in 0..n {
             let b = bucket_of[v as usize];
-            b > k && b != INF_BUCKET
-        }));
+            if b > k && b != INF_BUCKET {
+                active.insert(v);
+            }
+        }
     }
 
     /// Refill `active` with the changed vertices currently in bucket `k`
-    /// (the next short phase's frontier), reusing `active`'s capacity.
+    /// (the next short phase's frontier).
     pub fn collect_active_changed_in_bucket(&mut self, k: u64) {
         self.collect_active_changed_in_window(k, k);
     }
 
     /// Refill `active` with the changed vertices currently in buckets
-    /// `[lo, hi]` (the next short phase's frontier of a window epoch),
-    /// reusing `active`'s capacity.
+    /// `[lo, hi]` (the next short phase's frontier of a window epoch).
     pub fn collect_active_changed_in_window(&mut self, lo: u64, hi: u64) {
         self.active.clear();
-        let (changed, bucket_of) = (&self.changed, &self.bucket_of);
-        self.active.extend(changed.iter().copied().filter(|&v| {
+        let (changed, bucket_of, active) = (&self.changed, &self.bucket_of, &mut self.active);
+        for v in changed.iter() {
             let b = bucket_of[v as usize];
-            lo <= b && b <= hi
-        }));
+            if lo <= b && b <= hi {
+                active.insert(v);
+            }
+        }
     }
 
     /// Refill `active` with every changed vertex (the Bellman-Ford tail's
-    /// next frontier), reusing `active`'s capacity.
+    /// next frontier) — a whole-word copy of the changed bitset.
     pub fn collect_active_changed(&mut self) {
         self.active.clear();
-        self.active.extend_from_slice(&self.changed);
+        let (changed, active) = (&self.changed, &mut self.active);
+        for wi in 0..changed.num_words() {
+            let w = changed.word(wi);
+            if w != 0 {
+                active.set_word(wi, w);
+            }
+        }
     }
 
     /// Charge the receive-side processing of one message to the thread
@@ -281,67 +812,77 @@ mod tests {
         DeltaParam::Finite(5)
     }
 
+    /// Run every bucket-structure test on both layouts.
+    fn both_layouts(f: impl Fn(RankState)) {
+        f(RankState::new(0, 64, 1));
+        f(RankState::new_legacy(0, 64, 1));
+    }
+
     #[test]
     fn window_helpers_cover_bucket_ranges() {
-        let mut s = RankState::new(0, 8, 1);
-        s.begin_phase();
-        s.relax(0, 3, &delta5()); // bucket 0
-        s.relax(1, 7, &delta5()); // bucket 1
-        s.relax(2, 12, &delta5()); // bucket 2
-        s.relax(3, 13, &delta5()); // bucket 2
-        assert_eq!(s.window_count(0, 1), 2);
-        assert_eq!(s.window_count(1, 2), 3);
-        assert_eq!(s.window_members(0, 2).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
-        s.collect_active_from_window(1, 2);
-        assert_eq!(s.active, vec![1, 2, 3]);
-        s.collect_active_changed_in_window(2, 2);
-        assert_eq!(s.active, vec![2, 3]);
-        // A vertex that moved below the window drops out everywhere.
-        s.relax(2, 1, &delta5());
-        assert_eq!(s.window_members(2, 2).collect::<Vec<_>>(), vec![3]);
-        assert_eq!(s.window_scan_len(2, 2), 2); // stale entry still scanned
-        assert_eq!(s.window_count(2, 2), 1);
+        both_layouts(|mut s| {
+            s.begin_phase();
+            s.relax(0, 3, &delta5()); // bucket 0
+            s.relax(1, 7, &delta5()); // bucket 1
+            s.relax(2, 12, &delta5()); // bucket 2
+            s.relax(3, 13, &delta5()); // bucket 2
+            assert_eq!(s.window_count(0, 1), 2);
+            assert_eq!(s.window_count(1, 2), 3);
+            assert_eq!(s.window_members(0, 2).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+            s.collect_active_from_window(1, 2);
+            assert_eq!(s.active.to_vec(), vec![1, 2, 3]);
+            s.collect_active_changed_in_window(2, 2);
+            assert_eq!(s.active.to_vec(), vec![2, 3]);
+            // A vertex that moved below the window drops out everywhere.
+            s.relax(2, 1, &delta5());
+            assert_eq!(s.window_members(2, 2).collect::<Vec<_>>(), vec![3]);
+            assert_eq!(s.window_scan_len(2, 2), 2); // stale entry still scanned
+            assert_eq!(s.window_count(2, 2), 1);
+        });
     }
 
     #[test]
     fn prefix_window_end_respects_the_cap() {
-        let mut s = RankState::new(0, 8, 1);
-        s.begin_phase();
-        s.relax(0, 3, &delta5()); // bucket 0
-        s.relax(1, 7, &delta5()); // bucket 1
-        s.relax(2, 12, &delta5()); // bucket 2
-        s.relax(3, 13, &delta5()); // bucket 2
-        // cap 1: only bucket 0 fits.
-        assert_eq!(s.prefix_window_end(0, 1), 0);
-        // cap 2: buckets 0..=1 fit, bucket 2 would exceed.
-        assert_eq!(s.prefix_window_end(0, 2), 1);
-        // cap 4: everything fits — no bound.
-        assert_eq!(s.prefix_window_end(0, 4), NO_PROPOSAL);
-        // Even a cap the selected bucket alone exceeds proposes k itself.
-        assert_eq!(s.prefix_window_end(2, 1), 2);
+        both_layouts(|mut s| {
+            s.begin_phase();
+            s.relax(0, 3, &delta5()); // bucket 0
+            s.relax(1, 7, &delta5()); // bucket 1
+            s.relax(2, 12, &delta5()); // bucket 2
+            s.relax(3, 13, &delta5()); // bucket 2
+                                       // cap 1: only bucket 0 fits.
+            assert_eq!(s.prefix_window_end(0, 1), 0);
+            // cap 2: buckets 0..=1 fit, bucket 2 would exceed.
+            assert_eq!(s.prefix_window_end(0, 2), 1);
+            // cap 4: everything fits — no bound.
+            assert_eq!(s.prefix_window_end(0, 4), NO_PROPOSAL);
+            // Even a cap the selected bucket alone exceeds proposes k itself.
+            assert_eq!(s.prefix_window_end(2, 1), 2);
+        });
     }
 
     #[test]
     fn root_goes_to_bucket_zero() {
-        let mut s = RankState::new(0, 10, 2);
-        s.set_root(3);
-        assert_eq!(s.dist[3], 0);
-        assert_eq!(s.bucket_count(0), 1);
-        assert_eq!(s.bucket_members(0).collect::<Vec<_>>(), vec![3]);
+        both_layouts(|mut s| {
+            s.set_root(3);
+            assert_eq!(s.dist[3], 0);
+            assert_eq!(s.bucket_count(0), 1);
+            assert_eq!(s.bucket_members(0).collect::<Vec<_>>(), vec![3]);
+        });
     }
 
     #[test]
     fn relax_improves_and_moves_buckets() {
-        let mut s = RankState::new(0, 4, 1);
-        s.begin_phase();
-        assert!(s.relax(1, 12, &delta5())); // bucket 2
-        assert_eq!(s.bucket_of[1], 2);
-        assert!(s.relax(1, 3, &delta5())); // bucket 0
-        assert_eq!(s.bucket_of[1], 0);
-        assert_eq!(s.bucket_count(2), 0);
-        assert_eq!(s.bucket_count(0), 1);
-        assert!(!s.relax(1, 3, &delta5())); // equal: no change
-        assert!(!s.relax(1, 7, &delta5())); // worse: no change
+        both_layouts(|mut s| {
+            s.begin_phase();
+            assert!(s.relax(1, 12, &delta5())); // bucket 2
+            assert_eq!(s.bucket_of[1], 2);
+            assert!(s.relax(1, 3, &delta5())); // bucket 0
+            assert_eq!(s.bucket_of[1], 0);
+            assert_eq!(s.bucket_count(2), 0);
+            assert_eq!(s.bucket_count(0), 1);
+            assert!(!s.relax(1, 3, &delta5())); // equal: no change
+            assert!(!s.relax(1, 7, &delta5())); // worse: no change
+        });
     }
 
     #[test]
@@ -351,35 +892,38 @@ mod tests {
         s.relax(2, 100, &delta5());
         s.relax(2, 50, &delta5());
         s.relax(2, 20, &delta5());
-        assert_eq!(s.changed, vec![2]);
+        assert_eq!(s.changed.to_vec(), vec![2]);
+        assert_eq!(s.changed.len(), 1);
         s.begin_phase();
         assert!(s.changed.is_empty());
         s.relax(2, 10, &delta5());
-        assert_eq!(s.changed, vec![2]);
+        assert_eq!(s.changed.to_vec(), vec![2]);
     }
 
     #[test]
     fn lazy_deletion_filters_members() {
-        let mut s = RankState::new(0, 4, 1);
-        s.begin_phase();
-        s.relax(1, 12, &delta5()); // bucket 2
-        s.relax(2, 13, &delta5()); // bucket 2
-        s.relax(1, 2, &delta5()); // moves to bucket 0; stale entry remains in 2
-        let members: Vec<u32> = s.bucket_members(2).collect();
-        assert_eq!(members, vec![2]);
-        assert_eq!(s.bucket_scan_len(2), 2); // stale entry still scanned
-        assert_eq!(s.bucket_count(2), 1);
+        both_layouts(|mut s| {
+            s.begin_phase();
+            s.relax(1, 12, &delta5()); // bucket 2
+            s.relax(2, 13, &delta5()); // bucket 2
+            s.relax(1, 2, &delta5()); // moves to bucket 0; stale entry remains in 2
+            let members: Vec<u32> = s.bucket_members(2).collect();
+            assert_eq!(members, vec![2]);
+            assert_eq!(s.bucket_scan_len(2), 2); // stale entry still scanned
+            assert_eq!(s.bucket_count(2), 1);
+        });
     }
 
     #[test]
     fn next_nonempty_after_skips_empties() {
-        let mut s = RankState::new(0, 8, 1);
-        s.begin_phase();
-        s.relax(0, 3, &delta5()); // bucket 0
-        s.relax(1, 26, &delta5()); // bucket 5
-        assert_eq!(s.next_nonempty_after(None), Some(0));
-        assert_eq!(s.next_nonempty_after(Some(0)), Some(5));
-        assert_eq!(s.next_nonempty_after(Some(5)), None);
+        both_layouts(|mut s| {
+            s.begin_phase();
+            s.relax(0, 3, &delta5()); // bucket 0
+            s.relax(1, 26, &delta5()); // bucket 5
+            assert_eq!(s.next_nonempty_after(None), Some(0));
+            assert_eq!(s.next_nonempty_after(Some(0)), Some(5));
+            assert_eq!(s.next_nonempty_after(Some(5)), None);
+        });
     }
 
     #[test]
@@ -401,11 +945,14 @@ mod tests {
         s.relax(1, 26, &delta5());
         s.relax(2, 31, &delta5());
         s.collect_active_unsettled(0);
-        assert_eq!(s.active, vec![1, 2]);
+        assert_eq!(s.active.to_vec(), vec![1, 2]);
     }
 
     #[test]
-    fn collect_active_reuses_capacity_in_place() {
+    fn collect_active_refills_in_place() {
+        // The bitset frontier never reallocates across refills: its word
+        // array is sized once at construction and every collect is a
+        // stamp-bump clear plus insertions.
         let mut s = RankState::new(0, 16, 2);
         s.begin_phase();
         for v in 0..8 {
@@ -413,18 +960,15 @@ mod tests {
         }
         s.collect_active_from_bucket(0);
         assert_eq!(s.active.len(), 8);
-        let cap = s.active.capacity();
-        let ptr = s.active.as_ptr();
-        // Refilling with fewer members must not reallocate.
+        let words = s.active.num_words();
         s.begin_phase();
         s.relax(9, 2, &delta5());
         s.collect_active_changed_in_bucket(0);
-        assert_eq!(s.active, vec![9]);
-        assert_eq!(s.active.capacity(), cap);
-        assert_eq!(s.active.as_ptr(), ptr);
+        assert_eq!(s.active.to_vec(), vec![9]);
+        assert_eq!(s.active.num_words(), words);
         s.collect_active_changed();
-        assert_eq!(s.active, vec![9]);
-        assert_eq!(s.active.as_ptr(), ptr);
+        assert_eq!(s.active.to_vec(), vec![9]);
+        assert_eq!(s.active.num_words(), words);
     }
 
     #[test]
@@ -434,7 +978,7 @@ mod tests {
         s.relax(1, 3, &delta5()); // bucket 0
         s.relax(2, 12, &delta5()); // bucket 2 — not in bucket 0
         s.collect_active_changed_in_bucket(0);
-        assert_eq!(s.active, vec![1]);
+        assert_eq!(s.active.to_vec(), vec![1]);
     }
 
     #[test]
@@ -457,5 +1001,139 @@ mod tests {
         assert_eq!(s.bucket_of[0], 0);
         assert_eq!(s.bucket_of[1], 0);
         assert_eq!(s.bucket_count(0), 2);
+    }
+
+    #[test]
+    fn spill_covers_buckets_beyond_the_ring() {
+        // Dial granularity (Δ = 1): the bucket IS the distance, so a far
+        // relax lands beyond the FLAT_LANES ring and must spill.
+        let d1 = DeltaParam::Finite(1);
+        let far = FLAT_LANES + 100;
+        let mut s = RankState::new(0, 8, 1);
+        s.begin_phase();
+        s.relax(0, 2, &d1);
+        s.relax(1, far, &d1);
+        s.relax(2, far, &d1);
+        assert_eq!(s.bucket_count(far), 2);
+        assert_eq!(s.window_count(0, far), 3);
+        assert_eq!(s.next_nonempty_after(Some(2)), Some(far));
+        let mut members: Vec<u32> = s.bucket_members(far).collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![1, 2]);
+        // A spill entry going stale before migration is dropped by it.
+        s.relax(2, 3, &d1);
+        assert_eq!(s.bucket_count(far), 1);
+        // Advance past the small buckets: the far bucket enters the ring.
+        s.advance_frontier(far - 10);
+        assert_eq!(s.bucket_count(far), 1);
+        assert_eq!(s.bucket_scan_len(far), 1, "stale spill entry migrated");
+        assert_eq!(s.bucket_members(far).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(s.next_nonempty_after(None), Some(far));
+    }
+
+    #[test]
+    fn advance_recycles_passed_lanes() {
+        let d1 = DeltaParam::Finite(1);
+        let mut s = RankState::new(0, 8, 1);
+        s.begin_phase();
+        s.relax(0, 0, &d1);
+        s.relax(1, 3, &d1);
+        s.advance_frontier(3);
+        // Settled bucket 0 was recycled; the epoch only queries ≥ 3.
+        assert_eq!(s.bucket_count(3), 1);
+        assert_eq!(s.next_nonempty_after(Some(2)), Some(3));
+        // The recycled lane serves its ring successor (bucket 0 + lanes).
+        s.relax(2, FLAT_LANES, &d1);
+        assert_eq!(s.bucket_count(FLAT_LANES), 1);
+        assert_eq!(s.bucket_members(FLAT_LANES).collect::<Vec<_>>(), vec![2]);
+        // A jump past the whole ring recycles every lane.
+        let mut far = RankState::new(0, 8, 1);
+        far.begin_phase();
+        far.relax(0, 1, &d1);
+        far.advance_frontier(10 * FLAT_LANES);
+        assert_eq!(far.next_nonempty_after(None), None);
+    }
+
+    #[test]
+    fn flat_and_legacy_layouts_agree() {
+        // A fixed relax/advance script must leave both layouts with
+        // identical counts, proposals and member sets at every step.
+        let d1 = DeltaParam::Finite(1);
+        let script: &[(u32, u64)] = &[
+            (0, 5),
+            (1, 700),
+            (2, 9),
+            (3, 5),
+            (1, 600),
+            (4, 520),
+            (2, 6),
+            (5, 1000),
+        ];
+        let mut flat = RankState::new(0, 16, 1);
+        let mut legacy = RankState::new_legacy(0, 16, 1);
+        flat.begin_phase();
+        legacy.begin_phase();
+        for &(v, d) in script {
+            assert_eq!(flat.relax(v, d, &d1), legacy.relax(v, d, &d1));
+            assert_eq!(
+                flat.next_nonempty_after(None),
+                legacy.next_nonempty_after(None)
+            );
+            for probe in [0, 5, 520, 600, 700, 1000] {
+                assert_eq!(flat.bucket_count(probe), legacy.bucket_count(probe));
+                let mut fm: Vec<u32> = flat.bucket_members(probe).collect();
+                let mut lm: Vec<u32> = legacy.bucket_members(probe).collect();
+                fm.sort_unstable();
+                lm.sort_unstable();
+                assert_eq!(fm, lm);
+            }
+            for cap in [1, 2, 100] {
+                assert_eq!(
+                    flat.prefix_window_end(5, cap),
+                    legacy.prefix_window_end(5, cap)
+                );
+            }
+            assert_eq!(flat.window_count(0, 2000), legacy.window_count(0, 2000));
+        }
+    }
+
+    #[test]
+    fn stamp_bitset_basics() {
+        let mut b = StampBitset::new(130);
+        assert!(b.is_empty());
+        assert!(b.insert(0));
+        assert!(b.insert(129));
+        assert!(!b.insert(0), "duplicate insert reports not-new");
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(0) && b.contains(129) && !b.contains(64));
+        assert_eq!(b.to_vec(), vec![0, 129]);
+        b.clear();
+        assert!(b.is_empty() && !b.contains(0));
+        assert_eq!(b.to_vec(), Vec::<u32>::new());
+        assert!(b.insert(64));
+        assert_eq!(b.word(1), 1);
+        assert_eq!(b.word(0), 0, "stale word reads as empty");
+    }
+
+    #[test]
+    fn stamp_bitset_survives_stamp_wrap() {
+        let mut b = StampBitset::new(70);
+        b.insert(3);
+        // Force the wrap: the next clear must reset every word stamp, so
+        // no word from an ancient epoch can alias the fresh stamp.
+        b.stamp = u32::MAX;
+        b.clear();
+        assert_eq!(b.stamp, 1);
+        assert!(b.is_empty() && !b.contains(3));
+        b.insert(69);
+        assert_eq!(b.to_vec(), vec![69]);
+    }
+
+    #[test]
+    fn layout_constructors_pick_the_store() {
+        assert!(RankState::new(0, 4, 1).is_flat());
+        assert!(RankState::new_with_layout(0, 4, 1, true).is_flat());
+        assert!(!RankState::new_legacy(0, 4, 1).is_flat());
+        assert!(!RankState::new_with_layout(0, 4, 1, false).is_flat());
     }
 }

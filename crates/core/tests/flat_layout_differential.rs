@@ -1,0 +1,255 @@
+//! Differential suite for the flat hot-path data layout: the lazy cyclic
+//! flat bucket queue and the stamp-bitset frontiers (`flat_state: true`,
+//! the default) must be observationally identical to the legacy
+//! `BTreeMap` layout — at the state level (same pop order, counts and
+//! window proposals per epoch under every stepping policy's bucket
+//! function) and end to end (bit-identical distances and telemetry
+//! traces on both backends, degenerate graphs included).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sssp_comm::cost::MachineModel;
+use sssp_core::config::SsspConfig;
+use sssp_core::engine::run_sssp;
+use sssp_core::policy::{RadiusPolicy, RhoPolicy};
+use sssp_core::state::{RankState, INF};
+use sssp_core::{threaded_delta_stepping_traced, DeltaParam, RunTrace, SteppingPolicy};
+use sssp_dist::DistGraph;
+use sssp_graph::{gen, Csr, CsrBuilder, EdgeList};
+
+/// Nightly TSan runs dial proptest down via `PROPTEST_CASES`; honor it
+/// like the other differential suites do.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2usize..50, 0usize..200, 1u32..60, 0u64..1000)
+        .prop_map(|(n, m, w_max, seed)| CsrBuilder::new().build(&gen::uniform(n, m, w_max, seed)))
+}
+
+/// One configuration per stepping policy, each exercised with the flat
+/// layout (default) and the legacy toggle.
+fn policy_matrix() -> Vec<SsspConfig> {
+    vec![
+        SsspConfig::del(13),
+        SsspConfig::opt(20),
+        SsspConfig::rho(8),
+        SsspConfig::radius(2),
+    ]
+}
+
+/// Drive one relax/advance script through a flat and a legacy
+/// [`RankState`] in lockstep under `policy`, comparing every bucket-queue
+/// observation the engines make: epoch selection, live counts, window
+/// counts and proposals, member sets, and (for in-ring windows, where the
+/// layout guarantees bucket-then-push order on both stores) exact member
+/// order.
+fn drive_differential<P: SteppingPolicy>(
+    n: usize,
+    policy: &P,
+    script: &[(usize, u64)],
+    order_exact: bool,
+) -> Result<(), TestCaseError> {
+    let mut flat = RankState::new(0, n, 1);
+    let mut legacy = RankState::new_legacy(0, n, 1);
+    prop_assert!(flat.is_flat());
+    prop_assert!(!legacy.is_flat());
+    flat.set_root(0);
+    legacy.set_root(0);
+
+    let mut epoch = 0u64;
+    for chunk in script.chunks(8) {
+        for &(v, nd) in chunk {
+            let v = v as u32;
+            // Respect the engine's epoch invariant the layouts are built
+            // around: settled vertices (bucket below the current epoch)
+            // never improve, and no relaxation lands below the epoch
+            // bucket. The skip decision reads identical state on both
+            // sides, so they stay in lockstep.
+            if policy.bucket_of(nd) < epoch || flat.bucket_of[v as usize] < epoch {
+                continue;
+            }
+            let fr = flat.relax(v, nd, policy);
+            let lr = legacy.relax(v, nd, policy);
+            prop_assert_eq!(fr, lr, "relax({}, {}) disagreed", v, nd);
+        }
+
+        let from = epoch.checked_sub(1);
+        let k = flat.next_nonempty_after(from);
+        prop_assert_eq!(
+            k,
+            legacy.next_nonempty_after(from),
+            "epoch selection diverged after epoch {}",
+            epoch
+        );
+        let Some(k) = k else { continue };
+        flat.advance_frontier(k);
+        legacy.advance_frontier(k);
+        epoch = k;
+
+        prop_assert_eq!(flat.bucket_count(k), legacy.bucket_count(k));
+        prop_assert_eq!(flat.window_count(k, k + 7), legacy.window_count(k, k + 7));
+        prop_assert_eq!(
+            flat.count_unsettled_after(k),
+            legacy.count_unsettled_after(k)
+        );
+        for cap in [0u64, 2, 16] {
+            prop_assert_eq!(
+                flat.prefix_window_end(k, cap),
+                legacy.prefix_window_end(k, cap),
+                "prefix_window_end(k = {}, cap = {}) diverged",
+                k,
+                cap
+            );
+        }
+        prop_assert_eq!(
+            flat.next_nonempty_after(Some(k)),
+            legacy.next_nonempty_after(Some(k))
+        );
+
+        let mut fm: Vec<u32> = flat.bucket_members(k).collect();
+        let mut lm: Vec<u32> = legacy.bucket_members(k).collect();
+        if order_exact {
+            prop_assert_eq!(&fm, &lm, "bucket {} pop order diverged", k);
+        }
+        fm.sort_unstable();
+        lm.sort_unstable();
+        prop_assert_eq!(fm, lm, "bucket {} member set diverged", k);
+
+        let mut fw: Vec<u32> = flat.window_members(k, k + 7).collect();
+        let mut lw: Vec<u32> = legacy.window_members(k, k + 7).collect();
+        if order_exact {
+            prop_assert_eq!(&fw, &lw, "window [{}, {}] pop order diverged", k, k + 7);
+        }
+        fw.sort_unstable();
+        lw.sort_unstable();
+        prop_assert_eq!(fw, lw, "window [{}, {}] member set diverged", k, k + 7);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+    // In-ring scripts (distances well inside one ring revolution): every
+    // observation including pop order must match under all three
+    // policies' bucket functions.
+    #[test]
+    fn flat_queue_matches_legacy_in_ring(
+        n in 2usize..40,
+        script in proptest::collection::vec((0usize..40, 0u64..400), 0..120),
+    ) {
+        let script: Vec<(usize, u64)> =
+            script.into_iter().map(|(v, d)| (v % n, d)).collect();
+        drive_differential(n, &DeltaParam::Finite(7), &script, true)?;
+        drive_differential(n, &RhoPolicy::new(8, 2), &script, true)?;
+        drive_differential(n, &RadiusPolicy::new(2), &script, true)?;
+    }
+
+    // Far-bucket scripts (Dial-granularity distances many ring
+    // revolutions out): pushes overflow into the spill list and migrate
+    // back as the frontier advances. Member sets, counts and proposals
+    // must still match exactly; spill order is unspecified, so the order
+    // check is off.
+    #[test]
+    fn flat_queue_matches_legacy_through_the_spill(
+        n in 2usize..40,
+        script in proptest::collection::vec((0usize..40, 0u64..50_000), 0..120),
+    ) {
+        let script: Vec<(usize, u64)> =
+            script.into_iter().map(|(v, d)| (v % n, d)).collect();
+        drive_differential(n, &RhoPolicy::new(8, 2), &script, false)?;
+        drive_differential(n, &DeltaParam::Finite(3), &script, false)?;
+    }
+
+    // End to end: for every stepping policy, flat and legacy layouts
+    // produce bit-identical distances and telemetry traces on both
+    // backends.
+    #[test]
+    fn layouts_agree_end_to_end_on_both_backends(
+        g in arb_graph(),
+        p in 1usize..6,
+        root_pick in any::<prop::sample::Index>(),
+    ) {
+        let root = root_pick.index(g.num_vertices()) as u32;
+        let dg = Arc::new(DistGraph::build(&g, p, 2));
+        let model = MachineModel::bgq_like();
+        for cfg in policy_matrix() {
+            let flat_cfg = cfg.clone().with_flat_state(true);
+            let legacy_cfg = cfg.clone().with_flat_state(false);
+
+            let f = run_sssp(&dg, root, &flat_cfg, &model);
+            let l = run_sssp(&dg, root, &legacy_cfg, &model);
+            prop_assert_eq!(
+                &f.distances, &l.distances,
+                "simulated distances diverged, p = {}, cfg = {:?}", p, &cfg
+            );
+            let tf = RunTrace::from_run_stats(&f.stats, "flat");
+            let tl = RunTrace::from_run_stats(&l.stats, "legacy");
+            let diffs = tf.diff(&tl);
+            prop_assert!(
+                diffs.is_empty(),
+                "simulated traces diverged, cfg = {:?}:\n{}", &cfg, diffs.join("\n")
+            );
+
+            let (ft, ftrace) = threaded_delta_stepping_traced(&dg, root, &flat_cfg, &model);
+            let (lt, ltrace) = threaded_delta_stepping_traced(&dg, root, &legacy_cfg, &model);
+            prop_assert_eq!(&ft.distances, &f.distances, "threaded flat diverged");
+            prop_assert_eq!(&lt.distances, &f.distances, "threaded legacy diverged");
+            let diffs = ftrace.diff(&ltrace);
+            prop_assert!(
+                diffs.is_empty(),
+                "threaded traces diverged, cfg = {:?}:\n{}", &cfg, diffs.join("\n")
+            );
+        }
+    }
+}
+
+/// The stamp-bitset frontiers on the degenerate shapes the telemetry
+/// suite watches: a single-vertex graph (one partly-used bitset word), an
+/// edgeless graph across more ranks than edges, and a disconnected pair
+/// where half the vertices never enter any frontier. Flat and legacy must
+/// agree with the expected distances and with each other on both
+/// backends.
+#[test]
+fn degenerate_graphs_agree_across_layouts_and_backends() {
+    let model = MachineModel::bgq_like();
+
+    let single = CsrBuilder::new().build(&EdgeList::new(1));
+    let edgeless = CsrBuilder::new().build(&EdgeList::new(4));
+    let mut el = EdgeList::new(4);
+    el.push(0, 1, 5);
+    el.push(2, 3, 1);
+    let disconnected = CsrBuilder::new().build(&el);
+
+    let shapes: Vec<(&str, Csr, usize, Vec<u64>)> = vec![
+        ("single vertex", single, 2, vec![0]),
+        ("edgeless", edgeless, 3, vec![0, INF, INF, INF]),
+        ("disconnected pair", disconnected, 2, vec![0, 5, INF, INF]),
+    ];
+
+    for (name, g, p, expect) in shapes {
+        let dg = Arc::new(DistGraph::build(&g, p, 2));
+        for cfg in policy_matrix() {
+            for flat in [true, false] {
+                let cfg = cfg.clone().with_flat_state(flat);
+                let sim = run_sssp(&dg, 0, &cfg, &model);
+                assert_eq!(
+                    sim.distances, expect,
+                    "{name}: simulated, flat = {flat}, cfg = {cfg:?}"
+                );
+                let (thr, _) = threaded_delta_stepping_traced(&dg, 0, &cfg, &model);
+                assert_eq!(
+                    thr.distances, expect,
+                    "{name}: threaded, flat = {flat}, cfg = {cfg:?}"
+                );
+            }
+        }
+    }
+}

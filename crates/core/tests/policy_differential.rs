@@ -169,20 +169,25 @@ fn delta_one_with_maximal_weights_terminates_past_the_epoch_sentinel() {
     el.push(1, 2, u32::MAX);
     let g = CsrBuilder::new().build(&el);
     let seeds: &[(u32, u64)] = &[(0, 0), (3, u64::MAX - 1)];
-    let expect = vec![
-        0,
-        u32::MAX as u64,
-        2 * (u32::MAX as u64),
-        u64::MAX - 1,
-    ];
+    let expect = vec![0, u32::MAX as u64, 2 * (u32::MAX as u64), u64::MAX - 1];
     let model = MachineModel::bgq_like();
     for p in [1usize, 2, 4] {
         let dg = Arc::new(DistGraph::build(&g, p, 1));
-        for cfg in [SsspConfig::del(1), SsspConfig::rho(2), SsspConfig::radius(1)] {
+        for cfg in [
+            SsspConfig::del(1),
+            SsspConfig::rho(2),
+            SsspConfig::radius(1),
+        ] {
             let simulated = run_sssp_seeded(&dg, seeds, &cfg, &model);
-            assert_eq!(simulated.distances, expect, "simulated, p = {p}, cfg = {cfg:?}");
+            assert_eq!(
+                simulated.distances, expect,
+                "simulated, p = {p}, cfg = {cfg:?}"
+            );
             let threaded = threaded_sssp_seeded(&dg, seeds, &cfg, &model);
-            assert_eq!(threaded.distances, expect, "threaded, p = {p}, cfg = {cfg:?}");
+            assert_eq!(
+                threaded.distances, expect,
+                "threaded, p = {p}, cfg = {cfg:?}"
+            );
         }
     }
 }
