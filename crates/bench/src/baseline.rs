@@ -8,9 +8,12 @@
 //! each and the harness stays dependency-free.
 //!
 //! The document holds one block per measured R-MAT scale, keyed
-//! `"scale_N"`. The binary regenerates only its own scale's block and
-//! preserves the others verbatim ([`upsert_scale_block`]), so baselines
-//! recorded at different scales can coexist in one committed file.
+//! `"scale_N"`, plus an optional `"serving"` block recorded by
+//! `serve_bench` (concurrent multi-root query throughput over a resident
+//! graph). Each binary regenerates only its own block and preserves the
+//! others verbatim ([`upsert_scale_block`], [`upsert_serving_block`]), so
+//! the per-scale baselines and the serving baseline coexist in one
+//! committed file.
 //!
 //! GTEPS conventions: every GTEPS figure in a block divides the same
 //! traversed-edge count (`gteps_edges`, the undirected input edge count)
@@ -316,6 +319,115 @@ impl PerfBaseline {
     }
 }
 
+/// Metrics of the query-serving layer under concurrent load, recorded by
+/// `serve_bench`: one resident graph, `max_inflight` worker threads, a
+/// mixed batch of single-source / multi-seed / point-to-point / repeat
+/// queries pushed through the scheduler at once.
+#[derive(Debug, Clone)]
+pub struct ServingRecord {
+    /// Graph family name (e.g. "RMAT-2").
+    pub family: String,
+    /// R-MAT scale (log2 of the vertex count).
+    pub scale: u32,
+    /// Rank count of the resident partition.
+    pub ranks: usize,
+    /// Logical threads per rank.
+    pub threads: usize,
+    /// Scheduler admission bound (= worker thread count).
+    pub max_inflight: usize,
+    /// Queries submitted over the measured batch.
+    pub queries: usize,
+    /// High-water mark of simultaneously running queries. The `--check`
+    /// gate requires this to reach `max_inflight` — a serving layer that
+    /// serializes its workers is not serving concurrently.
+    pub peak_inflight: usize,
+    /// 1 when every served distance field was bit-identical to a fresh
+    /// one-shot engine run, else 0 (numeric for `extract_number`).
+    pub distances_match: u8,
+    /// Distance-cache hits over the batch (repeat roots + landmarks).
+    pub cache_hits: u64,
+    /// Distance-cache misses over the batch.
+    pub cache_misses: u64,
+    /// Epoch-select rounds of one engine-run point-to-point query.
+    pub p2p_epochs: u64,
+    /// Epoch-select rounds of the matching full single-source query. The
+    /// gate requires `p2p_epochs < full_epochs`: the target cutoff must
+    /// actually terminate early.
+    pub full_epochs: u64,
+    /// Wall-clock milliseconds over the whole measured batch.
+    pub wall_ms: f64,
+    /// Queries completed per second of batch wall time. Wall-clock
+    /// figures vary with machine load, so the `--check` gate never
+    /// compares them against the committed baseline — it gates only the
+    /// structural fields above.
+    pub queries_per_sec: f64,
+}
+
+impl ServingRecord {
+    /// Gate problems in *this* record: no queries measured, served
+    /// distances diverging from the one-shot oracle, a scheduler that
+    /// never reached its admission bound, or a point-to-point cutoff
+    /// that saved no epochs. Empty on a healthy serving baseline.
+    pub fn problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.queries == 0 {
+            problems.push("serving baseline measured zero queries".to_string());
+        }
+        if self.distances_match != 1 {
+            problems.push(
+                "served distances diverged from fresh one-shot engine runs \
+                 — resident state leaked across queries"
+                    .to_string(),
+            );
+        }
+        if self.peak_inflight < self.max_inflight {
+            problems.push(format!(
+                "peak inflight {} never reached the admission bound {} — \
+                 the scheduler is not serving queries concurrently",
+                self.peak_inflight, self.max_inflight
+            ));
+        }
+        if self.p2p_epochs >= self.full_epochs {
+            problems.push(format!(
+                "point-to-point query ran {} epochs vs {} for the full \
+                 field — the target cutoff saved nothing",
+                self.p2p_epochs, self.full_epochs
+            ));
+        }
+        problems
+    }
+
+    /// Render as pretty-enough JSON (an object literal; the enclosing
+    /// document is assembled by [`upsert_serving_block`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n    \"family\": \"{}\",\n",
+                "    \"scale\": {},\n    \"ranks\": {},\n    \"threads\": {},\n",
+                "    \"max_inflight\": {},\n    \"queries\": {},\n",
+                "    \"peak_inflight\": {},\n    \"distances_match\": {},\n",
+                "    \"cache_hits\": {},\n    \"cache_misses\": {},\n",
+                "    \"p2p_epochs\": {},\n    \"full_epochs\": {},\n",
+                "    \"wall_ms\": {:.3},\n    \"queries_per_sec\": {:.3}\n  }}"
+            ),
+            self.family,
+            self.scale,
+            self.ranks,
+            self.threads,
+            self.max_inflight,
+            self.queries,
+            self.peak_inflight,
+            self.distances_match,
+            self.cache_hits,
+            self.cache_misses,
+            self.p2p_epochs,
+            self.full_epochs,
+            self.wall_ms,
+            self.queries_per_sec,
+        )
+    }
+}
+
 /// Extract the number stored at `"key"` inside the object named `object`
 /// (pass `""` to search from the top of the document). Returns `None` when
 /// the object or key is absent or the value does not parse as a number.
@@ -394,23 +506,69 @@ pub fn scale_block(json: &str, scale: u32) -> Option<String> {
         .map(|(_, b)| b)
 }
 
+/// The raw `"serving"` block of a baseline document, if it has one.
+/// Exact brace counting, same conventions as [`extract_scale_blocks`];
+/// scans from the end of the last scale block so same-named keys inside
+/// scale blocks (there are none today) can never shadow it.
+pub fn serving_block(json: &str) -> Option<String> {
+    let after_scales = extract_scale_blocks(json)
+        .last()
+        .and_then(|(_, b)| json.rfind(b.as_str()).map(|i| i + b.len()))
+        .unwrap_or(0);
+    let tail = &json[after_scales..];
+    let kpos = tail.find("\"serving\"")?;
+    let open = after_scales + kpos + tail[kpos..].find('{')?;
+    let mut depth = 0usize;
+    for (j, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..open + j + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Assemble the whole document from its blocks: scale blocks sorted by
+/// scale, then the serving block (when present) last.
+fn render_document(blocks: &[(u32, String)], serving: Option<&str>) -> String {
+    let mut body: Vec<String> = blocks
+        .iter()
+        .map(|(s, b)| format!("  \"scale_{s}\": {b}"))
+        .collect();
+    if let Some(sv) = serving {
+        body.push(format!("  \"serving\": {sv}"));
+    }
+    format!(
+        "{{\n  \"bench\": \"perf_baseline\",\n{}\n}}\n",
+        body.join(",\n")
+    )
+}
+
 /// Replace (or insert) one scale's block in a baseline document and
-/// render the result, blocks sorted by scale. Blocks for other scales in
-/// `existing` are preserved verbatim; a legacy single-scale document
-/// contributes nothing and is superseded.
+/// render the result, blocks sorted by scale. Blocks for other scales
+/// and the serving block in `existing` are preserved verbatim; a legacy
+/// single-scale document contributes nothing and is superseded.
 pub fn upsert_scale_block(existing: &str, scale: u32, block: &str) -> String {
     let mut blocks = extract_scale_blocks(existing);
     blocks.retain(|(s, _)| *s != scale);
     blocks.push((scale, block.to_string()));
     blocks.sort_by_key(|(s, _)| *s);
-    let body: Vec<String> = blocks
-        .iter()
-        .map(|(s, b)| format!("  \"scale_{s}\": {b}"))
-        .collect();
-    format!(
-        "{{\n  \"bench\": \"perf_baseline\",\n{}\n}}\n",
-        body.join(",\n")
-    )
+    let serving = serving_block(existing);
+    render_document(&blocks, serving.as_deref())
+}
+
+/// Replace (or insert) the serving block in a baseline document and
+/// render the result. Every scale block in `existing` is preserved
+/// verbatim.
+pub fn upsert_serving_block(existing: &str, block: &str) -> String {
+    let blocks = extract_scale_blocks(existing);
+    render_document(&blocks, Some(block))
 }
 
 #[cfg(test)]
@@ -618,6 +776,91 @@ mod tests {
         let doc = upsert_scale_block(legacy, 10, &sample().to_json());
         let b10 = scale_block(&doc, 10).expect("scale 10 block");
         assert_eq!(extract_number(&b10, "pooled", "wall_ms"), Some(12.5));
+    }
+
+    fn sample_serving() -> ServingRecord {
+        ServingRecord {
+            family: "RMAT-2".to_string(),
+            scale: 10,
+            ranks: 4,
+            threads: 4,
+            max_inflight: 4,
+            queries: 24,
+            peak_inflight: 4,
+            distances_match: 1,
+            cache_hits: 6,
+            cache_misses: 18,
+            p2p_epochs: 9,
+            full_epochs: 31,
+            wall_ms: 180.0,
+            queries_per_sec: 133.3,
+        }
+    }
+
+    #[test]
+    fn serving_json_roundtrips_through_extract() {
+        let json = sample_serving().to_json();
+        assert_eq!(extract_number(&json, "", "max_inflight"), Some(4.0));
+        assert_eq!(extract_number(&json, "", "queries"), Some(24.0));
+        assert_eq!(extract_number(&json, "", "peak_inflight"), Some(4.0));
+        assert_eq!(extract_number(&json, "", "distances_match"), Some(1.0));
+        assert_eq!(extract_number(&json, "", "cache_hits"), Some(6.0));
+        assert_eq!(extract_number(&json, "", "p2p_epochs"), Some(9.0));
+        assert_eq!(extract_number(&json, "", "full_epochs"), Some(31.0));
+        assert_eq!(extract_number(&json, "", "queries_per_sec"), Some(133.3));
+    }
+
+    #[test]
+    fn serving_problems_gate_the_structural_invariants() {
+        assert!(sample_serving().problems().is_empty());
+
+        let mut r = sample_serving();
+        r.distances_match = 0;
+        assert_eq!(r.problems().len(), 1);
+
+        let mut r = sample_serving();
+        r.peak_inflight = 2;
+        let p = r.problems();
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert!(p[0].contains("admission bound"), "{p:?}");
+
+        let mut r = sample_serving();
+        r.p2p_epochs = r.full_epochs;
+        let p = r.problems();
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert!(p[0].contains("saved nothing"), "{p:?}");
+
+        let mut r = sample_serving();
+        r.queries = 0;
+        assert!(!r.problems().is_empty());
+    }
+
+    #[test]
+    fn serving_block_coexists_with_scale_blocks() {
+        let doc = upsert_scale_block("", 10, &sample().to_json());
+        let doc = upsert_serving_block(&doc, &sample_serving().to_json());
+
+        // Both block kinds survive each other's upserts verbatim.
+        let sv = serving_block(&doc).expect("serving block");
+        assert_eq!(extract_number(&sv, "", "queries"), Some(24.0));
+        let mut twenty = sample();
+        twenty.scale = 20;
+        let doc2 = upsert_scale_block(&doc, 20, &twenty.to_json());
+        assert_eq!(serving_block(&doc2).expect("serving survives"), sv);
+        assert_eq!(extract_scale_blocks(&doc2).len(), 2);
+
+        let mut sv2 = sample_serving();
+        sv2.queries = 48;
+        let doc3 = upsert_serving_block(&doc2, &sv2.to_json());
+        assert_eq!(extract_scale_blocks(&doc3).len(), 2);
+        let sv3 = serving_block(&doc3).expect("serving block");
+        assert_eq!(extract_number(&sv3, "", "queries"), Some(48.0));
+
+        // A document without a serving block yields None.
+        assert_eq!(
+            serving_block(&upsert_scale_block("", 10, &sample().to_json())),
+            None
+        );
     }
 
     #[test]

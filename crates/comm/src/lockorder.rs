@@ -21,12 +21,17 @@ use std::cell::RefCell;
 use std::collections::BTreeSet;
 
 /// Locks of the static model, by the names the static pass extracts from
-/// the declarations (see `crates/lint/golden/lock_order.txt`).
-pub const STATIC_LOCKS: &[&str] = &["slots"];
+/// the declarations (see `crates/lint/golden/lock_order.txt`). `slots` is
+/// the rendezvous exchange; `queue` is the serving layer's single state
+/// mutex, and `work_ready`/`done_ready` are its condvars (modeled as
+/// primitives by the static pass even though waiting on them only ever
+/// re-parks the `queue` guard).
+pub const STATIC_LOCKS: &[&str] = &["slots", "queue", "work_ready", "done_ready"];
 
-/// Held→acquired edges of the static lock-order graph. The rendezvous
-/// runtime never nests acquisitions, so the graph has no edges; the async
-/// engine must extend this (and the golden) before it may nest.
+/// Held→acquired edges of the static lock-order graph. Neither the
+/// rendezvous runtime nor the serving layer nests acquisitions, so the
+/// graph has no edges; any engine that wants to nest must extend this
+/// (and the golden) first.
 pub const STATIC_EDGES: &[(&str, &str)] = &[];
 
 /// Per-thread acquisition-order recorder. Rank-private (`RefCell`, no

@@ -70,6 +70,11 @@ pub struct RankCtx<M> {
     /// Largest batch moved through [`RankCtx::exchange_pooled`] since the
     /// last [`RankCtx::trim_spares`] — the spare pool's high-water mark.
     watermark: usize,
+    /// Largest batch moved through [`RankCtx::exchange_pooled`] since the
+    /// last [`RankCtx::finish_query`] — the *query*-scoped high-water mark.
+    /// Unlike `watermark` it survives per-epoch trims, so the end-of-query
+    /// trim reflects the whole query's traffic, not just its last epoch.
+    query_watermark: usize,
     /// Rolling collective-schedule fingerprint (see [`crate::fingerprint`]).
     /// `Cell` because several collectives take `&self`; the value is strictly
     /// rank-private.
@@ -223,6 +228,7 @@ impl<M: Send> RankCtx<M> {
         let mut counts = ExchangeCounts::default();
         for (dst, msgs) in out.iter_mut().enumerate() {
             self.watermark = self.watermark.max(msgs.len());
+            self.query_watermark = self.query_watermark.max(msgs.len());
             let k = msgs.len() as u64;
             if dst == self.rank {
                 counts.sent_local += k;
@@ -247,6 +253,7 @@ impl<M: Send> RankCtx<M> {
         inbox.clear();
         for (src, mut b) in self.batches.drain(..) {
             self.watermark = self.watermark.max(b.len());
+            self.query_watermark = self.query_watermark.max(b.len());
             if src != self.rank {
                 counts.recv_remote_bytes += wire(b.len() as u64);
             }
@@ -271,6 +278,52 @@ impl<M: Send> RankCtx<M> {
         self.spare.retain(|b| b.capacity() <= limit);
         self.watermark = 0;
         before - self.spare.len()
+    }
+
+    /// Close out one query's pool accounting: release spare buffers whose
+    /// capacity exceeds 4× the *query* high-water mark (floored at
+    /// [`SPARE_CAPACITY_FLOOR`]), then reset both marks. Under back-to-back
+    /// queries over a resident context this is what keeps a small query
+    /// from inheriting a large query's flood-sized spares forever: the
+    /// per-epoch [`RankCtx::trim_spares`] bound is relative to the *current*
+    /// epoch's traffic, while this bound is relative to the query that just
+    /// ended, so the pool shrinks to each query's own footprint before the
+    /// buffers are handed to the next one.
+    ///
+    /// Returns the number of buffers released.
+    pub fn finish_query(&mut self) -> usize {
+        let limit = self
+            .query_watermark
+            .saturating_mul(4)
+            .max(SPARE_CAPACITY_FLOOR);
+        let before = self.spare.len();
+        self.spare.retain(|b| b.capacity() <= limit);
+        self.watermark = 0;
+        self.query_watermark = 0;
+        before - self.spare.len()
+    }
+
+    /// Seed the transport pool with buffers recycled from a previous run
+    /// on the same rank (cleared, capacity kept). Lets a serving layer keep
+    /// pools warm across queries even though each query spawns fresh rank
+    /// threads.
+    pub fn adopt_spares(&mut self, mut spares: Vec<Vec<M>>) {
+        for b in &mut spares {
+            b.clear();
+        }
+        self.spare.append(&mut spares);
+    }
+
+    /// Take the spare transport buffers out of this context (for example to
+    /// stash them in an engine scratch that outlives the rank thread).
+    pub fn release_spares(&mut self) -> Vec<Vec<M>> {
+        std::mem::take(&mut self.spare)
+    }
+
+    /// Capacity of the largest buffer currently in the spare pool (0 when
+    /// empty). Diagnostic for pool-bound tests and the serving benchmark.
+    pub fn max_spare_capacity(&self) -> usize {
+        self.spare.iter().map(Vec::capacity).max().unwrap_or(0)
     }
 
     /// Allreduce over one `u64` contribution per rank.
@@ -368,14 +421,30 @@ where
     R: Send + 'static,
     F: Fn(RankCtx<M>) -> R + Send + Sync + 'static,
 {
+    run_threaded_with(p, (0..p).map(|_| ()).collect(), move |ctx, ()| body(ctx))
+}
+
+/// [`run_threaded`] with one owned payload moved into each rank's thread.
+/// `payloads[r]` is handed to rank `r`'s body by value, so callers can
+/// thread per-rank scratch state (reusable buffers, resident engine state)
+/// through a run without any shared locking: each payload has exactly one
+/// owner at all times. `payloads.len()` must equal `p`.
+pub fn run_threaded_with<M, R, T, F>(p: usize, payloads: Vec<T>, body: F) -> Vec<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    T: Send + 'static,
+    F: Fn(RankCtx<M>, T) -> R + Send + Sync + 'static,
+{
     assert!(p > 0);
+    assert_eq!(payloads.len(), p, "one payload per rank");
     let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| channel()).unzip();
     let barrier = Arc::new(Barrier::new(p));
     let slots = Arc::new(Mutex::new(vec![None; p]));
     let body = Arc::new(body);
 
     let mut handles = Vec::with_capacity(p);
-    for (rank, inbox) in receivers.into_iter().enumerate() {
+    for ((rank, inbox), payload) in receivers.into_iter().enumerate().zip(payloads) {
         let ctx = RankCtx {
             rank,
             p,
@@ -386,6 +455,7 @@ where
             spare: Vec::new(),
             batches: Vec::with_capacity(p),
             watermark: 0,
+            query_watermark: 0,
             fp: Cell::new(0),
             epoch: Cell::new(0),
             lock_rec: lockorder::Recorder::new(),
@@ -394,7 +464,7 @@ where
         handles.push(
             std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
-                .spawn(move || body(ctx))
+                .spawn(move || body(ctx, payload))
                 // sssp-lint: allow(no-panic-hot-path): setup, not a hot path;
                 // no ranks have started yet, so aborting is clean.
                 .expect("failed to spawn rank thread"),
@@ -619,6 +689,115 @@ mod tests {
             assert_eq!(quiet_trim, 0, "quiet epoch must keep its warm pool");
             assert_eq!(len, 2);
         }
+    }
+
+    #[test]
+    fn finish_query_bounds_the_pool_for_mixed_size_query_sequences() {
+        // Regression for the serving layer: a flood query must not pin its
+        // flood-sized spares into the next (tiny) query. Per-epoch
+        // `trim_spares` cannot catch this — its bound is relative to the
+        // *current* epoch's watermark, and the flood query's own last epoch
+        // legitimately keeps the big buffers. The per-query trim releases
+        // them once the next small query ends.
+        let caps = run_threaded(2, |mut ctx: RankCtx<u64>| {
+            let p = ctx.num_ranks();
+            let mut out: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+            let mut inbox = Vec::new();
+            // Query 1: flood.
+            for lane in out.iter_mut() {
+                lane.extend(0..5000);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            ctx.trim_spares();
+            ctx.finish_query();
+            let after_flood = ctx.max_spare_capacity();
+            // Query 2: trickle. Epoch trim alone would keep the flood spares
+            // forever (they were within bound at the flood query's end).
+            for lane in out.iter_mut() {
+                lane.push(1);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            ctx.trim_spares();
+            ctx.finish_query();
+            let after_trickle = ctx.max_spare_capacity();
+            // Query 3: pool still works after the release.
+            for lane in out.iter_mut() {
+                lane.push(2);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            (after_flood, after_trickle, inbox.len())
+        });
+        for (after_flood, after_trickle, len) in caps {
+            assert!(after_flood >= 5000, "flood query keeps its own pool");
+            assert!(
+                after_trickle <= SPARE_CAPACITY_FLOOR,
+                "small query must shed the flood-sized spares \
+                 (max spare capacity {after_trickle})"
+            );
+            assert_eq!(len, 2);
+        }
+    }
+
+    #[test]
+    fn finish_query_uses_the_whole_query_watermark_not_the_last_epoch() {
+        // The query-level mark must survive the per-epoch mark reset: after
+        // a busy epoch plus `trim_spares` (which zeroes the epoch watermark),
+        // `finish_query` still knows the query moved 1000-message batches
+        // and keeps the warm pool instead of collapsing to the floor.
+        let caps = run_threaded(2, |mut ctx: RankCtx<u64>| {
+            let p = ctx.num_ranks();
+            let mut out: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+            let mut inbox = Vec::new();
+            for lane in out.iter_mut() {
+                lane.extend(0..1000);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            ctx.trim_spares();
+            let released = ctx.finish_query();
+            (released, ctx.max_spare_capacity())
+        });
+        for (released, cap) in caps {
+            assert_eq!(released, 0, "busy epoch is within the query bound");
+            assert!(cap >= 1000, "query-scoped mark must keep the warm pool");
+        }
+    }
+
+    #[test]
+    fn spares_adopted_from_a_previous_run_are_reused_clean() {
+        // First run floods, releases its spares; second run adopts them and
+        // must see only its own messages, with the adopted capacity warm.
+        let spares = run_threaded(2, |mut ctx: RankCtx<u64>| {
+            let p = ctx.num_ranks();
+            let mut out: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+            let mut inbox = Vec::new();
+            for lane in out.iter_mut() {
+                lane.extend(0..256);
+            }
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            ctx.release_spares()
+        });
+        let payloads: Vec<Vec<Vec<u64>>> = spares;
+        let results = run_threaded_with(2, payloads, |mut ctx: RankCtx<u64>, sp| {
+            ctx.adopt_spares(sp);
+            let warm = ctx.max_spare_capacity();
+            let p = ctx.num_ranks();
+            let mut out: Vec<Vec<u64>> = (0..p).map(|_| vec![7]).collect();
+            let mut inbox = Vec::new();
+            ctx.exchange_pooled(&mut out, &mut inbox);
+            (warm, inbox)
+        });
+        for (warm, inbox) in results {
+            assert!(warm >= 256, "adopted spares keep their capacity");
+            assert_eq!(inbox, vec![7, 7], "adopted buffers must arrive clean");
+        }
+    }
+
+    #[test]
+    fn run_threaded_with_moves_one_payload_per_rank() {
+        let out = run_threaded_with(3, vec![10u64, 20, 30], |ctx: RankCtx<u64>, own| {
+            ctx.allreduce_sum(own)
+        });
+        assert_eq!(out, vec![60, 60, 60]);
     }
 
     #[test]

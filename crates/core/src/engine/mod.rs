@@ -108,7 +108,7 @@ pub fn run_sssp(
     cfg: &SsspConfig,
     model: &MachineModel,
 ) -> SsspOutput {
-    Engine::new(dg, cfg, model).run(&[(root, 0)])
+    Engine::new(dg, cfg, model).run(&[(root, 0)], None)
 }
 
 /// Multi-source SSSP: every vertex's distance to its *nearest* source
@@ -134,7 +134,25 @@ pub fn run_sssp_seeded(
     cfg: &SsspConfig,
     model: &MachineModel,
 ) -> SsspOutput {
-    Engine::new(dg, cfg, model).run(seeds)
+    Engine::new(dg, cfg, model).run(seeds, None)
+}
+
+/// Point-to-point query on the simulated backend: run from `root` and stop
+/// epoch selection as soon as `target`'s tentative distance can no longer
+/// improve — at or below the `start_dist` of the window about to run,
+/// every unsettled vertex is provably at least that far, so the target is
+/// final under all three stepping policies. `distances[target]` is exact;
+/// other entries may remain tentative. The cutoff issues one extra
+/// collective per epoch (`epoch.target-cutoff` in the protocol table), in
+/// the same schedule position as the threaded backend's.
+pub fn run_sssp_p2p(
+    dg: &DistGraph,
+    root: VertexId,
+    target: VertexId,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+) -> SsspOutput {
+    Engine::new(dg, cfg, model).run(&[(root, 0)], Some(target))
 }
 
 /// Validate and canonicalize a seed list, shared by both backends: every
@@ -153,6 +171,16 @@ pub(super) fn dedup_seeds(seeds: &[(VertexId, u64)], n_total: usize) -> Vec<(Ver
         *e = (*e).min(d);
     }
     best.into_iter().collect()
+}
+
+/// Public face of the seed canonicalization both backends run internally:
+/// validate against `n_total`, drop duplicate vertices keeping each one's
+/// smallest seed distance, and return the list sorted by vertex id. Two
+/// seed lists with the same canonical form provably produce the same
+/// distances, which is exactly the equivalence a serving-layer result
+/// cache needs for its keys.
+pub fn canonical_seeds(seeds: &[(VertexId, u64)], n_total: usize) -> Vec<(VertexId, u64)> {
+    dedup_seeds(seeds, n_total)
 }
 
 struct Engine<'a> {
@@ -201,10 +229,16 @@ pub(super) fn resolved_pi(balance: IntraBalance, m_directed: u64, n_vertices: u6
 impl<'a> Engine<'a> {
     // sssp-lint: protocol-entry(simulated)
     fn new(dg: &'a DistGraph, cfg: &'a SsspConfig, model: &'a MachineModel) -> Self {
+        assert!(
+            cfg.flat_state,
+            "SsspConfig::flat_state = false selects the legacy BTreeMap bucket layout, \
+             which was retired after the PR 8 differential soak; only the flat bucket \
+             ring remains"
+        );
         let p = dg.num_ranks();
         let threads = dg.threads_per_rank;
         let states: Vec<RankState> = (0..p)
-            .map(|r| RankState::new_with_layout(r, dg.part.local_count(r), threads, cfg.flat_state))
+            .map(|r| RankState::new(r, dg.part.local_count(r), threads))
             .collect();
 
         // Global weight extremes (rows are weight-sorted, so first/last
@@ -258,12 +292,18 @@ impl<'a> Engine<'a> {
     }
 
     // sssp-lint: protocol-entry(simulated)
-    fn run(mut self, seeds: &[(VertexId, u64)]) -> SsspOutput {
+    fn run(mut self, seeds: &[(VertexId, u64)], target: Option<VertexId>) -> SsspOutput {
         let n_total = self.dg.num_vertices() as u64;
         // Seed validation runs before the empty-graph return so both
         // degenerate cases behave the same on both backends: out-of-range
         // seeds always panic, an empty seed list always yields all-INF.
         let seeds = dedup_seeds(seeds, n_total as usize);
+        if let Some(tv) = target {
+            assert!(
+                (tv as u64) < n_total,
+                "target {tv} out of range (n = {n_total})"
+            );
+        }
         if n_total == 0 {
             return self.finish();
         }
@@ -295,6 +335,21 @@ impl<'a> Engine<'a> {
             // every later query of the epoch is at or above `k`.
             for st in &mut self.states {
                 st.advance_frontier(k);
+            }
+
+            // Point-to-point early termination, in the same schedule slot
+            // as the threaded backend's: every unsettled vertex now sits in
+            // bucket >= k, so nothing a future epoch relaxes can land below
+            // the k-window's `start_dist` — once the target's tentative
+            // distance is at or below that bound it is final and the run
+            // may stop. Safe under all three policies because the bound is
+            // the policy's own `window_for`.
+            if let Some(tv) = target {
+                // sssp-lint: protocol: epoch.target-cutoff
+                let td = self.target_distance_collective(tv);
+                if td <= self.policy.window_for(k, k).start_dist {
+                    break;
+                }
             }
 
             if let (Some(tau), Some(kp)) = (self.cfg.hybrid_tau, k_prev) {
@@ -415,6 +470,28 @@ impl<'a> Engine<'a> {
         self.ledger
             .charge_collective(self.model, TimeClass::Bucket, self.p);
         hi
+    }
+
+    /// The point-to-point cutoff collective: min-reduce the target's
+    /// tentative distance (its owner contributes `dist[target]`, every
+    /// other rank contributes INF — mirroring the threaded backend, where
+    /// the owner is the only rank with the value in memory).
+    pub(super) fn target_distance_collective(&mut self, tv: VertexId) -> u64 {
+        let owner = self.dg.part.owner(tv);
+        let local = self.dg.part.local_index(tv) as usize;
+        self.coll.clear();
+        let states = &self.states;
+        self.coll.extend((0..self.p).map(|r| {
+            if r == owner {
+                states[r].dist[local]
+            } else {
+                INF
+            }
+        }));
+        let td = allreduce_min(&self.coll, &mut self.comm);
+        self.ledger
+            .charge_collective(self.model, TimeClass::Bucket, self.p);
+        td
     }
 
     pub(super) fn any_active(&mut self) -> bool {

@@ -23,7 +23,7 @@ use sssp_comm::cost::MachineModel;
 use sssp_comm::exchange::{pack_sorted_run, shrink_oversized};
 use sssp_comm::packet::PacketConfig;
 use sssp_comm::stats::StepStats;
-use sssp_comm::threaded::{run_threaded, RankCtx, SPARE_CAPACITY_FLOOR};
+use sssp_comm::threaded::{run_threaded_with, RankCtx, SPARE_CAPACITY_FLOOR};
 use sssp_dist::{DistGraph, LocalGraph};
 use sssp_graph::VertexId;
 
@@ -68,6 +68,62 @@ impl Wire {
     }
 }
 
+/// Resident per-rank engine state a serving layer keeps warm between
+/// queries: the [`RankState`] (distances, buckets, frontier bitsets), the
+/// engine-side outbox lanes and inboxes, and the channel transport spares.
+/// One scratch belongs to exactly one in-flight query at a time; handing it
+/// to [`threaded_sssp_query`] runs the query without re-allocating any of
+/// the pooled structures (the state is `reset`, not rebuilt). A scratch is
+/// graph-shape-specific only through per-rank vertex counts: if the graph
+/// changes shape the affected rank states are rebuilt transparently, but a
+/// serving layer should still discard scratches on graph rebuild so stale
+/// pool sizes do not linger.
+#[derive(Default)]
+pub struct EngineScratch {
+    ranks: Vec<RankScratch>,
+}
+
+/// One rank's share of an [`EngineScratch`].
+#[derive(Default)]
+struct RankScratch {
+    st: Option<RankState>,
+    out: Vec<Vec<Wire>>,
+    inbox: Vec<Wire>,
+    req_inbox: Vec<Wire>,
+    spares: Vec<Vec<Wire>>,
+}
+
+impl EngineScratch {
+    /// Empty scratch for a `num_ranks`-rank world; every pooled structure
+    /// is created lazily by the first query that runs on it.
+    pub fn new(num_ranks: usize) -> Self {
+        EngineScratch {
+            ranks: (0..num_ranks).map(|_| RankScratch::default()).collect(),
+        }
+    }
+
+    /// Capacity (in messages) of the largest buffer held anywhere in the
+    /// scratch — outbox lanes, inboxes and transport spares across all
+    /// ranks. Diagnostic for the pool-bound regression tests: after a
+    /// query finishes, this is bounded by that query's own high-water mark
+    /// (floored at the warm-pool minimum), not by the largest query ever
+    /// run on the scratch.
+    pub fn max_buffer_capacity(&self) -> usize {
+        self.ranks
+            .iter()
+            .flat_map(|r| {
+                r.out
+                    .iter()
+                    .map(Vec::capacity)
+                    .chain(std::iter::once(r.inbox.capacity()))
+                    .chain(std::iter::once(r.req_inbox.capacity()))
+                    .chain(r.spares.iter().map(Vec::capacity))
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Result of a threaded run: final distances plus the transport counters
 /// the wall-clock benchmark records.
 #[derive(Debug, Clone)]
@@ -86,6 +142,12 @@ pub struct ThreadedSsspOutput {
     /// Relaxation messages removed by sender-side coalescing before the
     /// exchanges (all ranks summed).
     pub coalesced_msgs: u64,
+    /// Epoch-select rounds the run performed (one `epoch.select`
+    /// collective each, identical on every rank). A point-to-point query
+    /// that terminates early performs strictly fewer rounds than the same
+    /// query run to completion — the `serve_bench` superstep-savings gate
+    /// compares exactly this counter.
+    pub epochs: u64,
 }
 
 impl ThreadedSsspOutput {
@@ -101,6 +163,7 @@ struct RankResult {
     relax_local_msgs: u64,
     relax_remote_msgs: u64,
     coalesced_msgs: u64,
+    epochs: u64,
 }
 
 /// Wall-clock nanoseconds since `start`, saturated into a `u64` (580 years
@@ -110,12 +173,14 @@ fn elapsed_ns(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// Per-rank transport counters plus the epoch's pool high-water mark.
+/// Per-rank transport counters plus the epoch's pool high-water mark and
+/// the query-level mark that survives the per-epoch resets.
 struct Traffic {
     relax_local_msgs: u64,
     relax_remote_msgs: u64,
     coalesced_msgs: u64,
     hwm: usize,
+    query_hwm: usize,
 }
 
 /// Run the configured SSSP algorithm from `root` with one OS thread per
@@ -157,7 +222,32 @@ pub fn threaded_sssp_seeded(
     cfg: &SsspConfig,
     model: &MachineModel,
 ) -> ThreadedSsspOutput {
-    run_ranks_with(dg, seeds, cfg, model, || NoopRecorder).0
+    let mut scratch = EngineScratch::new(dg.num_ranks());
+    run_ranks_with(dg, seeds, None, cfg, model, &mut scratch, || NoopRecorder).0
+}
+
+/// Serving entry point: run one query over a **resident** graph, reusing
+/// the per-rank engine state and buffer pools held in `scratch` instead of
+/// rebuilding them. The first query on a fresh scratch allocates
+/// everything; every later query resets the state in place (distances,
+/// bucket ring, frontier stamps) and inherits the warmed pools, trimmed at
+/// query end to the finishing query's own high-water mark.
+///
+/// `target` selects point-to-point mode: the epoch loop stops as soon as
+/// the target's tentative distance can no longer improve (see the cutoff
+/// collective in the rank body), so `distances[target]` is final but other
+/// entries may still hold tentative values. With `target = None` the
+/// result is bit-identical to a fresh [`threaded_sssp_seeded`] run — the
+/// serving differential proptests pin exactly that.
+pub fn threaded_sssp_query(
+    dg: &Arc<DistGraph>,
+    seeds: &[(VertexId, u64)],
+    target: Option<VertexId>,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    scratch: &mut EngineScratch,
+) -> ThreadedSsspOutput {
+    run_ranks_with(dg, seeds, target, cfg, model, scratch, || NoopRecorder).0
 }
 
 /// [`threaded_delta_stepping`] with run telemetry: each rank records its
@@ -176,11 +266,20 @@ pub fn threaded_delta_stepping_traced(
 ) -> (ThreadedSsspOutput, RunTrace) {
     let p = dg.num_ranks();
     let tpr = dg.threads_per_rank;
-    let (out, stats) = run_ranks_with(dg, &[(root, 0)], cfg, model, move || RunStats {
-        num_ranks: p,
-        threads_per_rank: tpr,
-        ..RunStats::default()
-    });
+    let mut scratch = EngineScratch::new(p);
+    let (out, stats) = run_ranks_with(
+        dg,
+        &[(root, 0)],
+        None,
+        cfg,
+        model,
+        &mut scratch,
+        move || RunStats {
+            num_ranks: p,
+            threads_per_rank: tpr,
+            ..RunStats::default()
+        },
+    );
     let trace = merge_rank_traces(
         stats
             .iter()
@@ -190,23 +289,35 @@ pub fn threaded_delta_stepping_traced(
     (out, trace)
 }
 
-/// Shared driver behind the traced and untraced entry points: spawn one
-/// thread per rank, run [`rank_body`] with a freshly made recorder on each,
-/// and fold the per-rank results into the global output (returning the
-/// recorders in rank order for the caller to merge).
+/// Shared driver behind the traced, untraced and serving entry points:
+/// spawn one thread per rank, move each rank's [`RankScratch`] into its
+/// thread, run [`rank_body`] with a freshly made recorder, then fold the
+/// per-rank results into the global output and reassemble the scratch
+/// (returning the recorders in rank order for the caller to merge).
 fn run_ranks_with<R, F>(
     dg: &Arc<DistGraph>,
     seeds: &[(VertexId, u64)],
+    target: Option<VertexId>,
     cfg: &SsspConfig,
     model: &MachineModel,
+    scratch: &mut EngineScratch,
     mk: F,
 ) -> (ThreadedSsspOutput, Vec<R>)
 where
     R: Recorder + Send + 'static,
     F: Fn() -> R + Send + Sync + 'static,
 {
+    assert!(
+        cfg.flat_state,
+        "SsspConfig::flat_state = false selects the legacy BTreeMap bucket layout, \
+         which was retired after the PR 8 differential soak; only the flat bucket \
+         ring remains"
+    );
     let n = dg.num_vertices();
     let seeds = dedup_seeds(seeds, n);
+    if let Some(tv) = target {
+        assert!((tv as usize) < n, "target {tv} out of range (n = {n})");
+    }
     if n == 0 {
         // Mirror the simulated engine: an empty graph short-circuits (any
         // seed already panicked above as out of range).
@@ -216,33 +327,54 @@ where
                 relax_local_msgs: 0,
                 relax_remote_msgs: 0,
                 coalesced_msgs: 0,
+                epochs: 0,
             },
             Vec::new(),
         );
     }
     let p = dg.num_ranks();
+    if scratch.ranks.len() != p {
+        // A scratch sized for a different world is stale wholesale (the
+        // serving layer discards scratches on graph rebuild; this makes a
+        // mismatched one merely a fresh start, never a wrong answer).
+        scratch.ranks = (0..p).map(|_| RankScratch::default()).collect();
+    }
+    let payloads: Vec<RankScratch> = std::mem::take(&mut scratch.ranks);
     let dg_body = Arc::clone(dg);
     let cfg_body = cfg.clone();
     let model_body = *model;
-    let per_rank = run_threaded(p, move |mut ctx: RankCtx<Wire>| {
+    let per_rank = run_threaded_with(p, payloads, move |mut ctx: RankCtx<Wire>, mut rs| {
         let mut rec = mk();
-        let res = rank_body(&dg_body, &seeds, &cfg_body, &model_body, &mut ctx, &mut rec);
-        (res, rec)
+        let res = rank_body(
+            &dg_body,
+            &seeds,
+            target,
+            &cfg_body,
+            &model_body,
+            &mut ctx,
+            &mut rec,
+            &mut rs,
+        );
+        (res, rec, rs)
     });
 
     let mut distances = vec![INF; n];
     let mut relax_local_msgs = 0u64;
     let mut relax_remote_msgs = 0u64;
     let mut coalesced_msgs = 0u64;
+    let mut epochs = 0u64;
     let mut recorders = Vec::with_capacity(p);
-    for (rank, (res, rec)) in per_rank.into_iter().enumerate() {
+    scratch.ranks.reserve_exact(p);
+    for (rank, (res, rec, rs)) in per_rank.into_iter().enumerate() {
         for (l, &d) in res.dist.iter().enumerate() {
             distances[dg.part.to_global(rank, l) as usize] = d;
         }
         relax_local_msgs += res.relax_local_msgs;
         relax_remote_msgs += res.relax_remote_msgs;
         coalesced_msgs += res.coalesced_msgs;
+        epochs = epochs.max(res.epochs);
         recorders.push(rec);
+        scratch.ranks.push(rs);
     }
     (
         ThreadedSsspOutput {
@@ -250,6 +382,7 @@ where
             relax_local_msgs,
             relax_remote_msgs,
             coalesced_msgs,
+            epochs,
         },
         recorders,
     )
@@ -382,14 +515,24 @@ fn decide_threaded(
 /// and every buffer rank-private. The recorder observes the rank's own
 /// share of each superstep/phase/bucket; merging the per-rank records
 /// reproduces the simulated engine's global telemetry.
+///
+/// The rank's [`RankScratch`] carries state across queries: transport
+/// spares are adopted into the channel pool at entry and released back at
+/// exit, the `RankState` is reset in place when its shape still matches
+/// the graph (rebuilt otherwise), and outbox/inbox capacities survive —
+/// trimmed at query end against this query's own high-water mark so a
+/// large query's pools never chase a small successor.
 // sssp-lint: protocol-entry(threaded)
+#[allow(clippy::too_many_arguments)]
 fn rank_body<R: Recorder>(
     dg: &DistGraph,
     seeds: &[(VertexId, u64)],
+    target: Option<VertexId>,
     cfg: &SsspConfig,
     model: &MachineModel,
     ctx: &mut RankCtx<Wire>,
     rec: &mut R,
+    rs: &mut RankScratch,
 ) -> RankResult {
     let r = ctx.rank();
     let p = ctx.num_ranks();
@@ -397,8 +540,18 @@ fn rank_body<R: Recorder>(
     let part = &dg.part;
     let policy = PolicyDispatch::from_config(cfg, p);
     let n_total = dg.num_vertices() as u64;
-    let mut st =
-        RankState::new_with_layout(r, part.local_count(r), dg.threads_per_rank, cfg.flat_state);
+    ctx.adopt_spares(std::mem::take(&mut rs.spares));
+    let mut st = match rs.st.take() {
+        // Reuse path: same rank, same local vertex count — a full reset
+        // (distances, bucket ring *including its base*, frontier stamps,
+        // spill lanes) restores the fresh-state contract without touching
+        // any allocation.
+        Some(mut st) if st.rank == r && st.n_local() == part.local_count(r) => {
+            st.reset();
+            st
+        }
+        _ => RankState::new(r, part.local_count(r), dg.threads_per_rank),
+    };
 
     // Global weight extremes: a local scan over the weight-sorted rows,
     // reduced through two collectives (the simulated engine scans every
@@ -422,14 +575,19 @@ fn rank_body<R: Recorder>(
     let pi = resolved_pi(cfg.intra_balance, dg.m_directed, n_total);
     let has_short = dg.m_directed > 0 && min_weight < policy.short_bound();
 
-    let mut out: Vec<Vec<Wire>> = (0..p).map(|_| Vec::new()).collect();
-    let mut inbox: Vec<Wire> = Vec::new();
-    let mut req_inbox: Vec<Wire> = Vec::new();
+    let mut out: Vec<Vec<Wire>> = std::mem::take(&mut rs.out);
+    out.iter_mut().for_each(Vec::clear);
+    out.resize_with(p, Vec::new);
+    let mut inbox: Vec<Wire> = std::mem::take(&mut rs.inbox);
+    inbox.clear();
+    let mut req_inbox: Vec<Wire> = std::mem::take(&mut rs.req_inbox);
+    req_inbox.clear();
     let mut t = Traffic {
         relax_local_msgs: 0,
         relax_remote_msgs: 0,
         coalesced_msgs: 0,
         hwm: 0,
+        query_hwm: 0,
     };
     let packet = model.packet.as_ref();
 
@@ -461,6 +619,27 @@ fn rank_body<R: Recorder>(
         // anything queries the structure (window proposals included);
         // every later query of the epoch is at or above `k`.
         st.advance_frontier(k);
+
+        // Point-to-point early termination: every unsettled vertex now
+        // sits in bucket >= k, and under BSP consistency any relaxation a
+        // future epoch can produce lands at distance >= start_dist of the
+        // k-window (kΔ for finite delta, k for rho/radius, 0 — i.e. never
+        // early — for infinite delta). Once the target's tentative
+        // distance is at or below that bound no future epoch can improve
+        // it, so the target is settled and the run may stop. Safe under
+        // all three policies because the bound comes from the policy's own
+        // `window_for`.
+        if let Some(tv) = target {
+            let mut td_local = INF;
+            if part.owner(tv) == r {
+                td_local = st.dist[part.local_index(tv) as usize];
+            }
+            // sssp-lint: protocol: epoch.target-cutoff
+            let td = ctx.allreduce_min(td_local);
+            if td <= policy.window_for(k, k).start_dist {
+                break;
+            }
+        }
 
         // Hybrid switch (§III-D): merge the remaining buckets and finish
         // with Bellman-Ford rounds.
@@ -711,6 +890,7 @@ fn rank_body<R: Recorder>(
         }
         shrink_oversized(&mut inbox, floor);
         shrink_oversized(&mut req_inbox, floor);
+        t.query_hwm = t.query_hwm.max(t.hwm);
         t.hwm = 0;
 
         // Debug cross-check of the static protocol table: every rank must
@@ -718,23 +898,46 @@ fn rank_body<R: Recorder>(
         ctx.assert_schedule_uniform();
     }
 
-    // Final check covers the epochs that exit early (empty-bucket break
-    // and the Bellman-Ford tail).
+    // Final check covers the epochs that exit early (empty-bucket break,
+    // the point-to-point cutoff and the Bellman-Ford tail).
     ctx.assert_schedule_uniform();
 
+    // Query-end pool bound: trim channel spares against the whole query's
+    // high-water mark (not just the last — possibly quiet — epoch's), then
+    // shrink engine lanes the same way, and park everything back in the
+    // scratch for the next query. Buffers a large predecessor ballooned
+    // are released here, before a small successor inherits the pool.
+    t.query_hwm = t.query_hwm.max(t.hwm);
+    ctx.finish_query();
+    let floor = t.query_hwm.max(SPARE_CAPACITY_FLOOR / 4);
+    for lane in out.iter_mut() {
+        shrink_oversized(lane, floor);
+    }
+    shrink_oversized(&mut inbox, floor);
+    shrink_oversized(&mut req_inbox, floor);
+    rs.out = out;
+    rs.inbox = inbox;
+    rs.req_inbox = req_inbox;
+    rs.spares = ctx.release_spares();
+
     rec.finish();
-    RankResult {
-        dist: st.dist,
+    let res = RankResult {
+        dist: st.dist.clone(),
         relax_local_msgs: t.relax_local_msgs,
         relax_remote_msgs: t.relax_remote_msgs,
         coalesced_msgs: t.coalesced_msgs,
-    }
+        epochs: epoch,
+    };
+    rs.st = Some(st);
+    res
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::seq;
+    #[cfg(debug_assertions)]
+    use sssp_comm::threaded::run_threaded;
     use sssp_graph::{gen, CsrBuilder};
 
     #[test]
@@ -900,7 +1103,17 @@ mod tests {
                     let cfg = cfg.clone();
                     move |mut ctx: RankCtx<Wire>| {
                         let mut rec = NoopRecorder;
-                        rank_body(&dg, &[(0, 0)], &cfg, &model, &mut ctx, &mut rec);
+                        let mut rs = RankScratch::default();
+                        rank_body(
+                            &dg,
+                            &[(0, 0)],
+                            None,
+                            &cfg,
+                            &model,
+                            &mut ctx,
+                            &mut rec,
+                            &mut rs,
+                        );
                         (ctx.observed_locks(), ctx.observed_lock_pairs())
                     }
                 });
@@ -932,13 +1145,16 @@ mod tests {
         let model = MachineModel::bgq_like();
         run_threaded(2, move |mut ctx: RankCtx<Wire>| {
             let mut rec = NoopRecorder;
+            let mut rs = RankScratch::default();
             rank_body(
                 &dg,
                 &[(0, 0)],
+                None,
                 &SsspConfig::opt(15),
                 &model,
                 &mut ctx,
                 &mut rec,
+                &mut rs,
             );
             if ctx.rank() == 1 {
                 ctx.perturb_lock_order("slots", "slots");
@@ -963,5 +1179,159 @@ mod tests {
         let dg = Arc::new(DistGraph::build(&g, 3, 1));
         let out = threaded_delta_stepping(&dg, 0, &SsspConfig::del(4), &MachineModel::bgq_like());
         assert_eq!(out.distances, vec![0, 5, INF, INF]);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh_runs() {
+        // The satellite-2 regression: query 1 is deliberately spill-heavy —
+        // Δ = 1 over a long weighted path drives bucket indices far past
+        // FLAT_LANES, so the ring's `base` slides high and the spill lanes
+        // fill. A stale `base` or a leftover spill entry would silently
+        // swallow the next query's bucket-0 seeds; every follow-up query on
+        // the same scratch must match a radix-heap Dijkstra and a fresh
+        // one-shot run bit for bit.
+        let mut el = gen::path(600, 7);
+        for e in gen::uniform(600, 1800, 30, 13).edges {
+            el.push(e.u, e.v, e.w);
+        }
+        let g = CsrBuilder::new().build(&el);
+        let model = MachineModel::bgq_like();
+        for p in [1usize, 3] {
+            let dg = Arc::new(DistGraph::build(&g, p, 2));
+            let mut scratch = EngineScratch::new(p);
+            let cfg_spill = SsspConfig::del(1);
+            let first = threaded_sssp_query(&dg, &[(0, 0)], None, &cfg_spill, &model, &mut scratch);
+            assert_eq!(first.distances, seq::dijkstra_radix(&g, 0), "p {p} first");
+            for (root, cfg) in [
+                (599u32, SsspConfig::opt(20)),
+                (7, SsspConfig::del(1)),
+                (0, SsspConfig::rho(64)),
+                (42, SsspConfig::radius(64)),
+            ] {
+                let reused =
+                    threaded_sssp_query(&dg, &[(root, 0)], None, &cfg, &model, &mut scratch);
+                assert_eq!(
+                    reused.distances,
+                    seq::dijkstra_radix(&g, root),
+                    "p {p} root {root}: reused scratch diverged from dijkstra"
+                );
+                let fresh = threaded_sssp_seeded(&dg, &[(root, 0)], &cfg, &model);
+                assert_eq!(
+                    reused.distances, fresh.distances,
+                    "p {p} root {root}: reused scratch diverged from a fresh run"
+                );
+            }
+            // Multi-seed on the warm scratch, against a fresh run.
+            let seeds = [(3u32, 10u64), (500, 0), (3, 2)];
+            let reused = threaded_sssp_query(
+                &dg,
+                &seeds,
+                None,
+                &SsspConfig::opt(15),
+                &model,
+                &mut scratch,
+            );
+            let fresh = threaded_sssp_seeded(&dg, &seeds, &SsspConfig::opt(15), &model);
+            assert_eq!(reused.distances, fresh.distances, "p {p} multi-seed");
+        }
+    }
+
+    #[test]
+    fn point_to_point_cutoff_settles_the_target_early() {
+        // Long weighted path plus noise: the far endpoint settles only at
+        // the very end of a full run, while a nearby target settles almost
+        // immediately — the cutoff must stop the epoch loop early for the
+        // near target, return its exact distance, and stay bit-identical
+        // on the target entry under all three stepping policies.
+        let mut el = gen::path(400, 9);
+        for e in gen::uniform(400, 1200, 30, 5).edges {
+            el.push(e.u, e.v, e.w);
+        }
+        let g = CsrBuilder::new().build(&el);
+        let expect = seq::dijkstra_radix(&g, 0);
+        let model = MachineModel::bgq_like();
+        // Non-hybrid configs: the τ-triggered Bellman-Ford tail would merge
+        // the remaining buckets after a couple of epochs and leave the
+        // cutoff nothing to save on a graph this small.
+        for cfg in [
+            SsspConfig::del(10),
+            SsspConfig::rho(8),
+            SsspConfig::radius(8),
+        ] {
+            let dg = Arc::new(DistGraph::build(&g, 3, 2));
+            let mut scratch = EngineScratch::new(3);
+            let full = threaded_sssp_query(&dg, &[(0, 0)], None, &cfg, &model, &mut scratch);
+            assert_eq!(full.distances, expect);
+            // A target two hops from the root settles in the earliest epochs.
+            let near = threaded_sssp_query(&dg, &[(0, 0)], Some(2), &cfg, &model, &mut scratch);
+            assert_eq!(near.distances[2], expect[2], "near target distance");
+            // ρ-stepping's window fixpoint can finish a small graph in two
+            // epochs regardless, leaving the cutoff nothing to skip; the
+            // other policies must show a strict epoch saving.
+            if matches!(cfg.policy, crate::config::SteppingPolicyKind::Rho(_)) {
+                assert!(near.epochs <= full.epochs);
+            } else {
+                assert!(
+                    near.epochs < full.epochs,
+                    "cutoff saved no epochs ({} vs {})",
+                    near.epochs,
+                    full.epochs
+                );
+            }
+            // The far endpoint cannot terminate before the full run would
+            // anyway; its distance must still be exact.
+            let far = threaded_sssp_query(&dg, &[(0, 0)], Some(399), &cfg, &model, &mut scratch);
+            assert_eq!(far.distances[399], expect[399], "far target distance");
+        }
+    }
+
+    #[test]
+    fn query_pool_bound_holds_across_mixed_size_queries() {
+        // The satellite-1 regression: a message-heavy query balloons the
+        // resident pools; the next (tiny) query must hand the scratch back
+        // bounded by its *own* high-water mark, not the predecessor's.
+        // Before per-query accounting, spares trimmed against the last
+        // quiet epoch's mark survived indefinitely.
+        let big = CsrBuilder::new().build(&gen::uniform(4000, 60_000, 30, 21));
+        let model = MachineModel::bgq_like();
+        let p = 3usize;
+        let dg = Arc::new(DistGraph::build(&big, p, 2));
+        let mut scratch = EngineScratch::new(p);
+        threaded_sssp_query(
+            &dg,
+            &[(0, 0)],
+            None,
+            &SsspConfig::opt(20),
+            &model,
+            &mut scratch,
+        );
+        let after_big = scratch.max_buffer_capacity();
+
+        // A point-to-point query for a root's neighbor touches a handful
+        // of vertices before the cutoff fires — its high-water mark is
+        // tiny, so the scratch it returns must be near the warm-pool floor.
+        threaded_sssp_query(
+            &dg,
+            &[(0, 0)],
+            Some(0),
+            &SsspConfig::opt(20),
+            &model,
+            &mut scratch,
+        );
+        let after_small = scratch.max_buffer_capacity();
+        assert!(
+            after_small <= SPARE_CAPACITY_FLOOR.max(after_big / 8),
+            "small query left oversized pools: {after_small} (big query: {after_big})"
+        );
+        // The shrink must not break correctness of the next real query.
+        let out = threaded_sssp_query(
+            &dg,
+            &[(9, 0)],
+            None,
+            &SsspConfig::opt(20),
+            &model,
+            &mut scratch,
+        );
+        assert_eq!(out.distances, seq::dijkstra_radix(&big, 9));
     }
 }

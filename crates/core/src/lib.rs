@@ -65,9 +65,9 @@ pub use config::{
     DeltaParam, DirectionPolicy, IntraBalance, LongPhaseMode, SsspConfig, SteppingPolicyKind,
 };
 pub use engine::threaded::{
-    threaded_delta_stepping, threaded_delta_stepping_traced, threaded_sssp_seeded,
-    ThreadedSsspOutput,
+    threaded_delta_stepping, threaded_delta_stepping_traced, threaded_sssp_query,
+    threaded_sssp_seeded, EngineScratch, ThreadedSsspOutput,
 };
-pub use engine::{run_sssp, SsspOutput};
+pub use engine::{canonical_seeds, run_sssp, run_sssp_p2p, SsspOutput};
 pub use instrument::{RunStats, RunTrace};
 pub use policy::{EpochWindow, PolicyDispatch, SteppingPolicy, WindowRule};

@@ -8,19 +8,21 @@
 //! in any bucket container. Exact per-bucket counts are kept alongside for
 //! the next-bucket collective.
 //!
-//! Two member layouts exist behind one API:
+//! The member layout is [`FlatBuckets`]: a lazy cyclic ring of
+//! [`FLAT_LANES`] flat `Vec<u32>` lanes indexed by `bucket % FLAT_LANES`,
+//! with an overflow spill list for buckets beyond the ring. The engine
+//! calls [`RankState::advance_frontier`] once per epoch; lanes the
+//! frontier passed are recycled in O(passed) and spill entries whose
+//! bucket entered the ring migrate in. All hot-path operations are
+//! array indexing instead of `BTreeMap` node chasing. (The historical
+//! `BTreeMap<u64, Vec<u32>>` layout was retired after its differential
+//! soak release — `SsspConfig::flat_state = false` now fails loudly; see
+//! DESIGN.md §6h.)
 //!
-//! * [`FlatBuckets`] (the default) — a lazy cyclic ring of
-//!   [`FLAT_LANES`] flat `Vec<u32>` lanes indexed by `bucket % FLAT_LANES`,
-//!   with an overflow spill list for buckets beyond the ring. The engine
-//!   calls [`RankState::advance_frontier`] once per epoch; lanes the
-//!   frontier passed are recycled in O(passed) and spill entries whose
-//!   bucket entered the ring migrate in. All hot-path operations are
-//!   array indexing instead of `BTreeMap` node chasing.
-//! * Legacy `BTreeMap<u64, Vec<u32>>` buckets — the historical layout,
-//!   kept for one release as a differential toggle
-//!   (`SsspConfig::flat_state = false`) and pinned against the flat layout
-//!   by proptests.
+//! State is reusable across runs: the serving layer keeps one
+//! [`RankState`] per rank resident and calls [`RankState::reset`] between
+//! queries, which restores the all-unreached initial state while keeping
+//! every allocation (lanes, spill, bitsets, distance arrays) warm.
 //!
 //! The `changed` / `active` frontier sets are epoch-stamped bitsets
 //! ([`StampBitset`]): O(1) clear by stamp bump, duplicate-free insertion by
@@ -217,6 +219,22 @@ impl FlatBuckets {
     #[inline]
     fn ring_end(&self) -> u64 {
         self.base.saturating_add(FLAT_LANES)
+    }
+
+    /// Restore the empty initial state (base 0, no members anywhere) while
+    /// keeping lane and spill allocations warm. Without the base rewind a
+    /// reused ring would silently answer every query below the previous
+    /// run's final bucket as empty — including the new query's bucket 0
+    /// roots — and the engine would terminate immediately with INF
+    /// distances.
+    fn reset(&mut self) {
+        self.base = 0;
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        self.lane_counts.fill(0);
+        self.spill.clear();
+        self.spill_counts.clear();
     }
 
     #[inline]
@@ -427,37 +445,6 @@ impl FlatBuckets {
     }
 }
 
-/// The historical `BTreeMap` bucket layout, kept for one release behind
-/// `SsspConfig::flat_state = false` as the differential baseline.
-#[derive(Debug)]
-struct LegacyBuckets {
-    buckets: BTreeMap<u64, Vec<u32>>,
-    counts: BTreeMap<u64, u64>,
-}
-
-/// Which member layout a [`RankState`] runs on.
-#[derive(Debug)]
-enum BucketStore {
-    Flat(FlatBuckets),
-    Legacy(LegacyBuckets),
-}
-
-impl BucketStore {
-    fn flat(&self) -> Option<&FlatBuckets> {
-        match self {
-            BucketStore::Flat(f) => Some(f),
-            BucketStore::Legacy(_) => None,
-        }
-    }
-
-    fn legacy(&self) -> Option<&LegacyBuckets> {
-        match self {
-            BucketStore::Flat(_) => None,
-            BucketStore::Legacy(l) => Some(l),
-        }
-    }
-}
-
 /// State of one simulated rank.
 #[derive(Debug)]
 pub struct RankState {
@@ -467,7 +454,7 @@ pub struct RankState {
     pub dist: Vec<u64>,
     /// Current bucket per local vertex ([`INF_BUCKET`] = unreached).
     pub bucket_of: Vec<u64>,
-    store: BucketStore,
+    store: FlatBuckets,
     /// Vertices whose distance changed in the current phase.
     pub changed: StampBitset,
     /// Active vertices for the next phase.
@@ -477,42 +464,33 @@ pub struct RankState {
 }
 
 impl RankState {
-    /// Fresh state for a rank owning `n_local` vertices, all unreached,
-    /// on the default flat bucket layout.
+    /// Fresh state for a rank owning `n_local` vertices, all unreached.
     pub fn new(rank: usize, n_local: usize, threads: usize) -> Self {
-        Self::new_with_layout(rank, n_local, threads, true)
-    }
-
-    /// Fresh state on the legacy `BTreeMap` bucket layout (the
-    /// differential baseline of the flat-layout proptests).
-    pub fn new_legacy(rank: usize, n_local: usize, threads: usize) -> Self {
-        Self::new_with_layout(rank, n_local, threads, false)
-    }
-
-    /// Fresh state with an explicit layout choice (`flat = true` selects
-    /// [`FlatBuckets`]); the engines thread `SsspConfig::flat_state` here.
-    pub fn new_with_layout(rank: usize, n_local: usize, threads: usize, flat: bool) -> Self {
         RankState {
             rank,
             dist: vec![INF; n_local],
             bucket_of: vec![INF_BUCKET; n_local],
-            store: if flat {
-                BucketStore::Flat(FlatBuckets::new())
-            } else {
-                BucketStore::Legacy(LegacyBuckets {
-                    buckets: BTreeMap::new(),
-                    counts: BTreeMap::new(),
-                })
-            },
+            store: FlatBuckets::new(),
             changed: StampBitset::new(n_local),
             active: StampBitset::new(n_local),
             loads: ThreadLoads::new(threads),
         }
     }
 
-    /// Whether this state runs on the flat bucket layout.
-    pub fn is_flat(&self) -> bool {
-        matches!(self.store, BucketStore::Flat(_))
+    /// Restore the all-unreached initial state while keeping every
+    /// allocation warm — the serving layer's between-queries reset. This
+    /// must undo *all* per-run state: distances and `bucket_of`, the
+    /// bucket ring (including its base and the spill list — a stale base
+    /// would answer the next query's bucket-0 pushes as empty), both
+    /// frontier bitsets (stamp bump, so a stale stamp cannot leak a
+    /// previous query's frontier into the next run), and the thread loads.
+    pub fn reset(&mut self) {
+        self.dist.fill(INF);
+        self.bucket_of.fill(INF_BUCKET);
+        self.store.reset();
+        self.changed.clear();
+        self.active.clear();
+        self.loads.reset();
     }
 
     /// Number of vertices this rank owns.
@@ -524,13 +502,7 @@ impl RankState {
     pub fn set_root(&mut self, local: u32) {
         self.dist[local as usize] = 0;
         self.bucket_of[local as usize] = 0;
-        match &mut self.store {
-            BucketStore::Flat(f) => f.push(local, 0),
-            BucketStore::Legacy(l) => {
-                l.buckets.entry(0).or_default().push(local);
-                *l.counts.entry(0).or_insert(0) += 1;
-            }
-        }
+        self.store.push(local, 0);
     }
 
     /// Begin a new phase: clear the changed set (an O(1) stamp bump).
@@ -542,12 +514,9 @@ impl RankState {
     /// `k`, recycling the lanes the frontier passed and migrating spill
     /// entries whose bucket entered the ring. The engines call this once
     /// per epoch, right after the epoch-selection collective; every later
-    /// bucket query of the epoch is at or above `k`. A no-op on the
-    /// legacy layout.
+    /// bucket query of the epoch is at or above `k`.
     pub fn advance_frontier(&mut self, k: u64) {
-        if let BucketStore::Flat(f) = &mut self.store {
-            f.advance(k, &self.bucket_of);
-        }
+        self.store.advance(k, &self.bucket_of);
     }
 
     /// Apply `Relax`: `d(v) ← min(d(v), nd)`, moving buckets as required
@@ -571,28 +540,10 @@ impl RankState {
         );
         self.dist[li] = nd;
         if new_b < old_b {
-            match &mut self.store {
-                BucketStore::Flat(f) => {
-                    if old_b != INF_BUCKET {
-                        f.dec(old_b);
-                    }
-                    f.push(local, new_b);
-                }
-                BucketStore::Legacy(l) => {
-                    if old_b != INF_BUCKET {
-                        // sssp-lint: allow(no-panic-hot-path): count exists whenever
-                        // bucket_of is finite; a miss means corrupted bucket state and
-                        // continuing would return wrong distances.
-                        let c = l.counts.get_mut(&old_b).expect("bucket count missing");
-                        *c -= 1;
-                        if *c == 0 {
-                            l.counts.remove(&old_b);
-                        }
-                    }
-                    l.buckets.entry(new_b).or_default().push(local);
-                    *l.counts.entry(new_b).or_insert(0) += 1;
-                }
+            if old_b != INF_BUCKET {
+                self.store.dec(old_b);
             }
+            self.store.push(local, new_b);
             self.bucket_of[li] = new_b;
         }
         self.changed.insert(local);
@@ -611,34 +562,24 @@ impl RankState {
     /// active-set collector).
     pub fn window_members(&self, lo: u64, hi: u64) -> impl Iterator<Item = u32> + '_ {
         let bucket_of = &self.bucket_of;
-        let legacy = self.store.legacy().into_iter().flat_map(move |st| {
-            st.buckets.range(lo..=hi).flat_map(move |(&b, members)| {
-                members
+        let fb = &self.store;
+        let ring_lo = lo.max(fb.base);
+        let ring_hi = hi.min(fb.ring_end() - 1);
+        let spill_take = if hi >= fb.ring_end() { usize::MAX } else { 0 };
+        (ring_lo..=ring_hi)
+            .flat_map(move |b| {
+                fb.lanes[FlatBuckets::slot(b)]
                     .iter()
                     .copied()
                     .filter(move |&v| bucket_of[v as usize] == b)
             })
-        });
-        let flat = self.store.flat().into_iter().flat_map(move |fb| {
-            let ring_lo = lo.max(fb.base);
-            let ring_hi = hi.min(fb.ring_end() - 1);
-            let spill_take = if hi >= fb.ring_end() { usize::MAX } else { 0 };
-            (ring_lo..=ring_hi)
-                .flat_map(move |b| {
-                    fb.lanes[FlatBuckets::slot(b)]
-                        .iter()
-                        .copied()
-                        .filter(move |&v| bucket_of[v as usize] == b)
-                })
-                .chain(
-                    fb.spill
-                        .iter()
-                        .take(spill_take)
-                        .filter(move |&&(v, b)| lo <= b && b <= hi && bucket_of[v as usize] == b)
-                        .map(|&(v, _)| v),
-                )
-        });
-        legacy.chain(flat)
+            .chain(
+                fb.spill
+                    .iter()
+                    .take(spill_take)
+                    .filter(move |&&(v, b)| lo <= b && b <= hi && bucket_of[v as usize] == b)
+                    .map(|&(v, _)| v),
+            )
     }
 
     /// Raw (unfiltered) scan length over the bucket range `[lo, hi]` — the
@@ -646,18 +587,12 @@ impl RankState {
     /// window reaching past the ring charges the whole spill list (that is
     /// what the collector scans).
     pub fn window_scan_len(&self, lo: u64, hi: u64) -> usize {
-        match &self.store {
-            BucketStore::Flat(f) => f.window_scan_len(lo, hi),
-            BucketStore::Legacy(l) => l.buckets.range(lo..=hi).map(|(_, m)| m.len()).sum(),
-        }
+        self.store.window_scan_len(lo, hi)
     }
 
     /// Exact number of vertices currently in buckets `[lo, hi]`.
     pub fn window_count(&self, lo: u64, hi: u64) -> u64 {
-        match &self.store {
-            BucketStore::Flat(f) => f.window_count(lo, hi),
-            BucketStore::Legacy(l) => l.counts.range(lo..=hi).map(|(_, &c)| c).sum(),
-        }
+        self.store.window_count(lo, hi)
     }
 
     /// ρ-stepping's per-rank window proposal: the largest bucket `H ≥ k`
@@ -666,38 +601,18 @@ impl RankState {
     /// inside the window. Returns [`NO_PROPOSAL`] when even the whole
     /// suffix stays within the cap.
     pub fn prefix_window_end(&self, k: u64, cap: u64) -> u64 {
-        match &self.store {
-            BucketStore::Flat(f) => f.prefix_window_end(k, cap),
-            BucketStore::Legacy(l) => {
-                let mut cum = 0u64;
-                let mut last = k;
-                for (&b, &c) in l.counts.range(k..) {
-                    cum += c;
-                    if cum > cap {
-                        return if b == k { k } else { last };
-                    }
-                    last = b;
-                }
-                NO_PROPOSAL
-            }
-        }
+        self.store.prefix_window_end(k, cap)
     }
 
     /// Raw (unfiltered) length of bucket `k`'s member container — the scan
     /// cost of collecting the bucket's members.
     pub fn bucket_scan_len(&self, k: u64) -> usize {
-        match &self.store {
-            BucketStore::Flat(f) => f.bucket_scan_len(k),
-            BucketStore::Legacy(l) => l.buckets.get(&k).map_or(0, Vec::len),
-        }
+        self.store.bucket_scan_len(k)
     }
 
     /// Exact number of vertices currently in bucket `k`.
     pub fn bucket_count(&self, k: u64) -> u64 {
-        match &self.store {
-            BucketStore::Flat(f) => f.count(k),
-            BucketStore::Legacy(l) => l.counts.get(&k).copied().unwrap_or(0),
-        }
+        self.store.count(k)
     }
 
     /// Smallest non-empty bucket index `> k`, if any. Pass `None` to search
@@ -707,24 +622,13 @@ impl RankState {
             Some(k) => k + 1,
             None => 0,
         };
-        match &self.store {
-            BucketStore::Flat(f) => f.next_nonempty_from(start),
-            BucketStore::Legacy(l) => l
-                .counts
-                .range(start..)
-                .filter(|&(_, &c)| c > 0)
-                .map(|(&b, _)| b)
-                .next(),
-        }
+        self.store.next_nonempty_from(start)
     }
 
     /// Number of unsettled vertices (bucket index > `k`), i.e. the scan
     /// extent of a pull phase for current bucket `k`.
     pub fn count_unsettled_after(&self, k: u64) -> u64 {
-        let later: u64 = match &self.store {
-            BucketStore::Flat(f) => f.count_after(k),
-            BucketStore::Legacy(l) => l.counts.range(k + 1..).map(|(_, &c)| c).sum(),
-        };
+        let later = self.store.count_after(k);
         let infinite = self.bucket_of.iter().filter(|&&b| b == INF_BUCKET).count() as u64;
         later + infinite
     }
@@ -812,15 +716,24 @@ mod tests {
         DeltaParam::Finite(5)
     }
 
-    /// Run every bucket-structure test on both layouts.
-    fn both_layouts(f: impl Fn(RankState)) {
+    /// Bucket-structure tests run on a fresh state and once more on a
+    /// reset one: a reused state must be indistinguishable from fresh.
+    fn both_lifecycles(f: impl Fn(RankState)) {
         f(RankState::new(0, 64, 1));
-        f(RankState::new_legacy(0, 64, 1));
+        let mut reused = RankState::new(0, 64, 1);
+        reused.begin_phase();
+        let d1 = DeltaParam::Finite(1);
+        for v in 0..32 {
+            reused.relax(v, u64::from(v) * 40 + 1, &d1);
+        }
+        reused.advance_frontier(FLAT_LANES + 7);
+        reused.reset();
+        f(reused);
     }
 
     #[test]
     fn window_helpers_cover_bucket_ranges() {
-        both_layouts(|mut s| {
+        both_lifecycles(|mut s| {
             s.begin_phase();
             s.relax(0, 3, &delta5()); // bucket 0
             s.relax(1, 7, &delta5()); // bucket 1
@@ -843,7 +756,7 @@ mod tests {
 
     #[test]
     fn prefix_window_end_respects_the_cap() {
-        both_layouts(|mut s| {
+        both_lifecycles(|mut s| {
             s.begin_phase();
             s.relax(0, 3, &delta5()); // bucket 0
             s.relax(1, 7, &delta5()); // bucket 1
@@ -862,7 +775,7 @@ mod tests {
 
     #[test]
     fn root_goes_to_bucket_zero() {
-        both_layouts(|mut s| {
+        both_lifecycles(|mut s| {
             s.set_root(3);
             assert_eq!(s.dist[3], 0);
             assert_eq!(s.bucket_count(0), 1);
@@ -872,7 +785,7 @@ mod tests {
 
     #[test]
     fn relax_improves_and_moves_buckets() {
-        both_layouts(|mut s| {
+        both_lifecycles(|mut s| {
             s.begin_phase();
             assert!(s.relax(1, 12, &delta5())); // bucket 2
             assert_eq!(s.bucket_of[1], 2);
@@ -902,7 +815,7 @@ mod tests {
 
     #[test]
     fn lazy_deletion_filters_members() {
-        both_layouts(|mut s| {
+        both_lifecycles(|mut s| {
             s.begin_phase();
             s.relax(1, 12, &delta5()); // bucket 2
             s.relax(2, 13, &delta5()); // bucket 2
@@ -916,7 +829,7 @@ mod tests {
 
     #[test]
     fn next_nonempty_after_skips_empties() {
-        both_layouts(|mut s| {
+        both_lifecycles(|mut s| {
             s.begin_phase();
             s.relax(0, 3, &delta5()); // bucket 0
             s.relax(1, 26, &delta5()); // bucket 5
@@ -1055,46 +968,35 @@ mod tests {
     }
 
     #[test]
-    fn flat_and_legacy_layouts_agree() {
-        // A fixed relax/advance script must leave both layouts with
-        // identical counts, proposals and member sets at every step.
+    fn reset_restores_the_fresh_initial_state() {
+        // A reused state must be indistinguishable from a fresh one even
+        // after a run that advanced the ring base past FLAT_LANES and left
+        // spill entries behind — the two bug shapes a stale reuse leaks:
+        // a base > 0 answering bucket-0 pushes as empty, and spill
+        // entries from the previous query reappearing as live members.
         let d1 = DeltaParam::Finite(1);
-        let script: &[(u32, u64)] = &[
-            (0, 5),
-            (1, 700),
-            (2, 9),
-            (3, 5),
-            (1, 600),
-            (4, 520),
-            (2, 6),
-            (5, 1000),
-        ];
-        let mut flat = RankState::new(0, 16, 1);
-        let mut legacy = RankState::new_legacy(0, 16, 1);
-        flat.begin_phase();
-        legacy.begin_phase();
-        for &(v, d) in script {
-            assert_eq!(flat.relax(v, d, &d1), legacy.relax(v, d, &d1));
-            assert_eq!(
-                flat.next_nonempty_after(None),
-                legacy.next_nonempty_after(None)
-            );
-            for probe in [0, 5, 520, 600, 700, 1000] {
-                assert_eq!(flat.bucket_count(probe), legacy.bucket_count(probe));
-                let mut fm: Vec<u32> = flat.bucket_members(probe).collect();
-                let mut lm: Vec<u32> = legacy.bucket_members(probe).collect();
-                fm.sort_unstable();
-                lm.sort_unstable();
-                assert_eq!(fm, lm);
-            }
-            for cap in [1, 2, 100] {
-                assert_eq!(
-                    flat.prefix_window_end(5, cap),
-                    legacy.prefix_window_end(5, cap)
-                );
-            }
-            assert_eq!(flat.window_count(0, 2000), legacy.window_count(0, 2000));
-        }
+        let mut s = RankState::new(0, 16, 2);
+        s.begin_phase();
+        s.relax(0, 2, &d1);
+        s.relax(1, FLAT_LANES + 9, &d1); // spill entry
+        s.relax(2, 3 * FLAT_LANES, &d1); // deep spill entry
+        s.advance_frontier(FLAT_LANES + 9); // base well past 0
+        s.charge_recv(0);
+        assert!(s.bucket_count(0) == 0, "bucket 0 recycled by the advance");
+        s.reset();
+        assert!(s.dist.iter().all(|&d| d == INF));
+        assert!(s.bucket_of.iter().all(|&b| b == INF_BUCKET));
+        assert!(s.changed.is_empty() && s.active.is_empty());
+        assert_eq!(s.loads.total(), 0);
+        assert_eq!(s.next_nonempty_after(None), None, "no survivors anywhere");
+        assert_eq!(s.window_count(0, 10 * FLAT_LANES), 0);
+        // Bucket 0 must accept pushes again (the base rewound).
+        s.set_root(5);
+        assert_eq!(s.bucket_count(0), 1);
+        assert_eq!(s.bucket_members(0).collect::<Vec<_>>(), vec![5]);
+        // And the spill list must not resurrect the old entries.
+        assert_eq!(s.bucket_count(FLAT_LANES + 9), 0);
+        assert_eq!(s.bucket_count(3 * FLAT_LANES), 0);
     }
 
     #[test]
@@ -1127,13 +1029,5 @@ mod tests {
         assert!(b.is_empty() && !b.contains(3));
         b.insert(69);
         assert_eq!(b.to_vec(), vec![69]);
-    }
-
-    #[test]
-    fn layout_constructors_pick_the_store() {
-        assert!(RankState::new(0, 4, 1).is_flat());
-        assert!(RankState::new_with_layout(0, 4, 1, true).is_flat());
-        assert!(!RankState::new_legacy(0, 4, 1).is_flat());
-        assert!(!RankState::new_with_layout(0, 4, 1, false).is_flat());
     }
 }

@@ -1,11 +1,16 @@
 //! Differential suite for the flat hot-path data layout: the lazy cyclic
-//! flat bucket queue and the stamp-bitset frontiers (`flat_state: true`,
-//! the default) must be observationally identical to the legacy
-//! `BTreeMap` layout — at the state level (same pop order, counts and
-//! window proposals per epoch under every stepping policy's bucket
-//! function) and end to end (bit-identical distances and telemetry
-//! traces on both backends, degenerate graphs included).
+//! flat bucket queue and the stamp-bitset frontiers must be
+//! observationally identical to an eager `BTreeMap` bucket-queue oracle —
+//! same pop order, counts and window proposals per epoch under every
+//! stepping policy's bucket function — and end to end both backends must
+//! match the sequential references, degenerate graphs included.
+//!
+//! The legacy `BTreeMap` layout itself (`SsspConfig::flat_state = false`)
+//! was retired after its differential soak release; the oracle here is an
+//! in-test reference model, and the tombstone tests at the bottom pin the
+//! loud error the retired flag now produces on both backends.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use proptest::prelude::*;
@@ -13,9 +18,9 @@ use proptest::prelude::*;
 use sssp_comm::cost::MachineModel;
 use sssp_core::config::SsspConfig;
 use sssp_core::engine::run_sssp;
-use sssp_core::policy::{RadiusPolicy, RhoPolicy};
-use sssp_core::state::{RankState, INF};
-use sssp_core::{threaded_delta_stepping_traced, DeltaParam, RunTrace, SteppingPolicy};
+use sssp_core::policy::{RadiusPolicy, RhoPolicy, NO_PROPOSAL};
+use sssp_core::state::{RankState, INF, INF_BUCKET};
+use sssp_core::{seq, threaded_delta_stepping_traced, DeltaParam, SteppingPolicy};
 use sssp_dist::DistGraph;
 use sssp_graph::{gen, Csr, CsrBuilder, EdgeList};
 
@@ -33,8 +38,7 @@ fn arb_graph() -> impl Strategy<Value = Csr> {
         .prop_map(|(n, m, w_max, seed)| CsrBuilder::new().build(&gen::uniform(n, m, w_max, seed)))
 }
 
-/// One configuration per stepping policy, each exercised with the flat
-/// layout (default) and the legacy toggle.
+/// One configuration per stepping policy.
 fn policy_matrix() -> Vec<SsspConfig> {
     vec![
         SsspConfig::del(13),
@@ -44,12 +48,120 @@ fn policy_matrix() -> Vec<SsspConfig> {
     ]
 }
 
-/// Drive one relax/advance script through a flat and a legacy
-/// [`RankState`] in lockstep under `policy`, comparing every bucket-queue
-/// observation the engines make: epoch selection, live counts, window
-/// counts and proposals, member sets, and (for in-ring windows, where the
-/// layout guarantees bucket-then-push order on both stores) exact member
-/// order.
+/// The reference bucket queue: an eager `BTreeMap<bucket, members>` with
+/// push-order member vectors — exactly the retired legacy layout's
+/// semantics, rebuilt as a test-local model. Relaxations move the vertex
+/// eagerly (remove from the old bucket, append to the new one), so member
+/// vectors hold live entries only and counts are their lengths.
+struct OracleBuckets {
+    dist: Vec<u64>,
+    bucket_of: Vec<u64>,
+    buckets: BTreeMap<u64, Vec<u32>>,
+}
+
+impl OracleBuckets {
+    fn new(n: usize) -> Self {
+        OracleBuckets {
+            dist: vec![INF; n],
+            bucket_of: vec![INF_BUCKET; n],
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    fn set_root(&mut self, v: u32) {
+        self.dist[v as usize] = 0;
+        self.bucket_of[v as usize] = 0;
+        self.buckets.entry(0).or_default().push(v);
+    }
+
+    fn relax<P: SteppingPolicy>(&mut self, v: u32, nd: u64, policy: &P) -> bool {
+        let li = v as usize;
+        if nd >= self.dist[li] {
+            return false;
+        }
+        let old_b = self.bucket_of[li];
+        let new_b = policy.bucket_of(nd);
+        self.dist[li] = nd;
+        if new_b < old_b {
+            if old_b != INF_BUCKET {
+                let members = self.buckets.get_mut(&old_b).expect("bucket exists");
+                let pos = members.iter().position(|&m| m == v).expect("member exists");
+                members.remove(pos);
+            }
+            self.buckets.entry(new_b).or_default().push(v);
+            self.bucket_of[li] = new_b;
+        }
+        true
+    }
+
+    /// Drop every bucket the frontier passed (the advance contract: no
+    /// query ever looks below the epoch's bucket again).
+    fn advance(&mut self, k: u64) {
+        self.buckets = self.buckets.split_off(&k);
+    }
+
+    fn next_nonempty_after(&self, k: Option<u64>) -> Option<u64> {
+        let start = match k {
+            Some(k) => k + 1,
+            None => 0,
+        };
+        self.buckets
+            .range(start..)
+            .find(|(_, m)| !m.is_empty())
+            .map(|(&b, _)| b)
+    }
+
+    fn bucket_count(&self, k: u64) -> u64 {
+        self.buckets.get(&k).map_or(0, |m| m.len() as u64)
+    }
+
+    fn window_count(&self, lo: u64, hi: u64) -> u64 {
+        self.buckets
+            .range(lo..=hi)
+            .map(|(_, m)| m.len() as u64)
+            .sum()
+    }
+
+    fn count_unsettled_after(&self, k: u64) -> u64 {
+        let later: u64 = self
+            .buckets
+            .range(k.saturating_add(1)..)
+            .map(|(_, m)| m.len() as u64)
+            .sum();
+        let infinite = self.bucket_of.iter().filter(|&&b| b == INF_BUCKET).count() as u64;
+        later + infinite
+    }
+
+    fn prefix_window_end(&self, k: u64, cap: u64) -> u64 {
+        let mut cum = 0u64;
+        let mut last = k;
+        for (&b, m) in self.buckets.range(k..) {
+            if m.is_empty() {
+                continue;
+            }
+            cum += m.len() as u64;
+            if cum > cap {
+                return if b == k { k } else { last };
+            }
+            last = b;
+        }
+        NO_PROPOSAL
+    }
+
+    fn window_members(&self, lo: u64, hi: u64) -> Vec<u32> {
+        self.buckets
+            .range(lo..=hi)
+            .flat_map(|(_, m)| m.iter().copied())
+            .collect()
+    }
+}
+
+/// Drive one relax/advance script through a flat [`RankState`] and the
+/// eager `BTreeMap` oracle in lockstep under `policy`, comparing every
+/// bucket-queue observation the engines make: epoch selection, live
+/// counts, window counts and proposals, member sets, and (for in-ring
+/// windows, where the flat layout guarantees bucket-then-push order)
+/// exact member order.
 fn drive_differential<P: SteppingPolicy>(
     n: usize,
     policy: &P,
@@ -57,17 +169,15 @@ fn drive_differential<P: SteppingPolicy>(
     order_exact: bool,
 ) -> Result<(), TestCaseError> {
     let mut flat = RankState::new(0, n, 1);
-    let mut legacy = RankState::new_legacy(0, n, 1);
-    prop_assert!(flat.is_flat());
-    prop_assert!(!legacy.is_flat());
+    let mut oracle = OracleBuckets::new(n);
     flat.set_root(0);
-    legacy.set_root(0);
+    oracle.set_root(0);
 
     let mut epoch = 0u64;
     for chunk in script.chunks(8) {
         for &(v, nd) in chunk {
             let v = v as u32;
-            // Respect the engine's epoch invariant the layouts are built
+            // Respect the engine's epoch invariant the layout is built
             // around: settled vertices (bucket below the current epoch)
             // never improve, and no relaxation lands below the epoch
             // bucket. The skip decision reads identical state on both
@@ -76,33 +186,33 @@ fn drive_differential<P: SteppingPolicy>(
                 continue;
             }
             let fr = flat.relax(v, nd, policy);
-            let lr = legacy.relax(v, nd, policy);
-            prop_assert_eq!(fr, lr, "relax({}, {}) disagreed", v, nd);
+            let or = oracle.relax(v, nd, policy);
+            prop_assert_eq!(fr, or, "relax({}, {}) disagreed", v, nd);
         }
 
         let from = epoch.checked_sub(1);
         let k = flat.next_nonempty_after(from);
         prop_assert_eq!(
             k,
-            legacy.next_nonempty_after(from),
+            oracle.next_nonempty_after(from),
             "epoch selection diverged after epoch {}",
             epoch
         );
         let Some(k) = k else { continue };
         flat.advance_frontier(k);
-        legacy.advance_frontier(k);
+        oracle.advance(k);
         epoch = k;
 
-        prop_assert_eq!(flat.bucket_count(k), legacy.bucket_count(k));
-        prop_assert_eq!(flat.window_count(k, k + 7), legacy.window_count(k, k + 7));
+        prop_assert_eq!(flat.bucket_count(k), oracle.bucket_count(k));
+        prop_assert_eq!(flat.window_count(k, k + 7), oracle.window_count(k, k + 7));
         prop_assert_eq!(
             flat.count_unsettled_after(k),
-            legacy.count_unsettled_after(k)
+            oracle.count_unsettled_after(k)
         );
         for cap in [0u64, 2, 16] {
             prop_assert_eq!(
                 flat.prefix_window_end(k, cap),
-                legacy.prefix_window_end(k, cap),
+                oracle.prefix_window_end(k, cap),
                 "prefix_window_end(k = {}, cap = {}) diverged",
                 k,
                 cap
@@ -110,26 +220,26 @@ fn drive_differential<P: SteppingPolicy>(
         }
         prop_assert_eq!(
             flat.next_nonempty_after(Some(k)),
-            legacy.next_nonempty_after(Some(k))
+            oracle.next_nonempty_after(Some(k))
         );
 
         let mut fm: Vec<u32> = flat.bucket_members(k).collect();
-        let mut lm: Vec<u32> = legacy.bucket_members(k).collect();
+        let mut om: Vec<u32> = oracle.window_members(k, k);
         if order_exact {
-            prop_assert_eq!(&fm, &lm, "bucket {} pop order diverged", k);
+            prop_assert_eq!(&fm, &om, "bucket {} pop order diverged", k);
         }
         fm.sort_unstable();
-        lm.sort_unstable();
-        prop_assert_eq!(fm, lm, "bucket {} member set diverged", k);
+        om.sort_unstable();
+        prop_assert_eq!(fm, om, "bucket {} member set diverged", k);
 
         let mut fw: Vec<u32> = flat.window_members(k, k + 7).collect();
-        let mut lw: Vec<u32> = legacy.window_members(k, k + 7).collect();
+        let mut ow: Vec<u32> = oracle.window_members(k, k + 7);
         if order_exact {
-            prop_assert_eq!(&fw, &lw, "window [{}, {}] pop order diverged", k, k + 7);
+            prop_assert_eq!(&fw, &ow, "window [{}, {}] pop order diverged", k, k + 7);
         }
         fw.sort_unstable();
-        lw.sort_unstable();
-        prop_assert_eq!(fw, lw, "window [{}, {}] member set diverged", k, k + 7);
+        ow.sort_unstable();
+        prop_assert_eq!(fw, ow, "window [{}, {}] member set diverged", k, k + 7);
     }
     Ok(())
 }
@@ -141,7 +251,7 @@ proptest! {
     // observation including pop order must match under all three
     // policies' bucket functions.
     #[test]
-    fn flat_queue_matches_legacy_in_ring(
+    fn flat_queue_matches_the_oracle_in_ring(
         n in 2usize..40,
         script in proptest::collection::vec((0usize..40, 0u64..400), 0..120),
     ) {
@@ -158,7 +268,7 @@ proptest! {
     // must still match exactly; spill order is unspecified, so the order
     // check is off.
     #[test]
-    fn flat_queue_matches_legacy_through_the_spill(
+    fn flat_queue_matches_the_oracle_through_the_spill(
         n in 2usize..40,
         script in proptest::collection::vec((0usize..40, 0u64..50_000), 0..120),
     ) {
@@ -168,44 +278,29 @@ proptest! {
         drive_differential(n, &DeltaParam::Finite(3), &script, false)?;
     }
 
-    // End to end: for every stepping policy, flat and legacy layouts
-    // produce bit-identical distances and telemetry traces on both
-    // backends.
+    // End to end: for every stepping policy, both backends produce
+    // distances matching the radix-heap Dijkstra reference, and the
+    // backends match each other bit for bit.
     #[test]
-    fn layouts_agree_end_to_end_on_both_backends(
+    fn backends_agree_end_to_end_on_the_flat_layout(
         g in arb_graph(),
         p in 1usize..6,
         root_pick in any::<prop::sample::Index>(),
     ) {
         let root = root_pick.index(g.num_vertices()) as u32;
+        let expect = seq::dijkstra_radix(&g, root);
         let dg = Arc::new(DistGraph::build(&g, p, 2));
         let model = MachineModel::bgq_like();
         for cfg in policy_matrix() {
-            let flat_cfg = cfg.clone().with_flat_state(true);
-            let legacy_cfg = cfg.clone().with_flat_state(false);
-
-            let f = run_sssp(&dg, root, &flat_cfg, &model);
-            let l = run_sssp(&dg, root, &legacy_cfg, &model);
+            let sim = run_sssp(&dg, root, &cfg, &model);
             prop_assert_eq!(
-                &f.distances, &l.distances,
+                &sim.distances, &expect,
                 "simulated distances diverged, p = {}, cfg = {:?}", p, &cfg
             );
-            let tf = RunTrace::from_run_stats(&f.stats, "flat");
-            let tl = RunTrace::from_run_stats(&l.stats, "legacy");
-            let diffs = tf.diff(&tl);
-            prop_assert!(
-                diffs.is_empty(),
-                "simulated traces diverged, cfg = {:?}:\n{}", &cfg, diffs.join("\n")
-            );
-
-            let (ft, ftrace) = threaded_delta_stepping_traced(&dg, root, &flat_cfg, &model);
-            let (lt, ltrace) = threaded_delta_stepping_traced(&dg, root, &legacy_cfg, &model);
-            prop_assert_eq!(&ft.distances, &f.distances, "threaded flat diverged");
-            prop_assert_eq!(&lt.distances, &f.distances, "threaded legacy diverged");
-            let diffs = ftrace.diff(&ltrace);
-            prop_assert!(
-                diffs.is_empty(),
-                "threaded traces diverged, cfg = {:?}:\n{}", &cfg, diffs.join("\n")
+            let (thr, _) = threaded_delta_stepping_traced(&dg, root, &cfg, &model);
+            prop_assert_eq!(
+                &thr.distances, &expect,
+                "threaded distances diverged, p = {}, cfg = {:?}", p, &cfg
             );
         }
     }
@@ -214,11 +309,10 @@ proptest! {
 /// The stamp-bitset frontiers on the degenerate shapes the telemetry
 /// suite watches: a single-vertex graph (one partly-used bitset word), an
 /// edgeless graph across more ranks than edges, and a disconnected pair
-/// where half the vertices never enter any frontier. Flat and legacy must
-/// agree with the expected distances and with each other on both
-/// backends.
+/// where half the vertices never enter any frontier. Both backends must
+/// produce the expected distances under every policy.
 #[test]
-fn degenerate_graphs_agree_across_layouts_and_backends() {
+fn degenerate_graphs_agree_across_backends() {
     let model = MachineModel::bgq_like();
 
     let single = CsrBuilder::new().build(&EdgeList::new(1));
@@ -237,19 +331,32 @@ fn degenerate_graphs_agree_across_layouts_and_backends() {
     for (name, g, p, expect) in shapes {
         let dg = Arc::new(DistGraph::build(&g, p, 2));
         for cfg in policy_matrix() {
-            for flat in [true, false] {
-                let cfg = cfg.clone().with_flat_state(flat);
-                let sim = run_sssp(&dg, 0, &cfg, &model);
-                assert_eq!(
-                    sim.distances, expect,
-                    "{name}: simulated, flat = {flat}, cfg = {cfg:?}"
-                );
-                let (thr, _) = threaded_delta_stepping_traced(&dg, 0, &cfg, &model);
-                assert_eq!(
-                    thr.distances, expect,
-                    "{name}: threaded, flat = {flat}, cfg = {cfg:?}"
-                );
-            }
+            let sim = run_sssp(&dg, 0, &cfg, &model);
+            assert_eq!(sim.distances, expect, "{name}: simulated, cfg = {cfg:?}");
+            let (thr, _) = threaded_delta_stepping_traced(&dg, 0, &cfg, &model);
+            assert_eq!(thr.distances, expect, "{name}: threaded, cfg = {cfg:?}");
         }
     }
+}
+
+/// Tombstone for the retired layout, simulated backend: requesting
+/// `flat_state = false` must fail loudly instead of silently running the
+/// flat layout (or worse, resurrecting dead code paths).
+#[test]
+#[should_panic(expected = "legacy BTreeMap bucket layout")]
+fn retired_legacy_flag_errors_loudly_on_the_simulated_backend() {
+    let g = CsrBuilder::new().build(&gen::path(4, 3));
+    let dg = DistGraph::build(&g, 2, 1);
+    let cfg = SsspConfig::opt(10).with_flat_state(false);
+    let _ = run_sssp(&dg, 0, &cfg, &MachineModel::bgq_like());
+}
+
+/// Tombstone for the retired layout, threaded backend.
+#[test]
+#[should_panic(expected = "legacy BTreeMap bucket layout")]
+fn retired_legacy_flag_errors_loudly_on_the_threaded_backend() {
+    let g = CsrBuilder::new().build(&gen::path(4, 3));
+    let dg = Arc::new(DistGraph::build(&g, 2, 1));
+    let cfg = SsspConfig::opt(10).with_flat_state(false);
+    let _ = threaded_delta_stepping_traced(&dg, 0, &cfg, &MachineModel::bgq_like());
 }

@@ -36,9 +36,12 @@ use crate::rules::token_positions;
 use crate::source::SourceFile;
 
 /// Files the concurrency models are built from: the comm crate (locks,
-/// channels, the rank runtime) and the threaded engine sources.
+/// channels, the rank runtime), the threaded engine sources and the
+/// query-serving scheduler.
 pub fn in_scope(rel_path: &str) -> bool {
-    rel_path.starts_with("crates/comm/src/") || rel_path.starts_with("crates/core/src/engine/")
+    rel_path.starts_with("crates/comm/src/")
+        || rel_path.starts_with("crates/core/src/engine/")
+        || rel_path.starts_with("crates/serve/src/")
 }
 
 /// Kind of a declared lock.
@@ -960,7 +963,7 @@ fn render_lock_table(m: &Merged) -> String {
     let mut out = String::new();
     out.push_str("lock-order model\n");
     out.push_str("================\n");
-    out.push_str("scope: crates/comm/src/ + crates/core/src/engine/\n\n");
+    out.push_str("scope: crates/comm/src/ + crates/core/src/engine/ + crates/serve/src/\n\n");
 
     out.push_str("locks\n");
     if m.locks.is_empty() {
@@ -1031,7 +1034,7 @@ fn render_channel_table(m: &Merged) -> (String, usize) {
     let mut out = String::new();
     out.push_str("channel topology\n");
     out.push_str("================\n");
-    out.push_str("scope: crates/comm/src/ + crates/core/src/engine/\n\n");
+    out.push_str("scope: crates/comm/src/ + crates/core/src/engine/ + crates/serve/src/\n\n");
 
     // Resolve each endpoint name to a packet kind: declared kinds win;
     // names tied together by a create site share the declared kind.
@@ -1344,6 +1347,7 @@ mod tests {
     fn in_scope_covers_comm_and_threaded_engine() {
         assert!(in_scope("crates/comm/src/threaded.rs"));
         assert!(in_scope("crates/core/src/engine/threaded.rs"));
+        assert!(in_scope("crates/serve/src/server.rs"));
         assert!(!in_scope("crates/graph/src/gen.rs"));
         assert!(!in_scope("crates/bench/src/lib.rs"));
     }

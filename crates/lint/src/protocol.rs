@@ -268,7 +268,8 @@ pub fn render_table(rows: &[(TableRow, usize, usize)]) -> String {
 /// `epoch.window-*` are policy-specific; every other row is shared), so
 /// pinning each filtered section pins each policy's schedule distinctly.
 fn render_policy_sections(s: &mut String, rows: &[(TableRow, usize, usize)]) {
-    let sections: &[(&str, fn(&str) -> bool)] = &[
+    type LabelFilter = fn(&str) -> bool;
+    let sections: &[(&str, LabelFilter)] = &[
         ("delta", |l| !l.starts_with("epoch.window-")),
         ("rho", |l| l != "epoch.window-radius"),
         ("radius", |l| l != "epoch.window-rho"),
@@ -999,9 +1000,15 @@ fn apply_assign(code: &str, taint: &mut BTreeSet<String>, in_tainted: bool) {
         // Only simple `name` / `name.field` / `name[..]` targets.
         (l.to_string(), r[1..].to_string())
     };
+    // Keywords leak into the lhs scan for `if let` / `while let` binding
+    // lines; they are not bindable names and must never enter the taint
+    // set (a tainted `let` would poison every later `if let` guard).
+    const KEYWORDS: &[&str] = &[
+        "mut", "_", "if", "else", "let", "ref", "while", "for", "in", "match", "box",
+    ];
     let names: Vec<String> = ident_names(&lhs)
         .into_iter()
-        .filter(|n| n != "mut" && n != "_" && !n.starts_with(char::is_uppercase))
+        .filter(|n| !KEYWORDS.contains(&n.as_str()) && !n.starts_with(char::is_uppercase))
         .collect();
     if names.is_empty() {
         return;
@@ -1427,6 +1434,28 @@ fn f(ctx: &mut RankCtx) {
         let hits = check_divergent_guard(&sf);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].0, 4);
+    }
+
+    #[test]
+    fn if_let_on_tainted_rhs_does_not_taint_the_let_keyword() {
+        // Regression: `if let (a, b) = (inbox.x(), inbox.y())` used to push
+        // the keywords `if`/`let` into the taint set via the lhs ident scan,
+        // after which EVERY later `if let` guard (whose condition text starts
+        // with `let …`) read as rank-local — e.g. a guard on a uniform run
+        // parameter like `if let Some(tv) = target`.
+        let src = "\
+fn f(ctx: &mut RankCtx, target: Option<u32>) {
+    if let (Some(a), Some(b)) = (inbox.first(), inbox.last()) {
+        noop(a, b);
+    }
+    if let Some(tv) = target {
+        ctx.allreduce_min(tv);
+    }
+}
+";
+        let sf = SourceFile::parse("crates/core/src/engine/x.rs", src);
+        let hits = check_divergent_guard(&sf);
+        assert!(hits.is_empty(), "{hits:?}");
     }
 
     #[test]

@@ -109,9 +109,10 @@ pub static RULES: &[Rule] = &[
     },
     Rule {
         name: "missing-docs-pub",
-        summary: "public items in sssp-core and sssp-comm need a doc comment",
+        summary: "public items in sssp-core, sssp-comm and sssp-serve need \
+                  a doc comment",
         scope: Scope {
-            include: &["crates/core/src/", "crates/comm/src/"],
+            include: &["crates/core/src/", "crates/comm/src/", "crates/serve/src/"],
             exclude: &[],
         },
         check: check_missing_docs,
@@ -126,6 +127,7 @@ pub static RULES: &[Rule] = &[
                 "crates/comm/src/lib.rs",
                 "crates/dist/src/lib.rs",
                 "crates/core/src/lib.rs",
+                "crates/serve/src/lib.rs",
                 "crates/bench/src/lib.rs",
                 "crates/lint/src/lib.rs",
                 "src/lib.rs",
@@ -144,6 +146,7 @@ pub static RULES: &[Rule] = &[
                 "crates/comm/src/",
                 "crates/dist/src/",
                 "crates/core/src/",
+                "crates/serve/src/",
             ],
             exclude: &[],
         },
@@ -184,7 +187,11 @@ pub static RULES: &[Rule] = &[
         summary: "lock acquisitions must follow one global order; an \
                   acquisition that closes an order cycle can deadlock",
         scope: Scope {
-            include: &["crates/comm/src/", "crates/core/src/engine/"],
+            include: &[
+                "crates/comm/src/",
+                "crates/core/src/engine/",
+                "crates/serve/src/",
+            ],
             exclude: &[],
         },
         check: crate::concurrency::check_lock_cycle,
@@ -194,7 +201,11 @@ pub static RULES: &[Rule] = &[
         summary: "no blocking `.recv(`/`.wait(` while holding a lock — a \
                   peer blocked on the same lock deadlocks the rendezvous",
         scope: Scope {
-            include: &["crates/comm/src/", "crates/core/src/engine/"],
+            include: &[
+                "crates/comm/src/",
+                "crates/core/src/engine/",
+                "crates/serve/src/",
+            ],
             exclude: &[],
         },
         check: crate::concurrency::check_blocking_hold,

@@ -1,0 +1,398 @@
+//! The query scheduler: a FIFO of submitted [`QuerySpec`]s drained by a
+//! pool of `max_inflight` worker threads, each owning one resident
+//! [`EngineScratch`].
+//!
+//! Locking discipline (mirrored by the static concurrency model in
+//! `sssp-lint` and its committed goldens): exactly **one** mutex —
+//! `queue` — guards every piece of shared state (job FIFO, finished
+//! results, the graph handle, the distance cache, lifecycle flags), and
+//! the two condvars `work_ready` / `done_ready` park workers and waiting
+//! clients against it. No code path acquires a second lock while holding
+//! the first, so the lock-order graph has no edges and cannot deadlock;
+//! queries themselves execute strictly outside the critical section.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use sssp_comm::cost::MachineModel;
+use sssp_core::bfs::run_bfs;
+use sssp_core::cc::run_cc;
+use sssp_core::closeness::harmonic_closeness_sampled;
+use sssp_core::pagerank::run_pagerank;
+use sssp_core::{canonical_seeds, threaded_sssp_query, EngineScratch, SsspConfig};
+use sssp_dist::DistGraph;
+
+use crate::cache::{DistanceCache, SeedKey};
+use crate::{QueryOutput, QueryResult, QuerySpec};
+
+/// Handle to a submitted query; redeem it with [`SsspServer::wait`] or
+/// [`SsspServer::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(u64);
+
+/// Serving parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads, i.e. the number of queries in flight at once.
+    /// Each worker owns one [`EngineScratch`]; every query still spawns
+    /// its own rank threads inside the engine.
+    pub max_inflight: usize,
+    /// Distance-cache capacity in full fields (0 disables the cache).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_inflight: 4,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// Everything the queue mutex guards.
+struct QueueState {
+    /// FIFO of submitted, not-yet-claimed queries.
+    jobs: VecDeque<(Ticket, QuerySpec)>,
+    /// Finished queries awaiting pickup, by ticket.
+    results: BTreeMap<u64, QueryResult>,
+    /// The resident graph every new query runs against.
+    graph: Arc<DistGraph>,
+    /// Bumped by [`SsspServer::rebuild`]; stale cache inserts are dropped.
+    generation: u64,
+    /// The landmark / repeat-root distance cache.
+    cache: DistanceCache,
+    /// Next ticket id.
+    next_ticket: u64,
+    /// Set once by the server's `Drop`; workers drain the FIFO then exit.
+    shutdown: bool,
+    /// Queries currently claimed by a worker.
+    running: usize,
+    /// High-water mark of `running` over the server's lifetime.
+    peak_running: usize,
+}
+
+/// The shared half of the server: one mutex, two condvars (see the
+/// module docs for the locking discipline).
+struct Shared {
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+    done_ready: Condvar,
+}
+
+/// A query-serving engine over one resident graph. Dropping the server
+/// finishes every queued query, then joins the workers.
+pub struct SsspServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    max_inflight: usize,
+}
+
+/// What a worker claimed from the queue in one critical section: either
+/// a cache hit (already a finished result) or a query to execute.
+enum Claim {
+    Hit(QueryResult),
+    Run {
+        ticket: Ticket,
+        spec: QuerySpec,
+        graph: Arc<DistGraph>,
+        generation: u64,
+    },
+    Exit,
+}
+
+impl SsspServer {
+    /// Spin up a server over `graph`: `serve.max_inflight` workers, each
+    /// with an empty [`EngineScratch`] warmed by its first query. `cfg`
+    /// and `model` apply to every SSSP-family query (analytics endpoints
+    /// take only what they need from them).
+    pub fn new(
+        graph: Arc<DistGraph>,
+        cfg: SsspConfig,
+        model: MachineModel,
+        serve: ServeConfig,
+    ) -> SsspServer {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                results: BTreeMap::new(),
+                graph,
+                generation: 0,
+                cache: DistanceCache::new(serve.cache_capacity),
+                next_ticket: 0,
+                shutdown: false,
+                running: 0,
+                peak_running: 0,
+            }),
+            work_ready: Condvar::new(),
+            done_ready: Condvar::new(),
+        });
+        let max_inflight = serve.max_inflight.max(1);
+        let workers = (0..max_inflight)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || worker_loop(&shared, &cfg, &model))
+            })
+            .collect();
+        SsspServer {
+            shared,
+            workers,
+            max_inflight,
+        }
+    }
+
+    /// The worker-pool size (= maximum concurrently running queries).
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Enqueue a query and return its ticket. Panics if the spec names a
+    /// vertex outside the resident graph (checked here so the failure
+    /// surfaces in the submitting thread, not inside a worker).
+    pub fn submit(&self, spec: QuerySpec) -> Ticket {
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        let n = q.graph.num_vertices();
+        for v in spec.vertices() {
+            assert!((v as usize) < n, "query vertex {v} out of range (n = {n})");
+        }
+        if let QuerySpec::Closeness { sources } = &spec {
+            assert!(!sources.is_empty(), "closeness needs at least one source");
+        }
+        let ticket = Ticket(q.next_ticket);
+        q.next_ticket += 1;
+        q.jobs.push_back((ticket, spec));
+        self.shared.work_ready.notify_one();
+        ticket
+    }
+
+    /// Block until `ticket`'s query finishes and take its result. Each
+    /// ticket can be redeemed exactly once.
+    pub fn wait(&self, ticket: Ticket) -> QueryResult {
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(res) = q.results.remove(&ticket.0) {
+                return res;
+            }
+            // sssp-lint: allow(concurrency-blocking-hold): a condvar wait
+            // atomically releases the queue lock while parked; workers
+            // publishing results can always acquire it.
+            q = self.shared.done_ready.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Take `ticket`'s result if the query already finished.
+    pub fn poll(&self, ticket: Ticket) -> Option<QueryResult> {
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        q.results.remove(&ticket.0)
+    }
+
+    /// Submit-and-wait convenience for sequential callers.
+    pub fn run(&self, spec: QuerySpec) -> QueryResult {
+        let ticket = self.submit(spec);
+        self.wait(ticket)
+    }
+
+    /// Swap in a new resident graph: bumps the generation and clears the
+    /// distance cache. Queries already claimed by a worker finish against
+    /// the graph they started with (their results report the old
+    /// generation, and their cache inserts are discarded); queries still
+    /// queued run against the new graph.
+    pub fn rebuild(&self, graph: Arc<DistGraph>) {
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        q.graph = graph;
+        q.generation += 1;
+        q.cache.clear();
+    }
+
+    /// The current graph generation (0 until the first [`rebuild`]).
+    ///
+    /// [`rebuild`]: SsspServer::rebuild
+    pub fn generation(&self) -> u64 {
+        let q = self.shared.queue.lock().expect("queue poisoned");
+        q.generation
+    }
+
+    /// Distance-cache `(hits, misses)` over the server's lifetime.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let q = self.shared.queue.lock().expect("queue poisoned");
+        q.cache.stats()
+    }
+
+    /// The most queries ever observed running at the same instant —
+    /// the serving benchmark's concurrency gate.
+    pub fn peak_inflight(&self) -> usize {
+        let q = self.shared.queue.lock().expect("queue poisoned");
+        q.peak_running
+    }
+}
+
+impl Drop for SsspServer {
+    fn drop(&mut self) {
+        {
+            // A panic inside `submit` (out-of-range spec) poisons the
+            // mutex; shutdown must still go through — a drop may not
+            // panic, and the parked workers need the wake-up.
+            let mut q = match self.shared.queue.lock() {
+                Ok(q) => q,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            q.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            // A worker that panicked already surfaced its message on
+            // stderr; the server's drop must not double-panic.
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claim the next job (answering straight from the cache when possible)
+/// or decide to exit — one critical section on the queue mutex.
+fn claim(shared: &Shared) -> Claim {
+    let mut q = shared.queue.lock().expect("queue poisoned");
+    loop {
+        if let Some((ticket, spec)) = q.jobs.pop_front() {
+            q.running += 1;
+            q.peak_running = q.peak_running.max(q.running);
+            let n = q.graph.num_vertices();
+            if let Some(seeds) = spec.seeds() {
+                let key = canonical_seeds(&seeds, n);
+                if let Some(dist) = q.cache.get(&key) {
+                    let output = match &spec {
+                        QuerySpec::PointToPoint { target, .. } => {
+                            QueryOutput::TargetDistance(dist[*target as usize])
+                        }
+                        _ => QueryOutput::Distances(dist),
+                    };
+                    return Claim::Hit(QueryResult {
+                        ticket,
+                        output,
+                        epochs: 0,
+                        cache_hit: true,
+                        generation: q.generation,
+                    });
+                }
+            }
+            return Claim::Run {
+                ticket,
+                spec,
+                graph: Arc::clone(&q.graph),
+                generation: q.generation,
+            };
+        }
+        if q.shutdown {
+            return Claim::Exit;
+        }
+        // sssp-lint: allow(concurrency-blocking-hold): a condvar wait
+        // atomically releases the queue lock while parked; submitters can
+        // always acquire it to hand over work.
+        q = shared.work_ready.wait(q).expect("queue poisoned");
+    }
+}
+
+/// Publish a finished query and (for full distance runs) feed the cache —
+/// one critical section on the queue mutex.
+fn finish(shared: &Shared, result: QueryResult, cache_insert: Option<(SeedKey, Arc<Vec<u64>>)>) {
+    let mut q = shared.queue.lock().expect("queue poisoned");
+    if let Some((key, dist)) = cache_insert {
+        // A rebuild may have raced this query; a stale field must not
+        // poison the new graph's cache.
+        if q.generation == result.generation {
+            q.cache.insert(key, dist);
+        }
+    }
+    q.running -= 1;
+    q.results.insert(result.ticket.0, result);
+    shared.done_ready.notify_all();
+}
+
+/// One worker: claim, execute outside the lock, publish, repeat. The
+/// worker's [`EngineScratch`] stays resident across queries and is
+/// discarded only when the graph generation changes.
+fn worker_loop(shared: &Shared, cfg: &SsspConfig, model: &MachineModel) {
+    let mut scratch = EngineScratch::new(0);
+    let mut scratch_generation = u64::MAX;
+    loop {
+        let (ticket, spec, graph, generation) = match claim(shared) {
+            Claim::Hit(result) => {
+                finish(shared, result, None);
+                continue;
+            }
+            Claim::Run {
+                ticket,
+                spec,
+                graph,
+                generation,
+            } => (ticket, spec, graph, generation),
+            Claim::Exit => return,
+        };
+        if generation != scratch_generation {
+            scratch = EngineScratch::new(graph.num_ranks());
+            scratch_generation = generation;
+        }
+        let n = graph.num_vertices();
+        let mut cache_insert: Option<(SeedKey, Arc<Vec<u64>>)> = None;
+        let (output, epochs) = match &spec {
+            QuerySpec::SingleSource { .. } | QuerySpec::MultiSeed { .. } => {
+                let seeds = spec.seeds().unwrap_or_default();
+                let out = threaded_sssp_query(&graph, &seeds, None, cfg, model, &mut scratch);
+                let dist = Arc::new(out.distances);
+                cache_insert = Some((canonical_seeds(&seeds, n), Arc::clone(&dist)));
+                (QueryOutput::Distances(dist), out.epochs)
+            }
+            QuerySpec::PointToPoint { root, target } => {
+                let out = threaded_sssp_query(
+                    &graph,
+                    &[(*root, 0)],
+                    Some(*target),
+                    cfg,
+                    model,
+                    &mut scratch,
+                );
+                // The early-terminated field is partially tentative, so it
+                // never enters the cache; only the target entry is final.
+                (
+                    QueryOutput::TargetDistance(out.distances[*target as usize]),
+                    out.epochs,
+                )
+            }
+            QuerySpec::Bfs { root } => {
+                let out = run_bfs(&graph, *root, model);
+                let rounds = out.stats.levels.len() as u64;
+                (QueryOutput::BfsDepths(Arc::new(out.depth)), rounds)
+            }
+            QuerySpec::Components => {
+                let out = run_cc(&graph, model);
+                (
+                    QueryOutput::ComponentLabels(Arc::new(out.labels)),
+                    out.rounds,
+                )
+            }
+            QuerySpec::PageRank { config } => {
+                let out = run_pagerank(&graph, config, model);
+                (
+                    QueryOutput::PageRankScores(Arc::new(out.scores)),
+                    out.iterations as u64,
+                )
+            }
+            QuerySpec::Closeness { sources } => {
+                let c = harmonic_closeness_sampled(&graph, sources, cfg, model);
+                (QueryOutput::Closeness(Arc::new(c)), 0)
+            }
+        };
+        finish(
+            shared,
+            QueryResult {
+                ticket,
+                output,
+                epochs,
+                cache_hit: false,
+                generation,
+            },
+            cache_insert,
+        );
+    }
+}
