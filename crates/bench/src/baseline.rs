@@ -354,6 +354,15 @@ pub struct ServingRecord {
     /// gate requires `p2p_epochs < full_epochs`: the target cutoff must
     /// actually terminate early.
     pub full_epochs: u64,
+    /// Queries that panicked and were absorbed by the worker's
+    /// `catch_unwind` (failing only their own ticket). The `--check` gate
+    /// requires zero: the clean benchmark batch must not trip the crash
+    /// isolation.
+    pub panicked: u64,
+    /// Queries that missed their deadline and failed with
+    /// `QueryError::TimedOut`. The benchmark runs without a deadline, so
+    /// the gate requires zero.
+    pub timed_out: u64,
     /// Wall-clock milliseconds over the whole measured batch.
     pub wall_ms: f64,
     /// Queries completed per second of batch wall time. Wall-clock
@@ -394,6 +403,22 @@ impl ServingRecord {
                 self.p2p_epochs, self.full_epochs
             ));
         }
+        if self.panicked != 0 {
+            problems.push(format!(
+                "{} quer{} panicked during the clean benchmark batch — \
+                 crash isolation absorbed them, but a healthy baseline \
+                 must not panic at all",
+                self.panicked,
+                if self.panicked == 1 { "y" } else { "ies" }
+            ));
+        }
+        if self.timed_out != 0 {
+            problems.push(format!(
+                "{} quer{} timed out in a run with no deadline configured",
+                self.timed_out,
+                if self.timed_out == 1 { "y" } else { "ies" }
+            ));
+        }
         problems
     }
 
@@ -408,6 +433,7 @@ impl ServingRecord {
                 "    \"peak_inflight\": {},\n    \"distances_match\": {},\n",
                 "    \"cache_hits\": {},\n    \"cache_misses\": {},\n",
                 "    \"p2p_epochs\": {},\n    \"full_epochs\": {},\n",
+                "    \"panicked\": {},\n    \"timed_out\": {},\n",
                 "    \"wall_ms\": {:.3},\n    \"queries_per_sec\": {:.3}\n  }}"
             ),
             self.family,
@@ -422,6 +448,8 @@ impl ServingRecord {
             self.cache_misses,
             self.p2p_epochs,
             self.full_epochs,
+            self.panicked,
+            self.timed_out,
             self.wall_ms,
             self.queries_per_sec,
         )
@@ -792,6 +820,8 @@ mod tests {
             cache_misses: 18,
             p2p_epochs: 9,
             full_epochs: 31,
+            panicked: 0,
+            timed_out: 0,
             wall_ms: 180.0,
             queries_per_sec: 133.3,
         }
@@ -807,6 +837,8 @@ mod tests {
         assert_eq!(extract_number(&json, "", "cache_hits"), Some(6.0));
         assert_eq!(extract_number(&json, "", "p2p_epochs"), Some(9.0));
         assert_eq!(extract_number(&json, "", "full_epochs"), Some(31.0));
+        assert_eq!(extract_number(&json, "", "panicked"), Some(0.0));
+        assert_eq!(extract_number(&json, "", "timed_out"), Some(0.0));
         assert_eq!(extract_number(&json, "", "queries_per_sec"), Some(133.3));
     }
 
@@ -833,6 +865,18 @@ mod tests {
         let mut r = sample_serving();
         r.queries = 0;
         assert!(!r.problems().is_empty());
+
+        let mut r = sample_serving();
+        r.panicked = 1;
+        let p = r.problems();
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert!(p[0].contains("panicked"), "{p:?}");
+
+        let mut r = sample_serving();
+        r.timed_out = 2;
+        let p = r.problems();
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert!(p[0].contains("timed out"), "{p:?}");
     }
 
     #[test]

@@ -1,13 +1,23 @@
-//! Fig. 10 — the full RMAT-1 analysis: (a) GTEPS of Del-25 / Prune-25 /
-//! OPT-25 under weak scaling, (b) time breakdown (BktTime vs OthrTime),
-//! (c) relaxations per thread, (d) bucket counts, (e) OPT without load
-//! balancing for several Δ, (f) LB-OPT restoring scaling.
+//! Fig. 10 — the full RMAT-1 analysis: (a) relaxations of Del-25 /
+//! Prune-25 / OPT-25 under weak scaling, (b)–(d) phase/superstep/bucket
+//! breakdown and relaxations per thread at the largest configuration,
+//! (e) OPT's Δ sensitivity, (f) the per-thread load imbalance the §III-E
+//! balancer removes.
 //!
-//! Paper shapes to reproduce: pruning ≈ 5× on relaxations and relaxation
-//! time; hybridization collapses the bucket count to ≤ 5 and erases BktTime;
-//! OPT without LB scales poorly on this skewed family while LB-OPT scales
-//! nearly perfectly (2–8× gain).
+//! Paper shapes to reproduce: pruning ≈ 5× on relaxations; hybridization
+//! collapses the bucket count to ≤ 5 and erases the bucket-scan
+//! supersteps; the skewed degree profile leaves a large max/mean thread
+//! imbalance without load balancing, which the auto-π balancer flattens.
+//!
+//! `--backend simulated|threaded` picks the engine (default simulated);
+//! every column is trace-derived or structural, so the tables are
+//! identical on both.
 
 fn main() {
-    sssp_bench::family_analysis(sssp_bench::Family::Rmat1, 25, 64);
+    sssp_bench::family_analysis(
+        sssp_bench::Family::Rmat1,
+        25,
+        64,
+        sssp_bench::backend_from_args(),
+    );
 }

@@ -2,9 +2,19 @@
 //!
 //! Paper shapes to reproduce: pruning only halves the relaxations (the
 //! degree distribution is milder, so push/pull differ less); hybridization
-//! is the bigger win (≈ 20× fewer buckets, ≈ 3× overall); load balancing
-//! barely matters, and OPT-40 edges out OPT-25.
+//! is the bigger win (≈ 20× fewer buckets); the flat degree profile keeps
+//! the per-thread imbalance small even without the §III-E balancer, so
+//! load balancing barely matters on this family.
+//!
+//! `--backend simulated|threaded` picks the engine (default simulated);
+//! every column is trace-derived or structural, so the tables are
+//! identical on both.
 
 fn main() {
-    sssp_bench::family_analysis(sssp_bench::Family::Rmat2, 40, 64);
+    sssp_bench::family_analysis(
+        sssp_bench::Family::Rmat2,
+        40,
+        64,
+        sssp_bench::backend_from_args(),
+    );
 }

@@ -11,8 +11,10 @@
 //! Writes the `"serving"` block of `BENCH_sssp.json` (preserving every
 //! `"scale_N"` block verbatim — see `sssp_bench::baseline`). `--check
 //! PATH` additionally gates the committed serving block's structural
-//! fields and this run's own record; wall-clock throughput is recorded
-//! but never gated, it varies with the machine.
+//! fields and this run's own record — including the crash-isolation
+//! counters: `panicked` and `timed_out` must be present and zero in a
+//! clean run. Wall-clock throughput is recorded but never gated, it
+//! varies with the machine.
 //!
 //! The batch is three queries per root — a fresh single-source, a
 //! point-to-point to the root's nearest vertex, and a repeat of the
@@ -61,11 +63,16 @@ fn measure_epoch_savings(
         ServeConfig {
             max_inflight: 1,
             cache_capacity: 0,
+            deadline: None,
         },
     );
-    let full = probe.run(QuerySpec::SingleSource { root });
+    let full = probe
+        .run(QuerySpec::SingleSource { root })
+        .expect("probe single-source");
     let target = nearest_vertex(full.output.distances().expect("distances"), root);
-    let p2p = probe.run(QuerySpec::PointToPoint { root, target });
+    let p2p = probe
+        .run(QuerySpec::PointToPoint { root, target })
+        .expect("probe point-to-point");
     assert!(!p2p.cache_hit, "cache-less probe must run the engine");
     (p2p.epochs, full.epochs)
 }
@@ -119,6 +126,19 @@ fn check_against(committed_block: &str, current: &ServingRecord) -> Result<(), S
             "committed serving block records no point-to-point epoch \
              savings ({p2p} vs {full})"
         ));
+    }
+    // Crash-isolation gate: the failure counters must be present in the
+    // committed block (a block without them predates the unwind-safety
+    // work) and must both be zero — a clean benchmark run neither
+    // panics nor times out.
+    for name in ["panicked", "timed_out"] {
+        let v = field(name);
+        if !v.is_nan() && v != 0.0 {
+            problems.push(format!(
+                "committed serving block records {name} = {v} — the clean \
+                 benchmark run must not trip the failure paths"
+            ));
+        }
     }
     problems.extend(missing);
     if problems.is_empty() {
@@ -200,6 +220,7 @@ fn main() {
         ServeConfig {
             max_inflight,
             cache_capacity: 2 * batch_roots,
+            deadline: None,
         },
     );
 
@@ -207,25 +228,26 @@ fn main() {
     // first (engine work that saturates the workers), then the landmark
     // point-to-points and the repeat roots (cache traffic).
     let t0 = Instant::now();
+    let submit = |spec: QuerySpec| server.submit(spec).expect("benchmark spec is valid");
     let mut tickets = Vec::new();
     for &r in &roots {
-        tickets.push((server.submit(QuerySpec::SingleSource { root: r }), r, None));
+        tickets.push((submit(QuerySpec::SingleSource { root: r }), r, None));
     }
     for (&r, &t) in roots.iter().zip(&targets) {
         tickets.push((
-            server.submit(QuerySpec::PointToPoint { root: r, target: t }),
+            submit(QuerySpec::PointToPoint { root: r, target: t }),
             r,
             Some(t),
         ));
     }
     for &r in &roots {
-        tickets.push((server.submit(QuerySpec::SingleSource { root: r }), r, None));
+        tickets.push((submit(QuerySpec::SingleSource { root: r }), r, None));
     }
     let queries = tickets.len();
 
     let mut distances_match = true;
     for (ticket, root, target) in tickets {
-        let res = server.wait(ticket);
+        let res = server.wait(ticket).expect("benchmark query outcome");
         let oracle = &oracles[roots.iter().position(|&r| r == root).expect("batch root")];
         let ok = match (&res.output, target) {
             (QueryOutput::Distances(d), None) => d.as_ref() == oracle,
@@ -240,6 +262,7 @@ fn main() {
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let (cache_hits, cache_misses) = server.cache_stats();
     let peak_inflight = server.peak_inflight();
+    let (panicked, timed_out) = server.failure_stats();
 
     let record = ServingRecord {
         family: family.name().to_string(),
@@ -254,6 +277,8 @@ fn main() {
         cache_misses,
         p2p_epochs,
         full_epochs,
+        panicked,
+        timed_out,
         wall_ms,
         queries_per_sec: queries as f64 / (wall_ms / 1e3).max(f64::MIN_POSITIVE),
     };
@@ -271,6 +296,7 @@ fn main() {
             "cache hit/miss",
             "p2p epochs",
             "full epochs",
+            "panic/timeout",
             "distances",
         ],
         &[vec![
@@ -281,6 +307,7 @@ fn main() {
             format!("{}/{}", record.cache_hits, record.cache_misses),
             record.p2p_epochs.to_string(),
             record.full_epochs.to_string(),
+            format!("{}/{}", record.panicked, record.timed_out),
             if distances_match { "match" } else { "DIVERGED" }.to_string(),
         ]],
     );

@@ -245,16 +245,91 @@ pub fn run_aggregate(
     }
 }
 
-/// The full per-family analysis of Figs. 10 and 11: (a) GTEPS of
-/// Del/Prune/OPT under weak scaling, (b) time breakdown, (c) relaxations per
-/// thread, (d) bucket counts, (e) OPT for several Δ without load balancing,
-/// (f) LB-OPT for the same Δ values.
-pub fn family_analysis(family: Family, delta: u32, threads: usize) {
+/// The telemetry series the figure binaries read off one run's trace:
+/// relaxation phases, processed buckets/windows (hybrid tail included),
+/// and total relaxation messages. All three are bit-identical between the
+/// simulated and the threaded backend.
+pub fn trace_series(trace: &RunTrace) -> (u64, u64, u64) {
+    let phases = trace.phases.len() as u64;
+    let buckets = trace.buckets.len() as u64 + u64::from(trace.tail.is_some());
+    let relaxations = trace.phases.iter().map(|r| r.relaxations).sum();
+    (phases, buckets, relaxations)
+}
+
+/// Mean `(phases, buckets, relaxations, supersteps, remote_msgs)` of one
+/// configuration over several roots, read off [`run_trace`] telemetry.
+fn trace_means(
+    dg: &Arc<DistGraph>,
+    roots: &[VertexId],
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    backend: Backend,
+) -> (f64, f64, f64, f64, f64) {
+    let mut acc = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for &root in roots {
+        let (_, trace) = run_trace(dg, root, cfg, model, backend);
+        let (ph, b, r) = trace_series(&trace);
+        acc.0 += ph;
+        acc.1 += b;
+        acc.2 += r;
+        acc.3 += trace.supersteps;
+        acc.4 += trace.remote_msgs;
+    }
+    let k = roots.len() as f64;
+    (
+        acc.0 as f64 / k,
+        acc.1 as f64 / k,
+        acc.2 as f64 / k,
+        acc.3 as f64 / k,
+        acc.4 as f64 / k,
+    )
+}
+
+/// Static per-thread edge-load imbalance of a partitioned graph under the
+/// §III-E intra-node balancer: every local vertex charges its degree to
+/// its owner thread, except heavy vertices (degree > π) whose edges
+/// spread evenly across the rank's threads. Returns the largest thread
+/// load over the mean thread load — a structural property of graph +
+/// partition + π, so it is identical on either backend.
+pub fn thread_imbalance(dg: &DistGraph, pi: u64) -> f64 {
+    let t = dg.threads_per_rank;
+    let mut max_load = 0u64;
+    let mut total = 0u64;
+    let mut lanes = 0u64;
+    for lg in &dg.locals {
+        let mut loads = sssp_dist::ThreadLoads::new(t);
+        for local in 0..lg.num_local() {
+            let d = lg.degree(local) as u64;
+            loads.charge(local, d, d > pi);
+        }
+        max_load = max_load.max(loads.max());
+        total += loads.total();
+        lanes += t as u64;
+    }
+    let mean = total as f64 / lanes.max(1) as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max_load as f64 / mean
+    }
+}
+
+/// The full per-family analysis of Figs. 10 and 11, on either backend:
+/// (a) relaxations of Del/Prune/OPT under weak scaling (the pruning
+/// factor), (b)–(d) phase/superstep/bucket breakdown and relaxations per
+/// thread at the largest configuration (the hybridization collapse),
+/// (e) OPT's Δ sensitivity under weak scaling, and (f) the static
+/// per-thread load imbalance with and without the §III-E balancer (the
+/// LB-OPT story). Every column is either read off the backend-neutral
+/// telemetry trace or a structural property of the partitioned graph, so
+/// the tables are identical under `--backend simulated` and
+/// `--backend threaded`.
+pub fn family_analysis(family: Family, delta: u32, threads: usize, backend: Backend) {
     let spr = scale_per_rank();
     let model = MachineModel::bgq_like();
     let ranks = weak_scaling_ranks();
 
-    // (a) Del vs Prune vs OPT, weak scaling.
+    // (a) Del vs Prune vs OPT, weak scaling: total relaxations.
     let algos: Vec<(String, SsspConfig)> = vec![
         (format!("Del-{delta}"), SsspConfig::del(delta)),
         (format!("Prune-{delta}"), SsspConfig::prune(delta)),
@@ -265,12 +340,12 @@ pub fn family_analysis(family: Family, delta: u32, threads: usize) {
     for &p in &ranks {
         let scale = spr + (p as f64).log2() as u32;
         let g = build_family(family, scale, 1);
-        let dg = DistGraph::build(&g, p, threads);
+        let dg = Arc::new(DistGraph::build(&g, p, threads));
         let roots = pick_roots(&g, 2, 23);
         let mut row = vec![p.to_string(), scale.to_string()];
         for (_, cfg) in &algos {
-            let agg = run_aggregate(&dg, &roots, cfg, &model);
-            row.push(format!("{:.3}", agg.gteps));
+            let (_, _, relax, _, _) = trace_means(&dg, &roots, cfg, &model, backend);
+            row.push(human(relax));
         }
         rows_a.push(row);
         last_graph = Some((g, p, scale));
@@ -279,70 +354,108 @@ pub fn family_analysis(family: Family, delta: u32, threads: usize) {
     headers.extend(algos.iter().map(|(n, _)| n.clone()));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table(
-        &format!("Fig a — {} weak scaling GTEPS", family.name()),
+        &format!(
+            "Fig a — {} weak scaling relaxations, {} backend",
+            family.name(),
+            backend.name()
+        ),
         &headers_ref,
         &rows_a,
     );
 
-    // (b)–(d) at the largest configuration.
+    // (b)–(d) at the largest configuration: full trace breakdown.
     let (g, p, scale) = last_graph.expect("at least one weak-scaling point");
-    let dg = DistGraph::build(&g, p, threads);
+    let dg = Arc::new(DistGraph::build(&g, p, threads));
     let roots = pick_roots(&g, 2, 23);
     let mut rows_bcd = Vec::new();
     for (name, cfg) in &algos {
-        let agg = run_aggregate(&dg, &roots, cfg, &model);
+        let (phases, buckets, relax, supersteps, remote) =
+            trace_means(&dg, &roots, cfg, &model, backend);
         rows_bcd.push(vec![
             name.clone(),
-            format!("{:.2e}", agg.bucket_time_s),
-            format!("{:.2e}", agg.relax_time_s),
-            human(agg.relax_per_thread),
-            format!("{:.1}", agg.buckets),
+            format!("{phases:.1}"),
+            format!("{supersteps:.1}"),
+            format!("{buckets:.1}"),
+            human(relax / (p * threads) as f64),
+            human(remote),
         ]);
     }
     print_table(
-        &format!("Fig b–d — {} scale {scale}, {p} ranks", family.name()),
+        &format!(
+            "Fig b–d — {} scale {scale}, {p} ranks, {} backend",
+            family.name(),
+            backend.name()
+        ),
         &[
             "algorithm",
-            "BktTime (s)",
-            "OthrTime (s)",
-            "relax/thread",
+            "phases",
+            "supersteps",
             "buckets",
+            "relax/thread",
+            "remote msgs",
         ],
         &rows_bcd,
     );
 
-    // (e)/(f): OPT vs LB-OPT for three Δ values, weak scaling.
-    for (label, lb) in [("e — OPT (no LB)", false), ("f — LB-OPT", true)] {
-        let deltas = [delta / 2, delta, delta * 2];
-        let mut rows = Vec::new();
-        for &p in &ranks {
-            let scale = spr + (p as f64).log2() as u32;
-            let g = build_family(family, scale, 1);
-            let dg = DistGraph::build(&g, p, threads);
-            let roots = pick_roots(&g, 2, 23);
-            let mut row = vec![p.to_string(), scale.to_string()];
-            for &d in &deltas {
-                let cfg = if lb {
-                    SsspConfig::lb_opt(d)
-                } else {
-                    SsspConfig::opt(d)
-                };
-                let agg = run_aggregate(&dg, &roots, &cfg, &model);
-                row.push(format!("{:.3}", agg.gteps));
-            }
-            rows.push(row);
+    // (e) OPT's Δ sensitivity, weak scaling: total relaxations.
+    let deltas = [delta / 2, delta, delta * 2];
+    let mut rows_e = Vec::new();
+    for &p in &ranks {
+        let scale = spr + (p as f64).log2() as u32;
+        let g = build_family(family, scale, 1);
+        let dg = Arc::new(DistGraph::build(&g, p, threads));
+        let roots = pick_roots(&g, 2, 23);
+        let mut row = vec![p.to_string(), scale.to_string()];
+        for &d in &deltas {
+            let (_, _, relax, _, _) =
+                trace_means(&dg, &roots, &SsspConfig::opt(d), &model, backend);
+            row.push(human(relax));
         }
-        let hdrs: Vec<String> = ["ranks".to_string(), "scale".to_string()]
-            .into_iter()
-            .chain(deltas.iter().map(|d| format!("Δ={d}")))
-            .collect();
-        let hdrs_ref: Vec<&str> = hdrs.iter().map(String::as_str).collect();
-        print_table(
-            &format!("Fig {label} — {} weak scaling GTEPS", family.name()),
-            &hdrs_ref,
-            &rows,
-        );
+        rows_e.push(row);
     }
+    let hdrs: Vec<String> = ["ranks".to_string(), "scale".to_string()]
+        .into_iter()
+        .chain(deltas.iter().map(|d| format!("Δ={d}")))
+        .collect();
+    let hdrs_ref: Vec<&str> = hdrs.iter().map(String::as_str).collect();
+    print_table(
+        &format!(
+            "Fig e — {} OPT Δ sensitivity, relaxations, {} backend",
+            family.name(),
+            backend.name()
+        ),
+        &hdrs_ref,
+        &rows_e,
+    );
+
+    // (f) the §III-E balancer, structurally: max/mean per-thread edge load
+    // with balancing off (π = ∞) vs the auto π the LB-OPT preset resolves.
+    let mut rows_f = Vec::new();
+    for &p in &ranks {
+        let scale = spr + (p as f64).log2() as u32;
+        let g = build_family(family, scale, 1);
+        let dg = DistGraph::build(&g, p, threads);
+        let pi = sssp_core::engine::resolved_pi(
+            sssp_core::config::IntraBalance::Auto,
+            dg.m_directed,
+            dg.num_vertices() as u64,
+        );
+        rows_f.push(vec![
+            p.to_string(),
+            scale.to_string(),
+            format!("{:.2}", thread_imbalance(&dg, u64::MAX)),
+            format!("{:.2}", thread_imbalance(&dg, pi)),
+            pi.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Fig f — {} per-thread load imbalance (max/mean edge load)",
+            family.name()
+        ),
+        &["ranks", "scale", "no LB", "LB (auto π)", "π"],
+        &rows_f,
+    );
 }
 
 /// Human-readable large number (paper style: "2.4 M", "31126").

@@ -340,8 +340,9 @@ impl<M: Send> RankCtx<M> {
         {
             let mut slots = self.lock_rec.track(
                 "slots",
-                // sssp-lint: allow(no-panic-hot-path): poisoned = a rank already
-                // panicked; propagating the abort is the correct SPMD behavior.
+                // sssp-lint: allow(no-panic-hot-path, panic-silent-poison): poisoned = a
+                // rank already panicked; die-on-poison is the correct SPMD behavior —
+                // recovering the guard would hang the rendezvous on the dead rank.
                 self.slots.lock().expect("collective mutex poisoned"),
             );
             slots[self.rank] = Some(value);
@@ -350,14 +351,14 @@ impl<M: Send> RankCtx<M> {
         let result = {
             let slots = self.lock_rec.track(
                 "slots",
-                // sssp-lint: allow(no-panic-hot-path): see poisoning note above.
+                // sssp-lint: allow(no-panic-hot-path, panic-silent-poison): see poisoning note above.
                 self.slots.lock().expect("collective mutex poisoned"),
             );
             // Every rank filled its slot before the barrier; a hole means
             // the barrier itself is broken, hence the allowed panic below.
             let vals: Vec<u64> = slots
                 .iter()
-                .map(|s| s.expect("missing contribution")) // sssp-lint: allow(no-panic-hot-path): barrier guarantees slots
+                .map(|s| s.expect("missing contribution")) // sssp-lint: allow(no-panic-hot-path, panic-in-critical-section): barrier guarantees slots; a hole is unrecoverable
                 .collect();
             combine(&vals)
         };
@@ -366,7 +367,7 @@ impl<M: Send> RankCtx<M> {
         {
             let mut slots = self.lock_rec.track(
                 "slots",
-                // sssp-lint: allow(no-panic-hot-path): see poisoning note above.
+                // sssp-lint: allow(no-panic-hot-path, panic-silent-poison): see poisoning note above.
                 self.slots.lock().expect("collective mutex poisoned"),
             );
             slots[self.rank] = None;

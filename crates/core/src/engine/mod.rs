@@ -22,6 +22,7 @@
 //! recorded traffic into simulated time.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use rayon::prelude::*;
 
@@ -71,6 +72,10 @@ pub struct SsspOutput {
     pub distances: Vec<u64>,
     /// Full instrumentation record.
     pub stats: RunStats,
+    /// True when the run stopped at its deadline instead of settling every
+    /// bucket — the distance field is partially tentative and must not be
+    /// served or cached as final.
+    pub timed_out: bool,
 }
 
 impl SsspOutput {
@@ -155,6 +160,24 @@ pub fn run_sssp_p2p(
     Engine::new(dg, cfg, model).run(&[(root, 0)], Some(target))
 }
 
+/// [`run_sssp_seeded`] with a wall-clock deadline: the epoch loop checks
+/// the clock once per epoch — at the same schedule slot as the threaded
+/// backend's `epoch.deadline` collective, right after bucket selection —
+/// and stops with [`SsspOutput::timed_out`] set when the deadline has
+/// passed. A timed-out distance field is partially tentative: entries
+/// settled before the cutoff are final, the rest are upper bounds.
+pub fn run_sssp_seeded_deadline(
+    dg: &DistGraph,
+    seeds: &[(VertexId, u64)],
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    deadline: Option<Instant>,
+) -> SsspOutput {
+    let mut engine = Engine::new(dg, cfg, model);
+    engine.deadline = deadline;
+    engine.run(seeds, None)
+}
+
 /// Validate and canonicalize a seed list, shared by both backends: every
 /// seed vertex must exist, and a vertex listed twice keeps its smallest
 /// seed distance — so the relax order of duplicate seeds can never matter.
@@ -206,6 +229,10 @@ struct Engine<'a> {
     pub(super) req_bufs: ExchangeBuffers<ReqMsg>,
     /// Reusable per-rank contribution scratch for collectives.
     pub(super) coll: Vec<u64>,
+    /// Wall-clock deadline for the whole run (`None` = unbounded).
+    pub(super) deadline: Option<Instant>,
+    /// Set when the epoch loop stopped at the deadline.
+    pub(super) timed_out: bool,
 }
 
 /// Resolve the §III-E intra-node balancing threshold π from the configured
@@ -213,7 +240,7 @@ struct Engine<'a> {
 /// nearest — truncating division used to resolve π from `avg_deg = 0` (so
 /// π = 64 regardless of shape) on any graph whose true average degree had a
 /// fractional part, and systematically underestimated π elsewhere.
-pub(super) fn resolved_pi(balance: IntraBalance, m_directed: u64, n_vertices: u64) -> u64 {
+pub fn resolved_pi(balance: IntraBalance, m_directed: u64, n_vertices: u64) -> u64 {
     match balance {
         IntraBalance::Off => u64::MAX,
         IntraBalance::Threshold(t) => t as u64,
@@ -288,6 +315,8 @@ impl<'a> Engine<'a> {
             relax_bufs: ExchangeBuffers::new(p),
             req_bufs: ExchangeBuffers::new(p),
             coll: Vec::with_capacity(p),
+            deadline: None,
+            timed_out: false,
         }
     }
 
@@ -348,6 +377,20 @@ impl<'a> Engine<'a> {
                 // sssp-lint: protocol: epoch.target-cutoff
                 let td = self.target_distance_collective(tv);
                 if td <= self.policy.window_for(k, k).start_dist {
+                    break;
+                }
+            }
+
+            // Per-query deadline, in the same schedule slot as the threaded
+            // backend's: checked once per epoch between bucket selection
+            // and the epoch's first exchange, so a run never starts a
+            // superstep it is not allowed to finish. The guard is uniform
+            // (the deadline is fixed at entry) and the verdict is a
+            // collective, so every rank stops together.
+            if self.deadline.is_some() {
+                // sssp-lint: protocol: epoch.deadline
+                if self.deadline_collective() {
+                    self.timed_out = true;
                     break;
                 }
             }
@@ -436,6 +479,7 @@ impl<'a> Engine<'a> {
         SsspOutput {
             distances,
             stats: self.stats,
+            timed_out: self.timed_out,
         }
     }
 
@@ -492,6 +536,22 @@ impl<'a> Engine<'a> {
         self.ledger
             .charge_collective(self.model, TimeClass::Bucket, self.p);
         td
+    }
+
+    /// The per-query deadline collective: every rank contributes whether
+    /// its clock has passed the deadline, and the run stops iff any rank
+    /// says so. The simulator's ranks share one clock, so one wall read
+    /// fans out to every contribution — the collective still travels so
+    /// the schedule (and its fingerprint) stays aligned with the threaded
+    /// backend's `epoch.deadline`.
+    pub(super) fn deadline_collective(&mut self) -> bool {
+        let expired = self.deadline.is_some_and(|d| Instant::now() >= d);
+        self.coll.clear();
+        self.coll.extend((0..self.p).map(|_| u64::from(expired)));
+        let any = allreduce_max(&self.coll, &mut self.comm) != 0;
+        self.ledger
+            .charge_collective(self.model, TimeClass::Bucket, self.p);
+        any
     }
 
     pub(super) fn any_active(&mut self) -> bool {

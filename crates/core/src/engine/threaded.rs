@@ -148,6 +148,10 @@ pub struct ThreadedSsspOutput {
     /// query run to completion — the `serve_bench` superstep-savings gate
     /// compares exactly this counter.
     pub epochs: u64,
+    /// True when the run stopped at its deadline instead of settling every
+    /// bucket — the distance field is partially tentative and must not be
+    /// served or cached as final.
+    pub timed_out: bool,
 }
 
 impl ThreadedSsspOutput {
@@ -164,6 +168,7 @@ struct RankResult {
     relax_remote_msgs: u64,
     coalesced_msgs: u64,
     epochs: u64,
+    timed_out: bool,
 }
 
 /// Wall-clock nanoseconds since `start`, saturated into a `u64` (580 years
@@ -223,7 +228,10 @@ pub fn threaded_sssp_seeded(
     model: &MachineModel,
 ) -> ThreadedSsspOutput {
     let mut scratch = EngineScratch::new(dg.num_ranks());
-    run_ranks_with(dg, seeds, None, cfg, model, &mut scratch, || NoopRecorder).0
+    run_ranks_with(dg, seeds, None, None, cfg, model, &mut scratch, || {
+        NoopRecorder
+    })
+    .0
 }
 
 /// Serving entry point: run one query over a **resident** graph, reusing
@@ -247,7 +255,30 @@ pub fn threaded_sssp_query(
     model: &MachineModel,
     scratch: &mut EngineScratch,
 ) -> ThreadedSsspOutput {
-    run_ranks_with(dg, seeds, target, cfg, model, scratch, || NoopRecorder).0
+    threaded_sssp_query_deadline(dg, seeds, target, None, cfg, model, scratch)
+}
+
+/// [`threaded_sssp_query`] with a wall-clock deadline: the epoch loop
+/// checks the clock once per epoch through the `epoch.deadline` collective
+/// (right after bucket selection, in the same slot as the point-to-point
+/// cutoff) and stops with [`ThreadedSsspOutput::timed_out`] set once the
+/// deadline has passed. The verdict is a collective, so every rank stops
+/// at the same epoch — a timed-out run can never wedge a peer
+/// mid-rendezvous. A timed-out distance field is partially tentative and
+/// must not be cached or served as final.
+pub fn threaded_sssp_query_deadline(
+    dg: &Arc<DistGraph>,
+    seeds: &[(VertexId, u64)],
+    target: Option<VertexId>,
+    deadline: Option<Instant>,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    scratch: &mut EngineScratch,
+) -> ThreadedSsspOutput {
+    run_ranks_with(dg, seeds, target, deadline, cfg, model, scratch, || {
+        NoopRecorder
+    })
+    .0
 }
 
 /// [`threaded_delta_stepping`] with run telemetry: each rank records its
@@ -270,6 +301,7 @@ pub fn threaded_delta_stepping_traced(
     let (out, stats) = run_ranks_with(
         dg,
         &[(root, 0)],
+        None,
         None,
         cfg,
         model,
@@ -294,10 +326,12 @@ pub fn threaded_delta_stepping_traced(
 /// thread, run [`rank_body`] with a freshly made recorder, then fold the
 /// per-rank results into the global output and reassemble the scratch
 /// (returning the recorders in rank order for the caller to merge).
+#[allow(clippy::too_many_arguments)]
 fn run_ranks_with<R, F>(
     dg: &Arc<DistGraph>,
     seeds: &[(VertexId, u64)],
     target: Option<VertexId>,
+    deadline: Option<Instant>,
     cfg: &SsspConfig,
     model: &MachineModel,
     scratch: &mut EngineScratch,
@@ -328,6 +362,7 @@ where
                 relax_remote_msgs: 0,
                 coalesced_msgs: 0,
                 epochs: 0,
+                timed_out: false,
             },
             Vec::new(),
         );
@@ -349,6 +384,7 @@ where
             &dg_body,
             &seeds,
             target,
+            deadline,
             &cfg_body,
             &model_body,
             &mut ctx,
@@ -363,6 +399,7 @@ where
     let mut relax_remote_msgs = 0u64;
     let mut coalesced_msgs = 0u64;
     let mut epochs = 0u64;
+    let mut timed_out = false;
     let mut recorders = Vec::with_capacity(p);
     scratch.ranks.reserve_exact(p);
     for (rank, (res, rec, rs)) in per_rank.into_iter().enumerate() {
@@ -373,6 +410,7 @@ where
         relax_remote_msgs += res.relax_remote_msgs;
         coalesced_msgs += res.coalesced_msgs;
         epochs = epochs.max(res.epochs);
+        timed_out |= res.timed_out;
         recorders.push(rec);
         scratch.ranks.push(rs);
     }
@@ -383,6 +421,7 @@ where
             relax_remote_msgs,
             coalesced_msgs,
             epochs,
+            timed_out,
         },
         recorders,
     )
@@ -523,11 +562,15 @@ fn decide_threaded(
 /// trimmed at query end against this query's own high-water mark so a
 /// large query's pools never chase a small successor.
 // sssp-lint: protocol-entry(threaded)
+// sssp-lint: panic-root(rank-thread, forwarded): rank panics propagate through
+// the spawning scope's join into the caller, where the serving layer's
+// catch_unwind (or the bench process boundary) absorbs them.
 #[allow(clippy::too_many_arguments)]
 fn rank_body<R: Recorder>(
     dg: &DistGraph,
     seeds: &[(VertexId, u64)],
     target: Option<VertexId>,
+    deadline: Option<Instant>,
     cfg: &SsspConfig,
     model: &MachineModel,
     ctx: &mut RankCtx<Wire>,
@@ -602,6 +645,7 @@ fn rank_body<R: Recorder>(
     let mut settled_total = 0u64;
     let mut buckets_done = 0usize;
     let mut epoch = 0u64;
+    let mut timed_out = false;
 
     loop {
         // Epoch tag for the schedule fingerprint: advanced by the same
@@ -637,6 +681,22 @@ fn rank_body<R: Recorder>(
             // sssp-lint: protocol: epoch.target-cutoff
             let td = ctx.allreduce_min(td_local);
             if td <= policy.window_for(k, k).start_dist {
+                break;
+            }
+        }
+
+        // Per-query deadline: one cheap collective per epoch, in the same
+        // slot as the point-to-point cutoff — between bucket selection and
+        // the epoch's first exchange, so a run never starts a superstep it
+        // is not allowed to finish. The guard is uniform (every rank gets
+        // the same `deadline` from the entry point) and the verdict is a
+        // collective, so all ranks break together — a timed-out rank can
+        // never wedge a peer mid-rendezvous.
+        if deadline.is_some() {
+            let expired = deadline.is_some_and(|d| Instant::now() >= d);
+            // sssp-lint: protocol: epoch.deadline
+            if ctx.any(expired) {
+                timed_out = true;
                 break;
             }
         }
@@ -927,6 +987,7 @@ fn rank_body<R: Recorder>(
         relax_remote_msgs: t.relax_remote_msgs,
         coalesced_msgs: t.coalesced_msgs,
         epochs: epoch,
+        timed_out,
     };
     rs.st = Some(st);
     res
@@ -1108,6 +1169,7 @@ mod tests {
                             &dg,
                             &[(0, 0)],
                             None,
+                            None,
                             &cfg,
                             &model,
                             &mut ctx,
@@ -1149,6 +1211,7 @@ mod tests {
             rank_body(
                 &dg,
                 &[(0, 0)],
+                None,
                 None,
                 &SsspConfig::opt(15),
                 &model,

@@ -66,8 +66,8 @@ pub use config::{
 };
 pub use engine::threaded::{
     threaded_delta_stepping, threaded_delta_stepping_traced, threaded_sssp_query,
-    threaded_sssp_seeded, EngineScratch, ThreadedSsspOutput,
+    threaded_sssp_query_deadline, threaded_sssp_seeded, EngineScratch, ThreadedSsspOutput,
 };
-pub use engine::{canonical_seeds, run_sssp, run_sssp_p2p, SsspOutput};
+pub use engine::{canonical_seeds, run_sssp, run_sssp_p2p, run_sssp_seeded_deadline, SsspOutput};
 pub use instrument::{RunStats, RunTrace};
 pub use policy::{EpochWindow, PolicyDispatch, SteppingPolicy, WindowRule};

@@ -188,6 +188,7 @@ mod tests {
         let out = crate::engine::SsspOutput {
             distances: vec![0, 2, 5], // d(2) should be 4
             stats: Default::default(),
+            timed_out: false,
         };
         let mism = check_against_dijkstra(&g, 0, &out);
         assert_eq!(mism.len(), 1);

@@ -1,0 +1,27 @@
+//! Seeded critical-section panics: `bad` unwraps, asserts and aborts
+//! under a live guard; `good` drops the guard first, `guarded` catches
+//! the unwind on the same line, and the marked abort is justified.
+
+fn bad(m: &Mutex<Vec<u64>>) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    g.first().unwrap();
+    assert!(g.len() > 0);
+    panic!("boom");
+}
+
+fn good(m: &Mutex<Vec<u64>>) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(g);
+    fallback().unwrap();
+}
+
+fn guarded(m: &Mutex<Vec<u64>>) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    let r = catch_unwind(|| g.first().unwrap());
+}
+
+fn justified(m: &Mutex<Vec<u64>>) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    // sssp-lint: allow(panic-in-critical-section): fixture-justified abort
+    g.first().unwrap();
+}

@@ -1,0 +1,18 @@
+//! Seeded worker-boundary panics: the unforwarded thread root's bare
+//! unwrap must fire; its guarded line, the forwarded root and the plain
+//! (rootless) helper stay clean.
+
+// sssp-lint: panic-root(fixture-worker)
+fn worker(rx: &Receiver<Job>) {
+    let job = rx.recv().unwrap();
+    let done = catch_unwind(|| run_job(job).unwrap());
+}
+
+// sssp-lint: panic-root(fixture-pool, forwarded): parent joins and rethrows
+fn pool_member() {
+    step().unwrap();
+}
+
+fn helper() {
+    free().unwrap();
+}

@@ -1,0 +1,19 @@
+//! Seeded poison-blind sites: unwrap/expect straight off `.lock()` or a
+//! condvar `.wait()` dies the moment any thread has panicked with the
+//! guard held; the recovering `unwrap_or_else(PoisonError::into_inner)`
+//! idiom and the justified die-on-poison stay clean.
+
+fn bad(m: &Mutex<u64>, cv: &Condvar) {
+    let g = m.lock().unwrap();
+    let g = cv.wait(g).expect("collective mutex poisoned");
+}
+
+fn good(m: &Mutex<u64>, cv: &Condvar) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    let g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+}
+
+fn justified(m: &Mutex<u64>) {
+    // sssp-lint: allow(panic-silent-poison): fixture die-on-poison rendezvous
+    let g = m.lock().expect("poisoned");
+}

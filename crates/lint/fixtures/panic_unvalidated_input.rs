@@ -1,0 +1,18 @@
+//! Seeded unvalidated-input indexing: `bad` indexes with vertices
+//! destructured straight out of the request; `good` validates the spec
+//! against the graph first and may then index freely.
+
+fn bad(spec: &QuerySpec, dist: &[u64]) -> u64 {
+    match spec {
+        QuerySpec::PointToPoint { target, .. } => dist[*target as usize],
+        QuerySpec::SingleSource { root } => dist[*root as usize],
+    }
+}
+
+fn good(spec: &QuerySpec, dist: &[u64]) -> u64 {
+    spec.validate(dist.len()).ok();
+    match spec {
+        QuerySpec::PointToPoint { target, .. } => dist[*target as usize],
+        QuerySpec::SingleSource { root } => dist[*root as usize],
+    }
+}

@@ -434,7 +434,7 @@ impl FileModel {
         m
     }
 
-    fn lock_kind(&self, name: &str) -> Option<LockKind> {
+    fn kind_of_lock(&self, name: &str) -> Option<LockKind> {
         self.locks.iter().find(|l| l.name == name).map(|l| l.kind)
     }
 
@@ -549,7 +549,7 @@ impl FileModel {
                         }
                         "lock" | "read" | "write" if is_method && after.starts_with('(') => {
                             let recv = method_receiver(&code, start, &prev_tail);
-                            let acquired = recv.filter(|r| match self.lock_kind(r) {
+                            let acquired = recv.filter(|r| match self.kind_of_lock(r) {
                                 Some(LockKind::Mutex | LockKind::Condvar) => tok == "lock",
                                 Some(LockKind::RwLock) => tok == "read" || tok == "write",
                                 None => false,

@@ -23,7 +23,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod concurrency;
+pub mod panics;
 pub mod protocol;
 pub mod rules;
 pub mod source;
@@ -66,7 +68,7 @@ const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
 /// Files treated as test code wholesale (on top of inline
 /// `#[cfg(test)]` masking): integration test trees and `tests.rs`
 /// modules included via `#[cfg(test)] mod tests;` in their parent.
-fn is_test_file(rel_path: &str) -> bool {
+pub(crate) fn is_test_file(rel_path: &str) -> bool {
     rel_path.contains("/tests/")
         || rel_path.ends_with("/tests.rs")
         || rel_path.starts_with("tests/")

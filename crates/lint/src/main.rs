@@ -10,6 +10,9 @@
 //!                                              # topology models
 //! cargo run -p sssp-lint -- --concurrency-locks     # lock table only
 //! cargo run -p sssp-lint -- --concurrency-channels  # channel table only
+//! cargo run -p sssp-lint -- --panics           # panic-reachability &
+//!                                              # unwind-safety audit
+//! cargo run -p sssp-lint -- --panics-table     # table only (golden diffs)
 //! ```
 //!
 //! Exits 0 when clean, 1 when violations are found, 2 on usage or I/O
@@ -27,6 +30,8 @@ fn main() -> ExitCode {
     let mut protocol = false;
     // None = not requested; Some(None) = both tables; Some(Some(..)) = one.
     let mut concurrency: Option<Option<&'static str>> = None;
+    // None = not requested; Some(true) = table only (for golden diffs).
+    let mut panics: Option<bool> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,6 +41,8 @@ fn main() -> ExitCode {
             "--concurrency" => concurrency = Some(None),
             "--concurrency-locks" => concurrency = Some(Some("locks")),
             "--concurrency-channels" => concurrency = Some(Some("channels")),
+            "--panics" => panics = Some(false),
+            "--panics-table" => panics = Some(true),
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory argument"),
@@ -44,6 +51,7 @@ fn main() -> ExitCode {
                 println!(
                     "usage: sssp-lint [--check] [--root DIR] [--list-rules] [--protocol]\n\
                      \x20                [--concurrency | --concurrency-locks | --concurrency-channels]\n\
+                     \x20                [--panics | --panics-table]\n\
                      Lints every .rs file in the workspace against the \
                      project rules.\nMark deliberate exceptions with \
                      `// sssp-lint: allow(rule-name): reason`.\n\
@@ -53,7 +61,12 @@ fn main() -> ExitCode {
                      --concurrency builds the lock-order graph and channel \
                      topology\nfrom the comm and threaded-engine sources and \
                      prints both tables;\nthe -locks/-channels variants print \
-                     one table (for golden diffs)."
+                     one table (for golden diffs).\n\
+                     --panics walks the call graph from every process and \
+                     thread root,\nclassifies reachable panic sites with their \
+                     held locks, prints the\nreachability table and enforces \
+                     the unwind-safety rules;\n--panics-table prints the table \
+                     only (for golden diffs)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -151,6 +164,42 @@ fn main() -> ExitCode {
             "sssp-lint: {} concurrency finding(s)",
             analysis.findings.len()
         );
+        return ExitCode::FAILURE;
+    }
+    if let Some(table_only) = panics {
+        let files = match sssp_lint::workspace_files(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("sssp-lint: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut inputs = Vec::new();
+        for (rel, path) in files {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => inputs.push((rel, text)),
+                Err(e) => {
+                    eprintln!("sssp-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let analysis = sssp_lint::panics::analyze(&inputs);
+        print!("{}", analysis.table);
+        if table_only {
+            return ExitCode::SUCCESS;
+        }
+        if analysis.findings.is_empty() {
+            eprintln!(
+                "sssp-lint: panic audit clean ({} roots, {} sites)",
+                analysis.num_roots, analysis.num_sites
+            );
+            return ExitCode::SUCCESS;
+        }
+        for f in &analysis.findings {
+            eprintln!("{f}");
+        }
+        eprintln!("sssp-lint: {} panic finding(s)", analysis.findings.len());
         return ExitCode::FAILURE;
     }
     let files = match sssp_lint::workspace_files(&root) {

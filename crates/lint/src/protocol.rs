@@ -293,16 +293,16 @@ fn render_policy_sections(s: &mut String, rows: &[(TableRow, usize, usize)]) {
 
 /// One `ident(`-shaped call site on a stripped code line.
 #[derive(Debug)]
-struct CallTok {
-    ident: String,
+pub(crate) struct CallTok {
+    pub(crate) ident: String,
     /// Identifier directly before a `.` (method receiver), if any.
-    recv: Option<String>,
+    pub(crate) recv: Option<String>,
     /// Identifier directly before a `::`, if any.
-    qual: Option<String>,
+    pub(crate) qual: Option<String>,
     /// True when the call is in method position (`.ident(`).
-    method: bool,
+    pub(crate) method: bool,
     /// True when the token is a definition (`fn ident(`), not a call.
-    is_def: bool,
+    pub(crate) is_def: bool,
 }
 
 fn ident_before(cs: &[char], end: usize) -> Option<String> {
@@ -315,7 +315,7 @@ fn ident_before(cs: &[char], end: usize) -> Option<String> {
 
 /// Scan a stripped code line for call-shaped tokens, left to right.
 /// Macros (`ident!(`) are excluded; numbers never start a token.
-fn call_tokens(code: &str) -> Vec<CallTok> {
+pub(crate) fn call_tokens(code: &str) -> Vec<CallTok> {
     let cs: Vec<char> = code.chars().collect();
     let mut out = Vec::new();
     let mut i = 0;

@@ -230,6 +230,59 @@ pub static RULES: &[Rule] = &[
         },
         check: crate::concurrency::check_unterminated_recv,
     },
+    Rule {
+        name: "panic-in-critical-section",
+        summary: "no unwrap/expect/panic/assert while a lock guard is held \
+                  — a panic there poisons the lock for every other thread",
+        scope: Scope {
+            include: &[
+                "crates/comm/src/",
+                "crates/core/src/engine/",
+                "crates/serve/src/",
+            ],
+            exclude: &[],
+        },
+        check: crate::panics::check_critical_section,
+    },
+    Rule {
+        name: "panic-on-worker-boundary",
+        summary: "a fn marked `panic-root(label)` is a thread entry: direct \
+                  panic sites must sit under catch_unwind or be forwarded",
+        scope: Scope {
+            include: &[
+                "crates/comm/src/",
+                "crates/core/src/engine/",
+                "crates/serve/src/",
+            ],
+            exclude: &[],
+        },
+        check: crate::panics::check_worker_boundary,
+    },
+    Rule {
+        name: "panic-unvalidated-input",
+        summary: "vertices destructured from a QuerySpec must pass validate() \
+                  before indexing a buffer — requests are untrusted input",
+        scope: Scope {
+            include: &["crates/serve/src/"],
+            exclude: &[],
+        },
+        check: crate::panics::check_unvalidated_input,
+    },
+    Rule {
+        name: "panic-silent-poison",
+        summary: "`.lock()`/`.wait()` followed by unwrap/expect dies on a \
+                  poisoned primitive — recover with PoisonError::into_inner \
+                  or justify die-on-poison",
+        scope: Scope {
+            include: &[
+                "crates/comm/src/",
+                "crates/core/src/engine/",
+                "crates/serve/src/",
+            ],
+            exclude: &[],
+        },
+        check: crate::panics::check_silent_poison,
+    },
 ];
 
 /// The `--list-rules` output, one `name  summary` line per rule. Shared

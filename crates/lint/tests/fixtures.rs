@@ -209,6 +209,47 @@ fn unterminated_recv_flags_the_bare_loop_only() {
 }
 
 #[test]
+fn critical_section_flags_panics_under_a_live_guard_only() {
+    let diags = lint_fixture(
+        "panic_in_critical_section.rs",
+        "crates/serve/src/fixture.rs",
+    );
+    // `bad` unwraps (7), asserts (8) and aborts (9) with the guard live;
+    // the post-drop unwrap, the catch_unwind line and the justified
+    // abort must stay clean.
+    assert_eq!(
+        lines_for(&diags, "panic-in-critical-section"),
+        vec![7, 8, 9]
+    );
+}
+
+#[test]
+fn worker_boundary_flags_the_unforwarded_roots_bare_unwrap() {
+    let diags = lint_fixture("panic_on_worker_boundary.rs", "crates/serve/src/fixture.rs");
+    // Line 7 panics across the `fixture-worker` boundary; line 8 is
+    // guarded on its own line, the forwarded pool root and the rootless
+    // helper are exempt.
+    assert_eq!(lines_for(&diags, "panic-on-worker-boundary"), vec![7]);
+}
+
+#[test]
+fn unvalidated_input_flags_request_indexing_without_validate() {
+    let diags = lint_fixture("panic_unvalidated_input.rs", "crates/serve/src/fixture.rs");
+    // `bad` indexes with both destructured vertices (7, 8); `good`
+    // validates the spec first and must stay clean.
+    assert_eq!(lines_for(&diags, "panic-unvalidated-input"), vec![7, 8]);
+}
+
+#[test]
+fn silent_poison_flags_unwraps_off_lock_and_wait() {
+    let diags = lint_fixture("panic_silent_poison.rs", "crates/serve/src/fixture.rs");
+    // Lines 7 and 8 die on a poisoned primitive; the recovering
+    // `unwrap_or_else(PoisonError::into_inner)` lines and the justified
+    // die-on-poison must stay clean.
+    assert_eq!(lines_for(&diags, "panic-silent-poison"), vec![7, 8]);
+}
+
+#[test]
 fn every_rule_has_a_fixture_that_fires() {
     // Guard against a rule silently losing coverage: each named rule must
     // produce at least one finding across the fixture corpus.
@@ -241,6 +282,13 @@ fn every_rule_has_a_fixture_that_fires() {
             "concurrency_unterminated_recv.rs",
             "crates/comm/src/fixture.rs",
         ),
+        (
+            "panic_in_critical_section.rs",
+            "crates/serve/src/fixture.rs",
+        ),
+        ("panic_on_worker_boundary.rs", "crates/serve/src/fixture.rs"),
+        ("panic_unvalidated_input.rs", "crates/serve/src/fixture.rs"),
+        ("panic_silent_poison.rs", "crates/serve/src/fixture.rs"),
     ];
     let mut fired: Vec<&str> = corpus
         .iter()

@@ -1,0 +1,104 @@
+//! The panic-reachability gate: the audit must report zero findings on
+//! the real tree and its table must match the committed golden. Running
+//! plain `cargo test` therefore enforces unwind safety; CI also diffs
+//! the CLI output (`--panics-table`) against the same golden.
+
+use sssp_lint::panics;
+
+/// Collect every `(rel_path, text)` pair from the real tree — the panic
+/// audit spans the whole workspace, not one subsystem.
+fn workspace_inputs() -> Vec<(String, String)> {
+    let root = sssp_lint::default_root();
+    let files = sssp_lint::workspace_files(&root).expect("workspace walk");
+    let mut out = Vec::new();
+    for (rel, path) in files {
+        let text = std::fs::read_to_string(&path).expect("readable source");
+        out.push((rel, text));
+    }
+    assert!(!out.is_empty(), "no workspace files found");
+    out
+}
+
+#[test]
+fn real_tree_is_panic_clean() {
+    let analysis = panics::analyze(&workspace_inputs());
+    assert!(
+        analysis.findings.is_empty(),
+        "panic findings on the real tree:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn reachability_matches_golden() {
+    let analysis = panics::analyze(&workspace_inputs());
+    let golden = include_str!("../golden/panic_reachability.txt");
+    assert_eq!(
+        analysis.table, golden,
+        "panic-reachability model drifted from \
+         crates/lint/golden/panic_reachability.txt — if the change is \
+         intentional, regenerate with \
+         `cargo run -p sssp-lint -- --panics-table > crates/lint/golden/panic_reachability.txt`"
+    );
+}
+
+#[test]
+fn roots_cover_the_real_entry_points() {
+    // Guard against root discovery silently going empty: every bench
+    // binary, the CLI, and both declared thread roots must be present.
+    let analysis = panics::analyze(&workspace_inputs());
+    assert!(
+        analysis.num_roots >= 20,
+        "expected 20+ roots, got {}",
+        analysis.num_roots
+    );
+    for root in [
+        "bin:serve_bench",
+        "bin:fig01_headline",
+        "bin:sssp-cli",
+        "thread:serve-worker",
+        "thread:rank-thread (forwarded)",
+    ] {
+        assert!(
+            analysis.table.contains(root),
+            "root `{root}` missing from the model"
+        );
+    }
+}
+
+#[test]
+fn model_sees_the_collective_critical_section() {
+    // The one legitimate held-lock panic cluster: the comm rendezvous
+    // aborts under `slots` (justified die-on-poison), reachable from both
+    // thread roots. If this disappears the held-lock walk went blind.
+    let analysis = panics::analyze(&workspace_inputs());
+    assert!(analysis.table.contains("allreduce_inner"));
+    assert!(analysis.table.contains("held: slots"));
+    assert!(
+        analysis.num_sites > 0,
+        "no panic sites classified on the real tree"
+    );
+}
+
+#[test]
+fn serving_layer_panics_are_guarded() {
+    // The serve worker is a live (non-forwarded) thread root: its only
+    // explicit panic site is the deliberate probe, guarded on its own
+    // line by catch_unwind. The audit proving zero findings plus this
+    // structural check pins the crash-isolation contract statically.
+    let analysis = panics::analyze(&workspace_inputs());
+    assert!(analysis.table.contains("thread:serve-worker"));
+    assert!(
+        analysis.table.contains("worker_loop"),
+        "worker_loop dropped out of the reachability model"
+    );
+    assert!(analysis
+        .findings
+        .iter()
+        .all(|f| !f.file.contains("crates/serve/")));
+}

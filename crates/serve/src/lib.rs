@@ -26,9 +26,24 @@
 //! Results are bit-identical to fresh one-shot runs — the differential
 //! proptests in `tests/` pin scheduler output against
 //! [`sssp_core::threaded_sssp_seeded`] under all three stepping policies.
+//!
+//! # Crash isolation
+//!
+//! A query failure is scoped to its own ticket, never to the server:
+//! malformed specs are rejected by [`QuerySpec::validate`] *before* the
+//! queue lock is taken (so a bad submit can never poison the queue), a
+//! panic inside a worker is caught at the ticket boundary and surfaces as
+//! [`QueryError::Panicked`] on that ticket alone, and every queue-lock
+//! acquisition recovers from poisoning instead of cascading it. An
+//! optional per-query deadline stops the epoch loop through a dedicated
+//! collective and reports [`QueryError::TimedOut`]. The static
+//! panic-reachability pass in `sssp-lint` (`--panics`) pins all of this
+//! at lint time; the crash-isolation proptests pin it at runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::fmt;
 
 /// The landmark / repeat-root distance cache.
 pub mod cache;
@@ -109,7 +124,64 @@ impl QuerySpec {
             QuerySpec::Closeness { sources } => sources.clone(),
         }
     }
+
+    /// Validate the spec against a graph of `n` vertices: every mentioned
+    /// vertex must be in range, and closeness needs at least one source.
+    /// This is the sanitizer the serving layer runs **before** any lock is
+    /// taken — a malformed spec is an error return, never a panic inside a
+    /// critical section (the `panic-unvalidated-input` lint rule pins the
+    /// pattern).
+    pub fn validate(&self, n: usize) -> Result<(), QueryError> {
+        for v in self.vertices() {
+            if (v as usize) >= n {
+                return Err(QueryError::InvalidSpec(format!(
+                    "query vertex {v} out of range (n = {n})"
+                )));
+            }
+        }
+        if let QuerySpec::Closeness { sources } = self {
+            if sources.is_empty() {
+                return Err(QueryError::InvalidSpec(
+                    "closeness needs at least one source".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Why a query failed. Failures are scoped to the ticket that carried
+/// them: the server, its workers and every other in-flight query keep
+/// running (the crash-isolation proptests pin exactly this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The spec was rejected by [`QuerySpec::validate`] — at submit time
+    /// (before the queue lock is taken) or by the worker's re-validation
+    /// after a racing [`SsspServer::rebuild`] shrank the graph.
+    InvalidSpec(String),
+    /// The query panicked inside a worker. The unwind was caught at the
+    /// ticket boundary: the worker recycled its scratch and went back to
+    /// serving, and no lock was poisoned. The payload's panic message is
+    /// carried when it was a string.
+    Panicked(String),
+    /// The query missed its deadline: the epoch loop stopped through the
+    /// `epoch.deadline` collective (or the worker found the deadline
+    /// already passed at claim time) and the partial distance field was
+    /// discarded rather than served.
+    TimedOut,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidSpec(why) => write!(f, "invalid query spec: {why}"),
+            QueryError::Panicked(msg) => write!(f, "query panicked in worker: {msg}"),
+            QueryError::TimedOut => write!(f, "query missed its deadline"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// The payload of a finished query.
 #[derive(Debug, Clone)]

@@ -10,21 +10,33 @@
 //! clients against it. No code path acquires a second lock while holding
 //! the first, so the lock-order graph has no edges and cannot deadlock;
 //! queries themselves execute strictly outside the critical section.
+//!
+//! Unwind discipline (mirrored by the static panic-reachability pass,
+//! `sssp-lint --panics`): specs are validated before the queue lock is
+//! ever taken, query execution runs behind `catch_unwind` so a panic
+//! fails only its own ticket ([`crate::QueryError::Panicked`]), and every
+//! lock acquisition goes through [`Shared::lock_queue`], which recovers a
+//! poisoned mutex instead of cascading the poison — one crashed thread
+//! can never wedge the condvar protocol for everyone else.
 
+use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use sssp_comm::cost::MachineModel;
 use sssp_core::bfs::run_bfs;
 use sssp_core::cc::run_cc;
 use sssp_core::closeness::harmonic_closeness_sampled;
 use sssp_core::pagerank::run_pagerank;
-use sssp_core::{canonical_seeds, threaded_sssp_query, EngineScratch, SsspConfig};
+use sssp_core::{canonical_seeds, threaded_sssp_query_deadline, EngineScratch, SsspConfig};
 use sssp_dist::DistGraph;
 
 use crate::cache::{DistanceCache, SeedKey};
-use crate::{QueryOutput, QueryResult, QuerySpec};
+use crate::{QueryError, QueryOutput, QueryResult, QuerySpec};
 
 /// Handle to a submitted query; redeem it with [`SsspServer::wait`] or
 /// [`SsspServer::poll`].
@@ -40,6 +52,11 @@ pub struct ServeConfig {
     pub max_inflight: usize,
     /// Distance-cache capacity in full fields (0 disables the cache).
     pub cache_capacity: usize,
+    /// Default per-query deadline, measured from submit time (`None` =
+    /// unbounded). A query that misses it fails with
+    /// [`QueryError::TimedOut`]; [`SsspServer::submit_with_deadline`]
+    /// overrides this per query.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -47,16 +64,35 @@ impl Default for ServeConfig {
         ServeConfig {
             max_inflight: 4,
             cache_capacity: 32,
+            deadline: None,
         }
     }
 }
 
+/// What a worker should do with one claimed job.
+enum JobKind {
+    /// Run a validated query (deadline fixed at submit time).
+    Query {
+        spec: QuerySpec,
+        deadline: Option<Instant>,
+    },
+    /// Panic on the worker thread, inside the unwind guard — the chaos
+    /// probe the crash-isolation tests inject.
+    PanicProbe,
+}
+
+/// One queued job.
+struct Job {
+    ticket: Ticket,
+    kind: JobKind,
+}
+
 /// Everything the queue mutex guards.
 struct QueueState {
-    /// FIFO of submitted, not-yet-claimed queries.
-    jobs: VecDeque<(Ticket, QuerySpec)>,
+    /// FIFO of submitted, not-yet-claimed jobs.
+    jobs: VecDeque<Job>,
     /// Finished queries awaiting pickup, by ticket.
-    results: BTreeMap<u64, QueryResult>,
+    results: BTreeMap<u64, Result<QueryResult, QueryError>>,
     /// The resident graph every new query runs against.
     graph: Arc<DistGraph>,
     /// Bumped by [`SsspServer::rebuild`]; stale cache inserts are dropped.
@@ -71,14 +107,54 @@ struct QueueState {
     running: usize,
     /// High-water mark of `running` over the server's lifetime.
     peak_running: usize,
+    /// Tickets that failed with [`QueryError::Panicked`].
+    panicked: u64,
+    /// Tickets that failed with [`QueryError::TimedOut`].
+    timed_out: u64,
 }
 
 /// The shared half of the server: one mutex, two condvars (see the
-/// module docs for the locking discipline).
+/// module docs for the locking discipline), and a lock-free mirror of the
+/// resident graph's vertex count so submit-time validation never touches
+/// the lock.
 struct Shared {
     queue: Mutex<QueueState>,
     work_ready: Condvar,
     done_ready: Condvar,
+    /// Vertex count of the resident graph, updated under the queue lock
+    /// by [`SsspServer::rebuild`] but readable without it. Submit-time
+    /// validation reads this mirror; a racing rebuild costs at most a
+    /// late [`QueryError::InvalidSpec`] from the worker's re-validation,
+    /// never a panic.
+    num_vertices: AtomicUsize,
+}
+
+impl Shared {
+    /// Acquire the queue lock, **recovering** from poison: the queue's
+    /// critical sections only mutate state through infallible operations
+    /// (the static panic pass keeps them free of panic sites), so a
+    /// poisoned mutex still holds a consistent `QueueState` — recovering
+    /// it keeps one crashed thread from permanently wedging every worker
+    /// and client parked on the condvars.
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Park on `work_ready`, re-acquiring the queue lock on wake (poison
+    /// recovered, same contract as [`Shared::lock_queue`]).
+    fn wait_work<'a>(&self, g: MutexGuard<'a, QueueState>) -> MutexGuard<'a, QueueState> {
+        self.work_ready
+            .wait(g)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Park on `done_ready`, re-acquiring the queue lock on wake (poison
+    /// recovered, same contract as [`Shared::lock_queue`]).
+    fn wait_done<'a>(&self, g: MutexGuard<'a, QueueState>) -> MutexGuard<'a, QueueState> {
+        self.done_ready
+            .wait(g)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A query-serving engine over one resident graph. Dropping the server
@@ -87,17 +163,29 @@ pub struct SsspServer {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     max_inflight: usize,
+    deadline: Option<Duration>,
 }
 
 /// What a worker claimed from the queue in one critical section: either
-/// a cache hit (already a finished result) or a query to execute.
+/// an already-decided outcome (cache hit, expired deadline) or work to
+/// execute outside the lock.
 enum Claim {
-    Hit(QueryResult),
+    /// The ticket's outcome was decided inside the critical section.
+    Done {
+        ticket: Ticket,
+        outcome: Result<QueryResult, QueryError>,
+    },
+    /// A query to execute.
     Run {
         ticket: Ticket,
         spec: QuerySpec,
+        deadline: Option<Instant>,
         graph: Arc<DistGraph>,
         generation: u64,
+    },
+    /// A panic probe to detonate behind the unwind guard.
+    Probe {
+        ticket: Ticket,
     },
     Exit,
 }
@@ -113,6 +201,7 @@ impl SsspServer {
         model: MachineModel,
         serve: ServeConfig,
     ) -> SsspServer {
+        let num_vertices = AtomicUsize::new(graph.num_vertices());
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -124,9 +213,12 @@ impl SsspServer {
                 shutdown: false,
                 running: 0,
                 peak_running: 0,
+                panicked: 0,
+                timed_out: 0,
             }),
             work_ready: Condvar::new(),
             done_ready: Condvar::new(),
+            num_vertices,
         });
         let max_inflight = serve.max_inflight.max(1);
         let workers = (0..max_inflight)
@@ -140,6 +232,7 @@ impl SsspServer {
             shared,
             workers,
             max_inflight,
+            deadline: serve.deadline,
         }
     }
 
@@ -148,49 +241,83 @@ impl SsspServer {
         self.max_inflight
     }
 
-    /// Enqueue a query and return its ticket. Panics if the spec names a
-    /// vertex outside the resident graph (checked here so the failure
-    /// surfaces in the submitting thread, not inside a worker).
-    pub fn submit(&self, spec: QuerySpec) -> Ticket {
-        let mut q = self.shared.queue.lock().expect("queue poisoned");
-        let n = q.graph.num_vertices();
-        for v in spec.vertices() {
-            assert!((v as usize) < n, "query vertex {v} out of range (n = {n})");
-        }
-        if let QuerySpec::Closeness { sources } = &spec {
-            assert!(!sources.is_empty(), "closeness needs at least one source");
-        }
+    /// Enqueue a query under the server's default deadline and return its
+    /// ticket. A spec naming a vertex outside the resident graph (or a
+    /// sourceless closeness query) is rejected with
+    /// [`QueryError::InvalidSpec`] **before the queue lock is taken** —
+    /// a malformed submit is an error return in the submitting thread and
+    /// can never poison the queue.
+    pub fn submit(&self, spec: QuerySpec) -> Result<Ticket, QueryError> {
+        self.submit_with_deadline(spec, self.deadline)
+    }
+
+    /// [`SsspServer::submit`] with a per-query deadline override
+    /// (measured from now; `None` = unbounded regardless of the config
+    /// default).
+    pub fn submit_with_deadline(
+        &self,
+        spec: QuerySpec,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, QueryError> {
+        // Validation reads the lock-free vertex-count mirror, so a bad
+        // spec returns before any critical section. A rebuild can race
+        // the mirror read; the worker re-validates against the graph it
+        // actually claims, so the race costs a late error, never a panic.
+        let n = self.shared.num_vertices.load(Ordering::Acquire);
+        spec.validate(n)?;
+        let deadline = deadline.map(|d| Instant::now() + d);
+        let mut q = self.shared.lock_queue();
         let ticket = Ticket(q.next_ticket);
         q.next_ticket += 1;
-        q.jobs.push_back((ticket, spec));
+        q.jobs.push_back(Job {
+            ticket,
+            kind: JobKind::Query { spec, deadline },
+        });
+        self.shared.work_ready.notify_one();
+        Ok(ticket)
+    }
+
+    /// Enqueue a job that **panics inside a worker** — the chaos probe
+    /// the crash-isolation tests inject. The panic detonates on the
+    /// worker thread, behind the same unwind guard real queries run
+    /// under, so the probe's ticket fails with [`QueryError::Panicked`]
+    /// while every other ticket (and the server itself) is unaffected.
+    pub fn submit_panic_probe(&self) -> Ticket {
+        let mut q = self.shared.lock_queue();
+        let ticket = Ticket(q.next_ticket);
+        q.next_ticket += 1;
+        q.jobs.push_back(Job {
+            ticket,
+            kind: JobKind::PanicProbe,
+        });
         self.shared.work_ready.notify_one();
         ticket
     }
 
-    /// Block until `ticket`'s query finishes and take its result. Each
+    /// Block until `ticket`'s query finishes and take its outcome. Each
     /// ticket can be redeemed exactly once.
-    pub fn wait(&self, ticket: Ticket) -> QueryResult {
-        let mut q = self.shared.queue.lock().expect("queue poisoned");
+    pub fn wait(&self, ticket: Ticket) -> Result<QueryResult, QueryError> {
+        let mut q = self.shared.lock_queue();
         loop {
-            if let Some(res) = q.results.remove(&ticket.0) {
-                return res;
+            if let Some(outcome) = q.results.remove(&ticket.0) {
+                return outcome;
             }
             // sssp-lint: allow(concurrency-blocking-hold): a condvar wait
             // atomically releases the queue lock while parked; workers
             // publishing results can always acquire it.
-            q = self.shared.done_ready.wait(q).expect("queue poisoned");
+            q = self.shared.wait_done(q);
         }
     }
 
-    /// Take `ticket`'s result if the query already finished.
-    pub fn poll(&self, ticket: Ticket) -> Option<QueryResult> {
-        let mut q = self.shared.queue.lock().expect("queue poisoned");
+    /// Take `ticket`'s outcome if the query already finished.
+    pub fn poll(&self, ticket: Ticket) -> Option<Result<QueryResult, QueryError>> {
+        let mut q = self.shared.lock_queue();
         q.results.remove(&ticket.0)
     }
 
     /// Submit-and-wait convenience for sequential callers.
-    pub fn run(&self, spec: QuerySpec) -> QueryResult {
-        let ticket = self.submit(spec);
+    pub fn run(&self, spec: QuerySpec) -> Result<QueryResult, QueryError> {
+        let ticket = self.submit(spec)?;
         self.wait(ticket)
     }
 
@@ -200,64 +327,93 @@ impl SsspServer {
     /// generation, and their cache inserts are discarded); queries still
     /// queued run against the new graph.
     pub fn rebuild(&self, graph: Arc<DistGraph>) {
-        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        let n = graph.num_vertices();
+        let mut q = self.shared.lock_queue();
         q.graph = graph;
         q.generation += 1;
         q.cache.clear();
+        self.shared.num_vertices.store(n, Ordering::Release);
     }
 
     /// The current graph generation (0 until the first [`rebuild`]).
     ///
     /// [`rebuild`]: SsspServer::rebuild
     pub fn generation(&self) -> u64 {
-        let q = self.shared.queue.lock().expect("queue poisoned");
+        let q = self.shared.lock_queue();
         q.generation
     }
 
     /// Distance-cache `(hits, misses)` over the server's lifetime.
     pub fn cache_stats(&self) -> (u64, u64) {
-        let q = self.shared.queue.lock().expect("queue poisoned");
+        let q = self.shared.lock_queue();
         q.cache.stats()
     }
 
     /// The most queries ever observed running at the same instant —
     /// the serving benchmark's concurrency gate.
     pub fn peak_inflight(&self) -> usize {
-        let q = self.shared.queue.lock().expect("queue poisoned");
+        let q = self.shared.lock_queue();
         q.peak_running
+    }
+
+    /// `(panicked, timed_out)` ticket counts over the server's lifetime —
+    /// the serving telemetry block records both, and the benchmark gate
+    /// requires them to be zero on a clean run.
+    pub fn failure_stats(&self) -> (u64, u64) {
+        let q = self.shared.lock_queue();
+        (q.panicked, q.timed_out)
     }
 }
 
 impl Drop for SsspServer {
     fn drop(&mut self) {
         {
-            // A panic inside `submit` (out-of-range spec) poisons the
-            // mutex; shutdown must still go through — a drop may not
-            // panic, and the parked workers need the wake-up.
-            let mut q = match self.shared.queue.lock() {
-                Ok(q) => q,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            // `lock_queue` recovers poison, so shutdown goes through even
+            // after a crash — a drop may not panic, and the parked
+            // workers need the wake-up.
+            let mut q = self.shared.lock_queue();
             q.shutdown = true;
             self.shared.work_ready.notify_all();
         }
         for h in self.workers.drain(..) {
-            // A worker that panicked already surfaced its message on
+            // A worker that somehow died already surfaced its message on
             // stderr; the server's drop must not double-panic.
             let _ = h.join();
         }
     }
 }
 
-/// Claim the next job (answering straight from the cache when possible)
-/// or decide to exit — one critical section on the queue mutex.
+/// Claim the next job — answering straight from the cache, failing an
+/// already-expired deadline, or deciding to exit — one critical section
+/// on the queue mutex.
 fn claim(shared: &Shared) -> Claim {
-    let mut q = shared.queue.lock().expect("queue poisoned");
+    let mut q = shared.lock_queue();
     loop {
-        if let Some((ticket, spec)) = q.jobs.pop_front() {
+        if let Some(Job { ticket, kind }) = q.jobs.pop_front() {
             q.running += 1;
             q.peak_running = q.peak_running.max(q.running);
+            let (spec, deadline) = match kind {
+                JobKind::Query { spec, deadline } => (spec, deadline),
+                JobKind::PanicProbe => return Claim::Probe { ticket },
+            };
+            // A deadline that expired while the job sat in the FIFO fails
+            // here, before any engine work is scheduled for it.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Claim::Done {
+                    ticket,
+                    outcome: Err(QueryError::TimedOut),
+                };
+            }
+            // Re-validate against the graph this claim actually runs on: a
+            // rebuild may have raced the submit-time mirror check, and the
+            // cache lookup below indexes with spec vertices.
             let n = q.graph.num_vertices();
+            if let Err(e) = spec.validate(n) {
+                return Claim::Done {
+                    ticket,
+                    outcome: Err(e),
+                };
+            }
             if let Some(seeds) = spec.seeds() {
                 let key = canonical_seeds(&seeds, n);
                 if let Some(dist) = q.cache.get(&key) {
@@ -267,18 +423,22 @@ fn claim(shared: &Shared) -> Claim {
                         }
                         _ => QueryOutput::Distances(dist),
                     };
-                    return Claim::Hit(QueryResult {
+                    return Claim::Done {
                         ticket,
-                        output,
-                        epochs: 0,
-                        cache_hit: true,
-                        generation: q.generation,
-                    });
+                        outcome: Ok(QueryResult {
+                            ticket,
+                            output,
+                            epochs: 0,
+                            cache_hit: true,
+                            generation: q.generation,
+                        }),
+                    };
                 }
             }
             return Claim::Run {
                 ticket,
                 spec,
+                deadline,
                 graph: Arc::clone(&q.graph),
                 generation: q.generation,
             };
@@ -289,110 +449,202 @@ fn claim(shared: &Shared) -> Claim {
         // sssp-lint: allow(concurrency-blocking-hold): a condvar wait
         // atomically releases the queue lock while parked; submitters can
         // always acquire it to hand over work.
-        q = shared.work_ready.wait(q).expect("queue poisoned");
+        q = shared.wait_work(q);
     }
 }
 
-/// Publish a finished query and (for full distance runs) feed the cache —
-/// one critical section on the queue mutex.
-fn finish(shared: &Shared, result: QueryResult, cache_insert: Option<(SeedKey, Arc<Vec<u64>>)>) {
-    let mut q = shared.queue.lock().expect("queue poisoned");
-    if let Some((key, dist)) = cache_insert {
+/// Publish a finished ticket and (for successful full distance runs) feed
+/// the cache — one critical section on the queue mutex. Failure counters
+/// advance here so the telemetry block sees every outcome exactly once.
+fn finish(
+    shared: &Shared,
+    ticket: Ticket,
+    outcome: Result<QueryResult, QueryError>,
+    cache_insert: Option<(SeedKey, Arc<Vec<u64>>, u64)>,
+) {
+    let mut q = shared.lock_queue();
+    if let Some((key, dist, insert_generation)) = cache_insert {
         // A rebuild may have raced this query; a stale field must not
         // poison the new graph's cache.
-        if q.generation == result.generation {
+        if q.generation == insert_generation {
             q.cache.insert(key, dist);
         }
     }
+    match &outcome {
+        Err(QueryError::Panicked(_)) => q.panicked += 1,
+        Err(QueryError::TimedOut) => q.timed_out += 1,
+        _ => {}
+    }
     q.running -= 1;
-    q.results.insert(result.ticket.0, result);
+    q.results.insert(ticket.0, outcome);
     shared.done_ready.notify_all();
 }
 
-/// One worker: claim, execute outside the lock, publish, repeat. The
-/// worker's [`EngineScratch`] stays resident across queries and is
-/// discarded only when the graph generation changes.
+/// Best-effort text of a panic payload: string payloads (the overwhelming
+/// majority — `panic!`, `assert!`, `expect` all produce them) are carried
+/// verbatim; anything else gets a fixed description.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execute one claimed query **outside the critical section**: re-validate
+/// the spec against the graph actually claimed (submit validated against a
+/// lock-free snapshot that a rebuild may have raced), check the deadline
+/// once up front, then run the endpoint. SSSP-family queries thread the
+/// deadline into the engine's `epoch.deadline` collective; the analytics
+/// kernels run to completion once admitted. Returns the output, the epoch
+/// count and an optional cache insert.
+#[allow(clippy::type_complexity)]
+fn run_spec(
+    spec: &QuerySpec,
+    deadline: Option<Instant>,
+    graph: &Arc<DistGraph>,
+    cfg: &SsspConfig,
+    model: &MachineModel,
+    scratch: &mut EngineScratch,
+) -> Result<(QueryOutput, u64, Option<(SeedKey, Arc<Vec<u64>>)>), QueryError> {
+    let n = graph.num_vertices();
+    spec.validate(n)?;
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(QueryError::TimedOut);
+    }
+    match spec {
+        QuerySpec::SingleSource { .. } | QuerySpec::MultiSeed { .. } => {
+            let seeds = spec.seeds().unwrap_or_default();
+            let out =
+                threaded_sssp_query_deadline(graph, &seeds, None, deadline, cfg, model, scratch);
+            if out.timed_out {
+                // A timed-out field is partially tentative: never served,
+                // never cached.
+                return Err(QueryError::TimedOut);
+            }
+            let dist = Arc::new(out.distances);
+            let insert = Some((canonical_seeds(&seeds, n), Arc::clone(&dist)));
+            Ok((QueryOutput::Distances(dist), out.epochs, insert))
+        }
+        QuerySpec::PointToPoint { root, target } => {
+            let out = threaded_sssp_query_deadline(
+                graph,
+                &[(*root, 0)],
+                Some(*target),
+                deadline,
+                cfg,
+                model,
+                scratch,
+            );
+            if out.timed_out {
+                return Err(QueryError::TimedOut);
+            }
+            // The early-terminated field is partially tentative, so it
+            // never enters the cache; only the target entry is final.
+            let td = out.distances.get(*target as usize).copied();
+            let td = td.ok_or_else(|| {
+                QueryError::InvalidSpec(format!("target {target} out of range (n = {n})"))
+            })?;
+            Ok((QueryOutput::TargetDistance(td), out.epochs, None))
+        }
+        QuerySpec::Bfs { root } => {
+            let out = run_bfs(graph, *root, model);
+            let rounds = out.stats.levels.len() as u64;
+            Ok((QueryOutput::BfsDepths(Arc::new(out.depth)), rounds, None))
+        }
+        QuerySpec::Components => {
+            let out = run_cc(graph, model);
+            Ok((
+                QueryOutput::ComponentLabels(Arc::new(out.labels)),
+                out.rounds,
+                None,
+            ))
+        }
+        QuerySpec::PageRank { config } => {
+            let out = run_pagerank(graph, config, model);
+            Ok((
+                QueryOutput::PageRankScores(Arc::new(out.scores)),
+                out.iterations as u64,
+                None,
+            ))
+        }
+        QuerySpec::Closeness { sources } => {
+            let c = harmonic_closeness_sampled(graph, sources, cfg, model);
+            Ok((QueryOutput::Closeness(Arc::new(c)), 0, None))
+        }
+    }
+}
+
+/// One worker: claim, execute outside the lock behind an unwind guard,
+/// publish, repeat. The worker's [`EngineScratch`] stays resident across
+/// queries and is discarded when the graph generation changes **or** when
+/// a query panics (a mid-superstep unwind leaves the scratch in whatever
+/// state the crashing epoch abandoned, so it must not seed the next run).
+// sssp-lint: panic-root(serve-worker)
 fn worker_loop(shared: &Shared, cfg: &SsspConfig, model: &MachineModel) {
     let mut scratch = EngineScratch::new(0);
     let mut scratch_generation = u64::MAX;
     loop {
-        let (ticket, spec, graph, generation) = match claim(shared) {
-            Claim::Hit(result) => {
-                finish(shared, result, None);
+        let (ticket, spec, deadline, graph, generation) = match claim(shared) {
+            Claim::Done { ticket, outcome } => {
+                finish(shared, ticket, outcome, None);
+                continue;
+            }
+            Claim::Probe { ticket } => {
+                // The probe panics behind the same guard real queries run
+                // under; its unwind must stop here, at the ticket.
+                let blast = catch_unwind(|| panic!("deliberate panic probe"));
+                let msg = match blast {
+                    Err(payload) => panic_message(payload.as_ref()),
+                    Ok(()) => "probe failed to panic".to_string(),
+                };
+                finish(shared, ticket, Err(QueryError::Panicked(msg)), None);
                 continue;
             }
             Claim::Run {
                 ticket,
                 spec,
+                deadline,
                 graph,
                 generation,
-            } => (ticket, spec, graph, generation),
+            } => (ticket, spec, deadline, graph, generation),
             Claim::Exit => return,
         };
         if generation != scratch_generation {
             scratch = EngineScratch::new(graph.num_ranks());
             scratch_generation = generation;
         }
-        let n = graph.num_vertices();
-        let mut cache_insert: Option<(SeedKey, Arc<Vec<u64>>)> = None;
-        let (output, epochs) = match &spec {
-            QuerySpec::SingleSource { .. } | QuerySpec::MultiSeed { .. } => {
-                let seeds = spec.seeds().unwrap_or_default();
-                let out = threaded_sssp_query(&graph, &seeds, None, cfg, model, &mut scratch);
-                let dist = Arc::new(out.distances);
-                cache_insert = Some((canonical_seeds(&seeds, n), Arc::clone(&dist)));
-                (QueryOutput::Distances(dist), out.epochs)
-            }
-            QuerySpec::PointToPoint { root, target } => {
-                let out = threaded_sssp_query(
-                    &graph,
-                    &[(*root, 0)],
-                    Some(*target),
-                    cfg,
-                    model,
-                    &mut scratch,
-                );
-                // The early-terminated field is partially tentative, so it
-                // never enters the cache; only the target entry is final.
+        // The ticket boundary: a panic anywhere inside the query — rank
+        // threads re-raise theirs at the engine join — is caught here, on
+        // the worker thread, outside every critical section. The worker
+        // publishes the failure and goes back to claiming.
+        let guarded = catch_unwind(AssertUnwindSafe(|| {
+            run_spec(&spec, deadline, &graph, cfg, model, &mut scratch)
+        }));
+        let (outcome, cache_insert) = match guarded {
+            Ok(Ok((output, epochs, insert))) => (
+                Ok(QueryResult {
+                    ticket,
+                    output,
+                    epochs,
+                    cache_hit: false,
+                    generation,
+                }),
+                insert.map(|(key, dist)| (key, dist, generation)),
+            ),
+            Ok(Err(e)) => (Err(e), None),
+            Err(payload) => {
+                // Force a fresh scratch: the unwound query abandoned it
+                // mid-superstep.
+                scratch_generation = u64::MAX;
                 (
-                    QueryOutput::TargetDistance(out.distances[*target as usize]),
-                    out.epochs,
+                    Err(QueryError::Panicked(panic_message(payload.as_ref()))),
+                    None,
                 )
-            }
-            QuerySpec::Bfs { root } => {
-                let out = run_bfs(&graph, *root, model);
-                let rounds = out.stats.levels.len() as u64;
-                (QueryOutput::BfsDepths(Arc::new(out.depth)), rounds)
-            }
-            QuerySpec::Components => {
-                let out = run_cc(&graph, model);
-                (
-                    QueryOutput::ComponentLabels(Arc::new(out.labels)),
-                    out.rounds,
-                )
-            }
-            QuerySpec::PageRank { config } => {
-                let out = run_pagerank(&graph, config, model);
-                (
-                    QueryOutput::PageRankScores(Arc::new(out.scores)),
-                    out.iterations as u64,
-                )
-            }
-            QuerySpec::Closeness { sources } => {
-                let c = harmonic_closeness_sampled(&graph, sources, cfg, model);
-                (QueryOutput::Closeness(Arc::new(c)), 0)
             }
         };
-        finish(
-            shared,
-            QueryResult {
-                ticket,
-                output,
-                epochs,
-                cache_hit: false,
-                generation,
-            },
-            cache_insert,
-        );
+        finish(shared, ticket, outcome, cache_insert);
     }
 }

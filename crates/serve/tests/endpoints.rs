@@ -5,6 +5,7 @@
 //! agreement with their underlying kernels.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use sssp_comm::cost::MachineModel;
 use sssp_core::bfs::run_bfs;
@@ -14,7 +15,7 @@ use sssp_core::pagerank::{run_pagerank, PageRankConfig};
 use sssp_core::{threaded_sssp_seeded, SsspConfig};
 use sssp_dist::DistGraph;
 use sssp_graph::{gen, Csr, CsrBuilder};
-use sssp_serve::{QueryOutput, QuerySpec, ServeConfig, SsspServer};
+use sssp_serve::{QueryError, QueryOutput, QuerySpec, ServeConfig, SsspServer};
 
 fn model() -> MachineModel {
     MachineModel::bgq_like()
@@ -38,8 +39,14 @@ fn one_worker(dg: &Arc<DistGraph>, cfg: SsspConfig) -> SsspServer {
         ServeConfig {
             max_inflight: 1,
             cache_capacity: 8,
+            deadline: None,
         },
     )
+}
+
+/// Submit-and-wait for specs the test knows are valid.
+fn run_ok(server: &SsspServer, spec: QuerySpec) -> sssp_serve::QueryResult {
+    server.run(spec).expect("valid query must succeed")
 }
 
 #[test]
@@ -50,8 +57,8 @@ fn repeat_root_hits_the_cache_with_identical_distances() {
 
     // One worker serializes the queue, so the second query observes the
     // first one's cache insert deterministically.
-    let first = server.run(QuerySpec::SingleSource { root: 0 });
-    let second = server.run(QuerySpec::SingleSource { root: 0 });
+    let first = run_ok(&server, QuerySpec::SingleSource { root: 0 });
+    let second = run_ok(&server, QuerySpec::SingleSource { root: 0 });
     assert!(!first.cache_hit);
     assert!(second.cache_hit);
     assert_eq!(second.epochs, 0, "a cache hit runs no epochs");
@@ -62,10 +69,13 @@ fn repeat_root_hits_the_cache_with_identical_distances() {
 
     // Landmark pattern: a point-to-point query whose root has a cached
     // full field is answered from it without running the engine.
-    let p2p = server.run(QuerySpec::PointToPoint {
-        root: 0,
-        target: 299,
-    });
+    let p2p = run_ok(
+        &server,
+        QuerySpec::PointToPoint {
+            root: 0,
+            target: 299,
+        },
+    );
     assert!(p2p.cache_hit);
     assert_eq!(p2p.output.target_distance(), Some(d1[299]));
 
@@ -81,12 +91,18 @@ fn multi_seed_canonicalization_shares_one_cache_entry() {
 
     // Same seed set spelled three ways: duplicates keep the minimum
     // distance, order is irrelevant.
-    let a = server.run(QuerySpec::MultiSeed {
-        seeds: vec![(7, 4), (30, 0), (7, 9)],
-    });
-    let b = server.run(QuerySpec::MultiSeed {
-        seeds: vec![(30, 0), (7, 4)],
-    });
+    let a = run_ok(
+        &server,
+        QuerySpec::MultiSeed {
+            seeds: vec![(7, 4), (30, 0), (7, 9)],
+        },
+    );
+    let b = run_ok(
+        &server,
+        QuerySpec::MultiSeed {
+            seeds: vec![(30, 0), (7, 4)],
+        },
+    );
     assert!(!a.cache_hit);
     assert!(b.cache_hit, "canonicalized seed sets must share the entry");
     assert_eq!(
@@ -103,14 +119,14 @@ fn rebuild_invalidates_the_cache_and_serves_the_new_graph() {
     let dg_heavy = Arc::new(DistGraph::build(&heavy, 2, 2));
     let server = one_worker(&dg_light, SsspConfig::opt(20));
 
-    let before = server.run(QuerySpec::SingleSource { root: 0 });
+    let before = run_ok(&server, QuerySpec::SingleSource { root: 0 });
     assert_eq!(before.generation, 0);
     assert_eq!(before.output.distances().expect("distances")[49], 49 * 3);
 
     server.rebuild(Arc::clone(&dg_heavy));
     assert_eq!(server.generation(), 1);
 
-    let after = server.run(QuerySpec::SingleSource { root: 0 });
+    let after = run_ok(&server, QuerySpec::SingleSource { root: 0 });
     assert!(!after.cache_hit, "rebuild must clear the cache");
     assert_eq!(after.generation, 1);
     assert_eq!(after.output.distances().expect("distances")[49], 49 * 5);
@@ -124,12 +140,12 @@ fn point_to_point_saves_epochs_and_reports_the_exact_distance() {
     // couple of epochs and leave the cutoff nothing to save.
     let server = one_worker(&dg, SsspConfig::del(10));
 
-    let full = server.run(QuerySpec::SingleSource { root: 0 });
-    let near = server.run(QuerySpec::PointToPoint { root: 0, target: 2 });
+    let full = run_ok(&server, QuerySpec::SingleSource { root: 0 });
+    let near = run_ok(&server, QuerySpec::PointToPoint { root: 0, target: 2 });
     // The full field for root 0 is cached, so force the engine to run the
     // p2p query by using a root with no cached entry.
     assert!(near.cache_hit, "cached landmark answers the near target");
-    let fresh_near = server.run(QuerySpec::PointToPoint { root: 1, target: 2 });
+    let fresh_near = run_ok(&server, QuerySpec::PointToPoint { root: 1, target: 2 });
     assert!(!fresh_near.cache_hit);
 
     let oracle = threaded_sssp_seeded(&dg, &[(1, 0)], &SsspConfig::del(10), &model());
@@ -152,7 +168,7 @@ fn analytics_endpoints_match_their_kernels() {
     let cfg = SsspConfig::opt(20);
     let server = one_worker(&dg, cfg.clone());
 
-    let bfs = server.run(QuerySpec::Bfs { root: 3 });
+    let bfs = run_ok(&server, QuerySpec::Bfs { root: 3 });
     match bfs.output {
         QueryOutput::BfsDepths(depth) => {
             assert_eq!(depth.as_ref(), &run_bfs(&dg, 3, &model()).depth);
@@ -160,7 +176,7 @@ fn analytics_endpoints_match_their_kernels() {
         other => panic!("expected BFS depths, got {other:?}"),
     }
 
-    let cc = server.run(QuerySpec::Components);
+    let cc = run_ok(&server, QuerySpec::Components);
     match cc.output {
         QueryOutput::ComponentLabels(labels) => {
             assert_eq!(labels.as_ref(), &run_cc(&dg, &model()).labels);
@@ -169,7 +185,7 @@ fn analytics_endpoints_match_their_kernels() {
     }
 
     let pr_cfg = PageRankConfig::default();
-    let pr = server.run(QuerySpec::PageRank { config: pr_cfg });
+    let pr = run_ok(&server, QuerySpec::PageRank { config: pr_cfg });
     match pr.output {
         QueryOutput::PageRankScores(scores) => {
             assert_eq!(
@@ -181,9 +197,12 @@ fn analytics_endpoints_match_their_kernels() {
     }
 
     let sources = vec![0, 17, 42];
-    let cl = server.run(QuerySpec::Closeness {
-        sources: sources.clone(),
-    });
+    let cl = run_ok(
+        &server,
+        QuerySpec::Closeness {
+            sources: sources.clone(),
+        },
+    );
     match cl.output {
         QueryOutput::Closeness(c) => {
             assert_eq!(
@@ -206,13 +225,18 @@ fn concurrent_workers_stay_within_the_inflight_bound() {
         ServeConfig {
             max_inflight: 4,
             cache_capacity: 0, // every query runs the engine
+            deadline: None,
         },
     );
     let tickets: Vec<_> = (0..12)
-        .map(|i| server.submit(QuerySpec::SingleSource { root: i * 17 }))
+        .map(|i| {
+            server
+                .submit(QuerySpec::SingleSource { root: i * 17 })
+                .expect("valid root")
+        })
         .collect();
     for (i, t) in tickets.into_iter().enumerate() {
-        let res = server.wait(t);
+        let res = server.wait(t).expect("valid query must succeed");
         let root = (i as u32) * 17;
         let oracle = threaded_sssp_seeded(&dg, &[(root, 0)], &SsspConfig::opt(20), &model());
         assert_eq!(
@@ -233,8 +257,10 @@ fn poll_returns_none_until_the_query_finishes() {
     let g = CsrBuilder::new().build(&gen::path(20, 2));
     let dg = Arc::new(DistGraph::build(&g, 1, 1));
     let server = one_worker(&dg, SsspConfig::opt(10));
-    let t = server.submit(QuerySpec::SingleSource { root: 0 });
-    let res = server.wait(t);
+    let t = server
+        .submit(QuerySpec::SingleSource { root: 0 })
+        .expect("valid root");
+    let res = server.wait(t).expect("valid query must succeed");
     assert_eq!(res.output.distances().expect("distances")[19], 38);
     assert!(
         server.poll(t).is_none(),
@@ -243,13 +269,87 @@ fn poll_returns_none_until_the_query_finishes() {
 }
 
 #[test]
-#[should_panic(expected = "out of range")]
-fn submitting_an_out_of_range_vertex_panics_in_the_submitter() {
+fn out_of_range_submit_is_rejected_and_leaves_the_server_serviceable() {
     let g = CsrBuilder::new().build(&gen::path(10, 2));
     let dg = Arc::new(DistGraph::build(&g, 1, 1));
     let server = one_worker(&dg, SsspConfig::opt(10));
-    let _ = server.submit(QuerySpec::PointToPoint {
-        root: 0,
-        target: 10,
-    });
+
+    // The historical repro: this submit used to assert inside the
+    // submitter *while holding the queue lock*, poisoning the mutex and
+    // wedging every later client. It must now be a plain error return,
+    // decided before any lock is taken.
+    let err = server
+        .submit(QuerySpec::PointToPoint {
+            root: 0,
+            target: 10,
+        })
+        .expect_err("out-of-range target must be rejected");
+    match &err {
+        QueryError::InvalidSpec(why) => assert!(
+            why.contains("out of range"),
+            "unexpected rejection reason: {why}"
+        ),
+        other => panic!("expected InvalidSpec, got {other:?}"),
+    }
+
+    // A sourceless closeness query is malformed too.
+    let err = server
+        .submit(QuerySpec::Closeness { sources: vec![] })
+        .expect_err("sourceless closeness must be rejected");
+    assert!(matches!(err, QueryError::InvalidSpec(_)));
+
+    // The server is still fully serviceable after the bad submits.
+    let res = run_ok(&server, QuerySpec::SingleSource { root: 0 });
+    assert_eq!(res.output.distances().expect("distances")[9], 18);
+    assert_eq!(
+        server.failure_stats(),
+        (0, 0),
+        "rejected submits never reach a worker"
+    );
+}
+
+#[test]
+fn deadline_in_the_past_times_out_without_running_the_engine() {
+    let g = noisy_path(200, 6, 400, 13);
+    let dg = Arc::new(DistGraph::build(&g, 2, 2));
+    let server = one_worker(&dg, SsspConfig::opt(20));
+
+    // A zero deadline has always expired by the time a worker claims the
+    // job, so the ticket fails with TimedOut before any engine work.
+    let t = server
+        .submit_with_deadline(
+            QuerySpec::SingleSource { root: 0 },
+            Some(Duration::from_secs(0)),
+        )
+        .expect("valid root");
+    assert!(matches!(server.wait(t), Err(QueryError::TimedOut)));
+    assert_eq!(server.failure_stats(), (0, 1), "timeout must be counted");
+
+    // The same query without a deadline still succeeds afterwards.
+    let res = run_ok(&server, QuerySpec::SingleSource { root: 0 });
+    assert!(!res.cache_hit, "a timed-out run must not seed the cache");
+}
+
+#[test]
+fn panic_probe_fails_its_own_ticket_only() {
+    let g = noisy_path(150, 5, 300, 17);
+    let dg = Arc::new(DistGraph::build(&g, 2, 2));
+    let server = one_worker(&dg, SsspConfig::opt(20));
+
+    let before = run_ok(&server, QuerySpec::SingleSource { root: 1 });
+    let probe = server.submit_panic_probe();
+    match server.wait(probe) {
+        Err(QueryError::Panicked(msg)) => {
+            assert!(msg.contains("deliberate panic probe"), "got: {msg}");
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    assert_eq!(server.failure_stats(), (1, 0), "panic must be counted");
+
+    // The worker that caught the unwind keeps serving, bit-identically.
+    let after = run_ok(&server, QuerySpec::SingleSource { root: 1 });
+    assert_eq!(
+        before.output.distances().expect("distances").as_ref(),
+        after.output.distances().expect("distances").as_ref()
+    );
 }

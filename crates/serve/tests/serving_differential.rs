@@ -66,19 +66,22 @@ proptest! {
                 Arc::clone(&dg),
                 cfg.clone(),
                 model,
-                ServeConfig { max_inflight: 3, cache_capacity: 8 },
+                ServeConfig { max_inflight: 3, cache_capacity: 8, deadline: None },
             );
             // Mixed kinds, all in flight at once. The repeated root `a`
             // may race its first run (cache miss) or follow it (cache
             // hit) — both must be bit-identical to the fresh oracle.
             let tickets = vec![
-                server.submit(QuerySpec::SingleSource { root: a }),
-                server.submit(QuerySpec::MultiSeed { seeds: multi.clone() }),
-                server.submit(QuerySpec::PointToPoint { root: a, target: d }),
-                server.submit(QuerySpec::SingleSource { root: a }),
-                server.submit(QuerySpec::Bfs { root: c }),
+                server.submit(QuerySpec::SingleSource { root: a }).unwrap(),
+                server.submit(QuerySpec::MultiSeed { seeds: multi.clone() }).unwrap(),
+                server.submit(QuerySpec::PointToPoint { root: a, target: d }).unwrap(),
+                server.submit(QuerySpec::SingleSource { root: a }).unwrap(),
+                server.submit(QuerySpec::Bfs { root: c }).unwrap(),
             ];
-            let results: Vec<_> = tickets.into_iter().map(|t| server.wait(t)).collect();
+            let results: Vec<_> = tickets
+                .into_iter()
+                .map(|t| server.wait(t).expect("valid query must succeed"))
+                .collect();
 
             let oracle_a = fresh(&dg, &[(a, 0)], &cfg);
             let oracle_multi = fresh(&dg, &multi, &cfg);
